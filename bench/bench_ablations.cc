@@ -1,0 +1,132 @@
+// Ablations of Laminar's design choices (DESIGN.md §5):
+//  * idleness detector: KVCache ramp-down vs static request threshold
+//  * repack trigger period
+//  * experience sampler strategy
+//  * backlog cap (generation throttling)
+//  * the Appendix-C hybrid (partial rollout on Laminar)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace laminar {
+namespace {
+
+RlSystemConfig Base() {
+  RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k7B, 64);
+  cfg.warmup_iterations = 1;
+  cfg.measure_iterations = 4;
+  return cfg;
+}
+
+void DetectorSection() {
+  Banner("Ablation: idleness detector (KVCache ramp-down vs static threshold)");
+  Table table({"detector", "throughput (tok/s)", "repack events", "sources released",
+               "migrated", "avg KV util"});
+  for (int mode = 0; mode < 4; ++mode) {
+    RlSystemConfig cfg = Base();
+    std::string name;
+    if (mode == 0) {
+      name = "kvcache ramp-down (Laminar)";
+    } else {
+      cfg.repack_static_threshold = true;
+      cfg.repack_static_threshold_requests = mode == 1 ? 4 : (mode == 2 ? 32 : 256);
+      name = "static reqs < " + std::to_string(cfg.repack_static_threshold_requests);
+    }
+    SystemReport rep = RunExperiment(cfg);
+    table.AddRow({name, Tps(rep.throughput_tokens_per_sec), Table::Int(rep.repack_events),
+                  Table::Int(rep.repack_sources_released),
+                  Table::Int(rep.repack_trajectories_migrated),
+                  Table::Pct(rep.avg_kv_utilization)});
+  }
+  table.Print();
+  std::printf("The static threshold needs per-workload tuning: too low misses\n"
+              "stragglers, too high migrates healthy replicas (churn). The KVCache\n"
+              "signal needs no tuning (paper §5.2).\n");
+}
+
+void PeriodSection() {
+  Banner("Ablation: repack trigger period");
+  Table table({"period (s)", "throughput (tok/s)", "repack events", "migrated"});
+  for (double period : {1.0, 5.0, 20.0, 60.0}) {
+    RlSystemConfig cfg = Base();
+    cfg.repack_period_seconds = period;
+    SystemReport rep = RunExperiment(cfg);
+    table.AddRow({Table::Num(period, 0), Tps(rep.throughput_tokens_per_sec),
+                  Table::Int(rep.repack_events),
+                  Table::Int(rep.repack_trajectories_migrated)});
+  }
+  table.Print();
+}
+
+void SamplerSection() {
+  Banner("Ablation: experience sampling strategy");
+  Table table({"sampler", "throughput (tok/s)", "mean staleness", "max staleness",
+               "final reward"});
+  for (SamplerKind sampler :
+       {SamplerKind::kFifo, SamplerKind::kFreshness, SamplerKind::kStalenessCapped}) {
+    RlSystemConfig cfg = Base();
+    cfg.sampler = sampler;
+    cfg.measure_iterations = 8;
+    SystemReport rep = RunExperiment(cfg);
+    const char* name = sampler == SamplerKind::kFifo
+                           ? "FIFO (paper default)"
+                           : (sampler == SamplerKind::kFreshness ? "freshest-first"
+                                                                 : "staleness-capped(4)");
+    table.AddRow({name, Tps(rep.throughput_tokens_per_sec),
+                  Table::Num(rep.mean_consume_staleness),
+                  Table::Num(rep.max_consume_staleness, 0),
+                  Table::Num(rep.final_eval_reward, 3)});
+  }
+  table.Print();
+}
+
+void HybridSection() {
+  Banner("Extension (Appendix C): partial rollout grafted onto Laminar");
+  Table table({"variant", "throughput (tok/s)", "mean staleness", "mixed-version frac",
+               "final reward"});
+  for (bool hybrid : {false, true}) {
+    RlSystemConfig cfg = Base();
+    cfg.laminar_partial_rollout = hybrid;
+    cfg.measure_iterations = 10;
+    SystemReport rep = RunExperiment(cfg);
+    table.AddRow({hybrid ? "laminar + partial rollout" : "laminar (paper)",
+                  Tps(rep.throughput_tokens_per_sec),
+                  Table::Num(rep.mean_consume_staleness),
+                  Table::Pct(rep.mixed_version_fraction),
+                  Table::Num(rep.final_eval_reward, 3)});
+  }
+  table.Print();
+  std::printf("Mid-generation adoption lowers staleness slightly but reintroduces\n"
+              "mixed-version trajectories and KV recomputation — the trade-off the\n"
+              "paper's Appendix C discusses.\n");
+}
+
+void BacklogSection() {
+  Banner("Ablation: generation backlog cap (x global batch)");
+  Table table({"cap", "throughput (tok/s)", "mean staleness", "max staleness"});
+  for (double factor : {1.0, 2.0, 4.0}) {
+    RlSystemConfig cfg = Base();
+    cfg.backlog_cap = static_cast<int64_t>(factor * cfg.global_batch);
+    SystemReport rep = RunExperiment(cfg);
+    table.AddRow({Table::Num(factor, 0) + "x batch", Tps(rep.throughput_tokens_per_sec),
+                  Table::Num(rep.mean_consume_staleness),
+                  Table::Num(rep.max_consume_staleness, 0)});
+  }
+  table.Print();
+  std::printf("A tighter cap trades a little throughput for lower staleness; the\n"
+              "default (2x) keeps the observed maximum staleness at ~4, matching\n"
+              "the paper's report.\n");
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::DetectorSection();
+  laminar::PeriodSection();
+  laminar::SamplerSection();
+  laminar::BacklogSection();
+  laminar::HybridSection();
+  return 0;
+}

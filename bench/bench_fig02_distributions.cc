@@ -1,0 +1,98 @@
+// Figure 2 + Figure 17: trajectory-length distribution on the math dataset,
+// code-sandbox latency distribution, and per-checkpoint response-length
+// distributions.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/workload/generator.h"
+#include "src/workload/length_model.h"
+
+namespace laminar {
+namespace {
+
+constexpr int kSamples = 100000;
+
+void LengthSection() {
+  Banner("Figure 2 (left): trajectory length distribution, math reasoning");
+  Table table({"model", "p50", "p90", "p99", "p99/p50", "mean", "truncated@16K"});
+  for (ModelScale scale : {ModelScale::k7B, ModelScale::k32B, ModelScale::k72B}) {
+    LengthDistribution d = MathLengthDistribution(scale);
+    Rng rng(77);
+    SampleSet s;
+    int truncated = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      int64_t x = d.Sample(rng);
+      if (x == d.max_tokens) {
+        ++truncated;
+      }
+      s.Add(static_cast<double>(x));
+    }
+    table.AddRow({ModelScaleName(scale), Table::Int(s.Median()), Table::Int(s.Quantile(0.9)),
+                  Table::Int(s.Quantile(0.99)),
+                  Table::Factor(s.Quantile(0.99) / s.Median(), 1), Table::Int(s.mean()),
+                  Table::Pct(static_cast<double>(truncated) / kSamples)});
+  }
+  table.Print();
+  std::printf("Paper: the 99th-percentile output length can exceed the median by an\n"
+              "order of magnitude (the clamp at the 16K output limit compresses the\n"
+              "sampled ratio; the unclamped distributions satisfy p99/p50 ~ 10x).\n");
+
+  Banner("Figure 17: response length histogram per checkpoint (7B shown)");
+  LengthDistribution d = MathLengthDistribution(ModelScale::k7B);
+  Rng rng(78);
+  LogHistogram hist(64.0, 1.6, 14);
+  for (int i = 0; i < kSamples; ++i) {
+    hist.Add(static_cast<double>(d.Sample(rng)));
+  }
+  std::printf("%s", hist.ToAscii().c_str());
+}
+
+void EnvSection() {
+  Banner("Figure 2 (right): code-sandbox execution latency");
+  EnvLatencyDistribution d = SandboxLatencyDistribution();
+  Rng rng(79);
+  SampleSet s;
+  for (int i = 0; i < kSamples; ++i) {
+    s.Add(d.Sample(rng));
+  }
+  Table table({"p50 (s)", "p90 (s)", "p99 (s)", "p99/p50", "max (s)"});
+  table.AddRow({Table::Num(s.Median()), Table::Num(s.Quantile(0.9)),
+                Table::Num(s.Quantile(0.99)), Table::Factor(s.Quantile(0.99) / s.Median(), 1),
+                Table::Num(s.max())});
+  table.Print();
+
+  Banner("Multi-turn tool-calling trajectory shapes");
+  WorkloadConfig cfg;
+  cfg.task = TaskKind::kToolCalling;
+  WorkloadGenerator gen(cfg, Rng(80));
+  SampleSet turns;
+  SampleSet env_total;
+  SampleSet tokens;
+  for (int i = 0; i < 20000; ++i) {
+    TrajectorySpec spec = gen.Sample(0);
+    turns.Add(spec.num_turns());
+    env_total.Add(spec.total_env_latency());
+    tokens.Add(static_cast<double>(spec.total_context_tokens()));
+  }
+  Table table2({"metric", "mean", "p50", "p99"});
+  table2.AddRow({"tool calls / trajectory", Table::Num(turns.mean(), 1),
+                 Table::Num(turns.Median(), 0), Table::Num(turns.Quantile(0.99), 0)});
+  table2.AddRow({"total sandbox wait (s)", Table::Num(env_total.mean(), 1),
+                 Table::Num(env_total.Median(), 1), Table::Num(env_total.Quantile(0.99), 1)});
+  table2.AddRow({"context tokens", Table::Int(tokens.mean()), Table::Int(tokens.Median()),
+                 Table::Int(tokens.Quantile(0.99))});
+  table2.Print();
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::LengthSection();
+  laminar::EnvSection();
+  return 0;
+}

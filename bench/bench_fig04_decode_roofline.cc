@@ -1,0 +1,62 @@
+// Figure 4: one-step decode latency of Qwen2.5-7B/32B under various tensor
+// parallel sizes, with decode batch sizes up to the KVCache limit. The
+// paper's point: decoding is memory-bound, so latency stays nearly flat over
+// a wide batch range (repack can merge small batches for free), and extra
+// TP GPUs give only marginal latency reductions.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/llm/decode_model.h"
+
+namespace laminar {
+namespace {
+
+void Sweep(const ModelSpec& model, const std::vector<int>& tps, double context) {
+  Banner(model.name + " one-step decode latency (ms), context " +
+         Table::Int(context) + " tokens");
+  std::vector<std::string> headers = {"batch"};
+  for (int tp : tps) {
+    headers.push_back("TP=" + std::to_string(tp));
+  }
+  headers.push_back("tok/s@TP=" + std::to_string(tps.back()));
+  Table table(headers);
+  MachineSpec machine;
+  std::vector<DecodeModel> models;
+  for (int tp : tps) {
+    models.emplace_back(model, machine, tp);
+  }
+  for (int batch : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    // Respect the KVCache limit of the largest-TP replica.
+    double cap = models.back().KvCapacityTokens();
+    if (batch * context > cap) {
+      break;
+    }
+    std::vector<std::string> row = {Table::Int(batch)};
+    for (const DecodeModel& m : models) {
+      row.push_back(Table::Num(m.StepLatency(batch, context) * 1e3, 2));
+    }
+    row.push_back(Table::Int(batch / models.back().StepLatency(batch, context)));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  for (int tp : tps) {
+    DecodeModel m(model, machine, tp);
+    std::printf("TP=%d roofline batch bound B = %d, KV capacity = %s tokens\n", tp,
+                m.RooflineBatchBound(context), Table::Int(m.KvCapacityTokens()).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::Banner("Figure 4: decode latency vs batch size and TP");
+  laminar::Sweep(laminar::Qwen25_7B(), {1, 2, 4}, 2000.0);
+  laminar::Sweep(laminar::Qwen25_32B(), {2, 4, 8}, 2000.0);
+  std::printf(
+      "\nPaper: latency per decode step remains stable as batch grows through\n"
+      "the memory-bound regime (e.g. batch 8 vs 64), and TP scaling yields\n"
+      "only marginal latency reductions — the basis for trajectory repacking.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 10: inherent staleness distribution over trajectory finish-time
+// ranges during Laminar RL training of a 7B model on 64 GPUs. Staleness
+// emerges from generation latency alone (no configured bound) and stays low.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace laminar {
+namespace {
+
+void Run() {
+  Banner("Figure 10: inherent staleness vs finish time (Laminar, 7B, 64 GPUs)");
+  RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k7B, 64);
+  cfg.warmup_iterations = 0;
+  cfg.measure_iterations = 10;
+  SystemReport rep = RunExperiment(cfg);
+
+  double horizon = rep.simulated_seconds;
+  const int kRanges = 5;
+  // staleness -> count per finish-time range
+  std::map<int, std::vector<int64_t>> dist;
+  std::vector<int64_t> totals(kRanges, 0);
+  for (const auto& [finish, staleness] : rep.staleness_samples) {
+    int range = std::min(kRanges - 1, static_cast<int>(finish / horizon * kRanges));
+    auto& row = dist[staleness];
+    if (row.empty()) {
+      row.assign(kRanges, 0);
+    }
+    ++row[range];
+    ++totals[range];
+  }
+
+  std::vector<std::string> headers = {"staleness"};
+  for (int r = 0; r < kRanges; ++r) {
+    headers.push_back(Table::Num(r * horizon / kRanges, 0) + "-" +
+                      Table::Num((r + 1) * horizon / kRanges, 0) + "s");
+  }
+  Table table(headers);
+  for (const auto& [staleness, counts] : dist) {
+    std::vector<std::string> row = {Table::Int(staleness)};
+    for (int r = 0; r < kRanges; ++r) {
+      row.push_back(totals[r] == 0 ? "-" : Table::Pct(static_cast<double>(counts[r]) /
+                                                      static_cast<double>(totals[r])));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\nmean inherent staleness: %.2f   max: %.0f   trajectories: %zu\n",
+              rep.mean_inherent_staleness, rep.max_inherent_staleness,
+              rep.staleness_samples.size());
+  std::printf("Paper: inherent staleness remains consistently low (typically under 3,\n"
+              "never above 4 in any experiment) with no tuned staleness bound.\n");
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 11 + Table 2 + Appendix B: end-to-end training throughput on the
+// single-turn math-reasoning task, five systems x {7B, 32B, 72B} x five
+// cluster sizes, with speedup and strong-scaling-efficiency summaries.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+namespace laminar {
+namespace {
+
+void Run() {
+  Banner("Figure 11: training throughput, math reasoning (tokens/s)");
+  std::printf("Placements follow Table 2; batch 8192 (512 prompts x 16 responses).\n\n");
+
+  std::map<std::pair<ModelScale, int>, std::map<SystemKind, double>> results;
+
+  for (ModelScale scale : {ModelScale::k7B, ModelScale::k32B, ModelScale::k72B}) {
+    Table table({"GPUs", "verl", "one-step", "stream-gen", "partial-rollout", "laminar",
+                 "laminar/verl", "laminar/best-async"});
+    for (int gpus : PaperClusterSizes(scale)) {
+      std::vector<std::string> row = {Table::Int(gpus)};
+      double laminar_tps = 0.0;
+      double verl_tps = 0.0;
+      double best_async = 0.0;
+      for (SystemKind system : AllSystemKinds()) {
+        SystemReport rep = RunExperiment(ThroughputConfig(system, scale, gpus));
+        results[{scale, gpus}][system] = rep.throughput_tokens_per_sec;
+        row.push_back(Tps(rep.throughput_tokens_per_sec));
+        if (system == SystemKind::kLaminar) {
+          laminar_tps = rep.throughput_tokens_per_sec;
+        } else {
+          if (system == SystemKind::kVerlSync) {
+            verl_tps = rep.throughput_tokens_per_sec;
+          }
+          best_async = std::max(best_async, rep.throughput_tokens_per_sec);
+        }
+      }
+      row.push_back(Table::Factor(laminar_tps / verl_tps));
+      row.push_back(Table::Factor(laminar_tps / best_async));
+      table.AddRow(std::move(row));
+    }
+    Banner(std::string("Qwen2.5-") + ModelScaleName(scale));
+    table.Print();
+  }
+
+  Banner("Speedup summary (Laminar vs each baseline)");
+  Table speedups({"baseline", "average", "max", "at largest scales"});
+  for (SystemKind system : AllSystemKinds()) {
+    if (system == SystemKind::kLaminar) {
+      continue;
+    }
+    double sum = 0.0;
+    double max = 0.0;
+    double largest_sum = 0.0;
+    int n = 0;
+    int n_largest = 0;
+    for (const auto& [key, by_system] : results) {
+      double ratio = by_system.at(SystemKind::kLaminar) / by_system.at(system);
+      sum += ratio;
+      max = std::max(max, ratio);
+      ++n;
+      if (key.second == PaperClusterSizes(key.first).back()) {
+        largest_sum += ratio;
+        ++n_largest;
+      }
+    }
+    speedups.AddRow({SystemKindName(system), Table::Factor(sum / n), Table::Factor(max),
+                     Table::Factor(largest_sum / n_largest)});
+  }
+  speedups.Print();
+  std::printf("Paper: avg 2.56x (max 5.49x) over verl, 1.98x (4.09x) over one-step,\n"
+              "1.93x (4.06x) over stream generation, 1.39x (1.81x) over AReaL;\n"
+              "3.34x average at the largest scales.\n");
+
+  Banner("Strong-scaling efficiency (throughput_max/throughput_min / gpu ratio)");
+  Table scaling({"system", "7B", "32B", "72B"});
+  for (SystemKind system : AllSystemKinds()) {
+    std::vector<std::string> row = {SystemKindName(system)};
+    for (ModelScale scale : {ModelScale::k7B, ModelScale::k32B, ModelScale::k72B}) {
+      auto sizes = PaperClusterSizes(scale);
+      double t_min = results[{scale, sizes.front()}][system];
+      double t_max = results[{scale, sizes.back()}][system];
+      double gpu_ratio = static_cast<double>(sizes.back()) / sizes.front();
+      row.push_back(Table::Pct(t_max / t_min / gpu_ratio));
+    }
+    scaling.AddRow(std::move(row));
+  }
+  scaling.Print();
+  std::printf("Paper: Laminar 53.7%% avg (up to 68.2%% on 32B); best baseline 33.6%%.\n");
+
+  Banner("Table 2: GPU placements used above");
+  Table placements({"system", "scale", "total", "train", "rollout"});
+  for (const Placement& p : AllPaperPlacements()) {
+    placements.AddRow({SystemKindName(p.system), ModelScaleName(p.scale),
+                       Table::Int(p.total_gpus),
+                       p.colocated ? "colocated" : Table::Int(p.train_gpus),
+                       p.colocated ? "colocated" : Table::Int(p.rollout_gpus)});
+  }
+  placements.Print();
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 14 + §8.3: weight-synchronization overhead. Rollout waiting time
+// under Laminar's relay tier vs GPU-direct global synchronization, from 64
+// to 1024 GPUs (32B model); actor stall times; and the §4.1 storage-system
+// strawman (NFS/Redis-style).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/llm/model_spec.h"
+#include "src/relay/broadcast_model.h"
+#include "src/relay/weight_sync.h"
+#include "src/sim/channel.h"
+
+namespace laminar {
+namespace {
+
+void RolloutWaitSection() {
+  Banner("Figure 14: rollout waiting time during weight sync (32B)");
+  Table table({"GPUs", "laminar avg (s)", "laminar best (s)", "laminar p99 (s)",
+               "global-sync (s)", "avg reduction"});
+  for (int gpus : {64, 128, 256, 512, 1024}) {
+    RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k32B,
+                                          std::max(gpus, 32));
+    // Figure 14's setting: trainer GPUs == rollout GPUs. Shorter rollout
+    // cycles so every replica performs many weight updates during the run.
+    cfg.total_gpus = gpus;
+    cfg.train_gpus = gpus / 2;
+    cfg.rollout_gpus = gpus / 2;
+    cfg.per_replica_batch = 256;
+    cfg.warmup_iterations = 1;
+    cfg.measure_iterations = 8;
+    SystemReport rep = RunExperiment(cfg);
+
+    GlobalSyncModel sync;
+    sync.weight_bytes = Qwen25_32B().weight_bytes();
+    double global = sync.SyncSeconds(gpus);
+    table.AddRow({Table::Int(gpus), Table::Num(rep.rollout_wait_mean_seconds),
+                  Table::Num(rep.rollout_wait_best_seconds),
+                  Table::Num(rep.rollout_wait_p99_seconds), Table::Num(global),
+                  Table::Pct(1.0 - rep.rollout_wait_mean_seconds / global)});
+  }
+  table.Print();
+  std::printf("\nPaper: Laminar reduces average/best-case waiting by up to 37%%/47%%;\n"
+              "its average stays near the best case because most pulls find the\n"
+              "weights already cached on the local relay (PCIe load only).\n");
+}
+
+void ActorStallSection() {
+  Banner("§8.3: actor stall per weight publication");
+  Table table({"model", "laminar relay push (s)", "global sync (s)"});
+  for (ModelScale scale : {ModelScale::k32B, ModelScale::k72B}) {
+    int gpus = scale == ModelScale::k32B ? 128 : 256;
+    RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, scale, gpus);
+    cfg.warmup_iterations = 1;
+    cfg.measure_iterations = 2;
+    SystemReport rep = RunExperiment(cfg);
+    GlobalSyncModel sync;
+    sync.weight_bytes = ModelForScale(scale).weight_bytes();
+    table.AddRow({ModelScaleName(scale), Table::Num(rep.actor_stall_mean_seconds),
+                  Table::Num(sync.SyncSeconds(gpus))});
+  }
+  table.Print();
+  std::printf("Paper: the actor stalls only 0.64 s (32B) and 1.40 s (72B) — constant\n"
+              "in the number of rollouts, since it only pushes to the master relay.\n");
+}
+
+void StorageSection() {
+  Banner("§4.1: storage-system weight sync (NFS/Redis strawman), 32B");
+  StorageSyncModel storage;
+  storage.weight_bytes = Qwen25_32B().weight_bytes();
+  Table table({"concurrent pulls", "storage last-finisher (s)", "relay tier (s)"});
+  for (int pulls : {1, 8, 32, 128}) {
+    SerialChannel store(storage.weight_bytes / storage.PullSeconds(), 0.0);
+    SimTime last = SimTime::Zero();
+    for (int i = 0; i < pulls; ++i) {
+      last = store.Transfer(SimTime(0.0), storage.weight_bytes);
+    }
+    // Relay tier: chain broadcast + parallel PCIe loads (no contention point).
+    BroadcastParams params;
+    params.message_bytes = storage.weight_bytes;
+    params.byte_time = 1.0 / 50e9;
+    double relay = OptimalBroadcastTime(params, std::max(pulls, 2)) +
+                   storage.weight_bytes / 4 / 50e9;
+    table.AddRow({Table::Int(pulls), Table::Num(last.seconds(), 1), Table::Num(relay, 2)});
+  }
+  table.Print();
+  std::printf("Paper: serializing one 4 GB shard alone takes ~8 s, plus 10-20 s of\n"
+              "TCP per pull, and the store becomes a contention bottleneck.\n");
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::RolloutWaitSection();
+  laminar::ActorStallSection();
+  laminar::StorageSection();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 15: training through a rollout-machine failure. Same setting as the
+// repack experiment (32B, 64 trainer + 64 rollout GPUs); one rollout machine
+// (two TP=4 replicas) is killed mid-run. Generation throughput dips,
+// training continues, and the system recovers once a replacement machine
+// initializes (~250 s end to end).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/core/laminar_system.h"
+
+namespace laminar {
+namespace {
+
+void Run() {
+  Banner("Figure 15: throughput timeline across a rollout machine failure");
+  RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k32B, 128);
+  cfg.warmup_iterations = 2;
+  cfg.measure_iterations = 8;
+  cfg.sample_period_seconds = 20.0;
+
+  const double kFailureTime = 600.0;
+  auto driver = MakeDriver(cfg);
+  auto* laminar = static_cast<LaminarSystem*>(driver.get());
+  laminar->sim().ScheduleAt(SimTime(kFailureTime), [laminar] {
+    laminar->heartbeats()->MarkDead(0);  // machine 0: two TP=4 replicas + relay
+  });
+  SystemReport rep = driver->Run();
+
+  // Baseline generation rate before the failure.
+  double before = rep.generation_rate.MeanInWindow(SimTime(kFailureTime - 300.0),
+                                                   SimTime(kFailureTime));
+  Table table({"time (s)", "generation tok/s", "vs pre-failure", "training tok/s"});
+  for (const TimePoint& p : rep.generation_rate.Resample(60.0)) {
+    double t = p.time.seconds();
+    if (t < kFailureTime - 240.0 || t > kFailureTime + 600.0) {
+      continue;
+    }
+    double train = 0.0;
+    for (const TimePoint& q : rep.training_rate.points()) {
+      if (q.time.seconds() <= t) {
+        train = q.value;
+      }
+    }
+    std::string marker;
+    if (t >= kFailureTime && t < kFailureTime + 60.0) {
+      marker = "  <- machine killed";
+    }
+    table.AddRow({Table::Num(t, 0), Tps(p.value), Table::Pct(p.value / before),
+                  Tps(train) + marker});
+  }
+  table.Print();
+
+  // Recovery point: first post-failure sample back above 95% of baseline.
+  double recovered_at = -1.0;
+  for (const TimePoint& p : rep.generation_rate.points()) {
+    if (p.time.seconds() > kFailureTime + 60.0 && p.value >= 0.95 * before) {
+      recovered_at = p.time.seconds();
+      break;
+    }
+  }
+  const RolloutManagerStats& ms = laminar->manager()->stats();
+  std::printf("\nfailures handled: %lld, trajectories redirected: %lld\n",
+              static_cast<long long>(ms.failures_handled),
+              static_cast<long long>(ms.trajectories_redirected));
+  if (recovered_at > 0.0) {
+    std::printf("generation recovered to >95%% of baseline %.0f s after the failure\n",
+                recovered_at - kFailureTime);
+  }
+  std::printf("Paper: recovery in ~252 s (new machine allocation + rollout init);\n"
+              "training throughput unaffected or only slightly reduced meanwhile;\n"
+              "no trajectory is regenerated thanks to the partial-response pool.\n");
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "src/common/table.h"
+
+namespace laminar {
+
+RlSystemConfig ThroughputConfig(SystemKind system, ModelScale scale, int total_gpus,
+                                TaskKind task) {
+  RlSystemConfig cfg;
+  cfg.system = system;
+  cfg.scale = scale;
+  cfg.task = task;
+  cfg.total_gpus = total_gpus;
+  cfg.global_batch = 8192;
+  cfg.group_size = 16;
+  cfg.num_minibatches = 16;
+  cfg.max_concurrency = 1024;
+  cfg.warmup_iterations = 2;
+  cfg.measure_iterations = 3;
+  cfg.seed = 2026;
+  return cfg;
+}
+
+RlSystemConfig ConvergenceConfig(SystemKind system, ModelScale scale, int total_gpus) {
+  RlSystemConfig cfg = ThroughputConfig(system, scale, total_gpus);
+  cfg.num_minibatches = 4;  // mini-batch size 2048 (Table 3)
+  cfg.max_concurrency = 256;
+  cfg.sampler = SamplerKind::kFifo;
+  cfg.warmup_iterations = 0;
+  return cfg;
+}
+
+void Banner(const std::string& title) {
+  std::string bar(title.size() + 8, '=');
+  std::printf("\n%s\n==  %s  ==\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+std::string Tps(double v) { return Table::Int(v); }
+
+}  // namespace laminar

@@ -1,0 +1,33 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#ifndef LAMINAR_BENCH_BENCH_UTIL_H_
+#define LAMINAR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/run.h"
+
+namespace laminar {
+
+// Standard throughput-experiment configuration (paper §8 "Settings"):
+// global batch 8192 = 512 prompts x 16 responses, 16 mini-batches,
+// per-rollout concurrency 1024. Iteration counts are scaled down from the
+// paper's 10+5 to keep the full sweep fast; the simulator is deterministic,
+// so fewer samples suffice.
+RlSystemConfig ThroughputConfig(SystemKind system, ModelScale scale, int total_gpus,
+                                TaskKind task = TaskKind::kMathReasoning);
+
+// Convergence-experiment configuration (paper Table 3): mini-batch 2048
+// (4 mini-batch steps), per-rollout concurrency 256, FIFO sampling.
+RlSystemConfig ConvergenceConfig(SystemKind system, ModelScale scale, int total_gpus);
+
+// Prints a section header.
+void Banner(const std::string& title);
+
+// Formats "123,456" tokens/s.
+std::string Tps(double v);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_BENCH_BENCH_UTIL_H_

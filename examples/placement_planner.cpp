@@ -1,0 +1,88 @@
+// Domain example 3: capacity planning with the simulator.
+//
+// Given a model scale, task and cluster size, sweeps the train/rollout GPU
+// split for Laminar and reports the throughput-optimal placement — the
+// tuning loop the paper performs by hand for Table 2, automated.
+//
+//   ./placement_planner --scale 32B --gpus 128
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/table.h"
+#include "src/core/run.h"
+
+int main(int argc, char** argv) {
+  using namespace laminar;
+  Flags flags;
+  flags.Define("scale", "7B", "model scale: 7B | 32B | 72B")
+      .Define("gpus", "64", "total GPUs (multiple of 16)")
+      .Define("task", "math", "math | tool-calling");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+  std::string scale_name = flags.GetString("scale");
+  ModelScale scale = scale_name == "32B"   ? ModelScale::k32B
+                     : scale_name == "72B" ? ModelScale::k72B
+                                           : ModelScale::k7B;
+  int total = static_cast<int>(flags.GetInt("gpus"));
+  LAMINAR_CHECK_EQ(total % 16, 0);
+
+  int tp = RolloutTensorParallel(SystemKind::kLaminar, scale);
+  // A trainer shard needs at least one machine for the larger models.
+  int min_unit = 8;
+
+  std::printf("Placement sweep: Laminar, %s, %d GPUs, %s task (rollout TP=%d)\n\n",
+              scale_name.c_str(), total, flags.GetString("task").c_str(), tp);
+  Table table({"train GPUs", "rollout GPUs", "replicas", "throughput (tok/s)",
+               "trainer wait/iter (s)", "rollout busy", "verdict"});
+  double best = 0.0;
+  int best_train = 0;
+  std::vector<std::vector<std::string>> rows;
+  for (int train = min_unit; train <= total - min_unit; train += min_unit) {
+    int rollout = total - train;
+    if (rollout % tp != 0) {
+      continue;
+    }
+    RlSystemConfig cfg;
+    cfg.system = SystemKind::kLaminar;
+    cfg.scale = scale;
+    cfg.task = flags.GetString("task") == "math" ? TaskKind::kMathReasoning
+                                                 : TaskKind::kToolCalling;
+    cfg.total_gpus = total;
+    cfg.train_gpus = train;
+    cfg.rollout_gpus = rollout;
+    cfg.global_batch = 4096;
+    cfg.warmup_iterations = 1;
+    cfg.measure_iterations = 3;
+    SystemReport rep = RunExperiment(cfg);
+    double wait = 0.0;
+    for (const IterationStats& it : rep.iterations) {
+      wait += it.data_wait_seconds;
+    }
+    wait /= rep.iterations.empty() ? 1 : rep.iterations.size();
+    if (rep.throughput_tokens_per_sec > best) {
+      best = rep.throughput_tokens_per_sec;
+      best_train = train;
+    }
+    rows.push_back({Table::Int(train), Table::Int(rollout), Table::Int(rep.num_replicas),
+                    Table::Int(rep.throughput_tokens_per_sec), Table::Num(wait, 1),
+                    Table::Pct(rep.rollout_busy_fraction),
+                    wait > 5.0 ? "generation-bound" : "training-bound"});
+  }
+  for (auto& row : rows) {
+    if (row[0] == Table::Int(best_train)) {
+      row[6] += "  <== best";
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  Placement paper = GetPaperPlacement(SystemKind::kLaminar, scale, total);
+  std::printf("\nBest split found: %d train / %d rollout (%s tokens/s).\n", best_train,
+              total - best_train, Table::Int(best).c_str());
+  std::printf("Paper's Table-2 placement at this point: %d train / %d rollout.\n",
+              paper.train_gpus, paper.rollout_gpus);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: run one small Laminar job and print its report.
+//
+//   ./quickstart --system laminar --scale 7B --gpus 16 --iters 3
+//
+// This exercises the whole public API: config -> driver -> SystemReport.
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/table.h"
+#include "src/core/report_io.h"
+#include "src/core/run.h"
+
+namespace {
+
+laminar::SystemKind ParseSystem(const std::string& name) {
+  for (laminar::SystemKind kind : laminar::AllSystemKinds()) {
+    if (name == laminar::SystemKindName(kind)) {
+      return kind;
+    }
+  }
+  LAMINAR_LOG(kFatal) << "unknown system '" << name
+                      << "' (try: verl, one-step, stream-gen, partial-rollout, laminar)";
+  return laminar::SystemKind::kLaminar;
+}
+
+laminar::ModelScale ParseScale(const std::string& name) {
+  if (name == "7B") {
+    return laminar::ModelScale::k7B;
+  }
+  if (name == "32B") {
+    return laminar::ModelScale::k32B;
+  }
+  if (name == "72B") {
+    return laminar::ModelScale::k72B;
+  }
+  LAMINAR_LOG(kFatal) << "unknown scale '" << name << "' (7B, 32B, 72B)";
+  return laminar::ModelScale::k7B;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  laminar::Flags flags;
+  flags.Define("system", "laminar", "verl | one-step | stream-gen | partial-rollout | laminar")
+      .Define("scale", "7B", "model scale: 7B | 32B | 72B")
+      .Define("gpus", "16", "total GPUs (must match a Table-2 column)")
+      .Define("task", "math", "math | tool-calling")
+      .Define("batch", "2048", "global training batch (trajectories)")
+      .Define("warmup", "1", "warm-up iterations")
+      .Define("iters", "3", "measured iterations")
+      .Define("seed", "42", "root random seed")
+      .Define("verbose", "false", "log at INFO level")
+      .Define("csv-dir", "", "if set, export summary/series CSV files here");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+  if (flags.GetBool("verbose")) {
+    laminar::SetLogLevel(laminar::LogLevel::kInfo);
+  }
+
+  laminar::RlSystemConfig cfg;
+  cfg.system = ParseSystem(flags.GetString("system"));
+  cfg.scale = ParseScale(flags.GetString("scale"));
+  cfg.task = flags.GetString("task") == "math" ? laminar::TaskKind::kMathReasoning
+                                               : laminar::TaskKind::kToolCalling;
+  cfg.total_gpus = static_cast<int>(flags.GetInt("gpus"));
+  cfg.global_batch = static_cast<int>(flags.GetInt("batch"));
+  cfg.warmup_iterations = static_cast<int>(flags.GetInt("warmup"));
+  cfg.measure_iterations = static_cast<int>(flags.GetInt("iters"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  laminar::SystemReport rep = laminar::RunExperiment(cfg);
+  std::string csv_dir = flags.GetString("csv-dir");
+  if (!csv_dir.empty() && laminar::WriteReportCsv(rep, csv_dir)) {
+    std::printf("CSV written to %s/\n", csv_dir.c_str());
+  }
+
+  std::printf("== %s ==\n", rep.label.c_str());
+  laminar::Table t({"metric", "value"});
+  t.AddRow({"throughput (tokens/s)", laminar::Table::Int(rep.throughput_tokens_per_sec)});
+  t.AddRow({"mean iteration (s)", laminar::Table::Num(rep.mean_iteration_seconds, 1)});
+  t.AddRow({"iterations", laminar::Table::Int(rep.iterations_completed)});
+  t.AddRow({"replicas", laminar::Table::Int(rep.num_replicas)});
+  t.AddRow({"avg KV utilization", laminar::Table::Pct(rep.avg_kv_utilization)});
+  t.AddRow({"avg decode batch", laminar::Table::Num(rep.avg_decode_batch, 1)});
+  t.AddRow({"rollout busy fraction", laminar::Table::Pct(rep.rollout_busy_fraction)});
+  t.AddRow({"mean consume staleness", laminar::Table::Num(rep.mean_consume_staleness)});
+  t.AddRow({"max consume staleness", laminar::Table::Num(rep.max_consume_staleness, 0)});
+  t.AddRow({"mixed-version fraction", laminar::Table::Pct(rep.mixed_version_fraction)});
+  t.AddRow({"actor stall (s)", laminar::Table::Num(rep.actor_stall_mean_seconds)});
+  t.AddRow({"rollout wait mean (s)", laminar::Table::Num(rep.rollout_wait_mean_seconds)});
+  t.AddRow({"repack events", laminar::Table::Int(rep.repack_events)});
+  t.AddRow({"repack sources released", laminar::Table::Int(rep.repack_sources_released)});
+  t.AddRow({"final eval reward", laminar::Table::Num(rep.final_eval_reward, 3)});
+  t.AddRow({"gen fraction", laminar::Table::Pct(rep.generation_fraction)});
+  t.AddRow({"sim events", laminar::Table::Int(rep.simulated_events)});
+  t.AddRow({"sim seconds", laminar::Table::Num(rep.simulated_seconds, 0)});
+  t.AddRow({"wall seconds", laminar::Table::Num(rep.wall_seconds, 2)});
+  t.Print();
+  return 0;
+}

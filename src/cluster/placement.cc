@@ -1,0 +1,186 @@
+#include "src/cluster/placement.h"
+
+#include <array>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+namespace {
+
+struct SplitRow {
+  int total;
+  int train;
+  int rollout;
+};
+
+// Table 2, One-step Staleness and Stream Generation share a column.
+constexpr std::array<SplitRow, 5> kPipeline7B = {{
+    {16, 8, 8}, {32, 8, 24}, {64, 16, 48}, {128, 32, 96}, {256, 40, 216}}};
+constexpr std::array<SplitRow, 5> kPipeline32B = {{
+    {32, 16, 16}, {64, 32, 32}, {128, 48, 80}, {256, 64, 192}, {512, 80, 432}}};
+constexpr std::array<SplitRow, 5> kPipeline72B = {{
+    {64, 32, 32}, {128, 64, 64}, {256, 96, 160}, {512, 192, 320}, {1024, 256, 768}}};
+
+constexpr std::array<SplitRow, 5> kAreal7B = {{
+    {16, 8, 8}, {32, 16, 16}, {64, 32, 32}, {128, 64, 64}, {256, 128, 128}}};
+constexpr std::array<SplitRow, 5> kAreal32B = {{
+    {32, 16, 16}, {64, 32, 32}, {128, 64, 64}, {256, 128, 128}, {512, 256, 256}}};
+constexpr std::array<SplitRow, 5> kAreal72B = {{
+    {64, 32, 32}, {128, 64, 64}, {256, 128, 128}, {512, 320, 192}, {1024, 640, 384}}};
+
+constexpr std::array<SplitRow, 5> kLaminar7B = {{
+    {16, 8, 8}, {32, 24, 8}, {64, 40, 24}, {128, 80, 48}, {256, 192, 64}}};
+constexpr std::array<SplitRow, 5> kLaminar32B = {{
+    {32, 16, 16}, {64, 32, 32}, {128, 64, 64}, {256, 128, 128}, {512, 256, 256}}};
+constexpr std::array<SplitRow, 5> kLaminar72B = {{
+    {64, 32, 32}, {128, 64, 64}, {256, 128, 128}, {512, 320, 192}, {1024, 768, 256}}};
+
+const std::array<SplitRow, 5>& SplitTable(SystemKind system, ModelScale scale) {
+  switch (system) {
+    case SystemKind::kOneStep:
+    case SystemKind::kStreamGen:
+      switch (scale) {
+        case ModelScale::k7B:
+          return kPipeline7B;
+        case ModelScale::k32B:
+          return kPipeline32B;
+        case ModelScale::k72B:
+          return kPipeline72B;
+      }
+      break;
+    case SystemKind::kPartialRollout:
+      switch (scale) {
+        case ModelScale::k7B:
+          return kAreal7B;
+        case ModelScale::k32B:
+          return kAreal32B;
+        case ModelScale::k72B:
+          return kAreal72B;
+      }
+      break;
+    case SystemKind::kLaminar:
+      switch (scale) {
+        case ModelScale::k7B:
+          return kLaminar7B;
+        case ModelScale::k32B:
+          return kLaminar32B;
+        case ModelScale::k72B:
+          return kLaminar72B;
+      }
+      break;
+    case SystemKind::kVerlSync:
+      break;
+  }
+  LAMINAR_LOG(kFatal) << "no split table for system " << SystemKindName(system);
+  return kPipeline7B;  // unreachable
+}
+
+}  // namespace
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kVerlSync:
+      return "verl";
+    case SystemKind::kOneStep:
+      return "one-step";
+    case SystemKind::kStreamGen:
+      return "stream-gen";
+    case SystemKind::kPartialRollout:
+      return "partial-rollout";
+    case SystemKind::kLaminar:
+      return "laminar";
+  }
+  return "?";
+}
+
+std::vector<SystemKind> AllSystemKinds() {
+  return {SystemKind::kVerlSync, SystemKind::kOneStep, SystemKind::kStreamGen,
+          SystemKind::kPartialRollout, SystemKind::kLaminar};
+}
+
+const char* ModelScaleName(ModelScale scale) {
+  switch (scale) {
+    case ModelScale::k7B:
+      return "7B";
+    case ModelScale::k32B:
+      return "32B";
+    case ModelScale::k72B:
+      return "72B";
+  }
+  return "?";
+}
+
+std::string Placement::ToString() const {
+  char buf[128];
+  if (colocated) {
+    std::snprintf(buf, sizeof(buf), "%s/%s total=%d colocated", SystemKindName(system),
+                  ModelScaleName(scale), total_gpus);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s/%s total=%d train=%d rollout=%d",
+                  SystemKindName(system), ModelScaleName(scale), total_gpus, train_gpus,
+                  rollout_gpus);
+  }
+  return buf;
+}
+
+std::vector<int> PaperClusterSizes(ModelScale scale) {
+  switch (scale) {
+    case ModelScale::k7B:
+      return {16, 32, 64, 128, 256};
+    case ModelScale::k32B:
+      return {32, 64, 128, 256, 512};
+    case ModelScale::k72B:
+      return {64, 128, 256, 512, 1024};
+  }
+  return {};
+}
+
+Placement GetPaperPlacement(SystemKind system, ModelScale scale, int total_gpus) {
+  Placement p;
+  p.system = system;
+  p.scale = scale;
+  p.total_gpus = total_gpus;
+  if (system == SystemKind::kVerlSync) {
+    p.train_gpus = total_gpus;
+    p.rollout_gpus = total_gpus;
+    p.colocated = true;
+    return p;
+  }
+  for (const SplitRow& row : SplitTable(system, scale)) {
+    if (row.total == total_gpus) {
+      p.train_gpus = row.train;
+      p.rollout_gpus = row.rollout;
+      return p;
+    }
+  }
+  LAMINAR_LOG(kFatal) << "no Table-2 placement for " << SystemKindName(system) << "/"
+                      << ModelScaleName(scale) << " at " << total_gpus << " GPUs";
+  return p;
+}
+
+int RolloutTensorParallel(SystemKind system, ModelScale scale) {
+  switch (scale) {
+    case ModelScale::k32B:
+      return 4;
+    case ModelScale::k72B:
+      return 8;
+    case ModelScale::k7B:
+      return (system == SystemKind::kPartialRollout || system == SystemKind::kLaminar) ? 1 : 2;
+  }
+  return 1;
+}
+
+std::vector<Placement> AllPaperPlacements() {
+  std::vector<Placement> out;
+  for (SystemKind system : AllSystemKinds()) {
+    for (ModelScale scale : {ModelScale::k7B, ModelScale::k32B, ModelScale::k72B}) {
+      for (int total : PaperClusterSizes(scale)) {
+        out.push_back(GetPaperPlacement(system, scale, total));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace laminar

@@ -1,0 +1,58 @@
+// GPU placement configurations (paper Table 2) and system identifiers.
+//
+// For verl the placement is "colocated": every GPU alternates between
+// training and rollout within an iteration. For all disaggregated systems the
+// table records the train/rollout GPU split the paper tuned per scale.
+#ifndef LAMINAR_SRC_CLUSTER_PLACEMENT_H_
+#define LAMINAR_SRC_CLUSTER_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace laminar {
+
+// The five RL post-training systems compared in the paper's evaluation.
+enum class SystemKind {
+  kVerlSync,        // synchronous, colocated (verl v0.5.0)
+  kOneStep,         // one-step staleness pipeline
+  kStreamGen,       // stream generation (staleness bound 1)
+  kPartialRollout,  // AReaL-style partial rollout + stream generation
+  kLaminar,         // this paper
+};
+
+const char* SystemKindName(SystemKind kind);
+std::vector<SystemKind> AllSystemKinds();
+
+// Model scales evaluated.
+enum class ModelScale { k7B, k32B, k72B };
+const char* ModelScaleName(ModelScale scale);
+
+// One row of Table 2.
+struct Placement {
+  SystemKind system = SystemKind::kLaminar;
+  ModelScale scale = ModelScale::k7B;
+  int total_gpus = 0;
+  int train_gpus = 0;    // == total_gpus when colocated
+  int rollout_gpus = 0;  // == total_gpus when colocated
+  bool colocated = false;
+
+  std::string ToString() const;
+};
+
+// Returns the paper's tuned placement for (system, scale, total_gpus).
+// Aborts if the combination is not in Table 2.
+Placement GetPaperPlacement(SystemKind system, ModelScale scale, int total_gpus);
+
+// The five cluster sizes evaluated for a model scale (Figure 11 x-axis).
+std::vector<int> PaperClusterSizes(ModelScale scale);
+
+// Rollout tensor-parallel size per system/scale (Appendix A.2): TP=4 for 32B,
+// TP=8 for 72B; for 7B, TP=1 for AReaL/Laminar and TP=2 for the others.
+int RolloutTensorParallel(SystemKind system, ModelScale scale);
+
+// All Table 2 rows, for printing.
+std::vector<Placement> AllPaperPlacements();
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,85 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+Flags& Flags::Define(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  specs_[name] = Spec{default_value, help};
+  return *this;
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", Usage().c_str());
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      LAMINAR_LOG(kFatal) << "Positional arguments are not supported: " << arg;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // `--flag value` form, unless the next token is another flag or absent
+      // (then treat as boolean true).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (specs_.find(name) == specs_.end()) {
+      LAMINAR_LOG(kFatal) << "Unknown flag --" << name << "\n" << Usage();
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) {
+    return it->second;
+  }
+  auto spec = specs_.find(name);
+  LAMINAR_CHECK(spec != specs_.end()) << "Flag not defined: " << name;
+  return spec->second.default_value;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string Flags::Usage() const {
+  std::string out = "Usage: " + program_ + " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name + " (default: " + spec.default_value + ")  " + spec.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace laminar

@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for example/bench binaries.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are an error so typos fail loudly.
+#ifndef LAMINAR_SRC_COMMON_FLAGS_H_
+#define LAMINAR_SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace laminar {
+
+class Flags {
+ public:
+  // Registers a flag with a default and a help string; returns *this for
+  // chaining. Registration must precede Parse().
+  Flags& Define(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  // Parses argv; on `--help` prints usage and returns false (caller should
+  // exit 0). Aborts on unknown flags or malformed input.
+  bool Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  std::string Usage() const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::string program_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_COMMON_FLAGS_H_

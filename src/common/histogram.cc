@@ -1,0 +1,106 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+namespace {
+
+std::string RenderRows(const std::vector<size_t>& counts, size_t total, size_t max_width,
+                       const std::vector<std::pair<double, double>>& edges) {
+  size_t peak = 0;
+  for (size_t c : counts) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    size_t bar = peak == 0 ? 0 : counts[i] * max_width / peak;
+    double pct = total == 0 ? 0.0 : 100.0 * static_cast<double>(counts[i]) /
+                                        static_cast<double>(total);
+    std::snprintf(line, sizeof(line), "[%10.1f, %10.1f) %8zu %5.1f%% ", edges[i].first,
+                  edges[i].second, counts[i], pct);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_buckets)),
+      counts_(num_buckets, 0) {
+  LAMINAR_CHECK(hi > lo);
+  LAMINAR_CHECK(num_buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t i = static_cast<size_t>((x - lo_) / width_);
+  i = std::min(i, counts_.size() - 1);
+  ++counts_[i];
+}
+
+double Histogram::BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::BucketHigh(size_t i) const { return BucketLow(i) + width_; }
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  std::vector<std::pair<double, double>> edges;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    edges.emplace_back(BucketLow(i), BucketHigh(i));
+  }
+  return RenderRows(counts_, total_, max_width, edges);
+}
+
+LogHistogram::LogHistogram(double lo, double growth, size_t num_buckets)
+    : lo_(lo), growth_(growth), counts_(num_buckets, 0) {
+  LAMINAR_CHECK(lo > 0.0);
+  LAMINAR_CHECK(growth > 1.0);
+  LAMINAR_CHECK(num_buckets > 0);
+}
+
+void LogHistogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  double idx = std::log(x / lo_) / std::log(growth_);
+  if (idx >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<size_t>(idx)];
+}
+
+double LogHistogram::BucketLow(size_t i) const {
+  return lo_ * std::pow(growth_, static_cast<double>(i));
+}
+
+double LogHistogram::BucketHigh(size_t i) const { return BucketLow(i) * growth_; }
+
+std::string LogHistogram::ToAscii(size_t max_width) const {
+  std::vector<std::pair<double, double>> edges;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    edges.emplace_back(BucketLow(i), BucketHigh(i));
+  }
+  return RenderRows(counts_, total_, max_width, edges);
+}
+
+}  // namespace laminar

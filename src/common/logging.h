@@ -1,0 +1,61 @@
+// Minimal logging and invariant-checking facilities.
+//
+// The simulator is single-threaded, so no synchronization is needed. Log
+// verbosity is a process-wide level; benches default to kWarning so their
+// table output stays clean, tests and examples may raise it.
+#ifndef LAMINAR_SRC_COMMON_LOGGING_H_
+#define LAMINAR_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace laminar {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Sets/gets the process-wide minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: streams one log record and aborts on kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace laminar
+
+#define LAMINAR_LOG(level)                                                                 \
+  if (::laminar::LogLevel::level < ::laminar::GetLogLevel()) {                             \
+  } else                                                                                   \
+    ::laminar::LogMessage(::laminar::LogLevel::level, __FILE__, __LINE__).stream()
+
+// Invariant check: always on (simulation correctness depends on it), aborts
+// with file/line and the failed expression text.
+#define LAMINAR_CHECK(cond)                                                                \
+  if (cond) {                                                                              \
+  } else                                                                                   \
+    ::laminar::LogMessage(::laminar::LogLevel::kFatal, __FILE__, __LINE__).stream()        \
+        << "Check failed: " #cond " "
+
+#define LAMINAR_CHECK_GE(a, b) LAMINAR_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMINAR_CHECK_GT(a, b) LAMINAR_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMINAR_CHECK_LE(a, b) LAMINAR_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMINAR_CHECK_LT(a, b) LAMINAR_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMINAR_CHECK_EQ(a, b) LAMINAR_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMINAR_CHECK_NE(a, b) LAMINAR_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // LAMINAR_SRC_COMMON_LOGGING_H_

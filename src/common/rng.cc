@@ -1,0 +1,80 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+uint64_t HashCombine(uint64_t seed, std::string_view name) {
+  // FNV-1a over the seed bytes followed by the name bytes.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<uint8_t>(seed >> (8 * i)));
+  }
+  for (char c : name) {
+    mix(static_cast<uint8_t>(c));
+  }
+  // Avoid the all-zero seed, which weakens mt19937_64 initialization.
+  return h == 0 ? 0x9e3779b97f4a7c15ull : h;
+}
+
+Rng Rng::Fork(std::string_view name) const { return Rng(HashCombine(seed_, name)); }
+
+double Rng::Uniform() {
+  return std::generate_canonical<double, std::numeric_limits<double>::digits>(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  LAMINAR_CHECK(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+double Rng::Exponential(double rate) {
+  LAMINAR_CHECK(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::Pareto(double x_min, double alpha) {
+  LAMINAR_CHECK(x_min > 0.0 && alpha > 0.0);
+  double u = Uniform();
+  // Guard against u == 0, which would yield infinity.
+  if (u <= 0.0) {
+    u = std::numeric_limits<double>::min();
+  }
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  LAMINAR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  LAMINAR_CHECK(total > 0.0);
+  double pick = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (pick < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace laminar

@@ -1,0 +1,24 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace laminar {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  if (!is_finite()) {
+    return "+inf";
+  }
+  if (seconds_ >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fh", seconds_ / 3600.0);
+  } else if (seconds_ >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fm", seconds_ / 60.0);
+  } else if (seconds_ >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds_);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", seconds_ * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace laminar

@@ -1,0 +1,62 @@
+// Simulated-time types used throughout Laminar.
+//
+// Simulation time is a double count of seconds wrapped in a strong type so it
+// cannot be confused with byte counts, token counts, or other doubles. Event
+// ordering ties at equal times are broken by the event queue's insertion
+// sequence (see sim/event_queue.h), so exact floating-point equality between
+// events is harmless.
+#ifndef LAMINAR_SRC_COMMON_SIM_TIME_H_
+#define LAMINAR_SRC_COMMON_SIM_TIME_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace laminar {
+
+// A point in simulated time, measured in seconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double seconds) : seconds_(seconds) {}
+
+  static constexpr SimTime Zero() { return SimTime(0.0); }
+  static constexpr SimTime Max() { return SimTime(std::numeric_limits<double>::infinity()); }
+
+  constexpr double seconds() const { return seconds_; }
+  constexpr bool is_finite() const { return std::isfinite(seconds_); }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(double delta_seconds) const {
+    return SimTime(seconds_ + delta_seconds);
+  }
+  constexpr SimTime operator-(double delta_seconds) const {
+    return SimTime(seconds_ - delta_seconds);
+  }
+  // Elapsed seconds between two time points.
+  constexpr double operator-(SimTime other) const { return seconds_ - other.seconds_; }
+
+  SimTime& operator+=(double delta_seconds) {
+    seconds_ += delta_seconds;
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  double seconds_ = 0.0;
+};
+
+// Convenience duration constructors (all return plain seconds as double).
+constexpr double Seconds(double s) { return s; }
+constexpr double Milliseconds(double ms) { return ms * 1e-3; }
+constexpr double Microseconds(double us) { return us * 1e-6; }
+constexpr double Minutes(double m) { return m * 60.0; }
+constexpr double Hours(double h) { return h * 3600.0; }
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_COMMON_SIM_TIME_H_

@@ -1,0 +1,110 @@
+// Streaming and sample-based statistics used by the metrics collectors.
+#ifndef LAMINAR_SRC_COMMON_STATS_H_
+#define LAMINAR_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace laminar {
+
+// Welford-style running mean/variance with min/max, O(1) memory.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores all samples; supports exact quantiles. Suitable for the volumes the
+// simulator produces (millions of doubles at most).
+class SampleSet {
+ public:
+  void Add(double x);
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  // Quantile via linear interpolation between order statistics, q in [0, 1].
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  void Clear() { samples_.clear(); sorted_ = true; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// A (time, value) series, e.g. throughput over the course of a run.
+struct TimePoint {
+  SimTime time;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void Add(SimTime t, double value) { points_.push_back({t, value}); }
+  const std::vector<TimePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  // Mean of values whose time lies in [lo, hi). Returns 0 if none.
+  double MeanInWindow(SimTime lo, SimTime hi) const;
+  // Resamples onto fixed buckets of width `bucket_seconds`, averaging values
+  // per bucket; empty buckets carry the previous bucket's value.
+  std::vector<TimePoint> Resample(double bucket_seconds) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+// Utilization integrator: accumulates the time integral of a step function
+// (e.g. busy GPUs or KVCache occupancy) so averages over a window are exact.
+class StepIntegrator {
+ public:
+  explicit StepIntegrator(double initial_value = 0.0) : value_(initial_value) {}
+
+  // Records that the tracked quantity changed to `value` at time `t`.
+  void Set(SimTime t, double value);
+  double current() const { return value_; }
+  // Time-weighted average of the quantity over [start, t]; `t` must be >= the
+  // last Set() time.
+  double AverageUntil(SimTime t) const;
+  SimTime last_change() const { return last_time_; }
+
+ private:
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  SimTime start_ = SimTime::Zero();
+  SimTime last_time_ = SimTime::Zero();
+  bool started_ = false;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_COMMON_STATS_H_

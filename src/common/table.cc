@@ -1,0 +1,99 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  LAMINAR_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  std::string digits = buf;
+  bool negative = !digits.empty() && digits[0] == '-';
+  std::string body = negative ? digits.substr(1) : digits;
+  std::string out;
+  int count = 0;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out += ',';
+    }
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return negative ? "-" + out : out;
+}
+
+std::string Table::Factor(double v, int precision) { return Num(v, precision) + "x"; }
+
+std::string Table::Pct(double v, int precision) { return Num(v * 100.0, precision) + "%"; }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, out);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row, out);
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out += ',';
+      }
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out;
+}
+
+void Table::Print() const { std::printf("%s", ToString().c_str()); }
+
+}  // namespace laminar

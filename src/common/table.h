@@ -1,0 +1,41 @@
+// Aligned-column table printer used by the benchmark harnesses to emit the
+// paper's tables and figure series.
+#ifndef LAMINAR_SRC_COMMON_TABLE_H_
+#define LAMINAR_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace laminar {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; it must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+  // Formats with thousands separators, no decimals.
+  static std::string Int(double v);
+  // "1.23x" style factors.
+  static std::string Factor(double v, int precision = 2);
+  // "12.3%" style percentages (v is a fraction, 0.123 -> "12.3%").
+  static std::string Pct(double v, int precision = 1);
+
+  // Renders with padded columns and a header underline.
+  std::string ToString() const;
+  // Renders as CSV (no padding).
+  std::string ToCsv() const;
+  // Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_COMMON_TABLE_H_

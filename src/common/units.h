@@ -1,0 +1,27 @@
+// Byte/throughput unit helpers.
+#ifndef LAMINAR_SRC_COMMON_UNITS_H_
+#define LAMINAR_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace laminar {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+
+constexpr double GiB(double n) { return n * kGiB; }
+constexpr double MiB(double n) { return n * kMiB; }
+
+// Decimal units, used for network rates quoted in the paper (e.g. 400 Gbps).
+constexpr double kGB = 1e9;
+constexpr double GB(double n) { return n * kGB; }
+// Converts gigabits-per-second to bytes-per-second.
+constexpr double Gbps(double n) { return n * 1e9 / 8.0; }
+
+// TFLOP/s to FLOP/s.
+constexpr double Tflops(double n) { return n * 1e12; }
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_COMMON_UNITS_H_

@@ -1,0 +1,30 @@
+#include "src/core/config.h"
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+std::string RlSystemConfig::Label() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s/%s/%s/%dgpu", SystemKindName(system),
+                ModelScaleName(scale), TaskKindName(task), total_gpus);
+  return buf;
+}
+
+Placement RlSystemConfig::ResolvePlacement() const {
+  if (train_gpus > 0 && rollout_gpus > 0) {
+    Placement p;
+    p.system = system;
+    p.scale = scale;
+    p.total_gpus = total_gpus;
+    p.train_gpus = train_gpus;
+    p.rollout_gpus = rollout_gpus;
+    p.colocated = system == SystemKind::kVerlSync;
+    return p;
+  }
+  return GetPaperPlacement(system, scale, total_gpus);
+}
+
+}  // namespace laminar

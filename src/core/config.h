@@ -1,0 +1,145 @@
+// Experiment configuration and result report shared by every system driver.
+#ifndef LAMINAR_SRC_CORE_CONFIG_H_
+#define LAMINAR_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/hardware.h"
+#include "src/cluster/placement.h"
+#include "src/common/stats.h"
+#include "src/policy/policy.h"
+#include "src/trainer/trainer.h"
+#include "src/workload/generator.h"
+
+namespace laminar {
+
+enum class SamplerKind { kFifo, kFreshness, kStalenessCapped };
+
+struct RlSystemConfig {
+  SystemKind system = SystemKind::kLaminar;
+  ModelScale scale = ModelScale::k7B;
+  TaskKind task = TaskKind::kMathReasoning;
+  int total_gpus = 16;
+  // When zero, train/rollout GPUs come from the paper's Table 2.
+  int train_gpus = 0;
+  int rollout_gpus = 0;
+
+  // RL settings (paper §8 "Settings" and Table 3).
+  int global_batch = 8192;
+  int group_size = 16;
+  int num_minibatches = 16;
+  RlAlgorithm algorithm = RlAlgorithm::kGrpo;
+  // Per-rollout concurrency cap (1024 throughput runs / 256 convergence).
+  int max_concurrency = 1024;
+  // Trajectories per replica assignment cycle; 0 = auto (global batch spread
+  // over the replicas, clamped to max_concurrency).
+  int per_replica_batch = 0;
+  // Completed-but-unconsumed trajectory cap before generation throttles
+  // (asynchronous systems); 0 = auto (2 global batches).
+  int64_t backlog_cap = 0;
+  SamplerKind sampler = SamplerKind::kFifo;
+  int staleness_cap = 4;  // for SamplerKind::kStalenessCapped
+
+  // Laminar knobs.
+  bool repack_enabled = true;
+  double repack_period_seconds = 5.0;
+  bool repack_static_threshold = false;  // ablation detector
+  int repack_static_threshold_requests = 8;
+  // Appendix-C extension: graft partial rollout onto Laminar — in-flight
+  // trajectories adopt each new version as soon as their local relay has it,
+  // paying KV recomputation and producing mixed-version trajectories.
+  bool laminar_partial_rollout = false;
+
+  // Workload knobs.
+  bool length_drift = false;
+
+  // verl colocation switch cost between generation and training phases.
+  double colocate_switch_seconds = 6.0;
+
+  // Run control. The paper warms up 10 iterations and measures 5; the
+  // simulator defaults are smaller so full sweeps stay cheap, and tests for
+  // determinism use exact seeds.
+  int warmup_iterations = 2;
+  int measure_iterations = 3;
+  double max_sim_seconds = 200000.0;
+  double sample_period_seconds = 10.0;
+  uint64_t seed = 42;
+
+  std::string Label() const;
+  Placement ResolvePlacement() const;
+};
+
+struct SystemReport {
+  std::string label;
+  SystemKind system = SystemKind::kLaminar;
+  int total_gpus = 0;
+  int train_gpus = 0;
+  int rollout_gpus = 0;
+  int num_replicas = 0;
+
+  // Headline metric: (prompt+response) tokens per global batch divided by
+  // the RL iteration duration, averaged over the measured iterations.
+  double throughput_tokens_per_sec = 0.0;
+  double mean_iteration_seconds = 0.0;
+  int iterations_completed = 0;
+
+  // Breakdown (meaningful for lockstep systems).
+  double generation_fraction = 0.0;
+  double train_fraction = 0.0;
+
+  // Staleness.
+  double mean_consume_staleness = 0.0;
+  double max_consume_staleness = 0.0;
+  double mean_inherent_staleness = 0.0;
+  double max_inherent_staleness = 0.0;
+  double mixed_version_fraction = 0.0;
+
+  // Weight synchronization.
+  double actor_stall_mean_seconds = 0.0;
+  double rollout_wait_mean_seconds = 0.0;
+  double rollout_wait_best_seconds = 0.0;
+  double rollout_wait_p99_seconds = 0.0;
+
+  // Rollout engine.
+  double avg_kv_utilization = 0.0;
+  double avg_decode_batch = 0.0;
+  double rollout_busy_fraction = 0.0;
+  double mean_traj_seconds = 0.0;
+  double max_traj_seconds = 0.0;
+
+  // Rollout engine aggregates.
+  int64_t total_decode_tokens = 0;
+  int64_t total_prefill_tokens = 0;
+  int64_t total_preemptions = 0;
+
+  // Repack.
+  int64_t repack_events = 0;
+  int64_t repack_sources_released = 0;
+  int64_t repack_trajectories_migrated = 0;
+  double repack_overhead_mean_seconds = 0.0;
+
+  // Convergence.
+  double final_eval_reward = 0.0;
+  TimeSeries reward_series;       // eval reward vs wall-clock
+  TimeSeries train_reward_series; // batch mean reward vs wall-clock
+
+  // Timelines (Figures 15/16).
+  TimeSeries generation_rate;  // decode tokens/s sampled periodically
+  TimeSeries training_rate;    // consumed tokens/s per iteration
+  TimeSeries buffer_depth;     // experience-buffer size sampled periodically
+
+  // Figure 10: (finish time, inherent staleness) pairs.
+  std::vector<std::pair<double, int>> staleness_samples;
+
+  // Bookkeeping.
+  std::vector<IterationStats> iterations;
+  uint64_t simulated_events = 0;
+  double simulated_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_CORE_CONFIG_H_

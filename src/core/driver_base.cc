@@ -1,0 +1,321 @@
+#include "src/core/driver_base.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/llm/model_spec.h"
+
+namespace laminar {
+
+DriverBase::DriverBase(RlSystemConfig config)
+    : cfg_(config), placement_(config.ResolvePlacement()), model_(ModelForScale(config.scale)),
+      root_rng_(config.seed), score_rng_(root_rng_.Fork("score")) {
+  rollout_tp_ = RolloutTensorParallel(cfg_.system, cfg_.scale);
+
+  WorkloadConfig wl;
+  wl.task = cfg_.task;
+  wl.scale = cfg_.scale;
+  wl.length_drift = cfg_.length_drift;
+  prompts_ = std::make_unique<PromptPool>(
+      WorkloadGenerator(wl, root_rng_.Fork("workload")), cfg_.group_size,
+      root_rng_.Fork("prompts"));
+
+  std::unique_ptr<SamplerPolicy> sampler;
+  switch (cfg_.sampler) {
+    case SamplerKind::kFifo:
+      sampler = MakeFifoSampler();
+      break;
+    case SamplerKind::kFreshness:
+      sampler = MakeFreshnessSampler();
+      break;
+    case SamplerKind::kStalenessCapped:
+      sampler = MakeStalenessCappedSampler(cfg_.staleness_cap);
+      break;
+  }
+  buffer_ = std::make_unique<ExperienceBuffer>(std::move(sampler));
+
+  PolicyConfig pc;
+  policy_ = std::make_unique<Policy>(pc);
+}
+
+int DriverBase::NumRolloutMachines() const {
+  int gpus = placement_.colocated ? placement_.total_gpus : placement_.rollout_gpus;
+  return (gpus + machine_spec_.gpus_per_machine - 1) / machine_spec_.gpus_per_machine;
+}
+
+int DriverBase::ResolvedPerReplicaBatch(int num_replicas) const {
+  (void)num_replicas;
+  int per = cfg_.per_replica_batch > 0 ? cfg_.per_replica_batch : cfg_.max_concurrency;
+  // Whole GRPO groups only.
+  per = per / cfg_.group_size * cfg_.group_size;
+  return std::max(per, cfg_.group_size);
+}
+
+int64_t DriverBase::ResolvedBacklogCap() const {
+  return cfg_.backlog_cap > 0 ? cfg_.backlog_cap : 2LL * cfg_.global_batch;
+}
+
+int DriverBase::RooflineBound() const {
+  DecodeModel decode(model_, machine_spec_, rollout_tp_);
+  double avg_ctx = prompts_->generator().ExpectedTotalTokens() * 0.6;
+  int bound = decode.RooflineBatchBound(avg_ctx, 1.5);
+  return std::clamp(bound, 8, cfg_.max_concurrency);
+}
+
+void DriverBase::BuildReplicas(int num_replicas, int tensor_parallel, int machine_offset,
+                               double gpu_memory_utilization) {
+  LAMINAR_CHECK_GT(num_replicas, 0);
+  DecodeModel decode(model_, machine_spec_, tensor_parallel);
+  double kv_capacity = decode.KvCapacityTokens(gpu_memory_utilization);
+  for (int i = 0; i < num_replicas; ++i) {
+    ReplicaConfig rc;
+    rc.id = i;
+    rc.machine = machine_offset +
+                 i * tensor_parallel / machine_spec_.gpus_per_machine;
+    rc.max_concurrency = cfg_.max_concurrency;
+    rc.kv_transfer_bandwidth = machine_spec_.rdma_flow_bandwidth;
+    auto replica = std::make_unique<RolloutReplica>(&sim_, rc, decode, kv_capacity);
+    replica_ptrs_.push_back(replica.get());
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+int DriverBase::MegatronPipelineParallel() const {
+  // Appendix A.2: Megatron PP sizes per model scale (1 / 2 / 4).
+  switch (cfg_.scale) {
+    case ModelScale::k7B:
+      return 1;
+    case ModelScale::k32B:
+      return 2;
+    case ModelScale::k72B:
+      return 4;
+  }
+  return 1;
+}
+
+void DriverBase::BuildTrainer(TrainerMode mode, bool auto_continue, TrainBackend backend) {
+  int pp = backend == TrainBackend::kMegatron ? MegatronPipelineParallel() : 1;
+  train_cost_ = std::make_unique<TrainCostModel>(model_, machine_spec_.gpu,
+                                                 placement_.train_gpus, backend, pp);
+  if (cfg_.algorithm == RlAlgorithm::kDecoupledPpo) {
+    // Decoupled PPO evaluates a third log-prob set (the proximal policy) on
+    // top of the reference and behaviour forwards.
+    train_cost_->set_flops_multiplier(1.2);
+  }
+  TrainerConfig tc;
+  tc.global_batch = cfg_.global_batch;
+  tc.num_minibatches = cfg_.num_minibatches;
+  tc.mode = mode;
+  tc.algorithm = cfg_.algorithm;
+  tc.auto_continue = auto_continue;
+  trainer_ = std::make_unique<Trainer>(&sim_, tc, *train_cost_, buffer_.get(), policy_.get());
+  trainer_->set_on_iteration([this](const IterationStats& stats) {
+    double duration = stats.completed - prev_iteration_end_;
+    prev_iteration_end_ = stats.completed;
+    if (duration > 0.0) {
+      train_rate_.Add(stats.completed, stats.tokens / duration);
+    }
+    reward_series_.Add(stats.completed, policy_->EvalExpectedReward());
+    train_reward_series_.Add(stats.completed, stats.mean_reward);
+    OnIteration(stats);
+  });
+}
+
+void DriverBase::WireCompletion() {
+  for (RolloutReplica* r : replica_ptrs_) {
+    r->set_on_progress([this](const TrajectoryWork& work, int replica_id) {
+      partial_pool_.Update(work, replica_id);
+    });
+    r->set_on_complete([this](TrajectoryRecord record) {
+      record.finish_actor_version = trainer_ ? trainer_->version() : 0;
+      policy_->ScoreTrajectory(record, score_rng_);
+      partial_pool_.Remove(record.id);
+      if (staleness_samples_.size() < 500000) {
+        staleness_samples_.emplace_back(record.finished.seconds(),
+                                        record.inherent_staleness());
+      }
+      inherent_staleness_all_.Add(static_cast<double>(record.inherent_staleness()));
+      traj_durations_.Add(record.finished - record.created);
+      buffer_->Push(std::move(record));
+      trainer_->NotifyData();
+    });
+  }
+}
+
+std::vector<TrajectoryWork> DriverBase::MakeWorkBatch(int num_trajectories,
+                                                      int weight_version) {
+  std::vector<TrajectoryRecord> records = prompts_->NextBatch(num_trajectories, weight_version);
+  std::vector<TrajectoryWork> works;
+  works.reserve(records.size());
+  for (TrajectoryRecord& rec : records) {
+    rec.created = sim_.Now();
+    TrajectoryWork w;
+    w.record = std::move(rec);
+    w.InitContext();
+    works.push_back(std::move(w));
+  }
+  return works;
+}
+
+std::vector<std::vector<TrajectoryWork>> DriverBase::MakeGlobalBatchChunks(
+    int weight_version) {
+  int num_replicas = static_cast<int>(replica_ptrs_.size());
+  std::vector<TrajectoryWork> all = MakeWorkBatch(cfg_.global_batch, weight_version);
+  std::vector<std::vector<TrajectoryWork>> chunks(num_replicas);
+  // Deal whole groups round-robin, mirroring verl's static DP sharding.
+  int num_groups = cfg_.global_batch / cfg_.group_size;
+  for (int g = 0; g < num_groups; ++g) {
+    int target = g % num_replicas;
+    for (int k = 0; k < cfg_.group_size; ++k) {
+      chunks[target].push_back(std::move(all[g * cfg_.group_size + k]));
+    }
+  }
+  return chunks;
+}
+
+double DriverBase::GlobalSyncSeconds() const {
+  GlobalSyncModel sync;
+  sync.weight_bytes = model_.weight_bytes();
+  return sync.SyncSeconds(placement_.total_gpus);
+}
+
+void DriverBase::SampleRates() {
+  int64_t total = 0;
+  for (const RolloutReplica* r : replica_ptrs_) {
+    total += r->metrics().decode_tokens;
+  }
+  double dt = sim_.Now() - last_rate_sample_;
+  if (dt > 0.0) {
+    gen_rate_.Add(sim_.Now(), static_cast<double>(total - last_gen_tokens_) / dt);
+  }
+  last_gen_tokens_ = total;
+  last_rate_sample_ = sim_.Now();
+  buffer_depth_.Add(sim_.Now(), static_cast<double>(buffer_->size()));
+}
+
+SystemReport DriverBase::Run() {
+  auto wall_start = std::chrono::steady_clock::now();
+  Setup();
+  LAMINAR_CHECK(!replica_ptrs_.empty());
+  LAMINAR_CHECK(trainer_ != nullptr);
+  WireCompletion();
+  rate_task_ = std::make_unique<PeriodicTask>(&sim_, cfg_.sample_period_seconds,
+                                              [this] { SampleRates(); });
+  rate_task_->Start();
+  last_rate_sample_ = sim_.Now();
+  prev_iteration_end_ = sim_.Now();
+  Begin();
+
+  int target = cfg_.warmup_iterations + cfg_.measure_iterations;
+  bool done = sim_.RunUntilTrue([&] {
+    return static_cast<int>(trainer_->iterations().size()) >= target ||
+           sim_.Now().seconds() > cfg_.max_sim_seconds;
+  });
+  if (!done) {
+    LAMINAR_LOG(kWarning) << cfg_.Label() << ": simulation drained before " << target
+                          << " iterations (" << trainer_->iterations().size()
+                          << " completed)";
+  }
+  rate_task_->Stop();
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return AssembleReport(wall);
+}
+
+SystemReport DriverBase::AssembleReport(double wall_seconds) {
+  SystemReport rep;
+  rep.label = cfg_.Label();
+  rep.system = cfg_.system;
+  rep.total_gpus = placement_.total_gpus;
+  rep.train_gpus = placement_.train_gpus;
+  rep.rollout_gpus = placement_.rollout_gpus;
+  rep.num_replicas = static_cast<int>(replica_ptrs_.size());
+  rep.iterations = trainer_->iterations();
+  rep.iterations_completed = static_cast<int>(rep.iterations.size());
+  rep.simulated_events = sim_.executed_events();
+  rep.simulated_seconds = sim_.Now().seconds();
+  rep.wall_seconds = wall_seconds;
+
+  // Throughput over measured iterations (duration between consecutive actor
+  // update completions).
+  size_t first = static_cast<size_t>(cfg_.warmup_iterations);
+  double tokens = 0.0;
+  double duration = 0.0;
+  for (size_t i = first; i < rep.iterations.size(); ++i) {
+    SimTime prev_end = i == 0 ? SimTime::Zero() : rep.iterations[i - 1].completed;
+    tokens += rep.iterations[i].tokens;
+    duration += rep.iterations[i].completed - prev_end;
+  }
+  if (duration > 0.0) {
+    rep.throughput_tokens_per_sec = tokens / duration;
+    rep.mean_iteration_seconds =
+        duration / static_cast<double>(rep.iterations.size() - first);
+  }
+
+  double phase_total =
+      generation_phase_seconds_ + training_phase_seconds_ + other_phase_seconds_;
+  if (phase_total > 0.0) {
+    rep.generation_fraction = generation_phase_seconds_ / phase_total;
+    rep.train_fraction = training_phase_seconds_ / phase_total;
+  }
+
+  const SampleSet& consume = trainer_->consume_staleness();
+  if (!consume.empty()) {
+    rep.mean_consume_staleness = consume.mean();
+    rep.max_consume_staleness = consume.max();
+  }
+  if (!inherent_staleness_all_.empty()) {
+    rep.mean_inherent_staleness = inherent_staleness_all_.mean();
+    rep.max_inherent_staleness = inherent_staleness_all_.max();
+  }
+  double mixed = 0.0;
+  for (const IterationStats& it : rep.iterations) {
+    mixed += it.mixed_version_fraction;
+  }
+  if (!rep.iterations.empty()) {
+    rep.mixed_version_fraction = mixed / static_cast<double>(rep.iterations.size());
+  }
+
+  if (!actor_stall_seconds_.empty()) {
+    rep.actor_stall_mean_seconds = actor_stall_seconds_.mean();
+  }
+  if (!rollout_wait_seconds_.empty()) {
+    rep.rollout_wait_mean_seconds = rollout_wait_seconds_.mean();
+    rep.rollout_wait_best_seconds = rollout_wait_seconds_.min();
+    rep.rollout_wait_p99_seconds = rollout_wait_seconds_.Quantile(0.99);
+  }
+
+  double kv_sum = 0.0;
+  double batch_sum = 0.0;
+  double busy_sum = 0.0;
+  for (const RolloutReplica* r : replica_ptrs_) {
+    kv_sum += r->metrics().kv_used_tokens.AverageUntil(sim_.Now()) / r->kv_capacity_tokens();
+    batch_sum += r->metrics().batch_size.AverageUntil(sim_.Now());
+    busy_sum += r->metrics().busy.AverageUntil(sim_.Now());
+    rep.total_decode_tokens += r->metrics().decode_tokens;
+    rep.total_prefill_tokens += r->metrics().prefill_tokens;
+    rep.total_preemptions += r->metrics().preemptions;
+  }
+  double n_rep = static_cast<double>(replica_ptrs_.size());
+  rep.avg_kv_utilization = kv_sum / n_rep;
+  rep.avg_decode_batch = batch_sum / n_rep;
+  rep.rollout_busy_fraction = busy_sum / n_rep;
+  if (!traj_durations_.empty()) {
+    rep.mean_traj_seconds = traj_durations_.mean();
+    rep.max_traj_seconds = traj_durations_.max();
+  }
+
+  rep.final_eval_reward = policy_->EvalExpectedReward();
+  rep.reward_series = reward_series_;
+  rep.train_reward_series = train_reward_series_;
+  rep.generation_rate = gen_rate_;
+  rep.training_rate = train_rate_;
+  rep.buffer_depth = buffer_depth_;
+  rep.staleness_samples = staleness_samples_;
+
+  Finalize(rep);
+  return rep;
+}
+
+}  // namespace laminar

@@ -1,0 +1,125 @@
+// Shared infrastructure for the five RL system drivers.
+//
+// A driver owns one simulated RL post-training job: the cluster, the rollout
+// replicas, the data module, the policy and the trainer. Subclasses differ
+// only in orchestration — how generation, training and weight synchronization
+// depend on each other — which is exactly the paper's comparison axis.
+#ifndef LAMINAR_SRC_CORE_DRIVER_BASE_H_
+#define LAMINAR_SRC_CORE_DRIVER_BASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/data/experience_buffer.h"
+#include "src/data/partial_response_pool.h"
+#include "src/data/prompt_pool.h"
+#include "src/llm/decode_model.h"
+#include "src/llm/train_cost.h"
+#include "src/relay/weight_sync.h"
+#include "src/rollout/replica.h"
+#include "src/sim/simulator.h"
+#include "src/trainer/trainer.h"
+
+namespace laminar {
+
+class DriverBase {
+ public:
+  explicit DriverBase(RlSystemConfig config);
+  virtual ~DriverBase() = default;
+  DriverBase(const DriverBase&) = delete;
+  DriverBase& operator=(const DriverBase&) = delete;
+
+  // Builds, runs and reports one experiment.
+  SystemReport Run();
+
+  Simulator& sim() { return sim_; }
+  Trainer& trainer() { return *trainer_; }
+  const RlSystemConfig& config() const { return cfg_; }
+  const Placement& placement() const { return placement_; }
+
+ protected:
+  // System-specific wiring (replicas, relays, publish_fn, callbacks).
+  virtual void Setup() = 0;
+  // Kicks off generation/training.
+  virtual void Begin() = 0;
+  // Lets subclasses add their own report fields.
+  virtual void Finalize(SystemReport& report) { (void)report; }
+  // Called after every trainer iteration (before auto-continue logic).
+  virtual void OnIteration(const IterationStats& stats) { (void)stats; }
+
+  // Builders used by Setup() ---------------------------------------------------
+  // Creates `num_replicas` rollout replicas of `tensor_parallel` GPUs each;
+  // machine ids start at `machine_offset` with 8 GPUs per machine.
+  // `gpu_memory_utilization` is the fraction of GPU memory the serving
+  // engine may use: ~0.9 disaggregated, much lower when colocated with the
+  // training framework (resident FSDP state squeezes the KVCache).
+  void BuildReplicas(int num_replicas, int tensor_parallel, int machine_offset = 0,
+                     double gpu_memory_utilization = 0.90);
+  void BuildTrainer(TrainerMode mode, bool auto_continue, TrainBackend backend);
+  int MegatronPipelineParallel() const;
+  // Wires completion/progress callbacks on all replicas (score + buffer push).
+  void WireCompletion();
+
+  // Creates one global batch of fresh work, split into per-replica chunks of
+  // whole GRPO groups (static sharding, as verl-family systems do).
+  std::vector<std::vector<TrajectoryWork>> MakeGlobalBatchChunks(int weight_version);
+  std::vector<TrajectoryWork> MakeWorkBatch(int num_trajectories, int weight_version);
+
+  // The GPU-direct global synchronization cost for baselines.
+  double GlobalSyncSeconds() const;
+
+  int NumRolloutMachines() const;
+  int ResolvedPerReplicaBatch(int num_replicas) const;
+  int64_t ResolvedBacklogCap() const;
+  int RooflineBound() const;
+
+  // Data/state ------------------------------------------------------------------
+  RlSystemConfig cfg_;
+  Placement placement_;
+  Simulator sim_;
+  ModelSpec model_;
+  MachineSpec machine_spec_;
+  Rng root_rng_;
+  Rng score_rng_;
+  int rollout_tp_ = 1;
+
+  std::unique_ptr<PromptPool> prompts_;
+  PartialResponsePool partial_pool_;
+  std::unique_ptr<ExperienceBuffer> buffer_;
+  std::unique_ptr<Policy> policy_;
+  std::unique_ptr<TrainCostModel> train_cost_;
+  std::unique_ptr<Trainer> trainer_;
+  std::vector<std::unique_ptr<RolloutReplica>> replicas_;
+  std::vector<RolloutReplica*> replica_ptrs_;
+
+  // Lockstep drivers report their phase split here (Figure 1b).
+  double generation_phase_seconds_ = 0.0;
+  double training_phase_seconds_ = 0.0;
+  double other_phase_seconds_ = 0.0;
+
+  // Rollout waiting-time samples for systems not using the relay tier.
+  SampleSet rollout_wait_seconds_;
+  SampleSet actor_stall_seconds_;
+
+ private:
+  void SampleRates();
+  SystemReport AssembleReport(double wall_seconds);
+
+  TimeSeries gen_rate_;
+  TimeSeries train_rate_;
+  TimeSeries buffer_depth_;
+  TimeSeries reward_series_;
+  TimeSeries train_reward_series_;
+  SampleSet traj_durations_;
+  std::vector<std::pair<double, int>> staleness_samples_;
+  SampleSet inherent_staleness_all_;
+  int64_t last_gen_tokens_ = 0;
+  SimTime last_rate_sample_;
+  SimTime prev_iteration_end_;
+  std::unique_ptr<PeriodicTask> rate_task_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_CORE_DRIVER_BASE_H_

@@ -1,0 +1,113 @@
+#include "src/core/laminar_system.h"
+
+#include "src/common/logging.h"
+#include "src/relay/broadcast_model.h"
+
+namespace laminar {
+
+void LaminarSystem::Setup() {
+  LAMINAR_CHECK(!placement_.colocated);
+  int num_replicas = placement_.rollout_gpus / rollout_tp_;
+  BuildReplicas(num_replicas, rollout_tp_, /*machine_offset=*/0);
+
+  RelayTierConfig relay_cfg;
+  relay_cfg.num_relays = NumRolloutMachines();
+  relay_cfg.weight_bytes = model_.weight_bytes();
+  // The chain uses two of the machine's eight 400 Gbps NICs per hop, which
+  // reproduces the paper's <1.6 s broadcast of 72B weights to 127 relays.
+  relay_cfg.rdma_bandwidth = 2.0 * machine_spec_.rdma_flow_bandwidth;
+  relay_cfg.rdma_startup = machine_spec_.rdma_startup_latency;
+  relay_cfg.pcie_bandwidth = machine_spec_.pcie_bandwidth;
+  relays_ = std::make_unique<RelayTier>(&sim_, relay_cfg);
+
+  BuildTrainer(TrainerMode::kFullBatch, /*auto_continue=*/true, TrainBackend::kFsdp);
+
+  RolloutManagerConfig mgr_cfg;
+  mgr_cfg.repack_enabled = cfg_.repack_enabled;
+  mgr_cfg.use_static_threshold = cfg_.repack_static_threshold;
+  mgr_cfg.static_threshold_requests = cfg_.repack_static_threshold_requests;
+  mgr_cfg.repack_period_seconds = cfg_.repack_period_seconds;
+  mgr_cfg.repack.batch_bound = RooflineBound();
+  mgr_cfg.per_replica_batch = ResolvedPerReplicaBatch(num_replicas);
+  mgr_cfg.backlog_cap = ResolvedBacklogCap();
+  manager_ = std::make_unique<RolloutManager>(&sim_, mgr_cfg, replica_ptrs_, relays_.get(),
+                                              prompts_.get(), &partial_pool_);
+  manager_->set_backlog_fn([this] { return static_cast<int64_t>(buffer_->size()); });
+  for (RolloutReplica* r : replica_ptrs_) {
+    r->set_on_batch_done([this](RolloutReplica* replica) { manager_->OnBatchDone(replica); });
+  }
+
+  // The trainer hands new weights to the master relay (sub-second stall) and
+  // keeps training; the broadcast chain propagates in the background. The
+  // publish-triggered repack fires once the broadcast has landed on the
+  // relays, so the replicas it releases find the new weights already cached.
+  BroadcastParams bc;
+  bc.message_bytes = relay_cfg.weight_bytes;
+  bc.byte_time = 1.0 / relay_cfg.rdma_bandwidth;
+  bc.startup_time = relay_cfg.rdma_startup;
+  double distribution_delay = relay_cfg.weight_bytes / relay_cfg.actor_push_bandwidth +
+                              relay_cfg.reshard_seconds +
+                              OptimalBroadcastTime(bc, relay_cfg.num_relays) + 0.1;
+  trainer_->set_publish_fn([this, distribution_delay](int version) {
+    double stall = relays_->Publish(version);
+    sim_.ScheduleAfter(distribution_delay,
+                       [this, version] { manager_->OnActorPublish(version); });
+    if (cfg_.laminar_partial_rollout) {
+      ApplyPartialRollout(version);
+    }
+    return stall;
+  });
+
+  heartbeats_ = std::make_unique<HeartbeatMonitor>(
+      &sim_, /*period=*/1.0, /*miss_threshold=*/2,
+      [this](int machine) { manager_->OnMachineFailure(machine); });
+  for (int m = 0; m < NumRolloutMachines(); ++m) {
+    heartbeats_->Register(m);
+  }
+}
+
+void LaminarSystem::ApplyPartialRollout(int version) {
+  // Every replica still generating under an older version switches to the
+  // new weights as soon as its local relay can serve them: the in-flight
+  // trajectories continue (mixed-version) after a full KV recomputation.
+  for (RolloutReplica* r : replica_ptrs_) {
+    if (r->phase() != ReplicaPhase::kGenerating || r->weight_version() >= version) {
+      continue;
+    }
+    int machine = r->config().machine;
+    int tp = r->decode_model().tensor_parallel();
+    relays_->PullLatest(machine, tp, r->weight_version(), [r](int got, double /*wait*/) {
+      if (r->phase() == ReplicaPhase::kGenerating && r->weight_version() < got) {
+        r->Pause();
+        r->Resume(got, /*recompute_kv=*/true);
+      }
+    });
+  }
+}
+
+void LaminarSystem::Begin() {
+  heartbeats_->Start();
+  manager_->Start();
+  trainer_->Start();
+}
+
+void LaminarSystem::Finalize(SystemReport& report) {
+  const SampleSet& pulls = relays_->pull_wait_seconds();
+  if (!pulls.empty()) {
+    report.rollout_wait_mean_seconds = pulls.mean();
+    report.rollout_wait_best_seconds = pulls.min();
+    report.rollout_wait_p99_seconds = pulls.Quantile(0.99);
+  }
+  if (!relays_->actor_stall_seconds().empty()) {
+    report.actor_stall_mean_seconds = relays_->actor_stall_seconds().mean();
+  }
+  const RolloutManagerStats& ms = manager_->stats();
+  report.repack_events = ms.repack_events;
+  report.repack_sources_released = ms.sources_released;
+  report.repack_trajectories_migrated = ms.trajectories_migrated;
+  if (!ms.repack_overhead_seconds.empty()) {
+    report.repack_overhead_mean_seconds = ms.repack_overhead_seconds.mean();
+  }
+}
+
+}  // namespace laminar

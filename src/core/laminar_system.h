@@ -1,0 +1,41 @@
+// The full Laminar system (paper §3): trajectory-level asynchrony via the
+// relay tier, the rollout manager with dynamic repack, the partial-response
+// pool, and an asynchronous trainer.
+#ifndef LAMINAR_SRC_CORE_LAMINAR_SYSTEM_H_
+#define LAMINAR_SRC_CORE_LAMINAR_SYSTEM_H_
+
+#include <memory>
+
+#include "src/core/driver_base.h"
+#include "src/fault/heartbeat.h"
+#include "src/relay/relay_tier.h"
+#include "src/rollout/manager.h"
+
+namespace laminar {
+
+class LaminarSystem : public DriverBase {
+ public:
+  explicit LaminarSystem(RlSystemConfig config) : DriverBase(config) {}
+
+  // Exposed for fault-injection benches and tests.
+  RelayTier* relays() { return relays_.get(); }
+  RolloutManager* manager() { return manager_.get(); }
+  HeartbeatMonitor* heartbeats() { return heartbeats_.get(); }
+
+ protected:
+  void Setup() override;
+  void Begin() override;
+  void Finalize(SystemReport& report) override;
+
+ private:
+  // Appendix-C hybrid: mid-generation weight adoption on top of Laminar.
+  void ApplyPartialRollout(int version);
+
+  std::unique_ptr<RelayTier> relays_;
+  std::unique_ptr<RolloutManager> manager_;
+  std::unique_ptr<HeartbeatMonitor> heartbeats_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_CORE_LAMINAR_SYSTEM_H_

@@ -1,0 +1,141 @@
+#include "src/core/report_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string SafeLabel(const SystemReport& report) {
+  std::string label = report.label;
+  for (char& c : label) {
+    if (c == '/') {
+      c = '-';
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string ReportSummaryCsv(const SystemReport& report) {
+  std::string out = "metric,value\n";
+  auto row = [&out](const std::string& k, double v) { out += k + "," + Num(v) + "\n"; };
+  out += "label," + report.label + "\n";
+  row("total_gpus", report.total_gpus);
+  row("train_gpus", report.train_gpus);
+  row("rollout_gpus", report.rollout_gpus);
+  row("num_replicas", report.num_replicas);
+  row("throughput_tokens_per_sec", report.throughput_tokens_per_sec);
+  row("mean_iteration_seconds", report.mean_iteration_seconds);
+  row("iterations_completed", report.iterations_completed);
+  row("generation_fraction", report.generation_fraction);
+  row("train_fraction", report.train_fraction);
+  row("mean_consume_staleness", report.mean_consume_staleness);
+  row("max_consume_staleness", report.max_consume_staleness);
+  row("mean_inherent_staleness", report.mean_inherent_staleness);
+  row("max_inherent_staleness", report.max_inherent_staleness);
+  row("mixed_version_fraction", report.mixed_version_fraction);
+  row("actor_stall_mean_seconds", report.actor_stall_mean_seconds);
+  row("rollout_wait_mean_seconds", report.rollout_wait_mean_seconds);
+  row("avg_kv_utilization", report.avg_kv_utilization);
+  row("avg_decode_batch", report.avg_decode_batch);
+  row("rollout_busy_fraction", report.rollout_busy_fraction);
+  row("repack_events", static_cast<double>(report.repack_events));
+  row("repack_sources_released", static_cast<double>(report.repack_sources_released));
+  row("repack_overhead_mean_seconds", report.repack_overhead_mean_seconds);
+  row("final_eval_reward", report.final_eval_reward);
+  row("simulated_seconds", report.simulated_seconds);
+  row("simulated_events", static_cast<double>(report.simulated_events));
+  return out;
+}
+
+std::string IterationsCsv(const SystemReport& report) {
+  std::string out =
+      "version,started_s,completed_s,data_wait_s,train_s,publish_stall_s,tokens,"
+      "mean_reward,mean_consume_staleness,max_consume_staleness,mixed_fraction,"
+      "clip_fraction\n";
+  for (const IterationStats& it : report.iterations) {
+    out += Num(it.version) + "," + Num(it.started.seconds()) + "," +
+           Num(it.completed.seconds()) + "," + Num(it.data_wait_seconds) + "," +
+           Num(it.train_seconds) + "," + Num(it.publish_stall_seconds) + "," +
+           Num(it.tokens) + "," + Num(it.mean_reward) + "," +
+           Num(it.mean_consume_staleness) + "," + Num(it.max_consume_staleness) + "," +
+           Num(it.mixed_version_fraction) + "," + Num(it.clip_fraction) + "\n";
+  }
+  return out;
+}
+
+std::string SeriesCsv(const SystemReport& report, double bucket_seconds) {
+  auto gen = report.generation_rate.Resample(bucket_seconds);
+  auto buf = report.buffer_depth.Resample(bucket_seconds);
+  std::string out = "time_s,generation_tokens_per_sec,buffer_depth,training_tokens_per_sec,"
+                    "eval_reward\n";
+  size_t n = std::max(gen.size(), buf.size());
+  auto value_at = [](const TimeSeries& series, double t) {
+    double v = 0.0;
+    for (const TimePoint& p : series.points()) {
+      if (p.time.seconds() <= t) {
+        v = p.value;
+      } else {
+        break;
+      }
+    }
+    return v;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) * bucket_seconds;
+    double g = i < gen.size() ? gen[i].value : 0.0;
+    double b = i < buf.size() ? buf[i].value : 0.0;
+    out += Num(t) + "," + Num(g) + "," + Num(b) + "," +
+           Num(value_at(report.training_rate, t)) + "," +
+           Num(value_at(report.reward_series, t)) + "\n";
+  }
+  return out;
+}
+
+std::string StalenessCsv(const SystemReport& report) {
+  std::string out = "finish_time_s,inherent_staleness\n";
+  for (const auto& [t, s] : report.staleness_samples) {
+    out += Num(t) + "," + Num(s) + "\n";
+  }
+  return out;
+}
+
+bool WriteReportCsv(const SystemReport& report, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    LAMINAR_LOG(kError) << "cannot create " << directory << ": " << ec.message();
+    return false;
+  }
+  std::string base = directory + "/" + SafeLabel(report);
+  struct File {
+    const char* suffix;
+    std::string content;
+  };
+  File files[] = {{"_summary.csv", ReportSummaryCsv(report)},
+                  {"_iterations.csv", IterationsCsv(report)},
+                  {"_series.csv", SeriesCsv(report)},
+                  {"_staleness.csv", StalenessCsv(report)}};
+  for (const File& f : files) {
+    std::ofstream out(base + f.suffix);
+    if (!out) {
+      LAMINAR_LOG(kError) << "cannot write " << base << f.suffix;
+      return false;
+    }
+    out << f.content;
+  }
+  return true;
+}
+
+}  // namespace laminar

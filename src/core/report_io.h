@@ -1,0 +1,32 @@
+// Serialization of SystemReport results to CSV, for plotting and offline
+// analysis of simulation runs.
+#ifndef LAMINAR_SRC_CORE_REPORT_IO_H_
+#define LAMINAR_SRC_CORE_REPORT_IO_H_
+
+#include <string>
+
+#include "src/core/config.h"
+
+namespace laminar {
+
+// Writes the report's headline metrics as a two-column CSV.
+std::string ReportSummaryCsv(const SystemReport& report);
+
+// Writes one row per iteration: version, timings, reward, staleness.
+std::string IterationsCsv(const SystemReport& report);
+
+// Writes the time series (generation rate, training rate, buffer depth,
+// eval reward) resampled onto a common bucket grid.
+std::string SeriesCsv(const SystemReport& report, double bucket_seconds = 30.0);
+
+// Writes (finish_time, inherent_staleness) pairs (Figure 10's raw data).
+std::string StalenessCsv(const SystemReport& report);
+
+// Writes all four files into `directory` (created if needed), named
+// <label>_{summary,iterations,series,staleness}.csv with '/' replaced by '-'.
+// Returns false (with a log message) on I/O failure.
+bool WriteReportCsv(const SystemReport& report, const std::string& directory);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_CORE_REPORT_IO_H_

@@ -1,0 +1,29 @@
+#include "src/core/run.h"
+
+#include "src/core/laminar_system.h"
+#include "src/core/partial_rollout_system.h"
+#include "src/core/pipeline_system.h"
+#include "src/core/sync_system.h"
+
+namespace laminar {
+
+std::unique_ptr<DriverBase> MakeDriver(const RlSystemConfig& config) {
+  switch (config.system) {
+    case SystemKind::kVerlSync:
+      return std::make_unique<SyncSystem>(config);
+    case SystemKind::kOneStep:
+    case SystemKind::kStreamGen:
+      return std::make_unique<PipelineSystem>(config);
+    case SystemKind::kPartialRollout:
+      return std::make_unique<PartialRolloutSystem>(config);
+    case SystemKind::kLaminar:
+      return std::make_unique<LaminarSystem>(config);
+  }
+  return nullptr;
+}
+
+SystemReport RunExperiment(const RlSystemConfig& config) {
+  return MakeDriver(config)->Run();
+}
+
+}  // namespace laminar

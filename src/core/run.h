@@ -1,0 +1,20 @@
+// Experiment entry point: builds the right driver for a config and runs it.
+#ifndef LAMINAR_SRC_CORE_RUN_H_
+#define LAMINAR_SRC_CORE_RUN_H_
+
+#include <memory>
+
+#include "src/core/config.h"
+#include "src/core/driver_base.h"
+
+namespace laminar {
+
+// Instantiates the driver matching `config.system`.
+std::unique_ptr<DriverBase> MakeDriver(const RlSystemConfig& config);
+
+// One-shot: build, run, report.
+SystemReport RunExperiment(const RlSystemConfig& config);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_CORE_RUN_H_

@@ -1,0 +1,33 @@
+// verl-style synchronous, colocated system (paper baseline 1, Figure 3a).
+//
+// Every GPU alternates between rollout and training duty within an RL
+// iteration: generate the full global batch (paying the long-tail wait),
+// context-switch the engines, train, switch back. Weight "synchronization"
+// is the in-place reshard during the switch.
+#ifndef LAMINAR_SRC_CORE_SYNC_SYSTEM_H_
+#define LAMINAR_SRC_CORE_SYNC_SYSTEM_H_
+
+#include "src/core/driver_base.h"
+
+namespace laminar {
+
+class SyncSystem : public DriverBase {
+ public:
+  explicit SyncSystem(RlSystemConfig config) : DriverBase(config) {}
+
+ protected:
+  void Setup() override;
+  void Begin() override;
+  void OnIteration(const IterationStats& stats) override;
+
+ private:
+  void StartGeneration();
+  void OnReplicaBatchDone();
+
+  int outstanding_replicas_ = 0;
+  SimTime generation_started_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_CORE_SYNC_SYSTEM_H_

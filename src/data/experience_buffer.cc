@@ -1,0 +1,137 @@
+#include "src/data/experience_buffer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+namespace {
+
+class FifoSampler : public SamplerPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+  std::vector<size_t> Pick(const std::deque<TrajectoryRecord>& buffer, size_t n,
+                           int /*actor_version*/) override {
+    LAMINAR_CHECK_GE(buffer.size(), n);
+    std::vector<size_t> out(n);
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+  }
+};
+
+class FreshnessSampler : public SamplerPolicy {
+ public:
+  const char* name() const override { return "freshness"; }
+  std::vector<size_t> Pick(const std::deque<TrajectoryRecord>& buffer, size_t n,
+                           int /*actor_version*/) override {
+    LAMINAR_CHECK_GE(buffer.size(), n);
+    std::vector<size_t> idx(buffer.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&buffer](size_t a, size_t b) {
+      return buffer[a].generation_version() > buffer[b].generation_version();
+    });
+    idx.resize(n);
+    return idx;
+  }
+};
+
+class StalenessCappedSampler : public SamplerPolicy {
+ public:
+  explicit StalenessCappedSampler(int bound) : bound_(bound) {}
+  const char* name() const override { return "staleness-capped"; }
+  std::vector<size_t> Pick(const std::deque<TrajectoryRecord>& buffer, size_t n,
+                           int actor_version) override {
+    LAMINAR_CHECK_GE(buffer.size(), n);
+    std::vector<size_t> fresh;
+    std::vector<size_t> stale;
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      int staleness = actor_version - buffer[i].generation_version();
+      (staleness <= bound_ ? fresh : stale).push_back(i);
+      if (fresh.size() == n) {
+        break;
+      }
+    }
+    // Fall back onto stale data if fresh data alone cannot fill the batch.
+    for (size_t i = 0; fresh.size() < n && i < stale.size(); ++i) {
+      fresh.push_back(stale[i]);
+    }
+    std::sort(fresh.begin(), fresh.end());
+    fresh.resize(n);
+    return fresh;
+  }
+
+ private:
+  int bound_;
+};
+
+}  // namespace
+
+std::unique_ptr<SamplerPolicy> MakeFifoSampler() { return std::make_unique<FifoSampler>(); }
+
+std::unique_ptr<SamplerPolicy> MakeFreshnessSampler() {
+  return std::make_unique<FreshnessSampler>();
+}
+
+std::unique_ptr<SamplerPolicy> MakeStalenessCappedSampler(int bound) {
+  return std::make_unique<StalenessCappedSampler>(bound);
+}
+
+ExperienceBuffer::ExperienceBuffer(std::unique_ptr<SamplerPolicy> sampler, size_t capacity,
+                                   EvictionPolicy eviction)
+    : sampler_(std::move(sampler)), capacity_(capacity), eviction_(eviction) {
+  LAMINAR_CHECK(sampler_ != nullptr);
+}
+
+void ExperienceBuffer::Push(TrajectoryRecord record) {
+  tokens_pushed_ += record.total_tokens();
+  ++pushed_;
+  buffer_.push_back(std::move(record));
+  EvictIfNeeded();
+}
+
+void ExperienceBuffer::EvictIfNeeded() {
+  if (eviction_ == EvictionPolicy::kNone || capacity_ == 0) {
+    return;
+  }
+  while (buffer_.size() > capacity_) {
+    if (eviction_ == EvictionPolicy::kDropOldest) {
+      buffer_.pop_front();
+    } else {
+      auto it = std::min_element(buffer_.begin(), buffer_.end(),
+                                 [](const TrajectoryRecord& a, const TrajectoryRecord& b) {
+                                   return a.generation_version() < b.generation_version();
+                                 });
+      buffer_.erase(it);
+    }
+    ++evicted_;
+  }
+}
+
+std::vector<TrajectoryRecord> ExperienceBuffer::Sample(size_t n, int actor_version) {
+  LAMINAR_CHECK(CanSample(n)) << "buffer has " << buffer_.size() << ", need " << n;
+  std::vector<size_t> picked = sampler_->Pick(buffer_, n, actor_version);
+  LAMINAR_CHECK_EQ(picked.size(), n);
+  std::vector<TrajectoryRecord> out;
+  out.reserve(n);
+  // Remove back-to-front so earlier indices stay valid.
+  std::vector<size_t> sorted = picked;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    LAMINAR_CHECK_NE(sorted[i], sorted[i - 1]) << "sampler returned duplicate index";
+  }
+  for (size_t idx : picked) {
+    TrajectoryRecord rec = buffer_[idx];
+    rec.consume_actor_version = actor_version;
+    out.push_back(std::move(rec));
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    buffer_.erase(buffer_.begin() + static_cast<int64_t>(*it));
+  }
+  sampled_ += static_cast<int64_t>(n);
+  return out;
+}
+
+const char* ExperienceBuffer::sampler_name() const { return sampler_->name(); }
+
+}  // namespace laminar

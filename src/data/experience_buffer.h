@@ -1,0 +1,85 @@
+// Experience buffer: completed trajectories awaiting trainer consumption
+// (paper §3.1). Interaction happens through a writer (rollouts push) and a
+// sampler (trainer pulls); both sampling strategy and eviction strategy are
+// pluggable, mirroring the paper's "flexible APIs".
+#ifndef LAMINAR_SRC_DATA_EXPERIENCE_BUFFER_H_
+#define LAMINAR_SRC_DATA_EXPERIENCE_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/data/trajectory.h"
+
+namespace laminar {
+
+class ExperienceBuffer;
+
+// Strategy deciding which buffered trajectories the trainer consumes next.
+class SamplerPolicy {
+ public:
+  virtual ~SamplerPolicy() = default;
+  virtual const char* name() const = 0;
+  // Picks `n` indices into `buffer` (which has >= n entries). Indices must be
+  // unique; picked entries are removed by the buffer afterwards.
+  virtual std::vector<size_t> Pick(const std::deque<TrajectoryRecord>& buffer, size_t n,
+                                   int actor_version) = 0;
+};
+
+// Oldest-first (the paper's default for Laminar and AReaL).
+std::unique_ptr<SamplerPolicy> MakeFifoSampler();
+// Freshest-first by generation version, FIFO within a version. Reduces
+// consume-time staleness at the cost of starving old data.
+std::unique_ptr<SamplerPolicy> MakeFreshnessSampler();
+// FIFO, but skips trajectories whose consume staleness would exceed `bound`
+// ... unless too few remain, in which case it falls back to FIFO.
+std::unique_ptr<SamplerPolicy> MakeStalenessCappedSampler(int bound);
+
+enum class EvictionPolicy {
+  kNone,        // unbounded buffer
+  kDropOldest,  // bounded: discard the oldest experience on overflow
+  kDropStalest, // bounded: discard the lowest generation version on overflow
+};
+
+class ExperienceBuffer {
+ public:
+  explicit ExperienceBuffer(std::unique_ptr<SamplerPolicy> sampler,
+                            size_t capacity = 0,
+                            EvictionPolicy eviction = EvictionPolicy::kNone);
+
+  // Writer API -------------------------------------------------------------
+  void Push(TrajectoryRecord record);
+
+  // Sampler API ------------------------------------------------------------
+  bool CanSample(size_t n) const { return buffer_.size() >= n; }
+  // Removes and returns `n` trajectories chosen by the sampler policy,
+  // stamping consume_actor_version. Requires CanSample(n).
+  std::vector<TrajectoryRecord> Sample(size_t n, int actor_version);
+
+  // Introspection ----------------------------------------------------------
+  size_t size() const { return buffer_.size(); }
+  int64_t total_pushed() const { return pushed_; }
+  int64_t total_sampled() const { return sampled_; }
+  int64_t total_evicted() const { return evicted_; }
+  int64_t total_tokens_pushed() const { return tokens_pushed_; }
+  const std::deque<TrajectoryRecord>& contents() const { return buffer_; }
+  const char* sampler_name() const;
+
+ private:
+  void EvictIfNeeded();
+
+  std::unique_ptr<SamplerPolicy> sampler_;
+  size_t capacity_;
+  EvictionPolicy eviction_;
+  std::deque<TrajectoryRecord> buffer_;
+  int64_t pushed_ = 0;
+  int64_t sampled_ = 0;
+  int64_t evicted_ = 0;
+  int64_t tokens_pushed_ = 0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_DATA_EXPERIENCE_BUFFER_H_

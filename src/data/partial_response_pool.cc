@@ -1,0 +1,37 @@
+#include "src/data/partial_response_pool.h"
+
+namespace laminar {
+
+void PartialResponsePool::Update(const TrajectoryWork& work, int owner_replica) {
+  Entry& e = entries_[work.record.id];
+  e.work = work;
+  e.owner_replica = owner_replica;
+  ++updates_;
+}
+
+bool PartialResponsePool::Remove(TrajId id) { return entries_.erase(id) > 0; }
+
+std::vector<TrajectoryWork> PartialResponsePool::TakeByReplica(int replica) {
+  std::vector<TrajectoryWork> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owner_replica == replica) {
+      TrajectoryWork work = it->second.work;
+      work.kv_resident = false;
+      out.push_back(std::move(work));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+int64_t PartialResponsePool::total_context_tokens() const {
+  int64_t total = 0;
+  for (const auto& [id, entry] : entries_) {
+    total += entry.work.context_tokens;
+  }
+  return total;
+}
+
+}  // namespace laminar

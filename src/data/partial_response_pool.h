@@ -1,0 +1,49 @@
+// Partial-response pool: central, CPU-resident store of in-progress
+// trajectory state (paper §3.1, step 2 of the workflow).
+//
+// Rollouts stream progress here so that a machine failure loses no work: the
+// rollout manager redirects the interrupted TrajectoryWork items to healthy
+// replicas, which re-prefill the saved context and continue decoding.
+#ifndef LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
+#define LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/trajectory.h"
+
+namespace laminar {
+
+class PartialResponsePool {
+ public:
+  // Records/overwrites the saved state for a trajectory. `owner_replica`
+  // identifies which replica currently generates it.
+  void Update(const TrajectoryWork& work, int owner_replica);
+
+  // Removes a completed/aborted trajectory. Returns true if it was present.
+  bool Remove(TrajId id);
+
+  // All in-progress work owned by `replica`, e.g. everything lost when its
+  // machine dies. The returned copies have kv_resident=false (the cache died
+  // with the machine).
+  std::vector<TrajectoryWork> TakeByReplica(int replica);
+
+  bool Contains(TrajId id) const { return entries_.count(id) > 0; }
+  size_t size() const { return entries_.size(); }
+  int64_t updates() const { return updates_; }
+  // Total context tokens held (a proxy for the pool's memory footprint).
+  int64_t total_context_tokens() const;
+
+ private:
+  struct Entry {
+    TrajectoryWork work;
+    int owner_replica = -1;
+  };
+  std::unordered_map<TrajId, Entry> entries_;
+  int64_t updates_ = 0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_

@@ -1,0 +1,43 @@
+#include "src/data/prompt_pool.h"
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+PromptPool::PromptPool(WorkloadGenerator generator, int group_size, Rng rng)
+    : generator_(std::move(generator)), group_size_(group_size), rng_(rng) {
+  LAMINAR_CHECK_GT(group_size_, 0);
+}
+
+std::vector<TrajectoryRecord> PromptPool::NextGroup(int weight_version) {
+  std::vector<TrajectoryRecord> group;
+  group.reserve(group_size_);
+  int64_t prompt_id = next_prompt_id_++;
+  double difficulty = rng_.Uniform();
+  for (int g = 0; g < group_size_; ++g) {
+    TrajectoryRecord rec;
+    rec.id = next_traj_id_++;
+    rec.prompt_id = prompt_id;
+    rec.group_index = g;
+    rec.difficulty = difficulty;
+    rec.spec = generator_.Sample(weight_version);
+    group.push_back(std::move(rec));
+  }
+  return group;
+}
+
+std::vector<TrajectoryRecord> PromptPool::NextBatch(int num_trajectories, int weight_version) {
+  LAMINAR_CHECK_EQ(num_trajectories % group_size_, 0)
+      << "batch must be a whole number of GRPO groups";
+  std::vector<TrajectoryRecord> batch;
+  batch.reserve(num_trajectories);
+  for (int i = 0; i < num_trajectories / group_size_; ++i) {
+    auto group = NextGroup(weight_version);
+    for (auto& rec : group) {
+      batch.push_back(std::move(rec));
+    }
+  }
+  return batch;
+}
+
+}  // namespace laminar

@@ -1,0 +1,115 @@
+// Trajectory records and in-progress work state.
+//
+// A TrajectoryRecord is the durable description of one trajectory: its
+// generation plan, the policy version(s) that produced it, its reward and
+// its timing. TrajectoryWork wraps a record with generation progress; it is
+// the unit that moves between rollout replicas (repack, failure redirect)
+// and is checkpointed in the partial-response pool.
+#ifndef LAMINAR_SRC_DATA_TRAJECTORY_H_
+#define LAMINAR_SRC_DATA_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/workload/trajectory_spec.h"
+
+namespace laminar {
+
+using TrajId = int64_t;
+constexpr TrajId kInvalidTrajId = -1;
+
+struct TrajectoryRecord {
+  TrajId id = kInvalidTrajId;
+  int64_t prompt_id = -1;
+  int group_index = 0;  // index within the prompt's GRPO group
+  TrajectorySpec spec;
+
+  // Policy versions used across the trajectory's lifetime. A single entry for
+  // ordinary generation; multiple entries when partial rollout switched
+  // weights mid-generation (the paper's "mixed-version" pathology).
+  std::vector<int> weight_versions;
+
+  // Outcome (filled by the reward function at completion).
+  double reward = 0.0;
+  // Probability the generating policy assigned to the sampled outcome; used
+  // for importance ratios in the policy update (src/policy).
+  double behavior_prob = 0.0;
+  double difficulty = 0.5;
+  bool success = false;
+
+  SimTime created = SimTime::Zero();
+  SimTime finished = SimTime::Zero();
+  // Actor version at the moment generation finished: the paper's inherent
+  // staleness is finish_actor_version - generation version (§6).
+  int finish_actor_version = 0;
+  int consume_actor_version = 0;
+
+  int generation_version() const {
+    return weight_versions.empty() ? 0 : weight_versions.front();
+  }
+  int latest_version() const {
+    return weight_versions.empty() ? 0 : weight_versions.back();
+  }
+  bool mixed_version() const {
+    for (size_t i = 1; i < weight_versions.size(); ++i) {
+      if (weight_versions[i] != weight_versions[0]) {
+        return true;
+      }
+    }
+    return false;
+  }
+  int num_versions() const {
+    int n = weight_versions.empty() ? 0 : 1;
+    for (size_t i = 1; i < weight_versions.size(); ++i) {
+      if (weight_versions[i] != weight_versions[i - 1]) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  int inherent_staleness() const { return finish_actor_version - generation_version(); }
+  int consume_staleness() const { return consume_actor_version - generation_version(); }
+  // Prompt + response + env feedback tokens: the paper's throughput metric
+  // counts all of them.
+  int64_t total_tokens() const { return spec.total_context_tokens(); }
+};
+
+// Generation progress for an in-flight trajectory.
+struct TrajectoryWork {
+  TrajectoryRecord record;
+  int segment_index = 0;
+  int64_t decoded_in_segment = 0;
+  // Tokens currently in context (prompt + everything decoded + feedback so far).
+  int64_t context_tokens = 0;
+  // True while the context is materialized in some replica's KVCache. A work
+  // item that lost its cache (preemption, migration, failure) must re-prefill
+  // `context_tokens` before decoding resumes.
+  bool kv_resident = false;
+
+  void InitContext() { context_tokens = record.spec.prompt_tokens; }
+
+  bool finished() const {
+    return segment_index >= static_cast<int>(record.spec.segments.size());
+  }
+  const TrajectorySegment& current_segment() const {
+    return record.spec.segments[segment_index];
+  }
+  int64_t remaining_in_segment() const {
+    return current_segment().decode_tokens - decoded_in_segment;
+  }
+  int64_t remaining_decode_tokens() const {
+    if (finished()) {
+      return 0;
+    }
+    int64_t n = remaining_in_segment();
+    for (size_t i = segment_index + 1; i < record.spec.segments.size(); ++i) {
+      n += record.spec.segments[i].decode_tokens;
+    }
+    return n;
+  }
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_DATA_TRAJECTORY_H_

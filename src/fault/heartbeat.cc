@@ -1,0 +1,53 @@
+#include "src/fault/heartbeat.h"
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+HeartbeatMonitor::HeartbeatMonitor(Simulator* sim, double period, int miss_threshold,
+                                   FailureHandler on_failure)
+    : sim_(sim), period_(period), miss_threshold_(miss_threshold),
+      on_failure_(std::move(on_failure)) {
+  LAMINAR_CHECK_GT(period_, 0.0);
+  LAMINAR_CHECK_GT(miss_threshold_, 0);
+  sweep_ = std::make_unique<PeriodicTask>(sim_, period_, [this] { Sweep(); });
+}
+
+void HeartbeatMonitor::Start() { sweep_->Start(); }
+
+void HeartbeatMonitor::Stop() { sweep_->Stop(); }
+
+void HeartbeatMonitor::Register(int node) {
+  nodes_[node] = Node{true, false, sim_->Now()};
+}
+
+void HeartbeatMonitor::MarkDead(int node) {
+  auto it = nodes_.find(node);
+  LAMINAR_CHECK(it != nodes_.end());
+  it->second.beating = false;
+}
+
+void HeartbeatMonitor::Revive(int node) {
+  nodes_[node] = Node{true, false, sim_->Now()};
+}
+
+bool HeartbeatMonitor::IsMonitored(int node) const { return nodes_.count(node) > 0; }
+
+void HeartbeatMonitor::Sweep() {
+  SimTime now = sim_->Now();
+  for (auto& [id, node] : nodes_) {
+    if (node.beating) {
+      node.last_beat = now;  // healthy nodes beat at least once per sweep
+      continue;
+    }
+    if (!node.reported && now - node.last_beat > period_ * miss_threshold_) {
+      node.reported = true;
+      ++failures_reported_;
+      if (on_failure_) {
+        on_failure_(id);
+      }
+    }
+  }
+}
+
+}  // namespace laminar

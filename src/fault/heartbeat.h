@@ -1,0 +1,56 @@
+// Heartbeat-based failure detection (paper §3.3, §4.3).
+//
+// Monitored nodes beat every `period`; the monitor sweeps at the same period
+// and reports any node whose last beat is older than `period * miss_threshold`.
+// Detection latency is therefore bounded by (miss_threshold + 1) periods.
+#ifndef LAMINAR_SRC_FAULT_HEARTBEAT_H_
+#define LAMINAR_SRC_FAULT_HEARTBEAT_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/sim/simulator.h"
+
+namespace laminar {
+
+class HeartbeatMonitor {
+ public:
+  using FailureHandler = std::function<void(int node)>;
+
+  HeartbeatMonitor(Simulator* sim, double period, int miss_threshold,
+                   FailureHandler on_failure);
+
+  // Registers a node and starts its beats.
+  void Register(int node);
+  // The node's process dies: beats stop; the sweep will notice.
+  void MarkDead(int node);
+  // A replacement comes up; beats resume and the node is monitored again.
+  void Revive(int node);
+  void Start();
+  void Stop();
+
+  bool IsMonitored(int node) const;
+  int64_t failures_reported() const { return failures_reported_; }
+
+ private:
+  void Sweep();
+
+  struct Node {
+    bool beating = true;
+    bool reported = false;
+    SimTime last_beat;
+  };
+
+  Simulator* sim_;
+  double period_;
+  int miss_threshold_;
+  FailureHandler on_failure_;
+  std::unordered_map<int, Node> nodes_;
+  std::unique_ptr<PeriodicTask> sweep_;
+  int64_t failures_reported_ = 0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_FAULT_HEARTBEAT_H_

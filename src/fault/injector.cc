@@ -1,0 +1,58 @@
+#include "src/fault/injector.h"
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRolloutMachine:
+      return "rollout-machine";
+    case FaultKind::kRelayProcess:
+      return "relay-process";
+    case FaultKind::kMasterRelay:
+      return "master-relay";
+    case FaultKind::kTrainerWorker:
+      return "trainer-worker";
+  }
+  return "?";
+}
+
+void FaultInjector::Schedule(const FaultEvent& event) {
+  sim_->ScheduleAt(SimTime(event.at_seconds), [this, event] { Fire(event); });
+}
+
+void FaultInjector::ScheduleAll(const std::vector<FaultEvent>& events) {
+  for (const FaultEvent& e : events) {
+    Schedule(e);
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  ++injected_;
+  LAMINAR_LOG(kInfo) << "injecting fault " << FaultKindName(event.kind) << " target="
+                     << event.target << " at t=" << sim_->Now().seconds();
+  switch (event.kind) {
+    case FaultKind::kRolloutMachine:
+      LAMINAR_CHECK(heartbeats_ != nullptr);
+      heartbeats_->MarkDead(event.target);
+      break;
+    case FaultKind::kRelayProcess:
+      if (on_relay_fault_) {
+        on_relay_fault_(event.target);
+      }
+      break;
+    case FaultKind::kMasterRelay:
+      if (on_master_fault_) {
+        on_master_fault_();
+      }
+      break;
+    case FaultKind::kTrainerWorker:
+      if (on_trainer_fault_) {
+        on_trainer_fault_();
+      }
+      break;
+  }
+}
+
+}  // namespace laminar

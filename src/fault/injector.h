@@ -1,0 +1,60 @@
+// Scripted fault injection for robustness experiments (paper §8.5).
+#ifndef LAMINAR_SRC_FAULT_INJECTOR_H_
+#define LAMINAR_SRC_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/fault/heartbeat.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+
+enum class FaultKind {
+  kRolloutMachine,  // whole machine dies: replicas + relay
+  kRelayProcess,    // only the relay worker process dies
+  kMasterRelay,     // the relay currently acting as master dies
+  kTrainerWorker,   // a trainer worker dies (checkpoint recovery)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  double at_seconds = 0.0;
+  FaultKind kind = FaultKind::kRolloutMachine;
+  int target = 0;  // machine index where applicable
+};
+
+// Routes scripted faults either through a HeartbeatMonitor (machine faults,
+// detected after missed beats) or directly to handlers (process faults whose
+// peers see the broken connection instantly, per §4.3).
+class FaultInjector {
+ public:
+  explicit FaultInjector(Simulator* sim) : sim_(sim) {}
+
+  void set_heartbeats(HeartbeatMonitor* monitor) { heartbeats_ = monitor; }
+  void set_on_relay_fault(std::function<void(int machine)> fn) {
+    on_relay_fault_ = std::move(fn);
+  }
+  void set_on_master_fault(std::function<void()> fn) { on_master_fault_ = std::move(fn); }
+  void set_on_trainer_fault(std::function<void()> fn) { on_trainer_fault_ = std::move(fn); }
+
+  void Schedule(const FaultEvent& event);
+  void ScheduleAll(const std::vector<FaultEvent>& events);
+
+  int64_t injected() const { return injected_; }
+
+ private:
+  void Fire(const FaultEvent& event);
+
+  Simulator* sim_;
+  HeartbeatMonitor* heartbeats_ = nullptr;
+  std::function<void(int)> on_relay_fault_;
+  std::function<void()> on_master_fault_;
+  std::function<void()> on_trainer_fault_;
+  int64_t injected_ = 0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_FAULT_INJECTOR_H_

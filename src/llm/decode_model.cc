@@ -1,0 +1,98 @@
+#include "src/llm/decode_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+DecodeModel::DecodeModel(ModelSpec model, MachineSpec machine, int tensor_parallel)
+    : model_(std::move(model)), machine_(std::move(machine)), tp_(tensor_parallel) {
+  LAMINAR_CHECK_GT(tp_, 0);
+  LAMINAR_CHECK_LE(tp_, machine_.gpus_per_machine);
+}
+
+double DecodeModel::MemoryTime(int batch, double avg_context_tokens) const {
+  // Each GPU streams its weight shard once per step plus its share of every
+  // running sequence's KV. Shards are read in parallel, so per-GPU traffic is
+  // the step's critical path.
+  double weight_read = model_.weight_bytes() / tp_;
+  double kv_read = static_cast<double>(batch) * avg_context_tokens *
+                   model_.kv_bytes_per_token() / tp_;
+  return (weight_read + kv_read) / machine_.gpu.effective_hbm_at_batch(batch);
+}
+
+double DecodeModel::ComputeTime(int batch, double avg_context_tokens) const {
+  double flops_per_token = model_.forward_flops_per_token() +
+                           model_.attention_flops_per_token(avg_context_tokens);
+  double flops = static_cast<double>(batch) * flops_per_token;
+  return flops / (tp_ * machine_.gpu.peak_flops_bf16 * machine_.gpu.decode_flops_efficiency);
+}
+
+double DecodeModel::TpCommTime(int batch) const {
+  if (tp_ == 1) {
+    return 0.0;
+  }
+  // Two ring all-reduces per layer over the activations of the whole batch.
+  double bytes_per_allreduce =
+      static_cast<double>(batch) * model_.hidden_size * model_.bytes_per_param;
+  double ring_factor = 2.0 * (tp_ - 1) / static_cast<double>(tp_);
+  double transfer = bytes_per_allreduce * ring_factor / machine_.nvlink_bandwidth;
+  // Per-all-reduce launch latency dominates for the tiny decode activations.
+  constexpr double kAllReduceLaunch = 8.0e-6;
+  return 2.0 * model_.num_layers * (transfer + kAllReduceLaunch);
+}
+
+double DecodeModel::KernelOverhead() const {
+  // CPU-side scheduling (serving-engine step overhead) plus per-layer
+  // kernel launches.
+  constexpr double kPerLayer = 12.0e-6;
+  constexpr double kFixed = 1000.0e-6;
+  return kFixed + kPerLayer * model_.num_layers;
+}
+
+double DecodeModel::StepLatency(int batch, double avg_context_tokens) const {
+  LAMINAR_CHECK_GE(batch, 0);
+  if (batch == 0) {
+    return 0.0;
+  }
+  double mem = MemoryTime(batch, avg_context_tokens);
+  double compute = ComputeTime(batch, avg_context_tokens);
+  return std::max(mem, compute) + TpCommTime(batch) + KernelOverhead();
+}
+
+double DecodeModel::PrefillLatency(double tokens) const {
+  if (tokens <= 0.0) {
+    return 0.0;
+  }
+  double flops = tokens * model_.forward_flops_per_token();
+  double compute =
+      flops / (tp_ * machine_.gpu.peak_flops_bf16 * machine_.gpu.prefill_flops_efficiency);
+  return compute + KernelOverhead();
+}
+
+int DecodeModel::RooflineBatchBound(double avg_context_tokens, double slack) const {
+  LAMINAR_CHECK_GE(slack, 1.0);
+  // Memory-bound side: the weight-shard read is a fixed cost per step.
+  double weight_read = model_.weight_bytes() / tp_ / machine_.gpu.effective_hbm();
+  // Compute side grows linearly with the batch.
+  double flops_per_seq = model_.forward_flops_per_token() +
+                         model_.attention_flops_per_token(avg_context_tokens);
+  double compute_per_seq =
+      flops_per_seq / (tp_ * machine_.gpu.peak_flops_bf16 * machine_.gpu.decode_flops_efficiency);
+  int bound = static_cast<int>(slack * weight_read / compute_per_seq);
+  return std::max(bound, 1);
+}
+
+double DecodeModel::KvCapacityTokens(double gpu_memory_utilization,
+                                     double activation_reserve_bytes) const {
+  double per_gpu_budget = machine_.gpu.memory_bytes * gpu_memory_utilization -
+                          model_.weight_bytes() / tp_ - activation_reserve_bytes;
+  LAMINAR_CHECK_GT(per_gpu_budget, 0.0)
+      << model_.name << " does not fit on " << tp_ << " GPUs";
+  double total_budget = per_gpu_budget * tp_;
+  return total_budget / model_.kv_bytes_per_token();
+}
+
+}  // namespace laminar

@@ -1,0 +1,62 @@
+// Roofline latency model for auto-regressive decoding (paper Figure 4, §5.2).
+//
+// One decode step reads the weight shard plus every running sequence's
+// KVCache from HBM and performs ~2*P FLOPs per sequence. Decoding is
+// memory-bound until the batch is large enough that compute catches up; the
+// crossover batch size is the roofline bound B used by the repack algorithm.
+// Tensor parallelism shards both weights and KV heads across `tp` GPUs but
+// adds per-layer all-reduce traffic over NVLink.
+#ifndef LAMINAR_SRC_LLM_DECODE_MODEL_H_
+#define LAMINAR_SRC_LLM_DECODE_MODEL_H_
+
+#include "src/cluster/hardware.h"
+#include "src/llm/model_spec.h"
+
+namespace laminar {
+
+class DecodeModel {
+ public:
+  DecodeModel(ModelSpec model, MachineSpec machine, int tensor_parallel);
+
+  // Latency of one decode step (one new token for each of `batch` running
+  // sequences whose mean context length is `avg_context_tokens`).
+  double StepLatency(int batch, double avg_context_tokens) const;
+
+  // Memory-traffic component of the step (weights + KV reads), seconds.
+  double MemoryTime(int batch, double avg_context_tokens) const;
+  // Compute component of the step, seconds.
+  double ComputeTime(int batch, double avg_context_tokens) const;
+  // Tensor-parallel all-reduce cost per step, seconds (0 for tp == 1).
+  double TpCommTime(int batch) const;
+  // Fixed kernel-launch/scheduling overhead per step, seconds.
+  double KernelOverhead() const;
+
+  // Time to prefill `tokens` of prompt/context (compute-bound), seconds.
+  // Used for prompt processing, partial-rollout KV recomputation, and
+  // trajectory migration during repack.
+  double PrefillLatency(double tokens) const;
+
+  // The roofline batch bound B (paper §5.2): the batch size at which one
+  // decode step transitions from memory-bound (dominated by the fixed
+  // weight-shard read) to compute-bound (per-sequence FLOPs). Up to B,
+  // adding sequences is ~free; beyond it, latency grows with the batch.
+  // `slack` scales the bound (>1 tolerates a mild latency increase).
+  int RooflineBatchBound(double avg_context_tokens, double slack = 1.0) const;
+
+  // Total KVCache capacity of a replica, in tokens (GPU memory minus weights
+  // and an activation reserve, across all tp GPUs).
+  double KvCapacityTokens(double gpu_memory_utilization = 0.90,
+                          double activation_reserve_bytes = 2.0e9) const;
+
+  const ModelSpec& model() const { return model_; }
+  int tensor_parallel() const { return tp_; }
+
+ private:
+  ModelSpec model_;
+  MachineSpec machine_;
+  int tp_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_LLM_DECODE_MODEL_H_

@@ -1,0 +1,62 @@
+#include "src/llm/model_spec.h"
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+ModelSpec Qwen25_7B() {
+  ModelSpec m;
+  m.name = "Qwen2.5-7B";
+  m.num_params = 7.62e9;
+  m.num_layers = 28;
+  m.hidden_size = 3584;
+  m.num_heads = 28;
+  m.num_kv_heads = 4;
+  m.head_dim = 128;
+  m.intermediate_size = 18944;
+  m.vocab_size = 152064;
+  return m;
+}
+
+ModelSpec Qwen25_32B() {
+  ModelSpec m;
+  m.name = "Qwen2.5-32B";
+  m.num_params = 32.8e9;
+  m.num_layers = 64;
+  m.hidden_size = 5120;
+  m.num_heads = 40;
+  m.num_kv_heads = 8;
+  m.head_dim = 128;
+  m.intermediate_size = 27648;
+  m.vocab_size = 152064;
+  return m;
+}
+
+ModelSpec Qwen25_72B() {
+  ModelSpec m;
+  m.name = "Qwen2.5-72B";
+  m.num_params = 72.7e9;
+  m.num_layers = 80;
+  m.hidden_size = 8192;
+  m.num_heads = 64;
+  m.num_kv_heads = 8;
+  m.head_dim = 128;
+  m.intermediate_size = 29568;
+  m.vocab_size = 152064;
+  return m;
+}
+
+ModelSpec ModelForScale(ModelScale scale) {
+  switch (scale) {
+    case ModelScale::k7B:
+      return Qwen25_7B();
+    case ModelScale::k32B:
+      return Qwen25_32B();
+    case ModelScale::k72B:
+      return Qwen25_72B();
+  }
+  LAMINAR_LOG(kFatal) << "unknown model scale";
+  return Qwen25_7B();
+}
+
+}  // namespace laminar

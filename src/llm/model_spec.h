@@ -1,0 +1,56 @@
+// Transformer model descriptions and derived byte/FLOP accounting.
+//
+// Covers the Qwen2.5 7B/32B/72B checkpoints used throughout the paper's
+// evaluation. Architecture numbers follow the Qwen2.5 technical report
+// (GQA attention, hence the small kv-head counts that set KVCache size).
+#ifndef LAMINAR_SRC_LLM_MODEL_SPEC_H_
+#define LAMINAR_SRC_LLM_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cluster/placement.h"
+
+namespace laminar {
+
+struct ModelSpec {
+  std::string name;
+  double num_params = 0.0;  // total parameters
+  int num_layers = 0;
+  int hidden_size = 0;
+  int num_heads = 0;
+  int num_kv_heads = 0;
+  int head_dim = 0;
+  int intermediate_size = 0;
+  int vocab_size = 0;
+  int bytes_per_param = 2;  // BF16
+
+  // Total weight bytes (BF16).
+  double weight_bytes() const { return num_params * bytes_per_param; }
+
+  // KVCache bytes stored per token (both K and V, all layers, BF16).
+  double kv_bytes_per_token() const {
+    return 2.0 * num_layers * num_kv_heads * head_dim * bytes_per_param;
+  }
+
+  // FLOPs for one forward pass over one token (dense approximation 2*P).
+  double forward_flops_per_token() const { return 2.0 * num_params; }
+  // FLOPs for one training step over one token (forward + backward ~ 6*P).
+  double train_flops_per_token() const { return 6.0 * num_params; }
+
+  // Extra attention FLOPs per generated token given its context length
+  // (2 * 2 * layers * context * kv-projected width per token).
+  double attention_flops_per_token(double context_tokens) const {
+    return 4.0 * num_layers * context_tokens * num_heads * head_dim;
+  }
+};
+
+// The three evaluated checkpoints.
+ModelSpec Qwen25_7B();
+ModelSpec Qwen25_32B();
+ModelSpec Qwen25_72B();
+ModelSpec ModelForScale(ModelScale scale);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_LLM_MODEL_SPEC_H_

@@ -1,0 +1,39 @@
+#include "src/llm/train_cost.h"
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+TrainCostModel::TrainCostModel(ModelSpec model, GpuSpec gpu, int train_gpus,
+                               TrainBackend backend, int pipeline_parallel)
+    : model_(std::move(model)), gpu_(gpu), train_gpus_(train_gpus) {
+  LAMINAR_CHECK_GT(train_gpus_, 0);
+  LAMINAR_CHECK_GT(pipeline_parallel, 0);
+  if (backend == TrainBackend::kMegatron) {
+    // Pipeline bubble with ~8 in-flight micro-batches per mini-batch step.
+    constexpr double kMicroBatches = 16.0;
+    double bubble = kMicroBatches / (kMicroBatches + pipeline_parallel - 1);
+    mfu_ = 0.34 * bubble;
+  } else {
+    mfu_ = gpu_.train_flops_efficiency;
+  }
+}
+
+double TrainCostModel::MinibatchTime(double tokens) const {
+  double flops = tokens * model_.train_flops_per_token() * flops_multiplier_;
+  return flops / (train_gpus_ * gpu_.peak_flops_bf16 * mfu_) + fixed_minibatch_overhead_;
+}
+
+double TrainCostModel::ExperiencePrepTime(double tokens) const {
+  // Two inference forwards (reference log-probs + behaviour log-probs).
+  double flops = 2.0 * tokens * model_.forward_flops_per_token() * flops_multiplier_;
+  return flops / (train_gpus_ * gpu_.peak_flops_bf16 * mfu_);
+}
+
+double TrainCostModel::IterationTime(double global_tokens, int num_minibatches) const {
+  LAMINAR_CHECK_GT(num_minibatches, 0);
+  double per_mb = global_tokens / num_minibatches;
+  return ExperiencePrepTime(global_tokens) + num_minibatches * MinibatchTime(per_mb);
+}
+
+}  // namespace laminar

@@ -1,0 +1,58 @@
+// Cost model for the trainer's policy-update step.
+//
+// An RL iteration trains one global batch (e.g. 8192 trajectories) as a
+// sequence of mini-batch updates. Per-token work is ~6*P FLOPs for the
+// forward+backward pass plus ~2*P per auxiliary forward (reference-model
+// log-probs / experience preparation, paper §2.2's 7.3% share). The model is
+// parallelism-agnostic: FSDP vs Megatron differ only in achievable MFU.
+#ifndef LAMINAR_SRC_LLM_TRAIN_COST_H_
+#define LAMINAR_SRC_LLM_TRAIN_COST_H_
+
+#include "src/cluster/hardware.h"
+#include "src/llm/model_spec.h"
+
+namespace laminar {
+
+enum class TrainBackend {
+  kFsdp,      // Torch FSDP + Ulysses SP (verl-family systems)
+  kMegatron,  // Megatron-LM hybrid parallelism (AReaL)
+};
+
+class TrainCostModel {
+ public:
+  // `pipeline_parallel` only matters for the Megatron backend, whose MFU is
+  // discounted by the pipeline bubble (p-1)/(m+p-1) at m micro-batches.
+  TrainCostModel(ModelSpec model, GpuSpec gpu, int train_gpus,
+                 TrainBackend backend = TrainBackend::kFsdp, int pipeline_parallel = 1);
+
+  // Wall time of one mini-batch update over `tokens` tokens.
+  double MinibatchTime(double tokens) const;
+
+  // Wall time of experience preparation for `tokens` tokens (reference and
+  // old-policy log-prob forwards), overlappable in stream-generation systems.
+  double ExperiencePrepTime(double tokens) const;
+
+  // Full iteration: prep + `num_minibatches` updates over `global_tokens`.
+  double IterationTime(double global_tokens, int num_minibatches) const;
+
+  // Extra multiplier on per-token training FLOPs; decoupled PPO pays an
+  // additional proximal-policy forward pass (~1.2x).
+  void set_flops_multiplier(double m) { flops_multiplier_ = m; }
+
+  int train_gpus() const { return train_gpus_; }
+  double mfu() const { return mfu_; }
+  const ModelSpec& model() const { return model_; }
+
+ private:
+  ModelSpec model_;
+  GpuSpec gpu_;
+  int train_gpus_;
+  double mfu_;
+  double flops_multiplier_ = 1.0;
+  // Fixed per-mini-batch overhead: optimizer step, gradient sync tail, etc.
+  double fixed_minibatch_overhead_ = 0.4;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_LLM_TRAIN_COST_H_

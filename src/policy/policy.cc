@@ -1,0 +1,215 @@
+#include "src/policy/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+const char* RlAlgorithmName(RlAlgorithm algorithm) {
+  switch (algorithm) {
+    case RlAlgorithm::kGrpo:
+      return "GRPO";
+    case RlAlgorithm::kDecoupledPpo:
+      return "Decoupled-PPO";
+  }
+  return "?";
+}
+
+Policy::Policy(PolicyConfig config) : config_(config) {
+  LAMINAR_CHECK_GT(config_.num_features, 0);
+  theta_.assign(config_.num_features, 0.0);
+  history_.push_back(theta_);  // version 0
+}
+
+std::vector<double> Policy::Features(double difficulty) const {
+  std::vector<double> phi(config_.num_features);
+  double norm = 0.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    double center = config_.num_features == 1
+                        ? 0.5
+                        : static_cast<double>(j) / (config_.num_features - 1);
+    double z = (difficulty - center) / config_.feature_width;
+    phi[j] = std::exp(-0.5 * z * z);
+    norm += phi[j] * phi[j];
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& v : phi) {
+      v /= norm;
+    }
+  }
+  return phi;
+}
+
+double Policy::Logit(const std::vector<double>& theta, double difficulty) const {
+  std::vector<double> phi = Features(difficulty);
+  double dot = 0.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    dot += theta[j] * phi[j];
+  }
+  return dot - (config_.offset_base + config_.offset_slope * difficulty);
+}
+
+int Policy::PublishVersion() {
+  history_.push_back(theta_);
+  return latest_version();
+}
+
+void Policy::RestoreVersion(int version) {
+  LAMINAR_CHECK_GE(version, 0);
+  LAMINAR_CHECK_LE(version, latest_version());
+  theta_ = history_[version];
+}
+
+double Policy::SuccessProb(int version, double difficulty) const {
+  LAMINAR_CHECK_GE(version, 0);
+  int v = std::min<int>(version, latest_version());
+  return Sigmoid(Logit(history_[v], difficulty));
+}
+
+double Policy::CurrentSuccessProb(double difficulty) const {
+  return Sigmoid(Logit(theta_, difficulty));
+}
+
+void Policy::ScoreTrajectory(TrajectoryRecord& record, Rng& rng) const {
+  LAMINAR_CHECK(!record.weight_versions.empty());
+  // True sampler: the mixture of every policy version the trajectory used
+  // (equal weights; the simulator does not track per-version token counts).
+  std::set<int> distinct(record.weight_versions.begin(), record.weight_versions.end());
+  double p_true = 0.0;
+  for (int v : distinct) {
+    p_true += SuccessProb(v, record.difficulty);
+  }
+  p_true /= static_cast<double>(distinct.size());
+  record.success = rng.Bernoulli(p_true);
+  record.reward = record.success ? 1.0 : 0.0;
+  // What the training stack assumes: the trajectory was produced by the
+  // single policy version it is attributed to (its generation version, which
+  // also defines its GRPO group's consistency). Exact for single-version
+  // trajectories; misspecified for mixed-version ones, whose true sampler is
+  // the mixture — the partial-rollout pathology (§2.3, Appendix C).
+  record.behavior_prob = SuccessProb(record.generation_version(), record.difficulty);
+}
+
+UpdateStats Policy::UpdateMinibatch(const std::vector<TrajectoryRecord>& minibatch,
+                                    RlAlgorithm algorithm) {
+  UpdateStats stats;
+  if (minibatch.empty()) {
+    return stats;
+  }
+  // GRPO advantages: normalize rewards within each prompt group.
+  std::map<int64_t, std::vector<const TrajectoryRecord*>> groups;
+  for (const TrajectoryRecord& rec : minibatch) {
+    groups[rec.prompt_id].push_back(&rec);
+  }
+  std::map<int64_t, std::pair<double, double>> group_stats;  // mean, std
+  for (const auto& [pid, members] : groups) {
+    double mean = 0.0;
+    for (const auto* rec : members) {
+      mean += rec->reward;
+    }
+    mean /= static_cast<double>(members.size());
+    double var = 0.0;
+    for (const auto* rec : members) {
+      var += (rec->reward - mean) * (rec->reward - mean);
+    }
+    var /= static_cast<double>(members.size());
+    group_stats[pid] = {mean, std::sqrt(var)};
+  }
+
+  std::vector<double> grad(config_.num_features, 0.0);
+  for (const TrajectoryRecord& rec : minibatch) {
+    stats.mean_reward += rec.reward;
+    auto [mean, stddev] = group_stats[rec.prompt_id];
+    if (stddev < 1e-9) {
+      continue;  // all-success or all-failure group carries no GRPO signal
+    }
+    double advantage = (rec.reward - mean) / (stddev + 1e-6);
+    bool y = rec.success;
+
+    double p_new = CurrentSuccessProb(rec.difficulty);
+    double pi_new = y ? p_new : 1.0 - p_new;
+
+    double behavior = std::clamp(rec.behavior_prob, 1e-6, 1.0 - 1e-6);
+    double pi_behavior = y ? behavior : 1.0 - behavior;
+
+    double weight = 1.0;
+    double ratio;
+    if (algorithm == RlAlgorithm::kDecoupledPpo) {
+      // Proximal policy: the actor version live when generation finished.
+      double prox = SuccessProb(rec.finish_actor_version, rec.difficulty);
+      prox = std::clamp(prox, 1e-6, 1.0 - 1e-6);
+      double pi_prox = y ? prox : 1.0 - prox;
+      weight = std::min(pi_prox / pi_behavior, config_.behavior_ratio_cap);
+      ratio = pi_new / pi_prox;
+    } else {
+      ratio = pi_new / pi_behavior;
+    }
+    stats.mean_abs_log_ratio += std::fabs(std::log(std::max(ratio, 1e-9)));
+
+    // PPO-clip: the gradient vanishes on the clipped side.
+    bool clipped = (advantage > 0.0 && ratio > 1.0 + config_.clip_high) ||
+                   (advantage < 0.0 && ratio < 1.0 - config_.clip_low);
+    if (clipped) {
+      stats.clip_fraction += 1.0;
+      continue;
+    }
+    // d/dtheta [w * ratio * A] = w * A * ratio * (y - p_new) * phi(d).
+    std::vector<double> phi = Features(rec.difficulty);
+    double scale = weight * advantage * ratio * (y ? 1.0 - p_new : -p_new);
+    for (int j = 0; j < config_.num_features; ++j) {
+      grad[j] += scale * phi[j];
+    }
+  }
+  double n = static_cast<double>(minibatch.size());
+  stats.mean_reward /= n;
+  stats.clip_fraction /= n;
+  stats.mean_abs_log_ratio /= n;
+  stats.num_samples = static_cast<int>(minibatch.size());
+
+  double norm = 0.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    grad[j] /= n;
+    norm += grad[j] * grad[j];
+  }
+  stats.grad_norm = std::sqrt(norm);
+  // Plain SGD ascent on the clipped surrogate.
+  for (int j = 0; j < config_.num_features; ++j) {
+    theta_[j] += config_.learning_rate * grad[j];
+  }
+  return stats;
+}
+
+double Policy::EvalExpectedReward() const {
+  // Trapezoidal integration of p(theta, d) over d in [0, 1].
+  constexpr int kGrid = 200;
+  double sum = 0.0;
+  for (int i = 0; i <= kGrid; ++i) {
+    double d = static_cast<double>(i) / kGrid;
+    double w = (i == 0 || i == kGrid) ? 0.5 : 1.0;
+    sum += w * CurrentSuccessProb(d);
+  }
+  return sum / kGrid;
+}
+
+double Policy::EvalExpectedRewardAt(int version) const {
+  constexpr int kGrid = 200;
+  double sum = 0.0;
+  for (int i = 0; i <= kGrid; ++i) {
+    double d = static_cast<double>(i) / kGrid;
+    double w = (i == 0 || i == kGrid) ? 0.5 : 1.0;
+    sum += w * SuccessProb(version, d);
+  }
+  return sum / kGrid;
+}
+
+}  // namespace laminar

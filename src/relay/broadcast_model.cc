@@ -1,0 +1,59 @@
+#include "src/relay/broadcast_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+double ChunkTime(const BroadcastParams& params, int num_chunks) {
+  LAMINAR_CHECK_GT(num_chunks, 0);
+  return params.message_bytes / num_chunks * params.byte_time + params.startup_time;
+}
+
+double BroadcastTime(const BroadcastParams& params, int num_nodes, int num_chunks) {
+  LAMINAR_CHECK_GE(num_nodes, 1);
+  if (num_nodes == 1) {
+    return 0.0;  // master only; nothing to broadcast
+  }
+  return (num_nodes + num_chunks - 2) * ChunkTime(params, num_chunks);
+}
+
+int OptimalChunkCount(const BroadcastParams& params, int num_nodes) {
+  if (num_nodes <= 2 || params.startup_time <= 0.0) {
+    return 1;
+  }
+  double k = std::sqrt((num_nodes - 2) * params.message_bytes * params.byte_time /
+                       params.startup_time);
+  int k_floor = std::max<int>(1, static_cast<int>(std::floor(k)));
+  // T(p,k) is convex in k; check the two integer neighbours.
+  double t_floor = BroadcastTime(params, num_nodes, k_floor);
+  double t_ceil = BroadcastTime(params, num_nodes, k_floor + 1);
+  return t_ceil < t_floor ? k_floor + 1 : k_floor;
+}
+
+double OptimalBroadcastTime(const BroadcastParams& params, int num_nodes) {
+  return BroadcastTime(params, num_nodes, OptimalChunkCount(params, num_nodes));
+}
+
+double ArrivalTime(const BroadcastParams& params, int position, int num_chunks) {
+  LAMINAR_CHECK_GE(position, 0);
+  if (position == 0) {
+    return 0.0;
+  }
+  return (position + num_chunks - 1) * ChunkTime(params, num_chunks);
+}
+
+BroadcastTerms DecomposeOptimalTime(const BroadcastParams& params, int num_nodes) {
+  BroadcastTerms terms;
+  terms.bandwidth_term = params.message_bytes * params.byte_time;
+  if (num_nodes > 2) {
+    terms.latency_term = (num_nodes - 2) * params.startup_time;
+    terms.pipeline_term = 2.0 * std::sqrt((num_nodes - 2) * params.message_bytes *
+                                          params.byte_time * params.startup_time);
+  }
+  return terms;
+}
+
+}  // namespace laminar

@@ -1,0 +1,47 @@
+// Chain-based pipelined broadcast cost model (paper Appendix D).
+//
+// A master relay sends weights of M bytes to p-1 relays arranged in a chain.
+// The message is cut into k chunks; chunk transfer time between adjacent
+// nodes is t_chunk = (M/k)*T_byte + T_start. Total time for the last relay is
+// T(p,k) = (p + k - 2) * t_chunk, minimized at k* = sqrt((p-2)*M*T_byte/T_start).
+#ifndef LAMINAR_SRC_RELAY_BROADCAST_MODEL_H_
+#define LAMINAR_SRC_RELAY_BROADCAST_MODEL_H_
+
+#include <cstdint>
+
+namespace laminar {
+
+struct BroadcastParams {
+  double message_bytes = 0.0;   // M
+  double byte_time = 0.0;       // T_byte = 1 / bandwidth (s per byte)
+  double startup_time = 5e-6;   // T_start
+};
+
+// Transfer time of one chunk between adjacent relays.
+double ChunkTime(const BroadcastParams& params, int num_chunks);
+
+// Total broadcast time T(p, k) for p nodes (master + p-1 relays), k chunks.
+double BroadcastTime(const BroadcastParams& params, int num_nodes, int num_chunks);
+
+// The analytically optimal chunk count k* (clamped to >= 1).
+int OptimalChunkCount(const BroadcastParams& params, int num_nodes);
+
+// T(p, k*) — the minimum achievable broadcast time.
+double OptimalBroadcastTime(const BroadcastParams& params, int num_nodes);
+
+// Time at which the node at `position` (master = 0) holds the complete
+// message, relative to broadcast start, using `num_chunks` chunks.
+double ArrivalTime(const BroadcastParams& params, int position, int num_chunks);
+
+// Decomposition of T(p, k*) into the Appendix-D terms, for analysis benches.
+struct BroadcastTerms {
+  double bandwidth_term = 0.0;  // M * T_byte
+  double latency_term = 0.0;    // (p-2) * T_start
+  double pipeline_term = 0.0;   // 2 * sqrt((p-2) * M * T_byte * T_start)
+  double total() const { return bandwidth_term + latency_term + pipeline_term; }
+};
+BroadcastTerms DecomposeOptimalTime(const BroadcastParams& params, int num_nodes);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_RELAY_BROADCAST_MODEL_H_

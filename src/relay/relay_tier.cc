@@ -1,0 +1,269 @@
+#include "src/relay/relay_tier.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+RelayTier::RelayTier(Simulator* sim, RelayTierConfig config)
+    : sim_(sim), config_(config), relays_(config.num_relays) {
+  LAMINAR_CHECK_GT(config_.num_relays, 0);
+  LAMINAR_CHECK_GT(config_.weight_bytes, 0.0);
+}
+
+int RelayTier::VersionAt(int relay) const {
+  LAMINAR_CHECK_GE(relay, 0);
+  LAMINAR_CHECK_LT(relay, static_cast<int>(relays_.size()));
+  return relays_[relay].version;
+}
+
+bool RelayTier::IsAlive(int relay) const { return relays_[relay].alive; }
+
+double RelayTier::PullLoadSeconds(int tensor_parallel) const {
+  LAMINAR_CHECK_GT(tensor_parallel, 0);
+  // Each GPU loads its own shard over its own PCIe link, in parallel.
+  return config_.weight_bytes / tensor_parallel / config_.pcie_bandwidth;
+}
+
+std::vector<int> RelayTier::AliveChain() const {
+  std::vector<int> chain;
+  chain.push_back(master_);
+  for (int i = 0; i < static_cast<int>(relays_.size()); ++i) {
+    if (i != master_ && relays_[i].alive) {
+      chain.push_back(i);
+    }
+  }
+  return chain;
+}
+
+double RelayTier::Publish(int version) {
+  LAMINAR_CHECK_GT(version, latest_published_) << "versions must be published in order";
+  latest_published_ = version;
+  ++publishes_;
+  double stall = config_.weight_bytes / config_.actor_push_bandwidth;
+  actor_stalls_.Add(stall);
+  SimTime master_ready =
+      std::max(sim_->Now() + stall + config_.reshard_seconds, master_ready_at_);
+  // The master relay "receives" once the push + reshard completes; the chain
+  // broadcast then fans out from OnArrival (so failure-driven rescheduling
+  // keeps the continuation).
+  int master = master_;
+  EventId eid = sim_->ScheduleAt(
+      master_ready, [this, master, version] { OnArrival(master, version); });
+  relays_[master].pending[version] = PendingArrival{eid, master_ready};
+  broadcast_starts_[version] = sim_->Now();
+  return stall;
+}
+
+void RelayTier::StartBroadcast(int version, SimTime master_ready) {
+  std::vector<int> chain = AliveChain();
+  int p = static_cast<int>(chain.size());
+  if (p <= 1) {
+    return;
+  }
+  BroadcastParams params;
+  params.message_bytes = config_.weight_bytes;
+  params.byte_time = 1.0 / config_.rdma_bandwidth;
+  params.startup_time = config_.rdma_startup;
+  int k = OptimalChunkCount(params, p);
+  for (int pos = 1; pos < p; ++pos) {
+    int relay = chain[pos];
+    SimTime at = master_ready + ArrivalTime(params, pos, k);
+    at = std::max(at, sim_->Now());
+    EventId eid = sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
+    relays_[relay].pending[version] = PendingArrival{eid, at};
+  }
+}
+
+void RelayTier::OnArrival(int relay, int version) {
+  Relay& r = relays_[relay];
+  r.pending.erase(version);
+  if (!r.alive) {
+    return;
+  }
+  if (version > r.version) {
+    r.version = version;
+  }
+  // The master fans a freshly received version down the chain exactly once.
+  if (relay == master_ && broadcast_started_.insert(version).second) {
+    StartBroadcast(version, sim_->Now());
+  }
+  // Track broadcast completion: when no relay still has this version pending,
+  // the chain has fully propagated it.
+  bool any_pending = false;
+  for (const Relay& other : relays_) {
+    if (other.alive && other.pending.count(version) > 0) {
+      any_pending = true;
+      break;
+    }
+  }
+  if (!any_pending) {
+    auto it = broadcast_starts_.find(version);
+    if (it != broadcast_starts_.end()) {
+      broadcast_times_.Add(sim_->Now() - it->second);
+      broadcast_starts_.erase(it);
+    }
+  }
+  // Service rollout pulls waiting for this (or an older) version.
+  std::vector<Waiter> still_waiting;
+  std::vector<Waiter> ready;
+  for (Waiter& w : r.waiters) {
+    if (r.version >= w.min_version) {
+      ready.push_back(std::move(w));
+    } else {
+      still_waiting.push_back(std::move(w));
+    }
+  }
+  r.waiters = std::move(still_waiting);
+  for (Waiter& w : ready) {
+    double load = PullLoadSeconds(w.tensor_parallel);
+    int got = r.version;
+    SimTime requested = w.requested;
+    auto done = std::move(w.done);
+    sim_->ScheduleAfter(load, [this, got, requested, done = std::move(done)] {
+      double wait = sim_->Now() - requested;
+      pull_waits_.Add(wait);
+      done(got, wait);
+    });
+  }
+}
+
+void RelayTier::PullLatest(int relay, int tensor_parallel, int current_version,
+                           std::function<void(int version, double wait_seconds)> done) {
+  LAMINAR_CHECK_GE(relay, 0);
+  LAMINAR_CHECK_LT(relay, static_cast<int>(relays_.size()));
+  if (latest_published_ <= current_version) {
+    done(current_version, 0.0);
+    return;
+  }
+  Relay& r = relays_[relay];
+  if (r.alive && r.version > current_version) {
+    // The common case (paper §4.2 step 3): the local relay already caches a
+    // newer version, so the rollout loads it over PCIe immediately — it
+    // never waits for an in-flight resharding/broadcast to complete.
+    double load = PullLoadSeconds(tensor_parallel);
+    int got = r.version;
+    SimTime requested = sim_->Now();
+    sim_->ScheduleAfter(load, [this, got, requested, done = std::move(done)] {
+      double wait = sim_->Now() - requested;
+      pull_waits_.Add(wait);
+      done(got, wait);
+    });
+    return;
+  }
+  // Nothing newer is resident yet: wait for the first arrival that is.
+  r.waiters.push_back(
+      Waiter{current_version + 1, tensor_parallel, sim_->Now(), std::move(done)});
+}
+
+void RelayTier::KillRelay(int relay) {
+  Relay& r = relays_[relay];
+  if (!r.alive) {
+    return;
+  }
+  r.alive = false;
+  r.version = -1;
+  for (auto& [version, arrival] : r.pending) {
+    sim_->Cancel(arrival.event);
+  }
+  r.pending.clear();
+  // Rollouts on the dead machine died with it; their callbacks must not fire.
+  r.waiters.clear();
+
+  ++chain_rebuilds_;
+  double extra = config_.rebuild_seconds;
+  if (relay == master_) {
+    // Elect the surviving relay with the newest weights as the new master.
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(relays_.size()); ++i) {
+      if (relays_[i].alive && (best == -1 || relays_[i].version > relays_[best].version)) {
+        best = i;
+      }
+    }
+    if (best == -1) {
+      LAMINAR_LOG(kWarning) << "all relays dead; weight distribution suspended";
+      return;
+    }
+    master_ = best;
+    ++master_elections_;
+    extra = config_.master_elect_seconds;
+    master_ready_at_ = sim_->Now() + extra;
+    // If a publication was lost with the old master, the trainer re-sends it
+    // to the newly elected master once notified.
+    if (latest_published_ >= 0 && relays_[best].version < latest_published_ &&
+        relays_[best].pending.count(latest_published_) == 0) {
+      int version = latest_published_;
+      double resend = config_.weight_bytes / config_.actor_push_bandwidth +
+                      config_.reshard_seconds;
+      SimTime at = master_ready_at_ + resend;
+      EventId eid =
+          sim_->ScheduleAt(at, [this, best, version] { OnArrival(best, version); });
+      relays_[best].pending[version] = PendingArrival{eid, at};
+    }
+  }
+  // The scheduler rebuilds the chain around the failure; in-flight chunk
+  // streams to downstream relays resume after the O(1) repair delay.
+  for (int i = 0; i < static_cast<int>(relays_.size()); ++i) {
+    Relay& other = relays_[i];
+    if (!other.alive) {
+      continue;
+    }
+    for (auto& [version, arrival] : other.pending) {
+      // Reschedule: original arrival time plus the repair delay.
+      if (!sim_->IsPending(arrival.event)) {
+        continue;
+      }
+      sim_->Cancel(arrival.event);
+      int target_relay = i;
+      int v = version;
+      SimTime at = std::max(arrival.at + extra, sim_->Now());
+      arrival.at = at;
+      arrival.event =
+          sim_->ScheduleAt(at, [this, target_relay, v] { OnArrival(target_relay, v); });
+    }
+  }
+}
+
+void RelayTier::ReviveRelay(int relay) {
+  Relay& r = relays_[relay];
+  if (r.alive) {
+    return;
+  }
+  r.alive = true;
+  r.version = -1;
+  r.pending.clear();
+  if (!relays_[master_].alive) {
+    // Everyone had died; the revived relay becomes master and the trainer is
+    // notified to re-send the newest published weights.
+    master_ = relay;
+    ++master_elections_;
+    master_ready_at_ = std::max(master_ready_at_, sim_->Now() + config_.master_elect_seconds);
+  }
+  if (relay == master_) {
+    if (latest_published_ >= 0 && r.version < latest_published_) {
+      int version = latest_published_;
+      // A fresh publication already in flight to this master supersedes this.
+      if (r.pending.count(version) == 0) {
+        double resend = config_.weight_bytes / config_.actor_push_bandwidth +
+                        config_.reshard_seconds;
+        SimTime at = std::max(master_ready_at_, sim_->Now()) + resend;
+        EventId eid =
+            sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
+        r.pending[version] = PendingArrival{eid, at};
+      }
+    }
+    return;
+  }
+  // Sync the newest weights from the master over one RDMA hop.
+  const Relay& m = relays_[master_];
+  if (m.version >= 0) {
+    int v = m.version;
+    double hop = config_.weight_bytes / config_.rdma_bandwidth + config_.rdma_startup;
+    SimTime at = sim_->Now() + hop;
+    EventId eid = sim_->ScheduleAt(at, [this, relay, v] { OnArrival(relay, v); });
+    r.pending[v] = PendingArrival{eid, at};
+  }
+}
+
+}  // namespace laminar

@@ -1,0 +1,132 @@
+// The relay-worker tier: a distributed, CPU-memory parameter service
+// (paper §4). One relay runs on each rollout machine. The trainer pushes new
+// weights to a single master relay and immediately resumes; the master
+// reshards and broadcasts down a chain of relays over RDMA; rollouts pull
+// from their machine-local relay over PCIe at any time.
+//
+// The tier also implements the paper's fault-tolerance story (§4.3): killing
+// a relay severs the chain, which is rebuilt in O(1) around the failure; a
+// master failure triggers re-election among survivors.
+#ifndef LAMINAR_SRC_RELAY_RELAY_TIER_H_
+#define LAMINAR_SRC_RELAY_RELAY_TIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/relay/broadcast_model.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+
+struct RelayTierConfig {
+  int num_relays = 1;
+  double weight_bytes = 0.0;
+  // Per-hop RDMA flow bandwidth for the chain (one NIC) and startup latency.
+  double rdma_bandwidth = 50.0e9;
+  double rdma_startup = 5.0e-6;
+  // Effective bandwidth of the (sharded, parallel) trainer -> master push.
+  // This bounds the actor's stall per publication (paper §8.3).
+  double actor_push_bandwidth = 100.0e9;
+  // CPU-side resharding of the received weights to the rollout layout.
+  double reshard_seconds = 0.2;
+  // PCIe bandwidth per GPU for relay -> rollout shard loads.
+  double pcie_bandwidth = 50.0e9;
+  // Chain-rebuild delay after a relay failure (paper: < 1 s, O(1)).
+  double rebuild_seconds = 0.5;
+  // Master re-election + trainer notification delay.
+  double master_elect_seconds = 1.0;
+};
+
+class RelayTier {
+ public:
+  RelayTier(Simulator* sim, RelayTierConfig config);
+
+  // Trainer-side: publishes weight version `version`. Returns the actor's
+  // stall duration (time to hand the weights to the master relay). Broadcast
+  // to the remaining relays proceeds in the background.
+  double Publish(int version);
+
+  // Rollout-side: requests the newest published version via the local relay
+  // `relay`. When the version is resident (immediately, or once the chain
+  // broadcast delivers it), the weights are loaded over PCIe by the
+  // replica's `tensor_parallel` GPUs in parallel, and `done(version,
+  // wait_seconds)` fires, where wait_seconds spans request -> load complete
+  // (the paper's Figure 14 "rollout waiting time"). If nothing newer than
+  // `current_version` exists, `done(current_version, 0)` fires immediately.
+  void PullLatest(int relay, int tensor_parallel, int current_version,
+                  std::function<void(int version, double wait_seconds)> done);
+
+  // Fault injection / recovery.
+  void KillRelay(int relay);
+  // A replacement relay comes up on machine `relay` and syncs the newest
+  // weights from the master before serving.
+  void ReviveRelay(int relay);
+
+  // Introspection.
+  int latest_published() const { return latest_published_; }
+  int VersionAt(int relay) const;
+  bool IsAlive(int relay) const;
+  int master() const { return master_; }
+  int num_relays() const { return config_.num_relays; }
+
+  // Metrics.
+  const SampleSet& pull_wait_seconds() const { return pull_waits_; }
+  const SampleSet& broadcast_seconds() const { return broadcast_times_; }
+  const SampleSet& actor_stall_seconds() const { return actor_stalls_; }
+  int64_t publishes() const { return publishes_; }
+  int64_t chain_rebuilds() const { return chain_rebuilds_; }
+  int64_t master_elections() const { return master_elections_; }
+
+  // PCIe shard-load duration for a `tensor_parallel`-GPU replica.
+  double PullLoadSeconds(int tensor_parallel) const;
+
+ private:
+  struct Waiter {
+    int min_version = 0;
+    int tensor_parallel = 1;
+    SimTime requested;
+    std::function<void(int, double)> done;
+  };
+  struct PendingArrival {
+    EventId event = kInvalidEventId;
+    SimTime at;
+  };
+  struct Relay {
+    bool alive = true;
+    int version = -1;  // newest fully-received version
+    // Pending in-flight arrivals: version -> scheduled event.
+    std::map<int, PendingArrival> pending;
+    std::vector<Waiter> waiters;
+  };
+
+  void OnArrival(int relay, int version);
+  void StartBroadcast(int version, SimTime master_ready);
+  void RebuildChain(double extra_delay);
+  std::vector<int> AliveChain() const;
+
+  Simulator* sim_;
+  RelayTierConfig config_;
+  std::vector<Relay> relays_;
+  int master_ = 0;
+  int latest_published_ = -1;
+  SimTime master_ready_at_ = SimTime::Zero();
+
+  SampleSet pull_waits_;
+  SampleSet broadcast_times_;
+  SampleSet actor_stalls_;
+  int64_t publishes_ = 0;
+  int64_t chain_rebuilds_ = 0;
+  int64_t master_elections_ = 0;
+  // Publish time per in-flight version, for broadcast-duration metrics.
+  std::map<int, SimTime> broadcast_starts_;
+  // Versions whose chain broadcast has been initiated.
+  std::set<int> broadcast_started_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_RELAY_RELAY_TIER_H_

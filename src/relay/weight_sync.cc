@@ -1,0 +1,25 @@
+#include "src/relay/weight_sync.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+double GlobalSyncModel::SyncSeconds(int num_gpus) const {
+  LAMINAR_CHECK_GT(num_gpus, 0);
+  LAMINAR_CHECK_GT(weight_bytes, 0.0);
+  double doublings = std::max(0.0, std::log2(static_cast<double>(num_gpus) / 8.0));
+  double effective_bw = base_bandwidth / (1.0 + scale_penalty_per_doubling * doublings);
+  return barrier_overhead + weight_bytes / effective_bw;
+}
+
+double StorageSyncModel::PublishSeconds() const {
+  return weight_bytes / serialize_bandwidth + weight_bytes / tcp_bandwidth;
+}
+
+double StorageSyncModel::PullSeconds() const {
+  return weight_bytes / tcp_bandwidth + weight_bytes / serialize_bandwidth;
+}
+
+}  // namespace laminar

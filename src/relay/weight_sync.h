@@ -1,0 +1,47 @@
+// Alternative weight-synchronization cost models used as baselines:
+//
+//  * GlobalSyncModel — GPU-direct NCCL broadcast at a global synchronization
+//    point, as used by verl / one-step / stream-generation systems (§8.3's
+//    comparison point for Figure 14). All rollouts and the actor rendezvous;
+//    coordination cost grows with cluster size.
+//  * StorageSyncModel — publishing weights through a storage system
+//    (NFS/Redis), the design §4.1 argues against: serialization plus TCP
+//    transfer per shard, with the store as a contention bottleneck.
+#ifndef LAMINAR_SRC_RELAY_WEIGHT_SYNC_H_
+#define LAMINAR_SRC_RELAY_WEIGHT_SYNC_H_
+
+namespace laminar {
+
+struct GlobalSyncModel {
+  double weight_bytes = 0.0;
+  // Effective NCCL broadcast bandwidth at the smallest scale (mixed
+  // NVLink + RDMA path).
+  double base_bandwidth = 100.0e9;
+  // Fractional slowdown per doubling of participating GPUs beyond one
+  // machine (stragglers, more ring hops, cross-rail contention).
+  double scale_penalty_per_doubling = 0.12;
+  // Fixed rendezvous/barrier overhead, seconds.
+  double barrier_overhead = 0.05;
+
+  // Wall time of one global synchronization involving `num_gpus` GPUs.
+  // Both the actor and every rollout are stalled for this duration.
+  double SyncSeconds(int num_gpus) const;
+};
+
+struct StorageSyncModel {
+  double weight_bytes = 0.0;
+  // Measured in the paper: serializing a 4 GB shard takes ~8 s.
+  double serialize_bandwidth = 0.5e9;
+  double tcp_bandwidth = 1.25e9;  // ~10 Gbps effective
+
+  // Actor-side publish: serialize + upload the full weights.
+  double PublishSeconds() const;
+  // One rollout's pull on an idle store: download + deserialize. Contention
+  // between concurrent pulls is modelled by queueing these durations on a
+  // SerialChannel.
+  double PullSeconds() const;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_RELAY_WEIGHT_SYNC_H_

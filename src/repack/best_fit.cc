@@ -1,0 +1,119 @@
+#include "src/repack/best_fit.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+namespace {
+
+// Shared Best-Fit matching over a pre-filtered candidate set S (Algorithm 1
+// lines 4-13). Candidates are both potential sources and potential
+// destinations, exactly as in the paper ("destinations are selected from the
+// pool of underutilized rollouts").
+RepackPlan MatchCandidates(std::vector<ReplicaSnapshot> candidates,
+                           const RepackParams& params) {
+  RepackPlan plan;
+  // Line 4: release the smallest KVCache footprints first.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const ReplicaSnapshot& a, const ReplicaSnapshot& b) {
+                     return a.kv_used_frac < b.kv_used_frac;
+                   });
+  std::set<int> emptied;
+  // Aggregated load already assigned to each destination in the plan.
+  std::map<int, double> extra_kv;
+  std::map<int, int> extra_reqs;
+
+  auto can_fit = [&](const ReplicaSnapshot& d, const ReplicaSnapshot& s) {
+    double kv_load = d.kv_used_frac + extra_kv[d.replica_id];
+    int req_load = d.num_reqs + extra_reqs[d.replica_id];
+    return kv_load + s.kv_used_frac <= params.c_max_frac &&
+           req_load + s.num_reqs <= params.batch_bound;
+  };
+
+  for (const ReplicaSnapshot& s : candidates) {
+    if (emptied.count(s.replica_id) > 0) {
+      continue;
+    }
+    // Line 9: valid destinations.
+    const ReplicaSnapshot* best = nullptr;
+    double best_density = -1.0;
+    for (const ReplicaSnapshot& d : candidates) {
+      if (d.replica_id == s.replica_id || emptied.count(d.replica_id) > 0 ||
+          !can_fit(d, s)) {
+        continue;
+      }
+      // Line 11: choose the destination that ends up most densely packed.
+      double density = d.kv_used_frac + extra_kv[d.replica_id];
+      if (density > best_density) {
+        best_density = density;
+        best = &d;
+      }
+    }
+    if (best != nullptr) {
+      plan.moves.emplace_back(s.replica_id, best->replica_id);
+      emptied.insert(s.replica_id);
+      extra_kv[best->replica_id] += s.kv_used_frac;
+      extra_reqs[best->replica_id] += s.num_reqs;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<int> RepackPlan::ReleasedSources() const {
+  std::vector<int> out;
+  for (const auto& [src, dst] : moves) {
+    out.push_back(src);
+  }
+  return out;
+}
+
+std::vector<int> RepackPlan::Destinations() const {
+  std::set<int> seen;
+  for (const auto& [src, dst] : moves) {
+    seen.insert(dst);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+RepackPlan BestFitConsolidation(const std::vector<ReplicaSnapshot>& replicas,
+                                const RepackParams& params) {
+  LAMINAR_CHECK(params.c_max_frac > 0.0 && params.c_max_frac <= 1.0);
+  LAMINAR_CHECK_GT(params.batch_bound, 0);
+  std::vector<ReplicaSnapshot> candidates;
+  for (const ReplicaSnapshot& r : replicas) {
+    if (!r.eligible || !r.busy || r.num_reqs <= 0) {
+      continue;
+    }
+    // Line 3: ramp-down phase — the waiting queue has drained (freed cache
+    // is no longer backfilled, Figure 9) and utilization is non-increasing
+    // (up to the running batch's own token growth) and below C_max.
+    bool ramp_down =
+        r.num_waiting == 0 &&
+        r.kv_used_frac < std::min(params.c_max_frac, r.kv_prev_frac + params.ramp_tolerance);
+    if (ramp_down && r.num_reqs < params.batch_bound) {
+      candidates.push_back(r);
+    }
+  }
+  return MatchCandidates(std::move(candidates), params);
+}
+
+RepackPlan StaticThresholdConsolidation(const std::vector<ReplicaSnapshot>& replicas,
+                                        const RepackParams& params, int request_threshold) {
+  std::vector<ReplicaSnapshot> candidates;
+  for (const ReplicaSnapshot& r : replicas) {
+    if (!r.eligible || !r.busy || r.num_reqs <= 0) {
+      continue;
+    }
+    if (r.num_reqs < request_threshold && r.num_reqs < params.batch_bound) {
+      candidates.push_back(r);
+    }
+  }
+  return MatchCandidates(std::move(candidates), params);
+}
+
+}  // namespace laminar

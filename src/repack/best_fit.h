@@ -1,0 +1,57 @@
+// Best-Fit trajectory consolidation — the paper's Algorithm 1.
+//
+// Given snapshots of one weight-version group of rollout replicas, decide
+// which underutilized (ramp-down phase) replicas to drain and where to pack
+// their in-progress trajectories, maximizing the number of released sources
+// while keeping every destination within the KVCache threshold C_max and the
+// roofline batch bound B.
+#ifndef LAMINAR_SRC_REPACK_BEST_FIT_H_
+#define LAMINAR_SRC_REPACK_BEST_FIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/repack/snapshot.h"
+
+namespace laminar {
+
+struct RepackPlan {
+  // (source replica id, destination replica id); a source appears at most
+  // once, a destination may receive several sources.
+  std::vector<std::pair<int, int>> moves;
+
+  bool empty() const { return moves.empty(); }
+  // Replicas drained and therefore free to pull the latest weights.
+  std::vector<int> ReleasedSources() const;
+  // Distinct destinations involved.
+  std::vector<int> Destinations() const;
+};
+
+struct RepackParams {
+  // C_max: the KVCache-utilization threshold a destination must stay under.
+  double c_max_frac = 0.99;
+  // B: roofline batch-size bound — max trajectories decodable in parallel
+  // with negligible latency increase (from DecodeModel::RooflineBatchBound).
+  int batch_bound = 256;
+  // Utilization growth tolerated between monitoring ticks while still
+  // counting as "non-increasing": running tail sequences keep appending one
+  // token per step, so a strict C_used < C_prev test would mask ramp-down.
+  double ramp_tolerance = 0.02;
+};
+
+// Algorithm 1. `replicas` must all share one weight version; entries that are
+// not eligible or have no requests are ignored as candidates but are also
+// never chosen as destinations.
+RepackPlan BestFitConsolidation(const std::vector<ReplicaSnapshot>& replicas,
+                                const RepackParams& params);
+
+// Ablation baseline (RLHFuse-style): a replica is a source candidate iff its
+// remaining request count is below a static, offline-profiled threshold;
+// packing still uses Best-Fit. Used to show why the KVCache ramp-down signal
+// needs no per-workload tuning.
+RepackPlan StaticThresholdConsolidation(const std::vector<ReplicaSnapshot>& replicas,
+                                        const RepackParams& params, int request_threshold);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_REPACK_BEST_FIT_H_

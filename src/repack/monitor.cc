@@ -1,0 +1,15 @@
+#include "src/repack/monitor.h"
+
+namespace laminar {
+
+void IdlenessMonitor::Observe(std::vector<ReplicaSnapshot>& snapshots) {
+  for (ReplicaSnapshot& snap : snapshots) {
+    auto it = prev_.find(snap.replica_id);
+    snap.kv_prev_frac = it == prev_.end() ? 1.0 : it->second;
+    prev_[snap.replica_id] = snap.kv_used_frac;
+  }
+}
+
+void IdlenessMonitor::Forget(int replica_id) { prev_.erase(replica_id); }
+
+}  // namespace laminar

@@ -1,0 +1,37 @@
+// Idleness monitoring for the repack mechanism (paper §5.2).
+//
+// The rollout manager samples every replica's KVCache utilization at each
+// monitoring tick. The monitor remembers the previous sample so Algorithm 1
+// can test the ramp-down condition C_used < min(C_max, C_prev) without any
+// per-workload threshold profiling.
+#ifndef LAMINAR_SRC_REPACK_MONITOR_H_
+#define LAMINAR_SRC_REPACK_MONITOR_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/repack/snapshot.h"
+
+namespace laminar {
+
+class IdlenessMonitor {
+ public:
+  // Fills each snapshot's kv_prev_frac from the stored history, then records
+  // the current utilization as the new history. First-time replicas get
+  // kv_prev_frac = 1.0 (never considered ramping down on their first tick).
+  void Observe(std::vector<ReplicaSnapshot>& snapshots);
+
+  // Drops history for a replica (failure / re-init), so a revived replica is
+  // not judged against its pre-failure utilization.
+  void Forget(int replica_id);
+
+  size_t tracked() const { return prev_.size(); }
+
+ private:
+  std::unordered_map<int, double> prev_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_REPACK_MONITOR_H_

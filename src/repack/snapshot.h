@@ -1,0 +1,34 @@
+// Progress snapshot of one rollout replica, as collected by the rollout
+// manager (paper Figure 8, step 1). This is the only input the repack
+// algorithm sees, which keeps Algorithm 1 a pure, unit-testable function.
+#ifndef LAMINAR_SRC_REPACK_SNAPSHOT_H_
+#define LAMINAR_SRC_REPACK_SNAPSHOT_H_
+
+#include <cstdint>
+
+namespace laminar {
+
+struct ReplicaSnapshot {
+  int replica_id = -1;
+  int weight_version = 0;
+  // KVCache utilization fraction in [0, 1] (C_used / capacity).
+  double kv_used_frac = 0.0;
+  // Utilization at the previous monitoring tick (C_prev); the ramp-down
+  // test in Algorithm 1 line 3 is C_used < min(C_max, C_prev).
+  double kv_prev_frac = 1.0;
+  // In-progress trajectory count (N_reqs): running + env-waiting + queued.
+  int num_reqs = 0;
+  // Trajectories admitted but not yet decoding (the waiting queue). The
+  // KVCache lifecycle's ramp-down phase begins once this reaches zero
+  // (paper Figure 9: freed space is backfilled while any trajectory waits).
+  int num_waiting = 0;
+  // Whether the replica currently has any generation work at all.
+  bool busy = false;
+  // Whether the replica is eligible for repack (alive, generating, not
+  // mid-weight-update).
+  bool eligible = false;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_REPACK_SNAPSHOT_H_

@@ -1,0 +1,315 @@
+#include "src/rollout/manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
+                               std::vector<RolloutReplica*> replicas, RelayTier* relays,
+                               PromptPool* prompts, PartialResponsePool* partial_pool)
+    : sim_(sim), config_(config), replicas_(std::move(replicas)), relays_(relays),
+      prompts_(prompts), partial_pool_(partial_pool) {
+  LAMINAR_CHECK(!replicas_.empty());
+  LAMINAR_CHECK_GT(config_.per_replica_batch, 0);
+}
+
+void RolloutManager::Start() {
+  running_ = true;
+  for (RolloutReplica* r : replicas_) {
+    AssignFreshBatch(r);
+  }
+  tick_ = std::make_unique<PeriodicTask>(sim_, config_.repack_period_seconds,
+                                         [this] { Tick(); });
+  tick_->Start();
+}
+
+void RolloutManager::Stop() {
+  running_ = false;
+  if (tick_) {
+    tick_->Stop();
+  }
+}
+
+int64_t RolloutManager::inflight_trajectories() const {
+  int64_t n = 0;
+  for (const RolloutReplica* r : replicas_) {
+    n += r->num_reqs();
+  }
+  for (const auto& [version, works] : pending_redirects_) {
+    n += static_cast<int64_t>(works.size());
+  }
+  return n;
+}
+
+bool RolloutManager::BacklogAllowsAssignment() const {
+  if (config_.backlog_cap <= 0) {
+    return true;
+  }
+  // Gate on completed-but-unconsumed experiences only. In-flight work does
+  // not count: its staleness is governed by generation latency (the paper's
+  // inherent staleness), not by buffer depth.
+  int64_t backlog = backlog_fn_ ? backlog_fn_() : 0;
+  return backlog < config_.backlog_cap;
+}
+
+void RolloutManager::AssignFreshBatch(RolloutReplica* replica) {
+  if (!running_ || replica->phase() == ReplicaPhase::kDead) {
+    return;
+  }
+  if (!BacklogAllowsAssignment()) {
+    starved_.push_back(replica);
+    return;
+  }
+  int group = prompts_->group_size();
+  int batch = std::max(group, config_.per_replica_batch / group * group);
+  std::vector<TrajectoryRecord> records =
+      prompts_->NextBatch(batch, replica->weight_version());
+  std::vector<TrajectoryWork> works;
+  works.reserve(records.size());
+  for (TrajectoryRecord& rec : records) {
+    rec.created = sim_->Now();
+    TrajectoryWork w;
+    w.record = std::move(rec);
+    w.InitContext();
+    works.push_back(std::move(w));
+  }
+  ++stats_.batches_assigned;
+  replica->AssignWork(std::move(works), /*kv_transferred=*/false);
+}
+
+void RolloutManager::StartWeightUpdate(RolloutReplica* replica) {
+  if (replica->phase() == ReplicaPhase::kDead) {
+    return;
+  }
+  int current = replica->weight_version();
+  if (relays_->latest_published() <= current) {
+    // Nothing newer exists; go straight to the next batch.
+    AssignFreshBatch(replica);
+    return;
+  }
+  replica->BeginWeightUpdate();
+  int machine = replica->config().machine;
+  int tp = replica->decode_model().tensor_parallel();
+  relays_->PullLatest(machine, tp, current,
+                      [this, replica](int version, double wait_seconds) {
+                        if (replica->phase() == ReplicaPhase::kDead) {
+                          return;
+                        }
+                        replica->EndWeightUpdate(version, wait_seconds);
+                        monitor_.Forget(replica->config().id);
+                        AssignFreshBatch(replica);
+                      });
+}
+
+void RolloutManager::OnBatchDone(RolloutReplica* replica) {
+  if (!running_) {
+    return;
+  }
+  // Paper workflow: a rollout fetches the latest weights as soon as it
+  // completes its batch, then pulls the next prompt batch.
+  StartWeightUpdate(replica);
+}
+
+void RolloutManager::OnActorPublish(int /*version*/) {
+  if (!running_) {
+    return;
+  }
+  // A fresh version means backlog just dropped by a global batch; unblock
+  // starved replicas first, then consolidate long-tail stragglers so they
+  // can move to the new version quickly.
+  std::vector<RolloutReplica*> starved = std::move(starved_);
+  starved_.clear();
+  for (RolloutReplica* r : starved) {
+    if (r->phase() == ReplicaPhase::kIdle) {
+      StartWeightUpdate(r);
+    }
+  }
+  if (config_.repack_enabled) {
+    TriggerRepack();
+  }
+}
+
+std::vector<ReplicaSnapshot> RolloutManager::CollectSnapshots() {
+  std::vector<ReplicaSnapshot> snaps;
+  snaps.reserve(replicas_.size());
+  for (RolloutReplica* r : replicas_) {
+    snaps.push_back(r->Snapshot());
+  }
+  return snaps;
+}
+
+void RolloutManager::TriggerRepack() {
+  std::vector<ReplicaSnapshot> snaps = CollectSnapshots();
+  monitor_.Observe(snaps);
+  // Group by weight version (Figure 8, step 1) and plan per group.
+  std::map<int, std::vector<ReplicaSnapshot>> groups;
+  for (const ReplicaSnapshot& s : snaps) {
+    groups[s.weight_version].push_back(s);
+  }
+  std::map<int, RolloutReplica*> by_id;
+  for (RolloutReplica* r : replicas_) {
+    by_id[r->config().id] = r;
+  }
+  for (auto& [version, group] : groups) {
+    RepackPlan plan =
+        config_.use_static_threshold
+            ? StaticThresholdConsolidation(group, config_.repack,
+                                           config_.static_threshold_requests)
+            : BestFitConsolidation(group, config_.repack);
+    if (plan.empty()) {
+      continue;
+    }
+    ++stats_.repack_events;
+    // Transfers to distinct destinations proceed in parallel; the plan's
+    // overhead is the slowest destination's total KV-transfer stall.
+    std::map<int, double> overhead_by_dst;
+    for (const auto& [src_id, dst_id] : plan.moves) {
+      RolloutReplica* src = by_id.at(src_id);
+      RolloutReplica* dst = by_id.at(dst_id);
+      std::vector<TrajectoryWork> works = src->ExtractAllWork();
+      stats_.trajectories_migrated += static_cast<int64_t>(works.size());
+      for (const TrajectoryWork& w : works) {
+        if (w.kv_resident) {
+          double kv_bytes = static_cast<double>(w.context_tokens) *
+                            dst->decode_model().model().kv_bytes_per_token();
+          overhead_by_dst[dst_id] += dst->config().migration_fixed_overhead +
+                                     kv_bytes / dst->config().kv_transfer_bandwidth;
+        }
+      }
+      dst->AssignWork(std::move(works), /*kv_transferred=*/true);
+      ++stats_.sources_released;
+      monitor_.Forget(src_id);
+      // The drained source is now free to adopt the newest weights.
+      StartWeightUpdate(src);
+    }
+    double overhead = 0.0;
+    for (const auto& [dst, seconds] : overhead_by_dst) {
+      overhead = std::max(overhead, seconds);
+    }
+    stats_.repack_overhead_seconds.Add(overhead);
+  }
+}
+
+void RolloutManager::RedirectWork(std::vector<TrajectoryWork> works, int weight_version) {
+  // Healthy replicas still on the same version can continue these
+  // trajectories (after re-prefilling the saved context).
+  std::vector<RolloutReplica*> hosts;
+  for (RolloutReplica* r : replicas_) {
+    if (r->phase() != ReplicaPhase::kDead && r->phase() != ReplicaPhase::kUpdatingWeights &&
+        r->weight_version() == weight_version) {
+      hosts.push_back(r);
+    }
+  }
+  if (hosts.empty()) {
+    auto& pending = pending_redirects_[weight_version];
+    for (auto& w : works) {
+      pending.push_back(std::move(w));
+    }
+    return;
+  }
+  // Round-robin across hosts, least-loaded first.
+  std::sort(hosts.begin(), hosts.end(), [](RolloutReplica* a, RolloutReplica* b) {
+    return a->num_reqs() < b->num_reqs();
+  });
+  std::vector<std::vector<TrajectoryWork>> shards(hosts.size());
+  for (size_t i = 0; i < works.size(); ++i) {
+    shards[i % hosts.size()].push_back(std::move(works[i]));
+  }
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (!shards[i].empty()) {
+      stats_.trajectories_redirected += static_cast<int64_t>(shards[i].size());
+      hosts[i]->AssignWork(std::move(shards[i]), /*kv_transferred=*/false);
+    }
+  }
+}
+
+void RolloutManager::FlushPendingRedirects() {
+  if (pending_redirects_.empty()) {
+    return;
+  }
+  std::map<int, std::vector<TrajectoryWork>> pending = std::move(pending_redirects_);
+  pending_redirects_.clear();
+  for (auto& [version, works] : pending) {
+    RedirectWork(std::move(works), version);
+  }
+}
+
+void RolloutManager::OnMachineFailure(int machine) {
+  ++stats_.failures_handled;
+  relays_->KillRelay(machine);
+  std::vector<RolloutReplica*> casualties;
+  for (RolloutReplica* r : replicas_) {
+    if (r->config().machine == machine && r->phase() != ReplicaPhase::kDead) {
+      casualties.push_back(r);
+    }
+  }
+  // Kill every replica on the machine before redirecting anything, so work
+  // is never handed to a sibling replica that is about to die too.
+  for (RolloutReplica* r : casualties) {
+    r->Kill();
+    monitor_.Forget(r->config().id);
+  }
+  for (RolloutReplica* r : casualties) {
+    int id = r->config().id;
+    // In-progress state survives in the partial-response pool; everything the
+    // dead replica owned is redirected (re-prefill on arrival).
+    std::vector<TrajectoryWork> recovered = partial_pool_->TakeByReplica(id);
+    LAMINAR_LOG(kInfo) << "machine " << machine << " failed; redirecting "
+                       << recovered.size() << " trajectories from replica " << id;
+    if (!recovered.empty()) {
+      RedirectWork(std::move(recovered), r->weight_version());
+    }
+  }
+  // Replacement machine: allocate, re-init engine + relay, pull weights.
+  double delay = config_.machine_replacement_seconds + config_.replica_init_seconds;
+  sim_->ScheduleAfter(delay, [this, machine, casualties] {
+    relays_->ReviveRelay(machine);
+    for (RolloutReplica* r : casualties) {
+      r->Revive();
+    }
+    // Interrupted work whose policy version no longer runs anywhere is
+    // adopted by the fresh replicas, which load that specific checkpointed
+    // version (paper §3.3) so the trajectories stay single-version.
+    size_t next = 0;
+    if (!pending_redirects_.empty()) {
+      std::map<int, std::vector<TrajectoryWork>> pending = std::move(pending_redirects_);
+      pending_redirects_.clear();
+      for (auto& [version, works] : pending) {
+        if (next < casualties.size()) {
+          RolloutReplica* host = casualties[next++];
+          host->LoadCheckpointVersion(version);
+          stats_.trajectories_redirected += static_cast<int64_t>(works.size());
+          host->AssignWork(std::move(works), /*kv_transferred=*/false);
+        } else {
+          pending_redirects_[version] = std::move(works);
+        }
+      }
+    }
+    for (size_t i = next; i < casualties.size(); ++i) {
+      StartWeightUpdate(casualties[i]);
+    }
+    FlushPendingRedirects();
+  });
+}
+
+void RolloutManager::Tick() {
+  if (!running_) {
+    return;
+  }
+  FlushPendingRedirects();
+  // Retry starved replicas.
+  std::vector<RolloutReplica*> starved = std::move(starved_);
+  starved_.clear();
+  for (RolloutReplica* r : starved) {
+    if (r->phase() == ReplicaPhase::kIdle) {
+      StartWeightUpdate(r);
+    }
+  }
+  if (config_.repack_enabled) {
+    TriggerRepack();
+  }
+}
+
+}  // namespace laminar

@@ -1,0 +1,117 @@
+// Rollout manager (paper §3.1, §5): the CPU-side coordinator of all rollout
+// replicas. It assigns prompt batches, monitors replica health and idleness,
+// runs the repack algorithm on a periodic tick (and immediately after each
+// actor update), drives per-replica weight updates through the relay tier,
+// and recovers from machine failures using the partial-response pool.
+#ifndef LAMINAR_SRC_ROLLOUT_MANAGER_H_
+#define LAMINAR_SRC_ROLLOUT_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/data/partial_response_pool.h"
+#include "src/data/prompt_pool.h"
+#include "src/relay/relay_tier.h"
+#include "src/repack/best_fit.h"
+#include "src/repack/monitor.h"
+#include "src/rollout/replica.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+
+struct RolloutManagerConfig {
+  bool repack_enabled = true;
+  // Use the static request-count threshold detector instead of the KVCache
+  // ramp-down signal (ablation; paper argues against this).
+  bool use_static_threshold = false;
+  int static_threshold_requests = 8;
+  double repack_period_seconds = 5.0;  // paper: periodic check, e.g. 5 s
+  RepackParams repack;
+  // Trajectories per prompt-batch assignment (the replica's generation cycle).
+  int per_replica_batch = 1024;
+  // Stop assigning fresh prompts when this many trajectories are already
+  // generated-but-unconsumed or in flight (keeps staleness bounded when
+  // generation outpaces training).
+  int64_t backlog_cap = 0;  // 0 = no cap
+  // Failure handling.
+  double machine_replacement_seconds = 210.0;  // allocate a standby machine
+  double replica_init_seconds = 35.0;          // engine bring-up on the new machine
+};
+
+struct RolloutManagerStats {
+  int64_t repack_events = 0;       // plans with at least one move
+  int64_t sources_released = 0;    // replicas freed by repack
+  int64_t trajectories_migrated = 0;
+  int64_t batches_assigned = 0;
+  int64_t failures_handled = 0;
+  int64_t trajectories_redirected = 0;
+  SampleSet repack_overhead_seconds;  // per-plan migration stall estimate
+};
+
+class RolloutManager {
+ public:
+  RolloutManager(Simulator* sim, RolloutManagerConfig config,
+                 std::vector<RolloutReplica*> replicas, RelayTier* relays,
+                 PromptPool* prompts, PartialResponsePool* partial_pool);
+
+  // Starts generation: assigns the first prompt batch everywhere and begins
+  // the periodic monitoring tick. The driver must have wired each replica's
+  // on_batch_done to OnBatchDone() beforehand.
+  void Start();
+  void Stop();
+
+  // Replica lifecycle callbacks -------------------------------------------------
+  void OnBatchDone(RolloutReplica* replica);
+  // Notification from the trainer that a new weight version exists; triggers
+  // an immediate repack pass (paper §5.1) and unblocks backlog-gated replicas.
+  void OnActorPublish(int version);
+
+  // Fault handling ---------------------------------------------------------------
+  // A rollout machine died (detected via heartbeat). Kills its replicas and
+  // relay, redirects interrupted trajectories, and schedules a replacement.
+  void OnMachineFailure(int machine);
+
+  // Backlog source: total completed-but-unconsumed trajectories (experience
+  // buffer size); used with backlog_cap.
+  void set_backlog_fn(std::function<int64_t()> fn) { backlog_fn_ = std::move(fn); }
+
+  // Runs one repack pass now (also used by tests and benches).
+  void TriggerRepack();
+
+  const RolloutManagerStats& stats() const { return stats_; }
+  int64_t inflight_trajectories() const;
+  const RolloutManagerConfig& config() const { return config_; }
+
+ private:
+  void AssignFreshBatch(RolloutReplica* replica);
+  void StartWeightUpdate(RolloutReplica* replica);
+  bool BacklogAllowsAssignment() const;
+  void RedirectWork(std::vector<TrajectoryWork> works, int weight_version);
+  void FlushPendingRedirects();
+  std::vector<ReplicaSnapshot> CollectSnapshots();
+  void Tick();
+
+  Simulator* sim_;
+  RolloutManagerConfig config_;
+  std::vector<RolloutReplica*> replicas_;
+  RelayTier* relays_;
+  PromptPool* prompts_;
+  PartialResponsePool* partial_pool_;
+  std::function<int64_t()> backlog_fn_;
+
+  IdlenessMonitor monitor_;
+  std::unique_ptr<PeriodicTask> tick_;
+  // Recovered work waiting for a healthy replica with a matching version.
+  std::map<int, std::vector<TrajectoryWork>> pending_redirects_;
+  // Replicas that finished a batch but were backlog-gated.
+  std::vector<RolloutReplica*> starved_;
+  RolloutManagerStats stats_;
+  bool running_ = false;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_ROLLOUT_MANAGER_H_

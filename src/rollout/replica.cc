@@ -1,0 +1,469 @@
+#include "src/rollout/replica.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+const char* ReplicaPhaseName(ReplicaPhase phase) {
+  switch (phase) {
+    case ReplicaPhase::kIdle:
+      return "idle";
+    case ReplicaPhase::kGenerating:
+      return "generating";
+    case ReplicaPhase::kPaused:
+      return "paused";
+    case ReplicaPhase::kUpdatingWeights:
+      return "updating";
+    case ReplicaPhase::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+RolloutReplica::RolloutReplica(Simulator* sim, ReplicaConfig config, DecodeModel decode,
+                               double kv_capacity_tokens)
+    : sim_(sim), config_(config), decode_(std::move(decode)),
+      kv_capacity_tokens_(kv_capacity_tokens) {
+  LAMINAR_CHECK_GT(kv_capacity_tokens_, 0.0);
+  LAMINAR_CHECK_GT(config_.max_concurrency, 0);
+  TouchMetrics();
+}
+
+void RolloutReplica::TouchMetrics() {
+  SimTime now = sim_->Now();
+  metrics_.kv_used_tokens.Set(now, kv_used_tokens_);
+  metrics_.batch_size.Set(now, static_cast<double>(running_.size()));
+  metrics_.busy.Set(now, running_.empty() ? 0.0 : 1.0);
+}
+
+void RolloutReplica::AssignWork(std::vector<TrajectoryWork> works, bool kv_transferred) {
+  LAMINAR_CHECK(phase_ != ReplicaPhase::kDead) << "assigning work to a dead replica";
+  SyncProgress();
+  for (TrajectoryWork& w : works) {
+    LAMINAR_CHECK(!w.finished());
+    LAMINAR_CHECK_GE(w.remaining_in_segment(), 1);
+    if (kv_transferred && w.kv_resident) {
+      // KV pages stream over RDMA to this replica; decoding stalls for the
+      // transfer but no recompute is needed.
+      double kv_bytes = static_cast<double>(w.context_tokens) *
+                        decode_.model().kv_bytes_per_token();
+      pending_stall_seconds_ +=
+          config_.migration_fixed_overhead + kv_bytes / config_.kv_transfer_bandwidth;
+      ++metrics_.migrations_in;
+    } else {
+      w.kv_resident = false;  // will re-prefill on admission
+    }
+    waiting_.push_back(std::move(w));
+  }
+  if (phase_ == ReplicaPhase::kIdle && busy()) {
+    phase_ = ReplicaPhase::kGenerating;
+  }
+  if (phase_ == ReplicaPhase::kGenerating) {
+    TryAdmit();
+    ScheduleAdvance();
+  }
+}
+
+std::vector<TrajectoryWork> RolloutReplica::ExtractAllWork() {
+  SyncProgress();
+  std::vector<TrajectoryWork> out;
+  for (TrajectoryWork& w : running_) {
+    kv_used_tokens_ -= static_cast<double>(w.context_tokens);
+    out.push_back(std::move(w));
+  }
+  running_.clear();
+  // Env-waiting work: the sandbox call outlives the hosting replica (results
+  // flow through the manager), so we resolve the interaction here: feedback
+  // is appended to the context and the trajectory resumes at its next
+  // segment on the destination. Its cached KV on this replica is discarded.
+  for (const EnvEvent& e : env_events_) {
+    sim_->Cancel(e.event);
+  }
+  env_events_.clear();
+  for (TrajectoryWork& w : env_waiting_) {
+    kv_used_tokens_ -= static_cast<double>(w.context_tokens);
+    w.kv_resident = false;
+    const TrajectorySegment& seg = w.current_segment();
+    w.context_tokens += seg.feedback_tokens;
+    w.segment_index += 1;
+    w.decoded_in_segment = 0;
+    if (w.finished()) {
+      CompleteTrajectory(std::move(w));
+    } else {
+      out.push_back(std::move(w));
+    }
+  }
+  env_waiting_.clear();
+  for (TrajectoryWork& w : waiting_) {
+    out.push_back(std::move(w));
+  }
+  waiting_.clear();
+  metrics_.migrations_out += static_cast<int64_t>(out.size());
+  kv_used_tokens_ = 0.0;
+  pending_stall_seconds_ = 0.0;
+  if (phase_ == ReplicaPhase::kGenerating) {
+    phase_ = ReplicaPhase::kIdle;
+  }
+  TouchMetrics();
+  return out;
+}
+
+void RolloutReplica::SetWeightVersion(int version) {
+  LAMINAR_CHECK_GE(version, weight_version_);
+  weight_version_ = version;
+}
+
+void RolloutReplica::LoadCheckpointVersion(int version) {
+  LAMINAR_CHECK(phase_ == ReplicaPhase::kIdle) << "checkpoint load on a busy replica";
+  LAMINAR_CHECK_GE(version, 0);
+  weight_version_ = version;
+}
+
+void RolloutReplica::BeginWeightUpdate() {
+  LAMINAR_CHECK(phase_ == ReplicaPhase::kIdle || phase_ == ReplicaPhase::kPaused)
+      << "weight update requires a drained or paused replica, was "
+      << ReplicaPhaseName(phase_);
+  pre_update_phase_ = phase_;
+  phase_ = ReplicaPhase::kUpdatingWeights;
+}
+
+void RolloutReplica::EndWeightUpdate(int new_version, double wait_seconds) {
+  LAMINAR_CHECK(phase_ == ReplicaPhase::kUpdatingWeights);
+  SetWeightVersion(new_version);
+  metrics_.weight_update_wait_seconds += wait_seconds;
+  ++metrics_.weight_updates;
+  phase_ = pre_update_phase_;
+  if (phase_ == ReplicaPhase::kIdle && busy()) {
+    phase_ = ReplicaPhase::kGenerating;
+  }
+  if (phase_ == ReplicaPhase::kGenerating) {
+    TryAdmit();
+    ScheduleAdvance();
+  }
+}
+
+void RolloutReplica::Pause() {
+  if (phase_ != ReplicaPhase::kGenerating) {
+    if (phase_ == ReplicaPhase::kIdle) {
+      phase_ = ReplicaPhase::kPaused;
+    }
+    return;
+  }
+  SyncProgress();
+  phase_ = ReplicaPhase::kPaused;
+  TouchMetrics();
+}
+
+void RolloutReplica::Resume(int new_version, bool recompute_kv) {
+  if (phase_ == ReplicaPhase::kDead) {
+    return;
+  }
+  LAMINAR_CHECK(phase_ == ReplicaPhase::kPaused)
+      << "resume from " << ReplicaPhaseName(phase_);
+  if (new_version >= 0 && new_version != weight_version_) {
+    SetWeightVersion(new_version);
+    // Partial rollout: every open trajectory continues under the new policy.
+    auto stamp = [new_version](TrajectoryWork& w) {
+      if (!w.record.weight_versions.empty() &&
+          w.record.weight_versions.back() != new_version) {
+        w.record.weight_versions.push_back(new_version);
+      }
+    };
+    for (auto& w : running_) {
+      stamp(w);
+    }
+    for (auto& w : env_waiting_) {
+      stamp(w);
+    }
+    if (recompute_kv) {
+      // The cache holds activations of the *old* weights; every resident
+      // context must be re-prefilled (the paper's partial-rollout overhead).
+      double recompute_tokens = 0.0;
+      for (const auto& w : running_) {
+        recompute_tokens += static_cast<double>(w.context_tokens);
+      }
+      for (const auto& w : env_waiting_) {
+        recompute_tokens += static_cast<double>(w.context_tokens);
+      }
+      pending_stall_seconds_ += decode_.PrefillLatency(recompute_tokens);
+      metrics_.prefill_tokens += static_cast<int64_t>(recompute_tokens);
+    }
+  }
+  phase_ = busy() ? ReplicaPhase::kGenerating : ReplicaPhase::kIdle;
+  if (phase_ == ReplicaPhase::kGenerating) {
+    TryAdmit();
+    ScheduleAdvance();
+  }
+}
+
+void RolloutReplica::Kill() {
+  CancelAdvance();
+  for (const EnvEvent& e : env_events_) {
+    sim_->Cancel(e.event);
+  }
+  env_events_.clear();
+  running_.clear();
+  waiting_.clear();
+  env_waiting_.clear();
+  kv_used_tokens_ = 0.0;
+  pending_stall_seconds_ = 0.0;
+  phase_ = ReplicaPhase::kDead;
+  TouchMetrics();
+}
+
+void RolloutReplica::Revive() {
+  LAMINAR_CHECK(phase_ == ReplicaPhase::kDead);
+  phase_ = ReplicaPhase::kIdle;
+  TouchMetrics();
+}
+
+ReplicaSnapshot RolloutReplica::Snapshot() const {
+  ReplicaSnapshot snap;
+  snap.replica_id = config_.id;
+  snap.weight_version = weight_version_;
+  snap.kv_used_frac = kv_used_frac();
+  snap.num_reqs = num_reqs();
+  snap.num_waiting = static_cast<int>(waiting_.size());
+  snap.busy = busy();
+  snap.eligible = phase_ == ReplicaPhase::kGenerating;
+  return snap;
+}
+
+void RolloutReplica::CancelAdvance() {
+  if (advance_event_ != kInvalidEventId) {
+    sim_->Cancel(advance_event_);
+    advance_event_ = kInvalidEventId;
+  }
+}
+
+void RolloutReplica::SyncProgress() {
+  if (advance_event_ == kInvalidEventId) {
+    return;
+  }
+  double elapsed = sim_->Now() - advance_start_;
+  double decode_elapsed = elapsed - advance_stall_;
+  int64_t done = 0;
+  if (decode_elapsed > 0.0 && advance_step_latency_ > 0.0) {
+    done = static_cast<int64_t>(std::floor(decode_elapsed / advance_step_latency_));
+    // Boundaries are handled only by Advance(); stay strictly before them.
+    done = std::min(done, advance_steps_ - 1);
+    done = std::max<int64_t>(done, 0);
+  }
+  if (done > 0) {
+    int64_t batch = static_cast<int64_t>(running_.size());
+    for (TrajectoryWork& w : running_) {
+      w.decoded_in_segment += done;
+      w.context_tokens += done;
+    }
+    kv_used_tokens_ += static_cast<double>(batch * done);
+    metrics_.decode_tokens += batch * done;
+  }
+  // Unconsumed prefill debt carries over to the next schedule.
+  pending_stall_seconds_ += std::max(0.0, advance_stall_ - std::max(elapsed, 0.0));
+  CancelAdvance();
+}
+
+void RolloutReplica::ScheduleAdvance() {
+  if (phase_ != ReplicaPhase::kGenerating) {
+    return;
+  }
+  SyncProgress();
+  if (running_.empty()) {
+    TryAdmit();
+    if (running_.empty()) {
+      TouchMetrics();
+      return;  // everything is env-waiting or the replica drained
+    }
+  }
+  PreemptForHeadroom();
+  if (running_.empty()) {
+    TouchMetrics();
+    return;
+  }
+  int batch = static_cast<int>(running_.size());
+  double total_ctx = 0.0;
+  int64_t min_remaining = INT64_MAX;
+  for (const TrajectoryWork& w : running_) {
+    total_ctx += static_cast<double>(w.context_tokens);
+    min_remaining = std::min(min_remaining, w.remaining_in_segment());
+  }
+  LAMINAR_CHECK_GE(min_remaining, 1);
+  double avg_ctx = total_ctx / batch;
+  double step_latency = decode_.StepLatency(batch, avg_ctx);
+  int64_t kv_steps = static_cast<int64_t>(
+      std::floor((kv_capacity_tokens_ - kv_used_tokens_) / batch));
+  kv_steps = std::max<int64_t>(kv_steps, 1);  // headroom guaranteed by preemption
+  int64_t steps =
+      std::min({min_remaining, kv_steps, config_.max_steps_per_advance});
+  double duration = pending_stall_seconds_ + static_cast<double>(steps) * step_latency;
+  advance_start_ = sim_->Now();
+  advance_steps_ = steps;
+  advance_step_latency_ = step_latency;
+  advance_stall_ = pending_stall_seconds_;
+  pending_stall_seconds_ = 0.0;
+  TouchMetrics();
+  advance_event_ = sim_->ScheduleAfter(duration, [this, steps] { Advance(steps); });
+}
+
+void RolloutReplica::PreemptForHeadroom() {
+  // Keep enough free cache for every running sequence to take a burst of
+  // steps; evicting the most recently admitted sequence frees its context
+  // (it will re-prefill once space reappears).
+  while (!running_.empty() &&
+         kv_capacity_tokens_ - kv_used_tokens_ <
+             static_cast<double>(running_.size() * config_.kv_preempt_headroom_steps)) {
+    TrajectoryWork victim = std::move(running_.back());
+    running_.pop_back();
+    kv_used_tokens_ -= static_cast<double>(victim.context_tokens);
+    victim.kv_resident = false;
+    waiting_.push_front(std::move(victim));
+    ++metrics_.preemptions;
+  }
+}
+
+void RolloutReplica::TryAdmit() {
+  double admit_limit = kv_capacity_tokens_ * (1.0 - config_.admit_headroom_frac);
+  while (!waiting_.empty()) {
+    int active = static_cast<int>(running_.size() + env_waiting_.size());
+    if (active >= config_.max_concurrency) {
+      break;
+    }
+    TrajectoryWork& front = waiting_.front();
+    double needed = static_cast<double>(front.context_tokens);
+    double growth_reserve = static_cast<double>(
+        (static_cast<int64_t>(running_.size()) + 1) * config_.kv_growth_reserve_steps);
+    if (kv_used_tokens_ + needed + growth_reserve > admit_limit) {
+      break;
+    }
+    TrajectoryWork w = std::move(front);
+    waiting_.pop_front();
+    if (!w.kv_resident) {
+      pending_stall_seconds_ += decode_.PrefillLatency(static_cast<double>(w.context_tokens));
+      metrics_.prefill_tokens += w.context_tokens;
+      w.kv_resident = true;
+    }
+    kv_used_tokens_ += static_cast<double>(w.context_tokens);
+    if (w.record.weight_versions.empty()) {
+      w.record.weight_versions.push_back(weight_version_);
+    }
+    if (on_progress_) {
+      on_progress_(w, config_.id);
+    }
+    running_.push_back(std::move(w));
+  }
+}
+
+void RolloutReplica::Advance(int64_t steps) {
+  advance_event_ = kInvalidEventId;
+  LAMINAR_CHECK(!running_.empty());
+  int64_t batch = static_cast<int64_t>(running_.size());
+  for (TrajectoryWork& w : running_) {
+    w.decoded_in_segment += steps;
+    w.context_tokens += steps;
+  }
+  kv_used_tokens_ += static_cast<double>(batch * steps);
+  metrics_.decode_tokens += batch * steps;
+
+  // Split out the sequences that hit their segment boundary.
+  std::vector<TrajectoryWork> at_boundary;
+  std::vector<TrajectoryWork> still_running;
+  still_running.reserve(running_.size());
+  for (TrajectoryWork& w : running_) {
+    if (w.remaining_in_segment() <= 0) {
+      at_boundary.push_back(std::move(w));
+    } else {
+      still_running.push_back(std::move(w));
+    }
+  }
+  running_ = std::move(still_running);
+  for (TrajectoryWork& w : at_boundary) {
+    FinishSegment(std::move(w));
+  }
+  TryAdmit();
+  ScheduleAdvance();
+  CheckBatchDone();
+}
+
+void RolloutReplica::FinishSegment(TrajectoryWork work) {
+  const TrajectorySegment& seg = work.current_segment();
+  if (seg.env_latency > 0.0) {
+    // Trajectory leaves the decode batch for its sandbox call; the KV pages
+    // stay resident so no recompute is needed on rejoin.
+    TrajId id = work.record.id;
+    if (on_progress_) {
+      on_progress_(work, config_.id);
+    }
+    env_waiting_.push_back(std::move(work));
+    SimTime at = sim_->Now() + seg.env_latency;
+    EventId eid = sim_->ScheduleAt(at, [this, id] { RejoinFromEnv(id); });
+    env_events_.push_back(EnvEvent{id, eid, at});
+    return;
+  }
+  work.segment_index += 1;
+  work.decoded_in_segment = 0;
+  if (work.finished()) {
+    CompleteTrajectory(std::move(work));
+  } else {
+    running_.push_back(std::move(work));
+  }
+}
+
+void RolloutReplica::RejoinFromEnv(TrajId id) {
+  SyncProgress();
+  auto it = std::find_if(env_waiting_.begin(), env_waiting_.end(),
+                         [id](const TrajectoryWork& w) { return w.record.id == id; });
+  LAMINAR_CHECK(it != env_waiting_.end()) << "env rejoin for unknown trajectory " << id;
+  TrajectoryWork work = std::move(*it);
+  env_waiting_.erase(it);
+  env_events_.erase(std::remove_if(env_events_.begin(), env_events_.end(),
+                                   [id](const EnvEvent& e) { return e.id == id; }),
+                    env_events_.end());
+  const TrajectorySegment& seg = work.current_segment();
+  // Sandbox output becomes new context: it occupies KV and must be prefilled.
+  work.context_tokens += seg.feedback_tokens;
+  if (work.kv_resident) {
+    kv_used_tokens_ += static_cast<double>(seg.feedback_tokens);
+  }
+  pending_stall_seconds_ += decode_.PrefillLatency(static_cast<double>(seg.feedback_tokens));
+  metrics_.prefill_tokens += seg.feedback_tokens;
+  work.segment_index += 1;
+  work.decoded_in_segment = 0;
+  if (work.finished()) {
+    CompleteTrajectory(std::move(work));
+  } else if (work.kv_resident) {
+    running_.push_back(std::move(work));
+  } else {
+    waiting_.push_front(std::move(work));
+  }
+  if (phase_ == ReplicaPhase::kGenerating) {
+    TryAdmit();
+    ScheduleAdvance();
+  }
+  CheckBatchDone();
+}
+
+void RolloutReplica::CompleteTrajectory(TrajectoryWork work) {
+  if (work.kv_resident) {
+    kv_used_tokens_ -= static_cast<double>(work.context_tokens);
+  }
+  work.record.finished = sim_->Now();
+  ++metrics_.completed_trajectories;
+  if (on_complete_) {
+    on_complete_(std::move(work.record));
+  }
+}
+
+void RolloutReplica::CheckBatchDone() {
+  if (phase_ == ReplicaPhase::kGenerating && !busy()) {
+    phase_ = ReplicaPhase::kIdle;
+    TouchMetrics();
+    if (on_batch_done_) {
+      on_batch_done_(this);
+    }
+  }
+}
+
+}  // namespace laminar

@@ -1,0 +1,206 @@
+// Rollout replica: an event-driven continuous-batching generation engine.
+//
+// The replica models a vLLM-style server occupying `tensor_parallel` GPUs.
+// It maintains a decode batch of running trajectories, a queue of admitted
+// but not-yet-cached trajectories, and a set of trajectories blocked on
+// environment calls. Decoding advances in analytic jumps: between batch
+// membership changes, per-step latency is constant, so the engine skips the
+// clock straight to the next boundary (trajectory segment end, KVCache
+// exhaustion, or a step cap that bounds interpolation error).
+//
+// KVCache accounting follows the paper's Figure 9 lifecycle: admissions fill
+// the cache to ~C_max, waiting trajectories backfill freed space, and only
+// when the waiting queue drains does utilization ramp down — the signal the
+// repack monitor keys on.
+#ifndef LAMINAR_SRC_ROLLOUT_REPLICA_H_
+#define LAMINAR_SRC_ROLLOUT_REPLICA_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/data/trajectory.h"
+#include "src/llm/decode_model.h"
+#include "src/repack/snapshot.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+
+enum class ReplicaPhase {
+  kIdle,            // no work assigned
+  kGenerating,      // actively decoding / waiting on env
+  kPaused,          // stopped for a global sync (baseline systems)
+  kUpdatingWeights, // pulling new weights from the relay / sync source
+  kDead,            // machine failed
+};
+
+const char* ReplicaPhaseName(ReplicaPhase phase);
+
+struct ReplicaConfig {
+  int id = 0;
+  int machine = 0;  // hosting machine == relay index
+  // Maximum trajectories resident at once (paper's per-rollout concurrency).
+  int max_concurrency = 1024;
+  // Fraction of KVCache kept free when admitting new trajectories.
+  double admit_headroom_frac = 0.01;
+  // Admission additionally reserves this many decode steps of growth for
+  // every running sequence, so admitted batches can run for a while before
+  // the cache fills (hysteresis against preemption thrash).
+  int64_t kv_growth_reserve_steps = 384;
+  // When free cache falls below this many steps of growth, preempt until it
+  // does not (recompute-style preemption, as in vLLM).
+  int64_t kv_preempt_headroom_steps = 16;
+  // Interpolation cap: an advance never covers more decode steps than this,
+  // bounding how stale the KV/progress accounting can get between events.
+  int64_t max_steps_per_advance = 256;
+  // Per-trajectory RDMA KV-transfer coordination cost during repack, seconds.
+  double migration_fixed_overhead = 0.02;
+  // RDMA bandwidth used to move KV pages during repack migration.
+  double kv_transfer_bandwidth = 50.0e9;
+};
+
+struct ReplicaMetrics {
+  StepIntegrator kv_used_tokens;
+  StepIntegrator batch_size;
+  StepIntegrator busy;  // 1 when the decode batch is non-empty
+  int64_t decode_tokens = 0;
+  int64_t prefill_tokens = 0;
+  int64_t completed_trajectories = 0;
+  int64_t preemptions = 0;
+  int64_t migrations_in = 0;
+  int64_t migrations_out = 0;
+  double weight_update_wait_seconds = 0.0;
+  int weight_updates = 0;
+};
+
+class RolloutReplica {
+ public:
+  // Fired when one trajectory finishes generation.
+  using CompletionCallback = std::function<void(TrajectoryRecord record)>;
+  // Fired when the replica drains all assigned work.
+  using BatchDoneCallback = std::function<void(RolloutReplica* replica)>;
+  // Streamed in-progress state, for the partial-response pool.
+  using ProgressCallback = std::function<void(const TrajectoryWork& work, int replica_id)>;
+
+  RolloutReplica(Simulator* sim, ReplicaConfig config, DecodeModel decode,
+                 double kv_capacity_tokens);
+
+  void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
+  void set_on_batch_done(BatchDoneCallback cb) { on_batch_done_ = std::move(cb); }
+  void set_on_progress(ProgressCallback cb) { on_progress_ = std::move(cb); }
+
+  // Work assignment ---------------------------------------------------------
+  // Queues fresh or redirected work. Fresh records are stamped with the
+  // replica's current weight version. `kv_transferred` marks repack
+  // migrations whose KV pages are copied over RDMA (no recompute); work that
+  // lost its cache (failure redirect, preemption elsewhere) re-prefills.
+  void AssignWork(std::vector<TrajectoryWork> works, bool kv_transferred = false);
+
+  // Removes and returns every in-flight trajectory (running, env-waiting and
+  // queued), e.g. when this replica is chosen as a repack source. KV
+  // residency flags are preserved so the caller can decide transfer vs
+  // recompute semantics.
+  std::vector<TrajectoryWork> ExtractAllWork();
+
+  // Weights ------------------------------------------------------------------
+  int weight_version() const { return weight_version_; }
+  void SetWeightVersion(int version);
+  // Loads an arbitrary (possibly older) checkpointed version — used when a
+  // replacement replica must finish trajectories started under an old policy
+  // (paper §3.3: "loading specific weight versions from actor checkpointing
+  // files"). Only valid on an idle replica.
+  void LoadCheckpointVersion(int version);
+  // Marks the replica as performing a weight update; generation must be
+  // drained or paused. EndWeightUpdate() restores the previous phase.
+  void BeginWeightUpdate();
+  void EndWeightUpdate(int new_version, double wait_seconds);
+
+  // Global-sync baselines -----------------------------------------------------
+  // Stops decoding (keeps state). Used at global synchronization points.
+  void Pause();
+  // Resumes decoding. If `new_version` >= 0, in-flight trajectories continue
+  // under the new weights (partial rollout): each open trajectory gains a
+  // version entry and, if `recompute_kv`, its whole context is re-prefilled
+  // (the KVCache recomputation overhead the paper charges to AReaL).
+  void Resume(int new_version = -1, bool recompute_kv = false);
+
+  // Faults --------------------------------------------------------------------
+  void Kill();    // machine failure: loses all in-flight work and cache
+  void Revive();  // replacement machine initialized
+
+  // Introspection ---------------------------------------------------------------
+  ReplicaPhase phase() const { return phase_; }
+  bool busy() const { return !running_.empty() || !waiting_.empty() || !env_waiting_.empty(); }
+  int num_reqs() const {
+    return static_cast<int>(running_.size() + waiting_.size() + env_waiting_.size());
+  }
+  double kv_used_tokens() const { return kv_used_tokens_; }
+  double kv_capacity_tokens() const { return kv_capacity_tokens_; }
+  double kv_used_frac() const { return kv_used_tokens_ / kv_capacity_tokens_; }
+  ReplicaSnapshot Snapshot() const;
+  const ReplicaConfig& config() const { return config_; }
+  const DecodeModel& decode_model() const { return decode_; }
+  const ReplicaMetrics& metrics() const { return metrics_; }
+  int64_t total_tokens_generated() const {
+    return metrics_.decode_tokens;
+  }
+
+ private:
+  void ScheduleAdvance();
+  void CancelAdvance();
+  // Credits decode steps already performed by the in-flight advance (if any)
+  // and cancels it. Must precede any mutation of the batch state.
+  void SyncProgress();
+  void Advance(int64_t steps);
+  void TryAdmit();
+  void PreemptForHeadroom();
+  void FinishSegment(TrajectoryWork work);
+  void RejoinFromEnv(TrajId id);
+  void CompleteTrajectory(TrajectoryWork work);
+  void CheckBatchDone();
+  void TouchMetrics();
+
+  Simulator* sim_;
+  ReplicaConfig config_;
+  DecodeModel decode_;
+  double kv_capacity_tokens_;
+
+  ReplicaPhase phase_ = ReplicaPhase::kIdle;
+  ReplicaPhase pre_update_phase_ = ReplicaPhase::kIdle;
+  int weight_version_ = 0;
+
+  struct EnvEvent {
+    TrajId id = kInvalidTrajId;
+    EventId event = kInvalidEventId;
+    SimTime at;
+  };
+
+  std::vector<TrajectoryWork> running_;
+  std::deque<TrajectoryWork> waiting_;
+  std::vector<TrajectoryWork> env_waiting_;  // paired with pending env events
+  std::vector<EnvEvent> env_events_;
+
+  double kv_used_tokens_ = 0.0;
+  // Prefill/KV-transfer work that must complete before decoding resumes;
+  // consumed by the next scheduled advance.
+  double pending_stall_seconds_ = 0.0;
+
+  EventId advance_event_ = kInvalidEventId;
+  // Metadata of the in-flight advance, for partial-progress crediting.
+  SimTime advance_start_;
+  int64_t advance_steps_ = 0;
+  double advance_step_latency_ = 0.0;
+  double advance_stall_ = 0.0;
+
+  ReplicaMetrics metrics_;
+
+  CompletionCallback on_complete_;
+  BatchDoneCallback on_batch_done_;
+  ProgressCallback on_progress_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_ROLLOUT_REPLICA_H_

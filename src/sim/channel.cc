@@ -1,0 +1,35 @@
+#include "src/sim/channel.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+SerialChannel::SerialChannel(double bandwidth_bytes_per_sec, double latency_seconds)
+    : bandwidth_(bandwidth_bytes_per_sec), latency_(latency_seconds) {
+  LAMINAR_CHECK_GT(bandwidth_, 0.0);
+  LAMINAR_CHECK_GE(latency_, 0.0);
+}
+
+SimTime SerialChannel::Transfer(SimTime now, double bytes) {
+  LAMINAR_CHECK_GE(bytes, 0.0);
+  SimTime start = std::max(now, available_at_);
+  double duration = IdealDuration(bytes);
+  available_at_ = start + duration;
+  bytes_carried_ += bytes;
+  busy_seconds_ += duration;
+  return available_at_;
+}
+
+double SerialChannel::IdealDuration(double bytes) const {
+  return latency_ + bytes / bandwidth_;
+}
+
+void SerialChannel::Reset() {
+  available_at_ = SimTime::Zero();
+  bytes_carried_ = 0.0;
+  busy_seconds_ = 0.0;
+}
+
+}  // namespace laminar

@@ -1,0 +1,51 @@
+// Serialized transfer channels.
+//
+// A SerialChannel models a link or service endpoint that can carry one
+// transfer at a time at a fixed bandwidth (an alpha-beta cost model with FIFO
+// queueing). Concurrent requests queue behind each other, which is how a
+// master relay or a storage system becomes a contention bottleneck when many
+// rollouts pull weights simultaneously (paper section 4.1).
+#ifndef LAMINAR_SRC_SIM_CHANNEL_H_
+#define LAMINAR_SRC_SIM_CHANNEL_H_
+
+#include <cstdint>
+
+#include "src/common/sim_time.h"
+
+namespace laminar {
+
+class SerialChannel {
+ public:
+  // `bandwidth_bytes_per_sec` > 0; `latency_seconds` is the per-transfer
+  // startup cost (T_start in the paper's Appendix D).
+  SerialChannel(double bandwidth_bytes_per_sec, double latency_seconds);
+
+  // Enqueues a transfer of `bytes` starting no earlier than `now`; returns
+  // the completion time. Subsequent transfers queue behind it.
+  SimTime Transfer(SimTime now, double bytes);
+
+  // Time a transfer of `bytes` would take on an idle channel.
+  double IdealDuration(double bytes) const;
+
+  // Next instant the channel is free.
+  SimTime available_at() const { return available_at_; }
+  double bandwidth() const { return bandwidth_; }
+  double latency() const { return latency_; }
+  // Total bytes carried so far.
+  double bytes_carried() const { return bytes_carried_; }
+  // Total time spent busy.
+  double busy_seconds() const { return busy_seconds_; }
+
+  void Reset();
+
+ private:
+  double bandwidth_;
+  double latency_;
+  SimTime available_at_ = SimTime::Zero();
+  double bytes_carried_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_SIM_CHANNEL_H_

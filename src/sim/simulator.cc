@@ -1,0 +1,117 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  LAMINAR_CHECK(t >= now_) << "scheduling into the past: " << t.seconds() << " < "
+                           << now_.seconds();
+  EventId id = next_id_++;
+  heap_.push(HeapEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(double delay, std::function<void()> fn) {
+  LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      continue;  // Cancelled; tombstone in the heap.
+    }
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!heap_.empty()) {
+    // Skip tombstones to see the genuine next event time.
+    while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().time > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (deadline > now_ && deadline.is_finite()) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunUntilIdle(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && Step()) {
+    ++n;
+  }
+}
+
+bool Simulator::RunUntilTrue(const std::function<bool()>& predicate, uint64_t max_events) {
+  if (predicate()) {
+    return true;
+  }
+  uint64_t n = 0;
+  while (n < max_events && Step()) {
+    ++n;
+    if (predicate()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, double period, std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  LAMINAR_CHECK_GT(period_, 0.0);
+}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  pending_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_ != kInvalidEventId) {
+    sim_->Cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTask::Tick() {
+  pending_ = kInvalidEventId;
+  if (!running_) {
+    return;
+  }
+  fn_();
+  if (running_) {
+    pending_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  }
+}
+
+}  // namespace laminar

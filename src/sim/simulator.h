@@ -1,0 +1,109 @@
+// Discrete-event simulation engine.
+//
+// The simulator owns a virtual clock and a priority queue of scheduled
+// callbacks. Events at equal timestamps execute in scheduling order, which —
+// combined with the deterministic Rng streams (common/rng.h) — makes every
+// run bit-reproducible. The engine is single-threaded by design: RL cluster
+// behaviour is modelled by the *timing* of events, not by real concurrency.
+#ifndef LAMINAR_SRC_SIM_SIMULATOR_H_
+#define LAMINAR_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace laminar {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `t` (>= Now()). Returns an id that
+  // can be passed to Cancel() until the event fires.
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  // Schedules `fn` after `delay` seconds (>= 0).
+  EventId ScheduleAfter(double delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  bool Cancel(EventId id);
+  bool IsPending(EventId id) const { return callbacks_.count(id) > 0; }
+
+  // Executes the next pending event, advancing the clock. Returns false if
+  // the queue is empty.
+  bool Step();
+
+  // Runs events until the clock would pass `deadline`; the clock finishes at
+  // exactly `deadline` (events at later times remain pending).
+  void RunUntil(SimTime deadline);
+
+  // Runs until no events remain or `max_events` have executed.
+  void RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  // Runs until `predicate()` returns true (checked after every event) or the
+  // queue drains. Returns true if the predicate was satisfied.
+  bool RunUntilTrue(const std::function<bool()>& predicate,
+                    uint64_t max_events = UINT64_MAX);
+
+  size_t pending_events() const { return callbacks_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::Zero();
+  uint64_t next_seq_ = 1;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+// A repeating timer: runs `fn` every `period` seconds starting at
+// `start + period` until Stop() or the owner is destroyed. Used for
+// heartbeats and the rollout manager's periodic repack check.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator* sim, double period, std::function<void()> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  void set_period(double period) { period_ = period; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  double period_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEventId;
+  bool running_ = false;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,214 @@
+#include "src/trainer/trainer.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+Trainer::Trainer(Simulator* sim, TrainerConfig config, TrainCostModel cost,
+                 ExperienceBuffer* buffer, Policy* policy)
+    : sim_(sim), config_(config), cost_(std::move(cost)), buffer_(buffer), policy_(policy) {
+  LAMINAR_CHECK_GT(config_.global_batch, 0);
+  LAMINAR_CHECK_GT(config_.num_minibatches, 0);
+  LAMINAR_CHECK_EQ(config_.global_batch % config_.num_minibatches, 0);
+}
+
+void Trainer::Start() {
+  started_ = true;
+  last_completed_ = sim_->Now();
+  stream_idle_since_ = sim_->Now();
+  TryBegin();
+}
+
+void Trainer::NotifyData() {
+  if (!started_ || dead_) {
+    return;
+  }
+  TryBegin();
+}
+
+void Trainer::TryBegin() {
+  if (busy_ && config_.mode == TrainerMode::kFullBatch) {
+    return;
+  }
+  if (config_.mode == TrainerMode::kFullBatch) {
+    if (begin_gate_ && !begin_gate_()) {
+      return;
+    }
+    if (buffer_->CanSample(static_cast<size_t>(config_.global_batch))) {
+      BeginFullBatch();
+    }
+    return;
+  }
+  TryBeginMinibatch();
+}
+
+std::vector<std::vector<TrajectoryRecord>> Trainer::SplitMinibatches(
+    std::vector<TrajectoryRecord> batch) const {
+  size_t per_mb = batch.size() / config_.num_minibatches;
+  std::vector<std::vector<TrajectoryRecord>> out;
+  out.reserve(config_.num_minibatches);
+  size_t idx = 0;
+  for (int m = 0; m < config_.num_minibatches; ++m) {
+    std::vector<TrajectoryRecord> mb;
+    size_t take = m + 1 == config_.num_minibatches ? batch.size() - idx : per_mb;
+    mb.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      mb.push_back(std::move(batch[idx++]));
+    }
+    out.push_back(std::move(mb));
+  }
+  return out;
+}
+
+void Trainer::RecordBatchStats(const std::vector<TrajectoryRecord>& batch,
+                               IterationStats& stats) {
+  for (const TrajectoryRecord& rec : batch) {
+    stats.tokens += static_cast<double>(rec.total_tokens());
+    stats.mean_reward += rec.reward;
+    int staleness = rec.consume_staleness();
+    stats.mean_consume_staleness += staleness;
+    stats.max_consume_staleness = std::max(stats.max_consume_staleness, staleness);
+    if (rec.mixed_version()) {
+      stats.mixed_version_fraction += 1.0;
+    }
+    consume_staleness_.Add(static_cast<double>(staleness));
+    inherent_staleness_.Add(static_cast<double>(rec.inherent_staleness()));
+  }
+  double n = static_cast<double>(batch.size());
+  stats.mean_reward /= n;
+  stats.mean_consume_staleness /= n;
+  stats.mixed_version_fraction /= n;
+}
+
+void Trainer::BeginFullBatch() {
+  busy_ = true;
+  IterationStats stats;
+  stats.started = sim_->Now();
+  stats.data_wait_seconds = sim_->Now() - last_completed_;
+  std::vector<TrajectoryRecord> batch =
+      buffer_->Sample(static_cast<size_t>(config_.global_batch), version_);
+  RecordBatchStats(batch, stats);
+
+  // Policy math runs eagerly, mini-batch by mini-batch (the parameter values
+  // it produces are what matters; the wall time is charged below).
+  double clip_sum = 0.0;
+  for (auto& mb : SplitMinibatches(std::move(batch))) {
+    UpdateStats u = policy_->UpdateMinibatch(mb, config_.algorithm);
+    clip_sum += u.clip_fraction;
+  }
+  stats.clip_fraction = clip_sum / config_.num_minibatches;
+
+  stats.train_seconds = cost_.IterationTime(stats.tokens, config_.num_minibatches);
+  pending_event_ = sim_->ScheduleAfter(stats.train_seconds, [this, stats]() mutable {
+    pending_event_ = kInvalidEventId;
+    FinishIteration(std::move(stats));
+  });
+}
+
+void Trainer::TryBeginMinibatch() {
+  if (stream_mb_running_ || dead_) {
+    return;
+  }
+  if (begin_gate_ && !begin_gate_()) {
+    return;
+  }
+  size_t mb_size = static_cast<size_t>(config_.global_batch / config_.num_minibatches);
+  if (!buffer_->CanSample(mb_size)) {
+    return;
+  }
+  if (stream_mb_done_ == 0) {
+    stream_stats_ = IterationStats{};
+    stream_stats_.started = sim_->Now();
+    stream_stats_.data_wait_seconds = sim_->Now() - stream_idle_since_;
+  } else {
+    stream_stats_.data_wait_seconds += sim_->Now() - stream_idle_since_;
+  }
+  busy_ = true;
+  stream_mb_running_ = true;
+  std::vector<TrajectoryRecord> mb = buffer_->Sample(mb_size, version_);
+  IterationStats mb_stats;
+  RecordBatchStats(mb, mb_stats);
+  stream_stats_.tokens += mb_stats.tokens;
+  double w_old = static_cast<double>(stream_mb_done_);
+  double w_new = 1.0;
+  auto blend = [&](double acc, double v) { return (acc * w_old + v * w_new) / (w_old + w_new); };
+  stream_stats_.mean_reward = blend(stream_stats_.mean_reward, mb_stats.mean_reward);
+  stream_stats_.mean_consume_staleness =
+      blend(stream_stats_.mean_consume_staleness, mb_stats.mean_consume_staleness);
+  stream_stats_.max_consume_staleness =
+      std::max(stream_stats_.max_consume_staleness, mb_stats.max_consume_staleness);
+  stream_stats_.mixed_version_fraction =
+      blend(stream_stats_.mixed_version_fraction, mb_stats.mixed_version_fraction);
+
+  UpdateStats u = policy_->UpdateMinibatch(mb, config_.algorithm);
+  stream_stats_.clip_fraction = blend(stream_stats_.clip_fraction, u.clip_fraction);
+
+  // Streaming overlaps generation with training, but the reference/old
+  // log-prob forwards still run on the trainer GPUs for every mini-batch.
+  double duration = cost_.MinibatchTime(mb_stats.tokens) +
+                    cost_.ExperiencePrepTime(mb_stats.tokens);
+  stream_stats_.train_seconds += duration;
+  pending_event_ = sim_->ScheduleAfter(duration, [this] {
+    pending_event_ = kInvalidEventId;
+    stream_mb_running_ = false;
+    ++stream_mb_done_;
+    stream_idle_since_ = sim_->Now();
+    if (stream_mb_done_ >= config_.num_minibatches) {
+      stream_mb_done_ = 0;
+      FinishIteration(stream_stats_);
+    } else {
+      TryBeginMinibatch();
+    }
+  });
+}
+
+void Trainer::FinishIteration(IterationStats stats) {
+  ++version_;
+  int published = policy_->PublishVersion();
+  LAMINAR_CHECK_EQ(published, version_);
+  stats.version = version_;
+  stats.publish_stall_seconds = publish_fn_ ? publish_fn_(version_) : 0.0;
+
+  double stall = stats.publish_stall_seconds;
+  pending_event_ = sim_->ScheduleAfter(stall, [this, stats]() mutable {
+    pending_event_ = kInvalidEventId;
+    stats.completed = sim_->Now();
+    last_completed_ = sim_->Now();
+    stream_idle_since_ = sim_->Now();
+    busy_ = false;
+    iterations_.push_back(stats);
+    if (on_iteration_) {
+      on_iteration_(stats);
+    }
+    if (config_.auto_continue && !dead_) {
+      TryBegin();
+    }
+  });
+}
+
+void Trainer::Kill(double recovery_seconds) {
+  dead_ = true;
+  busy_ = false;
+  stream_mb_running_ = false;
+  stream_mb_done_ = 0;
+  if (pending_event_ != kInvalidEventId) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = kInvalidEventId;
+  }
+  // Standard checkpoint recovery: the actor reloads the latest published
+  // version, discarding any unpublished mini-batch updates, then resumes
+  // sampling from the experience buffer.
+  policy_->RestoreVersion(version_);
+  sim_->ScheduleAfter(recovery_seconds, [this] {
+    dead_ = false;
+    last_completed_ = sim_->Now();
+    stream_idle_since_ = sim_->Now();
+    if (started_) {
+      TryBegin();
+    }
+  });
+}
+
+}  // namespace laminar

@@ -1,0 +1,125 @@
+// Trainer: consumes experience batches, applies policy updates, and
+// publishes weight versions (paper §3.1 "Trainer" module).
+//
+// Two consumption modes cover the evaluated systems:
+//  * kFullBatch — samples a whole global batch, then runs experience prep +
+//    N mini-batch updates back-to-back (verl, one-step, AReaL, Laminar).
+//  * kStreaming — starts a mini-batch update as soon as one mini-batch of
+//    trajectories is buffered, overlapping prep with generation (the
+//    stream-generation baseline).
+//
+// Publication is abstracted behind publish_fn so drivers plug in either the
+// relay tier (Laminar: sub-second stall, background broadcast) or a
+// GPU-direct global synchronization (baselines: actor and all rollouts stall).
+#ifndef LAMINAR_SRC_TRAINER_TRAINER_H_
+#define LAMINAR_SRC_TRAINER_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/data/experience_buffer.h"
+#include "src/llm/train_cost.h"
+#include "src/policy/policy.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+
+enum class TrainerMode { kFullBatch, kStreaming };
+
+struct TrainerConfig {
+  int global_batch = 8192;    // trajectories per RL iteration
+  int num_minibatches = 16;   // mini-batch update steps per iteration
+  TrainerMode mode = TrainerMode::kFullBatch;
+  RlAlgorithm algorithm = RlAlgorithm::kGrpo;
+  // Begin the next iteration as soon as data allows (asynchronous systems).
+  // When false the driver sequences iterations explicitly (verl/one-step).
+  bool auto_continue = true;
+};
+
+struct IterationStats {
+  int version = 0;        // version published by this iteration
+  SimTime started;
+  SimTime completed;      // after the publish stall
+  double data_wait_seconds = 0.0;  // idle time waiting for experiences
+  double train_seconds = 0.0;      // prep + mini-batch compute
+  double publish_stall_seconds = 0.0;
+  double tokens = 0.0;    // prompt + response tokens consumed
+  double mean_reward = 0.0;
+  double mean_consume_staleness = 0.0;
+  int max_consume_staleness = 0;
+  double mixed_version_fraction = 0.0;
+  double clip_fraction = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(Simulator* sim, TrainerConfig config, TrainCostModel cost,
+          ExperienceBuffer* buffer, Policy* policy);
+
+  // Returns the actor stall (seconds) for distributing version `v`.
+  void set_publish_fn(std::function<double(int version)> fn) { publish_fn_ = std::move(fn); }
+  void set_on_iteration(std::function<void(const IterationStats&)> fn) {
+    on_iteration_ = std::move(fn);
+  }
+
+  // Optional gate consulted before starting an iteration (full-batch mode)
+  // or a mini-batch (streaming mode). Lockstep drivers use it to hold the
+  // trainer at global synchronization barriers.
+  void set_begin_gate(std::function<bool()> gate) { begin_gate_ = std::move(gate); }
+
+  // Arms the trainer; it starts consuming once enough data is buffered.
+  void Start();
+  // Drivers call this whenever the buffer gains trajectories.
+  void NotifyData();
+
+  // Fault injection: lose the in-flight iteration, recover from checkpoint
+  // after `recovery_seconds` and resume consuming.
+  void Kill(double recovery_seconds);
+
+  int version() const { return version_; }
+  bool busy() const { return busy_; }
+  bool dead() const { return dead_; }
+  const std::vector<IterationStats>& iterations() const { return iterations_; }
+  const SampleSet& consume_staleness() const { return consume_staleness_; }
+  const SampleSet& inherent_staleness() const { return inherent_staleness_; }
+
+ private:
+  void TryBegin();
+  void BeginFullBatch();
+  void TryBeginMinibatch();
+  void FinishIteration(IterationStats stats);
+  void RecordBatchStats(const std::vector<TrajectoryRecord>& batch, IterationStats& stats);
+  std::vector<std::vector<TrajectoryRecord>> SplitMinibatches(
+      std::vector<TrajectoryRecord> batch) const;
+
+  Simulator* sim_;
+  TrainerConfig config_;
+  TrainCostModel cost_;
+  ExperienceBuffer* buffer_;
+  Policy* policy_;
+  std::function<double(int)> publish_fn_;
+  std::function<void(const IterationStats&)> on_iteration_;
+  std::function<bool()> begin_gate_;
+
+  int version_ = 0;
+  bool busy_ = false;
+  bool started_ = false;
+  bool dead_ = false;
+  SimTime last_completed_ = SimTime::Zero();
+
+  // Streaming-mode state.
+  int stream_mb_done_ = 0;
+  bool stream_mb_running_ = false;
+  IterationStats stream_stats_;
+  SimTime stream_idle_since_ = SimTime::Zero();
+
+  EventId pending_event_ = kInvalidEventId;
+  std::vector<IterationStats> iterations_;
+  SampleSet consume_staleness_;
+  SampleSet inherent_staleness_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_TRAINER_TRAINER_H_

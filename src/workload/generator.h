@@ -1,0 +1,56 @@
+// Workload generator: turns (task, prompt id, weight version) into a
+// TrajectorySpec describing the generation work, deterministically per seed.
+#ifndef LAMINAR_SRC_WORKLOAD_GENERATOR_H_
+#define LAMINAR_SRC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/workload/length_model.h"
+#include "src/workload/trajectory_spec.h"
+
+namespace laminar {
+
+enum class TaskKind {
+  kMathReasoning,  // single-turn chain-of-thought (DAPO-Math-17k)
+  kToolCalling,    // multi-turn with code sandbox (ReTool-style)
+};
+
+const char* TaskKindName(TaskKind kind);
+
+struct WorkloadConfig {
+  TaskKind task = TaskKind::kMathReasoning;
+  ModelScale scale = ModelScale::k7B;
+  int64_t prompt_tokens_min = 256;
+  int64_t prompt_tokens_max = 2048;  // paper: max input length 2K
+  int max_tool_calls = 8;            // paper setting for tool calling
+  // If true, lengths drift upward with the weight version (paper §2.3).
+  bool length_drift = false;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, Rng rng);
+
+  // Samples the generation plan for one trajectory. `weight_version` only
+  // matters when length drift is enabled.
+  TrajectorySpec Sample(int weight_version);
+
+  // Expected total tokens (prompt + response + feedback) per trajectory,
+  // used for placement sanity checks and buffer sizing.
+  double ExpectedTotalTokens() const;
+  double ExpectedResponseTokens() const;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+  LengthDistribution response_lengths_;
+  LengthDistribution turn_lengths_;
+  EnvLatencyDistribution env_latency_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_WORKLOAD_GENERATOR_H_

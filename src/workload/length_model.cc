@@ -1,0 +1,99 @@
+#include "src/workload/length_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+int64_t LengthDistribution::Sample(Rng& rng) const {
+  double mu = std::log(median_tokens);
+  double x = rng.LogNormal(mu, sigma);
+  int64_t tokens = static_cast<int64_t>(std::llround(x));
+  return std::clamp(tokens, min_tokens, max_tokens);
+}
+
+double LengthDistribution::Quantile(double q) const {
+  LAMINAR_CHECK(q > 0.0 && q < 1.0);
+  // Inverse-CDF of the log-normal via the probit approximation
+  // (Acklam/Beasley-Springer-Moro rational approximation).
+  auto probit = [](double p) {
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double p_low = 0.02425;
+    if (p < p_low) {
+      double q2 = std::sqrt(-2.0 * std::log(p));
+      return (((((c[0] * q2 + c[1]) * q2 + c[2]) * q2 + c[3]) * q2 + c[4]) * q2 + c[5]) /
+             ((((d[0] * q2 + d[1]) * q2 + d[2]) * q2 + d[3]) * q2 + 1.0);
+    }
+    if (p <= 1.0 - p_low) {
+      double q2 = p - 0.5;
+      double r = q2 * q2;
+      return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q2 /
+             (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    }
+    double q2 = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q2 + c[1]) * q2 + c[2]) * q2 + c[3]) * q2 + c[4]) * q2 + c[5]) /
+           ((((d[0] * q2 + d[1]) * q2 + d[2]) * q2 + d[3]) * q2 + 1.0);
+  };
+  return median_tokens * std::exp(sigma * probit(q));
+}
+
+double LengthDistribution::mean_estimate() const {
+  double unclamped = median_tokens * std::exp(sigma * sigma / 2.0);
+  return std::min(unclamped, static_cast<double>(max_tokens));
+}
+
+LengthDistribution MathLengthDistribution(ModelScale scale) {
+  LengthDistribution d;
+  // Calibrated against Figure 17's per-checkpoint shapes: larger checkpoints
+  // emit longer, slightly less dispersed chains of thought.
+  switch (scale) {
+    case ModelScale::k7B:
+      d.median_tokens = 2200.0;
+      d.sigma = 1.00;
+      break;
+    case ModelScale::k32B:
+      d.median_tokens = 3000.0;
+      d.sigma = 0.95;
+      break;
+    case ModelScale::k72B:
+      d.median_tokens = 3600.0;
+      d.sigma = 0.90;
+      break;
+  }
+  return d;
+}
+
+LengthDistribution ToolTurnLengthDistribution() {
+  LengthDistribution d;
+  d.median_tokens = 600.0;
+  d.sigma = 0.85;
+  d.max_tokens = 4096;
+  return d;
+}
+
+double EnvLatencyDistribution::Sample(Rng& rng) const {
+  double mu = std::log(median_seconds);
+  double x = rng.LogNormal(mu, sigma);
+  return std::clamp(x, min_seconds, max_seconds);
+}
+
+EnvLatencyDistribution SandboxLatencyDistribution() { return EnvLatencyDistribution{}; }
+
+double LengthDriftFactor(int weight_version, double amplitude, double tau_versions) {
+  LAMINAR_CHECK_GE(weight_version, 0);
+  return 1.0 + amplitude * (1.0 - std::exp(-weight_version / tau_versions));
+}
+
+}  // namespace laminar

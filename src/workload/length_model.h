@@ -1,0 +1,58 @@
+// Trajectory-length and environment-latency distributions (Figures 2 and 17).
+//
+// Response lengths on reasoning datasets are extremely skewed: the paper
+// reports 99th-percentile lengths an order of magnitude above the median.
+// We model lengths as clamped log-normals whose sigma is calibrated so that
+// p99/p50 ~ 10 before clamping at the generation limit (which produces the
+// truncation spike real runs show at max_tokens).
+#ifndef LAMINAR_SRC_WORKLOAD_LENGTH_MODEL_H_
+#define LAMINAR_SRC_WORKLOAD_LENGTH_MODEL_H_
+
+#include <cstdint>
+
+#include "src/cluster/placement.h"
+#include "src/common/rng.h"
+
+namespace laminar {
+
+struct LengthDistribution {
+  double median_tokens = 2500.0;
+  double sigma = 1.0;          // log-space standard deviation
+  int64_t min_tokens = 16;
+  int64_t max_tokens = 16384;  // paper: max output length 16K
+
+  int64_t Sample(Rng& rng) const;
+  // Analytic quantile of the *unclamped* log-normal.
+  double Quantile(double q) const;
+  double mean_estimate() const;
+};
+
+// Per-checkpoint response-length distribution on DAPO-Math-17k (Figure 17).
+// Larger checkpoints produce longer chains of thought.
+LengthDistribution MathLengthDistribution(ModelScale scale);
+
+// Response lengths for the multi-turn tool-calling task (per decode turn the
+// model emits shorter bursts; totals are governed by the generator).
+LengthDistribution ToolTurnLengthDistribution();
+
+// Code-sandbox execution latency (Figure 2 right): heavy-tailed due to
+// queueing and task complexity; seconds.
+struct EnvLatencyDistribution {
+  double median_seconds = 2.0;
+  double sigma = 1.1;
+  double min_seconds = 0.2;
+  double max_seconds = 120.0;
+
+  double Sample(Rng& rng) const;
+};
+
+EnvLatencyDistribution SandboxLatencyDistribution();
+
+// Multiplier applied to trajectory lengths as training progresses: reasoning
+// RL runs show response lengths growing before stabilizing (paper §2.3).
+double LengthDriftFactor(int weight_version, double amplitude = 0.35,
+                         double tau_versions = 60.0);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_WORKLOAD_LENGTH_MODEL_H_

@@ -1,0 +1,56 @@
+// The shape of one trajectory's generation work.
+//
+// A trajectory alternates decode segments with (optional) environment
+// interactions. Single-turn math reasoning is one decode segment; multi-turn
+// tool calling interleaves decode segments with code-sandbox calls whose
+// results are appended to the context as feedback tokens (which must be
+// prefilled, not decoded).
+#ifndef LAMINAR_SRC_WORKLOAD_TRAJECTORY_SPEC_H_
+#define LAMINAR_SRC_WORKLOAD_TRAJECTORY_SPEC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace laminar {
+
+struct TrajectorySegment {
+  int64_t decode_tokens = 0;     // tokens generated auto-regressively
+  double env_latency = 0.0;      // sandbox/API wait after this segment (0 if none)
+  int64_t feedback_tokens = 0;   // env output appended to context after the wait
+};
+
+struct TrajectorySpec {
+  int64_t prompt_tokens = 0;
+  std::vector<TrajectorySegment> segments;
+
+  int64_t total_decode_tokens() const {
+    int64_t n = 0;
+    for (const auto& s : segments) {
+      n += s.decode_tokens;
+    }
+    return n;
+  }
+  int64_t total_feedback_tokens() const {
+    int64_t n = 0;
+    for (const auto& s : segments) {
+      n += s.feedback_tokens;
+    }
+    return n;
+  }
+  // Final context length once fully generated.
+  int64_t total_context_tokens() const {
+    return prompt_tokens + total_decode_tokens() + total_feedback_tokens();
+  }
+  double total_env_latency() const {
+    double t = 0.0;
+    for (const auto& s : segments) {
+      t += s.env_latency;
+    }
+    return t;
+  }
+  int num_turns() const { return static_cast<int>(segments.size()); }
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_WORKLOAD_TRAJECTORY_SPEC_H_

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "src/data/experience_buffer.h"
+#include "src/data/partial_response_pool.h"
+#include "src/data/prompt_pool.h"
+#include "src/data/trajectory.h"
+
+namespace laminar {
+namespace {
+
+TrajectoryRecord Rec(TrajId id, int version, int64_t prompt_id = 0) {
+  TrajectoryRecord r;
+  r.id = id;
+  r.prompt_id = prompt_id;
+  r.weight_versions = {version};
+  r.spec.prompt_tokens = 10;
+  r.spec.segments.push_back({100, 0.0, 0});
+  return r;
+}
+
+TEST(TrajectoryRecordTest, StalenessAndMixedVersionAccessors) {
+  TrajectoryRecord r = Rec(1, 3);
+  r.finish_actor_version = 5;
+  r.consume_actor_version = 7;
+  EXPECT_EQ(r.inherent_staleness(), 2);
+  EXPECT_EQ(r.consume_staleness(), 4);
+  EXPECT_FALSE(r.mixed_version());
+  EXPECT_EQ(r.num_versions(), 1);
+  r.weight_versions = {3, 3, 4, 5};
+  EXPECT_TRUE(r.mixed_version());
+  EXPECT_EQ(r.num_versions(), 3);
+  EXPECT_EQ(r.generation_version(), 3);
+  EXPECT_EQ(r.latest_version(), 5);
+}
+
+TEST(TrajectoryWorkTest, ProgressAccessors) {
+  TrajectoryWork w;
+  w.record = Rec(1, 0);
+  w.record.spec.segments.push_back({50, 0.0, 0});
+  w.InitContext();
+  EXPECT_EQ(w.context_tokens, 10);
+  EXPECT_EQ(w.remaining_decode_tokens(), 150);
+  w.decoded_in_segment = 40;
+  EXPECT_EQ(w.remaining_in_segment(), 60);
+  EXPECT_EQ(w.remaining_decode_tokens(), 110);
+  w.segment_index = 2;
+  EXPECT_TRUE(w.finished());
+}
+
+TEST(PromptPoolTest, GroupsShareDifficultyAndPromptId) {
+  PromptPool pool(WorkloadGenerator(WorkloadConfig{}, Rng(1)), 16, Rng(2));
+  auto group = pool.NextGroup(0);
+  ASSERT_EQ(group.size(), 16u);
+  for (const auto& rec : group) {
+    EXPECT_EQ(rec.prompt_id, group[0].prompt_id);
+    EXPECT_DOUBLE_EQ(rec.difficulty, group[0].difficulty);
+  }
+  // Ids are unique and group indices dense.
+  for (size_t i = 0; i < group.size(); ++i) {
+    EXPECT_EQ(group[i].group_index, static_cast<int>(i));
+  }
+}
+
+TEST(PromptPoolTest, BatchMustBeWholeGroups) {
+  PromptPool pool(WorkloadGenerator(WorkloadConfig{}, Rng(1)), 16, Rng(2));
+  auto batch = pool.NextBatch(64, 0);
+  EXPECT_EQ(batch.size(), 64u);
+  EXPECT_EQ(pool.prompts_issued(), 4);
+  EXPECT_DEATH(pool.NextBatch(10, 0), "whole number");
+}
+
+TEST(ExperienceBufferTest, FifoSamplesOldestFirst) {
+  ExperienceBuffer buf(MakeFifoSampler());
+  for (int i = 0; i < 10; ++i) {
+    buf.Push(Rec(i, i));
+  }
+  EXPECT_TRUE(buf.CanSample(10));
+  auto batch = buf.Sample(3, 10);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 0);
+  EXPECT_EQ(batch[2].id, 2);
+  EXPECT_EQ(buf.size(), 7u);
+  // Consume version stamped.
+  EXPECT_EQ(batch[0].consume_actor_version, 10);
+}
+
+TEST(ExperienceBufferTest, FreshnessSamplerPrefersNewVersions) {
+  ExperienceBuffer buf(MakeFreshnessSampler());
+  buf.Push(Rec(0, 1));
+  buf.Push(Rec(1, 5));
+  buf.Push(Rec(2, 3));
+  auto batch = buf.Sample(2, 6);
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(batch[1].id, 2);
+}
+
+TEST(ExperienceBufferTest, StalenessCappedSkipsStaleWhenPossible) {
+  ExperienceBuffer buf(MakeStalenessCappedSampler(2));
+  buf.Push(Rec(0, 0));  // staleness 10 at version 10
+  buf.Push(Rec(1, 9));
+  buf.Push(Rec(2, 10));
+  auto batch = buf.Sample(2, 10);
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(batch[1].id, 2);
+}
+
+TEST(ExperienceBufferTest, StalenessCappedFallsBackWhenStarved) {
+  ExperienceBuffer buf(MakeStalenessCappedSampler(2));
+  buf.Push(Rec(0, 0));
+  buf.Push(Rec(1, 0));
+  auto batch = buf.Sample(2, 10);  // all stale; must still fill
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(ExperienceBufferTest, DropOldestEviction) {
+  ExperienceBuffer buf(MakeFifoSampler(), 3, EvictionPolicy::kDropOldest);
+  for (int i = 0; i < 5; ++i) {
+    buf.Push(Rec(i, i));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.total_evicted(), 2);
+  auto batch = buf.Sample(1, 5);
+  EXPECT_EQ(batch[0].id, 2);
+}
+
+TEST(ExperienceBufferTest, DropStalestEviction) {
+  ExperienceBuffer buf(MakeFifoSampler(), 2, EvictionPolicy::kDropStalest);
+  buf.Push(Rec(0, 7));
+  buf.Push(Rec(1, 2));
+  buf.Push(Rec(2, 9));  // evicts id 1 (version 2)
+  auto batch = buf.Sample(2, 9);
+  EXPECT_EQ(batch[0].id, 0);
+  EXPECT_EQ(batch[1].id, 2);
+}
+
+TEST(ExperienceBufferTest, CountsTokens) {
+  ExperienceBuffer buf(MakeFifoSampler());
+  buf.Push(Rec(0, 0));
+  EXPECT_EQ(buf.total_tokens_pushed(), 110);
+}
+
+TEST(PartialResponsePoolTest, UpdateRemoveAndTakeByReplica) {
+  PartialResponsePool pool;
+  TrajectoryWork w1;
+  w1.record = Rec(1, 0);
+  w1.InitContext();
+  w1.context_tokens = 500;
+  w1.kv_resident = true;
+  TrajectoryWork w2;
+  w2.record = Rec(2, 0);
+  w2.InitContext();
+  pool.Update(w1, /*owner=*/3);
+  pool.Update(w2, /*owner=*/4);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.total_context_tokens(), 510);
+
+  auto lost = pool.TakeByReplica(3);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].record.id, 1);
+  // The cache died with the machine.
+  EXPECT_FALSE(lost[0].kv_resident);
+  EXPECT_EQ(pool.size(), 1u);
+
+  EXPECT_TRUE(pool.Remove(2));
+  EXPECT_FALSE(pool.Remove(2));
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(PartialResponsePoolTest, UpdateOverwritesProgress) {
+  PartialResponsePool pool;
+  TrajectoryWork w;
+  w.record = Rec(1, 0);
+  w.InitContext();
+  pool.Update(w, 0);
+  w.decoded_in_segment = 42;
+  pool.Update(w, 0);
+  auto got = pool.TakeByReplica(0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].decoded_in_segment, 42);
+  EXPECT_EQ(pool.updates(), 2);
+}
+
+}  // namespace
+}  // namespace laminar

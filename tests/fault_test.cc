@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/fault/heartbeat.h"
+#include "src/fault/injector.h"
+
+namespace laminar {
+namespace {
+
+TEST(HeartbeatTest, DetectsDeathWithinBoundedDelay) {
+  Simulator sim;
+  std::vector<std::pair<int, double>> detected;
+  HeartbeatMonitor monitor(&sim, /*period=*/1.0, /*miss_threshold=*/2,
+                           [&](int node) { detected.emplace_back(node, sim.Now().seconds()); });
+  monitor.Register(0);
+  monitor.Register(1);
+  monitor.Start();
+  sim.ScheduleAt(SimTime(10.0), [&] { monitor.MarkDead(1); });
+  sim.RunUntil(SimTime(30.0));
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_EQ(detected[0].first, 1);
+  // Detection within (miss_threshold, miss_threshold + 1] periods.
+  EXPECT_GT(detected[0].second, 10.0 + 2.0 * 1.0 - 1e-9);
+  EXPECT_LE(detected[0].second, 10.0 + 3.0 * 1.0 + 1e-9);
+}
+
+TEST(HeartbeatTest, HealthyNodesNeverReported) {
+  Simulator sim;
+  int reports = 0;
+  HeartbeatMonitor monitor(&sim, 0.5, 3, [&](int) { ++reports; });
+  for (int i = 0; i < 8; ++i) {
+    monitor.Register(i);
+  }
+  monitor.Start();
+  sim.RunUntil(SimTime(100.0));
+  EXPECT_EQ(reports, 0);
+}
+
+TEST(HeartbeatTest, ReviveResetsAndReportsOnlyOnce) {
+  Simulator sim;
+  int reports = 0;
+  HeartbeatMonitor monitor(&sim, 1.0, 2, [&](int) { ++reports; });
+  monitor.Register(0);
+  monitor.Start();
+  sim.ScheduleAt(SimTime(5.0), [&] { monitor.MarkDead(0); });
+  sim.RunUntil(SimTime(20.0));
+  EXPECT_EQ(reports, 1);  // dead node reported exactly once
+  monitor.Revive(0);
+  sim.RunUntil(SimTime(40.0));
+  EXPECT_EQ(reports, 1);  // revived node is healthy again
+  monitor.MarkDead(0);
+  sim.RunUntil(SimTime(60.0));
+  EXPECT_EQ(reports, 2);  // and can fail again
+}
+
+TEST(FaultInjectorTest, RoutesKindsToHandlers) {
+  Simulator sim;
+  std::vector<int> machine_faults;
+  HeartbeatMonitor monitor(&sim, 1.0, 2, [&](int m) { machine_faults.push_back(m); });
+  monitor.Register(5);
+  monitor.Start();
+
+  int relay_faults = 0;
+  int master_faults = 0;
+  int trainer_faults = 0;
+  FaultInjector injector(&sim);
+  injector.set_heartbeats(&monitor);
+  injector.set_on_relay_fault([&](int) { ++relay_faults; });
+  injector.set_on_master_fault([&] { ++master_faults; });
+  injector.set_on_trainer_fault([&] { ++trainer_faults; });
+
+  injector.ScheduleAll({
+      {10.0, FaultKind::kRolloutMachine, 5},
+      {20.0, FaultKind::kRelayProcess, 2},
+      {30.0, FaultKind::kMasterRelay, 0},
+      {40.0, FaultKind::kTrainerWorker, 0},
+  });
+  sim.RunUntil(SimTime(60.0));
+  EXPECT_EQ(machine_faults, std::vector<int>{5});
+  EXPECT_EQ(relay_faults, 1);
+  EXPECT_EQ(master_faults, 1);
+  EXPECT_EQ(trainer_faults, 1);
+  EXPECT_EQ(injector.injected(), 4);
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "src/cluster/hardware.h"
+#include "src/cluster/placement.h"
+#include "src/llm/decode_model.h"
+#include "src/llm/model_spec.h"
+#include "src/llm/train_cost.h"
+
+namespace laminar {
+namespace {
+
+TEST(ModelSpecTest, WeightBytesBf16) {
+  EXPECT_NEAR(Qwen25_7B().weight_bytes(), 2.0 * 7.62e9, 1e6);
+  EXPECT_NEAR(Qwen25_72B().weight_bytes(), 2.0 * 72.7e9, 1e6);
+}
+
+TEST(ModelSpecTest, KvBytesPerTokenMatchGqaLayout) {
+  // 2 (K,V) * layers * kv_heads * head_dim * 2 bytes.
+  EXPECT_DOUBLE_EQ(Qwen25_7B().kv_bytes_per_token(), 2.0 * 28 * 4 * 128 * 2);
+  EXPECT_DOUBLE_EQ(Qwen25_32B().kv_bytes_per_token(), 2.0 * 64 * 8 * 128 * 2);
+  EXPECT_DOUBLE_EQ(Qwen25_72B().kv_bytes_per_token(), 2.0 * 80 * 8 * 128 * 2);
+}
+
+TEST(ModelSpecTest, ScaleLookup) {
+  EXPECT_EQ(ModelForScale(ModelScale::k32B).name, "Qwen2.5-32B");
+}
+
+class DecodeModelTest : public ::testing::Test {
+ protected:
+  MachineSpec machine_;
+};
+
+TEST_F(DecodeModelTest, StepLatencyShapeVsBatch) {
+  // Latency is roughly flat through the memory-bound regime (it can even dip
+  // slightly as kernel efficiency ramps with batch) and grows once KV reads
+  // dominate. Per-token cost must fall monotonically through the ramp.
+  DecodeModel m(Qwen25_7B(), machine_, 1);
+  double lat1 = m.StepLatency(1, 3000.0);
+  for (int batch : {2, 8, 32, 128}) {
+    double lat = m.StepLatency(batch, 3000.0);
+    EXPECT_GT(lat, 0.4 * lat1);
+    EXPECT_LT(lat, 6.0 * lat1);
+  }
+  EXPECT_GT(m.StepLatency(2048, 3000.0), m.StepLatency(64, 3000.0));
+  double prev_per_token = lat1;
+  for (int batch : {2, 8, 32, 128, 512}) {
+    double per_token = m.StepLatency(batch, 3000.0) / batch;
+    EXPECT_LT(per_token, prev_per_token);
+    prev_per_token = per_token;
+  }
+}
+
+TEST_F(DecodeModelTest, MemoryBoundPlateau) {
+  // Figure 4's motivation: going from a tiny batch to a moderate one barely
+  // moves the step latency, because the weight read dominates.
+  DecodeModel m(Qwen25_32B(), machine_, 4);
+  double lat8 = m.StepLatency(8, 2000.0);
+  double lat64 = m.StepLatency(64, 2000.0);
+  EXPECT_LT(lat64 / lat8, 1.6);
+  // But per-token cost collapses with batch.
+  EXPECT_GT((lat8 / 8.0) / (lat64 / 64.0), 4.0);
+}
+
+TEST_F(DecodeModelTest, TensorParallelismHasDiminishingReturns) {
+  // Figure 4: adding GPUs per rollout gives only marginal latency reduction.
+  ModelSpec model = Qwen25_32B();
+  DecodeModel tp1(model, machine_, 1);
+  DecodeModel tp4(model, machine_, 4);
+  DecodeModel tp8(model, machine_, 8);
+  double l1 = tp1.StepLatency(16, 2000.0);
+  double l4 = tp4.StepLatency(16, 2000.0);
+  double l8 = tp8.StepLatency(16, 2000.0);
+  EXPECT_LT(l4, l1);
+  EXPECT_LT(l8, l4);
+  // 2x GPUs from TP4 to TP8 must yield well under 2x speedup.
+  EXPECT_LT(l4 / l8, 1.7);
+}
+
+TEST_F(DecodeModelTest, LongContextsIncreaseKvPressure) {
+  DecodeModel m(Qwen25_7B(), machine_, 1);
+  EXPECT_GT(m.StepLatency(256, 8000.0), m.StepLatency(256, 1000.0));
+}
+
+TEST_F(DecodeModelTest, SmallBatchDecodingIsSlowPerToken) {
+  // Solo decoding of a long-tail trajectory: O(100) tokens/s, not O(1000).
+  DecodeModel m(Qwen25_7B(), machine_, 1);
+  double tokens_per_sec = 1.0 / m.StepLatency(1, 4000.0);
+  EXPECT_GT(tokens_per_sec, 30.0);
+  EXPECT_LT(tokens_per_sec, 300.0);
+}
+
+TEST_F(DecodeModelTest, RooflineBoundIsWeightComputeCrossover) {
+  DecodeModel m(Qwen25_32B(), machine_, 4);
+  int bound = m.RooflineBatchBound(2000.0);
+  EXPECT_GT(bound, 32);
+  EXPECT_LT(bound, 2048);
+  // Larger slack admits a larger bound.
+  EXPECT_GT(m.RooflineBatchBound(2000.0, 1.5), bound);
+  // Longer contexts mean more per-sequence attention compute: lower bound.
+  EXPECT_LE(m.RooflineBatchBound(8000.0), bound);
+}
+
+TEST_F(DecodeModelTest, KvCapacityPositiveAndModelDependent) {
+  DecodeModel small(Qwen25_7B(), machine_, 1);
+  DecodeModel large(Qwen25_72B(), machine_, 8);
+  double cap7 = small.KvCapacityTokens();
+  double cap72 = large.KvCapacityTokens();
+  EXPECT_GT(cap7, 100000.0);
+  EXPECT_GT(cap72, 100000.0);
+  // 7B per-token KV is much smaller, so its single-GPU replica still holds
+  // a comparable token count to 72B on 8 GPUs.
+  EXPECT_GT(cap7, cap72 * 0.3);
+}
+
+TEST_F(DecodeModelTest, ModelDoesNotFitAborts) {
+  DecodeModel m(Qwen25_72B(), machine_, 1);  // 145 GB on one 80 GB GPU
+  EXPECT_DEATH(m.KvCapacityTokens(), "does not fit");
+}
+
+TEST_F(DecodeModelTest, PrefillFasterThanDecodePerToken) {
+  DecodeModel m(Qwen25_7B(), machine_, 1);
+  double prefill_per_token = m.PrefillLatency(10000.0) / 10000.0;
+  double decode_per_token = m.StepLatency(1, 2000.0);
+  EXPECT_LT(prefill_per_token, decode_per_token / 10.0);
+}
+
+TEST(TrainCostTest, ScalesInverselyWithGpus) {
+  TrainCostModel small(Qwen25_7B(), GpuSpec{}, 8);
+  TrainCostModel big(Qwen25_7B(), GpuSpec{}, 64);
+  double t_small = small.IterationTime(1e7, 16);
+  double t_big = big.IterationTime(1e7, 16);
+  EXPECT_GT(t_small / t_big, 5.0);
+}
+
+TEST(TrainCostTest, PipelineBubblePenalizesMegatron) {
+  TrainCostModel pp1(Qwen25_72B(), GpuSpec{}, 64, TrainBackend::kMegatron, 1);
+  TrainCostModel pp4(Qwen25_72B(), GpuSpec{}, 64, TrainBackend::kMegatron, 4);
+  EXPECT_GT(pp4.MinibatchTime(1e6), pp1.MinibatchTime(1e6));
+  EXPECT_GT(pp1.mfu(), pp4.mfu());
+}
+
+TEST(TrainCostTest, PrepIsMinorityOfIteration) {
+  // Paper: experience preparation is ~7% of iteration time and the policy
+  // update dominates the training stage.
+  TrainCostModel m(Qwen25_7B(), GpuSpec{}, 32);
+  double prep = m.ExperiencePrepTime(1e7);
+  double iter = m.IterationTime(1e7, 16);
+  EXPECT_LT(prep / iter, 0.5);
+  EXPECT_GT(prep / iter, 0.1);
+}
+
+TEST(PlacementTest, Table2RowsResolve) {
+  Placement p = GetPaperPlacement(SystemKind::kLaminar, ModelScale::k7B, 256);
+  EXPECT_EQ(p.train_gpus, 192);
+  EXPECT_EQ(p.rollout_gpus, 64);
+  Placement v = GetPaperPlacement(SystemKind::kVerlSync, ModelScale::k32B, 128);
+  EXPECT_TRUE(v.colocated);
+  EXPECT_EQ(v.train_gpus, 128);
+  Placement a = GetPaperPlacement(SystemKind::kPartialRollout, ModelScale::k72B, 1024);
+  EXPECT_EQ(a.train_gpus, 640);
+  EXPECT_EQ(a.rollout_gpus, 384);
+}
+
+TEST(PlacementTest, SplitsSumToTotal) {
+  for (const Placement& p : AllPaperPlacements()) {
+    if (!p.colocated) {
+      EXPECT_EQ(p.train_gpus + p.rollout_gpus, p.total_gpus) << p.ToString();
+    }
+    EXPECT_GT(p.train_gpus, 0);
+    EXPECT_GT(p.rollout_gpus, 0);
+  }
+}
+
+TEST(PlacementTest, RolloutTpMatchesAppendix) {
+  EXPECT_EQ(RolloutTensorParallel(SystemKind::kLaminar, ModelScale::k7B), 1);
+  EXPECT_EQ(RolloutTensorParallel(SystemKind::kVerlSync, ModelScale::k7B), 2);
+  EXPECT_EQ(RolloutTensorParallel(SystemKind::kOneStep, ModelScale::k32B), 4);
+  EXPECT_EQ(RolloutTensorParallel(SystemKind::kLaminar, ModelScale::k72B), 8);
+}
+
+TEST(ClusterSpecTest, ForGpusDividesIntoMachines) {
+  EXPECT_EQ(ClusterSpec::ForGpus(1024).num_machines, 128);
+  EXPECT_EQ(ClusterSpec::ForGpus(16).num_machines, 2);
+}
+
+TEST(GpuSpecTest, HbmRampsWithBatch) {
+  GpuSpec gpu;
+  EXPECT_LT(gpu.effective_hbm_at_batch(1), 0.5 * gpu.effective_hbm());
+  EXPECT_GT(gpu.effective_hbm_at_batch(512), 0.9 * gpu.effective_hbm());
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,200 @@
+// RolloutManager integration tests: assignment cycles, weight updates via
+// the relay tier, backlog gating, repack execution and failure recovery.
+#include <gtest/gtest.h>
+
+#include "src/cluster/hardware.h"
+#include "src/data/experience_buffer.h"
+#include "src/llm/model_spec.h"
+#include "src/rollout/manager.h"
+
+namespace laminar {
+namespace {
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  static constexpr int kReplicas = 4;
+
+  ManagerTest() : buffer_(MakeFifoSampler()) {
+    DecodeModel decode(Qwen25_7B(), MachineSpec{}, 1);
+    for (int i = 0; i < kReplicas; ++i) {
+      ReplicaConfig rc;
+      rc.id = i;
+      rc.machine = i / 2;  // two replicas per machine
+      rc.max_concurrency = 256;
+      replicas_.push_back(
+          std::make_unique<RolloutReplica>(&sim_, rc, decode, decode.KvCapacityTokens()));
+      ptrs_.push_back(replicas_.back().get());
+    }
+    RelayTierConfig relay_cfg;
+    relay_cfg.num_relays = 2;
+    relay_cfg.weight_bytes = Qwen25_7B().weight_bytes();
+    relays_ = std::make_unique<RelayTier>(&sim_, relay_cfg);
+    WorkloadConfig wl;
+    pool_ = std::make_unique<PromptPool>(WorkloadGenerator(wl, Rng(3)), 16, Rng(4));
+  }
+
+  RolloutManager MakeManager(RolloutManagerConfig cfg, int per_replica_batch = 64) {
+    cfg.per_replica_batch = per_replica_batch;
+    return RolloutManager(&sim_, cfg, ptrs_, relays_.get(), pool_.get(), &partial_pool_);
+  }
+
+  void WireCompletions(RolloutManager* manager) {
+    for (RolloutReplica* r : ptrs_) {
+      r->set_on_progress(
+          [this](const TrajectoryWork& w, int id) { partial_pool_.Update(w, id); });
+      r->set_on_complete([this](TrajectoryRecord rec) {
+        partial_pool_.Remove(rec.id);
+        buffer_.Push(std::move(rec));
+      });
+      r->set_on_batch_done([manager](RolloutReplica* rep) { manager->OnBatchDone(rep); });
+    }
+  }
+
+  Simulator sim_;
+  std::vector<std::unique_ptr<RolloutReplica>> replicas_;
+  std::vector<RolloutReplica*> ptrs_;
+  std::unique_ptr<RelayTier> relays_;
+  std::unique_ptr<PromptPool> pool_;
+  PartialResponsePool partial_pool_;
+  ExperienceBuffer buffer_;
+};
+
+TEST_F(ManagerTest, StartAssignsWorkEverywhere) {
+  RolloutManager manager = MakeManager({});
+  WireCompletions(&manager);
+  manager.Start();
+  for (RolloutReplica* r : ptrs_) {
+    EXPECT_TRUE(r->busy());
+    EXPECT_EQ(r->num_reqs(), 64);
+  }
+  EXPECT_EQ(manager.stats().batches_assigned, kReplicas);
+}
+
+TEST_F(ManagerTest, BatchDoneTriggersWeightPullAndNextBatch) {
+  RolloutManager manager = MakeManager({});
+  WireCompletions(&manager);
+  manager.Start();
+  relays_->Publish(1);
+  sim_.RunUntilTrue([&] { return manager.stats().batches_assigned >= kReplicas + 1; });
+  // Some replica finished its batch, pulled version 1, and got a new batch.
+  bool updated = false;
+  for (RolloutReplica* r : ptrs_) {
+    updated |= r->weight_version() == 1;
+  }
+  EXPECT_TRUE(updated);
+}
+
+TEST_F(ManagerTest, NoNewVersionSkipsUpdate) {
+  RolloutManager manager = MakeManager({});
+  WireCompletions(&manager);
+  manager.Start();
+  sim_.RunUntilTrue([&] { return manager.stats().batches_assigned >= kReplicas + 1; });
+  for (RolloutReplica* r : ptrs_) {
+    EXPECT_EQ(r->weight_version(), 0);
+    EXPECT_EQ(r->metrics().weight_updates, 0);
+  }
+}
+
+TEST_F(ManagerTest, BacklogCapStarvesAndPublishUnblocks) {
+  RolloutManagerConfig cfg;
+  cfg.backlog_cap = 1;  // gate as soon as anything is buffered
+  RolloutManager manager = MakeManager(cfg);
+  WireCompletions(&manager);
+  manager.set_backlog_fn([this] { return static_cast<int64_t>(buffer_.size()); });
+  manager.Start();
+  // Run until every replica drained its first batch; all should be starved.
+  sim_.RunUntilTrue([&] {
+    for (RolloutReplica* r : ptrs_) {
+      if (r->busy()) {
+        return false;
+      }
+    }
+    return true;
+  });
+  EXPECT_EQ(manager.stats().batches_assigned, kReplicas);
+  // Consuming the buffer and publishing restarts generation.
+  size_t n = buffer_.size();
+  buffer_.Sample(n, 1);
+  relays_->Publish(1);
+  manager.OnActorPublish(1);
+  sim_.RunUntilTrue([&] { return manager.stats().batches_assigned > kReplicas; });
+  EXPECT_GT(manager.stats().batches_assigned, kReplicas);
+}
+
+TEST_F(ManagerTest, RepackConsolidatesTails) {
+  RolloutManager manager = MakeManager({}, /*per_replica_batch=*/128);
+  WireCompletions(&manager);
+  manager.Start();
+  sim_.RunUntilTrue([&] { return manager.stats().repack_events > 0; },
+                    /*max_events=*/2000000);
+  EXPECT_GT(manager.stats().repack_events, 0);
+  EXPECT_GT(manager.stats().sources_released, 0);
+  EXPECT_GT(manager.stats().trajectories_migrated, 0);
+  EXPECT_GT(manager.stats().repack_overhead_seconds.count(), 0u);
+}
+
+TEST_F(ManagerTest, RepackDisabledNeverMigrates) {
+  RolloutManagerConfig cfg;
+  cfg.repack_enabled = false;
+  RolloutManager manager = MakeManager(cfg);
+  WireCompletions(&manager);
+  manager.Start();
+  sim_.RunUntil(SimTime(2000.0));
+  EXPECT_EQ(manager.stats().repack_events, 0);
+  EXPECT_EQ(manager.stats().trajectories_migrated, 0);
+}
+
+TEST_F(ManagerTest, MachineFailureRedirectsAndRevives) {
+  RolloutManager manager = MakeManager({});
+  WireCompletions(&manager);
+  manager.Start();
+  sim_.RunUntil(SimTime(30.0));
+  int64_t pool_before = static_cast<int64_t>(partial_pool_.size());
+  EXPECT_GT(pool_before, 0);
+  manager.OnMachineFailure(0);  // kills replicas 0 and 1
+  EXPECT_EQ(ptrs_[0]->phase(), ReplicaPhase::kDead);
+  EXPECT_EQ(ptrs_[1]->phase(), ReplicaPhase::kDead);
+  EXPECT_GT(manager.stats().trajectories_redirected, 0);
+  // Survivors carry the redirected work.
+  EXPECT_GT(ptrs_[2]->num_reqs(), 64);
+  // Replacement machine comes back and rejoins generation.
+  sim_.RunUntilTrue([&] { return ptrs_[0]->phase() == ReplicaPhase::kGenerating; },
+                    5000000);
+  EXPECT_TRUE(relays_->IsAlive(0));
+  EXPECT_EQ(manager.stats().failures_handled, 1);
+}
+
+TEST_F(ManagerTest, FailureWithNoSameVersionHostParksWorkUntilReplacement) {
+  RolloutManager manager = MakeManager({});
+  WireCompletions(&manager);
+  manager.Start();
+  sim_.RunUntil(SimTime(20.0));
+  // Move the survivors to a newer version so the dead machine's version-0
+  // work has no live host.
+  for (int i = 2; i < kReplicas; ++i) {
+    ptrs_[i]->ExtractAllWork();
+    ptrs_[i]->SetWeightVersion(1);
+  }
+  int64_t in_flight_on_machine0 = ptrs_[0]->num_reqs() + ptrs_[1]->num_reqs();
+  EXPECT_GT(in_flight_on_machine0, 0);
+  manager.OnMachineFailure(0);
+  // No same-version host: work waits for the replacement.
+  EXPECT_EQ(manager.stats().trajectories_redirected, 0);
+  // The replacement replicas load the old checkpointed version and adopt it,
+  // keeping every trajectory single-version.
+  sim_.RunUntilTrue(
+      [&] { return manager.stats().trajectories_redirected > 0; }, 5000000);
+  EXPECT_GT(manager.stats().trajectories_redirected, 0);
+  bool adopted = ptrs_[0]->weight_version() == 0 || ptrs_[1]->weight_version() == 0;
+  EXPECT_TRUE(adopted);
+}
+
+TEST_F(ManagerTest, InflightCountsEverything) {
+  RolloutManager manager = MakeManager({});
+  WireCompletions(&manager);
+  manager.Start();
+  EXPECT_EQ(manager.inflight_trajectories(), kReplicas * 64);
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "src/policy/policy.h"
+
+namespace laminar {
+namespace {
+
+// Builds a scored GRPO group of `group` trajectories at the given
+// generation/consume versions, outcomes sampled under `gen_version`. With
+// `mixed`, a random subset of each group continued under later versions
+// (partial rollout), so groups are internally version-inconsistent — as in
+// real interrupted generation.
+std::vector<TrajectoryRecord> MakeBatch(Policy& policy, Rng& rng, int prompts, int group,
+                                        int gen_version, int finish_version,
+                                        bool mixed = false) {
+  std::vector<TrajectoryRecord> out;
+  static int64_t next_prompt = 0;
+  for (int p = 0; p < prompts; ++p) {
+    int64_t pid = next_prompt++;
+    double difficulty = rng.Uniform();
+    for (int g = 0; g < group; ++g) {
+      TrajectoryRecord rec;
+      rec.id = pid * 100 + g;
+      rec.prompt_id = pid;
+      rec.group_index = g;
+      rec.difficulty = difficulty;
+      rec.weight_versions = {gen_version};
+      if (mixed && rng.Bernoulli(0.6)) {
+        for (int v = gen_version + 1; v <= finish_version; ++v) {
+          if (rng.Bernoulli(0.7)) {
+            rec.weight_versions.push_back(v);
+          }
+        }
+      }
+      rec.finish_actor_version = finish_version;
+      policy.ScoreTrajectory(rec, rng);
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+// Runs `iters` on-policy-with-staleness training iterations; returns final
+// expected reward.
+double TrainLoop(int iters, int staleness, RlAlgorithm algorithm, bool mixed,
+                 uint64_t seed) {
+  Policy policy{PolicyConfig{}};
+  Rng rng(seed);
+  for (int i = 0; i < iters; ++i) {
+    int current = policy.latest_version();
+    int gen_version = std::max(0, current - staleness);
+    auto batch = MakeBatch(policy, rng, /*prompts=*/48, /*group=*/16, gen_version, current,
+                           mixed);
+    // Four mini-batches, as the convergence config does.
+    size_t mb = batch.size() / 4;
+    for (int m = 0; m < 4; ++m) {
+      std::vector<TrajectoryRecord> chunk(batch.begin() + m * mb,
+                                          batch.begin() + (m + 1) * mb);
+      policy.UpdateMinibatch(chunk, algorithm);
+    }
+    policy.PublishVersion();
+  }
+  return policy.EvalExpectedReward();
+}
+
+TEST(PolicyTest, InitialRewardIsLow) {
+  Policy policy{PolicyConfig{}};
+  EXPECT_LT(policy.EvalExpectedReward(), 0.2);
+  EXPECT_GT(policy.EvalExpectedReward(), 0.0);
+}
+
+TEST(PolicyTest, OnPolicyTrainingImprovesReward) {
+  double before = Policy{PolicyConfig{}}.EvalExpectedReward();
+  double after = TrainLoop(40, /*staleness=*/0, RlAlgorithm::kGrpo, false, 1);
+  EXPECT_GT(after, before + 0.2);
+}
+
+TEST(PolicyTest, StalenessSlowsLearning) {
+  double fresh = TrainLoop(30, 0, RlAlgorithm::kGrpo, false, 2);
+  double stale = TrainLoop(30, 8, RlAlgorithm::kGrpo, false, 2);
+  EXPECT_GT(fresh, stale);
+}
+
+TEST(PolicyTest, StalenessHarmIsMonotone) {
+  // The Laminar regime (staleness <= 4) loses much less than deep staleness.
+  double fresh = 0.0;
+  double mild = 0.0;
+  double deep = 0.0;
+  for (uint64_t seed : {3u, 13u, 23u}) {
+    fresh += TrainLoop(30, 0, RlAlgorithm::kGrpo, false, seed);
+    mild += TrainLoop(30, 2, RlAlgorithm::kGrpo, false, seed);
+    deep += TrainLoop(30, 10, RlAlgorithm::kGrpo, false, seed);
+  }
+  EXPECT_GT(mild, fresh * 0.6);
+  EXPECT_GT(mild, deep);
+  EXPECT_GT(fresh, deep * 1.1);
+}
+
+TEST(PolicyTest, MixedVersionTrajectoriesHurtGrpo) {
+  // Partial rollout's within-group version inconsistency degrades GRPO
+  // relative to clean single-version groups at the same staleness.
+  double clean = 0.0;
+  double mixed = 0.0;
+  for (uint64_t seed : {4u, 14u, 24u, 34u}) {
+    clean += TrainLoop(30, 3, RlAlgorithm::kGrpo, false, seed);
+    mixed += TrainLoop(30, 3, RlAlgorithm::kGrpo, true, seed);
+  }
+  EXPECT_GT(clean, mixed * 0.99);
+}
+
+TEST(PolicyTest, DecoupledPpoMitigatesMixedVersions) {
+  double naive = TrainLoop(30, 4, RlAlgorithm::kGrpo, true, 5);
+  double decoupled = TrainLoop(30, 4, RlAlgorithm::kDecoupledPpo, true, 5);
+  EXPECT_GT(decoupled, naive * 0.95);
+}
+
+TEST(PolicyTest, UniformGroupsCarryNoSignal) {
+  Policy policy{PolicyConfig{}};
+  std::vector<TrajectoryRecord> batch;
+  for (int g = 0; g < 16; ++g) {
+    TrajectoryRecord rec;
+    rec.prompt_id = 1;
+    rec.difficulty = 0.5;
+    rec.weight_versions = {0};
+    rec.reward = 1.0;  // everyone succeeded: advantage must be zero
+    rec.success = true;
+    rec.behavior_prob = 0.5;
+    batch.push_back(rec);
+  }
+  auto before = policy.parameters();
+  UpdateStats stats = policy.UpdateMinibatch(batch, RlAlgorithm::kGrpo);
+  EXPECT_DOUBLE_EQ(stats.grad_norm, 0.0);
+  EXPECT_EQ(policy.parameters(), before);
+}
+
+TEST(PolicyTest, ClipFractionGrowsWithStaleness) {
+  Policy fresh_policy{PolicyConfig{}};
+  Rng rng(6);
+  // Train a while so versions genuinely differ.
+  for (int i = 0; i < 20; ++i) {
+    auto batch = MakeBatch(fresh_policy, rng, 32, 16, fresh_policy.latest_version(),
+                           fresh_policy.latest_version());
+    fresh_policy.UpdateMinibatch(batch, RlAlgorithm::kGrpo);
+    fresh_policy.PublishVersion();
+  }
+  int v = fresh_policy.latest_version();
+  auto on_policy = MakeBatch(fresh_policy, rng, 64, 16, v, v);
+  auto off_policy = MakeBatch(fresh_policy, rng, 64, 16, std::max(0, v - 10), v);
+  UpdateStats on = fresh_policy.UpdateMinibatch(on_policy, RlAlgorithm::kGrpo);
+  UpdateStats off = fresh_policy.UpdateMinibatch(off_policy, RlAlgorithm::kGrpo);
+  EXPECT_GE(off.clip_fraction, on.clip_fraction);
+  EXPECT_GT(off.mean_abs_log_ratio, on.mean_abs_log_ratio);
+}
+
+TEST(PolicyTest, SuccessProbMonotoneInDifficulty) {
+  Policy policy{PolicyConfig{}};
+  double easy = policy.CurrentSuccessProb(0.1);
+  double hard = policy.CurrentSuccessProb(0.9);
+  EXPECT_GT(easy, hard);
+}
+
+TEST(PolicyTest, VersionSnapshotsAreStable) {
+  Policy policy{PolicyConfig{}};
+  Rng rng(7);
+  double p0 = policy.SuccessProb(0, 0.5);
+  for (int i = 0; i < 10; ++i) {
+    auto batch = MakeBatch(policy, rng, 16, 16, policy.latest_version(),
+                           policy.latest_version());
+    policy.UpdateMinibatch(batch, RlAlgorithm::kGrpo);
+    policy.PublishVersion();
+  }
+  // Old snapshots are immutable.
+  EXPECT_DOUBLE_EQ(policy.SuccessProb(0, 0.5), p0);
+  EXPECT_NE(policy.SuccessProb(10, 0.5), p0);
+}
+
+TEST(PolicyTest, RestoreVersionRollsBack) {
+  Policy policy{PolicyConfig{}};
+  Rng rng(8);
+  auto batch = MakeBatch(policy, rng, 32, 16, 0, 0);
+  policy.UpdateMinibatch(batch, RlAlgorithm::kGrpo);
+  EXPECT_NE(policy.parameters(), std::vector<double>(12, 0.0));
+  policy.RestoreVersion(0);
+  EXPECT_EQ(policy.parameters(), std::vector<double>(12, 0.0));
+}
+
+TEST(PolicyTest, ScoreTrajectoryFillsAllFields) {
+  Policy policy{PolicyConfig{}};
+  Rng rng(9);
+  TrajectoryRecord rec;
+  rec.difficulty = 0.3;
+  rec.weight_versions = {0};
+  policy.ScoreTrajectory(rec, rng);
+  EXPECT_TRUE(rec.reward == 0.0 || rec.reward == 1.0);
+  EXPECT_GT(rec.behavior_prob, 0.0);
+  EXPECT_LT(rec.behavior_prob, 1.0);
+  EXPECT_EQ(rec.success, rec.reward == 1.0);
+}
+
+// Property sweep: learning must be robust across seeds.
+class PolicyConvergenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicyConvergenceTest, ImprovesFromScratch) {
+  double final_reward = TrainLoop(25, 0, RlAlgorithm::kGrpo, false, GetParam());
+  EXPECT_GT(final_reward, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyConvergenceTest, ::testing::Range<uint64_t>(10, 18));
+
+}  // namespace
+}  // namespace laminar

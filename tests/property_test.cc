@@ -1,0 +1,247 @@
+// Parameterized property tests over randomized inputs: conservation laws of
+// the rollout engine, optimality/monotonicity of the broadcast model, decode
+// cost-model sanity across the parameter space, and buffer conservation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/hardware.h"
+#include "src/data/experience_buffer.h"
+#include "src/data/prompt_pool.h"
+#include "src/llm/decode_model.h"
+#include "src/llm/model_spec.h"
+#include "src/relay/broadcast_model.h"
+#include "src/rollout/replica.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+namespace {
+
+// --- Rollout engine conservation -------------------------------------------
+
+class ReplicaConservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplicaConservationTest, DecodedTokensMatchSpecsExactly) {
+  Rng rng(GetParam());
+  Simulator sim;
+  WorkloadConfig wl;
+  wl.task = rng.Bernoulli(0.5) ? TaskKind::kMathReasoning : TaskKind::kToolCalling;
+  PromptPool pool(WorkloadGenerator(wl, rng.Fork("wl")), 16, rng.Fork("pp"));
+  DecodeModel decode(Qwen25_7B(), MachineSpec{}, 1);
+  ReplicaConfig rc;
+  rc.max_concurrency = static_cast<int>(rng.UniformInt(16, 512));
+  RolloutReplica replica(&sim, rc, decode, decode.KvCapacityTokens());
+
+  int64_t expected_decode = 0;
+  int64_t expected_context = 0;
+  std::set<TrajId> expected_ids;
+  std::vector<TrajectoryWork> works;
+  int batch = static_cast<int>(rng.UniformInt(2, 20)) * 16;
+  for (auto& rec : pool.NextBatch(batch, 0)) {
+    expected_decode += rec.spec.total_decode_tokens();
+    expected_context += rec.spec.total_context_tokens();
+    expected_ids.insert(rec.id);
+    TrajectoryWork w;
+    w.record = rec;
+    w.InitContext();
+    works.push_back(w);
+  }
+
+  int64_t completed_context = 0;
+  std::set<TrajId> completed_ids;
+  replica.set_on_complete([&](TrajectoryRecord rec) {
+    completed_ids.insert(rec.id);
+    completed_context += rec.total_tokens();
+    // Exactly one policy version: no partial rollout here.
+    EXPECT_FALSE(rec.mixed_version());
+  });
+  replica.AssignWork(std::move(works));
+  sim.RunUntilIdle();
+
+  // Every trajectory completed exactly once; tokens conserved exactly.
+  EXPECT_EQ(completed_ids, expected_ids);
+  EXPECT_EQ(replica.metrics().decode_tokens, expected_decode);
+  EXPECT_EQ(completed_context, expected_context);
+  EXPECT_NEAR(replica.kv_used_tokens(), 0.0, 1e-6);
+  EXPECT_EQ(replica.num_reqs(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaConservationTest, ::testing::Range<uint64_t>(0, 12));
+
+// Migration mid-flight must also conserve tokens.
+class MigrationConservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MigrationConservationTest, TokensSurviveRepeatedMigration) {
+  Rng rng(GetParam() + 100);
+  Simulator sim;
+  WorkloadConfig wl;
+  PromptPool pool(WorkloadGenerator(wl, rng.Fork("wl")), 16, rng.Fork("pp"));
+  DecodeModel decode(Qwen25_7B(), MachineSpec{}, 1);
+  ReplicaConfig rc;
+  RolloutReplica a(&sim, rc, decode, decode.KvCapacityTokens());
+  RolloutReplica b(&sim, rc, decode, decode.KvCapacityTokens());
+
+  int64_t expected_decode = 0;
+  std::vector<TrajectoryWork> works;
+  for (auto& rec : pool.NextBatch(64, 0)) {
+    expected_decode += rec.spec.total_decode_tokens();
+    TrajectoryWork w;
+    w.record = rec;
+    w.InitContext();
+    works.push_back(w);
+  }
+  int completed = 0;
+  auto on_complete = [&](TrajectoryRecord) { ++completed; };
+  a.set_on_complete(on_complete);
+  b.set_on_complete(on_complete);
+  a.AssignWork(std::move(works));
+
+  // Bounce the in-flight work between the replicas a few times.
+  RolloutReplica* replicas[2] = {&a, &b};
+  for (int hop = 0; hop < 4; ++hop) {
+    sim.RunUntil(sim.Now() + rng.Uniform(3.0, 20.0));
+    auto moved = replicas[hop % 2]->ExtractAllWork();
+    if (!moved.empty()) {
+      replicas[(hop + 1) % 2]->AssignWork(std::move(moved),
+                                          /*kv_transferred=*/rng.Bernoulli(0.5));
+    }
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(completed, 64);
+  EXPECT_EQ(a.metrics().decode_tokens + b.metrics().decode_tokens, expected_decode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationConservationTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+// --- Broadcast model properties ---------------------------------------------
+
+struct BroadcastCase {
+  double mbytes;
+  double bandwidth;
+  double startup;
+  int nodes;
+};
+
+class BroadcastPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BroadcastPropertyTest, OptimalChunkBeatsNeighboursAndScalesGently) {
+  Rng rng(GetParam());
+  BroadcastParams p;
+  p.message_bytes = rng.Uniform(1e8, 3e11);
+  p.byte_time = 1.0 / rng.Uniform(1e9, 4e11);
+  p.startup_time = rng.Uniform(1e-6, 1e-3);
+  int nodes = static_cast<int>(rng.UniformInt(2, 2048));
+
+  int k = OptimalChunkCount(p, nodes);
+  double best = BroadcastTime(p, nodes, k);
+  // No sampled k beats the optimum.
+  for (int i = 0; i < 20; ++i) {
+    int other = static_cast<int>(rng.UniformInt(1, 4 * k + 8));
+    EXPECT_LE(best, BroadcastTime(p, nodes, other) + 1e-12);
+  }
+  // Bandwidth term is a lower bound; pipelining keeps total near it.
+  double bandwidth_term = p.message_bytes * p.byte_time;
+  EXPECT_GE(best, bandwidth_term);
+  BroadcastTerms terms = DecomposeOptimalTime(p, nodes);
+  EXPECT_LE(best, terms.total() * 1.05 + 1e-9);
+  // Arrival times are monotone along the chain.
+  EXPECT_LE(ArrivalTime(p, 1, k), ArrivalTime(p, nodes - 1 > 0 ? nodes - 1 : 1, k) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastPropertyTest, ::testing::Range<uint64_t>(0, 30));
+
+// --- Decode cost model properties --------------------------------------------
+
+class DecodePropertyTest
+    : public ::testing::TestWithParam<std::tuple<ModelScale, int>> {};
+
+TEST_P(DecodePropertyTest, CostModelSanity) {
+  auto [scale, tp] = GetParam();
+  ModelSpec model = ModelForScale(scale);
+  if (model.weight_bytes() / tp > 70e9) {
+    GTEST_SKIP() << "model does not fit at this TP";
+  }
+  DecodeModel m(model, MachineSpec{}, tp);
+  double prev_per_token = 1e9;
+  for (int batch : {1, 4, 16, 64, 256}) {
+    double lat = m.StepLatency(batch, 2500.0);
+    EXPECT_GT(lat, 0.0);
+    // Longer contexts never decode faster.
+    EXPECT_GE(m.StepLatency(batch, 8000.0), lat);
+    // Per-token efficiency improves with batch in the memory-bound regime.
+    double per_token = lat / batch;
+    EXPECT_LT(per_token, prev_per_token);
+    prev_per_token = per_token;
+  }
+  // More TP never hurts step latency at fixed batch (comm grows slower than
+  // the shard shrinks in this regime).
+  if (tp > 1) {
+    DecodeModel single(model, MachineSpec{}, 1);
+    if (model.weight_bytes() <= 70e9) {
+      EXPECT_LT(m.StepLatency(8, 2500.0), single.StepLatency(8, 2500.0));
+    }
+  }
+  EXPECT_GT(m.KvCapacityTokens(), 0.0);
+  EXPECT_GT(m.RooflineBatchBound(2500.0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DecodePropertyTest,
+    ::testing::Combine(::testing::Values(ModelScale::k7B, ModelScale::k32B,
+                                         ModelScale::k72B),
+                       ::testing::Values(1, 2, 4, 8)));
+
+// --- Experience buffer conservation ------------------------------------------
+
+class BufferPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferPropertyTest, RandomPushSampleConservesRecords) {
+  Rng rng(GetParam());
+  std::unique_ptr<SamplerPolicy> sampler;
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      sampler = MakeFifoSampler();
+      break;
+    case 1:
+      sampler = MakeFreshnessSampler();
+      break;
+    default:
+      sampler = MakeStalenessCappedSampler(static_cast<int>(rng.UniformInt(0, 5)));
+  }
+  ExperienceBuffer buffer(std::move(sampler));
+  std::set<TrajId> outstanding;
+  std::set<TrajId> seen;
+  TrajId next = 0;
+  int version = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Bernoulli(0.6)) {
+      TrajectoryRecord rec;
+      rec.id = next++;
+      rec.weight_versions = {static_cast<int>(rng.UniformInt(0, version))};
+      rec.spec.segments.push_back({10, 0.0, 0});
+      outstanding.insert(rec.id);
+      buffer.Push(std::move(rec));
+    } else {
+      size_t n = static_cast<size_t>(rng.UniformInt(0, 8));
+      if (buffer.CanSample(n) && n > 0) {
+        for (auto& rec : buffer.Sample(n, version)) {
+          // Never sampled twice, always previously pushed.
+          EXPECT_TRUE(seen.insert(rec.id).second);
+          EXPECT_EQ(outstanding.erase(rec.id), 1u);
+          EXPECT_EQ(rec.consume_actor_version, version);
+        }
+      }
+      if (rng.Bernoulli(0.3)) {
+        ++version;
+      }
+    }
+  }
+  EXPECT_EQ(buffer.size(), outstanding.size());
+  EXPECT_EQ(buffer.total_pushed(), static_cast<int64_t>(seen.size() + outstanding.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPropertyTest, ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/relay/broadcast_model.h"
+#include "src/relay/relay_tier.h"
+#include "src/relay/weight_sync.h"
+
+namespace laminar {
+namespace {
+
+BroadcastParams Params(double mbytes = 65.6e9, double bw = 50e9, double startup = 5e-6) {
+  BroadcastParams p;
+  p.message_bytes = mbytes;
+  p.byte_time = 1.0 / bw;
+  p.startup_time = startup;
+  return p;
+}
+
+TEST(BroadcastModelTest, FormulaMatchesAppendixD) {
+  BroadcastParams p = Params(1e9, 1e9, 1e-3);
+  // T(p,k) = (p + k - 2) * (M/k * T_byte + T_start)
+  double t = BroadcastTime(p, /*nodes=*/10, /*chunks=*/4);
+  double t_chunk = 1e9 / 4.0 / 1e9 + 1e-3;
+  EXPECT_DOUBLE_EQ(t, 12.0 * t_chunk);
+  EXPECT_DOUBLE_EQ(ChunkTime(p, 4), t_chunk);
+}
+
+TEST(BroadcastModelTest, SingleNodeIsFree) {
+  EXPECT_DOUBLE_EQ(BroadcastTime(Params(), 1, 8), 0.0);
+}
+
+TEST(BroadcastModelTest, OptimalChunkCountNearAnalytic) {
+  BroadcastParams p = Params(1e9, 1e9, 1e-4);
+  int nodes = 66;
+  int k = OptimalChunkCount(p, nodes);
+  double analytic = std::sqrt((nodes - 2) * p.message_bytes * p.byte_time / p.startup_time);
+  EXPECT_NEAR(k, analytic, 2.0);
+  // No neighbouring integer does better.
+  double best = BroadcastTime(p, nodes, k);
+  EXPECT_LE(best, BroadcastTime(p, nodes, k - 1));
+  EXPECT_LE(best, BroadcastTime(p, nodes, k + 1));
+}
+
+TEST(BroadcastModelTest, NearlyConstantInChainLength) {
+  // Appendix D's conclusion: the bandwidth term dominates, so the time is
+  // largely insensitive to the number of relays.
+  BroadcastParams p = Params();  // 72B-class weights over RDMA
+  double t2 = OptimalBroadcastTime(p, 2);
+  double t128 = OptimalBroadcastTime(p, 128);
+  EXPECT_LT(t128 / t2, 1.25);
+  // And the paper's headline: < 1.6 s for 72B weights to 127 relays...
+  BroadcastParams big = Params(145.4e9);
+  EXPECT_LT(OptimalBroadcastTime(big, 128), 3.2);
+}
+
+TEST(BroadcastModelTest, DecompositionSumsToOptimal) {
+  BroadcastParams p = Params();
+  BroadcastTerms terms = DecomposeOptimalTime(p, 100);
+  EXPECT_GT(terms.bandwidth_term, terms.latency_term);
+  EXPECT_GT(terms.bandwidth_term, terms.pipeline_term);
+  // T* = bandwidth + latency + pipeline (exact at the continuous optimum).
+  EXPECT_NEAR(terms.total(), OptimalBroadcastTime(p, 100),
+              0.02 * OptimalBroadcastTime(p, 100));
+}
+
+TEST(BroadcastModelTest, ArrivalTimesIncreaseAlongChain) {
+  BroadcastParams p = Params();
+  int k = OptimalChunkCount(p, 16);
+  double prev = 0.0;
+  for (int pos = 1; pos < 16; ++pos) {
+    double at = ArrivalTime(p, pos, k);
+    EXPECT_GT(at, prev);
+    prev = at;
+  }
+}
+
+class RelayTierTest : public ::testing::Test {
+ protected:
+  RelayTierConfig Config(int relays = 8) {
+    RelayTierConfig c;
+    c.num_relays = relays;
+    c.weight_bytes = 65.6e9;
+    return c;
+  }
+  Simulator sim_;
+};
+
+TEST_F(RelayTierTest, PublishPropagatesToAllRelays) {
+  RelayTier tier(&sim_, Config());
+  double stall = tier.Publish(1);
+  EXPECT_GT(stall, 0.0);
+  EXPECT_LT(stall, 2.0);  // §8.3: sub-second-ish actor stall
+  sim_.RunUntilIdle();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tier.VersionAt(i), 1);
+  }
+  EXPECT_EQ(tier.broadcast_seconds().count(), 1u);
+}
+
+TEST_F(RelayTierTest, PullAfterArrivalOnlyPaysPcieLoad) {
+  RelayTier tier(&sim_, Config());
+  tier.Publish(1);
+  sim_.RunUntilIdle();
+  double wait = -1.0;
+  int got = -1;
+  tier.PullLatest(5, /*tp=*/4, /*current=*/0, [&](int v, double w) {
+    got = v;
+    wait = w;
+  });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(got, 1);
+  EXPECT_NEAR(wait, tier.PullLoadSeconds(4), 1e-9);
+}
+
+TEST_F(RelayTierTest, PullBeforeArrivalWaitsForBroadcast) {
+  RelayTier tier(&sim_, Config());
+  tier.Publish(1);
+  double wait = -1.0;
+  tier.PullLatest(7, 4, 0, [&](int /*v*/, double w) { wait = w; });
+  sim_.RunUntilIdle();
+  // Wait includes push + reshard + chain propagation + PCIe load.
+  EXPECT_GT(wait, tier.PullLoadSeconds(4));
+}
+
+TEST_F(RelayTierTest, NoNewerVersionIsNoOp) {
+  RelayTier tier(&sim_, Config());
+  bool called = false;
+  tier.PullLatest(0, 4, /*current=*/0, [&](int v, double w) {
+    called = true;
+    EXPECT_EQ(v, 0);
+    EXPECT_DOUBLE_EQ(w, 0.0);
+  });
+  EXPECT_TRUE(called);  // immediate
+}
+
+TEST_F(RelayTierTest, KilledRelayDropsAndReviveResyncs) {
+  RelayTier tier(&sim_, Config());
+  tier.Publish(1);
+  sim_.RunUntilIdle();
+  tier.KillRelay(3);
+  EXPECT_FALSE(tier.IsAlive(3));
+  EXPECT_EQ(tier.VersionAt(3), -1);
+  tier.ReviveRelay(3);
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(tier.IsAlive(3));
+  EXPECT_EQ(tier.VersionAt(3), 1);  // synced from master
+  EXPECT_EQ(tier.chain_rebuilds(), 1);
+}
+
+TEST_F(RelayTierTest, FailureMidBroadcastDelaysButDelivers) {
+  RelayTier tier(&sim_, Config(16));
+  tier.Publish(1);
+  // Kill a relay while the broadcast is still in flight.
+  sim_.RunUntil(SimTime(0.4));
+  tier.KillRelay(2);
+  sim_.RunUntilIdle();
+  for (int i = 0; i < 16; ++i) {
+    if (i == 2) {
+      continue;
+    }
+    EXPECT_EQ(tier.VersionAt(i), 1) << "relay " << i;
+  }
+}
+
+TEST_F(RelayTierTest, MasterFailureElectsNewMaster) {
+  RelayTier tier(&sim_, Config());
+  tier.Publish(1);
+  sim_.RunUntilIdle();
+  int old_master = tier.master();
+  tier.KillRelay(old_master);
+  EXPECT_NE(tier.master(), old_master);
+  EXPECT_EQ(tier.master_elections(), 1);
+  // Publishing still works through the new master.
+  tier.Publish(2);
+  sim_.RunUntilIdle();
+  for (int i = 0; i < 8; ++i) {
+    if (i == old_master) {
+      continue;
+    }
+    EXPECT_EQ(tier.VersionAt(i), 2);
+  }
+}
+
+TEST_F(RelayTierTest, WaiterOnDeadRelayServedAfterRevive) {
+  RelayTier tier(&sim_, Config());
+  tier.KillRelay(4);
+  tier.Publish(1);
+  int got = -1;
+  tier.PullLatest(4, 2, 0, [&](int v, double) { got = v; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(got, -1);  // relay dead: nothing delivered
+  tier.ReviveRelay(4);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(RelayTierTest, PullLoadScalesWithTensorParallel) {
+  RelayTier tier(&sim_, Config());
+  EXPECT_DOUBLE_EQ(tier.PullLoadSeconds(4), tier.PullLoadSeconds(1) / 4.0);
+}
+
+TEST(GlobalSyncModelTest, GrowsWithClusterSize) {
+  GlobalSyncModel m;
+  m.weight_bytes = 65.6e9;
+  double small = m.SyncSeconds(8);
+  double large = m.SyncSeconds(1024);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.3);
+}
+
+TEST(StorageSyncModelTest, SerializationDominates) {
+  // §4.1: a 32B model takes tens of seconds through NFS/Redis, far worse
+  // than the relay path.
+  StorageSyncModel m;
+  m.weight_bytes = 65.6e9;
+  EXPECT_GT(m.PublishSeconds(), 60.0);
+  EXPECT_GT(m.PullSeconds(), 60.0);
+}
+
+}  // namespace
+}  // namespace laminar

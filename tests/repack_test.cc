@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/repack/best_fit.h"
+#include "src/repack/monitor.h"
+
+namespace laminar {
+namespace {
+
+ReplicaSnapshot Snap(int id, double kv, int reqs, double prev = 1.0, int waiting = 0) {
+  ReplicaSnapshot s;
+  s.replica_id = id;
+  s.weight_version = 0;
+  s.kv_used_frac = kv;
+  s.kv_prev_frac = prev;
+  s.num_reqs = reqs;
+  s.num_waiting = waiting;
+  s.busy = reqs > 0;
+  s.eligible = true;
+  return s;
+}
+
+RepackParams Params(double c_max = 0.99, int bound = 100) {
+  RepackParams p;
+  p.c_max_frac = c_max;
+  p.batch_bound = bound;
+  return p;
+}
+
+TEST(BestFitTest, MergesTwoRampDownReplicas) {
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.10, 5, 0.5), Snap(1, 0.20, 10, 0.5)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params());
+  ASSERT_EQ(plan.moves.size(), 1u);
+  // The smaller footprint is released into the larger one (Best-Fit).
+  EXPECT_EQ(plan.moves[0].first, 0);
+  EXPECT_EQ(plan.moves[0].second, 1);
+}
+
+TEST(BestFitTest, RampUpReplicasAreNotCandidates) {
+  // kv rose since the last tick well beyond the tolerance: still filling.
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.50, 5, 0.30), Snap(1, 0.20, 10, 0.10)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BestFitTest, WaitingQueueBlocksCandidacy) {
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.10, 5, 0.5, /*waiting=*/3),
+                                        Snap(1, 0.20, 10, 0.5)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params());
+  EXPECT_TRUE(plan.empty());  // replica 1 alone has no destination
+}
+
+TEST(BestFitTest, RespectsKvThreshold) {
+  // Together they would exceed C_max.
+  std::vector<ReplicaSnapshot> over = {Snap(0, 0.60, 5, 0.7), Snap(1, 0.50, 10, 0.6)};
+  EXPECT_TRUE(BestFitConsolidation(over, Params(/*c_max=*/0.99)).empty());
+  // A pair that fits under the threshold does merge.
+  std::vector<ReplicaSnapshot> under = {Snap(0, 0.45, 5, 0.7), Snap(1, 0.50, 10, 0.6)};
+  EXPECT_EQ(BestFitConsolidation(under, Params(/*c_max=*/0.99)).moves.size(), 1u);
+}
+
+TEST(BestFitTest, RespectsBatchBound) {
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.10, 60, 0.5), Snap(1, 0.10, 60, 0.5)};
+  // Combined 120 > bound 100: no move.
+  EXPECT_TRUE(BestFitConsolidation(snaps, Params(0.99, 100)).empty());
+  // Bound 128 admits it.
+  EXPECT_EQ(BestFitConsolidation(snaps, Params(0.99, 128)).moves.size(), 1u);
+}
+
+TEST(BestFitTest, ReplicaAtOrAboveBoundIsNotACandidate) {
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.10, 100, 0.5), Snap(1, 0.10, 5, 0.5)};
+  // Replica 0 has reqs == bound: excluded entirely (neither source nor dest).
+  RepackPlan plan = BestFitConsolidation(snaps, Params(0.99, 100));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BestFitTest, PicksDensestValidDestination) {
+  // Source 0 (smallest) can fit into 1 or 2; 2 is denser.
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.05, 5, 0.5), Snap(1, 0.30, 10, 0.5),
+                                        Snap(2, 0.40, 10, 0.5)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params());
+  ASSERT_GE(plan.moves.size(), 1u);
+  EXPECT_EQ(plan.moves[0].first, 0);
+  EXPECT_EQ(plan.moves[0].second, 2);
+}
+
+TEST(BestFitTest, ReleasesSmallestFootprintsFirst) {
+  // Destination has room for only one more source; the smaller one wins.
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.30, 40, 0.5), Snap(1, 0.10, 20, 0.5),
+                                        Snap(2, 0.60, 50, 0.7)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params(0.99, 80));
+  // Source 1 (0.10) goes first into 2; source 0 (0.30) can still fit by kv
+  // (0.60+0.10+0.30 = 1.0 > 0.99? just over) -> only one move.
+  ASSERT_EQ(plan.moves.size(), 1u);
+  EXPECT_EQ(plan.moves[0].first, 1);
+  EXPECT_EQ(plan.moves[0].second, 2);
+}
+
+TEST(BestFitTest, ChainsMultipleSourcesIntoOneDestination) {
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.05, 5, 0.3), Snap(1, 0.06, 5, 0.3),
+                                        Snap(2, 0.07, 5, 0.3), Snap(3, 0.30, 20, 0.5)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params());
+  EXPECT_EQ(plan.moves.size(), 3u);
+  for (const auto& [src, dst] : plan.moves) {
+    EXPECT_EQ(dst, 3);
+  }
+  EXPECT_EQ(plan.ReleasedSources().size(), 3u);
+  EXPECT_EQ(plan.Destinations(), std::vector<int>{3});
+}
+
+TEST(BestFitTest, EmptiedSourceCannotBeDestination) {
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.05, 5, 0.3), Snap(1, 0.06, 5, 0.3)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params());
+  ASSERT_EQ(plan.moves.size(), 1u);
+  // 0 moved into 1; 1 must not then be moved into 0.
+  EXPECT_EQ(plan.moves[0].first, 0);
+}
+
+TEST(BestFitTest, IneligibleAndIdleReplicasIgnored) {
+  ReplicaSnapshot dead = Snap(0, 0.05, 5, 0.3);
+  dead.eligible = false;
+  ReplicaSnapshot empty = Snap(1, 0.0, 0, 0.3);
+  empty.busy = false;
+  std::vector<ReplicaSnapshot> snaps = {dead, empty, Snap(2, 0.10, 5, 0.3)};
+  EXPECT_TRUE(BestFitConsolidation(snaps, Params()).empty());
+}
+
+TEST(StaticThresholdTest, UsesRequestCountNotKvTrend) {
+  // Both replicas are ramping UP (kv rising); the KVCache detector refuses,
+  // but the static threshold (reqs < 8) fires anyway — the false-positive
+  // mode the paper warns about.
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.50, 5, 0.1), Snap(1, 0.40, 6, 0.1)};
+  EXPECT_TRUE(BestFitConsolidation(snaps, Params()).empty());
+  RepackPlan plan = StaticThresholdConsolidation(snaps, Params(), /*threshold=*/8);
+  EXPECT_EQ(plan.moves.size(), 1u);
+}
+
+TEST(IdlenessMonitorTest, TracksPreviousUtilization) {
+  IdlenessMonitor monitor;
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.5, 5)};
+  monitor.Observe(snaps);
+  EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, 1.0);  // first sight
+  snaps[0].kv_used_frac = 0.4;
+  monitor.Observe(snaps);
+  EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, 0.5);
+  monitor.Forget(0);
+  snaps[0].kv_used_frac = 0.3;
+  monitor.Observe(snaps);
+  EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, 1.0);
+}
+
+// Property sweep: for random inputs, any produced plan satisfies the
+// algorithm's invariants.
+class BestFitPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BestFitPropertyTest, PlanInvariantsHold) {
+  Rng rng(GetParam());
+  RepackParams params;
+  params.c_max_frac = 0.99;
+  params.batch_bound = static_cast<int>(rng.UniformInt(8, 512));
+  int n = static_cast<int>(rng.UniformInt(2, 64));
+  std::vector<ReplicaSnapshot> snaps;
+  for (int i = 0; i < n; ++i) {
+    ReplicaSnapshot s = Snap(i, rng.Uniform(0.0, 1.0), static_cast<int>(rng.UniformInt(0, 600)),
+                             rng.Uniform(0.0, 1.0), static_cast<int>(rng.UniformInt(0, 3)));
+    s.eligible = rng.Bernoulli(0.9);
+    snaps.push_back(s);
+  }
+  RepackPlan plan = BestFitConsolidation(snaps, params);
+
+  std::set<int> sources;
+  std::map<int, double> dst_kv;
+  std::map<int, int> dst_reqs;
+  std::map<int, const ReplicaSnapshot*> by_id;
+  for (const auto& s : snaps) {
+    by_id[s.replica_id] = &s;
+  }
+  for (const auto& [src, dst] : plan.moves) {
+    // A source is drained at most once and never into itself.
+    EXPECT_TRUE(sources.insert(src).second);
+    EXPECT_NE(src, dst);
+    // A destination is never itself drained.
+    EXPECT_EQ(sources.count(dst), 0u);
+    dst_kv[dst] += by_id.at(src)->kv_used_frac;
+    dst_reqs[dst] += by_id.at(src)->num_reqs;
+    // Sources were genuine ramp-down candidates.
+    const ReplicaSnapshot& s = *by_id.at(src);
+    EXPECT_TRUE(s.eligible);
+    EXPECT_EQ(s.num_waiting, 0);
+    EXPECT_LT(s.num_reqs, params.batch_bound);
+  }
+  // Projected destination load respects C_max and B.
+  for (const auto& [dst, extra] : dst_kv) {
+    EXPECT_LE(by_id.at(dst)->kv_used_frac + extra, params.c_max_frac + 1e-9);
+    EXPECT_LE(by_id.at(dst)->num_reqs + dst_reqs[dst], params.batch_bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BestFitPropertyTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace laminar

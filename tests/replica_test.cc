@@ -1,0 +1,201 @@
+#include "src/rollout/replica.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/hardware.h"
+#include "src/common/rng.h"
+#include "src/data/prompt_pool.h"
+#include "src/llm/model_spec.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+
+namespace laminar {
+namespace {
+
+std::vector<TrajectoryWork> MakeWorks(PromptPool& pool, int n) {
+  std::vector<TrajectoryWork> works;
+  for (auto& rec : pool.NextBatch(n, 0)) {
+    TrajectoryWork w;
+    w.record = rec;
+    w.InitContext();
+    works.push_back(w);
+  }
+  return works;
+}
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  ReplicaTest()
+      : decode_(Qwen25_7B(), MachineSpec{}, 1),
+        pool_(WorkloadGenerator(WorkloadConfig{}, Rng(7)), 16, Rng(9)) {}
+
+  RolloutReplica MakeReplica(int max_concurrency = 1024) {
+    ReplicaConfig rc;
+    rc.id = 0;
+    rc.max_concurrency = max_concurrency;
+    return RolloutReplica(&sim_, rc, decode_, decode_.KvCapacityTokens());
+  }
+
+  Simulator sim_;
+  DecodeModel decode_;
+  PromptPool pool_;
+};
+
+TEST_F(ReplicaTest, CompletesAllAssignedWork) {
+  RolloutReplica replica = MakeReplica();
+  int completed = 0;
+  int64_t decode_tokens_expected = 0;
+  replica.set_on_complete([&](TrajectoryRecord rec) {
+    ++completed;
+    EXPECT_EQ(rec.weight_versions.size(), 1u);
+    EXPECT_TRUE(rec.finished > SimTime::Zero());
+  });
+  bool batch_done = false;
+  replica.set_on_batch_done([&](RolloutReplica*) { batch_done = true; });
+
+  auto works = MakeWorks(pool_, 64);
+  for (const auto& w : works) {
+    decode_tokens_expected += w.record.spec.total_decode_tokens();
+  }
+  replica.AssignWork(std::move(works));
+  sim_.RunUntilIdle();
+
+  EXPECT_EQ(completed, 64);
+  EXPECT_TRUE(batch_done);
+  EXPECT_EQ(replica.phase(), ReplicaPhase::kIdle);
+  EXPECT_EQ(replica.num_reqs(), 0);
+  // Every decode token was produced exactly once.
+  EXPECT_EQ(replica.metrics().decode_tokens, decode_tokens_expected);
+  // KVCache accounting returns to zero when the replica drains.
+  EXPECT_NEAR(replica.kv_used_tokens(), 0.0, 1e-6);
+}
+
+TEST_F(ReplicaTest, LargeBatchDrainsAndKvReturnsToZero) {
+  RolloutReplica replica = MakeReplica(1024);
+  int completed = 0;
+  replica.set_on_complete([&](TrajectoryRecord) { ++completed; });
+  replica.AssignWork(MakeWorks(pool_, 1024));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(completed, 1024);
+  EXPECT_EQ(replica.num_reqs(), 0);
+  EXPECT_NEAR(replica.kv_used_tokens(), 0.0, 1e-6);
+  EXPECT_EQ(replica.phase(), ReplicaPhase::kIdle);
+}
+
+TEST_F(ReplicaTest, KvUtilizationStaysWithinCapacity) {
+  RolloutReplica replica = MakeReplica(1024);
+  replica.set_on_complete([](TrajectoryRecord) {});
+  replica.AssignWork(MakeWorks(pool_, 512));
+  // Step through and check the invariant after every event.
+  while (sim_.Step()) {
+    EXPECT_LE(replica.kv_used_tokens(), replica.kv_capacity_tokens() + 1e-6);
+    EXPECT_GE(replica.kv_used_tokens(), -1e-6);
+  }
+}
+
+TEST_F(ReplicaTest, PauseResumePreservesWork) {
+  RolloutReplica replica = MakeReplica();
+  int completed = 0;
+  replica.set_on_complete([&](TrajectoryRecord) { ++completed; });
+  replica.AssignWork(MakeWorks(pool_, 32));
+  sim_.RunUntil(SimTime(5.0));
+  replica.Pause();
+  EXPECT_EQ(replica.phase(), ReplicaPhase::kPaused);
+  int64_t tokens_at_pause = replica.metrics().decode_tokens;
+  // Nothing advances while paused.
+  sim_.RunUntil(SimTime(50.0));
+  EXPECT_EQ(replica.metrics().decode_tokens, tokens_at_pause);
+  replica.Resume();
+  sim_.RunUntilIdle();
+  EXPECT_EQ(completed, 32);
+}
+
+TEST_F(ReplicaTest, PartialRolloutResumeStampsNewVersion) {
+  RolloutReplica replica = MakeReplica();
+  std::vector<TrajectoryRecord> done;
+  replica.set_on_complete([&](TrajectoryRecord rec) { done.push_back(rec); });
+  replica.AssignWork(MakeWorks(pool_, 32));
+  sim_.RunUntil(SimTime(5.0));
+  replica.Pause();
+  replica.Resume(/*new_version=*/3, /*recompute_kv=*/true);
+  EXPECT_EQ(replica.weight_version(), 3);
+  sim_.RunUntilIdle();
+  ASSERT_EQ(done.size(), 32u);
+  int mixed = 0;
+  for (const auto& rec : done) {
+    if (rec.mixed_version()) {
+      ++mixed;
+    }
+  }
+  // Everything still decoding at the resume point became mixed-version.
+  EXPECT_GT(mixed, 0);
+}
+
+TEST_F(ReplicaTest, ExtractAllWorkEmptiesReplica) {
+  RolloutReplica replica = MakeReplica();
+  replica.set_on_complete([](TrajectoryRecord) {});
+  replica.AssignWork(MakeWorks(pool_, 64));
+  sim_.RunUntil(SimTime(10.0));
+  int before = replica.num_reqs();
+  EXPECT_GT(before, 0);
+  auto works = replica.ExtractAllWork();
+  EXPECT_EQ(static_cast<int>(works.size()), before);
+  EXPECT_EQ(replica.num_reqs(), 0);
+  EXPECT_NEAR(replica.kv_used_tokens(), 0.0, 1e-6);
+  EXPECT_FALSE(replica.busy());
+  // Progress must be preserved: some decoded tokens exist.
+  int64_t decoded = 0;
+  for (const auto& w : works) {
+    decoded += w.decoded_in_segment;
+  }
+  EXPECT_GT(decoded, 0);
+}
+
+TEST_F(ReplicaTest, MigratedWorkFinishesOnDestination) {
+  RolloutReplica src = MakeReplica();
+  RolloutReplica dst = MakeReplica();
+  int completed = 0;
+  src.set_on_complete([&](TrajectoryRecord) { ++completed; });
+  dst.set_on_complete([&](TrajectoryRecord) { ++completed; });
+  src.AssignWork(MakeWorks(pool_, 32));
+  sim_.RunUntil(SimTime(10.0));
+  auto works = src.ExtractAllWork();
+  int in_flight = static_cast<int>(works.size());
+  dst.AssignWork(std::move(works), /*kv_transferred=*/true);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(completed, 32);
+  EXPECT_GT(dst.metrics().migrations_in, 0);
+  EXPECT_EQ(in_flight + completed - 32, in_flight);
+}
+
+TEST_F(ReplicaTest, KillLosesWorkReviveAcceptsNew) {
+  RolloutReplica replica = MakeReplica();
+  int completed = 0;
+  replica.set_on_complete([&](TrajectoryRecord) { ++completed; });
+  replica.AssignWork(MakeWorks(pool_, 32));
+  sim_.RunUntil(SimTime(5.0));
+  replica.Kill();
+  EXPECT_EQ(replica.phase(), ReplicaPhase::kDead);
+  EXPECT_EQ(replica.num_reqs(), 0);
+  sim_.RunUntilIdle();
+  int after_kill = completed;
+  replica.Revive();
+  replica.AssignWork(MakeWorks(pool_, 16));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(completed, after_kill + 16);
+}
+
+TEST_F(ReplicaTest, DecodeBatchRampsDownAtTail) {
+  RolloutReplica replica = MakeReplica();
+  replica.set_on_complete([](TrajectoryRecord) {});
+  replica.AssignWork(MakeWorks(pool_, 256));
+  sim_.RunUntilIdle();
+  // The KVCache lifecycle (Figure 9) implies average utilization well below
+  // the peak: ramp-up, plateau, ramp-down.
+  double avg_batch = replica.metrics().batch_size.AverageUntil(sim_.Now());
+  EXPECT_GT(avg_batch, 1.0);
+  EXPECT_LT(avg_batch, 256.0);
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,76 @@
+#include "src/core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/core/run.h"
+
+namespace laminar {
+namespace {
+
+SystemReport SmallRun() {
+  RlSystemConfig cfg;
+  cfg.system = SystemKind::kLaminar;
+  cfg.total_gpus = 16;
+  cfg.global_batch = 512;
+  cfg.max_concurrency = 256;
+  cfg.warmup_iterations = 0;
+  cfg.measure_iterations = 2;
+  return RunExperiment(cfg);
+}
+
+TEST(ReportIoTest, SummaryCsvContainsHeadlineMetrics) {
+  SystemReport rep = SmallRun();
+  std::string csv = ReportSummaryCsv(rep);
+  EXPECT_NE(csv.find("throughput_tokens_per_sec,"), std::string::npos);
+  EXPECT_NE(csv.find("label,laminar/7B/math/16gpu"), std::string::npos);
+  EXPECT_NE(csv.find("repack_events,"), std::string::npos);
+}
+
+TEST(ReportIoTest, IterationsCsvHasOneRowPerIteration) {
+  SystemReport rep = SmallRun();
+  std::string csv = IterationsCsv(rep);
+  size_t rows = 0;
+  for (char c : csv) {
+    rows += c == '\n';
+  }
+  EXPECT_EQ(rows, rep.iterations.size() + 1);  // header + data
+}
+
+TEST(ReportIoTest, SeriesCsvAlignsToBuckets) {
+  SystemReport rep = SmallRun();
+  std::string csv = SeriesCsv(rep, 30.0);
+  EXPECT_NE(csv.find("time_s,generation_tokens_per_sec"), std::string::npos);
+  EXPECT_NE(csv.find("\n0,"), std::string::npos);
+}
+
+TEST(ReportIoTest, WriteReportCsvCreatesAllFiles) {
+  SystemReport rep = SmallRun();
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "laminar_report_io_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(WriteReportCsv(rep, dir));
+  for (const char* suffix :
+       {"_summary.csv", "_iterations.csv", "_series.csv", "_staleness.csv"}) {
+    std::string path = dir + "/laminar-7B-math-16gpu" + std::string(suffix);
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    EXPECT_GT(std::filesystem::file_size(path), 10u) << path;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReportIoTest, StalenessCsvMatchesSamples) {
+  SystemReport rep = SmallRun();
+  std::string csv = StalenessCsv(rep);
+  size_t rows = 0;
+  for (char c : csv) {
+    rows += c == '\n';
+  }
+  EXPECT_EQ(rows, rep.staleness_samples.size() + 1);
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,139 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/channel.h"
+
+namespace laminar {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(SimTime(3.0), [&] { order.push_back(3); });
+  sim.ScheduleAt(SimTime(1.0), [&] { order.push_back(1); });
+  sim.ScheduleAt(SimTime(2.0), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 3.0);
+}
+
+TEST(SimulatorTest, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(SimTime(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(SimTime(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.IsPending(id));
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double cancel is a no-op
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(SimTime(i), [&] { ++count; });
+  }
+  sim.RunUntil(SimTime(5.5));
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 5.5);
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      sim.ScheduleAfter(0.5, chain);
+    }
+  };
+  sim.ScheduleAfter(0.5, chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 50.0);
+}
+
+TEST(SimulatorTest, RunUntilTrueStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(SimTime(i), [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.RunUntilTrue([&] { return count == 3; }));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(sim.RunUntilTrue([&] { return count == 99; }));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  double at = -1.0;
+  sim.ScheduleAt(SimTime(2.0), [&] {
+    sim.ScheduleAfter(0.0, [&] { at = sim.Now().seconds(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(at, 2.0);
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriodUntilStopped) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 2.0, [&] { ++ticks; });
+  task.Start();
+  sim.RunUntil(SimTime(9.0));
+  EXPECT_EQ(ticks, 4);  // t = 2, 4, 6, 8
+  task.Stop();
+  sim.RunUntil(SimTime(20.0));
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(PeriodicTaskTest, StopInsideCallbackHalts) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++ticks; });
+  PeriodicTask* ptr = &task;
+  PeriodicTask stopper(&sim, 3.5, [&, ptr] { ptr->Stop(); });
+  task.Start();
+  stopper.Start();
+  sim.RunUntil(SimTime(10.0));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(SerialChannelTest, QueuesConcurrentTransfers) {
+  SerialChannel ch(100.0, 0.5);  // 100 B/s, 0.5 s startup
+  SimTime done1 = ch.Transfer(SimTime(0.0), 100.0);  // 0.5 + 1.0 = 1.5
+  EXPECT_DOUBLE_EQ(done1.seconds(), 1.5);
+  // Issued at t=0 too, but must wait for the channel.
+  SimTime done2 = ch.Transfer(SimTime(0.0), 200.0);  // 1.5 + 0.5 + 2.0
+  EXPECT_DOUBLE_EQ(done2.seconds(), 4.0);
+  // Issued after the channel is idle again.
+  SimTime done3 = ch.Transfer(SimTime(10.0), 50.0);
+  EXPECT_DOUBLE_EQ(done3.seconds(), 11.0);
+  EXPECT_DOUBLE_EQ(ch.bytes_carried(), 350.0);
+}
+
+TEST(SerialChannelTest, IdealDurationMatchesAlphaBeta) {
+  SerialChannel ch(1e9, 1e-3);
+  EXPECT_DOUBLE_EQ(ch.IdealDuration(1e9), 1.001);
+  EXPECT_DOUBLE_EQ(ch.IdealDuration(0.0), 1e-3);
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/workload/generator.h"
+#include "src/workload/length_model.h"
+
+namespace laminar {
+namespace {
+
+TEST(LengthModelTest, P99ToMedianRatioIsOrderOfMagnitude) {
+  // Figure 2: p99 response length can exceed the median by ~10x.
+  LengthDistribution d = MathLengthDistribution(ModelScale::k7B);
+  EXPECT_GT(d.Quantile(0.99) / d.Quantile(0.5), 8.0);
+}
+
+TEST(LengthModelTest, SamplesRespectClamp) {
+  LengthDistribution d = MathLengthDistribution(ModelScale::k7B);
+  Rng rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t x = d.Sample(rng);
+    ASSERT_GE(x, d.min_tokens);
+    ASSERT_LE(x, d.max_tokens);
+  }
+}
+
+TEST(LengthModelTest, EmpiricalMedianMatchesParameter) {
+  LengthDistribution d = MathLengthDistribution(ModelScale::k32B);
+  Rng rng(22);
+  SampleSet s;
+  for (int i = 0; i < 30000; ++i) {
+    s.Add(static_cast<double>(d.Sample(rng)));
+  }
+  EXPECT_NEAR(s.Median(), d.median_tokens, d.median_tokens * 0.05);
+}
+
+TEST(LengthModelTest, TruncationSpikeAtMaxTokens) {
+  // The paper's Figure 17 distributions show mass at the 16K cap.
+  LengthDistribution d = MathLengthDistribution(ModelScale::k72B);
+  Rng rng(23);
+  int capped = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (d.Sample(rng) == d.max_tokens) {
+      ++capped;
+    }
+  }
+  EXPECT_GT(capped, n / 200);  // >0.5% truncated
+  EXPECT_LT(capped, n / 5);
+}
+
+TEST(LengthModelTest, LargerCheckpointsEmitLongerResponses) {
+  EXPECT_LT(MathLengthDistribution(ModelScale::k7B).median_tokens,
+            MathLengthDistribution(ModelScale::k32B).median_tokens);
+  EXPECT_LT(MathLengthDistribution(ModelScale::k32B).median_tokens,
+            MathLengthDistribution(ModelScale::k72B).median_tokens);
+}
+
+TEST(EnvLatencyTest, HeavyTailWithinBounds) {
+  EnvLatencyDistribution d = SandboxLatencyDistribution();
+  Rng rng(31);
+  SampleSet s;
+  for (int i = 0; i < 20000; ++i) {
+    double x = d.Sample(rng);
+    ASSERT_GE(x, d.min_seconds);
+    ASSERT_LE(x, d.max_seconds);
+    s.Add(x);
+  }
+  EXPECT_GT(s.Quantile(0.99) / s.Median(), 5.0);
+}
+
+TEST(LengthDriftTest, MonotoneAndSaturating) {
+  EXPECT_DOUBLE_EQ(LengthDriftFactor(0), 1.0);
+  EXPECT_GT(LengthDriftFactor(50), LengthDriftFactor(10));
+  EXPECT_LT(LengthDriftFactor(1000), 1.36);
+}
+
+TEST(GeneratorTest, MathTaskIsSingleSegmentNoEnv) {
+  WorkloadConfig cfg;
+  cfg.task = TaskKind::kMathReasoning;
+  WorkloadGenerator gen(cfg, Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    TrajectorySpec spec = gen.Sample(0);
+    ASSERT_EQ(spec.num_turns(), 1);
+    EXPECT_DOUBLE_EQ(spec.total_env_latency(), 0.0);
+    EXPECT_EQ(spec.total_feedback_tokens(), 0);
+    EXPECT_GE(spec.prompt_tokens, cfg.prompt_tokens_min);
+    EXPECT_LE(spec.prompt_tokens, cfg.prompt_tokens_max);
+  }
+}
+
+TEST(GeneratorTest, ToolTaskRespectsMaxCalls) {
+  WorkloadConfig cfg;
+  cfg.task = TaskKind::kToolCalling;
+  cfg.max_tool_calls = 8;
+  WorkloadGenerator gen(cfg, Rng(2));
+  bool saw_multi = false;
+  for (int i = 0; i < 500; ++i) {
+    TrajectorySpec spec = gen.Sample(0);
+    ASSERT_GE(spec.num_turns(), 1);
+    ASSERT_LE(spec.num_turns(), cfg.max_tool_calls);
+    // Env latency attaches to every turn except the final answer.
+    int env_turns = 0;
+    for (const auto& seg : spec.segments) {
+      if (seg.env_latency > 0.0) {
+        ++env_turns;
+        EXPECT_GT(seg.feedback_tokens, 0);
+      }
+    }
+    EXPECT_EQ(env_turns, spec.num_turns() - 1);
+    saw_multi |= spec.num_turns() > 1;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  WorkloadConfig cfg;
+  WorkloadGenerator a(cfg, Rng(99));
+  WorkloadGenerator b(cfg, Rng(99));
+  for (int i = 0; i < 100; ++i) {
+    TrajectorySpec sa = a.Sample(0);
+    TrajectorySpec sb = b.Sample(0);
+    EXPECT_EQ(sa.prompt_tokens, sb.prompt_tokens);
+    EXPECT_EQ(sa.total_decode_tokens(), sb.total_decode_tokens());
+  }
+}
+
+TEST(GeneratorTest, DriftLengthensTrajectoriesWithVersion) {
+  WorkloadConfig cfg;
+  cfg.length_drift = true;
+  WorkloadGenerator gen(cfg, Rng(4));
+  double early = 0.0;
+  double late = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    early += static_cast<double>(gen.Sample(0).total_decode_tokens());
+    late += static_cast<double>(gen.Sample(200).total_decode_tokens());
+  }
+  EXPECT_GT(late / early, 1.1);
+}
+
+TEST(GeneratorTest, ExpectedTokensRoughlyMatchEmpirical) {
+  WorkloadConfig cfg;
+  WorkloadGenerator gen(cfg, Rng(5));
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(gen.Sample(0).total_context_tokens());
+  }
+  double empirical = total / n;
+  EXPECT_NEAR(gen.ExpectedTotalTokens(), empirical, empirical * 0.25);
+}
+
+TEST(TrajectorySpecTest, TokenAccounting) {
+  TrajectorySpec spec;
+  spec.prompt_tokens = 100;
+  spec.segments.push_back({50, 1.0, 20});
+  spec.segments.push_back({30, 0.0, 0});
+  EXPECT_EQ(spec.total_decode_tokens(), 80);
+  EXPECT_EQ(spec.total_feedback_tokens(), 20);
+  EXPECT_EQ(spec.total_context_tokens(), 200);
+  EXPECT_DOUBLE_EQ(spec.total_env_latency(), 1.0);
+}
+
+}  // namespace
+}  // namespace laminar
