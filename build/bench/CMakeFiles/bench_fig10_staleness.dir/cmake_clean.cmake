@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_staleness.dir/bench_fig10_staleness.cc.o"
+  "CMakeFiles/bench_fig10_staleness.dir/bench_fig10_staleness.cc.o.d"
+  "bench_fig10_staleness"
+  "bench_fig10_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

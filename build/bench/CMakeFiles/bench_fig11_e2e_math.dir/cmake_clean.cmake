@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_e2e_math.dir/bench_fig11_e2e_math.cc.o"
+  "CMakeFiles/bench_fig11_e2e_math.dir/bench_fig11_e2e_math.cc.o.d"
+  "bench_fig11_e2e_math"
+  "bench_fig11_e2e_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_e2e_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

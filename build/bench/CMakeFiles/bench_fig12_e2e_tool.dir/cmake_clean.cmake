@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_e2e_tool.dir/bench_fig12_e2e_tool.cc.o"
+  "CMakeFiles/bench_fig12_e2e_tool.dir/bench_fig12_e2e_tool.cc.o.d"
+  "bench_fig12_e2e_tool"
+  "bench_fig12_e2e_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_e2e_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

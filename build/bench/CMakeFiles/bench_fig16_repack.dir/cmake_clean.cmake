@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_repack.dir/bench_fig16_repack.cc.o"
+  "CMakeFiles/bench_fig16_repack.dir/bench_fig16_repack.cc.o.d"
+  "bench_fig16_repack"
+  "bench_fig16_repack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_repack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

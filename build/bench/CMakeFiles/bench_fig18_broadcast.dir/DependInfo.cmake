@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_broadcast.cc" "bench/CMakeFiles/bench_fig18_broadcast.dir/bench_fig18_broadcast.cc.o" "gcc" "bench/CMakeFiles/bench_fig18_broadcast.dir/bench_fig18_broadcast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/laminar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rollout/CMakeFiles/laminar_rollout.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/laminar_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/repack/CMakeFiles/laminar_repack.dir/DependInfo.cmake"
+  "/root/repo/build/src/trainer/CMakeFiles/laminar_trainer.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/laminar_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/laminar_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/laminar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/laminar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/laminar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/laminar_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/laminar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_broadcast.dir/bench_fig18_broadcast.cc.o"
+  "CMakeFiles/bench_fig18_broadcast.dir/bench_fig18_broadcast.cc.o.d"
+  "bench_fig18_broadcast"
+  "bench_fig18_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

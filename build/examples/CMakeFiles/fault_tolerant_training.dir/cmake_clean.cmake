@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_training.dir/fault_tolerant_training.cpp.o"
+  "CMakeFiles/fault_tolerant_training.dir/fault_tolerant_training.cpp.o.d"
+  "fault_tolerant_training"
+  "fault_tolerant_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

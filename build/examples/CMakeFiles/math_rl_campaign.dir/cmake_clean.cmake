@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_rl_campaign.dir/math_rl_campaign.cpp.o"
+  "CMakeFiles/math_rl_campaign.dir/math_rl_campaign.cpp.o.d"
+  "math_rl_campaign"
+  "math_rl_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_rl_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

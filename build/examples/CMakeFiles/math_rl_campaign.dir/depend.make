@@ -1,0 +1,2 @@
+# Empty dependencies file for math_rl_campaign.
+# This may be replaced when dependencies are built.

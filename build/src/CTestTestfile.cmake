@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("cluster")
+subdirs("llm")
+subdirs("workload")
+subdirs("data")
+subdirs("relay")
+subdirs("rollout")
+subdirs("repack")
+subdirs("policy")
+subdirs("trainer")
+subdirs("fault")
+subdirs("core")

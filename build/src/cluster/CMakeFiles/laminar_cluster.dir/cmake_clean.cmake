@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_cluster.dir/hardware.cc.o"
+  "CMakeFiles/laminar_cluster.dir/hardware.cc.o.d"
+  "CMakeFiles/laminar_cluster.dir/placement.cc.o"
+  "CMakeFiles/laminar_cluster.dir/placement.cc.o.d"
+  "liblaminar_cluster.a"
+  "liblaminar_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_common.dir/flags.cc.o"
+  "CMakeFiles/laminar_common.dir/flags.cc.o.d"
+  "CMakeFiles/laminar_common.dir/histogram.cc.o"
+  "CMakeFiles/laminar_common.dir/histogram.cc.o.d"
+  "CMakeFiles/laminar_common.dir/logging.cc.o"
+  "CMakeFiles/laminar_common.dir/logging.cc.o.d"
+  "CMakeFiles/laminar_common.dir/rng.cc.o"
+  "CMakeFiles/laminar_common.dir/rng.cc.o.d"
+  "CMakeFiles/laminar_common.dir/sim_time.cc.o"
+  "CMakeFiles/laminar_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/laminar_common.dir/stats.cc.o"
+  "CMakeFiles/laminar_common.dir/stats.cc.o.d"
+  "CMakeFiles/laminar_common.dir/table.cc.o"
+  "CMakeFiles/laminar_common.dir/table.cc.o.d"
+  "liblaminar_common.a"
+  "liblaminar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

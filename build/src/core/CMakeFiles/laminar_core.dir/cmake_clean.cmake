@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_core.dir/config.cc.o"
+  "CMakeFiles/laminar_core.dir/config.cc.o.d"
+  "CMakeFiles/laminar_core.dir/driver_base.cc.o"
+  "CMakeFiles/laminar_core.dir/driver_base.cc.o.d"
+  "CMakeFiles/laminar_core.dir/laminar_system.cc.o"
+  "CMakeFiles/laminar_core.dir/laminar_system.cc.o.d"
+  "CMakeFiles/laminar_core.dir/partial_rollout_system.cc.o"
+  "CMakeFiles/laminar_core.dir/partial_rollout_system.cc.o.d"
+  "CMakeFiles/laminar_core.dir/pipeline_system.cc.o"
+  "CMakeFiles/laminar_core.dir/pipeline_system.cc.o.d"
+  "CMakeFiles/laminar_core.dir/report_io.cc.o"
+  "CMakeFiles/laminar_core.dir/report_io.cc.o.d"
+  "CMakeFiles/laminar_core.dir/run.cc.o"
+  "CMakeFiles/laminar_core.dir/run.cc.o.d"
+  "CMakeFiles/laminar_core.dir/sync_system.cc.o"
+  "CMakeFiles/laminar_core.dir/sync_system.cc.o.d"
+  "liblaminar_core.a"
+  "liblaminar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

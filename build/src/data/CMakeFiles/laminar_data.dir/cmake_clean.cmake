@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_data.dir/experience_buffer.cc.o"
+  "CMakeFiles/laminar_data.dir/experience_buffer.cc.o.d"
+  "CMakeFiles/laminar_data.dir/partial_response_pool.cc.o"
+  "CMakeFiles/laminar_data.dir/partial_response_pool.cc.o.d"
+  "CMakeFiles/laminar_data.dir/prompt_pool.cc.o"
+  "CMakeFiles/laminar_data.dir/prompt_pool.cc.o.d"
+  "liblaminar_data.a"
+  "liblaminar_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

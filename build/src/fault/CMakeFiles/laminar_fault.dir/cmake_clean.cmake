@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_fault.dir/heartbeat.cc.o"
+  "CMakeFiles/laminar_fault.dir/heartbeat.cc.o.d"
+  "CMakeFiles/laminar_fault.dir/injector.cc.o"
+  "CMakeFiles/laminar_fault.dir/injector.cc.o.d"
+  "liblaminar_fault.a"
+  "liblaminar_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

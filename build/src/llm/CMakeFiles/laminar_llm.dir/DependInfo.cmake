@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/decode_model.cc" "src/llm/CMakeFiles/laminar_llm.dir/decode_model.cc.o" "gcc" "src/llm/CMakeFiles/laminar_llm.dir/decode_model.cc.o.d"
+  "/root/repo/src/llm/model_spec.cc" "src/llm/CMakeFiles/laminar_llm.dir/model_spec.cc.o" "gcc" "src/llm/CMakeFiles/laminar_llm.dir/model_spec.cc.o.d"
+  "/root/repo/src/llm/train_cost.cc" "src/llm/CMakeFiles/laminar_llm.dir/train_cost.cc.o" "gcc" "src/llm/CMakeFiles/laminar_llm.dir/train_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/laminar_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

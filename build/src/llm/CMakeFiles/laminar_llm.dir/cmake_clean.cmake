@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_llm.dir/decode_model.cc.o"
+  "CMakeFiles/laminar_llm.dir/decode_model.cc.o.d"
+  "CMakeFiles/laminar_llm.dir/model_spec.cc.o"
+  "CMakeFiles/laminar_llm.dir/model_spec.cc.o.d"
+  "CMakeFiles/laminar_llm.dir/train_cost.cc.o"
+  "CMakeFiles/laminar_llm.dir/train_cost.cc.o.d"
+  "liblaminar_llm.a"
+  "liblaminar_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_policy.dir/policy.cc.o"
+  "CMakeFiles/laminar_policy.dir/policy.cc.o.d"
+  "liblaminar_policy.a"
+  "liblaminar_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relay/broadcast_model.cc" "src/relay/CMakeFiles/laminar_relay.dir/broadcast_model.cc.o" "gcc" "src/relay/CMakeFiles/laminar_relay.dir/broadcast_model.cc.o.d"
+  "/root/repo/src/relay/relay_tier.cc" "src/relay/CMakeFiles/laminar_relay.dir/relay_tier.cc.o" "gcc" "src/relay/CMakeFiles/laminar_relay.dir/relay_tier.cc.o.d"
+  "/root/repo/src/relay/weight_sync.cc" "src/relay/CMakeFiles/laminar_relay.dir/weight_sync.cc.o" "gcc" "src/relay/CMakeFiles/laminar_relay.dir/weight_sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/laminar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

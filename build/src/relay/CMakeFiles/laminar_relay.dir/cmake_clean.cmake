@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_relay.dir/broadcast_model.cc.o"
+  "CMakeFiles/laminar_relay.dir/broadcast_model.cc.o.d"
+  "CMakeFiles/laminar_relay.dir/relay_tier.cc.o"
+  "CMakeFiles/laminar_relay.dir/relay_tier.cc.o.d"
+  "CMakeFiles/laminar_relay.dir/weight_sync.cc.o"
+  "CMakeFiles/laminar_relay.dir/weight_sync.cc.o.d"
+  "liblaminar_relay.a"
+  "liblaminar_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

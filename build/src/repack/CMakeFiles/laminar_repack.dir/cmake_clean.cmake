@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_repack.dir/best_fit.cc.o"
+  "CMakeFiles/laminar_repack.dir/best_fit.cc.o.d"
+  "CMakeFiles/laminar_repack.dir/monitor.cc.o"
+  "CMakeFiles/laminar_repack.dir/monitor.cc.o.d"
+  "liblaminar_repack.a"
+  "liblaminar_repack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_repack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rollout/manager.cc" "src/rollout/CMakeFiles/laminar_rollout.dir/manager.cc.o" "gcc" "src/rollout/CMakeFiles/laminar_rollout.dir/manager.cc.o.d"
+  "/root/repo/src/rollout/replica.cc" "src/rollout/CMakeFiles/laminar_rollout.dir/replica.cc.o" "gcc" "src/rollout/CMakeFiles/laminar_rollout.dir/replica.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/laminar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/laminar_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/laminar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/laminar_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/repack/CMakeFiles/laminar_repack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/laminar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/laminar_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

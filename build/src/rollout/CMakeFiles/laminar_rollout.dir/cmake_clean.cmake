@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_rollout.dir/manager.cc.o"
+  "CMakeFiles/laminar_rollout.dir/manager.cc.o.d"
+  "CMakeFiles/laminar_rollout.dir/replica.cc.o"
+  "CMakeFiles/laminar_rollout.dir/replica.cc.o.d"
+  "liblaminar_rollout.a"
+  "liblaminar_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

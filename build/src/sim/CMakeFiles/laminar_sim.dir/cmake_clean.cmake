@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_sim.dir/channel.cc.o"
+  "CMakeFiles/laminar_sim.dir/channel.cc.o.d"
+  "CMakeFiles/laminar_sim.dir/simulator.cc.o"
+  "CMakeFiles/laminar_sim.dir/simulator.cc.o.d"
+  "liblaminar_sim.a"
+  "liblaminar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

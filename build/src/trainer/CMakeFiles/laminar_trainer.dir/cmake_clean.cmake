@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_trainer.dir/trainer.cc.o"
+  "CMakeFiles/laminar_trainer.dir/trainer.cc.o.d"
+  "liblaminar_trainer.a"
+  "liblaminar_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

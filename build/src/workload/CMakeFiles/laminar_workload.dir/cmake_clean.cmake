@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_workload.dir/generator.cc.o"
+  "CMakeFiles/laminar_workload.dir/generator.cc.o.d"
+  "CMakeFiles/laminar_workload.dir/length_model.cc.o"
+  "CMakeFiles/laminar_workload.dir/length_model.cc.o.d"
+  "liblaminar_workload.a"
+  "liblaminar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

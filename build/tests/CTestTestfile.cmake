@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/relay_test[1]_include.cmake")
+include("/root/repo/build/tests/report_io_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/repack_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
