@@ -23,17 +23,23 @@ void DetectorSection() {
   Banner("Ablation: idleness detector (KVCache ramp-down vs static threshold)");
   Table table({"detector", "throughput (tok/s)", "repack events", "sources released",
                "migrated", "avg KV util"});
+  std::vector<RlSystemConfig> grid;
+  std::vector<std::string> names;
   for (int mode = 0; mode < 4; ++mode) {
     RlSystemConfig cfg = Base();
-    std::string name;
     if (mode == 0) {
-      name = "kvcache ramp-down (Laminar)";
+      names.push_back("kvcache ramp-down (Laminar)");
     } else {
       cfg.repack_static_threshold = true;
       cfg.repack_static_threshold_requests = mode == 1 ? 4 : (mode == 2 ? 32 : 256);
-      name = "static reqs < " + std::to_string(cfg.repack_static_threshold_requests);
+      names.push_back("static reqs < " + std::to_string(cfg.repack_static_threshold_requests));
     }
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SystemReport& rep = reports[i];
+    const std::string& name = names[i];
     table.AddRow({name, Tps(rep.throughput_tokens_per_sec), Table::Int(rep.repack_events),
                   Table::Int(rep.repack_sources_released),
                   Table::Int(rep.repack_trajectories_migrated),
@@ -48,10 +54,16 @@ void DetectorSection() {
 void PeriodSection() {
   Banner("Ablation: repack trigger period");
   Table table({"period (s)", "throughput (tok/s)", "repack events", "migrated"});
+  std::vector<RlSystemConfig> grid;
   for (double period : {1.0, 5.0, 20.0, 60.0}) {
     RlSystemConfig cfg = Base();
     cfg.repack_period_seconds = period;
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (double period : {1.0, 5.0, 20.0, 60.0}) {
+    const SystemReport& rep = reports[cursor++];
     table.AddRow({Table::Num(period, 0), Tps(rep.throughput_tokens_per_sec),
                   Table::Int(rep.repack_events),
                   Table::Int(rep.repack_trajectories_migrated)});
@@ -63,12 +75,19 @@ void SamplerSection() {
   Banner("Ablation: experience sampling strategy");
   Table table({"sampler", "throughput (tok/s)", "mean staleness", "max staleness",
                "final reward"});
+  std::vector<RlSystemConfig> grid;
   for (SamplerKind sampler :
        {SamplerKind::kFifo, SamplerKind::kFreshness, SamplerKind::kStalenessCapped}) {
     RlSystemConfig cfg = Base();
     cfg.sampler = sampler;
     cfg.measure_iterations = 8;
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (SamplerKind sampler :
+       {SamplerKind::kFifo, SamplerKind::kFreshness, SamplerKind::kStalenessCapped}) {
+    const SystemReport& rep = reports[cursor++];
     const char* name = sampler == SamplerKind::kFifo
                            ? "FIFO (paper default)"
                            : (sampler == SamplerKind::kFreshness ? "freshest-first"
@@ -85,11 +104,17 @@ void HybridSection() {
   Banner("Extension (Appendix C): partial rollout grafted onto Laminar");
   Table table({"variant", "throughput (tok/s)", "mean staleness", "mixed-version frac",
                "final reward"});
+  std::vector<RlSystemConfig> grid;
   for (bool hybrid : {false, true}) {
     RlSystemConfig cfg = Base();
     cfg.laminar_partial_rollout = hybrid;
     cfg.measure_iterations = 10;
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (bool hybrid : {false, true}) {
+    const SystemReport& rep = reports[cursor++];
     table.AddRow({hybrid ? "laminar + partial rollout" : "laminar (paper)",
                   Tps(rep.throughput_tokens_per_sec),
                   Table::Num(rep.mean_consume_staleness),
@@ -105,10 +130,16 @@ void HybridSection() {
 void BacklogSection() {
   Banner("Ablation: generation backlog cap (x global batch)");
   Table table({"cap", "throughput (tok/s)", "mean staleness", "max staleness"});
+  std::vector<RlSystemConfig> grid;
   for (double factor : {1.0, 2.0, 4.0}) {
     RlSystemConfig cfg = Base();
     cfg.backlog_cap = static_cast<int64_t>(factor * cfg.global_batch);
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (double factor : {1.0, 2.0, 4.0}) {
+    const SystemReport& rep = reports[cursor++];
     table.AddRow({Table::Num(factor, 0) + "x batch", Tps(rep.throughput_tokens_per_sec),
                   Table::Num(rep.mean_consume_staleness),
                   Table::Num(rep.max_consume_staleness, 0)});

@@ -14,10 +14,17 @@ void Run() {
   Banner("Figure 1(b): RL iteration time breakdown (synchronous system)");
   Table table({"task", "GPUs", "generation", "train (prep+update)", "other (switch/sync)",
                "iteration (s)"});
+  std::vector<RlSystemConfig> grid;
   for (TaskKind task : {TaskKind::kMathReasoning, TaskKind::kToolCalling}) {
     for (int gpus : {32, 128}) {
-      RlSystemConfig cfg = ThroughputConfig(SystemKind::kVerlSync, ModelScale::k7B, gpus, task);
-      SystemReport rep = RunExperiment(cfg);
+      grid.push_back(ThroughputConfig(SystemKind::kVerlSync, ModelScale::k7B, gpus, task));
+    }
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (TaskKind task : {TaskKind::kMathReasoning, TaskKind::kToolCalling}) {
+    for (int gpus : {32, 128}) {
+      const SystemReport& rep = reports[cursor++];
       double other = 1.0 - rep.generation_fraction - rep.train_fraction;
       table.AddRow({TaskKindName(task), Table::Int(gpus), Table::Pct(rep.generation_fraction),
                     Table::Pct(rep.train_fraction), Table::Pct(other),

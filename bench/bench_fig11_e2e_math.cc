@@ -16,6 +16,19 @@ void Run() {
 
   std::map<std::pair<ModelScale, int>, std::map<SystemKind, double>> results;
 
+  // The whole figure is one grid: scales x cluster sizes x systems, swept in
+  // parallel, consumed below in the same order it was submitted.
+  std::vector<RlSystemConfig> grid;
+  for (ModelScale scale : {ModelScale::k7B, ModelScale::k32B, ModelScale::k72B}) {
+    for (int gpus : PaperClusterSizes(scale)) {
+      for (SystemKind system : AllSystemKinds()) {
+        grid.push_back(ThroughputConfig(system, scale, gpus));
+      }
+    }
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+
   for (ModelScale scale : {ModelScale::k7B, ModelScale::k32B, ModelScale::k72B}) {
     Table table({"GPUs", "verl", "one-step", "stream-gen", "partial-rollout", "laminar",
                  "laminar/verl", "laminar/best-async"});
@@ -25,7 +38,7 @@ void Run() {
       double verl_tps = 0.0;
       double best_async = 0.0;
       for (SystemKind system : AllSystemKinds()) {
-        SystemReport rep = RunExperiment(ThroughputConfig(system, scale, gpus));
+        const SystemReport& rep = reports[cursor++];
         results[{scale, gpus}][system] = rep.throughput_tokens_per_sec;
         row.push_back(Tps(rep.throughput_tokens_per_sec));
         if (system == SystemKind::kLaminar) {

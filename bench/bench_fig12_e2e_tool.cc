@@ -15,6 +15,14 @@ void Run() {
                "laminar/verl", "laminar/best-async"});
   double speedup_sum = 0.0;
   int speedup_n = 0;
+  std::vector<RlSystemConfig> grid;
+  for (int gpus : PaperClusterSizes(ModelScale::k7B)) {
+    for (SystemKind system : AllSystemKinds()) {
+      grid.push_back(ThroughputConfig(system, ModelScale::k7B, gpus, TaskKind::kToolCalling));
+    }
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
   for (int gpus : PaperClusterSizes(ModelScale::k7B)) {
     std::vector<std::string> row = {Table::Int(gpus)};
     double laminar_tps = 0.0;
@@ -22,8 +30,7 @@ void Run() {
     double best_async = 0.0;
     std::map<SystemKind, double> by_system;
     for (SystemKind system : AllSystemKinds()) {
-      SystemReport rep = RunExperiment(
-          ThroughputConfig(system, ModelScale::k7B, gpus, TaskKind::kToolCalling));
+      const SystemReport& rep = reports[cursor++];
       by_system[system] = rep.throughput_tokens_per_sec;
       row.push_back(Tps(rep.throughput_tokens_per_sec));
       if (system == SystemKind::kLaminar) {

@@ -22,13 +22,19 @@ void RunScale(ModelScale scale, int gpus, double horizon_hours, double target_re
   Banner(std::string("Figure 13: reward vs wall clock, ") + ModelScaleName(scale) + " on " +
          Table::Int(gpus) + " GPUs (" + Table::Num(horizon_hours, 1) + "h horizon)");
   std::vector<Curve> curves;
+  std::vector<RlSystemConfig> grid;
   for (SystemKind system : AllSystemKinds()) {
     RlSystemConfig cfg = ConvergenceConfig(system, scale, gpus);
     // Every system trains for the same wall-clock budget; faster systems
     // complete more RL iterations within it.
     cfg.measure_iterations = 1 << 20;
     cfg.max_sim_seconds = horizon_hours * 3600.0;
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (SystemKind system : AllSystemKinds()) {
+    const SystemReport& rep = reports[cursor++];
     Curve c;
     c.system = system;
     c.eval = rep.reward_series;

@@ -18,6 +18,7 @@ void RolloutWaitSection() {
   Banner("Figure 14: rollout waiting time during weight sync (32B)");
   Table table({"GPUs", "laminar avg (s)", "laminar best (s)", "laminar p99 (s)",
                "global-sync (s)", "avg reduction"});
+  std::vector<RlSystemConfig> grid;
   for (int gpus : {64, 128, 256, 512, 1024}) {
     RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k32B,
                                           std::max(gpus, 32));
@@ -29,7 +30,12 @@ void RolloutWaitSection() {
     cfg.per_replica_batch = 256;
     cfg.warmup_iterations = 1;
     cfg.measure_iterations = 8;
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (int gpus : {64, 128, 256, 512, 1024}) {
+    const SystemReport& rep = reports[cursor++];
 
     GlobalSyncModel sync;
     sync.weight_bytes = Qwen25_32B().weight_bytes();
@@ -48,12 +54,19 @@ void RolloutWaitSection() {
 void ActorStallSection() {
   Banner("§8.3: actor stall per weight publication");
   Table table({"model", "laminar relay push (s)", "global sync (s)"});
+  std::vector<RlSystemConfig> grid;
   for (ModelScale scale : {ModelScale::k32B, ModelScale::k72B}) {
     int gpus = scale == ModelScale::k32B ? 128 : 256;
     RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, scale, gpus);
     cfg.warmup_iterations = 1;
     cfg.measure_iterations = 2;
-    SystemReport rep = RunExperiment(cfg);
+    grid.push_back(cfg);
+  }
+  std::vector<SystemReport> reports = RunSweep(grid);
+  size_t cursor = 0;
+  for (ModelScale scale : {ModelScale::k32B, ModelScale::k72B}) {
+    int gpus = scale == ModelScale::k32B ? 128 : 256;
+    const SystemReport& rep = reports[cursor++];
     GlobalSyncModel sync;
     sync.weight_bytes = ModelForScale(scale).weight_bytes();
     table.AddRow({ModelScaleName(scale), Table::Num(rep.actor_stall_mean_seconds),

@@ -10,7 +10,7 @@
 namespace laminar {
 namespace {
 
-SystemReport RunOnce(bool repack) {
+RlSystemConfig RepackConfig(bool repack) {
   RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k32B, 128);
   cfg.repack_enabled = repack;
   cfg.warmup_iterations = 2;
@@ -19,13 +19,14 @@ SystemReport RunOnce(bool repack) {
   // (generation outpaces the trainer, §Appendix C), so lift the backlog
   // throttle that would otherwise hide the repack gain behind trainer pace.
   cfg.backlog_cap = 1 << 28;
-  return RunExperiment(cfg);
+  return cfg;
 }
 
 void Run() {
   Banner("Figure 16 / Table 1: repack efficiency (32B, 64+64 GPUs, 16 rollouts)");
-  SystemReport with = RunOnce(true);
-  SystemReport without = RunOnce(false);
+  std::vector<SystemReport> reports = RunSweep({RepackConfig(true), RepackConfig(false)});
+  const SystemReport& with = reports[0];
+  const SystemReport& without = reports[1];
 
   double gen_with = with.total_decode_tokens / with.simulated_seconds;
   double gen_without = without.total_decode_tokens / without.simulated_seconds;

@@ -1,0 +1,150 @@
+// Microbenchmark of the raw discrete-event core: how many events per second
+// the Simulator can schedule, cancel and fire, independent of any RL model.
+// Every figure harness is millions of these events, so this is the number
+// that bounds how fast the whole reproduction can run.
+//
+// Scenarios:
+//  * schedule+fire   — a self-sustaining population of timers; each event
+//                      fires and schedules its successor (the rollout
+//                      steady-state pattern).
+//  * schedule/cancel — every fired event schedules two successors and
+//                      cancels one of them (heartbeat / timeout pattern).
+//  * cancel-heavy    — 90% of scheduled events are cancelled before firing;
+//                      stresses tombstone reclamation in the heap.
+//  * periodic churn  — many PeriodicTasks ticking (repack checks,
+//                      heartbeats); stresses the rearm path.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Result {
+  const char* name;
+  uint64_t events;
+  double seconds;
+};
+
+// Each fired event schedules exactly one successor, keeping `population`
+// events in flight at pseudo-random future times.
+Result ScheduleFire(uint64_t target_events, int population) {
+  Simulator sim;
+  Rng rng(7);
+  std::function<void()> tick;
+  tick = [&] { sim.ScheduleAfter(rng.Uniform(0.1, 10.0), tick); };
+  for (int i = 0; i < population; ++i) {
+    sim.ScheduleAfter(rng.Uniform(0.1, 10.0), tick);
+  }
+  Clock::time_point start = Clock::now();
+  sim.RunUntilIdle(target_events);
+  return {"schedule+fire", sim.executed_events(), Seconds(start)};
+}
+
+// Each fired event schedules a "work" successor and a "timeout" guard, then
+// cancels the previous guard — one Cancel per fire, like heartbeat liveness.
+Result ScheduleCancel(uint64_t target_events, int population) {
+  Simulator sim;
+  Rng rng(11);
+  std::vector<EventId> guards(static_cast<size_t>(population), kInvalidEventId);
+  std::function<void(int)> tick = [&](int slot) {
+    sim.ScheduleAfter(rng.Uniform(0.1, 5.0), [&tick, slot] { tick(slot); });
+    if (guards[slot] != kInvalidEventId) {
+      sim.Cancel(guards[slot]);
+    }
+    guards[slot] = sim.ScheduleAfter(1000.0, [] {});
+  };
+  for (int i = 0; i < population; ++i) {
+    sim.ScheduleAfter(rng.Uniform(0.1, 5.0), [&tick, i] { tick(i); });
+  }
+  Clock::time_point start = Clock::now();
+  sim.RunUntilIdle(target_events);
+  return {"schedule/cancel", sim.executed_events(), Seconds(start)};
+}
+
+// 90% of scheduled events never fire: schedule a burst, cancel most of it,
+// step through the survivors. Exercises tombstone skipping and slot reuse.
+Result CancelHeavy(uint64_t target_events) {
+  Simulator sim;
+  Rng rng(13);
+  uint64_t scheduled = 0;
+  Clock::time_point start = Clock::now();
+  std::vector<EventId> burst;
+  burst.reserve(1000);
+  while (sim.executed_events() < target_events) {
+    burst.clear();
+    for (int i = 0; i < 1000; ++i) {
+      burst.push_back(sim.ScheduleAfter(rng.Uniform(0.1, 10.0), [] {}));
+      ++scheduled;
+    }
+    for (size_t i = 0; i < burst.size(); ++i) {
+      if (i % 10 != 0) {
+        sim.Cancel(burst[i]);
+      }
+    }
+    sim.RunUntilIdle(100);
+  }
+  // Count schedule+cancel operations as events too: the scenario's cost is
+  // dominated by them, not by the 10% that fire.
+  return {"cancel-heavy", scheduled, Seconds(start)};
+}
+
+// Many periodic timers with coprime-ish periods ticking concurrently.
+Result PeriodicChurn(uint64_t target_events, int tasks) {
+  Simulator sim;
+  uint64_t ticks = 0;
+  std::vector<std::unique_ptr<PeriodicTask>> pool;
+  pool.reserve(static_cast<size_t>(tasks));
+  for (int i = 0; i < tasks; ++i) {
+    pool.push_back(std::make_unique<PeriodicTask>(&sim, 0.37 + 0.01 * i, [&] { ++ticks; }));
+    pool.back()->Start();
+  }
+  Clock::time_point start = Clock::now();
+  sim.RunUntilIdle(target_events);
+  return {"periodic churn", sim.executed_events(), Seconds(start)};
+}
+
+void Run() {
+  const uint64_t kEvents = 4'000'000;
+  std::printf("Simulator core microbenchmark (%llu events per scenario)\n",
+              static_cast<unsigned long long>(kEvents));
+  std::vector<Result> results;
+  results.push_back(ScheduleFire(kEvents, 1024));
+  results.push_back(ScheduleCancel(kEvents, 1024));
+  results.push_back(CancelHeavy(kEvents / 4));
+  results.push_back(PeriodicChurn(kEvents, 512));
+
+  Table table({"scenario", "events", "seconds", "events/sec"});
+  uint64_t total_events = 0;
+  double total_seconds = 0.0;
+  for (const Result& r : results) {
+    total_events += r.events;
+    total_seconds += r.seconds;
+    table.AddRow({r.name, Table::Int(static_cast<double>(r.events)), Table::Num(r.seconds, 3),
+                  Table::Int(static_cast<double>(r.events) / r.seconds)});
+  }
+  table.AddRow({"all scenarios", Table::Int(static_cast<double>(total_events)),
+                Table::Num(total_seconds, 3),
+                Table::Int(static_cast<double>(total_events) / total_seconds)});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main() {
+  laminar::Run();
+  return 0;
+}

@@ -32,6 +32,10 @@ RlSystemConfig ConvergenceConfig(SystemKind system, ModelScale scale, int total_
   return cfg;
 }
 
+std::vector<SystemReport> RunSweep(const std::vector<RlSystemConfig>& configs) {
+  return RunExperiments(configs);
+}
+
 void Banner(const std::string& title) {
   std::string bar(title.size() + 8, '=');
   std::printf("\n%s\n==  %s  ==\n%s\n", bar.c_str(), title.c_str(), bar.c_str());

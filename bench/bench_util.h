@@ -7,6 +7,7 @@
 
 #include "src/core/config.h"
 #include "src/core/run.h"
+#include "src/exp/sweep.h"
 
 namespace laminar {
 
@@ -21,6 +22,12 @@ RlSystemConfig ThroughputConfig(SystemKind system, ModelScale scale, int total_g
 // Convergence-experiment configuration (paper Table 3): mini-batch 2048
 // (4 mini-batch steps), per-rollout concurrency 256, FIFO sampling.
 RlSystemConfig ConvergenceConfig(SystemKind system, ModelScale scale, int total_gpus);
+
+// Fans a config grid out across hardware threads (src/exp/sweep.h). Results
+// come back in submission order and are identical to calling RunExperiment()
+// on each config serially. Harnesses build the grid in display order, sweep
+// once, then walk the reports with a cursor.
+std::vector<SystemReport> RunSweep(const std::vector<RlSystemConfig>& configs);
 
 // Prints a section header.
 void Banner(const std::string& title);

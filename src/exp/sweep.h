@@ -1,0 +1,32 @@
+// Parallel experiment sweeps.
+//
+// Every figure in the paper is a grid of independent experiments — systems x
+// model scales x cluster sizes — and each experiment is one single-threaded,
+// bit-deterministic simulation. The two facts compose: a sweep can fan the
+// grid out across OS threads with no effect on any result. RunExperiments()
+// is that seam; reports come back in submission order, byte-identical to
+// running RunExperiment() serially over the same configs (see DESIGN.md
+// "Simulation engine internals" for the determinism contract).
+#ifndef LAMINAR_SRC_EXP_SWEEP_H_
+#define LAMINAR_SRC_EXP_SWEEP_H_
+
+#include <vector>
+
+#include "src/core/config.h"
+
+namespace laminar {
+
+struct SweepOptions {
+  // Worker threads to fan out across; 0 means one per hardware thread.
+  // The sweep never uses more threads than configs.
+  unsigned num_threads = 0;
+};
+
+// Runs each config as an independent simulation, in parallel across a thread
+// pool. reports[i] corresponds to configs[i].
+std::vector<SystemReport> RunExperiments(const std::vector<RlSystemConfig>& configs,
+                                         const SweepOptions& options = {});
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_EXP_SWEEP_H_

@@ -1,18 +1,144 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "src/common/logging.h"
 
 namespace laminar {
+namespace {
+
+// Non-negative IEEE-754 doubles order identically to their bit patterns read
+// as unsigned integers, so the heap can compare timestamps with integer
+// instructions. `+ 0.0` canonicalizes -0.0 (whose sign bit would otherwise
+// sort it last).
+uint64_t TimeKey(SimTime t) { return std::bit_cast<uint64_t>(t.seconds() + 0.0); }
+
+double KeyTime(uint64_t key) { return std::bit_cast<double>(key); }
+
+}  // namespace
+
+uint32_t Simulator::AllocSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::RetireSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  if (++s.generation == 0) {
+    s.generation = 1;  // keep packed ids nonzero and unambiguous
+  }
+  s.state = SlotState::kFree;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::HeapSiftUp(size_t i) {
+  const uint64_t k = heap_keys_[i];
+  const HeapMeta m = heap_meta_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) >> 2;
+    const uint64_t pk = heap_keys_[parent];
+    if (!(k < pk || (k == pk && m.seq < heap_meta_[parent].seq))) {
+      break;
+    }
+    heap_keys_[i] = pk;
+    heap_meta_[i] = heap_meta_[parent];
+    i = parent;
+  }
+  heap_keys_[i] = k;
+  heap_meta_[i] = m;
+}
+
+void Simulator::HeapSiftDown(size_t i) {
+  const uint64_t k = heap_keys_[i];
+  const HeapMeta m = heap_meta_[i];
+  const size_t n = heap_keys_.size();
+  for (;;) {
+    const size_t child = (i << 2) + 1;
+    if (child >= n) {
+      break;
+    }
+    size_t best = child;
+    uint64_t bk = heap_keys_[child];
+    const size_t end = child + 4 < n ? child + 4 : n;
+    for (size_t c = child + 1; c < end; ++c) {
+      const uint64_t ck = heap_keys_[c];
+      if (ck < bk || (ck == bk && heap_meta_[c].seq < heap_meta_[best].seq)) {
+        best = c;
+        bk = ck;
+      }
+    }
+    if (!(bk < k || (bk == k && heap_meta_[best].seq < m.seq))) {
+      break;
+    }
+    heap_keys_[i] = bk;
+    heap_meta_[i] = heap_meta_[best];
+    i = best;
+  }
+  heap_keys_[i] = k;
+  heap_meta_[i] = m;
+}
+
+void Simulator::HeapPopTop() {
+  const uint64_t bk = heap_keys_.back();
+  const HeapMeta bm = heap_meta_.back();
+  heap_keys_.pop_back();
+  heap_meta_.pop_back();
+  const size_t n = heap_keys_.size();
+  if (n == 0) {
+    return;
+  }
+  // Bottom-up pop: walk the hole at the root down along minimum children to
+  // a leaf (no comparisons against the displaced back element on the way),
+  // then drop that element into the hole and sift it up — it rarely rises.
+  size_t i = 0;
+  for (;;) {
+    const size_t child = (i << 2) + 1;
+    if (child >= n) {
+      break;
+    }
+    size_t best = child;
+    uint64_t bk2 = heap_keys_[child];
+    const size_t end = child + 4 < n ? child + 4 : n;
+    for (size_t c = child + 1; c < end; ++c) {
+      const uint64_t ck = heap_keys_[c];
+      if (ck < bk2 || (ck == bk2 && heap_meta_[c].seq < heap_meta_[best].seq)) {
+        best = c;
+        bk2 = ck;
+      }
+    }
+    heap_keys_[i] = bk2;
+    heap_meta_[i] = heap_meta_[best];
+    i = best;
+  }
+  heap_keys_[i] = bk;
+  heap_meta_[i] = bm;
+  HeapSiftUp(i);
+}
+
+void Simulator::PushHeap(SimTime t, uint32_t slot, uint32_t generation) {
+  heap_keys_.push_back(TimeKey(t));
+  heap_meta_.push_back(HeapMeta{next_seq_++, slot, generation});
+  HeapSiftUp(heap_keys_.size() - 1);
+}
 
 EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   LAMINAR_CHECK(t >= now_) << "scheduling into the past: " << t.seconds() << " < "
                            << now_.seconds();
-  EventId id = next_id_++;
-  heap_.push(HeapEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.state = SlotState::kPending;
+  PushHeap(t, slot, s.generation);
+  ++live_;
+  return Pack(slot, s.generation);
 }
 
 EventId Simulator::ScheduleAfter(double delay, std::function<void()> fn) {
@@ -20,33 +146,119 @@ EventId Simulator::ScheduleAfter(double delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+EventId Simulator::RearmCurrentAfter(double delay) {
+  LAMINAR_CHECK(current_ != kNoCurrent) << "RearmCurrentAfter outside an event callback";
+  LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
+  Slot& s = slots_[current_];
+  LAMINAR_CHECK(s.state == SlotState::kExecuting) << "current event already re-armed";
+  if (++s.generation == 0) {
+    s.generation = 1;
+  }
+  s.state = SlotState::kRearmed;
+  PushHeap(now_ + delay, current_, s.generation);
+  ++live_;
+  return Pack(current_, s.generation);
+}
+
+bool Simulator::Cancel(EventId id) {
+  uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size()) {
+    return false;
+  }
+  Slot& s = slots_[slot];
+  if (s.generation != GenerationOf(id)) {
+    return false;
+  }
+  if (s.state == SlotState::kPending) {
+    RetireSlot(slot);
+    --live_;
+    ++tombstones_;
+    MaybeCompactHeap();
+    return true;
+  }
+  if (s.state == SlotState::kRearmed) {
+    // Cancelled from inside its own callback; the closure is out on loan to
+    // Step(), so just undo the re-arm and let Step() retire the slot.
+    if (++s.generation == 0) {
+      s.generation = 1;
+    }
+    s.state = SlotState::kExecuting;
+    --live_;
+    ++tombstones_;
+    return true;
+  }
+  return false;
+}
+
+void Simulator::PruneStaleTop() {
+  while (!heap_keys_.empty() && !Live(heap_meta_.front())) {
+    HeapPopTop();
+    --tombstones_;
+  }
+}
+
+void Simulator::MaybeCompactHeap() {
+  if (tombstones_ < 64 || tombstones_ * 2 < heap_keys_.size()) {
+    return;
+  }
+  size_t out = 0;
+  for (size_t i = 0; i < heap_keys_.size(); ++i) {
+    if (Live(heap_meta_[i])) {
+      heap_keys_[out] = heap_keys_[i];
+      heap_meta_[out] = heap_meta_[i];
+      ++out;
+    }
+  }
+  heap_keys_.resize(out);
+  heap_meta_.resize(out);
+  // Floyd heap construction for the 4-ary layout.
+  if (out > 1) {
+    for (size_t i = (out - 2) / 4 + 1; i-- > 0;) {
+      HeapSiftDown(i);
+    }
+  }
+  tombstones_ = 0;
+}
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
-      continue;  // Cancelled; tombstone in the heap.
+  while (!heap_keys_.empty()) {
+    const double t = KeyTime(heap_keys_.front());
+    const HeapMeta m = heap_meta_.front();
+    HeapPopTop();
+    if (!Live(m)) {
+      --tombstones_;
+      continue;
     }
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = top.time;
+    Slot& s = slots_[m.slot];
+    s.state = SlotState::kExecuting;
+    // Run the closure from a local: the callback may schedule events that
+    // grow the slab (invalidating `s`), cancel its own re-arm, or be the
+    // closure's only owner.
+    std::function<void()> fn = std::move(s.fn);
+    now_ = SimTime(t);
     ++executed_;
+    --live_;
+    uint32_t prev_current = current_;
+    current_ = m.slot;
     fn();
+    current_ = prev_current;
+    Slot& after = slots_[m.slot];
+    if (after.state == SlotState::kRearmed) {
+      after.fn = std::move(fn);  // hand the closure back for the next firing
+      after.state = SlotState::kPending;
+    } else {
+      RetireSlot(m.slot);
+    }
     return true;
   }
   return false;
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!heap_.empty()) {
+  for (;;) {
     // Skip tombstones to see the genuine next event time.
-    while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().time > deadline) {
+    PruneStaleTop();
+    if (heap_keys_.empty() || SimTime(KeyTime(heap_keys_.front())) > deadline) {
       break;
     }
     Step();
@@ -109,8 +321,10 @@ void PeriodicTask::Tick() {
     return;
   }
   fn_();
-  if (running_) {
-    pending_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  // Re-arm the event record in place unless the callback stopped the task or
+  // restarted it (Start() inside fn_ schedules its own fresh event).
+  if (running_ && pending_ == kInvalidEventId) {
+    pending_ = sim_->RearmCurrentAfter(period_);
   }
 }
 

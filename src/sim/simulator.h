@@ -5,19 +5,26 @@
 // combined with the deterministic Rng streams (common/rng.h) — makes every
 // run bit-reproducible. The engine is single-threaded by design: RL cluster
 // behaviour is modelled by the *timing* of events, not by real concurrency.
+//
+// Internals (DESIGN.md "Simulation engine internals"): event records live in
+// a slab pool indexed by a 32-bit slot with a 32-bit generation tag packed
+// into the EventId, so Cancel()/IsPending() are O(1) array probes with no
+// hashing. Cancellation is lazy — the heap entry stays behind as a tombstone
+// that Step() skips when popped, and the heap is compacted when tombstones
+// outnumber live entries.
 #ifndef LAMINAR_SRC_SIM_SIMULATOR_H_
 #define LAMINAR_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/sim_time.h"
 
 namespace laminar {
 
+// Packed (generation << 32) | pool slot. Generations start at 1, so a valid
+// id is never 0.
 using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
@@ -35,9 +42,23 @@ class Simulator {
   // Schedules `fn` after `delay` seconds (>= 0).
   EventId ScheduleAfter(double delay, std::function<void()> fn);
 
+  // Re-schedules the event whose callback is currently executing to fire
+  // again after `delay` seconds, reusing its stored closure — no new
+  // std::function is constructed. Only valid inside an event callback.
+  // Returns the id of the re-armed event (cancellable like any other).
+  EventId RearmCurrentAfter(double delay);
+
   // Cancels a pending event. Returns true if the event was still pending.
   bool Cancel(EventId id);
-  bool IsPending(EventId id) const { return callbacks_.count(id) > 0; }
+  bool IsPending(EventId id) const {
+    uint32_t slot = SlotOf(id);
+    if (slot >= slots_.size()) {
+      return false;
+    }
+    const Slot& s = slots_[slot];
+    return s.generation == GenerationOf(id) &&
+           (s.state == SlotState::kPending || s.state == SlotState::kRearmed);
+  }
 
   // Executes the next pending event, advancing the clock. Returns false if
   // the queue is empty.
@@ -55,33 +76,88 @@ class Simulator {
   bool RunUntilTrue(const std::function<bool()>& predicate,
                     uint64_t max_events = UINT64_MAX);
 
-  size_t pending_events() const { return callbacks_.size(); }
+  size_t pending_events() const { return live_; }
   uint64_t executed_events() const { return executed_; }
 
+  // Introspection for tests and benches: slab slots ever allocated (bounded
+  // by the peak number of simultaneously pending events, not by churn) and
+  // heap entries including tombstones awaiting compaction.
+  size_t event_pool_slots() const { return slots_.size(); }
+  size_t heap_entries() const { return heap_keys_.size(); }
+
  private:
-  struct HeapEntry {
-    SimTime time;
-    uint64_t seq;
-    EventId id;
-    bool operator>(const HeapEntry& other) const {
-      if (time != other.time) {
-        return time > other.time;
-      }
-      return seq > other.seq;
-    }
+  enum class SlotState : uint8_t {
+    kFree,       // on the free list
+    kPending,    // scheduled, heap entry live
+    kExecuting,  // callback running right now (closure moved out)
+    kRearmed,    // re-scheduled from inside its own callback
   };
+
+  struct Slot {
+    std::function<void()> fn;
+    uint32_t generation = 1;
+    SlotState state = SlotState::kFree;
+  };
+
+  // The heap is stored as parallel arrays (struct-of-arrays): heap_keys_
+  // holds just the timestamps the sift comparisons read — eight entries per
+  // cache line — while heap_meta_ carries the payload moved alongside.
+  // Timestamps are stored bit-cast to uint64: non-negative IEEE-754 doubles
+  // order identically to their bit patterns, and integer compares let the
+  // sift loops run on conditional moves instead of mispredicted branches.
+  struct HeapMeta {
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+  };
+
+  static constexpr uint32_t kNoCurrent = UINT32_MAX;
+  static uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id); }
+  static uint32_t GenerationOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+  static EventId Pack(uint32_t slot, uint32_t generation) {
+    return (static_cast<uint64_t>(generation) << 32) | slot;
+  }
+
+  // A heap entry is live iff its (slot, generation) still names a scheduled
+  // event; anything else is a tombstone left behind by Cancel(). kRearmed
+  // counts: its heap entry is the future firing, and compaction must keep it
+  // even while the current callback is still on the stack.
+  bool Live(const HeapMeta& m) const {
+    const Slot& s = slots_[m.slot];
+    return s.generation == m.generation &&
+           (s.state == SlotState::kPending || s.state == SlotState::kRearmed);
+  }
+
+  uint32_t AllocSlot();
+  void RetireSlot(uint32_t slot);
+  void PushHeap(SimTime t, uint32_t slot, uint32_t generation);
+  // 4-ary min-heap primitives over heap_ (shallower than a binary heap, so
+  // pushes/pops touch fewer cache lines).
+  void HeapSiftUp(size_t i);
+  void HeapSiftDown(size_t i);
+  void HeapPopTop();
+  // Pops tombstones off the heap top so heap_.front() is a live event.
+  void PruneStaleTop();
+  // Rebuilds the heap without tombstones once they dominate it.
+  void MaybeCompactHeap();
 
   SimTime now_ = SimTime::Zero();
   uint64_t next_seq_ = 1;
-  uint64_t next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  size_t live_ = 0;        // pending + rearmed events
+  size_t tombstones_ = 0;  // stale entries still in the heap
+  uint32_t current_ = kNoCurrent;
+  std::vector<uint64_t> heap_keys_;
+  std::vector<HeapMeta> heap_meta_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 // A repeating timer: runs `fn` every `period` seconds starting at
 // `start + period` until Stop() or the owner is destroyed. Used for
-// heartbeats and the rollout manager's periodic repack check.
+// heartbeats and the rollout manager's periodic repack check. Each tick
+// re-arms the simulator's stored event record in place (RearmCurrentAfter),
+// so steady-state ticking allocates nothing.
 class PeriodicTask {
  public:
   PeriodicTask(Simulator* sim, double period, std::function<void()> fn);

@@ -1,0 +1,83 @@
+#include "src/exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/report_io.h"
+#include "src/core/run.h"
+
+namespace laminar {
+namespace {
+
+// Small-but-real configs spanning several drivers, cheap enough to run twice.
+std::vector<RlSystemConfig> TestGrid() {
+  std::vector<RlSystemConfig> grid;
+  for (SystemKind system :
+       {SystemKind::kVerlSync, SystemKind::kOneStep, SystemKind::kLaminar}) {
+    for (int gpus : {16, 32}) {
+      RlSystemConfig cfg;
+      cfg.system = system;
+      cfg.total_gpus = gpus;
+      cfg.global_batch = 512;
+      cfg.group_size = 8;
+      cfg.num_minibatches = 4;
+      cfg.max_concurrency = 128;
+      cfg.warmup_iterations = 1;
+      cfg.measure_iterations = 2;
+      cfg.seed = 99;
+      grid.push_back(cfg);
+    }
+  }
+  return grid;
+}
+
+// Everything the report serializer can see, as one string — a byte-level
+// fingerprint of the simulation outcome.
+std::string Fingerprint(const SystemReport& rep) {
+  return ReportSummaryCsv(rep) + IterationsCsv(rep) + SeriesCsv(rep) +
+         StalenessCsv(rep);
+}
+
+TEST(SweepTest, EmptyGridReturnsEmpty) {
+  EXPECT_TRUE(RunExperiments({}).empty());
+}
+
+TEST(SweepTest, ParallelMatchesSerialByteForByte) {
+  std::vector<RlSystemConfig> grid = TestGrid();
+
+  std::vector<std::string> serial;
+  for (const RlSystemConfig& cfg : grid) {
+    serial.push_back(Fingerprint(RunExperiment(cfg)));
+  }
+
+  // Force the parallel path even on single-core machines: oversubscribing
+  // still exercises the work-claiming and cross-thread result placement.
+  SweepOptions options;
+  options.num_threads = 4;
+  std::vector<SystemReport> reports = RunExperiments(grid, options);
+
+  ASSERT_EQ(reports.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    // Submission order is preserved...
+    EXPECT_EQ(reports[i].label, grid[i].Label()) << "config " << i;
+    // ...and each report is bit-identical to its serial counterpart.
+    EXPECT_EQ(Fingerprint(reports[i]), serial[i]) << "config " << i;
+  }
+}
+
+TEST(SweepTest, RepeatedParallelRunsAreIdentical) {
+  std::vector<RlSystemConfig> grid = TestGrid();
+  SweepOptions options;
+  options.num_threads = 3;
+  std::vector<SystemReport> a = RunExperiments(grid, options);
+  std::vector<SystemReport> b = RunExperiments(grid, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Fingerprint(a[i]), Fingerprint(b[i])) << "config " << i;
+  }
+}
+
+}  // namespace
+}  // namespace laminar
