@@ -3,7 +3,15 @@
 // (two TP=4 replicas) is killed mid-run. Generation throughput dips,
 // training continues, and the system recovers once a replacement machine
 // initializes (~250 s end to end).
+//
+// Default (--fault-seed -1): the paper's scripted single-machine kill,
+// routed through the chaos engine's injector. With --fault-seed N >= 0 the
+// scripted kill is replaced by a seeded stochastic fault schedule (machine
+// failures, stalls, link flaps, fail-slow replicas, message drops) with the
+// invariant checker armed — the same timeline plotted under random chaos.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
@@ -12,7 +20,7 @@
 namespace laminar {
 namespace {
 
-void Run() {
+void Run(long fault_seed) {
   Banner("Figure 15: throughput timeline across a rollout machine failure");
   RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k32B, 128);
   cfg.warmup_iterations = 2;
@@ -20,11 +28,23 @@ void Run() {
   cfg.sample_period_seconds = 20.0;
 
   const double kFailureTime = 600.0;
+  if (fault_seed >= 0) {
+    cfg.chaos_enabled = true;
+    cfg.chaos_seed = static_cast<uint64_t>(fault_seed);
+    cfg.chaos.start_seconds = kFailureTime;
+    cfg.chaos.machine_fail_per_hour = 2.0;
+    cfg.chaos.machine_stall_per_hour = 4.0;
+    cfg.chaos.link_flap_per_hour = 4.0;
+    cfg.chaos.replica_slow_per_hour = 2.0;
+    cfg.chaos.message_drop_per_hour = 4.0;
+    cfg.invariants_enabled = true;
+  }
   auto driver = MakeDriver(cfg);
   auto* laminar = static_cast<LaminarSystem*>(driver.get());
-  laminar->sim().ScheduleAt(SimTime(kFailureTime), [laminar] {
-    laminar->heartbeats()->MarkDead(0);  // machine 0: two TP=4 replicas + relay
-  });
+  if (fault_seed < 0) {
+    // Machine 0: two TP=4 replicas + relay.
+    laminar->ScheduleFault({kFailureTime, FaultKind::kRolloutMachine, 0});
+  }
   SystemReport rep = driver->Run();
 
   // Baseline generation rate before the failure.
@@ -43,7 +63,7 @@ void Run() {
       }
     }
     std::string marker;
-    if (t >= kFailureTime && t < kFailureTime + 60.0) {
+    if (fault_seed < 0 && t >= kFailureTime && t < kFailureTime + 60.0) {
       marker = "  <- machine killed";
     }
     table.AddRow({Table::Num(t, 0), Tps(p.value), Table::Pct(p.value / before),
@@ -63,6 +83,15 @@ void Run() {
   std::printf("\nfailures handled: %lld, trajectories redirected: %lld\n",
               static_cast<long long>(ms.failures_handled),
               static_cast<long long>(ms.trajectories_redirected));
+  if (fault_seed >= 0) {
+    std::printf("chaos seed %ld: faults injected: %lld, slow events: %lld, "
+                "dropped: %lld, invariant checks: %lld, violations: %lld\n",
+                fault_seed, static_cast<long long>(rep.faults_injected),
+                static_cast<long long>(rep.slow_events),
+                static_cast<long long>(rep.trajectories_dropped),
+                static_cast<long long>(rep.invariant_checks),
+                static_cast<long long>(rep.invariant_violations));
+  }
   if (recovered_at > 0.0) {
     std::printf("generation recovered to >95%% of baseline %.0f s after the failure\n",
                 recovered_at - kFailureTime);
@@ -75,7 +104,13 @@ void Run() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
-  laminar::Run();
+int main(int argc, char** argv) {
+  long fault_seed = -1;  // -1 = the paper's scripted machine kill
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::atol(argv[++i]);
+    }
+  }
+  laminar::Run(fault_seed);
   return 0;
 }

@@ -129,6 +129,14 @@ void StepIntegrator::Set(SimTime t, double value) {
   value_ = value;
 }
 
+double StepIntegrator::IntegralUntil(SimTime t) const {
+  if (!started_ || t <= start_) {
+    return 0.0;
+  }
+  LAMINAR_CHECK(t >= last_time_);
+  return integral_ + value_ * (t - last_time_);
+}
+
 double StepIntegrator::AverageUntil(SimTime t) const {
   if (!started_ || t <= start_) {
     return value_;

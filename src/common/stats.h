@@ -95,6 +95,9 @@ class StepIntegrator {
   // Time-weighted average of the quantity over [start, t]; `t` must be >= the
   // last Set() time.
   double AverageUntil(SimTime t) const;
+  // Time integral of the quantity over [start, t]; `t` must be >= the last
+  // Set() time. Differences of this give exact windowed averages.
+  double IntegralUntil(SimTime t) const;
   SimTime last_change() const { return last_time_; }
 
  private:

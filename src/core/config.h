@@ -9,6 +9,7 @@
 #include "src/cluster/hardware.h"
 #include "src/cluster/placement.h"
 #include "src/common/stats.h"
+#include "src/fault/fault_process.h"
 #include "src/policy/policy.h"
 #include "src/trainer/trainer.h"
 #include "src/workload/generator.h"
@@ -54,6 +55,19 @@ struct RlSystemConfig {
 
   // Workload knobs.
   bool length_drift = false;
+
+  // Chaos engine (Laminar system only). When enabled, a seeded FaultProcess
+  // generates a Poisson fault schedule over the run and the injector fires it
+  // against machines, relays, replicas and the trainer. `chaos` rates default
+  // to zero — callers pick which fault classes to arm.
+  bool chaos_enabled = false;
+  uint64_t chaos_seed = 0;
+  FaultProcessConfig chaos;
+  // System-wide invariant auditing (independent of chaos_enabled, but chaos
+  // runs should always arm it).
+  bool invariants_enabled = false;
+  double invariant_sweep_period_seconds = 10.0;
+  int invariant_max_inherent_staleness = 0;  // 0 = unchecked
 
   // verl colocation switch cost between generation and training phases.
   double colocate_switch_seconds = 6.0;
@@ -132,6 +146,15 @@ struct SystemReport {
 
   // Figure 10: (finish time, inherent staleness) pairs.
   std::vector<std::pair<double, int>> staleness_samples;
+
+  // Chaos / robustness (populated by the Laminar driver when armed).
+  int64_t faults_injected = 0;
+  int64_t slow_events = 0;
+  int64_t slow_recoveries = 0;
+  int64_t duplicates_suppressed = 0;
+  int64_t trajectories_dropped = 0;
+  int64_t invariant_checks = 0;
+  int64_t invariant_violations = 0;
 
   // Bookkeeping.
   std::vector<IterationStats> iterations;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/fault/invariants.h"
 #include "src/llm/model_spec.h"
 
 namespace laminar {
@@ -128,15 +129,24 @@ void DriverBase::WireCompletion() {
       partial_pool_.Update(work, replica_id);
     });
     r->set_on_complete([this](TrajectoryRecord record) {
+      // Exactly-once gate: a duplicate completion (a stale clone racing its
+      // migrated twin) must be suppressed before ANY side effect — scoring
+      // consumes the shared score RNG stream, so even a scored-then-discarded
+      // duplicate would perturb every later trajectory's reward.
+      if (!partial_pool_.MarkCompleted(record.id)) {
+        return;
+      }
       record.finish_actor_version = trainer_ ? trainer_->version() : 0;
       policy_->ScoreTrajectory(record, score_rng_);
-      partial_pool_.Remove(record.id);
       if (staleness_samples_.size() < 500000) {
         staleness_samples_.emplace_back(record.finished.seconds(),
                                         record.inherent_staleness());
       }
       inherent_staleness_all_.Add(static_cast<double>(record.inherent_staleness()));
       traj_durations_.Add(record.finished - record.created);
+      if (invariant_checker_ != nullptr) {
+        invariant_checker_->ObserveBufferPush(record);
+      }
       buffer_->Push(std::move(record));
       trainer_->NotifyData();
     });

@@ -23,6 +23,8 @@
 
 namespace laminar {
 
+class InvariantChecker;
+
 class DriverBase {
  public:
   explicit DriverBase(RlSystemConfig config);
@@ -101,6 +103,10 @@ class DriverBase {
   // Rollout waiting-time samples for systems not using the relay tier.
   SampleSet rollout_wait_seconds_;
   SampleSet actor_stall_seconds_;
+
+  // Armed by subclasses (before WireCompletion runs) when the run should be
+  // audited; completions stream buffer pushes to it. Not owned.
+  InvariantChecker* invariant_checker_ = nullptr;
 
  private:
   void SampleRates();

@@ -59,11 +59,127 @@ void LaminarSystem::Setup() {
   });
 
   heartbeats_ = std::make_unique<HeartbeatMonitor>(
-      &sim_, /*period=*/1.0, /*miss_threshold=*/2,
-      [this](int machine) { manager_->OnMachineFailure(machine); });
+      &sim_, /*period=*/1.0, /*miss_threshold=*/2, [this](int machine) {
+        manager_->OnMachineFailure(machine);
+        // The replacement machine beats again once its engines are up, so a
+        // later fault on the same slot is detectable (chaos schedules can
+        // hit one machine repeatedly).
+        double replaced_in = manager_->config().machine_replacement_seconds +
+                             manager_->config().replica_init_seconds;
+        sim_.ScheduleAfter(replaced_in, [this, machine] { heartbeats_->Revive(machine); });
+      });
   for (int m = 0; m < NumRolloutMachines(); ++m) {
     heartbeats_->Register(m);
   }
+
+  // Gray-failure detection: the manager's windowed decode-efficiency probe
+  // feeds the monitor's slowness score; a detection quarantines the replica
+  // and drains its work, recovery lifts the quarantine.
+  for (RolloutReplica* r : replica_ptrs_) {
+    heartbeats_->RegisterRateSource(r->config().id);
+  }
+  manager_->set_rate_observer([this](int replica_id, double efficiency) {
+    heartbeats_->ObserveRate(replica_id, efficiency);
+  });
+  heartbeats_->set_on_slow([this](int replica_id) { manager_->OnReplicaSlow(replica_id); });
+  heartbeats_->set_on_slow_recovered(
+      [this](int replica_id) { manager_->OnReplicaSlowRecovered(replica_id); });
+
+  // Fault injection: every kind is wired whether or not chaos is enabled, so
+  // scripted drills (ScheduleFault) and the seeded Poisson schedule share one
+  // path through the system.
+  injector_ = std::make_unique<FaultInjector>(&sim_);
+  injector_->set_num_machines(NumRolloutMachines());
+  injector_->set_num_replicas(static_cast<int>(replica_ptrs_.size()));
+  injector_->set_heartbeats(heartbeats_.get());
+  injector_->set_on_relay_fault([this](int machine) {
+    relays_->KillRelay(machine);
+    RestartRelayAfter(machine, cfg_.chaos.relay_restart_seconds);
+  });
+  injector_->set_on_master_fault([this] {
+    int machine = relays_->master();
+    relays_->KillRelay(machine);
+    RestartRelayAfter(machine, cfg_.chaos.relay_restart_seconds);
+  });
+  injector_->set_on_trainer_fault(
+      [this] { trainer_->Kill(cfg_.chaos.trainer_recovery_seconds); });
+  injector_->set_on_machine_stall([this](int machine, double duration) {
+    heartbeats_->Stall(machine, duration);
+    manager_->OnMachineStall(machine, duration);
+  });
+  injector_->set_on_link_flap(
+      [this](int machine, double duration) { relays_->FlapLink(machine, duration); });
+  injector_->set_on_replica_slow([this](int replica_id, double severity, double duration) {
+    RolloutReplica* r = replica_ptrs_[replica_id];
+    if (r->phase() == ReplicaPhase::kDead) {
+      return;
+    }
+    r->SetSpeedFactor(severity);
+    sim_.ScheduleAfter(duration, [r] {
+      if (r->phase() != ReplicaPhase::kDead) {
+        r->SetSpeedFactor(1.0);
+      }
+    });
+  });
+  injector_->set_on_message_drop(
+      [this](int machine) { relays_->DropNextArrival(machine); });
+
+  if (cfg_.chaos_enabled) {
+    FaultProcessConfig pc = cfg_.chaos;
+    if (pc.horizon_seconds <= 0.0) {
+      pc.horizon_seconds = cfg_.max_sim_seconds;
+    }
+    if (pc.num_machines == 0) {
+      pc.num_machines = NumRolloutMachines();
+    }
+    if (pc.num_replicas == 0) {
+      pc.num_replicas = static_cast<int>(replica_ptrs_.size());
+    }
+    injector_->ScheduleAll(FaultProcess(pc).Generate(cfg_.chaos_seed));
+  }
+  injector_->ScheduleAll(pending_faults_);
+  pending_faults_.clear();
+
+  if (cfg_.invariants_enabled) {
+    InvariantCheckerConfig ic;
+    ic.max_inherent_staleness = cfg_.invariant_max_inherent_staleness;
+    invariants_ = std::make_unique<InvariantChecker>(&sim_, ic);
+    invariants_->set_issued_fn([this] { return prompts_->trajectories_issued(); });
+    invariants_->set_inflight_fn([this] { return manager_->inflight_trajectories(); });
+    invariants_->set_pool(&partial_pool_);
+    for (RolloutReplica* r : replica_ptrs_) {
+      invariants_->AddReplica(r);
+    }
+    // DriverBase::Run calls Setup before WireCompletion, so arming the
+    // pointer here routes every buffer push through the checker.
+    invariant_checker_ = invariants_.get();
+    invariant_sweep_ = std::make_unique<PeriodicTask>(
+        &sim_, cfg_.invariant_sweep_period_seconds, [this] { invariants_->CheckSweep(); });
+  }
+}
+
+void LaminarSystem::ScheduleFault(const FaultEvent& event) {
+  if (injector_ != nullptr) {
+    injector_->Schedule(event);
+  } else {
+    pending_faults_.push_back(event);
+  }
+}
+
+void LaminarSystem::RestartRelayAfter(int machine, double delay_seconds) {
+  sim_.ScheduleAfter(delay_seconds, [this, machine] {
+    // A machine failure may have claimed the relay meanwhile; the replacement
+    // machine brings its own relay, so leave revival to that path.
+    for (RolloutReplica* r : replica_ptrs_) {
+      if (r->config().machine == machine && r->phase() == ReplicaPhase::kDead) {
+        return;
+      }
+    }
+    relays_->ReviveRelay(machine);
+    // Replicas that were mid-pull when the relay died lost their waiters;
+    // re-issue those pulls against the revived relay.
+    manager_->OnRelayRestarted(machine);
+  });
 }
 
 void LaminarSystem::ApplyPartialRollout(int version) {
@@ -89,6 +205,9 @@ void LaminarSystem::Begin() {
   heartbeats_->Start();
   manager_->Start();
   trainer_->Start();
+  if (invariant_sweep_ != nullptr) {
+    invariant_sweep_->Start();
+  }
 }
 
 void LaminarSystem::Finalize(SystemReport& report) {
@@ -107,6 +226,18 @@ void LaminarSystem::Finalize(SystemReport& report) {
   report.repack_trajectories_migrated = ms.trajectories_migrated;
   if (!ms.repack_overhead_seconds.empty()) {
     report.repack_overhead_mean_seconds = ms.repack_overhead_seconds.mean();
+  }
+  report.slow_events = ms.slow_events;
+  report.slow_recoveries = ms.slow_recoveries;
+  report.trajectories_dropped = ms.trajectories_dropped;
+  report.duplicates_suppressed = partial_pool_.duplicate_completions();
+  if (injector_ != nullptr) {
+    report.faults_injected = injector_->injected();
+  }
+  if (invariants_ != nullptr) {
+    invariants_->CheckFinal();
+    report.invariant_checks = invariants_->checks_run();
+    report.invariant_violations = invariants_->violation_count();
   }
 }
 

@@ -5,9 +5,13 @@
 #define LAMINAR_SRC_CORE_LAMINAR_SYSTEM_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/core/driver_base.h"
+#include "src/fault/fault_process.h"
 #include "src/fault/heartbeat.h"
+#include "src/fault/injector.h"
+#include "src/fault/invariants.h"
 #include "src/relay/relay_tier.h"
 #include "src/rollout/manager.h"
 
@@ -21,6 +25,13 @@ class LaminarSystem : public DriverBase {
   RelayTier* relays() { return relays_.get(); }
   RolloutManager* manager() { return manager_.get(); }
   HeartbeatMonitor* heartbeats() { return heartbeats_.get(); }
+  FaultInjector* injector() { return injector_.get(); }
+  InvariantChecker* invariants() { return invariants_.get(); }
+
+  // Queues a scripted fault. Callable before Run() (the event is handed to
+  // the injector once Setup builds it) or from inside the simulation; both
+  // routes share the chaos engine's handlers and validation.
+  void ScheduleFault(const FaultEvent& event);
 
  protected:
   void Setup() override;
@@ -30,10 +41,15 @@ class LaminarSystem : public DriverBase {
  private:
   // Appendix-C hybrid: mid-generation weight adoption on top of Laminar.
   void ApplyPartialRollout(int version);
+  void RestartRelayAfter(int machine, double delay_seconds);
 
   std::unique_ptr<RelayTier> relays_;
   std::unique_ptr<RolloutManager> manager_;
   std::unique_ptr<HeartbeatMonitor> heartbeats_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<InvariantChecker> invariants_;
+  std::unique_ptr<PeriodicTask> invariant_sweep_;
+  std::vector<FaultEvent> pending_faults_;
 };
 
 }  // namespace laminar

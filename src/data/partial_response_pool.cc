@@ -2,14 +2,43 @@
 
 namespace laminar {
 
-void PartialResponsePool::Update(const TrajectoryWork& work, int owner_replica) {
-  Entry& e = entries_[work.record.id];
+bool PartialResponsePool::Update(const TrajectoryWork& work, int owner_replica) {
+  TrajId id = work.record.id;
+  if (terminal_.count(id) > 0) {
+    ++stale_updates_;
+    return false;
+  }
+  Entry& e = entries_[id];
   e.work = work;
   e.owner_replica = owner_replica;
   ++updates_;
+  return true;
 }
 
-bool PartialResponsePool::Remove(TrajId id) { return entries_.erase(id) > 0; }
+bool PartialResponsePool::MarkCompleted(TrajId id) {
+  entries_.erase(id);
+  if (!terminal_.insert(id).second) {
+    ++duplicate_completions_;
+    return false;
+  }
+  ++completed_;
+  return true;
+}
+
+bool PartialResponsePool::MarkDropped(TrajId id) {
+  entries_.erase(id);
+  if (!terminal_.insert(id).second) {
+    return false;
+  }
+  ++dropped_;
+  return true;
+}
+
+bool PartialResponsePool::Remove(TrajId id) {
+  bool had_entry = entries_.count(id) > 0;
+  MarkCompleted(id);
+  return had_entry;
+}
 
 std::vector<TrajectoryWork> PartialResponsePool::TakeByReplica(int replica) {
   std::vector<TrajectoryWork> out;

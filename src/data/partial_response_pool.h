@@ -4,11 +4,19 @@
 // Rollouts stream progress here so that a machine failure loses no work: the
 // rollout manager redirects the interrupted TrajectoryWork items to healthy
 // replicas, which re-prefill the saved context and continue decoding.
+//
+// The pool is also the system's exactly-once ledger for trajectory outcomes:
+// every trajectory ends terminal exactly once — completed (MarkCompleted) or
+// explicitly dropped (MarkDropped) — and terminal ids are tombstoned so a
+// late Update from a stale owner (e.g. a drained gray-failure replica racing
+// its migrated clone) can never resurrect the entry, and a duplicate
+// completion is suppressed rather than double-counted.
 #ifndef LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
 #define LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/data/trajectory.h"
@@ -18,20 +26,38 @@ namespace laminar {
 class PartialResponsePool {
  public:
   // Records/overwrites the saved state for a trajectory. `owner_replica`
-  // identifies which replica currently generates it.
-  void Update(const TrajectoryWork& work, int owner_replica);
+  // identifies which replica currently generates it (a re-Update by a new
+  // owner after migration simply moves ownership). Returns false — and
+  // changes nothing — if the trajectory is already terminal (stale update).
+  bool Update(const TrajectoryWork& work, int owner_replica);
 
-  // Removes a completed/aborted trajectory. Returns true if it was present.
+  // Marks a trajectory terminal-completed and erases its saved state.
+  // Returns true the first time; false for a duplicate completion (the
+  // caller should suppress the duplicate's side effects).
+  bool MarkCompleted(TrajId id);
+  // Marks a trajectory terminal-dropped (explicitly abandoned, e.g. work
+  // that died with a machine before ever being checkpointed). Returns true
+  // the first time; false if the trajectory was already terminal.
+  bool MarkDropped(TrajId id);
+
+  // Legacy completion API: MarkCompleted + "was a live entry erased".
   bool Remove(TrajId id);
 
   // All in-progress work owned by `replica`, e.g. everything lost when its
   // machine dies. The returned copies have kv_resident=false (the cache died
-  // with the machine).
+  // with the machine). Order follows the pool's internal layout, which is a
+  // pure function of the operation sequence — identical runs recover work in
+  // identical order.
   std::vector<TrajectoryWork> TakeByReplica(int replica);
 
   bool Contains(TrajId id) const { return entries_.count(id) > 0; }
+  bool IsTerminal(TrajId id) const { return terminal_.count(id) > 0; }
   size_t size() const { return entries_.size(); }
   int64_t updates() const { return updates_; }
+  int64_t completed() const { return completed_; }
+  int64_t dropped() const { return dropped_; }
+  int64_t duplicate_completions() const { return duplicate_completions_; }
+  int64_t stale_updates() const { return stale_updates_; }
   // Total context tokens held (a proxy for the pool's memory footprint).
   int64_t total_context_tokens() const;
 
@@ -41,7 +67,12 @@ class PartialResponsePool {
     int owner_replica = -1;
   };
   std::unordered_map<TrajId, Entry> entries_;
+  std::unordered_set<TrajId> terminal_;
   int64_t updates_ = 0;
+  int64_t completed_ = 0;
+  int64_t dropped_ = 0;
+  int64_t duplicate_completions_ = 0;
+  int64_t stale_updates_ = 0;
 };
 
 }  // namespace laminar

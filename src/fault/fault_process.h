@@ -1,0 +1,78 @@
+// Stochastic chaos engine: seeded, deterministic generation of fault
+// schedules for the injector.
+//
+// Each component class (machines, relays, the master, the trainer, links,
+// replicas, broadcast messages) fails as an independent Poisson process:
+// inter-arrival times are exponential in the class's configured rate, and
+// each arrival picks a uniform target plus — for transient kinds — a
+// log-uniform duration and, for fail-slow, a uniform throughput multiplier.
+// Every class draws from its own Rng stream forked from the schedule seed,
+// so enabling one class never perturbs another, and the merged schedule is
+// sorted by (time, kind, target) so identical seeds produce byte-identical
+// schedules on every platform.
+#ifndef LAMINAR_SRC_FAULT_FAULT_PROCESS_H_
+#define LAMINAR_SRC_FAULT_FAULT_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/injector.h"
+
+namespace laminar {
+
+struct FaultProcessConfig {
+  // Schedule window: faults arrive in [start_seconds, start_seconds +
+  // horizon_seconds). The start offset lets the system warm up first.
+  double start_seconds = 120.0;
+  double horizon_seconds = 0.0;  // 0 = caller resolves (e.g. max_sim_seconds)
+
+  // Target ranges. Machine-addressed kinds draw from [0, num_machines),
+  // fail-slow from [0, num_replicas). Classes with a zero range are skipped.
+  int num_machines = 0;
+  int num_replicas = 0;
+
+  // Poisson arrival rates, in expected events per hour across the whole
+  // component class (not per component). Zero disables the class.
+  double machine_fail_per_hour = 0.0;
+  double relay_fail_per_hour = 0.0;
+  double master_fail_per_hour = 0.0;
+  double trainer_fail_per_hour = 0.0;
+  double machine_stall_per_hour = 0.0;
+  double link_flap_per_hour = 0.0;
+  double replica_slow_per_hour = 0.0;
+  double message_drop_per_hour = 0.0;
+
+  // Transient fault durations, sampled log-uniformly from [lo, hi] seconds.
+  double stall_duration_lo = 0.5;
+  double stall_duration_hi = 8.0;
+  double flap_duration_lo = 0.2;
+  double flap_duration_hi = 5.0;
+  double slow_duration_lo = 60.0;
+  double slow_duration_hi = 400.0;
+  // Fail-slow throughput multiplier, sampled uniformly from [lo, hi].
+  double slow_factor_lo = 0.2;
+  double slow_factor_hi = 0.5;
+
+  // Recovery knobs consumed by the system wiring (not by Generate()): how
+  // long a dead relay process / trainer worker takes to restart.
+  double relay_restart_seconds = 30.0;
+  double trainer_recovery_seconds = 45.0;
+};
+
+class FaultProcess {
+ public:
+  explicit FaultProcess(FaultProcessConfig config);
+
+  // Generates the full fault schedule for `seed`. Pure: same seed + config
+  // always yields the same vector, independent of call order or platform.
+  std::vector<FaultEvent> Generate(uint64_t seed) const;
+
+  const FaultProcessConfig& config() const { return config_; }
+
+ private:
+  FaultProcessConfig config_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_FAULT_FAULT_PROCESS_H_

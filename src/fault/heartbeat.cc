@@ -1,8 +1,31 @@
 #include "src/fault/heartbeat.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/logging.h"
 
 namespace laminar {
+namespace {
+
+constexpr double kLn10 = 2.302585092994046;
+
+// -log10 of the standard-normal lower-tail probability at deficit z (in
+// deviations below the mean). Zero for at-or-above-mean observations.
+double PhiOfDeficit(double z) {
+  if (z <= 0.0) {
+    return 0.0;
+  }
+  double tail = 0.5 * std::erfc(z / std::sqrt(2.0));
+  if (tail <= 0.0) {
+    // erfc underflows around z ~ 38; the score there is astronomically
+    // conclusive anyway. Cap keeps the value finite and comparable.
+    return 350.0;
+  }
+  return -std::log10(tail);
+}
+
+}  // namespace
 
 HeartbeatMonitor::HeartbeatMonitor(Simulator* sim, double period, int miss_threshold,
                                    FailureHandler on_failure)
@@ -13,25 +36,85 @@ HeartbeatMonitor::HeartbeatMonitor(Simulator* sim, double period, int miss_thres
   sweep_ = std::make_unique<PeriodicTask>(sim_, period_, [this] { Sweep(); });
 }
 
+HeartbeatMonitor::~HeartbeatMonitor() {
+  for (auto& [id, node] : nodes_) {
+    if (node.stall_heal != kInvalidEventId) {
+      sim_->Cancel(node.stall_heal);
+    }
+  }
+}
+
 void HeartbeatMonitor::Start() { sweep_->Start(); }
 
 void HeartbeatMonitor::Stop() { sweep_->Stop(); }
 
 void HeartbeatMonitor::Register(int node) {
-  nodes_[node] = Node{true, false, sim_->Now()};
+  Node& n = nodes_[node];
+  if (n.stall_heal != kInvalidEventId) {
+    sim_->Cancel(n.stall_heal);
+  }
+  n = Node{true, false, sim_->Now(), kInvalidEventId};
 }
 
 void HeartbeatMonitor::MarkDead(int node) {
   auto it = nodes_.find(node);
-  LAMINAR_CHECK(it != nodes_.end());
+  LAMINAR_CHECK(it != nodes_.end()) << "MarkDead on unregistered node " << node;
   it->second.beating = false;
+  // A crash supersedes any in-flight stall heal: the node must stay silent.
+  if (it->second.stall_heal != kInvalidEventId) {
+    sim_->Cancel(it->second.stall_heal);
+    it->second.stall_heal = kInvalidEventId;
+  }
 }
 
 void HeartbeatMonitor::Revive(int node) {
-  nodes_[node] = Node{true, false, sim_->Now()};
+  auto it = nodes_.find(node);
+  LAMINAR_CHECK(it != nodes_.end()) << "Revive on unregistered node " << node;
+  if (it->second.stall_heal != kInvalidEventId) {
+    sim_->Cancel(it->second.stall_heal);
+  }
+  it->second = Node{true, false, sim_->Now(), kInvalidEventId};
+}
+
+void HeartbeatMonitor::Stall(int node, double duration_seconds) {
+  auto it = nodes_.find(node);
+  LAMINAR_CHECK(it != nodes_.end()) << "Stall on unregistered node " << node;
+  LAMINAR_CHECK_GE(duration_seconds, 0.0);
+  Node& n = it->second;
+  if (!n.beating && n.stall_heal == kInvalidEventId) {
+    return;  // already dead outright; a stall on a corpse is a no-op
+  }
+  n.beating = false;
+  // Overlapping stalls extend to the later heal time.
+  if (n.stall_heal != kInvalidEventId) {
+    sim_->Cancel(n.stall_heal);
+  }
+  n.stall_heal =
+      sim_->ScheduleAfter(duration_seconds, [this, node] { HealStall(node); });
+}
+
+void HeartbeatMonitor::HealStall(int node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return;
+  }
+  Node& n = it->second;
+  n.stall_heal = kInvalidEventId;
+  if (n.reported) {
+    return;  // the stall outlived the miss threshold: treated as a crash
+  }
+  n.beating = true;
+  n.last_beat = sim_->Now();
 }
 
 bool HeartbeatMonitor::IsMonitored(int node) const { return nodes_.count(node) > 0; }
+
+double HeartbeatMonitor::PhiScore(int node) const {
+  auto it = nodes_.find(node);
+  LAMINAR_CHECK(it != nodes_.end()) << "PhiScore on unregistered node " << node;
+  double silent = sim_->Now() - it->second.last_beat;
+  return std::max(0.0, silent / period_) / kLn10;
+}
 
 void HeartbeatMonitor::Sweep() {
   SimTime now = sim_->Now();
@@ -48,6 +131,87 @@ void HeartbeatMonitor::Sweep() {
       }
     }
   }
+}
+
+void HeartbeatMonitor::RegisterRateSource(int source) {
+  rate_sources_[source] = RateSource{};
+}
+
+bool HeartbeatMonitor::IsSlow(int source) const {
+  auto it = rate_sources_.find(source);
+  LAMINAR_CHECK(it != rate_sources_.end()) << "unknown rate source " << source;
+  return it->second.slow;
+}
+
+double HeartbeatMonitor::SlownessScore(int source) const {
+  auto it = rate_sources_.find(source);
+  LAMINAR_CHECK(it != rate_sources_.end()) << "unknown rate source " << source;
+  return it->second.last_phi;
+}
+
+double HeartbeatMonitor::BaselineRate(int source) const {
+  auto it = rate_sources_.find(source);
+  LAMINAR_CHECK(it != rate_sources_.end()) << "unknown rate source " << source;
+  return it->second.mean;
+}
+
+void HeartbeatMonitor::ObserveRate(int source, double rate) {
+  auto it = rate_sources_.find(source);
+  LAMINAR_CHECK(it != rate_sources_.end()) << "unknown rate source " << source;
+  RateSource& s = it->second;
+
+  auto absorb = [&](double x) {
+    if (s.observations == 0) {
+      s.mean = x;
+      s.var = 0.0;
+    } else {
+      double d = x - s.mean;
+      s.mean += slowness_.ewma_alpha * d;
+      s.var = (1.0 - slowness_.ewma_alpha) * (s.var + slowness_.ewma_alpha * d * d);
+    }
+    ++s.observations;
+  };
+
+  if (s.observations < slowness_.warmup_observations) {
+    absorb(rate);
+    return;
+  }
+
+  double dev = std::max(std::sqrt(s.var), slowness_.min_relative_deviation * s.mean);
+  if (dev <= 0.0) {
+    absorb(rate);
+    return;
+  }
+  double phi = PhiOfDeficit((s.mean - rate) / dev);
+  s.last_phi = phi;
+
+  if (s.slow) {
+    // Recovery is judged against the healthy baseline, which stays frozen
+    // while the source is suspected (sick samples must not poison it).
+    if (rate >= slowness_.recovery_ratio * s.mean) {
+      s.slow = false;
+      s.strikes = 0;
+      ++slow_recovered_;
+      if (on_slow_recovered_) {
+        on_slow_recovered_(source);
+      }
+    }
+    return;
+  }
+  if (phi >= slowness_.phi_threshold) {
+    if (++s.strikes >= slowness_.consecutive_strikes) {
+      s.slow = true;
+      ++slow_reported_;
+      LAMINAR_LOG(kInfo) << "rate source " << source << " flagged slow: rate=" << rate
+                         << " baseline=" << s.mean << " phi=" << phi;
+      if (on_slow_) {
+        on_slow_(source);
+      }
+    }
+    return;  // suspicious samples never enter the baseline
+  }
+  s.strikes = 0;
+  absorb(rate);
 }
 
 }  // namespace laminar

@@ -1,54 +1,134 @@
-// Heartbeat-based failure detection (paper §3.3, §4.3).
+// Heartbeat-based failure detection (paper §3.3, §4.3) plus gray-failure
+// (fail-slow) detection.
 //
-// Monitored nodes beat every `period`; the monitor sweeps at the same period
-// and reports any node whose last beat is older than `period * miss_threshold`.
-// Detection latency is therefore bounded by (miss_threshold + 1) periods.
+// Fail-stop: monitored nodes beat every `period`; the monitor sweeps at the
+// same period and reports any node whose last beat is older than
+// `period * miss_threshold`. Detection latency is therefore bounded by
+// (miss_threshold + 1) periods. Sweeps iterate nodes in sorted id order, so
+// the failure-report order is stable across runs and platforms.
+//
+// Fail-slow: a degraded component keeps beating — heartbeats alone can never
+// flag it. The monitor therefore also accepts per-source throughput
+// observations (e.g. per-replica decode rates) and maintains a
+// phi-accrual-style suspicion score: each source's healthy rate is modelled
+// as Normal(mean, dev) learned by EWMA from non-suspicious samples, and an
+// observation's score is -log10 of the lower-tail probability of a healthy
+// source producing a rate that low. Scores above `phi_threshold` for
+// `consecutive_strikes` observations report the source slow; a slow source
+// recovers once its rate returns to `recovery_ratio` of its baseline.
 #ifndef LAMINAR_SRC_FAULT_HEARTBEAT_H_
 #define LAMINAR_SRC_FAULT_HEARTBEAT_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "src/sim/simulator.h"
 
 namespace laminar {
 
+struct SlownessConfig {
+  // Report threshold on the phi score (-log10 of the healthy-tail
+  // probability); 8 corresponds to roughly a 5.6-sigma deficit.
+  double phi_threshold = 8.0;
+  // Observations in a row that must exceed the threshold; filters transient
+  // dips (batch-boundary prefill bursts) without slowing real detection much.
+  int consecutive_strikes = 2;
+  // EWMA factor for the healthy-baseline mean/variance.
+  double ewma_alpha = 0.2;
+  // Deviation floor as a fraction of the mean, so a near-constant healthy
+  // rate doesn't make the detector hair-triggered.
+  double min_relative_deviation = 0.10;
+  // Baseline-learning observations before scoring starts.
+  int warmup_observations = 3;
+  // A slow source recovers when its rate returns to this fraction of the
+  // learned baseline mean.
+  double recovery_ratio = 0.85;
+};
+
 class HeartbeatMonitor {
  public:
   using FailureHandler = std::function<void(int node)>;
+  using SlowHandler = std::function<void(int source)>;
 
   HeartbeatMonitor(Simulator* sim, double period, int miss_threshold,
                    FailureHandler on_failure);
+  ~HeartbeatMonitor();
 
   // Registers a node and starts its beats.
   void Register(int node);
   // The node's process dies: beats stop; the sweep will notice.
+  // Check-fails on an unregistered node.
   void MarkDead(int node);
   // A replacement comes up; beats resume and the node is monitored again.
+  // Check-fails on an unregistered node (Register creates, Revive resets).
   void Revive(int node);
+  // Transient stall: beats stop for `duration_seconds`, then resume on their
+  // own. A stall outliving the miss threshold is reported dead first — from
+  // the monitor's view it is indistinguishable from a crash, exactly as in
+  // production; the heal is then ignored (the replacement path owns the
+  // node). Check-fails on an unregistered node.
+  void Stall(int node, double duration_seconds);
   void Start();
   void Stop();
 
   bool IsMonitored(int node) const;
   int64_t failures_reported() const { return failures_reported_; }
+  // Beat-based phi score: time since the node's last beat, in periods,
+  // scaled by 1/ln(10) (phi-accrual with exponential inter-arrivals).
+  // Healthy nodes stay below ~0.5; a silent node's score grows linearly.
+  double PhiScore(int node) const;
+
+  // Gray-failure detection ----------------------------------------------------
+  // Rate sources live in their own id space (replica ids, not machine ids).
+  void set_slowness_config(const SlownessConfig& config) { slowness_ = config; }
+  void set_on_slow(SlowHandler fn) { on_slow_ = std::move(fn); }
+  void set_on_slow_recovered(SlowHandler fn) { on_slow_recovered_ = std::move(fn); }
+  void RegisterRateSource(int source);
+  // Feeds one throughput observation (e.g. decode tokens/s over the last
+  // monitoring tick). Check-fails on an unregistered source.
+  void ObserveRate(int source, double rate);
+  bool IsSlow(int source) const;
+  // The source's latest phi score (0 until warmed up).
+  double SlownessScore(int source) const;
+  double BaselineRate(int source) const;
+  int64_t slow_reported() const { return slow_reported_; }
+  int64_t slow_recovered() const { return slow_recovered_; }
 
  private:
-  void Sweep();
-
   struct Node {
     bool beating = true;
     bool reported = false;
     SimTime last_beat;
+    EventId stall_heal = kInvalidEventId;
   };
+  struct RateSource {
+    double mean = 0.0;
+    double var = 0.0;
+    int observations = 0;
+    int strikes = 0;
+    bool slow = false;
+    double last_phi = 0.0;
+  };
+
+  void Sweep();
+  void HealStall(int node);
 
   Simulator* sim_;
   double period_;
   int miss_threshold_;
   FailureHandler on_failure_;
-  std::unordered_map<int, Node> nodes_;
+  // Sorted containers: sweep/report order must not depend on hash layout.
+  std::map<int, Node> nodes_;
+  std::map<int, RateSource> rate_sources_;
   std::unique_ptr<PeriodicTask> sweep_;
+  SlownessConfig slowness_;
+  SlowHandler on_slow_;
+  SlowHandler on_slow_recovered_;
   int64_t failures_reported_ = 0;
+  int64_t slow_reported_ = 0;
+  int64_t slow_recovered_ = 0;
 };
 
 }  // namespace laminar

@@ -14,11 +14,52 @@ const char* FaultKindName(FaultKind kind) {
       return "master-relay";
     case FaultKind::kTrainerWorker:
       return "trainer-worker";
+    case FaultKind::kMachineStall:
+      return "machine-stall";
+    case FaultKind::kLinkFlap:
+      return "link-flap";
+    case FaultKind::kReplicaSlow:
+      return "replica-slow";
+    case FaultKind::kMessageDrop:
+      return "message-drop";
   }
   return "?";
 }
 
+void FaultInjector::Validate(const FaultEvent& event) const {
+  LAMINAR_CHECK_GE(event.at_seconds, sim_->Now().seconds())
+      << "fault " << FaultKindName(event.kind) << " scheduled in the past";
+  LAMINAR_CHECK_GE(event.duration_seconds, 0.0)
+      << "fault " << FaultKindName(event.kind) << " has a negative duration";
+  LAMINAR_CHECK(event.severity > 0.0 && event.severity <= 1.0)
+      << "fault severity must lie in (0, 1], got " << event.severity;
+  switch (event.kind) {
+    case FaultKind::kRolloutMachine:
+    case FaultKind::kRelayProcess:
+    case FaultKind::kMachineStall:
+    case FaultKind::kLinkFlap:
+    case FaultKind::kMessageDrop:
+      if (num_machines_ > 0) {
+        LAMINAR_CHECK(event.target >= 0 && event.target < num_machines_)
+            << "fault " << FaultKindName(event.kind) << " targets machine "
+            << event.target << ", have " << num_machines_;
+      }
+      break;
+    case FaultKind::kReplicaSlow:
+      if (num_replicas_ > 0) {
+        LAMINAR_CHECK(event.target >= 0 && event.target < num_replicas_)
+            << "fault replica-slow targets replica " << event.target << ", have "
+            << num_replicas_;
+      }
+      break;
+    case FaultKind::kMasterRelay:
+    case FaultKind::kTrainerWorker:
+      break;  // target ignored: the current master / the trainer
+  }
+}
+
 void FaultInjector::Schedule(const FaultEvent& event) {
+  Validate(event);
   sim_->ScheduleAt(SimTime(event.at_seconds), [this, event] { Fire(event); });
 }
 
@@ -30,6 +71,7 @@ void FaultInjector::ScheduleAll(const std::vector<FaultEvent>& events) {
 
 void FaultInjector::Fire(const FaultEvent& event) {
   ++injected_;
+  ++counts_[static_cast<int>(event.kind)];
   LAMINAR_LOG(kInfo) << "injecting fault " << FaultKindName(event.kind) << " target="
                      << event.target << " at t=" << sim_->Now().seconds();
   switch (event.kind) {
@@ -50,6 +92,26 @@ void FaultInjector::Fire(const FaultEvent& event) {
     case FaultKind::kTrainerWorker:
       if (on_trainer_fault_) {
         on_trainer_fault_();
+      }
+      break;
+    case FaultKind::kMachineStall:
+      if (on_machine_stall_) {
+        on_machine_stall_(event.target, event.duration_seconds);
+      }
+      break;
+    case FaultKind::kLinkFlap:
+      if (on_link_flap_) {
+        on_link_flap_(event.target, event.duration_seconds);
+      }
+      break;
+    case FaultKind::kReplicaSlow:
+      if (on_replica_slow_) {
+        on_replica_slow_(event.target, event.severity, event.duration_seconds);
+      }
+      break;
+    case FaultKind::kMessageDrop:
+      if (on_message_drop_) {
+        on_message_drop_(event.target);
       }
       break;
   }

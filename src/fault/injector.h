@@ -1,7 +1,14 @@
-// Scripted fault injection for robustness experiments (paper §8.5).
+// Scripted fault injection for robustness experiments (paper §8.5), extended
+// with the transient/gray fault kinds the stochastic chaos engine
+// (fault_process.h) generates. Fail-stop kinds route through the
+// HeartbeatMonitor (detected after missed beats) or straight to handlers
+// (process faults whose peers see the broken connection instantly, §4.3);
+// transient kinds carry a sampled duration and, for fail-slow, a severity.
 #ifndef LAMINAR_SRC_FAULT_INJECTOR_H_
 #define LAMINAR_SRC_FAULT_INJECTOR_H_
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -15,19 +22,25 @@ enum class FaultKind {
   kRelayProcess,    // only the relay worker process dies
   kMasterRelay,     // the relay currently acting as master dies
   kTrainerWorker,   // a trainer worker dies (checkpoint recovery)
+  kMachineStall,    // transient: machine freezes, heals after duration
+  kLinkFlap,        // transient: a relay-chain hop's link degrades/flaps
+  kReplicaSlow,     // gray: replica throughput drops to `severity` (no crash)
+  kMessageDrop,     // one chain-broadcast message to a relay is lost
 };
+inline constexpr int kNumFaultKinds = 8;
 
 const char* FaultKindName(FaultKind kind);
 
 struct FaultEvent {
   double at_seconds = 0.0;
   FaultKind kind = FaultKind::kRolloutMachine;
-  int target = 0;  // machine index where applicable
+  int target = 0;  // machine index (replica index for kReplicaSlow)
+  // Transient kinds only: how long the fault lasts before healing.
+  double duration_seconds = 0.0;
+  // kReplicaSlow only: throughput multiplier in (0, 1].
+  double severity = 1.0;
 };
 
-// Routes scripted faults either through a HeartbeatMonitor (machine faults,
-// detected after missed beats) or directly to handlers (process faults whose
-// peers see the broken connection instantly, per §4.3).
 class FaultInjector {
  public:
   explicit FaultInjector(Simulator* sim) : sim_(sim) {}
@@ -38,13 +51,38 @@ class FaultInjector {
   }
   void set_on_master_fault(std::function<void()> fn) { on_master_fault_ = std::move(fn); }
   void set_on_trainer_fault(std::function<void()> fn) { on_trainer_fault_ = std::move(fn); }
+  void set_on_machine_stall(std::function<void(int machine, double duration)> fn) {
+    on_machine_stall_ = std::move(fn);
+  }
+  void set_on_link_flap(std::function<void(int machine, double duration)> fn) {
+    on_link_flap_ = std::move(fn);
+  }
+  void set_on_replica_slow(std::function<void(int replica, double severity, double duration)> fn) {
+    on_replica_slow_ = std::move(fn);
+  }
+  void set_on_message_drop(std::function<void(int machine)> fn) {
+    on_message_drop_ = std::move(fn);
+  }
 
+  // Arms target-range validation: machine-addressed kinds must name a machine
+  // in [0, num_machines) and kReplicaSlow a replica in [0, num_replicas).
+  // Zero (the default) leaves that range unchecked, for harnesses that wire
+  // handlers directly without a full system.
+  void set_num_machines(int n) { num_machines_ = n; }
+  void set_num_replicas(int n) { num_replicas_ = n; }
+
+  // Check-fails on a fault time in the past, an out-of-range target (when the
+  // ranges are armed), a negative duration, or a severity outside (0, 1].
   void Schedule(const FaultEvent& event);
   void ScheduleAll(const std::vector<FaultEvent>& events);
 
   int64_t injected() const { return injected_; }
+  // Fired faults broken down by kind, indexed by static_cast<int>(FaultKind).
+  const std::array<int64_t, kNumFaultKinds>& counts() const { return counts_; }
+  int64_t count(FaultKind kind) const { return counts_[static_cast<int>(kind)]; }
 
  private:
+  void Validate(const FaultEvent& event) const;
   void Fire(const FaultEvent& event);
 
   Simulator* sim_;
@@ -52,7 +90,14 @@ class FaultInjector {
   std::function<void(int)> on_relay_fault_;
   std::function<void()> on_master_fault_;
   std::function<void()> on_trainer_fault_;
+  std::function<void(int, double)> on_machine_stall_;
+  std::function<void(int, double)> on_link_flap_;
+  std::function<void(int, double, double)> on_replica_slow_;
+  std::function<void(int)> on_message_drop_;
+  int num_machines_ = 0;
+  int num_replicas_ = 0;
   int64_t injected_ = 0;
+  std::array<int64_t, kNumFaultKinds> counts_ = {};
 };
 
 }  // namespace laminar

@@ -1,0 +1,98 @@
+#include "src/fault/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+InvariantChecker::InvariantChecker(Simulator* sim, InvariantCheckerConfig config)
+    : sim_(sim), config_(config) {
+  LAMINAR_CHECK(sim_ != nullptr);
+}
+
+void InvariantChecker::Report(const std::string& what) {
+  std::ostringstream oss;
+  oss << "t=" << sim_->Now().seconds() << "s: " << what;
+  LAMINAR_CHECK(!config_.fail_fast) << "invariant violated at " << oss.str();
+  ++violation_count_;
+  if (violations_.size() < config_.max_recorded_violations) {
+    violations_.push_back(oss.str());
+  }
+  LAMINAR_LOG(kWarning) << "invariant violated at " << oss.str();
+}
+
+void InvariantChecker::ObserveBufferPush(const TrajectoryRecord& record) {
+  if (!pushed_ids_.insert(record.id).second) {
+    std::ostringstream oss;
+    oss << "duplicate experience-buffer entry for trajectory " << record.id;
+    Report(oss.str());
+  }
+  if (record.inherent_staleness() < 0) {
+    std::ostringstream oss;
+    oss << "negative inherent staleness " << record.inherent_staleness()
+        << " for trajectory " << record.id;
+    Report(oss.str());
+  }
+  if (config_.max_inherent_staleness > 0 &&
+      record.inherent_staleness() > config_.max_inherent_staleness) {
+    std::ostringstream oss;
+    oss << "inherent staleness " << record.inherent_staleness() << " of trajectory "
+        << record.id << " exceeds bound " << config_.max_inherent_staleness;
+    Report(oss.str());
+  }
+}
+
+void InvariantChecker::CheckSweep() {
+  ++checks_run_;
+  if (issued_fn_ && inflight_fn_ && pool_ != nullptr) {
+    int64_t issued = issued_fn_();
+    int64_t inflight = inflight_fn_();
+    int64_t terminal = pool_->completed() + pool_->dropped();
+    if (issued != inflight + terminal) {
+      std::ostringstream oss;
+      oss << "prompt ledger broken: issued=" << issued << " != inflight=" << inflight
+          << " + completed=" << pool_->completed() << " + dropped=" << pool_->dropped();
+      Report(oss.str());
+    }
+  }
+  for (const RolloutReplica* r : replicas_) {
+    double accounted = r->kv_used_tokens();
+    double resident = r->ResidentKvTokens();
+    if (std::abs(accounted - resident) > config_.kv_epsilon_tokens) {
+      std::ostringstream oss;
+      oss << "KV token leak on replica " << r->config().id << ": accounted="
+          << accounted << " resident=" << resident;
+      Report(oss.str());
+    }
+  }
+}
+
+void InvariantChecker::CheckFinal() {
+  CheckSweep();
+  if (pool_ != nullptr) {
+    // Every completion observed by the pool must have produced exactly one
+    // buffer push (duplicates were suppressed before pushing).
+    if (buffer_pushes() != pool_->completed()) {
+      std::ostringstream oss;
+      oss << "completion/push mismatch: " << pool_->completed()
+          << " completions vs " << buffer_pushes() << " buffer pushes";
+      Report(oss.str());
+    }
+  }
+}
+
+bool ThroughputRecovered(const TimeSeries& series, SimTime fault_start,
+                         SimTime recovered_by, double window_seconds, double ratio) {
+  double baseline =
+      series.MeanInWindow(fault_start - window_seconds, fault_start);
+  if (baseline <= 0.0) {
+    return true;
+  }
+  double after =
+      series.MeanInWindow(recovered_by, recovered_by + window_seconds);
+  return after >= ratio * baseline;
+}
+
+}  // namespace laminar

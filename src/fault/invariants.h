@@ -1,0 +1,105 @@
+// System-wide invariant checker (armed during chaos runs).
+//
+// The chaos engine can only prove robustness if something watches the whole
+// system while faults fire. The checker audits four global properties:
+//
+//  1. Exactly-once prompt ledger: every trajectory the prompt pool issued is,
+//     at all times, in flight (on a replica or parked in the manager),
+//     terminal-completed, or terminal-dropped — never lost, never duplicated.
+//  2. No duplicate experience: a trajectory id enters the experience buffer
+//     at most once.
+//  3. KVCache token conservation: each replica's kv_used_tokens accounting
+//     equals the sum of context tokens of its cache-resident work.
+//  4. Staleness sanity: inherent staleness of every buffered record is
+//     non-negative and (optionally) within a configured bound.
+//
+// Violations are recorded (or check-fail under fail_fast) with the sim time
+// and a description, so a chaos seed that breaks an invariant is directly
+// replayable.
+#ifndef LAMINAR_SRC_FAULT_INVARIANTS_H_
+#define LAMINAR_SRC_FAULT_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/data/partial_response_pool.h"
+#include "src/data/trajectory.h"
+#include "src/rollout/replica.h"
+#include "src/sim/simulator.h"
+
+namespace laminar {
+
+struct InvariantCheckerConfig {
+  // Tolerance for the per-replica KV token conservation check. Token counts
+  // are integer-valued doubles, so anything below 1 means "exact".
+  double kv_epsilon_tokens = 0.5;
+  // 0 = unchecked; otherwise every buffered record's inherent staleness must
+  // be <= this bound.
+  int max_inherent_staleness = 0;
+  // Check-fail on the first violation instead of recording it.
+  bool fail_fast = false;
+  // Recorded violation strings are capped (the count keeps increasing).
+  size_t max_recorded_violations = 64;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(Simulator* sim, InvariantCheckerConfig config);
+
+  // Wiring -------------------------------------------------------------------
+  // Total trajectories the prompt pool has handed out.
+  void set_issued_fn(std::function<int64_t()> fn) { issued_fn_ = std::move(fn); }
+  // Trajectories currently on replicas or parked in the rollout manager.
+  void set_inflight_fn(std::function<int64_t()> fn) { inflight_fn_ = std::move(fn); }
+  void set_pool(const PartialResponsePool* pool) { pool_ = pool; }
+  void AddReplica(const RolloutReplica* replica) { replicas_.push_back(replica); }
+
+  // Observations -------------------------------------------------------------
+  void ObserveBufferPush(const TrajectoryRecord& record);
+  void ObserveFaultInjected() { ++faults_injected_; }
+
+  // Checks -------------------------------------------------------------------
+  // Periodic sweep: prompt-ledger conservation + per-replica KV accounting.
+  void CheckSweep();
+  // End-of-run audit: one final sweep plus ledger/buffer cross-checks.
+  void CheckFinal();
+
+  int64_t checks_run() const { return checks_run_; }
+  int64_t violation_count() const { return violation_count_; }
+  int64_t faults_injected() const { return faults_injected_; }
+  int64_t buffer_pushes() const { return static_cast<int64_t>(pushed_ids_.size()); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool ok() const { return violation_count_ == 0; }
+
+ private:
+  void Report(const std::string& what);
+
+  Simulator* sim_;
+  InvariantCheckerConfig config_;
+  std::function<int64_t()> issued_fn_;
+  std::function<int64_t()> inflight_fn_;
+  const PartialResponsePool* pool_ = nullptr;
+  std::vector<const RolloutReplica*> replicas_;
+
+  std::unordered_set<TrajId> pushed_ids_;
+  int64_t checks_run_ = 0;
+  int64_t violation_count_ = 0;
+  int64_t faults_injected_ = 0;
+  std::vector<std::string> violations_;
+};
+
+// Throughput-recovery predicate for fault drills: compares the mean of
+// `series` over the `window_seconds` before `fault_start` against the mean
+// over the `window_seconds` after `recovered_by`, and returns true when the
+// post-recovery mean reaches `ratio` of the pre-fault baseline. An empty
+// baseline window counts as recovered (nothing to regress from).
+bool ThroughputRecovered(const TimeSeries& series, SimTime fault_start,
+                         SimTime recovered_by, double window_seconds, double ratio);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_FAULT_INVARIANTS_H_

@@ -1,13 +1,16 @@
 #include "src/relay/relay_tier.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/logging.h"
 
 namespace laminar {
 
 RelayTier::RelayTier(Simulator* sim, RelayTierConfig config)
-    : sim_(sim), config_(config), relays_(config.num_relays) {
+    : sim_(sim), config_(config), relays_(config.num_relays),
+      link_down_until_(config.num_relays, SimTime::Zero()),
+      drop_next_(config.num_relays, 0) {
   LAMINAR_CHECK_GT(config_.num_relays, 0);
   LAMINAR_CHECK_GT(config_.weight_bytes, 0.0);
 }
@@ -78,6 +81,26 @@ void RelayTier::StartBroadcast(int version, SimTime master_ready) {
 
 void RelayTier::OnArrival(int relay, int version) {
   Relay& r = relays_[relay];
+  if (r.alive && drop_next_[relay] > 0) {
+    // The chain message was lost in flight. The receiver's per-hop timeout
+    // guard notices the gap and the upstream relay retransmits the chunk.
+    --drop_next_[relay];
+    ++messages_dropped_;
+    ++arrival_retries_;
+    SimTime at = sim_->Now() + config_.hop_timeout_guard;
+    EventId eid = sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
+    r.pending[version] = PendingArrival{eid, at};
+    return;
+  }
+  if (r.alive && sim_->Now() < link_down_until_[relay]) {
+    // Inbound link is flapping: the transfer stalls until the link heals and
+    // the chain is rebuilt around the degraded hop.
+    ++arrival_retries_;
+    SimTime at = link_down_until_[relay] + config_.rebuild_seconds;
+    EventId eid = sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
+    r.pending[version] = PendingArrival{eid, at};
+    return;
+  }
   r.pending.erase(version);
   if (!r.alive) {
     return;
@@ -159,6 +182,12 @@ void RelayTier::PullLatest(int relay, int tensor_parallel, int current_version,
 
 void RelayTier::KillRelay(int relay) {
   Relay& r = relays_[relay];
+  // Clear waiters even when the relay is already down: PullLatest parks a
+  // waiter on a dead relay (it fires once the relay revives and a newer
+  // version arrives), so a second kill — e.g. a relay-process fault followed
+  // by its machine failing — must still discard them, or a stale waiter
+  // outlives the crash and completes a weight update that no longer exists.
+  r.waiters.clear();
   if (!r.alive) {
     return;
   }
@@ -168,8 +197,6 @@ void RelayTier::KillRelay(int relay) {
     sim_->Cancel(arrival.event);
   }
   r.pending.clear();
-  // Rollouts on the dead machine died with it; their callbacks must not fire.
-  r.waiters.clear();
 
   ++chain_rebuilds_;
   double extra = config_.rebuild_seconds;
@@ -187,7 +214,7 @@ void RelayTier::KillRelay(int relay) {
     }
     master_ = best;
     ++master_elections_;
-    extra = config_.master_elect_seconds;
+    extra = NextElectionDelay();
     master_ready_at_ = sim_->Now() + extra;
     // If a publication was lost with the old master, the trainer re-sends it
     // to the newly elected master once notified.
@@ -225,6 +252,52 @@ void RelayTier::KillRelay(int relay) {
   }
 }
 
+double RelayTier::NextElectionDelay() {
+  SimTime now = sim_->Now();
+  if (consecutive_elections_ > 0 &&
+      now - last_election_ <= config_.election_stability_window_seconds) {
+    ++consecutive_elections_;
+  } else {
+    consecutive_elections_ = 1;
+  }
+  last_election_ = now;
+  double delay =
+      config_.master_elect_seconds * std::pow(2.0, consecutive_elections_ - 1);
+  return std::min(delay, config_.master_elect_backoff_cap_seconds);
+}
+
+void RelayTier::FlapLink(int relay, double duration_seconds) {
+  LAMINAR_CHECK_GE(relay, 0);
+  LAMINAR_CHECK_LT(relay, static_cast<int>(relays_.size()));
+  LAMINAR_CHECK_GE(duration_seconds, 0.0);
+  ++link_flaps_;
+  SimTime heal = sim_->Now() + duration_seconds;
+  link_down_until_[relay] = std::max(link_down_until_[relay], heal);
+  Relay& r = relays_[relay];
+  if (!r.alive) {
+    return;  // a dead relay's link state is moot
+  }
+  ++chain_rebuilds_;
+  // In-flight chunk streams into this relay stall until the link heals and
+  // the scheduler rebuilds the chain around the degraded hop.
+  for (auto& [version, arrival] : r.pending) {
+    if (!sim_->IsPending(arrival.event)) {
+      continue;
+    }
+    sim_->Cancel(arrival.event);
+    int v = version;
+    SimTime at = std::max(arrival.at, link_down_until_[relay] + config_.rebuild_seconds);
+    arrival.at = at;
+    arrival.event = sim_->ScheduleAt(at, [this, relay, v] { OnArrival(relay, v); });
+  }
+}
+
+void RelayTier::DropNextArrival(int relay) {
+  LAMINAR_CHECK_GE(relay, 0);
+  LAMINAR_CHECK_LT(relay, static_cast<int>(relays_.size()));
+  ++drop_next_[relay];
+}
+
 void RelayTier::ReviveRelay(int relay) {
   Relay& r = relays_[relay];
   if (r.alive) {
@@ -238,7 +311,7 @@ void RelayTier::ReviveRelay(int relay) {
     // notified to re-send the newest published weights.
     master_ = relay;
     ++master_elections_;
-    master_ready_at_ = std::max(master_ready_at_, sim_->Now() + config_.master_elect_seconds);
+    master_ready_at_ = std::max(master_ready_at_, sim_->Now() + NextElectionDelay());
   }
   if (relay == master_) {
     if (latest_published_ >= 0 && r.version < latest_published_) {

@@ -39,6 +39,14 @@ struct RelayTierConfig {
   double rebuild_seconds = 0.5;
   // Master re-election + trainer notification delay.
   double master_elect_seconds = 1.0;
+  // Retransmit delay after a chain hop loses a message: the receiver's
+  // timeout guard fires and the upstream relay resends the chunk.
+  double hop_timeout_guard = 0.25;
+  // Bounded exponential backoff for repeated master elections: each election
+  // within the stability window of the previous one doubles the delay, up to
+  // the cap (prevents election storms under flappy failure detection).
+  double master_elect_backoff_cap_seconds = 8.0;
+  double election_stability_window_seconds = 60.0;
 };
 
 class RelayTier {
@@ -65,6 +73,13 @@ class RelayTier {
   // A replacement relay comes up on machine `relay` and syncs the newest
   // weights from the master before serving.
   void ReviveRelay(int relay);
+  // Link degradation: the RDMA link into `relay` goes down for
+  // `duration_seconds`. In-flight chain arrivals stall until the link heals
+  // plus the O(1) chain-rebuild delay; the relay itself stays alive.
+  void FlapLink(int relay, double duration_seconds);
+  // Drops the next chain message arriving at `relay`; the hop timeout guard
+  // detects the loss and triggers a retransmit.
+  void DropNextArrival(int relay);
 
   // Introspection.
   int latest_published() const { return latest_published_; }
@@ -80,6 +95,9 @@ class RelayTier {
   int64_t publishes() const { return publishes_; }
   int64_t chain_rebuilds() const { return chain_rebuilds_; }
   int64_t master_elections() const { return master_elections_; }
+  int64_t link_flaps() const { return link_flaps_; }
+  int64_t messages_dropped() const { return messages_dropped_; }
+  int64_t arrival_retries() const { return arrival_retries_; }
 
   // PCIe shard-load duration for a `tensor_parallel`-GPU replica.
   double PullLoadSeconds(int tensor_parallel) const;
@@ -107,6 +125,7 @@ class RelayTier {
   void StartBroadcast(int version, SimTime master_ready);
   void RebuildChain(double extra_delay);
   std::vector<int> AliveChain() const;
+  double NextElectionDelay();
 
   Simulator* sim_;
   RelayTierConfig config_;
@@ -115,12 +134,22 @@ class RelayTier {
   int latest_published_ = -1;
   SimTime master_ready_at_ = SimTime::Zero();
 
+  // Per-relay chaos state: inbound-link outage horizon and pending drops.
+  std::vector<SimTime> link_down_until_;
+  std::vector<int> drop_next_;
+  // Election-backoff state.
+  int consecutive_elections_ = 0;
+  SimTime last_election_ = SimTime::Zero();
+
   SampleSet pull_waits_;
   SampleSet broadcast_times_;
   SampleSet actor_stalls_;
   int64_t publishes_ = 0;
   int64_t chain_rebuilds_ = 0;
   int64_t master_elections_ = 0;
+  int64_t link_flaps_ = 0;
+  int64_t messages_dropped_ = 0;
+  int64_t arrival_retries_ = 0;
   // Publish time per in-flight version, for broadcast-duration metrics.
   std::map<int, SimTime> broadcast_starts_;
   // Versions whose chain broadcast has been initiated.

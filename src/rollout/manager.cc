@@ -1,10 +1,19 @@
 #include "src/rollout/manager.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/logging.h"
 
 namespace laminar {
+namespace {
+
+// Owner id for recovered work parked in the manager (pending_redirects_):
+// no replica matches it, so a machine death can never resurrect a stale
+// pooled copy of work the manager already holds.
+constexpr int kManagerOwner = -1;
+
+}  // namespace
 
 RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
                                std::vector<RolloutReplica*> replicas, RelayTier* relays,
@@ -13,6 +22,16 @@ RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
       prompts_(prompts), partial_pool_(partial_pool) {
   LAMINAR_CHECK(!replicas_.empty());
   LAMINAR_CHECK_GT(config_.per_replica_batch, 0);
+  probes_.resize(replicas_.size());
+}
+
+RolloutReplica* RolloutManager::FindReplica(int replica_id) {
+  for (RolloutReplica* r : replicas_) {
+    if (r->config().id == replica_id) {
+      return r;
+    }
+  }
+  return nullptr;
 }
 
 void RolloutManager::Start() {
@@ -29,6 +48,10 @@ void RolloutManager::Stop() {
   running_ = false;
   if (tick_) {
     tick_->Stop();
+  }
+  if (redirect_retry_event_ != kInvalidEventId) {
+    sim_->Cancel(redirect_retry_event_);
+    redirect_retry_event_ = kInvalidEventId;
   }
 }
 
@@ -64,6 +87,11 @@ void RolloutManager::AssignFreshBatch(RolloutReplica* replica) {
   }
   int group = prompts_->group_size();
   int batch = std::max(group, config_.per_replica_batch / group * group);
+  if (IsQuarantined(replica->config().id)) {
+    // Probe load only: enough to keep the decode rate observable, little
+    // enough that a still-sick replica cannot hold real throughput hostage.
+    batch = group * std::max(1, config_.probe_groups);
+  }
   std::vector<TrajectoryRecord> records =
       prompts_->NextBatch(batch, replica->weight_version());
   std::vector<TrajectoryWork> works;
@@ -89,15 +117,17 @@ void RolloutManager::StartWeightUpdate(RolloutReplica* replica) {
     AssignFreshBatch(replica);
     return;
   }
-  replica->BeginWeightUpdate();
+  int64_t epoch = replica->BeginWeightUpdate();
   int machine = replica->config().machine;
   int tp = replica->decode_model().tensor_parallel();
   relays_->PullLatest(machine, tp, current,
-                      [this, replica](int version, double wait_seconds) {
-                        if (replica->phase() == ReplicaPhase::kDead) {
+                      [this, replica, epoch](int version, double wait_seconds) {
+                        // The epoch guard rejects completions whose update was
+                        // aborted (relay restart) or superseded (replica died
+                        // and revived while the waiter sat on a dead relay).
+                        if (!replica->EndWeightUpdate(epoch, version, wait_seconds)) {
                           return;
                         }
-                        replica->EndWeightUpdate(version, wait_seconds);
                         monitor_.Forget(replica->config().id);
                         AssignFreshBatch(replica);
                       });
@@ -135,7 +165,11 @@ std::vector<ReplicaSnapshot> RolloutManager::CollectSnapshots() {
   std::vector<ReplicaSnapshot> snaps;
   snaps.reserve(replicas_.size());
   for (RolloutReplica* r : replicas_) {
-    snaps.push_back(r->Snapshot());
+    ReplicaSnapshot s = r->Snapshot();
+    if (IsQuarantined(r->config().id)) {
+      s.eligible = false;  // a fail-slow replica must never absorb more load
+    }
+    snaps.push_back(s);
   }
   return snaps;
 }
@@ -171,6 +205,13 @@ void RolloutManager::TriggerRepack() {
       std::vector<TrajectoryWork> works = src->ExtractAllWork();
       stats_.trajectories_migrated += static_cast<int64_t>(works.size());
       for (const TrajectoryWork& w : works) {
+        // Re-home the pooled checkpoint to the destination now, not at
+        // admission: if the source machine dies while the work still queues
+        // on `dst`, a stale source-owned pool entry would otherwise be
+        // redirected as a duplicate of the live copy.
+        if (partial_pool_->Contains(w.record.id)) {
+          partial_pool_->Update(w, dst_id);
+        }
         if (w.kv_resident) {
           double kv_bytes = static_cast<double>(w.context_tokens) *
                             dst->decode_model().model().kv_bytes_per_token();
@@ -194,19 +235,25 @@ void RolloutManager::TriggerRepack() {
 
 void RolloutManager::RedirectWork(std::vector<TrajectoryWork> works, int weight_version) {
   // Healthy replicas still on the same version can continue these
-  // trajectories (after re-prefilling the saved context).
+  // trajectories (after re-prefilling the saved context). Quarantined
+  // (fail-slow) replicas are excluded: handing recovered work back to a sick
+  // machine defeats the drain.
   std::vector<RolloutReplica*> hosts;
   for (RolloutReplica* r : replicas_) {
     if (r->phase() != ReplicaPhase::kDead && r->phase() != ReplicaPhase::kUpdatingWeights &&
-        r->weight_version() == weight_version) {
+        r->weight_version() == weight_version && !IsQuarantined(r->config().id)) {
       hosts.push_back(r);
     }
   }
   if (hosts.empty()) {
     auto& pending = pending_redirects_[weight_version];
     for (auto& w : works) {
+      if (partial_pool_->Contains(w.record.id)) {
+        partial_pool_->Update(w, kManagerOwner);
+      }
       pending.push_back(std::move(w));
     }
+    ScheduleRedirectRetry();
     return;
   }
   // Round-robin across hosts, least-loaded first.
@@ -219,9 +266,46 @@ void RolloutManager::RedirectWork(std::vector<TrajectoryWork> works, int weight_
   }
   for (size_t i = 0; i < hosts.size(); ++i) {
     if (!shards[i].empty()) {
+      for (const TrajectoryWork& w : shards[i]) {
+        if (partial_pool_->Contains(w.record.id)) {
+          partial_pool_->Update(w, hosts[i]->config().id);
+        }
+      }
       stats_.trajectories_redirected += static_cast<int64_t>(shards[i].size());
       hosts[i]->AssignWork(std::move(shards[i]), /*kv_transferred=*/false);
     }
+  }
+  redirect_retry_attempts_ = 0;
+}
+
+void RolloutManager::ScheduleRedirectRetry() {
+  if (redirect_retry_event_ != kInvalidEventId) {
+    return;
+  }
+  double delay = std::min(
+      config_.redirect_backoff_base_seconds * std::pow(2.0, redirect_retry_attempts_),
+      config_.redirect_backoff_cap_seconds);
+  ++redirect_retry_attempts_;
+  redirect_retry_event_ = sim_->ScheduleAfter(delay, [this] {
+    redirect_retry_event_ = kInvalidEventId;
+    ++stats_.redirect_retries;
+    FlushPendingRedirects();
+    if (!pending_redirects_.empty()) {
+      ScheduleRedirectRetry();
+    }
+  });
+}
+
+void RolloutManager::RedirectByVersion(std::vector<TrajectoryWork> works,
+                                       int fallback_version) {
+  std::map<int, std::vector<TrajectoryWork>> by_version;
+  for (TrajectoryWork& w : works) {
+    int v = w.record.weight_versions.empty() ? fallback_version
+                                             : w.record.weight_versions.back();
+    by_version[v].push_back(std::move(w));
+  }
+  for (auto& [version, group] : by_version) {
+    RedirectWork(std::move(group), version);
   }
 }
 
@@ -247,15 +331,32 @@ void RolloutManager::OnMachineFailure(int machine) {
   }
   // Kill every replica on the machine before redirecting anything, so work
   // is never handed to a sibling replica that is about to die too.
-  for (RolloutReplica* r : casualties) {
-    r->Kill();
-    monitor_.Forget(r->config().id);
+  std::vector<std::vector<TrajectoryWork>> never_admitted(casualties.size());
+  for (size_t i = 0; i < casualties.size(); ++i) {
+    never_admitted[i] = casualties[i]->Kill();
+    monitor_.Forget(casualties[i]->config().id);
+    quarantined_.erase(casualties[i]->config().id);  // crash supersedes fail-slow
   }
-  for (RolloutReplica* r : casualties) {
+  for (size_t i = 0; i < casualties.size(); ++i) {
+    RolloutReplica* r = casualties[i];
     int id = r->config().id;
     // In-progress state survives in the partial-response pool; everything the
     // dead replica owned is redirected (re-prefill on arrival).
     std::vector<TrajectoryWork> recovered = partial_pool_->TakeByReplica(id);
+    std::set<TrajId> recovered_ids;
+    for (const TrajectoryWork& w : recovered) {
+      recovered_ids.insert(w.record.id);
+    }
+    // Queued work that never streamed a checkpoint anywhere died with the
+    // machine; mark it terminal-dropped so the prompt ledger stays exact.
+    for (const TrajectoryWork& w : never_admitted[i]) {
+      if (recovered_ids.count(w.record.id) > 0) {
+        continue;  // a pooled checkpoint survives and will be redirected
+      }
+      if (partial_pool_->MarkDropped(w.record.id)) {
+        ++stats_.trajectories_dropped;
+      }
+    }
     LAMINAR_LOG(kInfo) << "machine " << machine << " failed; redirecting "
                        << recovered.size() << " trajectories from replica " << id;
     if (!recovered.empty()) {
@@ -294,10 +395,125 @@ void RolloutManager::OnMachineFailure(int machine) {
   });
 }
 
+void RolloutManager::OnReplicaSlow(int replica_id) {
+  RolloutReplica* r = FindReplica(replica_id);
+  if (r == nullptr || r->phase() == ReplicaPhase::kDead || IsQuarantined(replica_id)) {
+    return;
+  }
+  ++stats_.slow_events;
+  quarantined_.insert(replica_id);
+  std::vector<TrajectoryWork> drained = r->ExtractAllWork();
+  stats_.trajectories_drained_slow += static_cast<int64_t>(drained.size());
+  LAMINAR_LOG(kInfo) << "replica " << replica_id
+                     << " quarantined as fail-slow; draining " << drained.size()
+                     << " trajectories";
+  if (!drained.empty()) {
+    RedirectByVersion(std::move(drained), r->weight_version());
+  }
+  if (running_ && r->phase() == ReplicaPhase::kIdle) {
+    AssignFreshBatch(r);  // probe load keeps its decode rate observable
+  }
+}
+
+void RolloutManager::OnReplicaSlowRecovered(int replica_id) {
+  if (quarantined_.erase(replica_id) == 0) {
+    return;
+  }
+  ++stats_.slow_recoveries;
+  LAMINAR_LOG(kInfo) << "replica " << replica_id << " recovered from fail-slow";
+  RolloutReplica* r = FindReplica(replica_id);
+  if (running_ && r != nullptr && r->phase() == ReplicaPhase::kIdle) {
+    StartWeightUpdate(r);
+  }
+  FlushPendingRedirects();
+}
+
+void RolloutManager::OnMachineStall(int machine, double duration_seconds) {
+  ++stats_.machine_stalls;
+  std::vector<int> paused;
+  for (RolloutReplica* r : replicas_) {
+    if (r->config().machine != machine) {
+      continue;
+    }
+    if (r->phase() == ReplicaPhase::kGenerating || r->phase() == ReplicaPhase::kIdle) {
+      r->Pause();
+      paused.push_back(r->config().id);
+    }
+  }
+  if (paused.empty()) {
+    return;
+  }
+  sim_->ScheduleAfter(duration_seconds, [this, paused] {
+    for (int id : paused) {
+      RolloutReplica* r = FindReplica(id);
+      if (r == nullptr || r->phase() != ReplicaPhase::kPaused) {
+        continue;  // the stall escalated to a crash (or the replica moved on)
+      }
+      r->Resume();
+      if (running_ && r->phase() == ReplicaPhase::kIdle) {
+        StartWeightUpdate(r);
+      }
+    }
+  });
+}
+
+void RolloutManager::OnRelayRestarted(int machine) {
+  for (RolloutReplica* r : replicas_) {
+    if (r->config().machine != machine ||
+        r->phase() != ReplicaPhase::kUpdatingWeights) {
+      continue;
+    }
+    // The relay death cleared this replica's pull waiter, so the update can
+    // never complete on its own. Abort (invalidating the lost pull's epoch)
+    // and re-issue the pull against the revived relay.
+    r->AbortWeightUpdate();
+    StartWeightUpdate(r);
+  }
+}
+
+void RolloutManager::ObserveRates() {
+  if (!rate_observer_) {
+    return;
+  }
+  SimTime now = sim_->Now();
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    RolloutReplica* r = replicas_[i];
+    RateProbe& p = probes_[i];
+    if (r->phase() == ReplicaPhase::kDead) {
+      p.valid = false;
+      continue;
+    }
+    RolloutReplica::DecodeProbeSample s = r->ObservedDecodeProbe();
+    if (p.valid && now > p.at) {
+      double elapsed = now - p.at;
+      double busy = s.busy_seconds - p.sample.busy_seconds;
+      double req_seconds = s.request_seconds - p.sample.request_seconds;
+      // Only windows that actually spent time decoding say anything about
+      // decode speed; prefill-burst, env-blocked, paused or drained windows
+      // contribute no busy time and are skipped (a wall-clock denominator
+      // would read them as spuriously slow).
+      if (busy > 0.25 * elapsed && req_seconds > 0.0) {
+        double tokens_delta = static_cast<double>(s.tokens - p.sample.tokens);
+        int avg_batch = std::max(1, static_cast<int>(std::lround(req_seconds / busy)));
+        double avg_ctx = std::max(
+            0.0, (s.ctx_request_seconds - p.sample.ctx_request_seconds) / req_seconds);
+        double modeled = r->decode_model().StepLatency(avg_batch, avg_ctx);
+        // Observed per-request token rate times the modeled step latency:
+        // ~1.0 on a healthy replica for any batch shape, ~speed_factor on a
+        // fail-slow one.
+        double efficiency = (tokens_delta / req_seconds) * modeled;
+        rate_observer_(r->config().id, efficiency);
+      }
+    }
+    p = RateProbe{true, now, s};
+  }
+}
+
 void RolloutManager::Tick() {
   if (!running_) {
     return;
   }
+  ObserveRates();
   FlushPendingRedirects();
   // Retry starved replicas.
   std::vector<RolloutReplica*> starved = std::move(starved_);

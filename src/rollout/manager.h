@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -39,6 +40,15 @@ struct RolloutManagerConfig {
   // Failure handling.
   double machine_replacement_seconds = 210.0;  // allocate a standby machine
   double replica_init_seconds = 35.0;          // engine bring-up on the new machine
+  // When recovered work finds no eligible host, retry placement with
+  // exponential backoff (base * 2^attempt, capped) instead of waiting a full
+  // repack tick.
+  double redirect_backoff_base_seconds = 0.5;
+  double redirect_backoff_cap_seconds = 16.0;
+  // A quarantined (fail-slow) replica keeps generating small probe batches of
+  // this many prompt groups, so its decode rate stays observable and recovery
+  // can be detected without trusting the sick replica with real load.
+  int probe_groups = 1;
 };
 
 struct RolloutManagerStats {
@@ -48,6 +58,12 @@ struct RolloutManagerStats {
   int64_t batches_assigned = 0;
   int64_t failures_handled = 0;
   int64_t trajectories_redirected = 0;
+  int64_t slow_events = 0;             // replicas quarantined as fail-slow
+  int64_t slow_recoveries = 0;         // quarantines lifted
+  int64_t trajectories_drained_slow = 0;
+  int64_t redirect_retries = 0;        // backoff retry firings
+  int64_t trajectories_dropped = 0;    // never-checkpointed work lost to a crash
+  int64_t machine_stalls = 0;
   SampleSet repack_overhead_seconds;  // per-plan migration stall estimate
 };
 
@@ -74,6 +90,32 @@ class RolloutManager {
   // relay, redirects interrupted trajectories, and schedules a replacement.
   void OnMachineFailure(int machine);
 
+  // Gray failure: a replica's decode rate collapsed without its heartbeat
+  // missing (detected via the slowness score). Quarantines the replica,
+  // drains its in-flight work onto healthy peers, and keeps it on probe
+  // batches until the detector reports recovery.
+  void OnReplicaSlow(int replica_id);
+  void OnReplicaSlowRecovered(int replica_id);
+  bool IsQuarantined(int replica_id) const { return quarantined_.count(replica_id) > 0; }
+
+  // Transient machine stall: replicas freeze (no decode progress, no
+  // heartbeats) and thaw unharmed after `duration_seconds` unless the stall
+  // outlives the heartbeat miss threshold and is escalated to a failure.
+  void OnMachineStall(int machine, double duration_seconds);
+
+  // A relay process restarted (crash + revival while its machine stayed up).
+  // Any replica on that machine stuck mid-weight-update lost its pull waiter
+  // when the relay died; abort the orphaned update and re-issue the pull
+  // against the revived relay.
+  void OnRelayRestarted(int machine);
+
+  // Per-tick decode-efficiency observations (replica_id, efficiency) for the
+  // gray-failure detector. Efficiency is observed-vs-modeled step throughput,
+  // ~1.0 for a healthy replica regardless of batch shape.
+  void set_rate_observer(std::function<void(int, double)> fn) {
+    rate_observer_ = std::move(fn);
+  }
+
   // Backlog source: total completed-but-unconsumed trajectories (experience
   // buffer size); used with backlog_cap.
   void set_backlog_fn(std::function<int64_t()> fn) { backlog_fn_ = std::move(fn); }
@@ -91,7 +133,11 @@ class RolloutManager {
   bool BacklogAllowsAssignment() const;
   void RedirectWork(std::vector<TrajectoryWork> works, int weight_version);
   void FlushPendingRedirects();
+  void ScheduleRedirectRetry();
+  void RedirectByVersion(std::vector<TrajectoryWork> works, int fallback_version);
+  RolloutReplica* FindReplica(int replica_id);
   std::vector<ReplicaSnapshot> CollectSnapshots();
+  void ObserveRates();
   void Tick();
 
   Simulator* sim_;
@@ -108,6 +154,18 @@ class RolloutManager {
   std::map<int, std::vector<TrajectoryWork>> pending_redirects_;
   // Replicas that finished a batch but were backlog-gated.
   std::vector<RolloutReplica*> starved_;
+  // Fail-slow replicas currently restricted to probe batches.
+  std::set<int> quarantined_;
+  std::function<void(int, double)> rate_observer_;
+  // Windowed decode-efficiency probe state, one slot per replica.
+  struct RateProbe {
+    bool valid = false;
+    SimTime at;
+    RolloutReplica::DecodeProbeSample sample;
+  };
+  std::vector<RateProbe> probes_;
+  EventId redirect_retry_event_ = kInvalidEventId;
+  int redirect_retry_attempts_ = 0;
   RolloutManagerStats stats_;
   bool running_ = false;
 };

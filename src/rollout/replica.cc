@@ -122,16 +122,23 @@ void RolloutReplica::LoadCheckpointVersion(int version) {
   weight_version_ = version;
 }
 
-void RolloutReplica::BeginWeightUpdate() {
+int64_t RolloutReplica::BeginWeightUpdate() {
   LAMINAR_CHECK(phase_ == ReplicaPhase::kIdle || phase_ == ReplicaPhase::kPaused)
       << "weight update requires a drained or paused replica, was "
       << ReplicaPhaseName(phase_);
   pre_update_phase_ = phase_;
   phase_ = ReplicaPhase::kUpdatingWeights;
+  return ++weight_update_epoch_;
 }
 
-void RolloutReplica::EndWeightUpdate(int new_version, double wait_seconds) {
-  LAMINAR_CHECK(phase_ == ReplicaPhase::kUpdatingWeights);
+bool RolloutReplica::EndWeightUpdate(int64_t epoch, int new_version,
+                                     double wait_seconds) {
+  // A pull completion can outlive the update it belongs to: the replica died
+  // and was revived, or the relay restarted and the pull was re-issued. Such
+  // a callback carries a stale epoch and must not touch phase state.
+  if (phase_ != ReplicaPhase::kUpdatingWeights || epoch != weight_update_epoch_) {
+    return false;
+  }
   SetWeightVersion(new_version);
   metrics_.weight_update_wait_seconds += wait_seconds;
   ++metrics_.weight_updates;
@@ -143,6 +150,13 @@ void RolloutReplica::EndWeightUpdate(int new_version, double wait_seconds) {
     TryAdmit();
     ScheduleAdvance();
   }
+  return true;
+}
+
+void RolloutReplica::AbortWeightUpdate() {
+  LAMINAR_CHECK(phase_ == ReplicaPhase::kUpdatingWeights);
+  ++weight_update_epoch_;  // invalidate the in-flight pull completion
+  phase_ = pre_update_phase_;
 }
 
 void RolloutReplica::Pause() {
@@ -188,7 +202,7 @@ void RolloutReplica::Resume(int new_version, bool recompute_kv) {
       for (const auto& w : env_waiting_) {
         recompute_tokens += static_cast<double>(w.context_tokens);
       }
-      pending_stall_seconds_ += decode_.PrefillLatency(recompute_tokens);
+      pending_stall_seconds_ += decode_.PrefillLatency(recompute_tokens) / speed_factor_;
       metrics_.prefill_tokens += static_cast<int64_t>(recompute_tokens);
     }
   }
@@ -199,12 +213,22 @@ void RolloutReplica::Resume(int new_version, bool recompute_kv) {
   }
 }
 
-void RolloutReplica::Kill() {
+std::vector<TrajectoryWork> RolloutReplica::Kill() {
   CancelAdvance();
   for (const EnvEvent& e : env_events_) {
     sim_->Cancel(e.event);
   }
   env_events_.clear();
+  // Running and env-waiting work streamed checkpoints to the partial pool at
+  // admission, so the manager recovers those via TakeByReplica. Queued work
+  // may never have been admitted anywhere; hand it back so the caller can
+  // account for it explicitly instead of losing it silently.
+  std::vector<TrajectoryWork> discarded;
+  discarded.reserve(waiting_.size());
+  for (TrajectoryWork& w : waiting_) {
+    w.kv_resident = false;
+    discarded.push_back(std::move(w));
+  }
   running_.clear();
   waiting_.clear();
   env_waiting_.clear();
@@ -212,12 +236,71 @@ void RolloutReplica::Kill() {
   pending_stall_seconds_ = 0.0;
   phase_ = ReplicaPhase::kDead;
   TouchMetrics();
+  return discarded;
 }
 
 void RolloutReplica::Revive() {
   LAMINAR_CHECK(phase_ == ReplicaPhase::kDead);
   phase_ = ReplicaPhase::kIdle;
+  speed_factor_ = 1.0;  // a replacement machine starts healthy
   TouchMetrics();
+}
+
+void RolloutReplica::SetSpeedFactor(double factor) {
+  LAMINAR_CHECK(factor > 0.0 && factor <= 1.0) << "speed factor " << factor;
+  if (factor == speed_factor_ || phase_ == ReplicaPhase::kDead) {
+    return;
+  }
+  // Credit progress made at the old speed, then re-plan the advance at the
+  // new one. ScheduleAdvance() reads speed_factor_ for both the step latency
+  // and any carried-over prefill debt.
+  SyncProgress();
+  speed_factor_ = factor;
+  if (phase_ == ReplicaPhase::kGenerating) {
+    ScheduleAdvance();
+  }
+}
+
+double RolloutReplica::ResidentKvTokens() const {
+  double total = 0.0;
+  for (const TrajectoryWork& w : running_) {
+    total += static_cast<double>(w.context_tokens);
+  }
+  for (const TrajectoryWork& w : env_waiting_) {
+    if (w.kv_resident) {
+      total += static_cast<double>(w.context_tokens);
+    }
+  }
+  return total;
+}
+
+int64_t RolloutReplica::ObservedDecodeTokens() const {
+  return ObservedDecodeProbe().tokens;
+}
+
+RolloutReplica::DecodeProbeSample RolloutReplica::ObservedDecodeProbe() const {
+  DecodeProbeSample s;
+  s.busy_seconds = decode_busy_seconds_;
+  s.request_seconds = decode_request_seconds_;
+  s.ctx_request_seconds = decode_ctx_request_seconds_;
+  s.tokens = metrics_.decode_tokens;
+  if (advance_event_ != kInvalidEventId) {
+    double decode_elapsed = (sim_->Now() - advance_start_) - advance_stall_;
+    if (decode_elapsed > 0.0 && advance_step_latency_ > 0.0) {
+      int64_t done =
+          static_cast<int64_t>(std::floor(decode_elapsed / advance_step_latency_));
+      done = std::min(done, advance_steps_);
+      if (done > 0) {
+        double batch = static_cast<double>(running_.size());
+        double busy = static_cast<double>(done) * advance_step_latency_;
+        s.busy_seconds += busy;
+        s.request_seconds += busy * batch;
+        s.ctx_request_seconds += busy * batch * advance_avg_ctx_;
+        s.tokens += done * static_cast<int64_t>(running_.size());
+      }
+    }
+  }
+  return s;
 }
 
 ReplicaSnapshot RolloutReplica::Snapshot() const {
@@ -230,6 +313,13 @@ ReplicaSnapshot RolloutReplica::Snapshot() const {
   snap.busy = busy();
   snap.eligible = phase_ == ReplicaPhase::kGenerating;
   return snap;
+}
+
+void RolloutReplica::CreditDecodeProbe(int64_t steps, int64_t batch) {
+  double busy = static_cast<double>(steps) * advance_step_latency_;
+  decode_busy_seconds_ += busy;
+  decode_request_seconds_ += busy * static_cast<double>(batch);
+  decode_ctx_request_seconds_ += busy * static_cast<double>(batch) * advance_avg_ctx_;
 }
 
 void RolloutReplica::CancelAdvance() {
@@ -260,6 +350,7 @@ void RolloutReplica::SyncProgress() {
     }
     kv_used_tokens_ += static_cast<double>(batch * done);
     metrics_.decode_tokens += batch * done;
+    CreditDecodeProbe(done, batch);
   }
   // Unconsumed prefill debt carries over to the next schedule.
   pending_stall_seconds_ += std::max(0.0, advance_stall_ - std::max(elapsed, 0.0));
@@ -292,7 +383,7 @@ void RolloutReplica::ScheduleAdvance() {
   }
   LAMINAR_CHECK_GE(min_remaining, 1);
   double avg_ctx = total_ctx / batch;
-  double step_latency = decode_.StepLatency(batch, avg_ctx);
+  double step_latency = decode_.StepLatency(batch, avg_ctx) / speed_factor_;
   int64_t kv_steps = static_cast<int64_t>(
       std::floor((kv_capacity_tokens_ - kv_used_tokens_) / batch));
   kv_steps = std::max<int64_t>(kv_steps, 1);  // headroom guaranteed by preemption
@@ -302,6 +393,7 @@ void RolloutReplica::ScheduleAdvance() {
   advance_start_ = sim_->Now();
   advance_steps_ = steps;
   advance_step_latency_ = step_latency;
+  advance_avg_ctx_ = avg_ctx;
   advance_stall_ = pending_stall_seconds_;
   pending_stall_seconds_ = 0.0;
   TouchMetrics();
@@ -341,7 +433,8 @@ void RolloutReplica::TryAdmit() {
     TrajectoryWork w = std::move(front);
     waiting_.pop_front();
     if (!w.kv_resident) {
-      pending_stall_seconds_ += decode_.PrefillLatency(static_cast<double>(w.context_tokens));
+      pending_stall_seconds_ +=
+          decode_.PrefillLatency(static_cast<double>(w.context_tokens)) / speed_factor_;
       metrics_.prefill_tokens += w.context_tokens;
       w.kv_resident = true;
     }
@@ -366,6 +459,7 @@ void RolloutReplica::Advance(int64_t steps) {
   }
   kv_used_tokens_ += static_cast<double>(batch * steps);
   metrics_.decode_tokens += batch * steps;
+  CreditDecodeProbe(steps, batch);
 
   // Split out the sequences that hit their segment boundary.
   std::vector<TrajectoryWork> at_boundary;
@@ -427,7 +521,8 @@ void RolloutReplica::RejoinFromEnv(TrajId id) {
   if (work.kv_resident) {
     kv_used_tokens_ += static_cast<double>(seg.feedback_tokens);
   }
-  pending_stall_seconds_ += decode_.PrefillLatency(static_cast<double>(seg.feedback_tokens));
+  pending_stall_seconds_ +=
+      decode_.PrefillLatency(static_cast<double>(seg.feedback_tokens)) / speed_factor_;
   metrics_.prefill_tokens += seg.feedback_tokens;
   work.segment_index += 1;
   work.decoded_in_segment = 0;

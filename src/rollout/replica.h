@@ -113,9 +113,17 @@ class RolloutReplica {
   // files"). Only valid on an idle replica.
   void LoadCheckpointVersion(int version);
   // Marks the replica as performing a weight update; generation must be
-  // drained or paused. EndWeightUpdate() restores the previous phase.
-  void BeginWeightUpdate();
-  void EndWeightUpdate(int new_version, double wait_seconds);
+  // drained or paused. Returns an epoch token identifying this update:
+  // EndWeightUpdate() restores the previous phase only when handed the
+  // current epoch, so a stale pull completion — e.g. a relay waiter that
+  // outlived a crash and revival — is ignored instead of corrupting state.
+  int64_t BeginWeightUpdate();
+  // Returns false (and changes nothing) if `epoch` is stale or the replica
+  // left the updating phase meanwhile (crash, abort).
+  bool EndWeightUpdate(int64_t epoch, int new_version, double wait_seconds);
+  // Cancels an in-progress weight update (the relay died mid-pull) and
+  // restores the previous phase; the caller re-issues the pull later.
+  void AbortWeightUpdate();
 
   // Global-sync baselines -----------------------------------------------------
   // Stops decoding (keeps state). Used at global synchronization points.
@@ -127,8 +135,19 @@ class RolloutReplica {
   void Resume(int new_version = -1, bool recompute_kv = false);
 
   // Faults --------------------------------------------------------------------
-  void Kill();    // machine failure: loses all in-flight work and cache
+  // Machine failure: loses all in-flight work and cache. Returns the work
+  // items that were still queued for admission and therefore never streamed
+  // a checkpoint to the partial-response pool — the caller must decide their
+  // fate explicitly (redirect a pooled copy, or mark them dropped); admitted
+  // work is recovered from the pool as before.
+  std::vector<TrajectoryWork> Kill();
   void Revive();  // replacement machine initialized
+
+  // Gray failure (fail-slow): scales decode and prefill throughput by
+  // `factor` in (0, 1]. 1.0 restores full speed. The in-flight advance is
+  // re-planned at the new speed; already-elapsed progress is kept.
+  void SetSpeedFactor(double factor);
+  double speed_factor() const { return speed_factor_; }
 
   // Introspection ---------------------------------------------------------------
   ReplicaPhase phase() const { return phase_; }
@@ -139,6 +158,12 @@ class RolloutReplica {
   double kv_used_tokens() const { return kv_used_tokens_; }
   double kv_capacity_tokens() const { return kv_capacity_tokens_; }
   double kv_used_frac() const { return kv_used_tokens_ / kv_capacity_tokens_; }
+  // Token-accounting cross-check for the invariant checker: the context
+  // tokens of every cache-resident trajectory (the whole decode batch plus
+  // env-waiting work that kept its pages). Queued work never counts, even
+  // when flagged kv_resident for an in-flight migration — its pages are
+  // charged at admission.
+  double ResidentKvTokens() const;
   ReplicaSnapshot Snapshot() const;
   const ReplicaConfig& config() const { return config_; }
   const DecodeModel& decode_model() const { return decode_; }
@@ -146,9 +171,34 @@ class RolloutReplica {
   int64_t total_tokens_generated() const {
     return metrics_.decode_tokens;
   }
+  // Decode tokens including the in-flight advance's elapsed fraction — a
+  // smooth, read-only counter for windowed throughput probes (the committed
+  // `decode_tokens` metric only moves in advance-sized jumps).
+  int64_t ObservedDecodeTokens() const;
+
+  // Decode-only activity sample for the gray-failure probe. All fields are
+  // monotone accumulators over time actually spent in decode steps — prefill
+  // stalls, env waits and pauses contribute nothing, so windowed deltas stay
+  // clean of batch-boundary bursts:
+  //   busy_seconds        Σ steps × actual step latency
+  //   request_seconds     Σ steps × actual step latency × batch
+  //   ctx_request_seconds request_seconds weighted by the advance's avg ctx
+  //   tokens              decode tokens (== ObservedDecodeTokens())
+  // Observed per-request throughput (tokens / request_seconds) times the
+  // modeled step latency at (request_seconds / busy_seconds,
+  // ctx_request_seconds / request_seconds) is ~1.0 for a healthy replica and
+  // ~speed_factor for a fail-slow one, regardless of batch shape.
+  struct DecodeProbeSample {
+    double busy_seconds = 0.0;
+    double request_seconds = 0.0;
+    double ctx_request_seconds = 0.0;
+    int64_t tokens = 0;
+  };
+  DecodeProbeSample ObservedDecodeProbe() const;
 
  private:
   void ScheduleAdvance();
+  void CreditDecodeProbe(int64_t steps, int64_t batch);
   void CancelAdvance();
   // Credits decode steps already performed by the in-flight advance (if any)
   // and cancels it. Must precede any mutation of the batch state.
@@ -169,7 +219,13 @@ class RolloutReplica {
 
   ReplicaPhase phase_ = ReplicaPhase::kIdle;
   ReplicaPhase pre_update_phase_ = ReplicaPhase::kIdle;
+  // Bumped by BeginWeightUpdate/AbortWeightUpdate; EndWeightUpdate only takes
+  // effect when handed the current value (stale relay waiters are dropped).
+  int64_t weight_update_epoch_ = 0;
   int weight_version_ = 0;
+  // Gray-failure throughput multiplier: effective step/prefill latency is
+  // the model latency divided by this.
+  double speed_factor_ = 1.0;
 
   struct EnvEvent {
     TrajId id = kInvalidTrajId;
@@ -193,6 +249,13 @@ class RolloutReplica {
   int64_t advance_steps_ = 0;
   double advance_step_latency_ = 0.0;
   double advance_stall_ = 0.0;
+  double advance_avg_ctx_ = 0.0;
+
+  // Committed decode-probe accumulators (see DecodeProbeSample); every decode
+  // step is credited exactly once, by SyncProgress() or Advance().
+  double decode_busy_seconds_ = 0.0;
+  double decode_request_seconds_ = 0.0;
+  double decode_ctx_request_seconds_ = 0.0;
 
   ReplicaMetrics metrics_;
 

@@ -180,5 +180,106 @@ TEST(PartialResponsePoolTest, UpdateOverwritesProgress) {
   EXPECT_EQ(pool.updates(), 2);
 }
 
+TEST(PartialResponsePoolTest, RemoveOfMissingIdStillTombstones) {
+  PartialResponsePool pool;
+  // A trajectory that finished without ever checkpointing has no live entry,
+  // but its completion must still enter the terminal ledger.
+  EXPECT_FALSE(pool.Remove(7));
+  EXPECT_TRUE(pool.IsTerminal(7));
+  EXPECT_EQ(pool.completed(), 1);
+  // ...so a late Update from a stale owner cannot resurrect it.
+  TrajectoryWork w;
+  w.record = Rec(7, 0);
+  w.InitContext();
+  EXPECT_FALSE(pool.Update(w, /*owner=*/0));
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.stale_updates(), 1);
+}
+
+TEST(PartialResponsePoolTest, TakeByReplicaWithNoMatchingEntries) {
+  PartialResponsePool pool;
+  EXPECT_TRUE(pool.TakeByReplica(3).empty());
+  TrajectoryWork w;
+  w.record = Rec(1, 0);
+  w.InitContext();
+  pool.Update(w, /*owner=*/2);
+  // The wrong owner's take leaves other replicas' entries untouched.
+  EXPECT_TRUE(pool.TakeByReplica(3).empty());
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.Contains(1));
+}
+
+TEST(PartialResponsePoolTest, ReUpdateByNewOwnerMovesOwnership) {
+  PartialResponsePool pool;
+  TrajectoryWork w;
+  w.record = Rec(1, 0);
+  w.InitContext();
+  pool.Update(w, /*owner=*/1);
+
+  // Migration: the manager takes the work off the failed owner and the new
+  // host checkpoints it under its own id.
+  auto taken = pool.TakeByReplica(1);
+  ASSERT_EQ(taken.size(), 1u);
+  taken[0].decoded_in_segment = 17;
+  EXPECT_TRUE(pool.Update(taken[0], /*owner=*/2));
+
+  // The old owner can no longer see (or steal back) the trajectory.
+  EXPECT_TRUE(pool.TakeByReplica(1).empty());
+  auto moved = pool.TakeByReplica(2);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].record.id, 1);
+  EXPECT_EQ(moved[0].decoded_in_segment, 17);
+}
+
+TEST(PartialResponsePoolTest, TerminalLedgerSuppressesDuplicates) {
+  PartialResponsePool pool;
+  TrajectoryWork w;
+  w.record = Rec(1, 0);
+  w.InitContext();
+  pool.Update(w, 0);
+
+  EXPECT_TRUE(pool.MarkCompleted(1));
+  // Duplicate completion (e.g. a drained replica racing its migrated clone).
+  EXPECT_FALSE(pool.MarkCompleted(1));
+  EXPECT_EQ(pool.completed(), 1);
+  EXPECT_EQ(pool.duplicate_completions(), 1);
+  // A drop after completion is also suppressed: the outcome already happened.
+  EXPECT_FALSE(pool.MarkDropped(1));
+  EXPECT_EQ(pool.dropped(), 0);
+
+  // Drop-first ordering works the same way.
+  EXPECT_TRUE(pool.MarkDropped(2));
+  EXPECT_FALSE(pool.MarkCompleted(2));
+  EXPECT_EQ(pool.dropped(), 1);
+  EXPECT_EQ(pool.completed(), 1);
+  EXPECT_TRUE(pool.IsTerminal(2));
+}
+
+TEST(PartialResponsePoolTest, ContextTokenTotalsTrackTakesAndCompletions) {
+  PartialResponsePool pool;
+  auto add = [&](TrajId id, int64_t tokens, int owner) {
+    TrajectoryWork w;
+    w.record = Rec(id, 0);
+    w.InitContext();
+    w.context_tokens = tokens;
+    pool.Update(w, owner);
+  };
+  add(1, 500, /*owner=*/1);
+  add(2, 300, /*owner=*/1);
+  add(3, 200, /*owner=*/2);
+  EXPECT_EQ(pool.total_context_tokens(), 1000);
+
+  int64_t taken_tokens = 0;
+  for (const TrajectoryWork& w : pool.TakeByReplica(1)) {
+    taken_tokens += w.context_tokens;
+  }
+  EXPECT_EQ(taken_tokens, 800);
+  EXPECT_EQ(pool.total_context_tokens(), 200);
+
+  pool.MarkCompleted(3);
+  EXPECT_EQ(pool.total_context_tokens(), 0);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
 }  // namespace
 }  // namespace laminar
