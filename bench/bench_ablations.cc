@@ -153,7 +153,8 @@ void BacklogSection() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::DetectorSection();
   laminar::PeriodSection();
   laminar::SamplerSection();

@@ -107,6 +107,7 @@ void Run(int num_seeds) {
 }  // namespace laminar
 
 int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   int num_seeds = 24;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {

@@ -91,7 +91,8 @@ void EnvSection() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::LengthSection();
   laminar::EnvSection();
   return 0;

@@ -50,7 +50,8 @@ void Sweep(const ModelSpec& model, const std::vector<int>& tps, double context) 
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::Banner("Figure 4: decode latency vs batch size and TP");
   laminar::Sweep(laminar::Qwen25_7B(), {1, 2, 4}, 2000.0);
   laminar::Sweep(laminar::Qwen25_32B(), {2, 4, 8}, 2000.0);

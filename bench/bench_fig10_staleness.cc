@@ -15,7 +15,9 @@ void Run() {
   RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k7B, 64);
   cfg.warmup_iterations = 0;
   cfg.measure_iterations = 10;
+  ArmTrace(cfg);
   SystemReport rep = RunExperiment(cfg);
+  MaybeWriteTrace(rep);
 
   double horizon = rep.simulated_seconds;
   const int kRanges = 5;
@@ -57,7 +59,8 @@ void Run() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::Run();
   return 0;
 }

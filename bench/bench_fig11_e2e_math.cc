@@ -117,7 +117,8 @@ void Run() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::Run();
   return 0;
 }

@@ -117,7 +117,8 @@ void PrintTable3() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::PrintTable3();
   laminar::RunScale(laminar::ModelScale::k7B, 256, 4.0, 0.45);
   laminar::RunScale(laminar::ModelScale::k32B, 512, 8.0, 0.45);

@@ -104,7 +104,8 @@ void StorageSection() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::RolloutWaitSection();
   laminar::ActorStallSection();
   laminar::StorageSection();

@@ -39,6 +39,7 @@ void Run(long fault_seed) {
     cfg.chaos.message_drop_per_hour = 4.0;
     cfg.invariants_enabled = true;
   }
+  ArmTrace(cfg);
   auto driver = MakeDriver(cfg);
   auto* laminar = static_cast<LaminarSystem*>(driver.get());
   if (fault_seed < 0) {
@@ -46,6 +47,7 @@ void Run(long fault_seed) {
     laminar->ScheduleFault({kFailureTime, FaultKind::kRolloutMachine, 0});
   }
   SystemReport rep = driver->Run();
+  MaybeWriteTrace(rep);
 
   // Baseline generation rate before the failure.
   double before = rep.generation_rate.MeanInWindow(SimTime(kFailureTime - 300.0),
@@ -105,6 +107,7 @@ void Run(long fault_seed) {
 }  // namespace laminar
 
 int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   long fault_seed = -1;  // -1 = the paper's scripted machine kill
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {

@@ -79,7 +79,8 @@ void SimulatedSection() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::AnalyticSection();
   laminar::SimulatedSection();
   return 0;

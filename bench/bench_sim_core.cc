@@ -13,6 +13,7 @@
 //                      stresses tombstone reclamation in the heap.
 //  * periodic churn  — many PeriodicTasks ticking (repack checks,
 //                      heartbeats); stresses the rearm path.
+#include "bench/bench_util.h"
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -144,7 +145,8 @@ void Run() {
 }  // namespace
 }  // namespace laminar
 
-int main() {
+int main(int argc, char** argv) {
+  laminar::InitBenchTracing(argc, argv);
   laminar::Run();
   return 0;
 }

@@ -1,10 +1,57 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "src/common/table.h"
+#include "src/trace/trace_io.h"
 
 namespace laminar {
+namespace {
+
+std::string g_trace_out;  // empty = tracing off
+int g_trace_index = 0;    // per-process trace file counter
+
+}  // namespace
+
+void InitBenchTracing(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      g_trace_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      g_trace_out = argv[i] + 12;
+    }
+  }
+}
+
+bool BenchTracingEnabled() { return !g_trace_out.empty(); }
+
+void ArmTrace(RlSystemConfig& cfg) {
+  if (BenchTracingEnabled()) {
+    cfg.trace.enabled = true;
+  }
+}
+
+void MaybeWriteTrace(const SystemReport& report) {
+  if (!BenchTracingEnabled() || report.trace == nullptr) {
+    return;
+  }
+  std::string base = g_trace_out;
+  std::string ext;
+  size_t slash = base.find_last_of('/');
+  size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+    ext = base.substr(dot);
+    base.resize(dot);
+  }
+  char num[16];
+  std::snprintf(num, sizeof(num), ".%03d", g_trace_index++);
+  std::string path = base + num + ext;
+  WriteTraceFile(*report.trace, path);
+  std::fprintf(stderr, "trace: %zu events (%llu emitted) -> %s\n", report.trace->size(),
+               static_cast<unsigned long long>(report.trace->total_emitted()),
+               path.c_str());
+}
 
 RlSystemConfig ThroughputConfig(SystemKind system, ModelScale scale, int total_gpus,
                                 TaskKind task) {
@@ -33,7 +80,18 @@ RlSystemConfig ConvergenceConfig(SystemKind system, ModelScale scale, int total_
 }
 
 std::vector<SystemReport> RunSweep(const std::vector<RlSystemConfig>& configs) {
-  return RunExperiments(configs);
+  if (!BenchTracingEnabled()) {
+    return RunExperiments(configs);
+  }
+  std::vector<RlSystemConfig> armed = configs;
+  for (RlSystemConfig& cfg : armed) {
+    ArmTrace(cfg);
+  }
+  std::vector<SystemReport> reports = RunExperiments(armed);
+  for (const SystemReport& rep : reports) {
+    MaybeWriteTrace(rep);
+  }
+  return reports;
 }
 
 void Banner(const std::string& title) {

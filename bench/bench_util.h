@@ -26,8 +26,24 @@ RlSystemConfig ConvergenceConfig(SystemKind system, ModelScale scale, int total_
 // Fans a config grid out across hardware threads (src/exp/sweep.h). Results
 // come back in submission order and are identical to calling RunExperiment()
 // on each config serially. Harnesses build the grid in display order, sweep
-// once, then walk the reports with a cursor.
+// once, then walk the reports with a cursor. When --trace-out is armed (see
+// InitBenchTracing), every experiment captures a full trace and the files are
+// written in submission order after the sweep.
 std::vector<SystemReport> RunSweep(const std::vector<RlSystemConfig>& configs);
+
+// --trace-out support -----------------------------------------------------
+// Every harness accepts `--trace-out <path>` (or --trace-out=<path>): each
+// experiment then records a structured trace, written as
+// "<base>.<NNN><ext>" in submission order — Chrome/Perfetto JSON when the
+// path ends in ".json", the compact binary format otherwise. Notices go to
+// stderr so table output on stdout stays byte-identical.
+void InitBenchTracing(int argc, char** argv);
+bool BenchTracingEnabled();
+// Enables trace capture on `cfg` when --trace-out was given (for harnesses
+// that build drivers directly instead of going through RunSweep).
+void ArmTrace(RlSystemConfig& cfg);
+// Writes the report's trace (if any) to the next numbered output file.
+void MaybeWriteTrace(const SystemReport& report);
 
 // Prints a section header.
 void Banner(const std::string& title);

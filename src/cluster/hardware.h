@@ -31,6 +31,11 @@ struct GpuSpec {
   double decode_flops_efficiency = 0.55;
   double prefill_flops_efficiency = 0.55;
   double train_flops_efficiency = 0.32;  // FSDP RL fine-tuning MFU (padding, comm)
+  // Multiplier on host-side fixed costs (kernel launches, serving-engine step
+  // scheduling, optimizer-step overhead). Carried on the GPU spec because
+  // every cost model receives one; the hardware_speed metamorphic knob scales
+  // it with 1/k so fixed latencies dilate exactly like bandwidth-derived ones.
+  double host_overhead_scale = 1.0;
 
   double effective_hbm() const { return hbm_bandwidth * hbm_efficiency; }
   // Achievable memory bandwidth when decoding a batch of `batch` sequences.

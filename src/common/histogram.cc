@@ -48,10 +48,12 @@ void Histogram::Add(double x) {
     ++underflow_;
     return;
   }
-  if (x >= hi_) {
+  if (x > hi_) {
     ++overflow_;
     return;
   }
+  // The top edge is closed: a sample exactly equal to `hi` (a latency hitting
+  // its configured cap, say) lands in the last bucket instead of overflow.
   size_t i = static_cast<size_t>((x - lo_) / width_);
   i = std::min(i, counts_.size() - 1);
   ++counts_[i];
@@ -81,12 +83,16 @@ void LogHistogram::Add(double x) {
     ++underflow_;
     return;
   }
-  double idx = std::log(x / lo_) / std::log(growth_);
-  if (idx >= static_cast<double>(counts_.size())) {
+  // Same closed top edge as Histogram: only samples strictly above the last
+  // bucket's upper bound overflow. The index is clamped rather than compared
+  // in log space, where rounding can push a boundary sample out of range.
+  if (x > BucketHigh(counts_.size() - 1)) {
     ++overflow_;
     return;
   }
-  ++counts_[static_cast<size_t>(idx)];
+  double idx = std::log(x / lo_) / std::log(growth_);
+  size_t i = std::min(static_cast<size_t>(idx), counts_.size() - 1);
+  ++counts_[i];
 }
 
 double LogHistogram::BucketLow(size_t i) const {

@@ -7,25 +7,6 @@
 
 namespace laminar {
 
-void RunningStat::Add(double x) {
-  ++count_;
-  sum_ += x;
-  double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
-double RunningStat::variance() const {
-  if (count_ < 2) {
-    return 0.0;
-  }
-  return m2_ / static_cast<double>(count_ - 1);
-}
-
-double RunningStat::stddev() const { return std::sqrt(variance()); }
-
 void SampleSet::Add(double x) {
   samples_.push_back(x);
   sorted_ = false;

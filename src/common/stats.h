@@ -4,34 +4,15 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <limits>
 #include <vector>
 
 #include "src/common/sim_time.h"
 
 namespace laminar {
 
-// Welford-style running mean/variance with min/max, O(1) memory.
-class RunningStat {
- public:
-  void Add(double x);
-
-  size_t count() const { return count_; }
-  double mean() const { return count_ == 0 ? 0.0 : mean_; }
-  double variance() const;
-  double stddev() const;
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double sum() const { return sum_; }
-
- private:
-  size_t count_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double sum_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-};
+// Welford-style streaming statistics live in src/trace/metrics.h
+// (StreamingStat) as part of the metrics registry; this header keeps only the
+// sample- and time-series containers.
 
 // Stores all samples; supports exact quantiles. Suitable for the volumes the
 // simulator produces (millions of doubles at most).

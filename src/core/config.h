@@ -6,11 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/cluster/hardware.h"
 #include "src/cluster/placement.h"
 #include "src/common/stats.h"
 #include "src/fault/fault_process.h"
 #include "src/policy/policy.h"
+#include "src/trace/trace.h"
 #include "src/trainer/trainer.h"
 #include "src/workload/generator.h"
 
@@ -71,6 +74,18 @@ struct RlSystemConfig {
 
   // verl colocation switch cost between generation and training phases.
   double colocate_switch_seconds = 6.0;
+
+  // Structured tracing (src/trace). When enabled, the driver owns a
+  // TraceSink, every subsystem emits into it, and the captured buffer is
+  // attached to the SystemReport.
+  TraceConfig trace;
+
+  // Metamorphic scaling knob: multiplies every hardware rate (GPU FLOPs, HBM,
+  // NVLink/PCIe/RDMA bandwidths) by this factor and every fixed latency or
+  // period by its inverse, producing a run that is exactly the baseline with
+  // the time axis compressed by 1/hardware_speed. Power-of-two values scale
+  // IEEE doubles exactly, which the property tests rely on.
+  double hardware_speed = 1.0;
 
   // Run control. The paper warms up 10 iterations and measures 5; the
   // simulator defaults are smaller so full sweeps stay cheap, and tests for
@@ -161,6 +176,10 @@ struct SystemReport {
   uint64_t simulated_events = 0;
   double simulated_seconds = 0.0;
   double wall_seconds = 0.0;
+
+  // Captured trace (null unless RlSystemConfig::trace.enabled). Shared so
+  // reports stay cheaply copyable.
+  std::shared_ptr<const TraceBuffer> trace;
 };
 
 }  // namespace laminar

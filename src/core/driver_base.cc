@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/fault/invariants.h"
 #include "src/llm/model_spec.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
 
@@ -14,10 +15,38 @@ DriverBase::DriverBase(RlSystemConfig config)
       root_rng_(config.seed), score_rng_(root_rng_.Fork("score")) {
   rollout_tp_ = RolloutTensorParallel(cfg_.system, cfg_.scale);
 
+  if (cfg_.trace.enabled) {
+    trace_sink_ = std::make_unique<TraceSink>(&sim_, cfg_.trace);
+    sim_.set_trace(trace_sink_.get());
+  }
+
+  if (cfg_.hardware_speed != 1.0) {
+    LAMINAR_CHECK_GT(cfg_.hardware_speed, 0.0);
+    // Exact time dilation: every rate gains a factor k, every fixed latency
+    // or period loses one. Subsystem Setup() methods scale their own
+    // hard-coded constants via TimeScale().
+    double k = cfg_.hardware_speed;
+    double inv = 1.0 / k;
+    machine_spec_.gpu.hbm_bandwidth *= k;
+    machine_spec_.gpu.peak_flops_bf16 *= k;
+    machine_spec_.nvlink_bandwidth *= k;
+    machine_spec_.pcie_bandwidth *= k;
+    machine_spec_.rdma_total_bandwidth *= k;
+    machine_spec_.rdma_flow_bandwidth *= k;
+    machine_spec_.rdma_startup_latency *= inv;
+    machine_spec_.gpu.host_overhead_scale *= inv;
+    cfg_.repack_period_seconds *= inv;
+    cfg_.colocate_switch_seconds *= inv;
+    cfg_.invariant_sweep_period_seconds *= inv;
+    cfg_.sample_period_seconds *= inv;
+    cfg_.max_sim_seconds *= inv;
+  }
+
   WorkloadConfig wl;
   wl.task = cfg_.task;
   wl.scale = cfg_.scale;
   wl.length_drift = cfg_.length_drift;
+  wl.time_scale = TimeScale();
   prompts_ = std::make_unique<PromptPool>(
       WorkloadGenerator(wl, root_rng_.Fork("workload")), cfg_.group_size,
       root_rng_.Fork("prompts"));
@@ -76,6 +105,7 @@ void DriverBase::BuildReplicas(int num_replicas, int tensor_parallel, int machin
                  i * tensor_parallel / machine_spec_.gpus_per_machine;
     rc.max_concurrency = cfg_.max_concurrency;
     rc.kv_transfer_bandwidth = machine_spec_.rdma_flow_bandwidth;
+    rc.migration_fixed_overhead *= TimeScale();
     auto replica = std::make_unique<RolloutReplica>(&sim_, rc, decode, kv_capacity);
     replica_ptrs_.push_back(replica.get());
     replicas_.push_back(std::move(replica));
@@ -112,6 +142,8 @@ void DriverBase::BuildTrainer(TrainerMode mode, bool auto_continue, TrainBackend
   tc.auto_continue = auto_continue;
   trainer_ = std::make_unique<Trainer>(&sim_, tc, *train_cost_, buffer_.get(), policy_.get());
   trainer_->set_on_iteration([this](const IterationStats& stats) {
+    LAMINAR_TRACE_INSTANT(&sim_, TraceComponent::kDriver, "driver/iteration",
+                          -1, static_cast<int64_t>(trainer_->iterations().size()));
     double duration = stats.completed - prev_iteration_end_;
     prev_iteration_end_ = stats.completed;
     if (duration > 0.0) {
@@ -134,6 +166,8 @@ void DriverBase::WireCompletion() {
       // consumes the shared score RNG stream, so even a scored-then-discarded
       // duplicate would perturb every later trajectory's reward.
       if (!partial_pool_.MarkCompleted(record.id)) {
+        LAMINAR_TRACE_INSTANT(&sim_, TraceComponent::kData, "data/duplicate_suppressed",
+                              -1, static_cast<int64_t>(record.id));
         return;
       }
       record.finish_actor_version = trainer_ ? trainer_->version() : 0;
@@ -148,6 +182,8 @@ void DriverBase::WireCompletion() {
         invariant_checker_->ObserveBufferPush(record);
       }
       buffer_->Push(std::move(record));
+      LAMINAR_TRACE_COUNTER(&sim_, TraceComponent::kData, "data/buffer_depth", -1,
+                            static_cast<double>(buffer_->size()));
       trainer_->NotifyData();
     });
   }
@@ -187,6 +223,8 @@ std::vector<std::vector<TrajectoryWork>> DriverBase::MakeGlobalBatchChunks(
 double DriverBase::GlobalSyncSeconds() const {
   GlobalSyncModel sync;
   sync.weight_bytes = model_.weight_bytes();
+  sync.base_bandwidth *= cfg_.hardware_speed;
+  sync.barrier_overhead *= TimeScale();
   return sync.SyncSeconds(placement_.total_gpus);
 }
 
@@ -197,7 +235,9 @@ void DriverBase::SampleRates() {
   }
   double dt = sim_.Now() - last_rate_sample_;
   if (dt > 0.0) {
-    gen_rate_.Add(sim_.Now(), static_cast<double>(total - last_gen_tokens_) / dt);
+    double rate = static_cast<double>(total - last_gen_tokens_) / dt;
+    gen_rate_.Add(sim_.Now(), rate);
+    LAMINAR_TRACE_COUNTER(&sim_, TraceComponent::kDriver, "driver/gen_rate", -1, rate);
   }
   last_gen_tokens_ = total;
   last_rate_sample_ = sim_.Now();
@@ -323,6 +363,10 @@ SystemReport DriverBase::AssembleReport(double wall_seconds) {
   rep.training_rate = train_rate_;
   rep.buffer_depth = buffer_depth_;
   rep.staleness_samples = staleness_samples_;
+
+  if (trace_sink_ != nullptr) {
+    rep.trace = trace_sink_->shared_buffer();
+  }
 
   Finalize(rep);
   return rep;

@@ -76,10 +76,18 @@ class DriverBase {
   int64_t ResolvedBacklogCap() const;
   int RooflineBound() const;
 
+  // Time dilation factor for fixed latencies/periods under
+  // cfg_.hardware_speed (1 / hardware_speed). Subsystem Setup() methods
+  // multiply their hard-coded time constants by this.
+  double TimeScale() const { return 1.0 / cfg_.hardware_speed; }
+
   // Data/state ------------------------------------------------------------------
   RlSystemConfig cfg_;
   Placement placement_;
   Simulator sim_;
+  // Owns the capture buffer when cfg_.trace.enabled; armed on sim_ before
+  // Setup() so every scheduled callback can emit.
+  std::unique_ptr<TraceSink> trace_sink_;
   ModelSpec model_;
   MachineSpec machine_spec_;
   Rng root_rng_;

@@ -18,6 +18,15 @@ void LaminarSystem::Setup() {
   relay_cfg.rdma_bandwidth = 2.0 * machine_spec_.rdma_flow_bandwidth;
   relay_cfg.rdma_startup = machine_spec_.rdma_startup_latency;
   relay_cfg.pcie_bandwidth = machine_spec_.pcie_bandwidth;
+  // hardware_speed dilation: rates scale up, fixed latencies/periods scale
+  // down (machine_spec_ rates were already scaled by DriverBase).
+  relay_cfg.actor_push_bandwidth *= cfg_.hardware_speed;
+  relay_cfg.reshard_seconds *= TimeScale();
+  relay_cfg.rebuild_seconds *= TimeScale();
+  relay_cfg.master_elect_seconds *= TimeScale();
+  relay_cfg.hop_timeout_guard *= TimeScale();
+  relay_cfg.master_elect_backoff_cap_seconds *= TimeScale();
+  relay_cfg.election_stability_window_seconds *= TimeScale();
   relays_ = std::make_unique<RelayTier>(&sim_, relay_cfg);
 
   BuildTrainer(TrainerMode::kFullBatch, /*auto_continue=*/true, TrainBackend::kFsdp);
@@ -30,6 +39,10 @@ void LaminarSystem::Setup() {
   mgr_cfg.repack.batch_bound = RooflineBound();
   mgr_cfg.per_replica_batch = ResolvedPerReplicaBatch(num_replicas);
   mgr_cfg.backlog_cap = ResolvedBacklogCap();
+  mgr_cfg.machine_replacement_seconds *= TimeScale();
+  mgr_cfg.replica_init_seconds *= TimeScale();
+  mgr_cfg.redirect_backoff_base_seconds *= TimeScale();
+  mgr_cfg.redirect_backoff_cap_seconds *= TimeScale();
   manager_ = std::make_unique<RolloutManager>(&sim_, mgr_cfg, replica_ptrs_, relays_.get(),
                                               prompts_.get(), &partial_pool_);
   manager_->set_backlog_fn([this] { return static_cast<int64_t>(buffer_->size()); });
@@ -47,7 +60,8 @@ void LaminarSystem::Setup() {
   bc.startup_time = relay_cfg.rdma_startup;
   double distribution_delay = relay_cfg.weight_bytes / relay_cfg.actor_push_bandwidth +
                               relay_cfg.reshard_seconds +
-                              OptimalBroadcastTime(bc, relay_cfg.num_relays) + 0.1;
+                              OptimalBroadcastTime(bc, relay_cfg.num_relays) +
+                              0.1 * TimeScale();
   trainer_->set_publish_fn([this, distribution_delay](int version) {
     double stall = relays_->Publish(version);
     sim_.ScheduleAfter(distribution_delay,
@@ -59,7 +73,7 @@ void LaminarSystem::Setup() {
   });
 
   heartbeats_ = std::make_unique<HeartbeatMonitor>(
-      &sim_, /*period=*/1.0, /*miss_threshold=*/2, [this](int machine) {
+      &sim_, /*period=*/1.0 * TimeScale(), /*miss_threshold=*/2, [this](int machine) {
         manager_->OnMachineFailure(machine);
         // The replacement machine beats again once its engines are up, so a
         // later fault on the same slot is detectable (chaos schedules can

@@ -36,7 +36,8 @@ void PartialRolloutSystem::Setup() {
   for (RolloutReplica* r : replica_ptrs_) {
     r->set_on_batch_done([this](RolloutReplica* replica) { FeedReplica(replica); });
   }
-  retry_task_ = std::make_unique<PeriodicTask>(&sim_, 5.0, [this] { RetryStarved(); });
+  retry_task_ =
+      std::make_unique<PeriodicTask>(&sim_, 5.0 * TimeScale(), [this] { RetryStarved(); });
 }
 
 void PartialRolloutSystem::FeedReplica(RolloutReplica* replica) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
 namespace {
@@ -126,6 +127,8 @@ void HeartbeatMonitor::Sweep() {
     if (!node.reported && now - node.last_beat > period_ * miss_threshold_) {
       node.reported = true;
       ++failures_reported_;
+      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kFault, "fault/suspect_dead", id, 0,
+                            now - node.last_beat);
       if (on_failure_) {
         on_failure_(id);
       }
@@ -192,6 +195,8 @@ void HeartbeatMonitor::ObserveRate(int source, double rate) {
       s.slow = false;
       s.strikes = 0;
       ++slow_recovered_;
+      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kFault, "fault/slow_recover", source,
+                            0, rate);
       if (on_slow_recovered_) {
         on_slow_recovered_(source);
       }
@@ -202,6 +207,8 @@ void HeartbeatMonitor::ObserveRate(int source, double rate) {
     if (++s.strikes >= slowness_.consecutive_strikes) {
       s.slow = true;
       ++slow_reported_;
+      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kFault, "fault/slow_detect", source,
+                            0, phi);
       LAMINAR_LOG(kInfo) << "rate source " << source << " flagged slow: rate=" << rate
                          << " baseline=" << s.mean << " phi=" << phi;
       if (on_slow_) {

@@ -1,8 +1,36 @@
 #include "src/fault/injector.h"
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
+namespace {
+
+// Trace names must be string literals with static storage; map each fault
+// kind to its "fault/<kind>" spelling here rather than concatenating.
+const char* FaultTraceName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRolloutMachine:
+      return "fault/rollout-machine";
+    case FaultKind::kRelayProcess:
+      return "fault/relay-process";
+    case FaultKind::kMasterRelay:
+      return "fault/master-relay";
+    case FaultKind::kTrainerWorker:
+      return "fault/trainer-worker";
+    case FaultKind::kMachineStall:
+      return "fault/machine-stall";
+    case FaultKind::kLinkFlap:
+      return "fault/link-flap";
+    case FaultKind::kReplicaSlow:
+      return "fault/replica-slow";
+    case FaultKind::kMessageDrop:
+      return "fault/message-drop";
+  }
+  return "fault/unknown";
+}
+
+}  // namespace
 
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
@@ -72,6 +100,8 @@ void FaultInjector::ScheduleAll(const std::vector<FaultEvent>& events) {
 void FaultInjector::Fire(const FaultEvent& event) {
   ++injected_;
   ++counts_[static_cast<int>(event.kind)];
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kFault, FaultTraceName(event.kind),
+                        event.target, 0, event.duration_seconds);
   LAMINAR_LOG(kInfo) << "injecting fault " << FaultKindName(event.kind) << " target="
                      << event.target << " at t=" << sim_->Now().seconds();
   switch (event.kind) {

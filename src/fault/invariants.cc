@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
 
@@ -17,6 +18,8 @@ void InvariantChecker::Report(const std::string& what) {
   oss << "t=" << sim_->Now().seconds() << "s: " << what;
   LAMINAR_CHECK(!config_.fail_fast) << "invariant violated at " << oss.str();
   ++violation_count_;
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kInvariant, "invariant/violation", -1,
+                        violation_count_);
   if (violations_.size() < config_.max_recorded_violations) {
     violations_.push_back(oss.str());
   }
@@ -46,6 +49,8 @@ void InvariantChecker::ObserveBufferPush(const TrajectoryRecord& record) {
 
 void InvariantChecker::CheckSweep() {
   ++checks_run_;
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kInvariant, "invariant/check", -1,
+                        checks_run_, static_cast<double>(violation_count_));
   if (issued_fn_ && inflight_fn_ && pool_ != nullptr) {
     int64_t issued = issued_fn_();
     int64_t inflight = inflight_fn_();

@@ -40,8 +40,8 @@ double DecodeModel::TpCommTime(int batch) const {
   double ring_factor = 2.0 * (tp_ - 1) / static_cast<double>(tp_);
   double transfer = bytes_per_allreduce * ring_factor / machine_.nvlink_bandwidth;
   // Per-all-reduce launch latency dominates for the tiny decode activations.
-  constexpr double kAllReduceLaunch = 8.0e-6;
-  return 2.0 * model_.num_layers * (transfer + kAllReduceLaunch);
+  const double launch = 8.0e-6 * machine_.gpu.host_overhead_scale;
+  return 2.0 * model_.num_layers * (transfer + launch);
 }
 
 double DecodeModel::KernelOverhead() const {
@@ -49,7 +49,7 @@ double DecodeModel::KernelOverhead() const {
   // kernel launches.
   constexpr double kPerLayer = 12.0e-6;
   constexpr double kFixed = 1000.0e-6;
-  return kFixed + kPerLayer * model_.num_layers;
+  return (kFixed + kPerLayer * model_.num_layers) * machine_.gpu.host_overhead_scale;
 }
 
 double DecodeModel::StepLatency(int batch, double avg_context_tokens) const {

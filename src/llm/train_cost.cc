@@ -21,7 +21,8 @@ TrainCostModel::TrainCostModel(ModelSpec model, GpuSpec gpu, int train_gpus,
 
 double TrainCostModel::MinibatchTime(double tokens) const {
   double flops = tokens * model_.train_flops_per_token() * flops_multiplier_;
-  return flops / (train_gpus_ * gpu_.peak_flops_bf16 * mfu_) + fixed_minibatch_overhead_;
+  return flops / (train_gpus_ * gpu_.peak_flops_bf16 * mfu_) +
+         fixed_minibatch_overhead_ * gpu_.host_overhead_scale;
 }
 
 double TrainCostModel::ExperiencePrepTime(double tokens) const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
 
@@ -44,6 +45,7 @@ double RelayTier::Publish(int version) {
   LAMINAR_CHECK_GT(version, latest_published_) << "versions must be published in order";
   latest_published_ = version;
   ++publishes_;
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/publish", master_, version);
   double stall = config_.weight_bytes / config_.actor_push_bandwidth;
   actor_stalls_.Add(stall);
   SimTime master_ready =
@@ -87,6 +89,7 @@ void RelayTier::OnArrival(int relay, int version) {
     --drop_next_[relay];
     ++messages_dropped_;
     ++arrival_retries_;
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/drop", relay, version);
     SimTime at = sim_->Now() + config_.hop_timeout_guard;
     EventId eid = sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
     r.pending[version] = PendingArrival{eid, at};
@@ -108,6 +111,7 @@ void RelayTier::OnArrival(int relay, int version) {
   if (version > r.version) {
     r.version = version;
   }
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/arrival", relay, version);
   // The master fans a freshly received version down the chain exactly once.
   if (relay == master_ && broadcast_started_.insert(version).second) {
     StartBroadcast(version, sim_->Now());
@@ -125,6 +129,8 @@ void RelayTier::OnArrival(int relay, int version) {
     auto it = broadcast_starts_.find(version);
     if (it != broadcast_starts_.end()) {
       broadcast_times_.Add(sim_->Now() - it->second);
+      LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kRelay, "relay/broadcast", master_,
+                            it->second, sim_->Now(), version);
       broadcast_starts_.erase(it);
     }
   }
@@ -144,9 +150,11 @@ void RelayTier::OnArrival(int relay, int version) {
     int got = r.version;
     SimTime requested = w.requested;
     auto done = std::move(w.done);
-    sim_->ScheduleAfter(load, [this, got, requested, done = std::move(done)] {
+    sim_->ScheduleAfter(load, [this, relay, got, requested, done = std::move(done)] {
       double wait = sim_->Now() - requested;
       pull_waits_.Add(wait);
+      LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kRelay, "relay/pull_wait", relay,
+                            requested, sim_->Now(), got);
       done(got, wait);
     });
   }
@@ -168,9 +176,11 @@ void RelayTier::PullLatest(int relay, int tensor_parallel, int current_version,
     double load = PullLoadSeconds(tensor_parallel);
     int got = r.version;
     SimTime requested = sim_->Now();
-    sim_->ScheduleAfter(load, [this, got, requested, done = std::move(done)] {
+    sim_->ScheduleAfter(load, [this, relay, got, requested, done = std::move(done)] {
       double wait = sim_->Now() - requested;
       pull_waits_.Add(wait);
+      LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kRelay, "relay/pull_wait", relay,
+                            requested, sim_->Now(), got);
       done(got, wait);
     });
     return;
@@ -197,6 +207,8 @@ void RelayTier::KillRelay(int relay) {
     sim_->Cancel(arrival.event);
   }
   r.pending.clear();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/kill", relay,
+                        latest_published_);
 
   ++chain_rebuilds_;
   double extra = config_.rebuild_seconds;
@@ -215,6 +227,8 @@ void RelayTier::KillRelay(int relay) {
     master_ = best;
     ++master_elections_;
     extra = NextElectionDelay();
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/election", best,
+                          latest_published_, extra);
     master_ready_at_ = sim_->Now() + extra;
     // If a publication was lost with the old master, the trainer re-sends it
     // to the newly elected master once notified.
@@ -271,6 +285,8 @@ void RelayTier::FlapLink(int relay, double duration_seconds) {
   LAMINAR_CHECK_LT(relay, static_cast<int>(relays_.size()));
   LAMINAR_CHECK_GE(duration_seconds, 0.0);
   ++link_flaps_;
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/link_flap", relay, 0,
+                        duration_seconds);
   SimTime heal = sim_->Now() + duration_seconds;
   link_down_until_[relay] = std::max(link_down_until_[relay], heal);
   Relay& r = relays_[relay];
@@ -306,11 +322,15 @@ void RelayTier::ReviveRelay(int relay) {
   r.alive = true;
   r.version = -1;
   r.pending.clear();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/revive", relay,
+                        latest_published_);
   if (!relays_[master_].alive) {
     // Everyone had died; the revived relay becomes master and the trainer is
     // notified to re-send the newest published weights.
     master_ = relay;
     ++master_elections_;
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/election", relay,
+                          latest_published_);
     master_ready_at_ = std::max(master_ready_at_, sim_->Now() + NextElectionDelay());
   }
   if (relay == master_) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
 namespace {
@@ -23,6 +24,37 @@ RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
   LAMINAR_CHECK(!replicas_.empty());
   LAMINAR_CHECK_GT(config_.per_replica_batch, 0);
   probes_.resize(replicas_.size());
+  ctr_repack_events_ = metrics_.Counter("manager/repack_events");
+  ctr_sources_released_ = metrics_.Counter("manager/sources_released");
+  ctr_trajectories_migrated_ = metrics_.Counter("manager/trajectories_migrated");
+  ctr_batches_assigned_ = metrics_.Counter("manager/batches_assigned");
+  ctr_failures_handled_ = metrics_.Counter("manager/failures_handled");
+  ctr_trajectories_redirected_ = metrics_.Counter("manager/trajectories_redirected");
+  ctr_slow_events_ = metrics_.Counter("manager/slow_events");
+  ctr_slow_recoveries_ = metrics_.Counter("manager/slow_recoveries");
+  ctr_trajectories_drained_slow_ = metrics_.Counter("manager/trajectories_drained_slow");
+  ctr_redirect_retries_ = metrics_.Counter("manager/redirect_retries");
+  ctr_trajectories_dropped_ = metrics_.Counter("manager/trajectories_dropped");
+  ctr_machine_stalls_ = metrics_.Counter("manager/machine_stalls");
+  repack_overhead_seconds_ = metrics_.Samples("manager/repack_overhead_seconds");
+}
+
+RolloutManagerStats RolloutManager::stats() const {
+  RolloutManagerStats s;
+  s.repack_events = ctr_repack_events_->value();
+  s.sources_released = ctr_sources_released_->value();
+  s.trajectories_migrated = ctr_trajectories_migrated_->value();
+  s.batches_assigned = ctr_batches_assigned_->value();
+  s.failures_handled = ctr_failures_handled_->value();
+  s.trajectories_redirected = ctr_trajectories_redirected_->value();
+  s.slow_events = ctr_slow_events_->value();
+  s.slow_recoveries = ctr_slow_recoveries_->value();
+  s.trajectories_drained_slow = ctr_trajectories_drained_slow_->value();
+  s.redirect_retries = ctr_redirect_retries_->value();
+  s.trajectories_dropped = ctr_trajectories_dropped_->value();
+  s.machine_stalls = ctr_machine_stalls_->value();
+  s.repack_overhead_seconds = *repack_overhead_seconds_;
+  return s;
 }
 
 RolloutReplica* RolloutManager::FindReplica(int replica_id) {
@@ -103,7 +135,9 @@ void RolloutManager::AssignFreshBatch(RolloutReplica* replica) {
     w.InitContext();
     works.push_back(std::move(w));
   }
-  ++stats_.batches_assigned;
+  ctr_batches_assigned_->Add();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/assign_batch",
+                        replica->config().id, static_cast<int64_t>(works.size()));
   replica->AssignWork(std::move(works), /*kv_transferred=*/false);
 }
 
@@ -195,7 +229,9 @@ void RolloutManager::TriggerRepack() {
     if (plan.empty()) {
       continue;
     }
-    ++stats_.repack_events;
+    ctr_repack_events_->Add();
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/repack", -1,
+                          static_cast<int64_t>(plan.moves.size()));
     // Transfers to distinct destinations proceed in parallel; the plan's
     // overhead is the slowest destination's total KV-transfer stall.
     std::map<int, double> overhead_by_dst;
@@ -203,7 +239,7 @@ void RolloutManager::TriggerRepack() {
       RolloutReplica* src = by_id.at(src_id);
       RolloutReplica* dst = by_id.at(dst_id);
       std::vector<TrajectoryWork> works = src->ExtractAllWork();
-      stats_.trajectories_migrated += static_cast<int64_t>(works.size());
+      ctr_trajectories_migrated_->Add(static_cast<int64_t>(works.size()));
       for (const TrajectoryWork& w : works) {
         // Re-home the pooled checkpoint to the destination now, not at
         // admission: if the source machine dies while the work still queues
@@ -220,7 +256,7 @@ void RolloutManager::TriggerRepack() {
         }
       }
       dst->AssignWork(std::move(works), /*kv_transferred=*/true);
-      ++stats_.sources_released;
+      ctr_sources_released_->Add();
       monitor_.Forget(src_id);
       // The drained source is now free to adopt the newest weights.
       StartWeightUpdate(src);
@@ -229,7 +265,7 @@ void RolloutManager::TriggerRepack() {
     for (const auto& [dst, seconds] : overhead_by_dst) {
       overhead = std::max(overhead, seconds);
     }
-    stats_.repack_overhead_seconds.Add(overhead);
+    repack_overhead_seconds_->Add(overhead);
   }
 }
 
@@ -271,7 +307,10 @@ void RolloutManager::RedirectWork(std::vector<TrajectoryWork> works, int weight_
           partial_pool_->Update(w, hosts[i]->config().id);
         }
       }
-      stats_.trajectories_redirected += static_cast<int64_t>(shards[i].size());
+      ctr_trajectories_redirected_->Add(static_cast<int64_t>(shards[i].size()));
+      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/redirect",
+                            hosts[i]->config().id,
+                            static_cast<int64_t>(shards[i].size()), weight_version);
       hosts[i]->AssignWork(std::move(shards[i]), /*kv_transferred=*/false);
     }
   }
@@ -288,7 +327,9 @@ void RolloutManager::ScheduleRedirectRetry() {
   ++redirect_retry_attempts_;
   redirect_retry_event_ = sim_->ScheduleAfter(delay, [this] {
     redirect_retry_event_ = kInvalidEventId;
-    ++stats_.redirect_retries;
+    ctr_redirect_retries_->Add();
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/redirect_retry", -1,
+                          redirect_retry_attempts_);
     FlushPendingRedirects();
     if (!pending_redirects_.empty()) {
       ScheduleRedirectRetry();
@@ -321,7 +362,9 @@ void RolloutManager::FlushPendingRedirects() {
 }
 
 void RolloutManager::OnMachineFailure(int machine) {
-  ++stats_.failures_handled;
+  ctr_failures_handled_->Add();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/machine_failure",
+                        machine);
   relays_->KillRelay(machine);
   std::vector<RolloutReplica*> casualties;
   for (RolloutReplica* r : replicas_) {
@@ -354,7 +397,7 @@ void RolloutManager::OnMachineFailure(int machine) {
         continue;  // a pooled checkpoint survives and will be redirected
       }
       if (partial_pool_->MarkDropped(w.record.id)) {
-        ++stats_.trajectories_dropped;
+        ctr_trajectories_dropped_->Add();
       }
     }
     LAMINAR_LOG(kInfo) << "machine " << machine << " failed; redirecting "
@@ -366,6 +409,8 @@ void RolloutManager::OnMachineFailure(int machine) {
   // Replacement machine: allocate, re-init engine + relay, pull weights.
   double delay = config_.machine_replacement_seconds + config_.replica_init_seconds;
   sim_->ScheduleAfter(delay, [this, machine, casualties] {
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/machine_replaced",
+                          machine);
     relays_->ReviveRelay(machine);
     for (RolloutReplica* r : casualties) {
       r->Revive();
@@ -381,7 +426,7 @@ void RolloutManager::OnMachineFailure(int machine) {
         if (next < casualties.size()) {
           RolloutReplica* host = casualties[next++];
           host->LoadCheckpointVersion(version);
-          stats_.trajectories_redirected += static_cast<int64_t>(works.size());
+          ctr_trajectories_redirected_->Add(static_cast<int64_t>(works.size()));
           host->AssignWork(std::move(works), /*kv_transferred=*/false);
         } else {
           pending_redirects_[version] = std::move(works);
@@ -400,10 +445,12 @@ void RolloutManager::OnReplicaSlow(int replica_id) {
   if (r == nullptr || r->phase() == ReplicaPhase::kDead || IsQuarantined(replica_id)) {
     return;
   }
-  ++stats_.slow_events;
+  ctr_slow_events_->Add();
   quarantined_.insert(replica_id);
   std::vector<TrajectoryWork> drained = r->ExtractAllWork();
-  stats_.trajectories_drained_slow += static_cast<int64_t>(drained.size());
+  ctr_trajectories_drained_slow_->Add(static_cast<int64_t>(drained.size()));
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/quarantine",
+                        replica_id, static_cast<int64_t>(drained.size()));
   LAMINAR_LOG(kInfo) << "replica " << replica_id
                      << " quarantined as fail-slow; draining " << drained.size()
                      << " trajectories";
@@ -419,7 +466,9 @@ void RolloutManager::OnReplicaSlowRecovered(int replica_id) {
   if (quarantined_.erase(replica_id) == 0) {
     return;
   }
-  ++stats_.slow_recoveries;
+  ctr_slow_recoveries_->Add();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/quarantine_lift",
+                        replica_id);
   LAMINAR_LOG(kInfo) << "replica " << replica_id << " recovered from fail-slow";
   RolloutReplica* r = FindReplica(replica_id);
   if (running_ && r != nullptr && r->phase() == ReplicaPhase::kIdle) {
@@ -429,7 +478,9 @@ void RolloutManager::OnReplicaSlowRecovered(int replica_id) {
 }
 
 void RolloutManager::OnMachineStall(int machine, double duration_seconds) {
-  ++stats_.machine_stalls;
+  ctr_machine_stalls_->Add();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/machine_stall", machine,
+                        0, duration_seconds);
   std::vector<int> paused;
   for (RolloutReplica* r : replicas_) {
     if (r->config().machine != machine) {

@@ -20,6 +20,7 @@
 #include "src/repack/monitor.h"
 #include "src/rollout/replica.h"
 #include "src/sim/simulator.h"
+#include "src/trace/metrics.h"
 
 namespace laminar {
 
@@ -51,6 +52,9 @@ struct RolloutManagerConfig {
   int probe_groups = 1;
 };
 
+// Point-in-time snapshot of the manager's metrics registry (stats() builds
+// one on demand). Kept as a plain struct so report assembly and tests read
+// named fields rather than registry strings.
 struct RolloutManagerStats {
   int64_t repack_events = 0;       // plans with at least one move
   int64_t sources_released = 0;    // replicas freed by repack
@@ -123,7 +127,8 @@ class RolloutManager {
   // Runs one repack pass now (also used by tests and benches).
   void TriggerRepack();
 
-  const RolloutManagerStats& stats() const { return stats_; }
+  RolloutManagerStats stats() const;
+  const MetricsRegistry& metrics() const { return metrics_; }
   int64_t inflight_trajectories() const;
   const RolloutManagerConfig& config() const { return config_; }
 
@@ -166,7 +171,22 @@ class RolloutManager {
   std::vector<RateProbe> probes_;
   EventId redirect_retry_event_ = kInvalidEventId;
   int redirect_retry_attempts_ = 0;
-  RolloutManagerStats stats_;
+  // All decision counters live in the registry; hot paths go through cached
+  // instrument pointers (stable for the registry's lifetime).
+  MetricsRegistry metrics_;
+  MetricCounter* ctr_repack_events_;
+  MetricCounter* ctr_sources_released_;
+  MetricCounter* ctr_trajectories_migrated_;
+  MetricCounter* ctr_batches_assigned_;
+  MetricCounter* ctr_failures_handled_;
+  MetricCounter* ctr_trajectories_redirected_;
+  MetricCounter* ctr_slow_events_;
+  MetricCounter* ctr_slow_recoveries_;
+  MetricCounter* ctr_trajectories_drained_slow_;
+  MetricCounter* ctr_redirect_retries_;
+  MetricCounter* ctr_trajectories_dropped_;
+  MetricCounter* ctr_machine_stalls_;
+  SampleSet* repack_overhead_seconds_;
   bool running_ = false;
 };
 

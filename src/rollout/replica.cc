@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
 
@@ -37,6 +38,21 @@ void RolloutReplica::TouchMetrics() {
   metrics_.kv_used_tokens.Set(now, kv_used_tokens_);
   metrics_.batch_size.Set(now, static_cast<double>(running_.size()));
   metrics_.busy.Set(now, running_.empty() ? 0.0 : 1.0);
+  LAMINAR_TRACE_COUNTER(sim_, TraceComponent::kReplica, "replica/kv_used", config_.id,
+                        kv_used_tokens_);
+  LAMINAR_TRACE_COUNTER(sim_, TraceComponent::kReplica, "replica/batch_size", config_.id,
+                        static_cast<double>(running_.size()));
+  // Busy edges become decode_busy spans, emitted retroactively at the falling
+  // edge. Edge tracking runs unconditionally so a sink attached later still
+  // sees correct begins, and stays out of the integrator state.
+  bool busy_now = !running_.empty();
+  if (busy_now && !trace_was_busy_) {
+    trace_busy_since_ = now;
+  } else if (!busy_now && trace_was_busy_) {
+    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kReplica, "replica/decode_busy",
+                          config_.id, trace_busy_since_, now);
+  }
+  trace_was_busy_ = busy_now;
 }
 
 void RolloutReplica::AssignWork(std::vector<TrajectoryWork> works, bool kv_transferred) {
@@ -128,6 +144,7 @@ int64_t RolloutReplica::BeginWeightUpdate() {
       << ReplicaPhaseName(phase_);
   pre_update_phase_ = phase_;
   phase_ = ReplicaPhase::kUpdatingWeights;
+  weight_update_begin_ = sim_->Now();
   return ++weight_update_epoch_;
 }
 
@@ -142,6 +159,9 @@ bool RolloutReplica::EndWeightUpdate(int64_t epoch, int new_version,
   SetWeightVersion(new_version);
   metrics_.weight_update_wait_seconds += wait_seconds;
   ++metrics_.weight_updates;
+  LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kReplica, "replica/weight_update",
+                        config_.id, weight_update_begin_, sim_->Now(), new_version,
+                        wait_seconds);
   phase_ = pre_update_phase_;
   if (phase_ == ReplicaPhase::kIdle && busy()) {
     phase_ = ReplicaPhase::kGenerating;
@@ -155,6 +175,8 @@ bool RolloutReplica::EndWeightUpdate(int64_t epoch, int new_version,
 
 void RolloutReplica::AbortWeightUpdate() {
   LAMINAR_CHECK(phase_ == ReplicaPhase::kUpdatingWeights);
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/weight_update_abort",
+                        config_.id, weight_version_);
   ++weight_update_epoch_;  // invalidate the in-flight pull completion
   phase_ = pre_update_phase_;
 }
@@ -236,6 +258,8 @@ std::vector<TrajectoryWork> RolloutReplica::Kill() {
   pending_stall_seconds_ = 0.0;
   phase_ = ReplicaPhase::kDead;
   TouchMetrics();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/kill", config_.id,
+                        static_cast<int64_t>(discarded.size()));
   return discarded;
 }
 
@@ -244,6 +268,8 @@ void RolloutReplica::Revive() {
   phase_ = ReplicaPhase::kIdle;
   speed_factor_ = 1.0;  // a replacement machine starts healthy
   TouchMetrics();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/revive", config_.id,
+                        weight_version_);
 }
 
 void RolloutReplica::SetSpeedFactor(double factor) {
@@ -411,6 +437,8 @@ void RolloutReplica::PreemptForHeadroom() {
     running_.pop_back();
     kv_used_tokens_ -= static_cast<double>(victim.context_tokens);
     victim.kv_resident = false;
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/preempt", config_.id,
+                          victim.record.id);
     waiting_.push_front(std::move(victim));
     ++metrics_.preemptions;
   }
@@ -546,6 +574,9 @@ void RolloutReplica::CompleteTrajectory(TrajectoryWork work) {
   }
   work.record.finished = sim_->Now();
   ++metrics_.completed_trajectories;
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/traj_complete",
+                        config_.id, work.record.id,
+                        static_cast<double>(work.record.total_tokens()));
   if (on_complete_) {
     on_complete_(std::move(work.record));
   }

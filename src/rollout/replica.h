@@ -251,6 +251,11 @@ class RolloutReplica {
   double advance_stall_ = 0.0;
   double advance_avg_ctx_ = 0.0;
 
+  // Trace state: begin timestamps for retroactively emitted spans.
+  SimTime weight_update_begin_;
+  SimTime trace_busy_since_;
+  bool trace_was_busy_ = false;
+
   // Committed decode-probe accumulators (see DecodeProbeSample); every decode
   // step is credited exactly once, by SyncProgress() or Advance().
   double decode_busy_seconds_ = 0.0;

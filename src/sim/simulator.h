@@ -23,6 +23,8 @@
 
 namespace laminar {
 
+class TraceSink;
+
 // Packed (generation << 32) | pool slot. Generations start at 1, so a valid
 // id is never 0.
 using EventId = uint64_t;
@@ -78,6 +80,13 @@ class Simulator {
 
   size_t pending_events() const { return live_; }
   uint64_t executed_events() const { return executed_; }
+
+  // Structured tracing (src/trace). Null when tracing is disabled — the
+  // emission macros test this pointer and do nothing else, so instrumented
+  // code costs one predictable branch per site in ordinary runs. The sink is
+  // owned by the driver; the simulator only hands it to instrumented code.
+  TraceSink* trace() const { return trace_; }
+  void set_trace(TraceSink* sink) { trace_ = sink; }
 
   // Introspection for tests and benches: slab slots ever allocated (bounded
   // by the peak number of simultaneously pending events, not by churn) and
@@ -141,6 +150,7 @@ class Simulator {
   // Rebuilds the heap without tombstones once they dominate it.
   void MaybeCompactHeap();
 
+  TraceSink* trace_ = nullptr;
   SimTime now_ = SimTime::Zero();
   uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;

@@ -1,0 +1,161 @@
+#include "src/trace/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+void StreamingStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStat::stddev() const { return std::sqrt(variance()); }
+
+const MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+MetricCounter* MetricsRegistry::Counter(const std::string& name) {
+  if (const Entry* e = Find(name)) {
+    LAMINAR_CHECK(e->type == MetricType::kCounter);
+    return &counters_[e->index];
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back({name, MetricType::kCounter, counters_.size()});
+  counters_.emplace_back();
+  return &counters_.back();
+}
+
+MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
+  if (const Entry* e = Find(name)) {
+    LAMINAR_CHECK(e->type == MetricType::kGauge);
+    return &gauges_[e->index];
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back({name, MetricType::kGauge, gauges_.size()});
+  gauges_.emplace_back();
+  return &gauges_.back();
+}
+
+StreamingStat* MetricsRegistry::Streaming(const std::string& name) {
+  if (const Entry* e = Find(name)) {
+    LAMINAR_CHECK(e->type == MetricType::kStreaming);
+    return &streams_[e->index];
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back({name, MetricType::kStreaming, streams_.size()});
+  streams_.emplace_back();
+  return &streams_.back();
+}
+
+SampleSet* MetricsRegistry::Samples(const std::string& name) {
+  if (const Entry* e = Find(name)) {
+    LAMINAR_CHECK(e->type == MetricType::kSamples);
+    return &samples_[e->index];
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back({name, MetricType::kSamples, samples_.size()});
+  samples_.emplace_back();
+  return &samples_.back();
+}
+
+Histogram* MetricsRegistry::Hist(const std::string& name, double lo, double hi,
+                                 size_t num_buckets) {
+  if (const Entry* e = Find(name)) {
+    LAMINAR_CHECK(e->type == MetricType::kHistogram);
+    return &histograms_[e->index];
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back({name, MetricType::kHistogram, histograms_.size()});
+  histograms_.emplace_back(lo, hi, num_buckets);
+  return &histograms_.back();
+}
+
+std::string MetricsRegistry::Labeled(const std::string& name, const std::string& key,
+                                     const std::string& value) {
+  return name + "{" + key + "=" + value + "}";
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const Entry* e = Find(name);
+  if (e == nullptr || e->type != MetricType::kCounter) {
+    return 0;
+  }
+  return counters_[e->index].value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  const Entry* e = Find(name);
+  if (e == nullptr || e->type != MetricType::kGauge) {
+    return 0.0;
+  }
+  return gauges_[e->index].value();
+}
+
+const SampleSet* MetricsRegistry::FindSamples(const std::string& name) const {
+  const Entry* e = Find(name);
+  if (e == nullptr || e->type != MetricType::kSamples) {
+    return nullptr;
+  }
+  return &samples_[e->index];
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  char line[256];
+  for (const Entry& e : entries_) {
+    switch (e.type) {
+      case MetricType::kCounter:
+        std::snprintf(line, sizeof(line), "%s %lld\n", e.name.c_str(),
+                      static_cast<long long>(counters_[e.index].value()));
+        out += line;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(line, sizeof(line), "%s %g\n", e.name.c_str(),
+                      gauges_[e.index].value());
+        out += line;
+        break;
+      case MetricType::kStreaming: {
+        const StreamingStat& s = streams_[e.index];
+        std::snprintf(line, sizeof(line), "%s count=%zu mean=%g min=%g max=%g\n",
+                      e.name.c_str(), s.count(), s.mean(), s.min(), s.max());
+        out += line;
+        break;
+      }
+      case MetricType::kSamples: {
+        const SampleSet& s = samples_[e.index];
+        std::snprintf(line, sizeof(line), "%s count=%zu mean=%g\n", e.name.c_str(),
+                      s.count(), s.mean());
+        out += line;
+        break;
+      }
+      case MetricType::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        std::snprintf(line, sizeof(line), "%s count=%zu under=%zu over=%zu\n",
+                      e.name.c_str(), h.total_count(), h.underflow(), h.overflow());
+        out += line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace laminar

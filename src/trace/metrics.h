@@ -1,0 +1,112 @@
+// Metrics registry: named counters, gauges, streaming statistics, sample
+// sets and histograms behind one registration-ordered table. Subsystems that
+// previously grew ad-hoc stats structs (RolloutManager) register their
+// metrics here instead; reports snapshot the registry. Pointers returned by
+// the accessors are stable for the registry's lifetime, so hot paths cache
+// them once and pay a plain increment per update.
+#ifndef LAMINAR_SRC_TRACE_METRICS_H_
+#define LAMINAR_SRC_TRACE_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/stats.h"
+
+namespace laminar {
+
+class MetricCounter {
+ public:
+  void Add(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class MetricGauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Welford-style running mean/variance with min/max, O(1) memory. (Moved from
+// src/common/stats, where it had no remaining callers outside tests.)
+class StreamingStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class MetricsRegistry {
+ public:
+  enum class MetricType { kCounter, kGauge, kStreaming, kSamples, kHistogram };
+
+  // Accessors create on first use and return the existing instrument on
+  // repeat calls with the same name. A name holds exactly one metric type;
+  // requesting it as another type is a programming error (checked).
+  MetricCounter* Counter(const std::string& name);
+  MetricGauge* Gauge(const std::string& name);
+  StreamingStat* Streaming(const std::string& name);
+  SampleSet* Samples(const std::string& name);
+  Histogram* Hist(const std::string& name, double lo, double hi, size_t num_buckets);
+
+  // Canonical label spelling: "name{key=value}".
+  static std::string Labeled(const std::string& name, const std::string& key,
+                             const std::string& value);
+
+  struct Entry {
+    std::string name;
+    MetricType type;
+    size_t index;  // into the per-type storage
+  };
+  // Registration order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Convenience reads for report assembly; a missing name yields 0 / empty.
+  int64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  const SampleSet* FindSamples(const std::string& name) const;
+
+  // One "name value" (or "name count=.. mean=..") line per metric, in
+  // registration order.
+  std::string DumpText() const;
+
+ private:
+  const Entry* Find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+  std::map<std::string, size_t> index_;  // name -> entries_ position
+  // Deques: stable element addresses under growth.
+  std::deque<MetricCounter> counters_;
+  std::deque<MetricGauge> gauges_;
+  std::deque<StreamingStat> streams_;
+  std::deque<SampleSet> samples_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_TRACE_METRICS_H_

@@ -1,0 +1,221 @@
+#include "src/trace/query.h"
+
+#include <algorithm>
+
+namespace laminar {
+
+TraceQuery::TraceQuery(const TraceBuffer& buffer)
+    : buffer_(&buffer), in_order_(buffer.InOrder()) {}
+
+bool TraceQuery::Matches(const TraceEvent& e, const TraceSelector& sel) const {
+  if (sel.component.has_value() && e.component != *sel.component) {
+    return false;
+  }
+  if (sel.entity.has_value() && e.entity != *sel.entity) {
+    return false;
+  }
+  if (!sel.name.empty()) {
+    uint32_t id;
+    if (!buffer_->FindName(sel.name, &id) || e.name != id) {
+      return false;
+    }
+  }
+  if (e.kind == TraceEventKind::kSpan) {
+    // Window test for spans: any intersection with [after, before).
+    if (e.end() < sel.after || e.time >= sel.before) {
+      return false;
+    }
+  } else {
+    if (e.time < sel.after || e.time >= sel.before) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TraceEvent> TraceQuery::Events(const TraceSelector& sel) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : in_order_) {
+    if (Matches(e, sel)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceQuery::Spans(const TraceSelector& sel) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : in_order_) {
+    if (e.kind == TraceEventKind::kSpan && Matches(e, sel)) {
+      out.push_back(e);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+  return out;
+}
+
+std::vector<TraceEvent> TraceQuery::Instants(const TraceSelector& sel) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : in_order_) {
+    if (e.kind == TraceEventKind::kInstant && Matches(e, sel)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceQuery::Counters(const TraceSelector& sel) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : in_order_) {
+    if (e.kind == TraceEventKind::kCounter && Matches(e, sel)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+double TraceQuery::CounterIntegral(const TraceSelector& sel, double t0, double t1) const {
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  // Widen the selector: the sample in force at t0 may predate the window.
+  TraceSelector all = sel;
+  all.after = -std::numeric_limits<double>::infinity();
+  all.before = std::numeric_limits<double>::infinity();
+  std::vector<TraceEvent> samples = Counters(all);
+  double integral = 0.0;
+  double value = 0.0;  // step function is 0 before the first sample
+  double at = t0;
+  for (const TraceEvent& s : samples) {
+    if (s.time <= t0) {
+      value = s.value;
+      continue;
+    }
+    if (s.time >= t1) {
+      break;
+    }
+    integral += value * (s.time - at);
+    value = s.value;
+    at = s.time;
+  }
+  integral += value * (t1 - at);
+  return integral;
+}
+
+double TraceQuery::CounterMean(const TraceSelector& sel, double t0, double t1) const {
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  return CounterIntegral(sel, t0, t1) / (t1 - t0);
+}
+
+bool TraceQuery::HappensBefore(const TraceSelector& a, const TraceSelector& b) const {
+  ptrdiff_t first_a = -1;
+  ptrdiff_t first_b = -1;
+  for (size_t i = 0; i < in_order_.size(); ++i) {
+    if (first_a < 0 && Matches(in_order_[i], a)) {
+      first_a = static_cast<ptrdiff_t>(i);
+    }
+    if (first_b < 0 && Matches(in_order_[i], b)) {
+      first_b = static_cast<ptrdiff_t>(i);
+    }
+    if (first_a >= 0 && first_b >= 0) {
+      break;
+    }
+  }
+  return first_a >= 0 && first_b >= 0 && first_a < first_b;
+}
+
+double TraceQuery::EndTime() const {
+  double end = 0.0;
+  for (const TraceEvent& e : in_order_) {
+    end = std::max(end, e.end());
+  }
+  return end;
+}
+
+double TotalSeconds(const std::vector<TraceEvent>& spans) {
+  double total = 0.0;
+  for (const TraceEvent& s : spans) {
+    total += s.duration;
+  }
+  return total;
+}
+
+std::vector<std::pair<double, double>> MergeSpans(const std::vector<TraceEvent>& spans) {
+  std::vector<std::pair<double, double>> intervals;
+  intervals.reserve(spans.size());
+  for (const TraceEvent& s : spans) {
+    intervals.emplace_back(s.time, s.end());
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& iv : intervals) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+double UnionSeconds(const std::vector<TraceEvent>& spans) {
+  double total = 0.0;
+  for (const auto& iv : MergeSpans(spans)) {
+    total += iv.second - iv.first;
+  }
+  return total;
+}
+
+double OverlapSeconds(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b) {
+  std::vector<std::pair<double, double>> ma = MergeSpans(a);
+  std::vector<std::pair<double, double>> mb = MergeSpans(b);
+  double total = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ma.size() && j < mb.size()) {
+    double lo = std::max(ma[i].first, mb[j].first);
+    double hi = std::min(ma[i].second, mb[j].second);
+    if (hi > lo) {
+      total += hi - lo;
+    }
+    if (ma[i].second < mb[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+double MaxUncoveredGap(const std::vector<TraceEvent>& spans, double t0, double t1) {
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  double gap = 0.0;
+  double cursor = t0;
+  for (const auto& iv : MergeSpans(spans)) {
+    if (iv.second <= t0) {
+      continue;
+    }
+    if (iv.first >= t1) {
+      break;
+    }
+    gap = std::max(gap, std::min(iv.first, t1) - cursor);
+    cursor = std::max(cursor, iv.second);
+  }
+  gap = std::max(gap, t1 - std::min(cursor, t1));
+  return gap;
+}
+
+bool Overlaps(const TraceEvent& a, const TraceEvent& b) {
+  return a.time < b.end() && b.time < a.end();
+}
+
+bool Contains(const TraceEvent& outer, const TraceEvent& inner) {
+  return inner.time >= outer.time && inner.end() <= outer.end();
+}
+
+}  // namespace laminar

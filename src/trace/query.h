@@ -1,0 +1,100 @@
+// Query layer over a captured TraceBuffer: selection by component / name /
+// entity / time window, interval algebra over spans (overlap, containment,
+// coverage gaps), counter step-integrals and happens-before checks. This is
+// what the golden timeline tests consume instead of aggregate tables.
+#ifndef LAMINAR_SRC_TRACE_QUERY_H_
+#define LAMINAR_SRC_TRACE_QUERY_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace laminar {
+
+// Event predicate. Unset fields match everything. The time window selects
+// instants/counters with time in [after, before) and spans that *intersect*
+// the window.
+struct TraceSelector {
+  std::optional<TraceComponent> component;
+  std::string name;  // empty = any; never-emitted names match nothing
+  std::optional<int32_t> entity;
+  double after = -std::numeric_limits<double>::infinity();
+  double before = std::numeric_limits<double>::infinity();
+
+  TraceSelector& Component(TraceComponent c) {
+    component = c;
+    return *this;
+  }
+  TraceSelector& Name(std::string n) {
+    name = std::move(n);
+    return *this;
+  }
+  TraceSelector& Entity(int32_t e) {
+    entity = e;
+    return *this;
+  }
+  TraceSelector& Window(double lo, double hi) {
+    after = lo;
+    before = hi;
+    return *this;
+  }
+};
+
+class TraceQuery {
+ public:
+  explicit TraceQuery(const TraceBuffer& buffer);
+
+  // Matching events of any kind, in emission (causal) order. Spans are
+  // emitted at their *end* time, so emission order is not begin-time order.
+  std::vector<TraceEvent> Events(const TraceSelector& sel) const;
+  // Matching spans sorted by begin time (ties keep emission order).
+  std::vector<TraceEvent> Spans(const TraceSelector& sel) const;
+  std::vector<TraceEvent> Instants(const TraceSelector& sel) const;
+  std::vector<TraceEvent> Counters(const TraceSelector& sel) const;
+
+  // Integral over [t0, t1) of the step function defined by the matching
+  // counter events (value 0 before the first sample).
+  double CounterIntegral(const TraceSelector& sel, double t0, double t1) const;
+  double CounterMean(const TraceSelector& sel, double t0, double t1) const;
+
+  // True iff both selectors match at least one event and the first match of
+  // `a` was emitted before the first match of `b`. Emission order is the
+  // single-threaded simulator's causal order, so this is a genuine
+  // happens-before check even for events at equal timestamps.
+  bool HappensBefore(const TraceSelector& a, const TraceSelector& b) const;
+
+  // Largest event end time (0 for an empty buffer).
+  double EndTime() const;
+
+  const TraceBuffer& buffer() const { return *buffer_; }
+
+ private:
+  bool Matches(const TraceEvent& e, const TraceSelector& sel) const;
+
+  const TraceBuffer* buffer_;
+  std::vector<TraceEvent> in_order_;
+};
+
+// ---- Interval algebra over span lists (free functions) ----------------------
+
+// Sum of raw durations (double-counts overlapping spans).
+double TotalSeconds(const std::vector<TraceEvent>& spans);
+// Merged [begin, end) intervals of the spans, sorted, non-overlapping.
+std::vector<std::pair<double, double>> MergeSpans(const std::vector<TraceEvent>& spans);
+// Length of the union of the spans' intervals.
+double UnionSeconds(const std::vector<TraceEvent>& spans);
+// Length of the intersection of union(a) and union(b).
+double OverlapSeconds(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b);
+// Longest sub-interval of [t0, t1] not covered by any span.
+double MaxUncoveredGap(const std::vector<TraceEvent>& spans, double t0, double t1);
+bool Overlaps(const TraceEvent& a, const TraceEvent& b);
+// True iff `inner` lies within [outer.begin, outer.end].
+bool Contains(const TraceEvent& outer, const TraceEvent& inner);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_TRACE_QUERY_H_

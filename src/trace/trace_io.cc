@@ -1,0 +1,238 @@
+#include "src/trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace laminar {
+namespace {
+
+// All binary I/O is explicit little-endian byte shuffling so trace files are
+// portable and byte-stable regardless of compiler struct layout.
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+struct Cursor {
+  const std::string* bytes;
+  size_t pos = 0;
+
+  bool U32(uint32_t* v) {
+    if (pos + 4 > bytes->size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>((*bytes)[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    if (pos + 8 > bytes->size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>((*bytes)[pos + i])) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) {
+      return false;
+    }
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+};
+
+constexpr char kMagic[8] = {'L', 'M', 'T', 'R', 'A', 'C', 'E', '1'};
+
+// Shortest-round-trip double formatting: %.17g always round-trips and the
+// format is locale-independent for the values the simulator produces.
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const TraceBuffer& buffer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto begin_event = [&](const TraceEvent& e, const char* ph) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendEscaped(out, buffer.name(e.name));
+    out += "\",\"cat\":\"";
+    out += TraceComponentName(e.component);
+    out += "\",\"ph\":\"";
+    out += ph;
+    out += "\",\"ts\":";
+    AppendDouble(out, e.time * 1e6);  // Chrome trace timestamps are in µs
+    out += ",\"pid\":";
+    out += std::to_string(static_cast<int>(e.component));
+    out += ",\"tid\":";
+    out += std::to_string(e.entity);
+  };
+  // Metadata rows so Perfetto shows component/entity names instead of ids.
+  for (int c = 0; c < kNumTraceComponents; ++c) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(c);
+    out += ",\"args\":{\"name\":\"";
+    out += TraceComponentName(static_cast<TraceComponent>(c));
+    out += "\"}}";
+  }
+  for (const TraceEvent& e : buffer.InOrder()) {
+    switch (e.kind) {
+      case TraceEventKind::kSpan:
+        begin_event(e, "X");
+        out += ",\"dur\":";
+        AppendDouble(out, e.duration * 1e6);
+        out += ",\"args\":{\"arg\":";
+        out += std::to_string(e.arg);
+        out += ",\"value\":";
+        AppendDouble(out, e.value);
+        out += "}}";
+        break;
+      case TraceEventKind::kInstant:
+        begin_event(e, "i");
+        out += ",\"s\":\"t\",\"args\":{\"arg\":";
+        out += std::to_string(e.arg);
+        out += ",\"value\":";
+        AppendDouble(out, e.value);
+        out += "}}";
+        break;
+      case TraceEventKind::kCounter:
+        begin_event(e, "C");
+        out += ",\"args\":{\"value\":";
+        AppendDouble(out, e.value);
+        out += "}}";
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceToBinary(const TraceBuffer& buffer) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  const std::vector<std::string>& names = buffer.names();
+  PutU64(out, names.size());
+  for (const std::string& n : names) {
+    PutU32(out, static_cast<uint32_t>(n.size()));
+    out += n;
+  }
+  std::vector<TraceEvent> events = buffer.InOrder();
+  PutU64(out, events.size());
+  PutU64(out, buffer.dropped());
+  for (const TraceEvent& e : events) {
+    PutF64(out, e.time);
+    PutF64(out, e.duration);
+    PutU64(out, static_cast<uint64_t>(e.arg));
+    PutF64(out, e.value);
+    PutU32(out, e.name);
+    PutU32(out, static_cast<uint32_t>(e.entity));
+    out.push_back(static_cast<char>(e.component));
+    out.push_back(static_cast<char>(e.kind));
+  }
+  return out;
+}
+
+bool TraceFromBinary(const std::string& bytes, TraceBuffer* out) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  Cursor cur{&bytes, sizeof(kMagic)};
+  *out = TraceBuffer();
+  uint64_t num_names = 0;
+  if (!cur.U64(&num_names)) {
+    return false;
+  }
+  for (uint64_t i = 0; i < num_names; ++i) {
+    uint32_t len = 0;
+    if (!cur.U32(&len) || cur.pos + len > bytes.size()) {
+      return false;
+    }
+    out->InternName(bytes.substr(cur.pos, len).c_str());
+    cur.pos += len;
+  }
+  uint64_t num_events = 0;
+  uint64_t dropped = 0;
+  if (!cur.U64(&num_events) || !cur.U64(&dropped)) {
+    return false;
+  }
+  out->NoteDropped(dropped);
+  for (uint64_t i = 0; i < num_events; ++i) {
+    TraceEvent e;
+    uint64_t arg = 0;
+    uint32_t entity = 0;
+    if (!cur.F64(&e.time) || !cur.F64(&e.duration) || !cur.U64(&arg) ||
+        !cur.F64(&e.value) || !cur.U32(&e.name) || !cur.U32(&entity) ||
+        cur.pos + 2 > bytes.size()) {
+      return false;
+    }
+    e.arg = static_cast<int64_t>(arg);
+    e.entity = static_cast<int32_t>(entity);
+    e.component = static_cast<TraceComponent>(bytes[cur.pos]);
+    e.kind = static_cast<TraceEventKind>(bytes[cur.pos + 1]);
+    cur.pos += 2;
+    if (e.name >= num_names || static_cast<int>(e.component) >= kNumTraceComponents ||
+        static_cast<int>(e.kind) > 2) {
+      return false;
+    }
+    out->Add(e);
+  }
+  return cur.pos == bytes.size();
+}
+
+bool WriteTraceFile(const TraceBuffer& buffer, const std::string& path) {
+  bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::string payload = json ? TraceToChromeJson(buffer) : TraceToBinary(buffer);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  int rc = std::fclose(f);
+  return written == payload.size() && rc == 0;
+}
+
+}  // namespace laminar

@@ -1,0 +1,32 @@
+// Trace export: Chrome-trace JSON (open in Perfetto / chrome://tracing) and a
+// compact binary format with a parse-back reader for round-trip tests and
+// byte-level determinism checks.
+#ifndef LAMINAR_SRC_TRACE_TRACE_IO_H_
+#define LAMINAR_SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace laminar {
+
+// Chrome trace-event JSON. Spans map to "X" complete events, instants to "i",
+// counters to "C"; pid = component, tid = entity, timestamps in microseconds.
+std::string TraceToChromeJson(const TraceBuffer& buffer);
+
+// Compact binary serialization. Fields are written individually in fixed
+// little-endian layout (no struct padding), so equal traces produce equal
+// bytes — the property the cross-thread-count determinism test asserts.
+std::string TraceToBinary(const TraceBuffer& buffer);
+
+// Parses TraceToBinary() output. Returns false on malformed input; `out` is
+// left in an unspecified state on failure.
+bool TraceFromBinary(const std::string& bytes, TraceBuffer* out);
+
+// Writes Chrome JSON when `path` ends in ".json", the binary format
+// otherwise. Returns false if the file cannot be written.
+bool WriteTraceFile(const TraceBuffer& buffer, const std::string& path);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_TRACE_TRACE_IO_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/trace/trace.h"
 
 namespace laminar {
 
@@ -169,6 +170,7 @@ void Trainer::FinishIteration(IterationStats stats) {
   int published = policy_->PublishVersion();
   LAMINAR_CHECK_EQ(published, version_);
   stats.version = version_;
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/publish", -1, version_);
   stats.publish_stall_seconds = publish_fn_ ? publish_fn_(version_) : 0.0;
 
   double stall = stats.publish_stall_seconds;
@@ -178,6 +180,21 @@ void Trainer::FinishIteration(IterationStats stats) {
     last_completed_ = sim_->Now();
     stream_idle_since_ = sim_->Now();
     busy_ = false;
+    // The iteration's phase spans are emitted retroactively now that every
+    // boundary is known; TraceQuery sorts by begin time, so emission at the
+    // end of the iteration is equivalent to live emission.
+    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/wait_data", -1,
+                          stats.started - stats.data_wait_seconds, stats.started,
+                          stats.version);
+    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/train", -1,
+                          stats.started, stats.started + stats.train_seconds,
+                          stats.version);
+    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/publish_stall", -1,
+                          stats.completed - stats.publish_stall_seconds, stats.completed,
+                          stats.version);
+    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/iteration", -1,
+                          stats.started - stats.data_wait_seconds, stats.completed,
+                          stats.version, stats.tokens);
     iterations_.push_back(stats);
     if (on_iteration_) {
       on_iteration_(stats);
@@ -189,6 +206,7 @@ void Trainer::FinishIteration(IterationStats stats) {
 }
 
 void Trainer::Kill(double recovery_seconds) {
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/kill", -1, version_);
   dead_ = true;
   busy_ = false;
   stream_mb_running_ = false;
@@ -202,6 +220,7 @@ void Trainer::Kill(double recovery_seconds) {
   // sampling from the experience buffer.
   policy_->RestoreVersion(version_);
   sim_->ScheduleAfter(recovery_seconds, [this] {
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/recover", -1, version_);
     dead_ = false;
     last_completed_ = sim_->Now();
     stream_idle_since_ = sim_->Now();

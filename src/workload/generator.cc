@@ -51,7 +51,7 @@ TrajectorySpec WorkloadGenerator::Sample(int weight_version) {
     seg.decode_tokens = lengths.Sample(rng_);
     bool has_env_call = t + 1 < turns;  // the final segment is the answer
     if (has_env_call) {
-      seg.env_latency = env_latency_.Sample(rng_);
+      seg.env_latency = env_latency_.Sample(rng_) * config_.time_scale;
       seg.feedback_tokens = rng_.UniformInt(64, 512);
     }
     spec.segments.push_back(seg);

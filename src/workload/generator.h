@@ -26,6 +26,9 @@ struct WorkloadConfig {
   int max_tool_calls = 8;            // paper setting for tool calling
   // If true, lengths drift upward with the weight version (paper §2.3).
   bool length_drift = false;
+  // Multiplier on sampled environment latencies (RlSystemConfig::
+  // hardware_speed time dilation). Token counts are never scaled.
+  double time_scale = 1.0;
 };
 
 class WorkloadGenerator {

@@ -9,6 +9,7 @@
 #include "src/common/stats.h"
 #include "src/common/table.h"
 #include "src/common/units.h"
+#include "src/trace/metrics.h"
 
 namespace laminar {
 namespace {
@@ -93,8 +94,8 @@ TEST(RngTest, CategoricalRespectsWeights) {
   EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
 }
 
-TEST(RunningStatTest, MeanVarianceMinMax) {
-  RunningStat s;
+TEST(StreamingStatTest, MeanVarianceMinMax) {
+  StreamingStat s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
     s.Add(x);
   }
@@ -150,6 +151,24 @@ TEST(HistogramTest, BucketsAndOverflow) {
   for (size_t i = 0; i < 10; ++i) {
     EXPECT_EQ(h.buckets()[i], 1u);
   }
+}
+
+TEST(HistogramTest, TopBoundarySampleLandsInLastBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(10.0);  // exactly the top edge: last bucket, not overflow
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+  h.Add(10.0 + 1e-9);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(LogHistogramTest, TopBoundarySampleLandsInLastBucket) {
+  LogHistogram h(1.0, 2.0, 8);
+  h.Add(256.0);  // top edge of [128, 256]
+  EXPECT_EQ(h.buckets()[7], 1u);
+  h.Add(257.0);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.buckets()[7], 1u);  // 257 overflowed
 }
 
 TEST(LogHistogramTest, ExponentialEdges) {

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/cluster/hardware.h"
+#include "src/core/run.h"
 #include "src/data/experience_buffer.h"
 #include "src/data/prompt_pool.h"
 #include "src/llm/decode_model.h"
@@ -242,6 +243,58 @@ TEST_P(BufferPropertyTest, RandomPushSampleConservesRecords) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BufferPropertyTest, ::testing::Range<uint64_t>(0, 15));
+
+// --- Metamorphic hardware-speed scaling --------------------------------------
+
+// Multiplying every hardware rate (GPU FLOPs, HBM, link bandwidths) by k and
+// every fixed latency/period by 1/k must compress the run's time axis by
+// exactly 1/k and change nothing else: same events in the same causal order,
+// every timestamp and span duration scaled, k-times the throughput. Power-of-
+// two k makes the IEEE-double scaling exact, so the comparisons are exact
+// equality, not tolerances. Verified against the full captured trace: this
+// covers every subsystem that emits events, not just the headline metric.
+class HardwareSpeedTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HardwareSpeedTest, CompressesTheTimeAxisExactly) {
+  const double k = GetParam();
+  RlSystemConfig cfg;
+  cfg.system = SystemKind::kLaminar;
+  cfg.scale = ModelScale::k7B;
+  cfg.total_gpus = 16;
+  cfg.global_batch = 512;
+  cfg.max_concurrency = 256;
+  cfg.warmup_iterations = 1;
+  cfg.measure_iterations = 3;
+  cfg.seed = 1234;
+  cfg.trace.enabled = true;
+  SystemReport base = RunExperiment(cfg);
+  cfg.hardware_speed = k;
+  SystemReport fast = RunExperiment(cfg);
+  ASSERT_NE(base.trace, nullptr);
+  ASSERT_NE(fast.trace, nullptr);
+
+  std::vector<TraceEvent> a = base.trace->InOrder();
+  std::vector<TraceEvent> b = fast.trace->InOrder();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Ordering invariant: the i-th emitted event is the same logical event...
+    ASSERT_EQ(base.trace->name(a[i].name), fast.trace->name(b[i].name)) << "event " << i;
+    ASSERT_EQ(a[i].component, b[i].component) << "event " << i;
+    ASSERT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    ASSERT_EQ(a[i].entity, b[i].entity) << "event " << i;
+    ASSERT_EQ(a[i].arg, b[i].arg) << "event " << i;
+    // ...with its timestamp and duration scaled by exactly 1/k.
+    ASSERT_DOUBLE_EQ(a[i].time / k, b[i].time) << "event " << i;
+    ASSERT_DOUBLE_EQ(a[i].duration / k, b[i].duration) << "event " << i;
+  }
+  EXPECT_DOUBLE_EQ(base.simulated_seconds / k, fast.simulated_seconds);
+  EXPECT_DOUBLE_EQ(base.throughput_tokens_per_sec * k, fast.throughput_tokens_per_sec);
+  // Token counts are workload properties and must never scale.
+  EXPECT_EQ(base.total_decode_tokens, fast.total_decode_tokens);
+  EXPECT_EQ(base.iterations_completed, fast.iterations_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, HardwareSpeedTest, ::testing::Values(2.0, 4.0));
 
 }  // namespace
 }  // namespace laminar
