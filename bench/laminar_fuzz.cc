@@ -1,0 +1,124 @@
+// Scenario-fuzz driver: generate seeded scenarios, run every differential
+// oracle on each, shrink and record failures (DESIGN.md §10).
+//
+//   laminar_fuzz --seeds 256                      # the pre-release smoke run
+//   laminar_fuzz --seeds 64 --corpus-dir corpus   # record shrunk repros
+//   laminar_fuzz --replay tests/corpus/*.scenario # replay committed repros
+//   laminar_fuzz --dump 18                        # print seed 18 as a .scenario
+//
+// Exit status is the number of failing seeds/files (capped at 125).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/verify/fuzzer.h"
+
+namespace laminar {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--base-seed S] [--corpus-dir DIR] [--no-shrink]\n"
+               "       [--threads-a N] [--threads-b N] [--max-failures N]\n"
+               "       [--replay FILE...] [--dump SEED]\n",
+               argv0);
+  return 2;
+}
+
+int ReplayFiles(const std::vector<std::string>& files, const EvalOptions& eval) {
+  int failing = 0;
+  for (const std::string& path : files) {
+    Scenario scn;
+    std::string error;
+    if (!LoadScenarioFile(path, &scn, &error)) {
+      std::printf("%s: LOAD ERROR: %s\n", path.c_str(), error.c_str());
+      ++failing;
+      continue;
+    }
+    OracleReport report = EvaluateScenario(scn, eval);
+    std::printf("%s: %s\n", path.c_str(), report.ok() ? "ok" : "FAIL");
+    if (!report.ok()) {
+      std::printf("%s", report.Summary().c_str());
+      ++failing;
+    }
+  }
+  return failing;
+}
+
+int Main(int argc, char** argv) {
+  FuzzOptions opts;
+  std::vector<std::string> replay;
+  bool replaying = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (replaying) {
+      replay.push_back(arg);
+    } else if (arg == "--seeds") {
+      opts.num_seeds = std::atoi(next("--seeds"));
+    } else if (arg == "--base-seed") {
+      opts.base_seed = std::strtoull(next("--base-seed"), nullptr, 10);
+    } else if (arg == "--corpus-dir") {
+      opts.corpus_dir = next("--corpus-dir");
+    } else if (arg == "--no-shrink") {
+      opts.shrink_failures = false;
+    } else if (arg == "--threads-a") {
+      opts.eval.sweep_threads_a = static_cast<unsigned>(std::atoi(next("--threads-a")));
+    } else if (arg == "--threads-b") {
+      opts.eval.sweep_threads_b = static_cast<unsigned>(std::atoi(next("--threads-b")));
+    } else if (arg == "--max-failures") {
+      opts.max_failures = std::atoi(next("--max-failures"));
+    } else if (arg == "--replay") {
+      replaying = true;
+    } else if (arg == "--dump") {
+      uint64_t seed = std::strtoull(next("--dump"), nullptr, 10);
+      Scenario scn = GenerateScenario(seed);
+      std::printf("# %s\n%s", ScenarioSummary(scn).c_str(), ScenarioToText(scn).c_str());
+      return 0;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (replaying) {
+    int failing = ReplayFiles(replay, opts.eval);
+    std::printf("replayed %zu file(s), %d failing\n", replay.size(), failing);
+    return failing > 125 ? 125 : failing;
+  }
+
+  int failing = 0;
+  for (int i = 0; i < opts.num_seeds; ++i) {
+    FuzzOptions one = opts;
+    one.num_seeds = 1;
+    one.base_seed = opts.base_seed + static_cast<uint64_t>(i);
+    one.max_failures = 1;
+    Scenario scn = GenerateScenario(one.base_seed);
+    FuzzReport report = RunFuzz(one);
+    bool ok = report.ok();
+    std::printf("seed %llu: %s  [%s]\n", static_cast<unsigned long long>(one.base_seed),
+                ok ? "ok" : "FAIL", ScenarioSummary(scn).c_str());
+    if (!ok) {
+      std::printf("%s\n", report.Summary().c_str());
+      ++failing;
+      if (failing >= opts.max_failures) {
+        break;
+      }
+    }
+  }
+  std::printf("fuzzed %d seed(s) from base %llu: %d failing\n", opts.num_seeds,
+              static_cast<unsigned long long>(opts.base_seed), failing);
+  return failing > 125 ? 125 : failing;
+}
+
+}  // namespace
+}  // namespace laminar
+
+int main(int argc, char** argv) { return laminar::Main(argc, argv); }

@@ -72,6 +72,11 @@ struct RlSystemConfig {
   double invariant_sweep_period_seconds = 10.0;
   int invariant_max_inherent_staleness = 0;  // 0 = unchecked
 
+  // Per-trajectory ledger capture (src/verify differential oracles): when
+  // enabled, every experience-buffer push is recorded and the ledger is
+  // attached to the SystemReport.
+  bool ledger_enabled = false;
+
   // verl colocation switch cost between generation and training phases.
   double colocate_switch_seconds = 6.0;
 
@@ -98,6 +103,32 @@ struct RlSystemConfig {
 
   std::string Label() const;
   Placement ResolvePlacement() const;
+};
+
+// One experience-buffer push, recorded when RlSystemConfig::ledger_enabled.
+// The workload generator draws trajectory specs from seed-forked streams in
+// issue (id) order, so two runs sharing a config seed — regardless of system
+// kind, repack decisions or scheduling — must agree on the spec-derived
+// fields of every id they both complete. That is the basis of the verify
+// module's differential oracles. generation_version is timing-dependent and
+// recorded for diagnostics only.
+struct LedgerEntry {
+  int64_t id = -1;         // TrajId
+  int64_t prompt_id = -1;
+  int group_index = 0;
+  int64_t total_tokens = 0;  // spec context tokens (prompt + decode + feedback)
+  int num_segments = 0;
+  int generation_version = 0;
+};
+
+struct RunLedger {
+  int64_t prompts_issued = 0;
+  int64_t trajectories_issued = 0;
+  int64_t trajectories_consumed = 0;
+  // Sampled for iterations a trainer failure aborted (checkpoint recovery
+  // re-samples, so these count toward consumed but toward no iteration).
+  int64_t trajectories_discarded = 0;
+  std::vector<LedgerEntry> pushes;  // in buffer-push order
 };
 
 struct SystemReport {
@@ -180,6 +211,9 @@ struct SystemReport {
   // Captured trace (null unless RlSystemConfig::trace.enabled). Shared so
   // reports stay cheaply copyable.
   std::shared_ptr<const TraceBuffer> trace;
+
+  // Push ledger (null unless RlSystemConfig::ledger_enabled).
+  std::shared_ptr<const RunLedger> ledger;
 };
 
 }  // namespace laminar

@@ -181,6 +181,11 @@ void DriverBase::WireCompletion() {
       if (invariant_checker_ != nullptr) {
         invariant_checker_->ObserveBufferPush(record);
       }
+      if (cfg_.ledger_enabled) {
+        ledger_.pushes.push_back({record.id, record.prompt_id, record.group_index,
+                                  record.spec.total_context_tokens(),
+                                  record.spec.num_turns(), record.generation_version()});
+      }
       buffer_->Push(std::move(record));
       LAMINAR_TRACE_COUNTER(&sim_, TraceComponent::kData, "data/buffer_depth", -1,
                             static_cast<double>(buffer_->size()));
@@ -366,6 +371,13 @@ SystemReport DriverBase::AssembleReport(double wall_seconds) {
 
   if (trace_sink_ != nullptr) {
     rep.trace = trace_sink_->shared_buffer();
+  }
+  if (cfg_.ledger_enabled) {
+    ledger_.prompts_issued = prompts_->prompts_issued();
+    ledger_.trajectories_issued = prompts_->trajectories_issued();
+    ledger_.trajectories_consumed = buffer_->total_sampled();
+    ledger_.trajectories_discarded = trainer_->trajectories_discarded();
+    rep.ledger = std::make_shared<RunLedger>(std::move(ledger_));
   }
 
   Finalize(rep);

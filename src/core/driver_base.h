@@ -120,6 +120,7 @@ class DriverBase {
   void SampleRates();
   SystemReport AssembleReport(double wall_seconds);
 
+  RunLedger ledger_;  // populated only when cfg_.ledger_enabled
   TimeSeries gen_rate_;
   TimeSeries train_rate_;
   TimeSeries buffer_depth_;

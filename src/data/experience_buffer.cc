@@ -43,21 +43,28 @@ class StalenessCappedSampler : public SamplerPolicy {
   std::vector<size_t> Pick(const std::deque<TrajectoryRecord>& buffer, size_t n,
                            int actor_version) override {
     LAMINAR_CHECK_GE(buffer.size(), n);
+    // Classify every record: the fallback must see the whole buffer to rank
+    // the over-bound records by staleness.
     std::vector<size_t> fresh;
     std::vector<size_t> stale;
     for (size_t i = 0; i < buffer.size(); ++i) {
       int staleness = actor_version - buffer[i].generation_version();
       (staleness <= bound_ ? fresh : stale).push_back(i);
-      if (fresh.size() == n) {
-        break;
+    }
+    if (fresh.size() > n) {
+      fresh.resize(n);  // FIFO among within-bound records
+    } else if (fresh.size() < n) {
+      // Fall back onto the *least*-stale over-bound records (newest
+      // generation version first, FIFO within a version) — not the lowest
+      // buffer index, which is the oldest and most-stale data.
+      std::stable_sort(stale.begin(), stale.end(), [&buffer](size_t a, size_t b) {
+        return buffer[a].generation_version() > buffer[b].generation_version();
+      });
+      for (size_t i = 0; fresh.size() < n && i < stale.size(); ++i) {
+        fresh.push_back(stale[i]);
       }
     }
-    // Fall back onto stale data if fresh data alone cannot fill the batch.
-    for (size_t i = 0; fresh.size() < n && i < stale.size(); ++i) {
-      fresh.push_back(stale[i]);
-    }
     std::sort(fresh.begin(), fresh.end());
-    fresh.resize(n);
     return fresh;
   }
 

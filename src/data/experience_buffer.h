@@ -34,7 +34,8 @@ std::unique_ptr<SamplerPolicy> MakeFifoSampler();
 // consume-time staleness at the cost of starving old data.
 std::unique_ptr<SamplerPolicy> MakeFreshnessSampler();
 // FIFO, but skips trajectories whose consume staleness would exceed `bound`
-// ... unless too few remain, in which case it falls back to FIFO.
+// ... unless too few remain, in which case the batch is topped up with the
+// least-stale over-bound records.
 std::unique_ptr<SamplerPolicy> MakeStalenessCappedSampler(int bound);
 
 enum class EvictionPolicy {

@@ -46,6 +46,17 @@ std::vector<TrajectoryWork> PartialResponsePool::TakeByReplica(int replica) {
     if (it->second.owner_replica == replica) {
       TrajectoryWork work = it->second.work;
       work.kv_resident = false;
+      // A checkpoint taken at a sandbox-call boundary (FinishSegment reports
+      // progress before advancing the segment) has its current segment fully
+      // decoded. The sandbox call outlives the dead replica, so resolve the
+      // interaction the same way RolloutReplica::ExtractAllWork does: append
+      // the feedback and resume at the next segment on the destination.
+      if (!work.finished() && work.remaining_in_segment() == 0 &&
+          work.segment_index + 1 < static_cast<int>(work.record.spec.segments.size())) {
+        work.context_tokens += work.current_segment().feedback_tokens;
+        work.segment_index += 1;
+        work.decoded_in_segment = 0;
+      }
       out.push_back(std::move(work));
       it = entries_.erase(it);
     } else {

@@ -22,6 +22,11 @@ RepackPlan MatchCandidates(std::vector<ReplicaSnapshot> candidates,
                      return a.kv_used_frac < b.kv_used_frac;
                    });
   std::set<int> emptied;
+  // Replicas already chosen as destinations. Algorithm 1 removes them from
+  // the source set S: draining one later would move its received load along
+  // with it, which the snapshot-based fit test cannot see, so a chained plan
+  // (A->D, then D->E) could overflow C_max or B on the final destination.
+  std::set<int> destinations;
   // Aggregated load already assigned to each destination in the plan.
   std::map<int, double> extra_kv;
   std::map<int, int> extra_reqs;
@@ -34,7 +39,7 @@ RepackPlan MatchCandidates(std::vector<ReplicaSnapshot> candidates,
   };
 
   for (const ReplicaSnapshot& s : candidates) {
-    if (emptied.count(s.replica_id) > 0) {
+    if (emptied.count(s.replica_id) > 0 || destinations.count(s.replica_id) > 0) {
       continue;
     }
     // Line 9: valid destinations.
@@ -55,6 +60,7 @@ RepackPlan MatchCandidates(std::vector<ReplicaSnapshot> candidates,
     if (best != nullptr) {
       plan.moves.emplace_back(s.replica_id, best->replica_id);
       emptied.insert(s.replica_id);
+      destinations.insert(best->replica_id);
       extra_kv[best->replica_id] += s.kv_used_frac;
       extra_reqs[best->replica_id] += s.num_reqs;
     }
@@ -91,9 +97,11 @@ RepackPlan BestFitConsolidation(const std::vector<ReplicaSnapshot>& replicas,
     }
     // Line 3: ramp-down phase — the waiting queue has drained (freed cache
     // is no longer backfilled, Figure 9) and utilization is non-increasing
-    // (up to the running batch's own token growth) and below C_max.
+    // (up to the running batch's own token growth) and below C_max. A replica
+    // with no previous sample (first tick after start or revival) is never in
+    // ramp-down: one tick cannot show a trend.
     bool ramp_down =
-        r.num_waiting == 0 &&
+        r.num_waiting == 0 && r.kv_prev_frac >= 0.0 &&
         r.kv_used_frac < std::min(params.c_max_frac, r.kv_prev_frac + params.ramp_tolerance);
     if (ramp_down && r.num_reqs < params.batch_bound) {
       candidates.push_back(r);

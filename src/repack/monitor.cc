@@ -5,7 +5,7 @@ namespace laminar {
 void IdlenessMonitor::Observe(std::vector<ReplicaSnapshot>& snapshots) {
   for (ReplicaSnapshot& snap : snapshots) {
     auto it = prev_.find(snap.replica_id);
-    snap.kv_prev_frac = it == prev_.end() ? 1.0 : it->second;
+    snap.kv_prev_frac = it == prev_.end() ? kNoPrevKvSample : it->second;
     prev_[snap.replica_id] = snap.kv_used_frac;
   }
 }

@@ -19,7 +19,8 @@ class IdlenessMonitor {
  public:
   // Fills each snapshot's kv_prev_frac from the stored history, then records
   // the current utilization as the new history. First-time replicas get
-  // kv_prev_frac = 1.0 (never considered ramping down on their first tick).
+  // kv_prev_frac = kNoPrevKvSample, which fails the ramp-down test outright
+  // (never considered ramping down on their first tick).
   void Observe(std::vector<ReplicaSnapshot>& snapshots);
 
   // Drops history for a replica (failure / re-init), so a revived replica is

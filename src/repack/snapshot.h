@@ -8,14 +8,21 @@
 
 namespace laminar {
 
+// Sentinel for "no previous utilization sample". Negative, so the ramp-down
+// test C_used < min(C_max, C_prev + tolerance) is unsatisfiable and a replica
+// seen for the first time (or just revived) can never be drained on that tick.
+constexpr double kNoPrevKvSample = -1.0;
+
 struct ReplicaSnapshot {
   int replica_id = -1;
   int weight_version = 0;
   // KVCache utilization fraction in [0, 1] (C_used / capacity).
   double kv_used_frac = 0.0;
   // Utilization at the previous monitoring tick (C_prev); the ramp-down
-  // test in Algorithm 1 line 3 is C_used < min(C_max, C_prev).
-  double kv_prev_frac = 1.0;
+  // test in Algorithm 1 line 3 is C_used < min(C_max, C_prev). Defaults to
+  // the no-history sentinel: a snapshot nobody has observed before cannot
+  // pass the ramp-down test.
+  double kv_prev_frac = kNoPrevKvSample;
   // In-progress trajectory count (N_reqs): running + env-waiting + queued.
   int num_reqs = 0;
   // Trajectories admitted but not yet decoding (the waiting queue). The

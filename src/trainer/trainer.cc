@@ -207,6 +207,15 @@ void Trainer::FinishIteration(IterationStats stats) {
 
 void Trainer::Kill(double recovery_seconds) {
   LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/kill", -1, version_);
+  if (config_.mode == TrainerMode::kFullBatch) {
+    if (busy_) {
+      trajectories_discarded_ += config_.global_batch;
+    }
+  } else {
+    int sampled = stream_mb_done_ + (stream_mb_running_ ? 1 : 0);
+    trajectories_discarded_ +=
+        static_cast<int64_t>(sampled) * (config_.global_batch / config_.num_minibatches);
+  }
   dead_ = true;
   busy_ = false;
   stream_mb_running_ = false;

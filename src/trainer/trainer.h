@@ -78,6 +78,9 @@ class Trainer {
   void Kill(double recovery_seconds);
 
   int version() const { return version_; }
+  // Trajectories sampled for iterations that a Kill() subsequently aborted.
+  // Checkpoint recovery discards them without publishing a version.
+  int64_t trajectories_discarded() const { return trajectories_discarded_; }
   bool busy() const { return busy_; }
   bool dead() const { return dead_; }
   const std::vector<IterationStats>& iterations() const { return iterations_; }
@@ -103,6 +106,7 @@ class Trainer {
   std::function<bool()> begin_gate_;
 
   int version_ = 0;
+  int64_t trajectories_discarded_ = 0;
   bool busy_ = false;
   bool started_ = false;
   bool dead_ = false;

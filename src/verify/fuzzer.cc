@@ -1,0 +1,198 @@
+#include "src/verify/fuzzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/exp/sweep.h"
+#include "src/verify/shrink.h"
+
+namespace laminar {
+namespace {
+
+// Indices into the per-scenario config batch. The clean reference run is the
+// anchor both differential twins compare against; it only exists when at
+// least one twin is armed.
+struct BatchLayout {
+  int primary = -1;
+  int clean = -1;
+  int sync_twin = -1;
+  int repack_off = -1;
+};
+
+std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout) {
+  std::vector<RlSystemConfig> batch;
+  layout.primary = static_cast<int>(batch.size());
+  batch.push_back(scn.config);
+  if (scn.diff_sync || scn.diff_repack) {
+    layout.clean = static_cast<int>(batch.size());
+    batch.push_back(CleanConfig(scn.config));
+  }
+  if (scn.diff_sync) {
+    layout.sync_twin = static_cast<int>(batch.size());
+    batch.push_back(SyncTwin(scn.config));
+  }
+  if (scn.diff_repack) {
+    layout.repack_off = static_cast<int>(batch.size());
+    batch.push_back(RepackOffTwin(scn.config));
+  }
+  return batch;
+}
+
+}  // namespace
+
+OracleReport EvaluateScenario(const Scenario& scn, const EvalOptions& opts) {
+  OracleReport out;
+  BatchLayout layout;
+  std::vector<RlSystemConfig> batch = BuildBatch(scn, layout);
+
+  SweepOptions sweep_a;
+  sweep_a.num_threads = opts.sweep_threads_a;
+  std::vector<SystemReport> reports = RunExperiments(batch, sweep_a);
+  SweepOptions sweep_b;
+  sweep_b.num_threads = opts.sweep_threads_b;
+  std::vector<SystemReport> replay = RunExperiments(batch, sweep_b);
+
+  // Oracle: replay determinism across sweep thread counts.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ++out.checks_run;
+    if (RunFingerprint(reports[i]) != RunFingerprint(replay[i])) {
+      out.failures.push_back(
+          {"determinism", batch[i].Label() + " (batch index " + std::to_string(i) +
+                              "): fingerprints differ across " +
+                              std::to_string(opts.sweep_threads_a) + " vs " +
+                              std::to_string(opts.sweep_threads_b) + " sweep threads"});
+    }
+  }
+
+  // Oracle: per-run audit.
+  AuditRun(batch[layout.primary], reports[layout.primary], "primary", out);
+  if (layout.clean >= 0) {
+    AuditRun(batch[layout.clean], reports[layout.clean], "clean", out);
+  }
+  if (layout.sync_twin >= 0) {
+    AuditRun(batch[layout.sync_twin], reports[layout.sync_twin], "sync-twin", out);
+  }
+  if (layout.repack_off >= 0) {
+    AuditRun(batch[layout.repack_off], reports[layout.repack_off], "repack-off", out);
+  }
+
+  // Oracle: differential ledger equivalence.
+  auto ledger_of = [&reports](int index) -> const RunLedger* {
+    return index >= 0 ? reports[static_cast<size_t>(index)].ledger.get() : nullptr;
+  };
+  const RunLedger* clean = ledger_of(layout.clean);
+  if (const RunLedger* sync = ledger_of(layout.sync_twin); sync != nullptr) {
+    ++out.checks_run;
+    if (clean == nullptr) {
+      out.failures.push_back({"sync-diff", "clean reference run recorded no ledger"});
+    } else if (auto bad = CompareLedgers(*clean, *sync, "async vs sync")) {
+      out.failures.push_back({"sync-diff", *bad});
+    }
+  }
+  if (const RunLedger* off = ledger_of(layout.repack_off); off != nullptr) {
+    ++out.checks_run;
+    if (clean == nullptr) {
+      out.failures.push_back({"repack-diff", "clean reference run recorded no ledger"});
+    } else if (auto bad = CompareLedgers(*clean, *off, "repack-on vs repack-off")) {
+      out.failures.push_back({"repack-diff", *bad});
+    }
+  }
+
+  // Oracle: random Algorithm-1 plans stay within bounds after application.
+  CheckRandomRepackPlans(scn.seed, scn.plan_cases, out);
+  return out;
+}
+
+std::string FuzzReport::Summary() const {
+  std::ostringstream out;
+  out << seeds_run << " seeds, " << oracle_checks << " oracle checks, " << failures.size()
+      << " failing";
+  for (const SeedOutcome& f : failures) {
+    out << "\n  seed " << f.seed << ": " << f.failure_summary;
+  }
+  return out.str();
+}
+
+FuzzReport RunFuzz(const FuzzOptions& opts) {
+  FuzzReport report;
+  for (int i = 0; i < opts.num_seeds; ++i) {
+    uint64_t seed = opts.base_seed + static_cast<uint64_t>(i);
+    Scenario scn = GenerateScenario(seed);
+    OracleReport oracle = EvaluateScenario(scn, opts.eval);
+    ++report.seeds_run;
+    report.oracle_checks += oracle.checks_run;
+    if (oracle.ok()) {
+      continue;
+    }
+
+    SeedOutcome outcome;
+    outcome.seed = seed;
+    outcome.failure_summary = oracle.Summary();
+    outcome.repro = scn;
+    if (opts.shrink_failures) {
+      ShrinkResult shrunk = ShrinkScenario(scn, [&opts](const Scenario& candidate) {
+        return !EvaluateScenario(candidate, opts.eval).ok();
+      });
+      outcome.repro = shrunk.scenario;
+      outcome.failure_summary = EvaluateScenario(shrunk.scenario, opts.eval).Summary();
+    }
+    if (!opts.corpus_dir.empty()) {
+      std::string path = opts.corpus_dir + "/fail_" + std::to_string(seed) + ".scenario";
+      if (!WriteScenarioFile(outcome.repro, path, outcome.failure_summary)) {
+        LAMINAR_LOG(kWarning) << "could not write repro to " << path;
+      }
+    }
+    report.failures.push_back(std::move(outcome));
+    if (static_cast<int>(report.failures.size()) >= opts.max_failures) {
+      break;
+    }
+  }
+  return report;
+}
+
+bool WriteScenarioFile(const Scenario& scn, const std::string& path,
+                       const std::string& header_comment) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  if (!header_comment.empty()) {
+    std::istringstream lines(header_comment);
+    std::string line;
+    while (std::getline(lines, line)) {
+      out << "# " << line << "\n";
+    }
+  }
+  out << ScenarioToText(scn);
+  return static_cast<bool>(out);
+}
+
+bool LoadScenarioFile(const std::string& path, Scenario* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ScenarioFromText(text.str(), out, error);
+}
+
+std::vector<std::string> ListCorpus(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scenario") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace laminar

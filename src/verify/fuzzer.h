@@ -1,0 +1,67 @@
+// Scenario fuzzer: generate → run → oracle-check → shrink → corpus.
+#ifndef LAMINAR_SRC_VERIFY_FUZZER_H_
+#define LAMINAR_SRC_VERIFY_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/verify/oracles.h"
+#include "src/verify/scenario.h"
+
+namespace laminar {
+
+struct EvalOptions {
+  // The determinism oracle runs the scenario's config batch under both
+  // thread counts and requires byte-identical fingerprints.
+  unsigned sweep_threads_a = 4;
+  unsigned sweep_threads_b = 2;
+};
+
+// Runs every oracle on one scenario:
+//   1. the primary config and its differential twins, swept with threads_a
+//   2. the same batch swept with threads_b — fingerprints must match 1.
+//   3. per-run audit (invariants, drained runs, ledger integrity)
+//   4. sync/repack ledger equivalence against the clean reference run
+//   5. `plan_cases` random Algorithm-1 post-apply checks
+OracleReport EvaluateScenario(const Scenario& scenario, const EvalOptions& options = {});
+
+struct FuzzOptions {
+  int num_seeds = 32;
+  uint64_t base_seed = 0;
+  EvalOptions eval;
+  bool shrink_failures = true;
+  // When non-empty, each failing seed's (shrunk) scenario is written here as
+  // fail_<seed>.scenario with the failure summary in the header comment.
+  std::string corpus_dir;
+  int max_failures = 4;  // stop fuzzing after this many failing seeds
+};
+
+struct SeedOutcome {
+  uint64_t seed = 0;
+  std::string failure_summary;
+  Scenario repro;  // shrunk when FuzzOptions::shrink_failures
+};
+
+struct FuzzReport {
+  int seeds_run = 0;
+  int64_t oracle_checks = 0;
+  std::vector<SeedOutcome> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+FuzzReport RunFuzz(const FuzzOptions& options);
+
+// Corpus I/O -----------------------------------------------------------------
+// Scenario files are ScenarioToText() output; loading rejects malformed files.
+bool WriteScenarioFile(const Scenario& scenario, const std::string& path,
+                       const std::string& header_comment = "");
+bool LoadScenarioFile(const std::string& path, Scenario* out, std::string* error);
+// Sorted *.scenario paths directly under `dir` (empty if none or unreadable).
+std::vector<std::string> ListCorpus(const std::string& dir);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_VERIFY_FUZZER_H_

@@ -1,0 +1,248 @@
+#include "src/verify/oracles.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/core/report_io.h"
+#include "src/trace/trace_io.h"
+
+namespace laminar {
+namespace {
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string LedgerText(const RunLedger& ledger) {
+  std::ostringstream out;
+  out << "issued=" << ledger.prompts_issued << "/" << ledger.trajectories_issued
+      << " consumed=" << ledger.trajectories_consumed << " discarded="
+      << ledger.trajectories_discarded << "\n";
+  for (const LedgerEntry& e : ledger.pushes) {
+    out << e.id << "," << e.prompt_id << "," << e.group_index << "," << e.total_tokens
+        << "," << e.num_segments << "," << e.generation_version << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string OracleReport::Summary() const {
+  if (ok()) {
+    return "ok (" + std::to_string(checks_run) + " checks)";
+  }
+  std::ostringstream out;
+  for (const OracleFailure& f : failures) {
+    out << "[" << f.oracle << "] " << f.detail << "\n";
+  }
+  return out.str();
+}
+
+std::string RunFingerprint(const SystemReport& rep) {
+  char extra[256];
+  std::snprintf(extra, sizeof(extra),
+                "faults=%lld slow=%lld/%lld dup=%lld drop=%lld inv=%lld/%lld\n",
+                static_cast<long long>(rep.faults_injected),
+                static_cast<long long>(rep.slow_events),
+                static_cast<long long>(rep.slow_recoveries),
+                static_cast<long long>(rep.duplicates_suppressed),
+                static_cast<long long>(rep.trajectories_dropped),
+                static_cast<long long>(rep.invariant_checks),
+                static_cast<long long>(rep.invariant_violations));
+  std::string fp = ReportSummaryCsv(rep) + IterationsCsv(rep) + SeriesCsv(rep) +
+                   StalenessCsv(rep) + extra;
+  if (rep.ledger != nullptr) {
+    fp += LedgerText(*rep.ledger);
+  }
+  if (rep.trace != nullptr) {
+    char h[32];
+    std::snprintf(h, sizeof(h), "trace=%016llx\n",
+                  static_cast<unsigned long long>(Fnv1a(TraceToBinary(*rep.trace))));
+    fp += h;
+  }
+  return fp;
+}
+
+void AuditRun(const RlSystemConfig& cfg, const SystemReport& rep, const char* run_name,
+              OracleReport& out) {
+  auto add = [&out, run_name](const std::string& detail) {
+    out.failures.push_back({"invariants", std::string(run_name) + ": " + detail});
+  };
+  ++out.checks_run;
+  int target = cfg.warmup_iterations + cfg.measure_iterations;
+  if (rep.iterations_completed != target) {
+    add("completed " + std::to_string(rep.iterations_completed) + " of " +
+        std::to_string(target) + " iterations (run drained)");
+  }
+  if (rep.invariant_violations != 0) {
+    add(std::to_string(rep.invariant_violations) + " invariant violations");
+  }
+  if (cfg.invariants_enabled && cfg.system == SystemKind::kLaminar &&
+      rep.invariant_checks == 0) {
+    add("invariant checker armed but ran zero checks");
+  }
+  if (rep.ledger != nullptr) {
+    const RunLedger& led = *rep.ledger;
+    // The trainer consumes whole global batches: one per completed iteration,
+    // plus at most one more when auto-continue started the next iteration
+    // before the run-stop predicate fired. Batches aborted by a trainer
+    // failure are consumed but produce no iteration; the ledger tracks them
+    // separately so every sampled trajectory is still accounted for.
+    int64_t accounted = led.trajectories_consumed - led.trajectories_discarded;
+    int64_t batches = accounted / cfg.global_batch;
+    if (accounted < 0 || accounted % cfg.global_batch != 0 ||
+        batches < rep.iterations_completed || batches > rep.iterations_completed + 1) {
+      add("consumed " + std::to_string(led.trajectories_consumed) + " (discarded " +
+          std::to_string(led.trajectories_discarded) + ") trajectories across " +
+          std::to_string(rep.iterations_completed) + " iterations of batch " +
+          std::to_string(cfg.global_batch));
+    }
+    std::set<int64_t> ids;
+    std::set<std::pair<int64_t, int>> slots;
+    for (const LedgerEntry& e : led.pushes) {
+      if (!ids.insert(e.id).second) {
+        add("trajectory id " + std::to_string(e.id) + " pushed twice");
+        break;
+      }
+      if (!slots.insert({e.prompt_id, e.group_index}).second) {
+        add("group slot (" + std::to_string(e.prompt_id) + "," +
+            std::to_string(e.group_index) + ") filled twice");
+        break;
+      }
+      if (e.id >= led.trajectories_issued) {
+        add("pushed id " + std::to_string(e.id) + " was never issued (issued " +
+            std::to_string(led.trajectories_issued) + ")");
+        break;
+      }
+    }
+  }
+}
+
+std::optional<std::string> CompareLedgers(const RunLedger& a, const RunLedger& b,
+                                          const std::string& what) {
+  std::map<int64_t, const LedgerEntry*> by_id;
+  for (const LedgerEntry& e : b.pushes) {
+    by_id[e.id] = &e;
+  }
+  int64_t shared = 0;
+  for (const LedgerEntry& ea : a.pushes) {
+    auto it = by_id.find(ea.id);
+    if (it == by_id.end()) {
+      continue;
+    }
+    ++shared;
+    const LedgerEntry& eb = *it->second;
+    if (ea.prompt_id != eb.prompt_id || ea.group_index != eb.group_index ||
+        ea.total_tokens != eb.total_tokens || ea.num_segments != eb.num_segments) {
+      std::ostringstream out;
+      out << what << ": id " << ea.id << " diverged: (prompt " << ea.prompt_id << " slot "
+          << ea.group_index << " tokens " << ea.total_tokens << " segs " << ea.num_segments
+          << ") vs (prompt " << eb.prompt_id << " slot " << eb.group_index << " tokens "
+          << eb.total_tokens << " segs " << eb.num_segments << ")";
+      return out.str();
+    }
+  }
+  if (shared == 0 && !a.pushes.empty() && !b.pushes.empty()) {
+    return what + ": runs share no trajectory ids at all";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckRepackPlanPostApply(
+    const std::vector<ReplicaSnapshot>& snapshots, const RepackParams& params,
+    const RepackPlan& plan) {
+  struct Load {
+    double kv = 0.0;
+    int reqs = 0;
+  };
+  std::map<int, Load> load;
+  for (const ReplicaSnapshot& s : snapshots) {
+    load[s.replica_id] = {s.kv_used_frac, s.num_reqs};
+  }
+  std::set<int> sources;
+  std::set<int> destinations;
+  for (size_t i = 0; i < plan.moves.size(); ++i) {
+    auto [src, dst] = plan.moves[i];
+    std::ostringstream out;
+    out << "move " << i << " (" << src << "->" << dst << "): ";
+    if (load.count(src) == 0 || load.count(dst) == 0) {
+      return out.str() + "unknown replica id";
+    }
+    if (src == dst) {
+      return out.str() + "source equals destination";
+    }
+    if (!sources.insert(src).second) {
+      return out.str() + "replica drained twice";
+    }
+    if (destinations.count(src) > 0) {
+      return out.str() + "source was already a destination (chained move)";
+    }
+    if (sources.count(dst) > 0) {
+      return out.str() + "destination was already drained";
+    }
+    destinations.insert(dst);
+    // Chained accounting: a drained source hands over everything it holds
+    // NOW, including load a buggy plan may have parked on it earlier.
+    load[dst].kv += load[src].kv;
+    load[dst].reqs += load[src].reqs;
+    load[src] = {0.0, 0};
+    if (load[dst].kv > params.c_max_frac + 1e-9) {
+      out << "destination exceeds C_max: " << load[dst].kv << " > " << params.c_max_frac;
+      return out.str();
+    }
+    if (load[dst].reqs > params.batch_bound) {
+      out << "destination exceeds batch bound: " << load[dst].reqs << " > "
+          << params.batch_bound;
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+void CheckRandomRepackPlans(uint64_t seed, int cases, OracleReport& out) {
+  Rng r = Rng(seed).Fork("plan-cases");
+  for (int c = 0; c < cases; ++c) {
+    RepackParams params;
+    params.c_max_frac = r.Uniform(0.5, 0.95);
+    params.batch_bound = static_cast<int>(r.UniformInt(16, 256));
+    int n = static_cast<int>(r.UniformInt(2, 12));
+    std::vector<ReplicaSnapshot> snaps;
+    snaps.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ReplicaSnapshot s;
+      s.replica_id = i;
+      s.kv_used_frac = r.Uniform(0.0, 1.0);
+      s.kv_prev_frac = r.Bernoulli(0.15) ? kNoPrevKvSample : r.Uniform(0.0, 1.0);
+      s.num_reqs = static_cast<int>(r.UniformInt(0, params.batch_bound));
+      s.num_waiting = r.Bernoulli(0.7) ? 0 : static_cast<int>(r.UniformInt(1, 8));
+      s.busy = r.Bernoulli(0.9);
+      s.eligible = r.Bernoulli(0.9);
+      snaps.push_back(s);
+    }
+    int threshold = static_cast<int>(r.UniformInt(2, params.batch_bound));
+    for (int detector = 0; detector < 2; ++detector) {
+      RepackPlan plan = detector == 0
+                            ? BestFitConsolidation(snaps, params)
+                            : StaticThresholdConsolidation(snaps, params, threshold);
+      ++out.checks_run;
+      if (auto bad = CheckRepackPlanPostApply(snaps, params, plan)) {
+        std::ostringstream detail;
+        detail << (detector == 0 ? "best-fit" : "static-threshold") << " case " << c
+               << " (seed " << seed << "): " << *bad;
+        out.failures.push_back({"repack-plan", detail.str()});
+        return;  // one minimal case is enough; the shrinker takes it from here
+      }
+    }
+  }
+}
+
+}  // namespace laminar

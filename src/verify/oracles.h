@@ -1,0 +1,71 @@
+// Differential oracles over completed runs and repack plans (DESIGN.md §10).
+//
+// An oracle is a pure check that distinguishes "the simulator did something"
+// from "the simulator did the right thing" without a golden file:
+//   - run audit: invariant violations, drained runs, duplicate ledger ids
+//   - replay determinism: byte-identical fingerprints across sweep thread
+//     counts (reports, ledger, and the binary trace)
+//   - ledger equivalence: two orchestration modes must agree on the
+//     spec-derived fields of every trajectory id they both complete
+//   - repack post-apply: applying a consolidation plan move-by-move (with
+//     chained load accounting) never overflows C_max or the batch bound
+#ifndef LAMINAR_SRC_VERIFY_ORACLES_H_
+#define LAMINAR_SRC_VERIFY_ORACLES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/repack/best_fit.h"
+
+namespace laminar {
+
+struct OracleFailure {
+  std::string oracle;  // "determinism", "invariants", "ledger", "sync-diff", ...
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<OracleFailure> failures;
+  int checks_run = 0;
+
+  bool ok() const { return failures.empty(); }
+  // "ok (N checks)" or one line per failure.
+  std::string Summary() const;
+};
+
+// Everything that must be bit-identical across repeated runs of one config:
+// the four report CSVs, the chaos counters, the push ledger, and an FNV-1a
+// hash of the binary trace when one was captured.
+std::string RunFingerprint(const SystemReport& report);
+
+// Per-run sanity: zero invariant violations (with checks actually run when
+// the config armed them), the run completed its target iterations, consumed
+// trajectories match iterations x global batch, and no trajectory id was
+// pushed twice. Failures are appended to `out`.
+void AuditRun(const RlSystemConfig& config, const SystemReport& report,
+              const char* run_name, OracleReport& out);
+
+// Ledger equivalence between two runs of the same workload seed. Every id
+// completed by both must carry identical spec-derived fields (prompt id,
+// group index, token/segment counts). `what` labels the failure.
+std::optional<std::string> CompareLedgers(const RunLedger& a, const RunLedger& b,
+                                          const std::string& what);
+
+// Applies `plan` to `snapshots` move-by-move with chained load accounting
+// (a source carries everything it previously received) and checks that no
+// destination ever exceeds params.c_max_frac or params.batch_bound, that
+// sources and destinations are disjoint, and that every id is real. Returns
+// a description of the first violation, or nullopt for a sound plan.
+std::optional<std::string> CheckRepackPlanPostApply(
+    const std::vector<ReplicaSnapshot>& snapshots, const RepackParams& params,
+    const RepackPlan& plan);
+
+// Draws `cases` random snapshot sets, runs both consolidation detectors on
+// each, and post-apply-checks the resulting plans. Deterministic in `seed`.
+void CheckRandomRepackPlans(uint64_t seed, int cases, OracleReport& out);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_VERIFY_ORACLES_H_

@@ -1,0 +1,59 @@
+// Seeded scenario generation for the fuzz harness (DESIGN.md §10).
+//
+// A Scenario is one reproducible full-system test case derived entirely from
+// a single 64-bit seed: cluster topology, model scale, workload mix,
+// sampler/eviction policy, repack mode, fault schedule, and which
+// differential twins to run. Scenarios round-trip through a key=value text
+// format so a failing case can be committed to the corpus and replayed by
+// CTest byte-for-byte.
+#ifndef LAMINAR_SRC_VERIFY_SCENARIO_H_
+#define LAMINAR_SRC_VERIFY_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/config.h"
+
+namespace laminar {
+
+struct Scenario {
+  uint64_t seed = 0;
+  // The primary run: always a Laminar system, possibly with chaos armed and
+  // length drift on. Invariants, ledger capture and tracing are forced on.
+  RlSystemConfig config;
+  // Differential twins (derived from `config` by CleanConfig/SyncTwin/
+  // RepackOffTwin): compare per-trajectory ledgers across orchestration
+  // modes. Chaos and length drift are stripped from twins so the workload
+  // streams are version-independent and the runs complete the same work.
+  bool diff_sync = true;
+  bool diff_repack = true;
+  // Number of random Algorithm-1 consolidation cases checked against the
+  // post-apply plan oracle (src/verify/oracles.h).
+  int plan_cases = 32;
+};
+
+// Derives a scenario from `seed`. Deterministic: equal seeds yield equal
+// scenarios on every platform the simulator supports.
+Scenario GenerateScenario(uint64_t seed);
+
+// The primary config with chaos and length drift stripped — the common
+// reference both differential twins are compared against.
+RlSystemConfig CleanConfig(const RlSystemConfig& primary);
+// The synchronous colocated baseline over the same total GPUs and workload.
+RlSystemConfig SyncTwin(const RlSystemConfig& primary);
+// The clean config with trajectory consolidation disabled.
+RlSystemConfig RepackOffTwin(const RlSystemConfig& primary);
+
+// Text round-trip. ScenarioToText emits '#'-commented key=value lines;
+// ScenarioFromText accepts exactly that format (unknown keys are an error,
+// missing keys keep their defaults). Returns false with a message in *error
+// on malformed input.
+std::string ScenarioToText(const Scenario& scenario);
+bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error);
+
+// One-line human summary ("seed=7 7b/math 8+4gpu batch=256x8 repack chaos").
+std::string ScenarioSummary(const Scenario& scenario);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_VERIFY_SCENARIO_H_

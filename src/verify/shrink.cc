@@ -1,0 +1,215 @@
+#include "src/verify/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cluster/placement.h"
+
+namespace laminar {
+namespace {
+
+using Transform = bool (*)(Scenario&);  // returns false when it cannot simplify
+
+// Each transform makes the scenario strictly simpler or returns false. The
+// order front-loads the big wins (whole subsystems off) so the greedy loop
+// converges in few evaluations.
+bool DropChaos(Scenario& s) {
+  if (!s.config.chaos_enabled) {
+    return false;
+  }
+  s.config.chaos_enabled = false;
+  return true;
+}
+
+bool DropSyncDiff(Scenario& s) {
+  if (!s.diff_sync) {
+    return false;
+  }
+  s.diff_sync = false;
+  return true;
+}
+
+bool DropRepackDiff(Scenario& s) {
+  if (!s.diff_repack) {
+    return false;
+  }
+  s.diff_repack = false;
+  return true;
+}
+
+bool DropPartialRollout(Scenario& s) {
+  if (!s.config.laminar_partial_rollout) {
+    return false;
+  }
+  s.config.laminar_partial_rollout = false;
+  return true;
+}
+
+bool DropLengthDrift(Scenario& s) {
+  if (!s.config.length_drift) {
+    return false;
+  }
+  s.config.length_drift = false;
+  return true;
+}
+
+bool ForceFifoSampler(Scenario& s) {
+  if (s.config.sampler == SamplerKind::kFifo) {
+    return false;
+  }
+  s.config.sampler = SamplerKind::kFifo;
+  return true;
+}
+
+bool DropStaticThreshold(Scenario& s) {
+  if (!s.config.repack_static_threshold) {
+    return false;
+  }
+  s.config.repack_static_threshold = false;
+  return true;
+}
+
+bool SingleMeasuredIteration(Scenario& s) {
+  if (s.config.measure_iterations <= 1) {
+    return false;
+  }
+  s.config.measure_iterations = 1;
+  return true;
+}
+
+bool DropWarmup(Scenario& s) {
+  if (s.config.warmup_iterations == 0) {
+    return false;
+  }
+  s.config.warmup_iterations = 0;
+  return true;
+}
+
+bool HalveBatch(Scenario& s) {
+  int groups = s.config.global_batch / s.config.group_size;
+  if (groups < 4) {
+    return false;
+  }
+  s.config.global_batch = (groups / 2) * s.config.group_size;
+  return true;
+}
+
+bool HalveGroupSize(Scenario& s) {
+  if (s.config.group_size < 4) {
+    return false;
+  }
+  int groups = s.config.global_batch / s.config.group_size;
+  s.config.group_size /= 2;
+  s.config.global_batch = groups * s.config.group_size;
+  return true;
+}
+
+bool HalveConcurrency(Scenario& s) {
+  if (s.config.max_concurrency / 2 < s.config.group_size ||
+      s.config.max_concurrency <= 32) {
+    return false;
+  }
+  s.config.max_concurrency /= 2;
+  return true;
+}
+
+bool HalveRollout(Scenario& s) {
+  int tp = RolloutTensorParallel(SystemKind::kLaminar, s.config.scale);
+  // Keep at least two replicas (repack needs a source and a destination) and
+  // a total divisible by the sync twin's TP.
+  int sync_tp = RolloutTensorParallel(SystemKind::kVerlSync, s.config.scale);
+  int halved = s.config.rollout_gpus / 2 / tp * tp;
+  if (halved < 2 * tp || (s.config.train_gpus + halved) % sync_tp != 0) {
+    return false;
+  }
+  s.config.rollout_gpus = halved;
+  s.config.total_gpus = s.config.train_gpus + s.config.rollout_gpus;
+  return true;
+}
+
+bool HalveTrain(Scenario& s) {
+  int sync_tp = RolloutTensorParallel(SystemKind::kVerlSync, s.config.scale);
+  int halved = s.config.train_gpus / 2;
+  if (halved < 2 || (halved + s.config.rollout_gpus) % sync_tp != 0) {
+    return false;
+  }
+  s.config.train_gpus = halved;
+  s.config.total_gpus = s.config.train_gpus + s.config.rollout_gpus;
+  return true;
+}
+
+bool FewerPlanCases(Scenario& s) {
+  if (s.plan_cases <= 4) {
+    return false;
+  }
+  s.plan_cases = 4;
+  return true;
+}
+
+// Zero one chaos class at a time (only meaningful while chaos is on).
+template <double FaultProcessConfig::* Rate>
+bool DropChaosClass(Scenario& s) {
+  if (!s.config.chaos_enabled || s.config.chaos.*Rate == 0.0) {
+    return false;
+  }
+  s.config.chaos.*Rate = 0.0;
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const std::function<bool(const Scenario&)>& still_fails,
+                            int max_attempts) {
+  static const std::vector<Transform> kTransforms = {
+      DropChaos,
+      DropSyncDiff,
+      DropRepackDiff,
+      DropPartialRollout,
+      DropLengthDrift,
+      SingleMeasuredIteration,
+      DropWarmup,
+      HalveBatch,
+      HalveBatch,
+      HalveGroupSize,
+      HalveRollout,
+      HalveTrain,
+      HalveConcurrency,
+      ForceFifoSampler,
+      DropStaticThreshold,
+      DropChaosClass<&FaultProcessConfig::machine_fail_per_hour>,
+      DropChaosClass<&FaultProcessConfig::relay_fail_per_hour>,
+      DropChaosClass<&FaultProcessConfig::master_fail_per_hour>,
+      DropChaosClass<&FaultProcessConfig::trainer_fail_per_hour>,
+      DropChaosClass<&FaultProcessConfig::machine_stall_per_hour>,
+      DropChaosClass<&FaultProcessConfig::link_flap_per_hour>,
+      DropChaosClass<&FaultProcessConfig::replica_slow_per_hour>,
+      DropChaosClass<&FaultProcessConfig::message_drop_per_hour>,
+      FewerPlanCases,
+  };
+
+  ShrinkResult result;
+  result.scenario = failing;
+  bool progressed = true;
+  while (progressed && result.attempts < max_attempts) {
+    progressed = false;
+    for (Transform t : kTransforms) {
+      if (result.attempts >= max_attempts) {
+        break;
+      }
+      Scenario candidate = result.scenario;
+      if (!t(candidate)) {
+        continue;
+      }
+      ++result.attempts;
+      if (still_fails(candidate)) {
+        result.scenario = candidate;
+        ++result.accepted_steps;
+        progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace laminar

@@ -1,0 +1,30 @@
+// Greedy scenario shrinking: once a seed fails an oracle, minimize the
+// scenario before committing it to the corpus, so the repro a human debugs
+// is as small as the failure allows.
+#ifndef LAMINAR_SRC_VERIFY_SHRINK_H_
+#define LAMINAR_SRC_VERIFY_SHRINK_H_
+
+#include <functional>
+
+#include "src/verify/scenario.h"
+
+namespace laminar {
+
+struct ShrinkResult {
+  Scenario scenario;      // smallest still-failing scenario found
+  int attempts = 0;       // candidate evaluations performed
+  int accepted_steps = 0; // simplifications that preserved the failure
+};
+
+// Repeatedly applies an ordered list of simplifications (drop chaos classes,
+// halve the batch, drop differential twins, shrink the cluster, force FIFO
+// sampling, ...) and keeps each one iff `still_fails` returns true on the
+// simplified scenario. Greedy to a fixed point, capped at `max_attempts`
+// evaluations. `still_fails(failing)` is assumed true and is not re-checked.
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const std::function<bool(const Scenario&)>& still_fails,
+                            int max_attempts = 64);
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_VERIFY_SHRINK_H_

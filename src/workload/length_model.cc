@@ -46,7 +46,11 @@ double LengthDistribution::Quantile(double q) const {
     return -(((((c[0] * q2 + c[1]) * q2 + c[2]) * q2 + c[3]) * q2 + c[4]) * q2 + c[5]) /
            ((((d[0] * q2 + d[1]) * q2 + d[2]) * q2 + d[3]) * q2 + 1.0);
   };
-  return median_tokens * std::exp(sigma * probit(q));
+  // Clamp exactly like Sample(): the quantile of the generated distribution,
+  // not of the unclamped log-normal, so quantile-based admission and repack
+  // sizing agree with the lengths actually produced.
+  return std::clamp(median_tokens * std::exp(sigma * probit(q)),
+                    static_cast<double>(min_tokens), static_cast<double>(max_tokens));
 }
 
 double LengthDistribution::mean_estimate() const {

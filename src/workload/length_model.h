@@ -22,7 +22,8 @@ struct LengthDistribution {
   int64_t max_tokens = 16384;  // paper: max output length 16K
 
   int64_t Sample(Rng& rng) const;
-  // Analytic quantile of the *unclamped* log-normal.
+  // Analytic quantile of the clamped log-normal Sample() draws from (the
+  // inverse CDF, clamped to [min_tokens, max_tokens]).
   double Quantile(double q) const;
   double mean_estimate() const;
 };

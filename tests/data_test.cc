@@ -112,6 +112,35 @@ TEST(ExperienceBufferTest, StalenessCappedFallsBackWhenStarved) {
   EXPECT_EQ(batch.size(), 2u);
 }
 
+TEST(ExperienceBufferTest, StalenessCappedFallbackPrefersLeastStale) {
+  // Regression: the fallback used to fill from the lowest buffer index — the
+  // oldest, most-stale data — instead of the least-stale over-bound records.
+  ExperienceBuffer buf(MakeStalenessCappedSampler(2));
+  buf.Push(Rec(0, 0));   // staleness 10 at actor version 10
+  buf.Push(Rec(1, 5));   // staleness 5
+  buf.Push(Rec(2, 9));   // staleness 1: within bound
+  auto batch = buf.Sample(2, 10);
+  ASSERT_EQ(batch.size(), 2u);
+  // One fresh record plus the least-stale fallback (id 1, not id 0).
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(batch[1].id, 2);
+}
+
+TEST(ExperienceBufferTest, StalenessCappedFallbackScansWholeBuffer) {
+  // The least-stale over-bound record may sit anywhere in the buffer, so the
+  // classification pass must consider every record (no early exit) before the
+  // fallback ranks the over-bound ones.
+  ExperienceBuffer buf(MakeStalenessCappedSampler(1));
+  buf.Push(Rec(0, 0));   // staleness 10
+  buf.Push(Rec(1, 10));  // fresh
+  buf.Push(Rec(2, 3));   // staleness 7
+  buf.Push(Rec(3, 8));   // staleness 2: least stale of the over-bound, last
+  auto batch = buf.Sample(2, 10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(batch[1].id, 3);
+}
+
 TEST(ExperienceBufferTest, DropOldestEviction) {
   ExperienceBuffer buf(MakeFifoSampler(), 3, EvictionPolicy::kDropOldest);
   for (int i = 0; i < 5; ++i) {
@@ -194,6 +223,54 @@ TEST(PartialResponsePoolTest, RemoveOfMissingIdStillTombstones) {
   EXPECT_FALSE(pool.Update(w, /*owner=*/0));
   EXPECT_EQ(pool.size(), 0u);
   EXPECT_EQ(pool.stale_updates(), 1);
+}
+
+// Found by the scenario fuzzer (tests/corpus/env_boundary_restore.scenario):
+// FinishSegment checkpoints a trajectory when it enters its sandbox call, at
+// which point the current segment is fully decoded but not yet advanced. If
+// the hosting machine then dies, restoring that checkpoint verbatim hands
+// AssignWork a trajectory with remaining_in_segment() == 0, which trips the
+// replica's progress check. The restore must resolve the env interaction the
+// same way ExtractAllWork does: append the feedback, advance the segment.
+TEST(PartialResponsePoolTest, RestoreResolvesEnvBoundaryCheckpoint) {
+  PartialResponsePool pool;
+  TrajectoryWork w;
+  w.record = Rec(1, 0);
+  w.record.spec.prompt_tokens = 10;
+  w.record.spec.segments.clear();
+  w.record.spec.segments.push_back({/*decode=*/100, /*env_latency=*/3.0, /*feedback=*/64});
+  w.record.spec.segments.push_back({/*decode=*/50, 0.0, 0});
+  w.InitContext();
+  w.context_tokens = 110;     // prompt + the fully decoded first segment
+  w.decoded_in_segment = 100; // at the env boundary: remaining_in_segment() == 0
+  w.kv_resident = true;
+  pool.Update(w, /*owner=*/0);
+
+  auto restored = pool.TakeByReplica(0);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].segment_index, 1);
+  EXPECT_EQ(restored[0].decoded_in_segment, 0);
+  EXPECT_EQ(restored[0].remaining_in_segment(), 50);
+  // Sandbox output joined the context and must be re-prefilled with the rest.
+  EXPECT_EQ(restored[0].context_tokens, 110 + 64);
+  EXPECT_FALSE(restored[0].kv_resident);
+
+  // A mid-segment checkpoint is restored untouched.
+  TrajectoryWork mid;
+  mid.record = Rec(2, 0);
+  mid.record.spec.prompt_tokens = 10;
+  mid.record.spec.segments.clear();
+  mid.record.spec.segments.push_back({100, 3.0, 64});
+  mid.record.spec.segments.push_back({50, 0.0, 0});
+  mid.InitContext();
+  mid.context_tokens = 40;
+  mid.decoded_in_segment = 30;
+  pool.Update(mid, /*owner=*/0);
+  auto untouched = pool.TakeByReplica(0);
+  ASSERT_EQ(untouched.size(), 1u);
+  EXPECT_EQ(untouched[0].segment_index, 0);
+  EXPECT_EQ(untouched[0].decoded_in_segment, 30);
+  EXPECT_EQ(untouched[0].context_tokens, 40);
 }
 
 TEST(PartialResponsePoolTest, TakeByReplicaWithNoMatchingEntries) {

@@ -1,0 +1,123 @@
+// The fuzz suite run in CI: a small seeded smoke sweep, replay of the
+// committed repro corpus, and unit coverage of the oracle / shrinker
+// machinery itself. The pre-release sweep is `laminar_fuzz --seeds 256`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/verify/fuzzer.h"
+#include "src/verify/oracles.h"
+#include "src/verify/scenario.h"
+#include "src/verify/shrink.h"
+
+namespace laminar {
+namespace {
+
+TEST(FuzzTest, SmokeSweepFindsNoFailures) {
+  FuzzOptions opts;
+  opts.num_seeds = 8;
+  opts.shrink_failures = false;
+  FuzzReport report = RunFuzz(opts);
+  EXPECT_EQ(report.seeds_run, 8);
+  EXPECT_GT(report.oracle_checks, 0);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(FuzzTest, CommittedCorpusReplaysClean) {
+  std::vector<std::string> files = ListCorpus(LAMINAR_FUZZ_CORPUS_DIR);
+  ASSERT_GE(files.size(), 4u);
+  for (const std::string& path : files) {
+    Scenario scn;
+    std::string error;
+    ASSERT_TRUE(LoadScenarioFile(path, &scn, &error)) << path << ": " << error;
+    OracleReport report = EvaluateScenario(scn, EvalOptions{});
+    EXPECT_TRUE(report.ok()) << path << ": " << report.Summary();
+  }
+}
+
+TEST(FuzzTest, ScenarioTextRoundTrips) {
+  for (uint64_t seed = 0; seed <= 20; ++seed) {
+    Scenario scn = GenerateScenario(seed);
+    std::string text = ScenarioToText(scn);
+    Scenario parsed;
+    std::string error;
+    ASSERT_TRUE(ScenarioFromText(text, &parsed, &error)) << "seed " << seed << ": " << error;
+    EXPECT_EQ(ScenarioToText(parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(FuzzTest, ScenarioParserRejectsGarbage) {
+  Scenario scn;
+  std::string error;
+  EXPECT_FALSE(ScenarioFromText("not a scenario", &scn, &error));
+  EXPECT_FALSE(ScenarioFromText(
+      "# laminar fuzz scenario v1\nno_such_key=1\n", &scn, &error));
+}
+
+TEST(FuzzTest, PostApplyCheckFlagsChainedMoves) {
+  std::vector<ReplicaSnapshot> snaps(3);
+  for (int i = 0; i < 3; ++i) {
+    snaps[i].replica_id = i;
+    snaps[i].kv_used_frac = 0.1;
+    snaps[i].num_reqs = 1;
+  }
+  RepackParams params;
+  params.c_max_frac = 0.9;
+  params.batch_bound = 100;
+  RepackPlan chained;
+  chained.moves = {{0, 1}, {1, 2}};
+  auto bad = CheckRepackPlanPostApply(snaps, params, chained);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad->find("destination"), std::string::npos) << *bad;
+
+  // A fan-in to one destination is legal as long as the bounds hold.
+  RepackPlan fan_in;
+  fan_in.moves = {{0, 2}, {1, 2}};
+  EXPECT_FALSE(CheckRepackPlanPostApply(snaps, params, fan_in).has_value());
+
+  // ...and flagged when the accumulated KV load exceeds C_max.
+  params.c_max_frac = 0.25;
+  auto over = CheckRepackPlanPostApply(snaps, params, fan_in);
+  ASSERT_TRUE(over.has_value());
+  EXPECT_NE(over->find("C_max"), std::string::npos) << *over;
+}
+
+TEST(FuzzTest, CompareLedgersDetectsTampering) {
+  RunLedger a;
+  a.pushes = {{0, 0, 0, 500, 1, 0}, {1, 0, 1, 700, 2, 0}};
+  RunLedger b = a;
+  EXPECT_FALSE(CompareLedgers(a, b, "twin").has_value());
+  b.pushes[1].total_tokens = 999;
+  auto bad = CompareLedgers(a, b, "twin");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad->find("diverged"), std::string::npos) << *bad;
+
+  RunLedger disjoint;
+  disjoint.pushes = {{7, 3, 0, 500, 1, 0}};
+  EXPECT_TRUE(CompareLedgers(a, disjoint, "twin").has_value());
+}
+
+TEST(FuzzTest, ShrinkerMinimizesWhilePreservingFailure) {
+  // Seed 30 carries chaos, differential twins and a large batch. A synthetic
+  // failure that only needs `global_batch >= 64` lets the shrinker strip
+  // everything else.
+  Scenario failing = GenerateScenario(30);
+  ASSERT_TRUE(failing.config.chaos_enabled);
+  ASSERT_GE(failing.config.global_batch, 64);
+  auto still_fails = [](const Scenario& s) { return s.config.global_batch >= 64; };
+  ShrinkResult shrunk = ShrinkScenario(failing, still_fails);
+  EXPECT_TRUE(still_fails(shrunk.scenario));
+  EXPECT_GT(shrunk.accepted_steps, 0);
+  EXPECT_FALSE(shrunk.scenario.config.chaos_enabled);
+  EXPECT_FALSE(shrunk.scenario.diff_sync);
+  EXPECT_FALSE(shrunk.scenario.diff_repack);
+  EXPECT_LT(shrunk.scenario.config.global_batch, failing.config.global_batch);
+  // The shrunk scenario still round-trips through the corpus format.
+  Scenario parsed;
+  std::string error;
+  ASSERT_TRUE(ScenarioFromText(ScenarioToText(shrunk.scenario), &parsed, &error)) << error;
+}
+
+}  // namespace
+}  // namespace laminar

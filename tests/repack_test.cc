@@ -111,6 +111,25 @@ TEST(BestFitTest, ChainsMultipleSourcesIntoOneDestination) {
   EXPECT_EQ(plan.Destinations(), std::vector<int>{3});
 }
 
+TEST(BestFitTest, DestinationIsNeverLaterDrainedAsSource) {
+  // Regression: the old matcher could plan A->D and then drain D into E using
+  // only D's pre-move snapshot load, so E ended up with A+D+E combined —
+  // overflowing both C_max and the batch bound. Algorithm 1 removes
+  // destinations from the candidate set S; the plan must stop at A->D.
+  //
+  // Replica 2 cannot take 0 directly (50+60 requests > bound 100), so 0 lands
+  // on 1; 1 then holds 0's requests and must not itself be drained onto 2.
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.10, 50, 0.5), Snap(1, 0.25, 10, 0.5),
+                                        Snap(2, 0.50, 60, 0.7)};
+  RepackPlan plan = BestFitConsolidation(snaps, Params(/*c_max=*/0.80, /*bound=*/100));
+  ASSERT_EQ(plan.moves.size(), 1u);
+  EXPECT_EQ(plan.moves[0].first, 0);
+  EXPECT_EQ(plan.moves[0].second, 1);
+  // Post-apply loads stay within bounds on every destination.
+  EXPECT_LE(0.25 + 0.10, 0.80);
+  EXPECT_LE(10 + 50, 100);
+}
+
 TEST(BestFitTest, EmptiedSourceCannotBeDestination) {
   std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.05, 5, 0.3), Snap(1, 0.06, 5, 0.3)};
   RepackPlan plan = BestFitConsolidation(snaps, Params());
@@ -142,14 +161,50 @@ TEST(IdlenessMonitorTest, TracksPreviousUtilization) {
   IdlenessMonitor monitor;
   std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.5, 5)};
   monitor.Observe(snaps);
-  EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, 1.0);  // first sight
+  EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, kNoPrevKvSample);  // first sight
   snaps[0].kv_used_frac = 0.4;
   monitor.Observe(snaps);
   EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, 0.5);
   monitor.Forget(0);
   snaps[0].kv_used_frac = 0.3;
   monitor.Observe(snaps);
-  EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, 1.0);
+  EXPECT_DOUBLE_EQ(snaps[0].kv_prev_frac, kNoPrevKvSample);
+}
+
+TEST(IdlenessMonitorTest, FirstTickReplicasAreNotRepackEligible) {
+  // Regression: the old first-sight sentinel (kv_prev_frac = 1.0) collapsed
+  // the ramp-down test to kv < C_max, making brand-new replicas immediately
+  // repack-eligible — the opposite of the documented intent. A first tick
+  // must never produce a plan, however low the utilization.
+  IdlenessMonitor monitor;
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.10, 5), Snap(1, 0.20, 10)};
+  monitor.Observe(snaps);
+  EXPECT_TRUE(BestFitConsolidation(snaps, Params()).empty());
+
+  // Second tick with utilization genuinely falling: now they may merge.
+  snaps[0].kv_used_frac = 0.08;
+  snaps[1].kv_used_frac = 0.18;
+  monitor.Observe(snaps);
+  RepackPlan plan = BestFitConsolidation(snaps, Params());
+  ASSERT_EQ(plan.moves.size(), 1u);
+  EXPECT_EQ(plan.moves[0].first, 0);
+  EXPECT_EQ(plan.moves[0].second, 1);
+}
+
+TEST(IdlenessMonitorTest, ForgottenReplicaIsNotEligibleOnRevival) {
+  IdlenessMonitor monitor;
+  std::vector<ReplicaSnapshot> snaps = {Snap(0, 0.30, 5), Snap(1, 0.20, 10)};
+  monitor.Observe(snaps);
+  snaps[0].kv_used_frac = 0.10;
+  snaps[1].kv_used_frac = 0.18;
+  monitor.Observe(snaps);
+  ASSERT_FALSE(BestFitConsolidation(snaps, Params()).empty());
+  // Replica 0 fails and is re-initialized: its history is dropped, so the
+  // revived instance must sit out one tick before it can be drained again.
+  monitor.Forget(0);
+  snaps[0].kv_used_frac = 0.05;
+  monitor.Observe(snaps);
+  EXPECT_TRUE(BestFitConsolidation(snaps, Params()).empty());
 }
 
 // Property sweep: for random inputs, any produced plan satisfies the
@@ -192,7 +247,16 @@ TEST_P(BestFitPropertyTest, PlanInvariantsHold) {
     EXPECT_EQ(s.num_waiting, 0);
     EXPECT_LT(s.num_reqs, params.batch_bound);
   }
-  // Projected destination load respects C_max and B.
+  // No planned source is also a destination (Algorithm 1 removes chosen
+  // destinations from S). Without this, chained moves under-count a
+  // destination's true post-move load when it is later drained.
+  for (const auto& [src, dst] : plan.moves) {
+    EXPECT_EQ(dst_kv.count(src), 0u) << "replica " << src
+                                     << " drained after receiving a move";
+  }
+  // Post-apply destination load — snapshot plus everything received, which
+  // thanks to the no-chaining rule is the true final load — respects C_max
+  // and B.
   for (const auto& [dst, extra] : dst_kv) {
     EXPECT_LE(by_id.at(dst)->kv_used_frac + extra, params.c_max_frac + 1e-9);
     EXPECT_LE(by_id.at(dst)->num_reqs + dst_reqs[dst], params.batch_bound);

@@ -8,9 +8,48 @@ namespace laminar {
 namespace {
 
 TEST(LengthModelTest, P99ToMedianRatioIsOrderOfMagnitude) {
-  // Figure 2: p99 response length can exceed the median by ~10x.
+  // Figure 2: p99 response length can exceed the median by ~10x (before the
+  // generation-limit clamp truncates the tail; lift the cap to see the raw
+  // distribution shape).
   LengthDistribution d = MathLengthDistribution(ModelScale::k7B);
+  d.max_tokens = 1 << 20;
   EXPECT_GT(d.Quantile(0.99) / d.Quantile(0.5), 8.0);
+}
+
+TEST(LengthModelTest, QuantileIsClampedLikeSample) {
+  // Regression: Quantile() used to return the unclamped log-normal inverse
+  // CDF, so Quantile(0.99) of the tool-turn distribution exceeded its own
+  // max_tokens and quantile-based sizing disagreed with what Sample() can
+  // actually produce.
+  LengthDistribution d = ToolTurnLengthDistribution();
+  EXPECT_LE(d.Quantile(0.99), static_cast<double>(d.max_tokens));
+  EXPECT_DOUBLE_EQ(d.Quantile(0.99), static_cast<double>(d.max_tokens));
+  EXPECT_GE(d.Quantile(0.001), static_cast<double>(d.min_tokens));
+  // Quantiles the clamp does not bite are untouched.
+  EXPECT_NEAR(d.Quantile(0.5), d.median_tokens, 1e-6);
+}
+
+TEST(LengthModelTest, QuantileMatchesEmpiricalSampleQuantiles) {
+  // Property: the analytic quantile must agree with the empirical quantiles
+  // of Sample() — including where the clamp binds (q=0.99 caps exactly at
+  // max_tokens for every distribution below).
+  const LengthDistribution dists[] = {MathLengthDistribution(ModelScale::k7B),
+                                      MathLengthDistribution(ModelScale::k32B),
+                                      ToolTurnLengthDistribution()};
+  const double qs[] = {0.1, 0.5, 0.9, 0.99};
+  Rng rng(77);
+  for (const LengthDistribution& d : dists) {
+    SampleSet s;
+    for (int i = 0; i < 40000; ++i) {
+      s.Add(static_cast<double>(d.Sample(rng)));
+    }
+    for (double q : qs) {
+      double analytic = d.Quantile(q);
+      double empirical = s.Quantile(q);
+      EXPECT_NEAR(analytic, empirical, 0.08 * empirical)
+          << "median=" << d.median_tokens << " q=" << q;
+    }
+  }
 }
 
 TEST(LengthModelTest, SamplesRespectClamp) {
