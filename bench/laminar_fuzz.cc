@@ -5,8 +5,10 @@
 //   laminar_fuzz --seeds 64 --corpus-dir corpus   # record shrunk repros
 //   laminar_fuzz --replay tests/corpus/*.scenario # replay committed repros
 //   laminar_fuzz --dump 18                        # print seed 18 as a .scenario
+//   laminar_fuzz --fingerprints tests/corpus      # regenerate fingerprints.golden
 //
 // Exit status is the number of failing seeds/files (capped at 125).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,9 +24,35 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--base-seed S] [--corpus-dir DIR] [--no-shrink]\n"
                "       [--threads-a N] [--threads-b N] [--max-failures N]\n"
-               "       [--replay FILE...] [--dump SEED]\n",
+               "       [--replay FILE...] [--dump SEED] [--fingerprints DIR]\n",
                argv0);
   return 2;
+}
+
+// Prints one line per (corpus scenario, batch config) in the golden format
+// consumed by tests/perf_regression_test.cc:
+//   <scenario-basename> <config-label> <fnv1a-hex>
+int PrintCorpusFingerprints(const std::string& dir) {
+  std::vector<std::string> files = ListCorpus(dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "no .scenario files under %s\n", dir.c_str());
+    return 2;
+  }
+  for (const std::string& path : files) {
+    Scenario scn;
+    std::string error;
+    if (!LoadScenarioFile(path, &scn, &error)) {
+      std::fprintf(stderr, "%s: LOAD ERROR: %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+    size_t slash = path.find_last_of('/');
+    std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+    for (const ConfigFingerprint& fp : ScenarioFingerprints(scn)) {
+      std::printf("%s %s %016llx\n", base.c_str(), fp.label.c_str(),
+                  static_cast<unsigned long long>(fp.hash));
+    }
+  }
+  return 0;
 }
 
 int ReplayFiles(const std::vector<std::string>& files, const EvalOptions& eval) {
@@ -78,6 +106,8 @@ int Main(int argc, char** argv) {
       opts.max_failures = std::atoi(next("--max-failures"));
     } else if (arg == "--replay") {
       replaying = true;
+    } else if (arg == "--fingerprints") {
+      return PrintCorpusFingerprints(next("--fingerprints"));
     } else if (arg == "--dump") {
       uint64_t seed = std::strtoull(next("--dump"), nullptr, 10);
       Scenario scn = GenerateScenario(seed);
@@ -94,21 +124,41 @@ int Main(int argc, char** argv) {
     return failing > 125 ? 125 : failing;
   }
 
+  // Seeds are screened in batched windows so independent simulations share
+  // the sweep thread pool; results print strictly in seed order, and a
+  // failing seed is handed to RunFuzz for the usual shrink/corpus handling,
+  // so the output bytes match the old one-seed-at-a-time loop exactly.
   int failing = 0;
-  for (int i = 0; i < opts.num_seeds; ++i) {
-    FuzzOptions one = opts;
-    one.num_seeds = 1;
-    one.base_seed = opts.base_seed + static_cast<uint64_t>(i);
-    one.max_failures = 1;
-    Scenario scn = GenerateScenario(one.base_seed);
-    FuzzReport report = RunFuzz(one);
-    bool ok = report.ok();
-    std::printf("seed %llu: %s  [%s]\n", static_cast<unsigned long long>(one.base_seed),
-                ok ? "ok" : "FAIL", ScenarioSummary(scn).c_str());
-    if (!ok) {
+  int window = std::max(1, opts.seeds_per_batch);
+  bool stopped = false;
+  for (int start = 0; start < opts.num_seeds && !stopped; start += window) {
+    int n = std::min(window, opts.num_seeds - start);
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      scenarios.push_back(
+          GenerateScenario(opts.base_seed + static_cast<uint64_t>(start + i)));
+    }
+    std::vector<OracleReport> oracles = EvaluateScenarios(scenarios, opts.eval);
+    for (int i = 0; i < n; ++i) {
+      uint64_t seed = opts.base_seed + static_cast<uint64_t>(start + i);
+      const Scenario& scn = scenarios[static_cast<size_t>(i)];
+      if (oracles[static_cast<size_t>(i)].ok()) {
+        std::printf("seed %llu: ok  [%s]\n", static_cast<unsigned long long>(seed),
+                    ScenarioSummary(scn).c_str());
+        continue;
+      }
+      FuzzOptions one = opts;
+      one.num_seeds = 1;
+      one.base_seed = seed;
+      one.max_failures = 1;
+      FuzzReport report = RunFuzz(one);
+      std::printf("seed %llu: FAIL  [%s]\n", static_cast<unsigned long long>(seed),
+                  ScenarioSummary(scn).c_str());
       std::printf("%s\n", report.Summary().c_str());
       ++failing;
       if (failing >= opts.max_failures) {
+        stopped = true;
         break;
       }
     }

@@ -1,0 +1,152 @@
+// Generation-tagged dense-ID entity table (DESIGN.md §11).
+//
+// Generalizes the simulator's event-slab pattern (src/sim/simulator.h): live
+// entities sit in a contiguous slot vector, freed slots go on a LIFO free
+// list, and every handle carries the slot's generation so a stale handle —
+// one that outlived a Remove() — is detected instead of silently aliasing
+// the slot's next tenant. Insert/Get/Remove are O(1) with no per-entity
+// allocation; this is what replaces the node-based maps on the rollout and
+// data-pool hot paths.
+//
+// Iteration (ForEach) visits live slots in slot order, which is NOT
+// insertion order once slots have been reused. Callers that need a
+// deterministic traversal order must impose one themselves (a sequence
+// stamp, or an order-witness structure — see PartialResponsePool).
+#ifndef LAMINAR_SRC_COMMON_ENTITY_TABLE_H_
+#define LAMINAR_SRC_COMMON_ENTITY_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace laminar {
+
+// Opaque handle: (generation << 32) | slot. Generations start at 1, so the
+// zero-initialized handle is never valid.
+struct EntityHandle {
+  uint64_t bits = 0;
+
+  bool valid() const { return bits != 0; }
+  uint32_t slot() const { return static_cast<uint32_t>(bits); }
+  uint32_t generation() const { return static_cast<uint32_t>(bits >> 32); }
+  friend bool operator==(const EntityHandle&, const EntityHandle&) = default;
+
+  static EntityHandle Pack(uint32_t slot, uint32_t generation) {
+    return EntityHandle{(static_cast<uint64_t>(generation) << 32) | slot};
+  }
+};
+
+// T must be movable and default-constructible (the default-constructed value
+// is what a freed slot holds, so removed entities release their resources).
+template <typename T>
+class EntityTable {
+ public:
+  EntityHandle Insert(T value) {
+    uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.value = std::move(value);
+    s.live = true;
+    ++live_;
+    return EntityHandle::Pack(slot, s.generation);
+  }
+
+  // nullptr when the handle is invalid, freed, or from a previous tenant of
+  // the slot (stale generation).
+  T* Get(EntityHandle h) {
+    if (!h.valid() || h.slot() >= slots_.size()) {
+      return nullptr;
+    }
+    Slot& s = slots_[h.slot()];
+    if (!s.live || s.generation != h.generation()) {
+      return nullptr;
+    }
+    return &s.value;
+  }
+  const T* Get(EntityHandle h) const {
+    return const_cast<EntityTable*>(this)->Get(h);
+  }
+
+  bool Contains(EntityHandle h) const { return Get(h) != nullptr; }
+
+  // Moves the entity out, frees the slot, and bumps its generation so every
+  // outstanding handle to it goes stale.
+  T Remove(EntityHandle h) {
+    T* value = Get(h);
+    LAMINAR_CHECK(value != nullptr) << "stale or invalid entity handle";
+    T out = std::move(*value);
+    Slot& s = slots_[h.slot()];
+    s.value = T{};
+    s.live = false;
+    ++s.generation;
+    --live_;
+    free_.push_back(h.slot());
+    return out;
+  }
+
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  // Slot-order traversal of live entities. fn(EntityHandle, T&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      Slot& s = slots_[slot];
+      if (s.live) {
+        fn(EntityHandle::Pack(slot, s.generation), s.value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      const Slot& s = slots_[slot];
+      if (s.live) {
+        fn(EntityHandle::Pack(slot, s.generation), s.value);
+      }
+    }
+  }
+
+  // Frees every live slot (generations keep advancing, so old handles stay
+  // stale). Keeps the slab capacity.
+  void Clear() {
+    for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      Slot& s = slots_[slot];
+      if (s.live) {
+        s.value = T{};
+        s.live = false;
+        ++s.generation;
+        free_.push_back(slot);
+      }
+    }
+    live_ = 0;
+  }
+
+  void Reserve(size_t n) {
+    slots_.reserve(n);
+    free_.reserve(n);
+  }
+
+ private:
+  struct Slot {
+    T value{};
+    uint32_t generation = 1;
+    bool live = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_;  // LIFO: most-recently-freed slot reused first
+  size_t live_ = 0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_COMMON_ENTITY_TABLE_H_

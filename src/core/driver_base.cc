@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/fault/invariants.h"
@@ -11,8 +12,9 @@
 namespace laminar {
 
 DriverBase::DriverBase(RlSystemConfig config)
-    : cfg_(config), placement_(config.ResolvePlacement()), model_(ModelForScale(config.scale)),
-      root_rng_(config.seed), score_rng_(root_rng_.Fork("score")) {
+    : cfg_(std::move(config)), placement_(cfg_.ResolvePlacement()),
+      model_(ModelForScale(cfg_.scale)), root_rng_(cfg_.seed),
+      score_rng_(root_rng_.Fork("score")) {
   rollout_tp_ = RolloutTensorParallel(cfg_.system, cfg_.scale);
 
   if (cfg_.trace.enabled) {

@@ -5,6 +5,7 @@
 #define LAMINAR_SRC_CORE_LAMINAR_SYSTEM_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/core/driver_base.h"
@@ -19,7 +20,7 @@ namespace laminar {
 
 class LaminarSystem : public DriverBase {
  public:
-  explicit LaminarSystem(RlSystemConfig config) : DriverBase(config) {}
+  explicit LaminarSystem(RlSystemConfig config) : DriverBase(std::move(config)) {}
 
   // Exposed for fault-injection benches and tests.
   RelayTier* relays() { return relays_.get(); }

@@ -9,6 +9,7 @@
 #define LAMINAR_SRC_CORE_PARTIAL_ROLLOUT_SYSTEM_H_
 
 #include <memory>
+#include <utility>
 
 #include "src/core/driver_base.h"
 
@@ -16,7 +17,7 @@ namespace laminar {
 
 class PartialRolloutSystem : public DriverBase {
  public:
-  explicit PartialRolloutSystem(RlSystemConfig config) : DriverBase(config) {
+  explicit PartialRolloutSystem(RlSystemConfig config) : DriverBase(std::move(config)) {
     // AReaL trains with its decoupled-PPO correction by default.
     if (cfg_.algorithm == RlAlgorithm::kGrpo) {
       cfg_.algorithm = RlAlgorithm::kDecoupledPpo;

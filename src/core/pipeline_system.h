@@ -10,13 +10,15 @@
 #ifndef LAMINAR_SRC_CORE_PIPELINE_SYSTEM_H_
 #define LAMINAR_SRC_CORE_PIPELINE_SYSTEM_H_
 
+#include <utility>
+
 #include "src/core/driver_base.h"
 
 namespace laminar {
 
 class PipelineSystem : public DriverBase {
  public:
-  explicit PipelineSystem(RlSystemConfig config) : DriverBase(config) {}
+  explicit PipelineSystem(RlSystemConfig config) : DriverBase(std::move(config)) {}
 
  protected:
   void Setup() override;

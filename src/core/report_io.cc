@@ -3,16 +3,19 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "src/common/logging.h"
 
 namespace laminar {
 namespace {
 
-std::string Num(double v) {
+// Appends a "%.6g"-formatted value with no temporary string. These
+// CSVs are rebuilt for every run fingerprint the fuzz oracles take, so the
+// per-value allocations were hot (see DESIGN.md §11).
+void AppendNum(std::string& out, double v) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+  out.append(buf, static_cast<size_t>(std::snprintf(buf, sizeof(buf), "%.6g", v)));
 }
 
 std::string SafeLabel(const SystemReport& report) {
@@ -29,7 +32,13 @@ std::string SafeLabel(const SystemReport& report) {
 
 std::string ReportSummaryCsv(const SystemReport& report) {
   std::string out = "metric,value\n";
-  auto row = [&out](const std::string& k, double v) { out += k + "," + Num(v) + "\n"; };
+  out.reserve(1024);
+  auto row = [&out](const char* k, double v) {
+    out += k;
+    out += ',';
+    AppendNum(out, v);
+    out += '\n';
+  };
   out += "label," + report.label + "\n";
   row("total_gpus", report.total_gpus);
   row("train_gpus", report.train_gpus);
@@ -64,13 +73,27 @@ std::string IterationsCsv(const SystemReport& report) {
       "version,started_s,completed_s,data_wait_s,train_s,publish_stall_s,tokens,"
       "mean_reward,mean_consume_staleness,max_consume_staleness,mixed_fraction,"
       "clip_fraction\n";
+  out.reserve(out.size() + 128 * report.iterations.size());
   for (const IterationStats& it : report.iterations) {
-    out += Num(it.version) + "," + Num(it.started.seconds()) + "," +
-           Num(it.completed.seconds()) + "," + Num(it.data_wait_seconds) + "," +
-           Num(it.train_seconds) + "," + Num(it.publish_stall_seconds) + "," +
-           Num(it.tokens) + "," + Num(it.mean_reward) + "," +
-           Num(it.mean_consume_staleness) + "," + Num(it.max_consume_staleness) + "," +
-           Num(it.mixed_version_fraction) + "," + Num(it.clip_fraction) + "\n";
+    const double values[] = {static_cast<double>(it.version),
+                             it.started.seconds(),
+                             it.completed.seconds(),
+                             it.data_wait_seconds,
+                             it.train_seconds,
+                             it.publish_stall_seconds,
+                             static_cast<double>(it.tokens),
+                             it.mean_reward,
+                             it.mean_consume_staleness,
+                             static_cast<double>(it.max_consume_staleness),
+                             it.mixed_version_fraction,
+                             it.clip_fraction};
+    for (size_t i = 0; i < std::size(values); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      AppendNum(out, values[i]);
+    }
+    out += '\n';
   }
   return out;
 }
@@ -81,32 +104,51 @@ std::string SeriesCsv(const SystemReport& report, double bucket_seconds) {
   std::string out = "time_s,generation_tokens_per_sec,buffer_depth,training_tokens_per_sec,"
                     "eval_reward\n";
   size_t n = std::max(gen.size(), buf.size());
-  auto value_at = [](const TimeSeries& series, double t) {
+  // Query times are monotonically increasing, so each series is walked once
+  // with a cursor. For every t this visits exactly the prefix up to the
+  // first point past t — the same points, in the same order, as the old
+  // from-scratch rescan — so the selected values are identical.
+  struct Cursor {
+    const std::vector<TimePoint>& points;
+    size_t next = 0;
     double v = 0.0;
-    for (const TimePoint& p : series.points()) {
-      if (p.time.seconds() <= t) {
-        v = p.value;
-      } else {
-        break;
+    double At(double t) {
+      while (next < points.size() && points[next].time.seconds() <= t) {
+        v = points[next].value;
+        ++next;
       }
+      return v;
     }
-    return v;
   };
+  Cursor training{report.training_rate.points()};
+  Cursor reward{report.reward_series.points()};
+  out.reserve(out.size() + 64 * n);
   for (size_t i = 0; i < n; ++i) {
     double t = static_cast<double>(i) * bucket_seconds;
     double g = i < gen.size() ? gen[i].value : 0.0;
     double b = i < buf.size() ? buf[i].value : 0.0;
-    out += Num(t) + "," + Num(g) + "," + Num(b) + "," +
-           Num(value_at(report.training_rate, t)) + "," +
-           Num(value_at(report.reward_series, t)) + "\n";
+    AppendNum(out, t);
+    out += ',';
+    AppendNum(out, g);
+    out += ',';
+    AppendNum(out, b);
+    out += ',';
+    AppendNum(out, training.At(t));
+    out += ',';
+    AppendNum(out, reward.At(t));
+    out += '\n';
   }
   return out;
 }
 
 std::string StalenessCsv(const SystemReport& report) {
   std::string out = "finish_time_s,inherent_staleness\n";
+  out.reserve(out.size() + 32 * report.staleness_samples.size());
   for (const auto& [t, s] : report.staleness_samples) {
-    out += Num(t) + "," + Num(s) + "\n";
+    AppendNum(out, t);
+    out += ',';
+    AppendNum(out, s);
+    out += '\n';
   }
   return out;
 }

@@ -7,13 +7,15 @@
 #ifndef LAMINAR_SRC_CORE_SYNC_SYSTEM_H_
 #define LAMINAR_SRC_CORE_SYNC_SYSTEM_H_
 
+#include <utility>
+
 #include "src/core/driver_base.h"
 
 namespace laminar {
 
 class SyncSystem : public DriverBase {
  public:
-  explicit SyncSystem(RlSystemConfig config) : DriverBase(config) {}
+  explicit SyncSystem(RlSystemConfig config) : DriverBase(std::move(config)) {}
 
  protected:
   void Setup() override;

@@ -117,23 +117,45 @@ void ExperienceBuffer::EvictIfNeeded() {
 
 std::vector<TrajectoryRecord> ExperienceBuffer::Sample(size_t n, int actor_version) {
   LAMINAR_CHECK(CanSample(n)) << "buffer has " << buffer_.size() << ", need " << n;
+  if (n == 0) {
+    return {};
+  }
   std::vector<size_t> picked = sampler_->Pick(buffer_, n, actor_version);
   LAMINAR_CHECK_EQ(picked.size(), n);
-  std::vector<TrajectoryRecord> out;
-  out.reserve(n);
-  // Remove back-to-front so earlier indices stay valid.
   std::vector<size_t> sorted = picked;
   std::sort(sorted.begin(), sorted.end());
   for (size_t i = 1; i < sorted.size(); ++i) {
     LAMINAR_CHECK_NE(sorted[i], sorted[i - 1]) << "sampler returned duplicate index";
   }
+  std::vector<TrajectoryRecord> out;
+  out.reserve(n);
+  // Move the picked records out (the hollowed-out shells stay behind until
+  // the compaction below) instead of copying them — a record owns its
+  // segment list and version vector, so a copy here was the single hottest
+  // operation in a full-system run.
   for (size_t idx : picked) {
-    TrajectoryRecord rec = buffer_[idx];
+    TrajectoryRecord& rec = buffer_[idx];
     rec.consume_actor_version = actor_version;
     out.push_back(std::move(rec));
   }
-  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
-    buffer_.erase(buffer_.begin() + static_cast<int64_t>(*it));
+  if (sorted.back() - sorted.front() + 1 == n) {
+    // Contiguous block (FIFO and usually staleness-capped): erase it in one
+    // range operation; the deque shifts whichever side is shorter.
+    auto first = buffer_.begin() + static_cast<int64_t>(sorted.front());
+    buffer_.erase(first, first + static_cast<int64_t>(n));
+  } else {
+    // Scattered picks: one stable left-shift pass over the suffix, then drop
+    // the tail — O(size) moves instead of one deque erase per pick.
+    size_t write = sorted.front();
+    size_t next_hole = 0;
+    for (size_t read = sorted.front(); read < buffer_.size(); ++read) {
+      if (next_hole < sorted.size() && read == sorted[next_hole]) {
+        ++next_hole;
+        continue;
+      }
+      buffer_[write++] = std::move(buffer_[read]);
+    }
+    buffer_.resize(write);
   }
   sampled_ += static_cast<int64_t>(n);
   return out;

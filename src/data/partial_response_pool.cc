@@ -2,22 +2,43 @@
 
 namespace laminar {
 
+bool PartialResponsePool::SetTerminal(TrajId id) {
+  LAMINAR_CHECK_GE(id, 0);
+  size_t idx = static_cast<size_t>(id);
+  if (idx >= terminal_.size()) {
+    terminal_.resize(idx + 1, 0);
+  }
+  if (terminal_[idx] != 0) {
+    return false;
+  }
+  terminal_[idx] = 1;
+  return true;
+}
+
 bool PartialResponsePool::Update(const TrajectoryWork& work, int owner_replica) {
   TrajId id = work.record.id;
-  if (terminal_.count(id) > 0) {
+  if (IsTerminal(id)) {
     ++stale_updates_;
     return false;
   }
-  Entry& e = entries_[id];
-  e.work = work;
-  e.owner_replica = owner_replica;
+  EntityHandle& handle = index_[id];
+  if (Entry* e = table_.Get(handle)) {
+    e->work = work;
+    e->owner_replica = owner_replica;
+  } else {
+    handle = table_.Insert({work, owner_replica});
+  }
   ++updates_;
   return true;
 }
 
 bool PartialResponsePool::MarkCompleted(TrajId id) {
-  entries_.erase(id);
-  if (!terminal_.insert(id).second) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    table_.Remove(it->second);
+    index_.erase(it);
+  }
+  if (!SetTerminal(id)) {
     ++duplicate_completions_;
     return false;
   }
@@ -26,8 +47,12 @@ bool PartialResponsePool::MarkCompleted(TrajId id) {
 }
 
 bool PartialResponsePool::MarkDropped(TrajId id) {
-  entries_.erase(id);
-  if (!terminal_.insert(id).second) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    table_.Remove(it->second);
+    index_.erase(it);
+  }
+  if (!SetTerminal(id)) {
     return false;
   }
   ++dropped_;
@@ -35,16 +60,19 @@ bool PartialResponsePool::MarkDropped(TrajId id) {
 }
 
 bool PartialResponsePool::Remove(TrajId id) {
-  bool had_entry = entries_.count(id) > 0;
+  bool had_entry = index_.count(id) > 0;
   MarkCompleted(id);
   return had_entry;
 }
 
 std::vector<TrajectoryWork> PartialResponsePool::TakeByReplica(int replica) {
   std::vector<TrajectoryWork> out;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.owner_replica == replica) {
-      TrajectoryWork work = it->second.work;
+  for (auto it = index_.begin(); it != index_.end();) {
+    Entry* e = table_.Get(it->second);
+    if (e != nullptr && e->owner_replica == replica) {
+      // The entry is leaving the pool either way, so move the payload out of
+      // the slab instead of copying it.
+      TrajectoryWork work = std::move(table_.Remove(it->second).work);
       work.kv_resident = false;
       // A checkpoint taken at a sandbox-call boundary (FinishSegment reports
       // progress before advancing the segment) has its current segment fully
@@ -52,13 +80,13 @@ std::vector<TrajectoryWork> PartialResponsePool::TakeByReplica(int replica) {
       // interaction the same way RolloutReplica::ExtractAllWork does: append
       // the feedback and resume at the next segment on the destination.
       if (!work.finished() && work.remaining_in_segment() == 0 &&
-          work.segment_index + 1 < static_cast<int>(work.record.spec.segments.size())) {
+          work.segment_index + 1 < static_cast<int>(work.record.spec.num_segments())) {
         work.context_tokens += work.current_segment().feedback_tokens;
         work.segment_index += 1;
         work.decoded_in_segment = 0;
       }
       out.push_back(std::move(work));
-      it = entries_.erase(it);
+      it = index_.erase(it);
     } else {
       ++it;
     }
@@ -68,9 +96,9 @@ std::vector<TrajectoryWork> PartialResponsePool::TakeByReplica(int replica) {
 
 int64_t PartialResponsePool::total_context_tokens() const {
   int64_t total = 0;
-  for (const auto& [id, entry] : entries_) {
+  table_.ForEach([&total](EntityHandle /*h*/, const Entry& entry) {
     total += entry.work.context_tokens;
-  }
+  });
   return total;
 }
 

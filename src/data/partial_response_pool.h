@@ -11,14 +11,26 @@
 // late Update from a stale owner (e.g. a drained gray-failure replica racing
 // its migrated clone) can never resurrect the entry, and a duplicate
 // completion is suppressed rather than double-counted.
+//
+// Layout (DESIGN.md §11): the heavy TrajectoryWork payloads live in a
+// generation-tagged slab (EntityTable) and the terminal tombstones in a
+// dense bitmap indexed by TrajId — trajectory ids are issued sequentially
+// from 0, so the bitmap is equivalent to the old hash set at a fraction of
+// the cost. The id index is an unordered_map from TrajId to slab handle that
+// performs exactly the insert/erase sequence the old TrajId->Entry map did.
+// TakeByReplica's recovery order — which feeds the manager's round-robin
+// redirect sharding and therefore the simulation's event sequence — is that
+// map's iteration order, a pure function of the operation sequence; keeping
+// the sequence identical keeps identical runs recovering work in identical
+// order, independent of the payload layout behind the handles.
 #ifndef LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
 #define LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/entity_table.h"
 #include "src/data/trajectory.h"
 
 namespace laminar {
@@ -44,15 +56,18 @@ class PartialResponsePool {
   bool Remove(TrajId id);
 
   // All in-progress work owned by `replica`, e.g. everything lost when its
-  // machine dies. The returned copies have kv_resident=false (the cache died
+  // machine dies. The returned items have kv_resident=false (the cache died
   // with the machine). Order follows the pool's internal layout, which is a
   // pure function of the operation sequence — identical runs recover work in
   // identical order.
   std::vector<TrajectoryWork> TakeByReplica(int replica);
 
-  bool Contains(TrajId id) const { return entries_.count(id) > 0; }
-  bool IsTerminal(TrajId id) const { return terminal_.count(id) > 0; }
-  size_t size() const { return entries_.size(); }
+  bool Contains(TrajId id) const { return index_.count(id) > 0; }
+  bool IsTerminal(TrajId id) const {
+    return id >= 0 && static_cast<size_t>(id) < terminal_.size() &&
+           terminal_[static_cast<size_t>(id)] != 0;
+  }
+  size_t size() const { return index_.size(); }
   int64_t updates() const { return updates_; }
   int64_t completed() const { return completed_; }
   int64_t dropped() const { return dropped_; }
@@ -66,8 +81,16 @@ class PartialResponsePool {
     TrajectoryWork work;
     int owner_replica = -1;
   };
-  std::unordered_map<TrajId, Entry> entries_;
-  std::unordered_set<TrajId> terminal_;
+
+  // Returns false if `id` was already terminal (the first call wins).
+  bool SetTerminal(TrajId id);
+
+  EntityTable<Entry> table_;
+  // Id -> slab handle. Doubles as the recovery-order witness: see the file
+  // comment. Do not add or reorder structural operations (insert/erase) on
+  // it without mirroring what the pre-slab TrajId->Entry map performed.
+  std::unordered_map<TrajId, EntityHandle> index_;
+  std::vector<uint8_t> terminal_;  // tombstone bitmap, indexed by TrajId
   int64_t updates_ = 0;
   int64_t completed_ = 0;
   int64_t dropped_ = 0;

@@ -90,10 +90,10 @@ struct TrajectoryWork {
   void InitContext() { context_tokens = record.spec.prompt_tokens; }
 
   bool finished() const {
-    return segment_index >= static_cast<int>(record.spec.segments.size());
+    return segment_index >= static_cast<int>(record.spec.num_segments());
   }
   const TrajectorySegment& current_segment() const {
-    return record.spec.segments[segment_index];
+    return record.spec.segments()[segment_index];
   }
   int64_t remaining_in_segment() const {
     return current_segment().decode_tokens - decoded_in_segment;
@@ -103,8 +103,9 @@ struct TrajectoryWork {
       return 0;
     }
     int64_t n = remaining_in_segment();
-    for (size_t i = segment_index + 1; i < record.spec.segments.size(); ++i) {
-      n += record.spec.segments[i].decode_tokens;
+    const std::vector<TrajectorySegment>& segments = record.spec.segments();
+    for (size_t i = segment_index + 1; i < segments.size(); ++i) {
+      n += segments[i].decode_tokens;
     }
     return n;
   }

@@ -27,10 +27,17 @@ void InvariantChecker::Report(const std::string& what) {
 }
 
 void InvariantChecker::ObserveBufferPush(const TrajectoryRecord& record) {
-  if (!pushed_ids_.insert(record.id).second) {
+  size_t idx = record.id >= 0 ? static_cast<size_t>(record.id) : 0;
+  if (record.id >= 0 && idx >= pushed_.size()) {
+    pushed_.resize(idx + 1, 0);
+  }
+  if (record.id < 0 || pushed_[idx] != 0) {
     std::ostringstream oss;
     oss << "duplicate experience-buffer entry for trajectory " << record.id;
     Report(oss.str());
+  } else {
+    pushed_[idx] = 1;
+    ++pushes_;
   }
   if (record.inherent_staleness() < 0) {
     std::ostringstream oss;

@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -71,7 +70,7 @@ class InvariantChecker {
   int64_t checks_run() const { return checks_run_; }
   int64_t violation_count() const { return violation_count_; }
   int64_t faults_injected() const { return faults_injected_; }
-  int64_t buffer_pushes() const { return static_cast<int64_t>(pushed_ids_.size()); }
+  int64_t buffer_pushes() const { return pushes_; }
   const std::vector<std::string>& violations() const { return violations_; }
   bool ok() const { return violation_count_ == 0; }
 
@@ -85,7 +84,10 @@ class InvariantChecker {
   const PartialResponsePool* pool_ = nullptr;
   std::vector<const RolloutReplica*> replicas_;
 
-  std::unordered_set<TrajId> pushed_ids_;
+  // Trajectory ids are issued sequentially from 0, so the duplicate-push set
+  // is a dense bitmap (this observation runs on every completion).
+  std::vector<uint8_t> pushed_;
+  int64_t pushes_ = 0;
   int64_t checks_run_ = 0;
   int64_t violation_count_ = 0;
   int64_t faults_injected_ = 0;

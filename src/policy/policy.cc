@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -11,6 +12,21 @@ namespace laminar {
 namespace {
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// Memo-table geometry (powers of two; direct-mapped).
+constexpr size_t kFeatureCacheSize = 64;
+constexpr size_t kProbCacheSize = 1024;
+constexpr size_t kCurrentCacheSize = 256;
+
+uint64_t BitsOf(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+size_t SlotFor(uint64_t key, size_t table_size) {
+  return (key * 0x9E3779B97F4A7C15ull) >> 32 & (table_size - 1);
+}
 
 }  // namespace
 
@@ -28,6 +44,9 @@ Policy::Policy(PolicyConfig config) : config_(config) {
   LAMINAR_CHECK_GT(config_.num_features, 0);
   theta_.assign(config_.num_features, 0.0);
   history_.push_back(theta_);  // version 0
+  feature_cache_.resize(kFeatureCacheSize);
+  prob_cache_.resize(kProbCacheSize);
+  current_cache_.resize(kCurrentCacheSize);
 }
 
 std::vector<double> Policy::Features(double difficulty) const {
@@ -50,8 +69,22 @@ std::vector<double> Policy::Features(double difficulty) const {
   return phi;
 }
 
+// Memoized features: the RBF expansion depends only on the (immutable)
+// config, so a bit-equal difficulty always maps to the same vector. The
+// cached vector is computed by Features() itself, so hits are bit-identical.
+const std::vector<double>& Policy::FeaturesCached(double difficulty) const {
+  FeatureEntry& entry =
+      feature_cache_[SlotFor(BitsOf(difficulty), kFeatureCacheSize)];
+  if (!entry.valid || entry.d != difficulty) {
+    entry.phi = Features(difficulty);
+    entry.d = difficulty;
+    entry.valid = true;
+  }
+  return entry.phi;
+}
+
 double Policy::Logit(const std::vector<double>& theta, double difficulty) const {
-  std::vector<double> phi = Features(difficulty);
+  const std::vector<double>& phi = FeaturesCached(difficulty);
   double dot = 0.0;
   for (int j = 0; j < config_.num_features; ++j) {
     dot += theta[j] * phi[j];
@@ -68,16 +101,37 @@ void Policy::RestoreVersion(int version) {
   LAMINAR_CHECK_GE(version, 0);
   LAMINAR_CHECK_LE(version, latest_version());
   theta_ = history_[version];
+  ++theta_epoch_;
 }
 
 double Policy::SuccessProb(int version, double difficulty) const {
   LAMINAR_CHECK_GE(version, 0);
   int v = std::min<int>(version, latest_version());
-  return Sigmoid(Logit(history_[v], difficulty));
+  // Keyed on the clamped version: history_[v] never mutates once pushed, so
+  // an entry stays exact forever.
+  ProbEntry& entry = prob_cache_[SlotFor(
+      BitsOf(difficulty) ^ static_cast<uint64_t>(v), kProbCacheSize)];
+  if (!entry.valid || entry.version != v || entry.d != difficulty) {
+    entry.p = Sigmoid(Logit(history_[v], difficulty));
+    entry.version = v;
+    entry.d = difficulty;
+    entry.valid = true;
+  }
+  return entry.p;
 }
 
 double Policy::CurrentSuccessProb(double difficulty) const {
-  return Sigmoid(Logit(theta_, difficulty));
+  // Keyed on the live-parameter epoch: any in-place theta_ mutation bumps it
+  // and implicitly invalidates the whole table.
+  CurrentEntry& entry = current_cache_[SlotFor(
+      BitsOf(difficulty) ^ (theta_epoch_ * 0x100000001B3ull), kCurrentCacheSize)];
+  if (!entry.valid || entry.epoch != theta_epoch_ || entry.d != difficulty) {
+    entry.p = Sigmoid(Logit(theta_, difficulty));
+    entry.epoch = theta_epoch_;
+    entry.d = difficulty;
+    entry.valid = true;
+  }
+  return entry.p;
 }
 
 void Policy::ScoreTrajectory(TrajectoryRecord& record, Rng& rng) const {
@@ -164,7 +218,7 @@ UpdateStats Policy::UpdateMinibatch(const std::vector<TrajectoryRecord>& minibat
       continue;
     }
     // d/dtheta [w * ratio * A] = w * A * ratio * (y - p_new) * phi(d).
-    std::vector<double> phi = Features(rec.difficulty);
+    const std::vector<double>& phi = FeaturesCached(rec.difficulty);
     double scale = weight * advantage * ratio * (y ? 1.0 - p_new : -p_new);
     for (int j = 0; j < config_.num_features; ++j) {
       grad[j] += scale * phi[j];
@@ -186,6 +240,7 @@ UpdateStats Policy::UpdateMinibatch(const std::vector<TrajectoryRecord>& minibat
   for (int j = 0; j < config_.num_features; ++j) {
     theta_[j] += config_.learning_rate * grad[j];
   }
+  ++theta_epoch_;
   return stats;
 }
 

@@ -100,11 +100,43 @@ class Policy {
 
  private:
   std::vector<double> Features(double difficulty) const;
+  const std::vector<double>& FeaturesCached(double difficulty) const;
   double Logit(const std::vector<double>& theta, double difficulty) const;
 
   PolicyConfig config_;
   std::vector<double> theta_;
   std::vector<std::vector<double>> history_;  // snapshots per version
+
+  // Exact memo tables (DESIGN.md §11). Policy evaluation is inner-loop work —
+  // every trajectory score and every GRPO record evaluates RBF features and a
+  // sigmoid, and prompt difficulties repeat heavily (one difficulty per
+  // prompt, group_size records per prompt; the expected-reward integral
+  // re-walks a fixed grid). A cache row hits only on bit-equality of the
+  // query (and, where parameters can change, an equal epoch/version), so a
+  // hit returns exactly what a fresh evaluation would: feature vectors are
+  // config-only, `history_` snapshots are append-only and immutable, and
+  // `theta_epoch_` advances whenever the live parameters mutate.
+  struct FeatureEntry {
+    bool valid = false;
+    double d = 0.0;
+    std::vector<double> phi;
+  };
+  struct ProbEntry {
+    bool valid = false;
+    int version = 0;
+    double d = 0.0;
+    double p = 0.0;
+  };
+  struct CurrentEntry {
+    bool valid = false;
+    uint64_t epoch = 0;
+    double d = 0.0;
+    double p = 0.0;
+  };
+  mutable std::vector<FeatureEntry> feature_cache_;
+  mutable std::vector<ProbEntry> prob_cache_;
+  mutable std::vector<CurrentEntry> current_cache_;
+  uint64_t theta_epoch_ = 0;  // bumped on every in-place theta_ mutation
 };
 
 }  // namespace laminar

@@ -4,12 +4,26 @@ namespace laminar {
 
 void IdlenessMonitor::Observe(std::vector<ReplicaSnapshot>& snapshots) {
   for (ReplicaSnapshot& snap : snapshots) {
-    auto it = prev_.find(snap.replica_id);
-    snap.kv_prev_frac = it == prev_.end() ? kNoPrevKvSample : it->second;
-    prev_[snap.replica_id] = snap.kv_used_frac;
+    size_t idx = static_cast<size_t>(snap.replica_id);
+    if (idx >= prev_.size()) {
+      prev_.resize(idx + 1);
+    }
+    Slot& slot = prev_[idx];
+    snap.kv_prev_frac = slot.valid ? slot.value : kNoPrevKvSample;
+    if (!slot.valid) {
+      slot.valid = true;
+      ++tracked_;
+    }
+    slot.value = snap.kv_used_frac;
   }
 }
 
-void IdlenessMonitor::Forget(int replica_id) { prev_.erase(replica_id); }
+void IdlenessMonitor::Forget(int replica_id) {
+  size_t idx = static_cast<size_t>(replica_id);
+  if (replica_id >= 0 && idx < prev_.size() && prev_[idx].valid) {
+    prev_[idx].valid = false;
+    --tracked_;
+  }
+}
 
 }  // namespace laminar

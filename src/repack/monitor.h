@@ -8,7 +8,6 @@
 #define LAMINAR_SRC_REPACK_MONITOR_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "src/repack/snapshot.h"
@@ -27,10 +26,17 @@ class IdlenessMonitor {
   // not judged against its pre-failure utilization.
   void Forget(int replica_id);
 
-  size_t tracked() const { return prev_.size(); }
+  size_t tracked() const { return tracked_; }
 
  private:
-  std::unordered_map<int, double> prev_;
+  // Replica ids are small and dense, so the history lives in a flat table
+  // indexed by id (this runs on every monitoring tick for every replica).
+  struct Slot {
+    bool valid = false;
+    double value = 0.0;
+  };
+  std::vector<Slot> prev_;
+  size_t tracked_ = 0;
 };
 
 }  // namespace laminar

@@ -14,6 +14,23 @@ namespace {
 // pooled copy of work the manager already holds.
 constexpr int kManagerOwner = -1;
 
+// Returns the work list for `version` in a flat version->works vector kept
+// sorted ascending, inserting an empty slot if absent. Matches std::map's
+// operator[] semantics (and its ascending iteration order) without the
+// per-node allocations.
+std::vector<TrajectoryWork>& WorksForVersion(
+    std::vector<std::pair<int, std::vector<TrajectoryWork>>>& vw, int version) {
+  auto it = std::lower_bound(
+      vw.begin(), vw.end(), version,
+      [](const std::pair<int, std::vector<TrajectoryWork>>& entry, int v) {
+        return entry.first < v;
+      });
+  if (it == vw.end() || it->first != version) {
+    it = vw.insert(it, {version, {}});
+  }
+  return it->second;
+}
+
 }  // namespace
 
 RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
@@ -24,6 +41,14 @@ RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
   LAMINAR_CHECK(!replicas_.empty());
   LAMINAR_CHECK_GT(config_.per_replica_batch, 0);
   probes_.resize(replicas_.size());
+  for (RolloutReplica* r : replicas_) {
+    int id = r->config().id;
+    LAMINAR_CHECK_GE(id, 0);
+    if (static_cast<size_t>(id) >= replica_by_id_.size()) {
+      replica_by_id_.resize(static_cast<size_t>(id) + 1, nullptr);
+    }
+    replica_by_id_[static_cast<size_t>(id)] = r;
+  }
   ctr_repack_events_ = metrics_.Counter("manager/repack_events");
   ctr_sources_released_ = metrics_.Counter("manager/sources_released");
   ctr_trajectories_migrated_ = metrics_.Counter("manager/trajectories_migrated");
@@ -57,13 +82,33 @@ RolloutManagerStats RolloutManager::stats() const {
   return s;
 }
 
-RolloutReplica* RolloutManager::FindReplica(int replica_id) {
-  for (RolloutReplica* r : replicas_) {
-    if (r->config().id == replica_id) {
-      return r;
-    }
+RolloutReplica* RolloutManager::FindReplica(int replica_id) const {
+  if (replica_id < 0 || static_cast<size_t>(replica_id) >= replica_by_id_.size()) {
+    return nullptr;
   }
-  return nullptr;
+  return replica_by_id_[static_cast<size_t>(replica_id)];
+}
+
+bool RolloutManager::SetQuarantined(int replica_id) {
+  LAMINAR_CHECK_GE(replica_id, 0);
+  size_t idx = static_cast<size_t>(replica_id);
+  if (idx >= quarantined_.size()) {
+    quarantined_.resize(idx + 1, 0);
+  }
+  if (quarantined_[idx] != 0) {
+    return false;
+  }
+  quarantined_[idx] = 1;
+  return true;
+}
+
+bool RolloutManager::ClearQuarantined(int replica_id) {
+  if (replica_id < 0 || static_cast<size_t>(replica_id) >= quarantined_.size() ||
+      quarantined_[static_cast<size_t>(replica_id)] == 0) {
+    return false;
+  }
+  quarantined_[static_cast<size_t>(replica_id)] = 0;
+  return true;
 }
 
 void RolloutManager::Start() {
@@ -211,16 +256,26 @@ std::vector<ReplicaSnapshot> RolloutManager::CollectSnapshots() {
 void RolloutManager::TriggerRepack() {
   std::vector<ReplicaSnapshot> snaps = CollectSnapshots();
   monitor_.Observe(snaps);
-  // Group by weight version (Figure 8, step 1) and plan per group.
-  std::map<int, std::vector<ReplicaSnapshot>> groups;
-  for (const ReplicaSnapshot& s : snaps) {
-    groups[s.weight_version].push_back(s);
+  // Group by weight version (Figure 8, step 1) and plan per group. A stable
+  // sort of snapshot indices yields the same groups, visited in the same
+  // ascending-version order with the same within-group snapshot order, as the
+  // std::map-of-vectors this replaces — without the per-version allocations.
+  std::vector<size_t> order(snaps.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
   }
-  std::map<int, RolloutReplica*> by_id;
-  for (RolloutReplica* r : replicas_) {
-    by_id[r->config().id] = r;
-  }
-  for (auto& [version, group] : groups) {
+  std::stable_sort(order.begin(), order.end(), [&snaps](size_t a, size_t b) {
+    return snaps[a].weight_version < snaps[b].weight_version;
+  });
+  for (size_t begin = 0; begin < order.size();) {
+    int version = snaps[order[begin]].weight_version;
+    size_t end = begin;
+    std::vector<ReplicaSnapshot> group;
+    while (end < order.size() && snaps[order[end]].weight_version == version) {
+      group.push_back(snaps[order[end]]);
+      ++end;
+    }
+    begin = end;
     RepackPlan plan =
         config_.use_static_threshold
             ? StaticThresholdConsolidation(group, config_.repack,
@@ -233,11 +288,24 @@ void RolloutManager::TriggerRepack() {
     LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/repack", -1,
                           static_cast<int64_t>(plan.moves.size()));
     // Transfers to distinct destinations proceed in parallel; the plan's
-    // overhead is the slowest destination's total KV-transfer stall.
-    std::map<int, double> overhead_by_dst;
+    // overhead is the slowest destination's total KV-transfer stall. A flat
+    // per-destination accumulator (few distinct destinations per plan)
+    // replaces a std::map; the final max over destinations is
+    // order-independent, so the visit order does not matter.
+    std::vector<std::pair<int, double>> overhead_by_dst;
+    auto overhead_slot = [&overhead_by_dst](int dst) -> double& {
+      for (auto& entry : overhead_by_dst) {
+        if (entry.first == dst) {
+          return entry.second;
+        }
+      }
+      overhead_by_dst.emplace_back(dst, 0.0);
+      return overhead_by_dst.back().second;
+    };
     for (const auto& [src_id, dst_id] : plan.moves) {
-      RolloutReplica* src = by_id.at(src_id);
-      RolloutReplica* dst = by_id.at(dst_id);
+      RolloutReplica* src = FindReplica(src_id);
+      RolloutReplica* dst = FindReplica(dst_id);
+      LAMINAR_CHECK(src != nullptr && dst != nullptr);
       std::vector<TrajectoryWork> works = src->ExtractAllWork();
       ctr_trajectories_migrated_->Add(static_cast<int64_t>(works.size()));
       for (const TrajectoryWork& w : works) {
@@ -251,8 +319,8 @@ void RolloutManager::TriggerRepack() {
         if (w.kv_resident) {
           double kv_bytes = static_cast<double>(w.context_tokens) *
                             dst->decode_model().model().kv_bytes_per_token();
-          overhead_by_dst[dst_id] += dst->config().migration_fixed_overhead +
-                                     kv_bytes / dst->config().kv_transfer_bandwidth;
+          overhead_slot(dst_id) += dst->config().migration_fixed_overhead +
+                                   kv_bytes / dst->config().kv_transfer_bandwidth;
         }
       }
       dst->AssignWork(std::move(works), /*kv_transferred=*/true);
@@ -262,8 +330,8 @@ void RolloutManager::TriggerRepack() {
       StartWeightUpdate(src);
     }
     double overhead = 0.0;
-    for (const auto& [dst, seconds] : overhead_by_dst) {
-      overhead = std::max(overhead, seconds);
+    for (const auto& entry : overhead_by_dst) {
+      overhead = std::max(overhead, entry.second);
     }
     repack_overhead_seconds_->Add(overhead);
   }
@@ -282,7 +350,7 @@ void RolloutManager::RedirectWork(std::vector<TrajectoryWork> works, int weight_
     }
   }
   if (hosts.empty()) {
-    auto& pending = pending_redirects_[weight_version];
+    auto& pending = WorksForVersion(pending_redirects_, weight_version);
     for (auto& w : works) {
       if (partial_pool_->Contains(w.record.id)) {
         partial_pool_->Update(w, kManagerOwner);
@@ -339,11 +407,11 @@ void RolloutManager::ScheduleRedirectRetry() {
 
 void RolloutManager::RedirectByVersion(std::vector<TrajectoryWork> works,
                                        int fallback_version) {
-  std::map<int, std::vector<TrajectoryWork>> by_version;
+  VersionWorks by_version;
   for (TrajectoryWork& w : works) {
     int v = w.record.weight_versions.empty() ? fallback_version
                                              : w.record.weight_versions.back();
-    by_version[v].push_back(std::move(w));
+    WorksForVersion(by_version, v).push_back(std::move(w));
   }
   for (auto& [version, group] : by_version) {
     RedirectWork(std::move(group), version);
@@ -354,7 +422,7 @@ void RolloutManager::FlushPendingRedirects() {
   if (pending_redirects_.empty()) {
     return;
   }
-  std::map<int, std::vector<TrajectoryWork>> pending = std::move(pending_redirects_);
+  VersionWorks pending = std::move(pending_redirects_);
   pending_redirects_.clear();
   for (auto& [version, works] : pending) {
     RedirectWork(std::move(works), version);
@@ -378,7 +446,7 @@ void RolloutManager::OnMachineFailure(int machine) {
   for (size_t i = 0; i < casualties.size(); ++i) {
     never_admitted[i] = casualties[i]->Kill();
     monitor_.Forget(casualties[i]->config().id);
-    quarantined_.erase(casualties[i]->config().id);  // crash supersedes fail-slow
+    ClearQuarantined(casualties[i]->config().id);  // crash supersedes fail-slow
   }
   for (size_t i = 0; i < casualties.size(); ++i) {
     RolloutReplica* r = casualties[i];
@@ -386,14 +454,17 @@ void RolloutManager::OnMachineFailure(int machine) {
     // In-progress state survives in the partial-response pool; everything the
     // dead replica owned is redirected (re-prefill on arrival).
     std::vector<TrajectoryWork> recovered = partial_pool_->TakeByReplica(id);
-    std::set<TrajId> recovered_ids;
+    std::vector<TrajId> recovered_ids;
+    recovered_ids.reserve(recovered.size());
     for (const TrajectoryWork& w : recovered) {
-      recovered_ids.insert(w.record.id);
+      recovered_ids.push_back(w.record.id);
     }
+    std::sort(recovered_ids.begin(), recovered_ids.end());
     // Queued work that never streamed a checkpoint anywhere died with the
     // machine; mark it terminal-dropped so the prompt ledger stays exact.
     for (const TrajectoryWork& w : never_admitted[i]) {
-      if (recovered_ids.count(w.record.id) > 0) {
+      if (std::binary_search(recovered_ids.begin(), recovered_ids.end(),
+                             w.record.id)) {
         continue;  // a pooled checkpoint survives and will be redirected
       }
       if (partial_pool_->MarkDropped(w.record.id)) {
@@ -420,7 +491,7 @@ void RolloutManager::OnMachineFailure(int machine) {
     // version (paper §3.3) so the trajectories stay single-version.
     size_t next = 0;
     if (!pending_redirects_.empty()) {
-      std::map<int, std::vector<TrajectoryWork>> pending = std::move(pending_redirects_);
+      VersionWorks pending = std::move(pending_redirects_);
       pending_redirects_.clear();
       for (auto& [version, works] : pending) {
         if (next < casualties.size()) {
@@ -429,7 +500,7 @@ void RolloutManager::OnMachineFailure(int machine) {
           ctr_trajectories_redirected_->Add(static_cast<int64_t>(works.size()));
           host->AssignWork(std::move(works), /*kv_transferred=*/false);
         } else {
-          pending_redirects_[version] = std::move(works);
+          WorksForVersion(pending_redirects_, version) = std::move(works);
         }
       }
     }
@@ -446,7 +517,7 @@ void RolloutManager::OnReplicaSlow(int replica_id) {
     return;
   }
   ctr_slow_events_->Add();
-  quarantined_.insert(replica_id);
+  SetQuarantined(replica_id);
   std::vector<TrajectoryWork> drained = r->ExtractAllWork();
   ctr_trajectories_drained_slow_->Add(static_cast<int64_t>(drained.size()));
   LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/quarantine",
@@ -463,7 +534,7 @@ void RolloutManager::OnReplicaSlow(int replica_id) {
 }
 
 void RolloutManager::OnReplicaSlowRecovered(int replica_id) {
-  if (quarantined_.erase(replica_id) == 0) {
+  if (!ClearQuarantined(replica_id)) {
     return;
   }
   ctr_slow_recoveries_->Add();

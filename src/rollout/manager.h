@@ -7,9 +7,8 @@
 #define LAMINAR_SRC_ROLLOUT_MANAGER_H_
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -100,7 +99,10 @@ class RolloutManager {
   // batches until the detector reports recovery.
   void OnReplicaSlow(int replica_id);
   void OnReplicaSlowRecovered(int replica_id);
-  bool IsQuarantined(int replica_id) const { return quarantined_.count(replica_id) > 0; }
+  bool IsQuarantined(int replica_id) const {
+    return replica_id >= 0 && static_cast<size_t>(replica_id) < quarantined_.size() &&
+           quarantined_[static_cast<size_t>(replica_id)] != 0;
+  }
 
   // Transient machine stall: replicas freeze (no decode progress, no
   // heartbeats) and thaw unharmed after `duration_seconds` unless the stall
@@ -133,6 +135,11 @@ class RolloutManager {
   const RolloutManagerConfig& config() const { return config_; }
 
  private:
+  // Version -> parked work, kept sorted ascending by version. Replaces a
+  // std::map: iteration order (ascending) and per-version work order are
+  // identical, but entries live in one flat allocation.
+  using VersionWorks = std::vector<std::pair<int, std::vector<TrajectoryWork>>>;
+
   void AssignFreshBatch(RolloutReplica* replica);
   void StartWeightUpdate(RolloutReplica* replica);
   bool BacklogAllowsAssignment() const;
@@ -140,7 +147,10 @@ class RolloutManager {
   void FlushPendingRedirects();
   void ScheduleRedirectRetry();
   void RedirectByVersion(std::vector<TrajectoryWork> works, int fallback_version);
-  RolloutReplica* FindReplica(int replica_id);
+  RolloutReplica* FindReplica(int replica_id) const;
+  // Sets/clears the quarantine bit; returns whether the bit changed.
+  bool SetQuarantined(int replica_id);
+  bool ClearQuarantined(int replica_id);
   std::vector<ReplicaSnapshot> CollectSnapshots();
   void ObserveRates();
   void Tick();
@@ -156,11 +166,14 @@ class RolloutManager {
   IdlenessMonitor monitor_;
   std::unique_ptr<PeriodicTask> tick_;
   // Recovered work waiting for a healthy replica with a matching version.
-  std::map<int, std::vector<TrajectoryWork>> pending_redirects_;
+  VersionWorks pending_redirects_;
   // Replicas that finished a batch but were backlog-gated.
   std::vector<RolloutReplica*> starved_;
-  // Fail-slow replicas currently restricted to probe batches.
-  std::set<int> quarantined_;
+  // Fail-slow replicas currently restricted to probe batches (bitmap indexed
+  // by replica id).
+  std::vector<uint8_t> quarantined_;
+  // Dense replica-id -> replica lookup (ids are small and dense).
+  std::vector<RolloutReplica*> replica_by_id_;
   std::function<void(int, double)> rate_observer_;
   // Windowed decode-efficiency probe state, one slot per replica.
   struct RateProbe {

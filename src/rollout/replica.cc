@@ -95,11 +95,14 @@ std::vector<TrajectoryWork> RolloutReplica::ExtractAllWork() {
   // flow through the manager), so we resolve the interaction here: feedback
   // is appended to the context and the trajectory resumes at its next
   // segment on the destination. Its cached KV on this replica is discarded.
-  for (const EnvEvent& e : env_events_) {
-    sim_->Cancel(e.event);
+  // Cancellation and resolution both walk admission (seq) order, the old
+  // insertion order, so recovery order is unchanged.
+  std::vector<EntityHandle> env_handles = EnvHandlesInSeqOrder();
+  for (EntityHandle h : env_handles) {
+    sim_->Cancel(env_waiting_.Get(h)->event);
   }
-  env_events_.clear();
-  for (TrajectoryWork& w : env_waiting_) {
+  for (EntityHandle h : env_handles) {
+    TrajectoryWork w = std::move(env_waiting_.Remove(h).work);
     kv_used_tokens_ -= static_cast<double>(w.context_tokens);
     w.kv_resident = false;
     const TrajectorySegment& seg = w.current_segment();
@@ -112,7 +115,6 @@ std::vector<TrajectoryWork> RolloutReplica::ExtractAllWork() {
       out.push_back(std::move(w));
     }
   }
-  env_waiting_.clear();
   for (TrajectoryWork& w : waiting_) {
     out.push_back(std::move(w));
   }
@@ -211,19 +213,19 @@ void RolloutReplica::Resume(int new_version, bool recompute_kv) {
     for (auto& w : running_) {
       stamp(w);
     }
-    for (auto& w : env_waiting_) {
-      stamp(w);
-    }
+    env_waiting_.ForEach([&stamp](EntityHandle, EnvEntry& e) { stamp(e.work); });
     if (recompute_kv) {
       // The cache holds activations of the *old* weights; every resident
       // context must be re-prefilled (the paper's partial-rollout overhead).
+      // Context counts are integers below 2^53, so this double sum is exact
+      // and independent of traversal order.
       double recompute_tokens = 0.0;
       for (const auto& w : running_) {
         recompute_tokens += static_cast<double>(w.context_tokens);
       }
-      for (const auto& w : env_waiting_) {
-        recompute_tokens += static_cast<double>(w.context_tokens);
-      }
+      env_waiting_.ForEach([&recompute_tokens](EntityHandle, const EnvEntry& e) {
+        recompute_tokens += static_cast<double>(e.work.context_tokens);
+      });
       pending_stall_seconds_ += decode_.PrefillLatency(recompute_tokens) / speed_factor_;
       metrics_.prefill_tokens += static_cast<int64_t>(recompute_tokens);
     }
@@ -237,10 +239,9 @@ void RolloutReplica::Resume(int new_version, bool recompute_kv) {
 
 std::vector<TrajectoryWork> RolloutReplica::Kill() {
   CancelAdvance();
-  for (const EnvEvent& e : env_events_) {
-    sim_->Cancel(e.event);
+  for (EntityHandle h : EnvHandlesInSeqOrder()) {
+    sim_->Cancel(env_waiting_.Get(h)->event);
   }
-  env_events_.clear();
   // Running and env-waiting work streamed checkpoints to the partial pool at
   // admission, so the manager recovers those via TakeByReplica. Queued work
   // may never have been admitted anywhere; hand it back so the caller can
@@ -253,7 +254,7 @@ std::vector<TrajectoryWork> RolloutReplica::Kill() {
   }
   running_.clear();
   waiting_.clear();
-  env_waiting_.clear();
+  env_waiting_.Clear();
   kv_used_tokens_ = 0.0;
   pending_stall_seconds_ = 0.0;
   phase_ = ReplicaPhase::kDead;
@@ -292,12 +293,24 @@ double RolloutReplica::ResidentKvTokens() const {
   for (const TrajectoryWork& w : running_) {
     total += static_cast<double>(w.context_tokens);
   }
-  for (const TrajectoryWork& w : env_waiting_) {
-    if (w.kv_resident) {
-      total += static_cast<double>(w.context_tokens);
+  env_waiting_.ForEach([&total](EntityHandle, const EnvEntry& e) {
+    if (e.work.kv_resident) {
+      total += static_cast<double>(e.work.context_tokens);
     }
-  }
+  });
   return total;
+}
+
+std::vector<EntityHandle> RolloutReplica::EnvHandlesInSeqOrder() const {
+  std::vector<EntityHandle> handles;
+  handles.reserve(env_waiting_.size());
+  env_waiting_.ForEach(
+      [&handles](EntityHandle h, const EnvEntry&) { handles.push_back(h); });
+  std::sort(handles.begin(), handles.end(),
+            [this](EntityHandle a, EntityHandle b) {
+              return env_waiting_.Get(a)->seq < env_waiting_.Get(b)->seq;
+            });
+  return handles;
 }
 
 int64_t RolloutReplica::ObservedDecodeTokens() const {
@@ -401,14 +414,16 @@ void RolloutReplica::ScheduleAdvance() {
     return;
   }
   int batch = static_cast<int>(running_.size());
-  double total_ctx = 0.0;
+  // Integer accumulation: context counts stay below 2^53, so this equals the
+  // old double-by-double sum bit-for-bit while keeping the loop integer-only.
+  int64_t total_ctx = 0;
   int64_t min_remaining = INT64_MAX;
   for (const TrajectoryWork& w : running_) {
-    total_ctx += static_cast<double>(w.context_tokens);
+    total_ctx += w.context_tokens;
     min_remaining = std::min(min_remaining, w.remaining_in_segment());
   }
   LAMINAR_CHECK_GE(min_remaining, 1);
-  double avg_ctx = total_ctx / batch;
+  double avg_ctx = static_cast<double>(total_ctx) / batch;
   double step_latency = decode_.StepLatency(batch, avg_ctx) / speed_factor_;
   int64_t kv_steps = static_cast<int64_t>(
       std::floor((kv_capacity_tokens_ - kv_used_tokens_) / batch));
@@ -489,21 +504,27 @@ void RolloutReplica::Advance(int64_t steps) {
   metrics_.decode_tokens += batch * steps;
   CreditDecodeProbe(steps, batch);
 
-  // Split out the sequences that hit their segment boundary.
-  std::vector<TrajectoryWork> at_boundary;
-  std::vector<TrajectoryWork> still_running;
-  still_running.reserve(running_.size());
-  for (TrajectoryWork& w : running_) {
+  // Split out the sequences that hit their segment boundary: stable in-place
+  // compaction of the survivors (same relative order as the old two-vector
+  // split, without reallocating the batch every advance).
+  boundary_scratch_.clear();
+  size_t write = 0;
+  for (size_t read = 0; read < running_.size(); ++read) {
+    TrajectoryWork& w = running_[read];
     if (w.remaining_in_segment() <= 0) {
-      at_boundary.push_back(std::move(w));
+      boundary_scratch_.push_back(std::move(w));
     } else {
-      still_running.push_back(std::move(w));
+      if (write != read) {
+        running_[write] = std::move(w);
+      }
+      ++write;
     }
   }
-  running_ = std::move(still_running);
-  for (TrajectoryWork& w : at_boundary) {
+  running_.resize(write);
+  for (TrajectoryWork& w : boundary_scratch_) {
     FinishSegment(std::move(w));
   }
+  boundary_scratch_.clear();
   TryAdmit();
   ScheduleAdvance();
   CheckBatchDone();
@@ -513,15 +534,19 @@ void RolloutReplica::FinishSegment(TrajectoryWork work) {
   const TrajectorySegment& seg = work.current_segment();
   if (seg.env_latency > 0.0) {
     // Trajectory leaves the decode batch for its sandbox call; the KV pages
-    // stay resident so no recompute is needed on rejoin.
-    TrajId id = work.record.id;
+    // stay resident so no recompute is needed on rejoin. The rejoin event
+    // captures the slab handle, so no id search is needed when it fires.
     if (on_progress_) {
       on_progress_(work, config_.id);
     }
-    env_waiting_.push_back(std::move(work));
-    SimTime at = sim_->Now() + seg.env_latency;
-    EventId eid = sim_->ScheduleAt(at, [this, id] { RejoinFromEnv(id); });
-    env_events_.push_back(EnvEvent{id, eid, at});
+    EnvEntry entry;
+    entry.work = std::move(work);
+    entry.at = sim_->Now() + seg.env_latency;
+    entry.seq = ++env_seq_;
+    EntityHandle handle = env_waiting_.Insert(std::move(entry));
+    EnvEntry* stored = env_waiting_.Get(handle);
+    stored->event =
+        sim_->ScheduleAt(stored->at, [this, handle] { RejoinFromEnv(handle); });
     return;
   }
   work.segment_index += 1;
@@ -533,16 +558,10 @@ void RolloutReplica::FinishSegment(TrajectoryWork work) {
   }
 }
 
-void RolloutReplica::RejoinFromEnv(TrajId id) {
+void RolloutReplica::RejoinFromEnv(EntityHandle handle) {
   SyncProgress();
-  auto it = std::find_if(env_waiting_.begin(), env_waiting_.end(),
-                         [id](const TrajectoryWork& w) { return w.record.id == id; });
-  LAMINAR_CHECK(it != env_waiting_.end()) << "env rejoin for unknown trajectory " << id;
-  TrajectoryWork work = std::move(*it);
-  env_waiting_.erase(it);
-  env_events_.erase(std::remove_if(env_events_.begin(), env_events_.end(),
-                                   [id](const EnvEvent& e) { return e.id == id; }),
-                    env_events_.end());
+  LAMINAR_CHECK(env_waiting_.Contains(handle)) << "env rejoin with a stale handle";
+  TrajectoryWork work = std::move(env_waiting_.Remove(handle).work);
   const TrajectorySegment& seg = work.current_segment();
   // Sandbox output becomes new context: it occupies KV and must be prefilled.
   work.context_tokens += seg.feedback_tokens;

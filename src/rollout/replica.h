@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/entity_table.h"
 #include "src/common/stats.h"
 #include "src/data/trajectory.h"
 #include "src/llm/decode_model.h"
@@ -207,7 +208,7 @@ class RolloutReplica {
   void TryAdmit();
   void PreemptForHeadroom();
   void FinishSegment(TrajectoryWork work);
-  void RejoinFromEnv(TrajId id);
+  void RejoinFromEnv(EntityHandle handle);
   void CompleteTrajectory(TrajectoryWork work);
   void CheckBatchDone();
   void TouchMetrics();
@@ -227,16 +228,28 @@ class RolloutReplica {
   // the model latency divided by this.
   double speed_factor_ = 1.0;
 
-  struct EnvEvent {
-    TrajId id = kInvalidTrajId;
+  // One trajectory blocked on a sandbox/env call. Entries live in a
+  // generation-tagged slab; the pending rejoin event captures the slab
+  // handle, making the rejoin O(1) instead of a linear id search. `seq`
+  // records admission order for the rare drain paths (ExtractAllWork, Kill)
+  // whose processing order must match the old insertion-ordered list.
+  struct EnvEntry {
+    TrajectoryWork work;
     EventId event = kInvalidEventId;
     SimTime at;
+    uint64_t seq = 0;
   };
+
+  // Live env entries sorted by seq — the old insertion order.
+  std::vector<EntityHandle> EnvHandlesInSeqOrder() const;
 
   std::vector<TrajectoryWork> running_;
   std::deque<TrajectoryWork> waiting_;
-  std::vector<TrajectoryWork> env_waiting_;  // paired with pending env events
-  std::vector<EnvEvent> env_events_;
+  EntityTable<EnvEntry> env_waiting_;
+  uint64_t env_seq_ = 0;
+  // Reused by Advance() for the segment-boundary partition (no steady-state
+  // allocation in the hot loop).
+  std::vector<TrajectoryWork> boundary_scratch_;
 
   double kv_used_tokens_ = 0.0;
   // Prefill/KV-transfer work that must complete before decoding resumes;

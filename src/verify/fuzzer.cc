@@ -1,8 +1,10 @@
 #include "src/verify/fuzzer.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "src/common/logging.h"
@@ -41,19 +43,15 @@ std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout)
   return batch;
 }
 
-}  // namespace
-
-OracleReport EvaluateScenario(const Scenario& scn, const EvalOptions& opts) {
+// Judge phase of EvaluateScenario: all oracles over already-computed run
+// reports. Pure — no simulations run here — so many scenarios' sweeps can be
+// batched through one RunExperiments() call and judged independently.
+OracleReport JudgeScenario(const Scenario& scn, const EvalOptions& opts,
+                           const std::vector<RlSystemConfig>& batch,
+                           const BatchLayout& layout,
+                           const std::vector<SystemReport>& reports,
+                           const std::vector<SystemReport>& replay) {
   OracleReport out;
-  BatchLayout layout;
-  std::vector<RlSystemConfig> batch = BuildBatch(scn, layout);
-
-  SweepOptions sweep_a;
-  sweep_a.num_threads = opts.sweep_threads_a;
-  std::vector<SystemReport> reports = RunExperiments(batch, sweep_a);
-  SweepOptions sweep_b;
-  sweep_b.num_threads = opts.sweep_threads_b;
-  std::vector<SystemReport> replay = RunExperiments(batch, sweep_b);
 
   // Oracle: replay determinism across sweep thread counts.
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -106,6 +104,67 @@ OracleReport EvaluateScenario(const Scenario& scn, const EvalOptions& opts) {
   return out;
 }
 
+}  // namespace
+
+OracleReport EvaluateScenario(const Scenario& scn, const EvalOptions& opts) {
+  return EvaluateScenarios({scn}, opts)[0];
+}
+
+std::vector<OracleReport> EvaluateScenarios(const std::vector<Scenario>& scenarios,
+                                            const EvalOptions& opts) {
+  // Build phase: concatenate every scenario's config batch into one flat
+  // sweep so the thread pool sees all the work at once.
+  std::vector<BatchLayout> layouts(scenarios.size());
+  std::vector<std::vector<RlSystemConfig>> batches;
+  batches.reserve(scenarios.size());
+  std::vector<size_t> offsets;
+  offsets.reserve(scenarios.size());
+  std::vector<RlSystemConfig> flat;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    batches.push_back(BuildBatch(scenarios[i], layouts[i]));
+    offsets.push_back(flat.size());
+    flat.insert(flat.end(), batches[i].begin(), batches[i].end());
+  }
+
+  SweepOptions sweep_a;
+  sweep_a.num_threads = opts.sweep_threads_a;
+  std::vector<SystemReport> reports = RunExperiments(flat, sweep_a);
+  SweepOptions sweep_b;
+  sweep_b.num_threads = opts.sweep_threads_b;
+  std::vector<SystemReport> replay = RunExperiments(flat, sweep_b);
+
+  // Judge phase, per scenario over its slice of the flat report vector.
+  std::vector<OracleReport> out;
+  out.reserve(scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    auto begin_a = reports.begin() + static_cast<std::ptrdiff_t>(offsets[i]);
+    auto begin_b = replay.begin() + static_cast<std::ptrdiff_t>(offsets[i]);
+    std::ptrdiff_t len = static_cast<std::ptrdiff_t>(batches[i].size());
+    std::vector<SystemReport> slice_a(std::make_move_iterator(begin_a),
+                                      std::make_move_iterator(begin_a + len));
+    std::vector<SystemReport> slice_b(std::make_move_iterator(begin_b),
+                                      std::make_move_iterator(begin_b + len));
+    out.push_back(
+        JudgeScenario(scenarios[i], opts, batches[i], layouts[i], slice_a, slice_b));
+  }
+  return out;
+}
+
+std::vector<ConfigFingerprint> ScenarioFingerprints(const Scenario& scn,
+                                                    unsigned sweep_threads) {
+  BatchLayout layout;
+  std::vector<RlSystemConfig> batch = BuildBatch(scn, layout);
+  SweepOptions sweep;
+  sweep.num_threads = sweep_threads;
+  std::vector<SystemReport> reports = RunExperiments(batch, sweep);
+  std::vector<ConfigFingerprint> out;
+  out.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    out.push_back({batch[i].Label(), FingerprintHash(reports[i])});
+  }
+  return out;
+}
+
 std::string FuzzReport::Summary() const {
   std::ostringstream out;
   out << seeds_run << " seeds, " << oracle_checks << " oracle checks, " << failures.size()
@@ -118,36 +177,65 @@ std::string FuzzReport::Summary() const {
 
 FuzzReport RunFuzz(const FuzzOptions& opts) {
   FuzzReport report;
-  for (int i = 0; i < opts.num_seeds; ++i) {
-    uint64_t seed = opts.base_seed + static_cast<uint64_t>(i);
-    Scenario scn = GenerateScenario(seed);
-    OracleReport oracle = EvaluateScenario(scn, opts.eval);
-    ++report.seeds_run;
-    report.oracle_checks += oracle.checks_run;
-    if (oracle.ok()) {
-      continue;
+  int window = std::max(1, opts.seeds_per_batch);
+  bool stopped = false;
+  // Seeds are independent simulations, so a window of them is evaluated
+  // through one batched sweep and judged strictly in seed order; the report
+  // is identical for any window size (seeds evaluated past a mid-window
+  // max_failures stop are simply discarded, as the serial loop never ran
+  // them).
+  for (int start = 0; start < opts.num_seeds && !stopped; start += window) {
+    int n = std::min(window, opts.num_seeds - start);
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      scenarios.push_back(
+          GenerateScenario(opts.base_seed + static_cast<uint64_t>(start + i)));
     }
-
-    SeedOutcome outcome;
-    outcome.seed = seed;
-    outcome.failure_summary = oracle.Summary();
-    outcome.repro = scn;
-    if (opts.shrink_failures) {
-      ShrinkResult shrunk = ShrinkScenario(scn, [&opts](const Scenario& candidate) {
-        return !EvaluateScenario(candidate, opts.eval).ok();
-      });
-      outcome.repro = shrunk.scenario;
-      outcome.failure_summary = EvaluateScenario(shrunk.scenario, opts.eval).Summary();
-    }
-    if (!opts.corpus_dir.empty()) {
-      std::string path = opts.corpus_dir + "/fail_" + std::to_string(seed) + ".scenario";
-      if (!WriteScenarioFile(outcome.repro, path, outcome.failure_summary)) {
-        LAMINAR_LOG(kWarning) << "could not write repro to " << path;
+    std::vector<OracleReport> oracles = EvaluateScenarios(scenarios, opts.eval);
+    for (int i = 0; i < n; ++i) {
+      uint64_t seed = opts.base_seed + static_cast<uint64_t>(start + i);
+      const Scenario& scn = scenarios[static_cast<size_t>(i)];
+      const OracleReport& oracle = oracles[static_cast<size_t>(i)];
+      ++report.seeds_run;
+      report.oracle_checks += oracle.checks_run;
+      if (oracle.ok()) {
+        continue;
       }
-    }
-    report.failures.push_back(std::move(outcome));
-    if (static_cast<int>(report.failures.size()) >= opts.max_failures) {
-      break;
+
+      SeedOutcome outcome;
+      outcome.seed = seed;
+      outcome.failure_summary = oracle.Summary();
+      outcome.repro = scn;
+      if (opts.shrink_failures) {
+        // Shrink with speculative candidate windows fanned through the same
+        // batched sweep; commits follow submission order, so the result
+        // matches the serial per-candidate shrinker.
+        ShrinkResult shrunk = ShrinkScenario(
+            scn, ShrinkBatchPredicate([&opts](const std::vector<Scenario>& candidates) {
+              std::vector<OracleReport> reports =
+                  EvaluateScenarios(candidates, opts.eval);
+              std::vector<char> fails(reports.size(), 0);
+              for (size_t j = 0; j < reports.size(); ++j) {
+                fails[j] = reports[j].ok() ? 0 : 1;
+              }
+              return fails;
+            }));
+        outcome.repro = shrunk.scenario;
+        outcome.failure_summary = EvaluateScenario(shrunk.scenario, opts.eval).Summary();
+      }
+      if (!opts.corpus_dir.empty()) {
+        std::string path =
+            opts.corpus_dir + "/fail_" + std::to_string(seed) + ".scenario";
+        if (!WriteScenarioFile(outcome.repro, path, outcome.failure_summary)) {
+          LAMINAR_LOG(kWarning) << "could not write repro to " << path;
+        }
+      }
+      report.failures.push_back(std::move(outcome));
+      if (static_cast<int>(report.failures.size()) >= opts.max_failures) {
+        stopped = true;
+        break;
+      }
     }
   }
   return report;

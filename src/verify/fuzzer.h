@@ -26,6 +26,27 @@ struct EvalOptions {
 //   5. `plan_cases` random Algorithm-1 post-apply checks
 OracleReport EvaluateScenario(const Scenario& scenario, const EvalOptions& options = {});
 
+// Batched form: evaluates many scenarios through two sweeps over the
+// concatenated config batch, so independent seeds share the RunExperiments()
+// thread pool instead of each paying its own mostly-idle sweep. Every run is
+// single-threaded and bit-deterministic, so out[i] is byte-identical to
+// EvaluateScenario(scenarios[i], options) — the batching changes wall-clock
+// only, never a result.
+std::vector<OracleReport> EvaluateScenarios(const std::vector<Scenario>& scenarios,
+                                            const EvalOptions& options = {});
+
+// One fingerprint per config in the scenario's batch (primary first, then
+// any differential twins), in batch order. The hashes cover everything
+// RunFingerprint() covers, so any behavioural drift in the data path shows
+// up as a changed hash. Used to pin the committed corpus to pre-refactor
+// behaviour (tests/corpus/fingerprints.golden).
+struct ConfigFingerprint {
+  std::string label;  // RlSystemConfig::Label() of the batch entry
+  uint64_t hash = 0;  // FingerprintHash() of its report
+};
+std::vector<ConfigFingerprint> ScenarioFingerprints(const Scenario& scenario,
+                                                    unsigned sweep_threads = 2);
+
 struct FuzzOptions {
   int num_seeds = 32;
   uint64_t base_seed = 0;
@@ -35,6 +56,10 @@ struct FuzzOptions {
   // fail_<seed>.scenario with the failure summary in the header comment.
   std::string corpus_dir;
   int max_failures = 4;  // stop fuzzing after this many failing seeds
+  // Seeds evaluated per EvaluateScenarios() call. Outcomes are judged in
+  // seed order and the FuzzReport is identical for any window size; larger
+  // windows just keep the sweep pool busier.
+  int seeds_per_batch = 8;
 };
 
 struct SeedOutcome {

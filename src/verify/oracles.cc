@@ -72,6 +72,8 @@ std::string RunFingerprint(const SystemReport& rep) {
   return fp;
 }
 
+uint64_t FingerprintHash(const SystemReport& rep) { return Fnv1a(RunFingerprint(rep)); }
+
 void AuditRun(const RlSystemConfig& cfg, const SystemReport& rep, const char* run_name,
               OracleReport& out) {
   auto add = [&out, run_name](const std::string& detail) {

@@ -40,6 +40,11 @@ struct OracleReport {
 // hash of the binary trace when one was captured.
 std::string RunFingerprint(const SystemReport& report);
 
+// FNV-1a of RunFingerprint(report) — the compact form checked into
+// tests/corpus/fingerprints.golden and compared by the `perf`-labeled
+// byte-identity regression test.
+uint64_t FingerprintHash(const SystemReport& report);
+
 // Per-run sanity: zero invariant violations (with checks actually run when
 // the config armed them), the run completed its target iterations, consumed
 // trajectories match iterations x global batch, and no trajectory id was

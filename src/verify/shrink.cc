@@ -156,11 +156,7 @@ bool DropChaosClass(Scenario& s) {
   return true;
 }
 
-}  // namespace
-
-ShrinkResult ShrinkScenario(const Scenario& failing,
-                            const std::function<bool(const Scenario&)>& still_fails,
-                            int max_attempts) {
+const std::vector<Transform>& Transforms() {
   static const std::vector<Transform> kTransforms = {
       DropChaos,
       DropSyncDiff,
@@ -187,13 +183,21 @@ ShrinkResult ShrinkScenario(const Scenario& failing,
       DropChaosClass<&FaultProcessConfig::message_drop_per_hour>,
       FewerPlanCases,
   };
+  return kTransforms;
+}
 
+}  // namespace
+
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const std::function<bool(const Scenario&)>& still_fails,
+                            int max_attempts) {
+  const std::vector<Transform>& transforms = Transforms();
   ShrinkResult result;
   result.scenario = failing;
   bool progressed = true;
   while (progressed && result.attempts < max_attempts) {
     progressed = false;
-    for (Transform t : kTransforms) {
+    for (Transform t : transforms) {
       if (result.attempts >= max_attempts) {
         break;
       }
@@ -206,6 +210,60 @@ ShrinkResult ShrinkScenario(const Scenario& failing,
         result.scenario = candidate;
         ++result.accepted_steps;
         progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const ShrinkBatchPredicate& still_fails_batch,
+                            int max_attempts) {
+  const std::vector<Transform>& transforms = Transforms();
+  ShrinkResult result;
+  result.scenario = failing;
+  bool progressed = true;
+  while (progressed && result.attempts < max_attempts) {
+    progressed = false;
+    // One serial pass over the transform list, evaluated in speculative
+    // windows: every applicable candidate from `index` onward is derived
+    // from the current scenario and evaluated together. The first failing
+    // candidate in submission order is committed; later candidates were
+    // speculated against the stale base scenario, so they are discarded
+    // (uncounted) and the window restarts after the accepted transform.
+    size_t index = 0;
+    while (index < transforms.size() && result.attempts < max_attempts) {
+      std::vector<Scenario> candidates;
+      std::vector<size_t> source;  // transform index per candidate
+      int budget = max_attempts - result.attempts;
+      for (size_t i = index;
+           i < transforms.size() && static_cast<int>(candidates.size()) < budget; ++i) {
+        Scenario candidate = result.scenario;
+        if (!transforms[i](candidate)) {
+          continue;
+        }
+        candidates.push_back(std::move(candidate));
+        source.push_back(i);
+      }
+      if (candidates.empty()) {
+        break;
+      }
+      std::vector<char> fails = still_fails_batch(candidates);
+      size_t accepted = candidates.size();
+      for (size_t j = 0; j < candidates.size(); ++j) {
+        ++result.attempts;
+        if (fails[j] != 0) {
+          accepted = j;
+          break;
+        }
+      }
+      if (accepted < candidates.size()) {
+        result.scenario = std::move(candidates[accepted]);
+        ++result.accepted_steps;
+        progressed = true;
+        index = source[accepted] + 1;
+      } else {
+        index = transforms.size();
       }
     }
   }

@@ -5,6 +5,7 @@
 #define LAMINAR_SRC_VERIFY_SHRINK_H_
 
 #include <functional>
+#include <vector>
 
 #include "src/verify/scenario.h"
 
@@ -23,6 +24,20 @@ struct ShrinkResult {
 // evaluations. `still_fails(failing)` is assumed true and is not re-checked.
 ShrinkResult ShrinkScenario(const Scenario& failing,
                             const std::function<bool(const Scenario&)>& still_fails,
+                            int max_attempts = 64);
+
+// Speculative form for expensive predicates: candidates for a whole round of
+// transforms are derived from the current scenario and handed to
+// `still_fails_batch` together (out[i] = does candidate i still fail), so the
+// caller can fan the evaluations across the sweep thread pool. Commits follow
+// submission order — the first failing candidate is accepted and everything
+// speculated past it is discarded — so the ShrinkResult (scenario, attempts,
+// accepted_steps) is identical to the serial overload; over-evaluated
+// discarded candidates are never counted.
+using ShrinkBatchPredicate =
+    std::function<std::vector<char>(const std::vector<Scenario>&)>;
+ShrinkResult ShrinkScenario(const Scenario& failing,
+                            const ShrinkBatchPredicate& still_fails_batch,
                             int max_attempts = 64);
 
 }  // namespace laminar

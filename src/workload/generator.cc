@@ -34,7 +34,7 @@ TrajectorySpec WorkloadGenerator::Sample(int weight_version) {
     auto lengths = response_lengths_;
     lengths.median_tokens *= drift;
     seg.decode_tokens = lengths.Sample(rng_);
-    spec.segments.push_back(seg);
+    spec.AppendSegment(seg);
     return spec;
   }
 
@@ -54,7 +54,7 @@ TrajectorySpec WorkloadGenerator::Sample(int weight_version) {
       seg.env_latency = env_latency_.Sample(rng_) * config_.time_scale;
       seg.feedback_tokens = rng_.UniformInt(64, 512);
     }
-    spec.segments.push_back(seg);
+    spec.AppendSegment(seg);
   }
   return spec;
 }

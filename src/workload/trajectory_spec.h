@@ -5,10 +5,19 @@
 // tool calling interleaves decode segments with code-sandbox calls whose
 // results are appended to the context as feedback tokens (which must be
 // prefilled, not decoded).
+//
+// The segment list is immutable once a trajectory enters the pipeline, yet a
+// record is copied many times on its way through it (replica -> partial pool
+// -> experience buffer -> trainer batch). Segments therefore live in a
+// shared refcounted store: copying a spec bumps a refcount instead of
+// cloning the vector, so pipeline hand-off never allocates (DESIGN.md §11).
+// The mutators below are copy-on-write for the builders (workload generator,
+// tests) that shape a spec before or after it is wrapped in a record.
 #ifndef LAMINAR_SRC_WORKLOAD_TRAJECTORY_SPEC_H_
 #define LAMINAR_SRC_WORKLOAD_TRAJECTORY_SPEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace laminar {
@@ -21,18 +30,29 @@ struct TrajectorySegment {
 
 struct TrajectorySpec {
   int64_t prompt_tokens = 0;
-  std::vector<TrajectorySegment> segments;
+
+  const std::vector<TrajectorySegment>& segments() const {
+    static const std::vector<TrajectorySegment> kEmpty;
+    return segments_ ? *segments_ : kEmpty;
+  }
+  size_t num_segments() const { return segments_ ? segments_->size() : 0; }
+
+  // Copy-on-write builders: a spec whose store is shared with other copies
+  // clones it before mutating, so those copies are never affected.
+  void AppendSegment(const TrajectorySegment& seg) { MutableSegments().push_back(seg); }
+  void ClearSegments() { segments_.reset(); }
+  void ReserveSegments(size_t n) { MutableSegments().reserve(n); }
 
   int64_t total_decode_tokens() const {
     int64_t n = 0;
-    for (const auto& s : segments) {
+    for (const auto& s : segments()) {
       n += s.decode_tokens;
     }
     return n;
   }
   int64_t total_feedback_tokens() const {
     int64_t n = 0;
-    for (const auto& s : segments) {
+    for (const auto& s : segments()) {
       n += s.feedback_tokens;
     }
     return n;
@@ -43,12 +63,24 @@ struct TrajectorySpec {
   }
   double total_env_latency() const {
     double t = 0.0;
-    for (const auto& s : segments) {
+    for (const auto& s : segments()) {
       t += s.env_latency;
     }
     return t;
   }
-  int num_turns() const { return static_cast<int>(segments.size()); }
+  int num_turns() const { return static_cast<int>(num_segments()); }
+
+ private:
+  std::vector<TrajectorySegment>& MutableSegments() {
+    if (!segments_) {
+      segments_ = std::make_shared<std::vector<TrajectorySegment>>();
+    } else if (segments_.use_count() > 1) {
+      segments_ = std::make_shared<std::vector<TrajectorySegment>>(*segments_);
+    }
+    return *segments_;
+  }
+
+  std::shared_ptr<std::vector<TrajectorySegment>> segments_;
 };
 
 }  // namespace laminar

@@ -14,7 +14,7 @@ TrajectoryRecord Rec(TrajId id, int version, int64_t prompt_id = 0) {
   r.prompt_id = prompt_id;
   r.weight_versions = {version};
   r.spec.prompt_tokens = 10;
-  r.spec.segments.push_back({100, 0.0, 0});
+  r.spec.AppendSegment({100, 0.0, 0});
   return r;
 }
 
@@ -36,7 +36,7 @@ TEST(TrajectoryRecordTest, StalenessAndMixedVersionAccessors) {
 TEST(TrajectoryWorkTest, ProgressAccessors) {
   TrajectoryWork w;
   w.record = Rec(1, 0);
-  w.record.spec.segments.push_back({50, 0.0, 0});
+  w.record.spec.AppendSegment({50, 0.0, 0});
   w.InitContext();
   EXPECT_EQ(w.context_tokens, 10);
   EXPECT_EQ(w.remaining_decode_tokens(), 150);
@@ -237,9 +237,9 @@ TEST(PartialResponsePoolTest, RestoreResolvesEnvBoundaryCheckpoint) {
   TrajectoryWork w;
   w.record = Rec(1, 0);
   w.record.spec.prompt_tokens = 10;
-  w.record.spec.segments.clear();
-  w.record.spec.segments.push_back({/*decode=*/100, /*env_latency=*/3.0, /*feedback=*/64});
-  w.record.spec.segments.push_back({/*decode=*/50, 0.0, 0});
+  w.record.spec.ClearSegments();
+  w.record.spec.AppendSegment({/*decode=*/100, /*env_latency=*/3.0, /*feedback=*/64});
+  w.record.spec.AppendSegment({/*decode=*/50, 0.0, 0});
   w.InitContext();
   w.context_tokens = 110;     // prompt + the fully decoded first segment
   w.decoded_in_segment = 100; // at the env boundary: remaining_in_segment() == 0
@@ -259,9 +259,9 @@ TEST(PartialResponsePoolTest, RestoreResolvesEnvBoundaryCheckpoint) {
   TrajectoryWork mid;
   mid.record = Rec(2, 0);
   mid.record.spec.prompt_tokens = 10;
-  mid.record.spec.segments.clear();
-  mid.record.spec.segments.push_back({100, 3.0, 64});
-  mid.record.spec.segments.push_back({50, 0.0, 0});
+  mid.record.spec.ClearSegments();
+  mid.record.spec.AppendSegment({100, 3.0, 64});
+  mid.record.spec.AppendSegment({50, 0.0, 0});
   mid.InitContext();
   mid.context_tokens = 40;
   mid.decoded_in_segment = 30;

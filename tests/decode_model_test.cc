@@ -1,0 +1,153 @@
+// Bit-exactness of the memoized decode-latency tables (DESIGN.md §11).
+//
+// The memo layers in DecodeModel (hoisted spec constants, per-batch HBM/TP
+// rows, the (batch, context-bucket) step cache, the single-entry prefill
+// memo) must be invisible: a cached answer has to be bit-identical to what a
+// cold evaluation computes, or simulation runs stop being reproducible
+// against the corpus fingerprints. Comparisons here are exact (==), not
+// EXPECT_DOUBLE_EQ.
+#include "src/llm/decode_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cluster/hardware.h"
+#include "src/llm/model_spec.h"
+
+namespace laminar {
+namespace {
+
+const int kBatches[] = {1, 2, 7, 64, 255, 1024};
+const double kContexts[] = {0.5, 100.0, 1000.25, 2048.0, 4096.75, 8191.5};
+
+TEST(DecodeModelMemoTest, WarmStepCacheMatchesColdEvaluation) {
+  MachineSpec machine;
+  for (int tp : {1, 4}) {
+    DecodeModel warm(Qwen25_7B(), machine, tp);
+    // Populate every row, then re-query: each second query must hit the
+    // cache and return the identical bits a fresh model computes cold.
+    for (int batch : kBatches) {
+      for (double ctx : kContexts) {
+        warm.StepLatency(batch, ctx);
+      }
+    }
+    int64_t misses_after_fill = warm.step_cache_misses();
+    for (int batch : kBatches) {
+      for (double ctx : kContexts) {
+        DecodeModel cold(Qwen25_7B(), machine, tp);
+        EXPECT_EQ(warm.StepLatency(batch, ctx), cold.StepLatency(batch, ctx))
+            << "tp=" << tp << " batch=" << batch << " ctx=" << ctx;
+      }
+    }
+    // Some grid contexts share a bucket (floor(ctx/256) mod 16) and evict
+    // each other, so the re-query pass mixes hits and misses — but every
+    // query is accounted for, and the non-colliding rows did hit.
+    int64_t grid = static_cast<int64_t>(std::size(kBatches) * std::size(kContexts));
+    EXPECT_EQ(warm.step_cache_hits() + warm.step_cache_misses(), 2 * grid);
+    EXPECT_GT(warm.step_cache_hits(), 0);
+    EXPECT_GE(warm.step_cache_misses(), misses_after_fill);
+  }
+}
+
+TEST(DecodeModelMemoTest, StepLatencyMatchesUnmemoizedFormula) {
+  // The formula as written before hoisting/memoization, same operation
+  // order. Hoisting only precomputes prefixes of these expressions, so the
+  // results must be bit-identical, not merely close.
+  MachineSpec machine;
+  ModelSpec model = Qwen25_32B();
+  for (int tp : {1, 8}) {
+    DecodeModel m(model, machine, tp);
+    for (int batch : kBatches) {
+      for (double ctx : kContexts) {
+        double kv_read =
+            static_cast<double>(batch) * ctx * model.kv_bytes_per_token() / tp;
+        double mem = (model.weight_bytes() / tp + kv_read) /
+                     machine.gpu.effective_hbm_at_batch(batch);
+        double flops_per_token =
+            model.forward_flops_per_token() +
+            4.0 * model.num_layers * ctx * model.num_heads * model.head_dim;
+        double compute = static_cast<double>(batch) * flops_per_token /
+                         (tp * machine.gpu.peak_flops_bf16 *
+                          machine.gpu.decode_flops_efficiency);
+        double tp_comm = 0.0;
+        if (tp != 1) {
+          double bytes_per_allreduce =
+              static_cast<double>(batch) * model.hidden_size * model.bytes_per_param;
+          double ring_factor = 2.0 * (tp - 1) / static_cast<double>(tp);
+          double transfer =
+              bytes_per_allreduce * ring_factor / machine.nvlink_bandwidth;
+          const double launch = 8.0e-6 * machine.gpu.host_overhead_scale;
+          tp_comm = 2.0 * model.num_layers * (transfer + launch);
+        }
+        double overhead = (1000.0e-6 + 12.0e-6 * model.num_layers) *
+                          machine.gpu.host_overhead_scale;
+        double expected = std::max(mem, compute) + tp_comm + overhead;
+        // Query twice: the miss path and the hit path must both return it.
+        EXPECT_EQ(m.StepLatency(batch, ctx), expected)
+            << "tp=" << tp << " batch=" << batch << " ctx=" << ctx;
+        EXPECT_EQ(m.StepLatency(batch, ctx), expected)
+            << "cached, tp=" << tp << " batch=" << batch << " ctx=" << ctx;
+      }
+    }
+  }
+}
+
+TEST(DecodeModelMemoTest, BucketEvictionPreservesExactness) {
+  // Contexts 256 apart land in adjacent buckets; contexts 256*16 apart share
+  // a bucket and evict each other. Alternating queries must keep returning
+  // the cold-model value regardless of eviction churn.
+  MachineSpec machine;
+  DecodeModel m(Qwen25_7B(), machine, 1);
+  DecodeModel cold_a(Qwen25_7B(), machine, 1);
+  DecodeModel cold_b(Qwen25_7B(), machine, 1);
+  const double ctx_a = 500.0;
+  const double ctx_b = 500.0 + 256.0 * 16;
+  double expect_a = cold_a.StepLatency(32, ctx_a);
+  double expect_b = cold_b.StepLatency(32, ctx_b);
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(m.StepLatency(32, ctx_a), expect_a) << "round " << round;
+    EXPECT_EQ(m.StepLatency(32, ctx_b), expect_b) << "round " << round;
+  }
+  // Every query after the first pair evicted the other context: all misses.
+  EXPECT_EQ(m.step_cache_hits(), 0);
+  EXPECT_EQ(m.step_cache_misses(), 8);
+}
+
+TEST(DecodeModelMemoTest, PrefillMemoMatchesColdEvaluation) {
+  MachineSpec machine;
+  DecodeModel warm(Qwen25_72B(), machine, 8);
+  const double kTokens[] = {1.0, 512.0, 4096.5, 512.0, 100000.0, 512.0};
+  for (double tokens : kTokens) {
+    DecodeModel cold(Qwen25_72B(), machine, 8);
+    EXPECT_EQ(warm.PrefillLatency(tokens), cold.PrefillLatency(tokens))
+        << "tokens=" << tokens;
+  }
+  EXPECT_EQ(warm.PrefillLatency(0.0), 0.0);
+}
+
+TEST(DecodeModelMemoTest, ComponentAccessorsConsistentWithStep) {
+  // StepLatency must equal its published decomposition even on cache hits.
+  MachineSpec machine;
+  DecodeModel m(Qwen25_32B(), machine, 4);
+  for (int batch : kBatches) {
+    for (double ctx : kContexts) {
+      double expected = std::max(m.MemoryTime(batch, ctx), m.ComputeTime(batch, ctx)) +
+                        m.TpCommTime(batch) + m.KernelOverhead();
+      EXPECT_EQ(m.StepLatency(batch, ctx), expected);
+      EXPECT_EQ(m.StepLatency(batch, ctx), expected);  // hit path
+    }
+  }
+  EXPECT_EQ(DecodeModel(Qwen25_32B(), machine, 1).TpCommTime(64), 0.0);
+}
+
+TEST(DecodeModelMemoTest, ZeroBatchIsFree) {
+  MachineSpec machine;
+  DecodeModel m(Qwen25_7B(), machine, 1);
+  EXPECT_EQ(m.StepLatency(0, 1000.0), 0.0);
+  EXPECT_EQ(m.step_cache_hits() + m.step_cache_misses(), 0);
+}
+
+}  // namespace
+}  // namespace laminar

@@ -220,7 +220,7 @@ TEST_P(BufferPropertyTest, RandomPushSampleConservesRecords) {
       TrajectoryRecord rec;
       rec.id = next++;
       rec.weight_versions = {static_cast<int>(rng.UniformInt(0, version))};
-      rec.spec.segments.push_back({10, 0.0, 0});
+      rec.spec.AppendSegment({10, 0.0, 0});
       outstanding.insert(rec.id);
       buffer.Push(std::move(rec));
     } else {

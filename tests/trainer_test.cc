@@ -18,7 +18,7 @@ TrajectoryRecord Rec(TrajId id, int version, int64_t prompt_id) {
   r.reward = id % 2 == 0 ? 1.0 : 0.0;
   r.success = r.reward > 0.5;
   r.spec.prompt_tokens = 100;
-  r.spec.segments.push_back({900, 0.0, 0});
+  r.spec.AppendSegment({900, 0.0, 0});
   return r;
 }
 

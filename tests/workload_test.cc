@@ -139,7 +139,7 @@ TEST(GeneratorTest, ToolTaskRespectsMaxCalls) {
     ASSERT_LE(spec.num_turns(), cfg.max_tool_calls);
     // Env latency attaches to every turn except the final answer.
     int env_turns = 0;
-    for (const auto& seg : spec.segments) {
+    for (const auto& seg : spec.segments()) {
       if (seg.env_latency > 0.0) {
         ++env_turns;
         EXPECT_GT(seg.feedback_tokens, 0);
@@ -192,8 +192,8 @@ TEST(GeneratorTest, ExpectedTokensRoughlyMatchEmpirical) {
 TEST(TrajectorySpecTest, TokenAccounting) {
   TrajectorySpec spec;
   spec.prompt_tokens = 100;
-  spec.segments.push_back({50, 1.0, 20});
-  spec.segments.push_back({30, 0.0, 0});
+  spec.AppendSegment({50, 1.0, 20});
+  spec.AppendSegment({30, 0.0, 0});
   EXPECT_EQ(spec.total_decode_tokens(), 80);
   EXPECT_EQ(spec.total_feedback_tokens(), 20);
   EXPECT_EQ(spec.total_context_tokens(), 200);
