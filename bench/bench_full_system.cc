@@ -56,6 +56,7 @@ RlSystemConfig ChaosConfig() {
   cfg.chaos.replica_slow_per_hour = 20.0;
   cfg.chaos.message_drop_per_hour = 120.0;
   cfg.invariants_enabled = true;
+  ApplyShards(cfg);
   return cfg;
 }
 
@@ -71,6 +72,14 @@ std::vector<NamedConfig> BuildConfigs() {
   out.push_back({"verl_math_7B_128gpu",
                  ThroughputConfig(SystemKind::kVerlSync, ModelScale::k7B, 128)});
   out.push_back({"laminar_chaos_16gpu", ChaosConfig()});
+  // Single-run scale ceiling: a 1024-GPU fleet (vs sweeping many small
+  // runs) is where the sharded engine earns its keep — see --shards.
+  // Table 2 stops at 512 for Laminar/32B; extend its 50/50 split one
+  // doubling with an explicit placement.
+  RlSystemConfig big = ThroughputConfig(SystemKind::kLaminar, ModelScale::k32B, 1024);
+  big.train_gpus = 512;
+  big.rollout_gpus = 512;
+  out.push_back({"laminar_math_32B_1024gpu", big});
   return out;
 }
 
@@ -159,8 +168,14 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       label = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      laminar::SetBenchShards(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      laminar::SetBenchShards(std::atoi(argv[i] + 9));
     } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--json PATH] [--label NAME]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--reps N] [--json PATH] [--label NAME] [--shards N]\n",
+                   argv[0]);
       return 2;
     }
   }

@@ -23,8 +23,10 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--base-seed S] [--corpus-dir DIR] [--no-shrink]\n"
-               "       [--threads-a N] [--threads-b N] [--max-failures N]\n"
-               "       [--replay FILE...] [--dump SEED] [--fingerprints DIR]\n",
+               "       [--threads-a N] [--threads-b N] [--max-failures N] [--shards N]\n"
+               "       [--replay FILE...] [--dump SEED] [--fingerprints DIR]\n"
+               "--shards sets the shard-differential twin's lane count (0 disables\n"
+               "the sharded-vs-serial byte-identity oracle; default 4).\n",
                argv0);
   return 2;
 }
@@ -104,6 +106,8 @@ int Main(int argc, char** argv) {
       opts.eval.sweep_threads_b = static_cast<unsigned>(std::atoi(next("--threads-b")));
     } else if (arg == "--max-failures") {
       opts.max_failures = std::atoi(next("--max-failures"));
+    } else if (arg == "--shards") {
+      opts.eval.diff_shards = std::atoi(next("--shards"));
     } else if (arg == "--replay") {
       replaying = true;
     } else if (arg == "--fingerprints") {

@@ -1,0 +1,47 @@
+#include "src/common/thread_budget.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace laminar {
+namespace {
+
+std::atomic<int>& Pool() {
+  static std::atomic<int> pool{
+      std::max(0, static_cast<int>(std::thread::hardware_concurrency()) - 1)};
+  return pool;
+}
+
+}  // namespace
+
+int ThreadBudget::Acquire(int want) {
+  if (want <= 0) {
+    return 0;
+  }
+  std::atomic<int>& pool = Pool();
+  int have = pool.load(std::memory_order_relaxed);
+  for (;;) {
+    int grant = std::min(want, have);
+    if (grant <= 0) {
+      return 0;
+    }
+    if (pool.compare_exchange_weak(have, have - grant, std::memory_order_relaxed)) {
+      return grant;
+    }
+  }
+}
+
+void ThreadBudget::Release(int count) {
+  if (count > 0) {
+    Pool().fetch_add(count, std::memory_order_relaxed);
+  }
+}
+
+int ThreadBudget::Available() { return Pool().load(std::memory_order_relaxed); }
+
+void ThreadBudget::ResetForTest(int total) {
+  Pool().store(total, std::memory_order_relaxed);
+}
+
+}  // namespace laminar

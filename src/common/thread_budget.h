@@ -1,0 +1,33 @@
+// Process-wide worker-thread budget shared by the sweep runner's run-level
+// parallelism and the sharded simulator's window workers.
+//
+// Both layers want "as many threads as there are spare cores", but nesting
+// them naively oversubscribes: a sweep running R configs in parallel, each
+// with S shard workers, would spawn R*S threads on a machine with far fewer
+// cores. The budget is a simple atomic pool initialized to
+// hardware_concurrency - 1 (the caller's own thread is not counted):
+// acquire takes up to `want` threads, release returns them. Layers that
+// start first get the cores; inner layers degrade gracefully to zero extra
+// workers (inline execution) instead of thrashing.
+#ifndef LAMINAR_SRC_COMMON_THREAD_BUDGET_H_
+#define LAMINAR_SRC_COMMON_THREAD_BUDGET_H_
+
+namespace laminar {
+
+class ThreadBudget {
+ public:
+  // Takes up to `want` worker threads from the pool; returns how many were
+  // granted (possibly 0). Pass the grant to Release() when done.
+  static int Acquire(int want);
+  static void Release(int count);
+
+  // Remaining budget right now (for tests and diagnostics).
+  static int Available();
+
+  // Overrides the pool size (tests). Resets outstanding grants.
+  static void ResetForTest(int total);
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_COMMON_THREAD_BUDGET_H_

@@ -85,6 +85,17 @@ struct RlSystemConfig {
   // attached to the SystemReport.
   TraceConfig trace;
 
+  // Parallel DES (DESIGN.md §12): number of event-queue shards the replica
+  // population is partitioned into. 1 = the classic serial engine; N > 1
+  // runs conservative lookahead windows with byte-identical results.
+  int shards = 1;
+  // Worker threads for window execution: -1 = take from the process-wide
+  // ThreadBudget, 0 = run lanes inline on the coordinator, N = exactly N.
+  int shard_workers = -1;
+  // Cross-shard lookahead horizon in (undilated) simulated seconds;
+  // 0 = derive from the decode model's minimum step latency.
+  double shard_lookahead_seconds = 0.0;
+
   // Metamorphic scaling knob: multiplies every hardware rate (GPU FLOPs, HBM,
   // NVLink/PCIe/RDMA bandwidths) by this factor and every fixed latency or
   // period by its inverse, producing a run that is exactly the baseline with

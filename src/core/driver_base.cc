@@ -42,6 +42,28 @@ DriverBase::DriverBase(RlSystemConfig config)
     cfg_.invariant_sweep_period_seconds *= inv;
     cfg_.sample_period_seconds *= inv;
     cfg_.max_sim_seconds *= inv;
+    cfg_.shard_lookahead_seconds *= inv;
+  }
+
+  if (cfg_.shards > 1) {
+    ShardOptions so;
+    so.num_shards = cfg_.shards;
+    so.num_workers = cfg_.shard_workers;
+    // The horizon must stay below the earliest consequence any staged
+    // callback can schedule. The binding floor across the systems is the
+    // decode model's minimum step latency (every AssignWork lands at least
+    // one prefill+step ahead); relay pulls, redirect backoffs and train
+    // steps are orders of magnitude above it. Halving leaves slack, and the
+    // engine's high-water/cross-shard checks turn any miscalibration into a
+    // hard failure rather than silent divergence.
+    so.lookahead_seconds =
+        cfg_.shard_lookahead_seconds > 0.0
+            ? cfg_.shard_lookahead_seconds
+            : 0.5 * DecodeModel(model_, machine_spec_, rollout_tp_)
+                        .StepLatency(1, 0.0);
+    so.min_parallel_lanes = 2;  // a one-lane window beats serial by nothing
+    sim_.ConfigureShards(so);
+    sim_.set_window_time_cap(cfg_.max_sim_seconds);
   }
 
   WorkloadConfig wl;
@@ -105,6 +127,11 @@ void DriverBase::BuildReplicas(int num_replicas, int tensor_parallel, int machin
     rc.id = i;
     rc.machine = machine_offset +
                  i * tensor_parallel / machine_spec_.gpus_per_machine;
+    if (cfg_.shards > 1) {
+      // Machine affinity: replicas sharing a machine land on one lane, so a
+      // machine failure's replica sweep never spans lanes mid-window.
+      rc.shard = 1 + rc.machine % cfg_.shards;
+    }
     rc.max_concurrency = cfg_.max_concurrency;
     rc.kv_transfer_bandwidth = machine_spec_.rdma_flow_bandwidth;
     rc.migration_fixed_overhead *= TimeScale();
@@ -159,41 +186,64 @@ void DriverBase::BuildTrainer(TrainerMode mode, bool auto_continue, TrainBackend
 
 void DriverBase::WireCompletion() {
   for (RolloutReplica* r : replica_ptrs_) {
+    // Both callbacks fire from replica events, which execute inside shard
+    // windows when the simulator is sharded. They touch cross-replica state
+    // (pool, buffer, RNG, trainer), so inside a window they are staged for
+    // serial replay at the barrier; the InShardWindow guard keeps the serial
+    // path free of the capture copy and the std::function allocation.
     r->set_on_progress([this](const TrajectoryWork& work, int replica_id) {
-      partial_pool_.Update(work, replica_id);
+      if (sim_.InShardWindow()) {
+        // Snapshot: the replica keeps mutating `work` after this event, and
+        // the replay must see the state the serial callback would have seen.
+        sim_.RunOrStage([this, work, replica_id] {
+          partial_pool_.Update(work, replica_id);
+        });
+      } else {
+        partial_pool_.Update(work, replica_id);
+      }
     });
     r->set_on_complete([this](TrajectoryRecord record) {
-      // Exactly-once gate: a duplicate completion (a stale clone racing its
-      // migrated twin) must be suppressed before ANY side effect — scoring
-      // consumes the shared score RNG stream, so even a scored-then-discarded
-      // duplicate would perturb every later trajectory's reward.
-      if (!partial_pool_.MarkCompleted(record.id)) {
-        LAMINAR_TRACE_INSTANT(&sim_, TraceComponent::kData, "data/duplicate_suppressed",
-                              -1, static_cast<int64_t>(record.id));
-        return;
+      if (sim_.InShardWindow()) {
+        sim_.RunOrStage([this, record = std::move(record)]() mutable {
+          OnTrajectoryComplete(std::move(record));
+        });
+      } else {
+        OnTrajectoryComplete(std::move(record));
       }
-      record.finish_actor_version = trainer_ ? trainer_->version() : 0;
-      policy_->ScoreTrajectory(record, score_rng_);
-      if (staleness_samples_.size() < 500000) {
-        staleness_samples_.emplace_back(record.finished.seconds(),
-                                        record.inherent_staleness());
-      }
-      inherent_staleness_all_.Add(static_cast<double>(record.inherent_staleness()));
-      traj_durations_.Add(record.finished - record.created);
-      if (invariant_checker_ != nullptr) {
-        invariant_checker_->ObserveBufferPush(record);
-      }
-      if (cfg_.ledger_enabled) {
-        ledger_.pushes.push_back({record.id, record.prompt_id, record.group_index,
-                                  record.spec.total_context_tokens(),
-                                  record.spec.num_turns(), record.generation_version()});
-      }
-      buffer_->Push(std::move(record));
-      LAMINAR_TRACE_COUNTER(&sim_, TraceComponent::kData, "data/buffer_depth", -1,
-                            static_cast<double>(buffer_->size()));
-      trainer_->NotifyData();
     });
   }
+}
+
+void DriverBase::OnTrajectoryComplete(TrajectoryRecord record) {
+  // Exactly-once gate: a duplicate completion (a stale clone racing its
+  // migrated twin) must be suppressed before ANY side effect — scoring
+  // consumes the shared score RNG stream, so even a scored-then-discarded
+  // duplicate would perturb every later trajectory's reward.
+  if (!partial_pool_.MarkCompleted(record.id)) {
+    LAMINAR_TRACE_INSTANT(&sim_, TraceComponent::kData, "data/duplicate_suppressed",
+                          -1, static_cast<int64_t>(record.id));
+    return;
+  }
+  record.finish_actor_version = trainer_ ? trainer_->version() : 0;
+  policy_->ScoreTrajectory(record, score_rng_);
+  if (staleness_samples_.size() < 500000) {
+    staleness_samples_.emplace_back(record.finished.seconds(),
+                                    record.inherent_staleness());
+  }
+  inherent_staleness_all_.Add(static_cast<double>(record.inherent_staleness()));
+  traj_durations_.Add(record.finished - record.created);
+  if (invariant_checker_ != nullptr) {
+    invariant_checker_->ObserveBufferPush(record);
+  }
+  if (cfg_.ledger_enabled) {
+    ledger_.pushes.push_back({record.id, record.prompt_id, record.group_index,
+                              record.spec.total_context_tokens(),
+                              record.spec.num_turns(), record.generation_version()});
+  }
+  buffer_->Push(std::move(record));
+  LAMINAR_TRACE_COUNTER(&sim_, TraceComponent::kData, "data/buffer_depth", -1,
+                        static_cast<double>(buffer_->size()));
+  trainer_->NotifyData();
 }
 
 std::vector<TrajectoryWork> DriverBase::MakeWorkBatch(int num_trajectories,

@@ -118,6 +118,7 @@ class DriverBase {
 
  private:
   void SampleRates();
+  void OnTrajectoryComplete(TrajectoryRecord record);
   SystemReport AssembleReport(double wall_seconds);
 
   RunLedger ledger_;  // populated only when cfg_.ledger_enabled

@@ -47,7 +47,12 @@ void LaminarSystem::Setup() {
                                               prompts_.get(), &partial_pool_);
   manager_->set_backlog_fn([this] { return static_cast<int64_t>(buffer_->size()); });
   for (RolloutReplica* r : replica_ptrs_) {
-    r->set_on_batch_done([this](RolloutReplica* replica) { manager_->OnBatchDone(replica); });
+    // Fires from a replica event; the manager touches relays, the prompt
+    // pool and global stats, so under sharded execution it is staged for
+    // serial replay.
+    r->set_on_batch_done([this](RolloutReplica* replica) {
+      sim_.RunOrStage([this, replica] { manager_->OnBatchDone(replica); });
+    });
   }
 
   // The trainer hands new weights to the master relay (sub-second stall) and

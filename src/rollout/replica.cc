@@ -438,7 +438,8 @@ void RolloutReplica::ScheduleAdvance() {
   advance_stall_ = pending_stall_seconds_;
   pending_stall_seconds_ = 0.0;
   TouchMetrics();
-  advance_event_ = sim_->ScheduleAfter(duration, [this, steps] { Advance(steps); });
+  advance_event_ = sim_->ScheduleAfterOn(config_.shard, duration,
+                                         [this, steps] { Advance(steps); });
 }
 
 void RolloutReplica::PreemptForHeadroom() {
@@ -545,8 +546,8 @@ void RolloutReplica::FinishSegment(TrajectoryWork work) {
     entry.seq = ++env_seq_;
     EntityHandle handle = env_waiting_.Insert(std::move(entry));
     EnvEntry* stored = env_waiting_.Get(handle);
-    stored->event =
-        sim_->ScheduleAt(stored->at, [this, handle] { RejoinFromEnv(handle); });
+    stored->event = sim_->ScheduleAtOn(config_.shard, stored->at,
+                                       [this, handle] { RejoinFromEnv(handle); });
     return;
   }
   work.segment_index += 1;

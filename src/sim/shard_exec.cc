@@ -1,0 +1,538 @@
+#include "src/sim/shard_exec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/thread_budget.h"
+
+namespace laminar {
+namespace {
+
+constexpr ShardRank kMaxRank = ~static_cast<ShardRank>(0);
+
+// Worker count resolution: explicit option wins, then the
+// LAMINAR_SHARD_WORKERS env override (used by the TSan job to force real
+// threads on small hosts), then the shared thread budget.
+int ResolveWorkers(int requested, int lanes) {
+  if (const char* env = std::getenv("LAMINAR_SHARD_WORKERS")) {
+    requested = std::atoi(env);
+  }
+  if (requested >= 0) {
+    return std::min(requested, lanes);
+  }
+  return ThreadBudget::Acquire(lanes);
+}
+
+}  // namespace
+
+LaneStagingSink::LaneStagingSink(Simulator* sim, uint32_t lane_index)
+    : TraceSink(sim), sim_(sim), lane_index_(lane_index) {}
+
+// Emission bodies capture fully-evaluated arguments (names are string
+// literals with static storage) and re-emit through the real sink at replay,
+// when the control clock carries the staged time — so Instant/Counter
+// timestamps come out exactly as if emitted inline.
+void LaneStagingSink::Span(TraceComponent component, const char* name,
+                           int32_t entity, SimTime begin, SimTime end,
+                           int64_t arg, double value) {
+  Simulator::Lane& lane = sim_->lanes_[lane_index_];
+  sim_->StageFromWindow(lane, [this, component, name, entity, begin, end, arg,
+                               value] {
+    if (TraceSink* sink = sim_->trace_) {
+      sink->Span(component, name, entity, begin, end, arg, value);
+    }
+  });
+}
+
+void LaneStagingSink::Instant(TraceComponent component, const char* name,
+                              int32_t entity, int64_t arg, double value) {
+  Simulator::Lane& lane = sim_->lanes_[lane_index_];
+  sim_->StageFromWindow(lane, [this, component, name, entity, arg, value] {
+    if (TraceSink* sink = sim_->trace_) {
+      sink->Instant(component, name, entity, arg, value);
+    }
+  });
+}
+
+void LaneStagingSink::Counter(TraceComponent component, const char* name,
+                              int32_t entity, double value) {
+  Simulator::Lane& lane = sim_->lanes_[lane_index_];
+  sim_->StageFromWindow(lane, [this, component, name, entity, value] {
+    if (TraceSink* sink = sim_->trace_) {
+      sink->Counter(component, name, entity, value);
+    }
+  });
+}
+
+ShardScheduler::ShardScheduler(Simulator* sim, const ShardOptions& options)
+    : sim_(sim),
+      opts_(options),
+      time_cap_key_(Simulator::TimeKey(SimTime::Max())) {
+  lane_count_ = static_cast<uint32_t>(sim_->lanes_.size() - 1);
+  ordinals_.resize(sim_->lanes_.size());
+  sinks_.reserve(lane_count_);
+  for (uint32_t i = 1; i < sim_->lanes_.size(); ++i) {
+    sinks_.push_back(std::make_unique<LaneStagingSink>(sim_, i));
+    sim_->lanes_[i].staging_sink = sinks_.back().get();
+  }
+  StartWorkers(ResolveWorkers(opts_.num_workers, static_cast<int>(lane_count_)));
+}
+
+ShardScheduler::~ShardScheduler() {
+  StopWorkers();
+  if (opts_.num_workers < 0) {
+    ThreadBudget::Release(static_cast<int>(workers_.size()));
+  }
+}
+
+void ShardScheduler::set_window_time_cap(double seconds) {
+  time_cap_key_ = Simulator::TimeKey(SimTime(seconds));
+}
+
+void ShardScheduler::ValidateCrossShardSchedule(SimTime from, SimTime t) const {
+  LAMINAR_CHECK(t >= from + opts_.lookahead_seconds)
+      << "cross-shard schedule inside the lookahead horizon: " << t.seconds()
+      << " < " << from.seconds() << " + " << opts_.lookahead_seconds;
+  LAMINAR_CHECK_GE(Simulator::TimeKey(t), safe_key_)
+      << "cross-shard schedule below the window safe horizon";
+}
+
+ShardRank ShardScheduler::Resolve(const std::vector<uint64_t>& ordinals,
+                                  ShardRank rank) {
+  uint64_t hi = Simulator::RankHi(rank);
+  if ((hi & Simulator::kTempRankBit) == 0) {
+    return rank;
+  }
+  uint64_t idx = hi & ~Simulator::kTempRankBit;
+  return Simulator::MakeRank(ordinals[idx], Simulator::RankLo(rank));
+}
+
+bool ShardScheduler::FindSerialMin(int* lane_out, uint64_t* key_out) {
+  int best = -2;
+  uint64_t bk = 0;
+  ShardRank br = 0;
+  if (!queue_.empty()) {
+    best = -1;
+    bk = queue_.front().key;
+    br = queue_.front().rank;
+  }
+  for (size_t i = 0; i < sim_->lanes_.size(); ++i) {
+    Simulator::Lane& lane = sim_->lanes_[i];
+    Simulator::PruneStaleTop(lane);
+    if (lane.heap_keys.empty()) {
+      continue;
+    }
+    uint64_t k = lane.heap_keys.front();
+    ShardRank r = lane.heap_meta.front().rank;
+    if (best == -2 || Simulator::KeyRankLess(k, r, bk, br)) {
+      best = static_cast<int>(i);
+      bk = k;
+      br = r;
+    }
+  }
+  if (best == -2) {
+    return false;
+  }
+  *lane_out = best;
+  *key_out = bk;
+  return true;
+}
+
+void ShardScheduler::ReplayQueueHead() {
+  StagedAction item = std::move(queue_.front());
+  queue_.pop_front();
+  Simulator::Lane& ctrl = sim_->lanes_.front();
+  // The control clock regresses to the staging event's time for the replay:
+  // schedules performed by the body compute keys against it (the satellite
+  // fix for ScheduleAfter), and any Instant/Counter emission stamps it —
+  // both exactly as if the body had run inline during the staging event.
+  ctrl.now = SimTime(Simulator::KeyTime(item.key));
+  // The replay context is the staging event's program point — its execution
+  // ordinal and the rank_lo k-slot the staging call consumed — NOT the
+  // action's own queue rank. Events the body schedules mint ranks there, so
+  // they compare against third-party events exactly as in a serial run.
+  ctrl.ctx_hi = item.replay_hi;
+  ctrl.ctx_lo_base = item.replay_lo_base;
+  ctrl.ctx_j = 0;
+  ctrl.ctx_replay = true;
+  item.fn();
+  ctrl.ctx_replay = false;
+  ++actions_replayed_;
+}
+
+bool ShardScheduler::SerialStepOnce() {
+  int lane;
+  uint64_t key;
+  if (!FindSerialMin(&lane, &key)) {
+    return false;
+  }
+  if (lane < 0) {
+    ReplayQueueHead();
+    return true;
+  }
+  LAMINAR_CHECK_GE(key, high_water_key_)
+      << "event below the committed execution horizon";
+  high_water_key_ = key;
+  ++serial_steps_;
+  return sim_->StepLane(sim_->lanes_[static_cast<size_t>(lane)]);
+}
+
+void ShardScheduler::RunSerialUntil(SimTime deadline) {
+  const uint64_t cap = Simulator::TimeKey(deadline);
+  int lane;
+  uint64_t key;
+  while (FindSerialMin(&lane, &key) && key <= cap) {
+    if (lane < 0) {
+      ReplayQueueHead();
+    } else {
+      LAMINAR_CHECK_GE(key, high_water_key_);
+      high_water_key_ = key;
+      ++serial_steps_;
+      sim_->StepLane(sim_->lanes_[static_cast<size_t>(lane)]);
+    }
+  }
+  Simulator::Lane& ctrl = sim_->lanes_.front();
+  if (deadline > ctrl.now && deadline.is_finite()) {
+    ctrl.now = deadline;
+  }
+}
+
+bool ShardScheduler::RunUntilTrue(const std::function<bool()>& predicate,
+                                  uint64_t max_events) {
+  if (predicate()) {
+    return true;
+  }
+  if (max_events != UINT64_MAX) {
+    // Budgeted runs stay serial: an event budget must cut at exactly the
+    // same event as the unsharded engine, and windows execute in bulk.
+    uint64_t n = 0;
+    while (n < max_events && SerialStepOnce()) {
+      ++n;
+      if (predicate()) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (;;) {
+    if (TryRunWindow()) {
+      // The predicate may only change state in control-lane events or
+      // staged-effect replays (see Simulator::RunUntilTrue), none of which
+      // run inside a window — no check needed here.
+      continue;
+    }
+    if (!SerialStepOnce()) {
+      return false;
+    }
+    if (predicate()) {
+      return true;
+    }
+  }
+}
+
+bool ShardScheduler::TryRunWindow() {
+  auto& lanes = sim_->lanes_;
+  // Bound candidates beyond the lanes themselves: the time cap (admits any
+  // rank at the cap key, excludes everything past it), the staged-action
+  // queue head, and the control lane's fence event.
+  uint64_t bk = time_cap_key_;
+  ShardRank br = kMaxRank;
+  if (!queue_.empty() &&
+      Simulator::KeyRankLess(queue_.front().key, queue_.front().rank, bk, br)) {
+    bk = queue_.front().key;
+    br = queue_.front().rank;
+  }
+  Simulator::Lane& ctrl = lanes.front();
+  Simulator::PruneStaleTop(ctrl);
+  if (!ctrl.heap_keys.empty() &&
+      Simulator::KeyRankLess(ctrl.heap_keys.front(), ctrl.heap_meta.front().rank,
+                             bk, br)) {
+    bk = ctrl.heap_keys.front();
+    br = ctrl.heap_meta.front().rank;
+  }
+  // Window floor: earliest replica-lane event below the bound so far.
+  uint64_t floor_key = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 1; i < lanes.size(); ++i) {
+    Simulator::Lane& lane = lanes[i];
+    Simulator::PruneStaleTop(lane);
+    if (!lane.heap_keys.empty() &&
+        Simulator::KeyRankLess(lane.heap_keys.front(), lane.heap_meta.front().rank,
+                               bk, br)) {
+      floor_key = std::min(floor_key, lane.heap_keys.front());
+    }
+  }
+  if (floor_key == std::numeric_limits<uint64_t>::max()) {
+    ++rejects_no_floor_;
+    return false;  // no replica-lane work below the fence
+  }
+  const double floor_s = Simulator::KeyTime(floor_key);
+  // Conservative lookahead: nothing staged by a window event can influence
+  // any lane at or before floor + lookahead, so that is the widest horizon
+  // the window may execute under.
+  const uint64_t safe = Simulator::TimeKey(SimTime(floor_s + opts_.lookahead_seconds));
+  if (safe < bk) {
+    bk = safe;
+    br = kMaxRank;
+  }
+  // Horizon collapse / insufficient parallelism: fall back to serial.
+  if (Simulator::KeyTime(bk) - floor_s < opts_.min_window_seconds) {
+    ++rejects_narrow_;
+    return false;
+  }
+  int eligible = 0;
+  for (size_t i = 1; i < lanes.size(); ++i) {
+    Simulator::Lane& lane = lanes[i];
+    if (!lane.heap_keys.empty() &&
+        Simulator::KeyRankLess(lane.heap_keys.front(), lane.heap_meta.front().rank,
+                               bk, br)) {
+      ++eligible;
+    }
+  }
+  if (eligible == 0 || eligible < opts_.min_parallel_lanes) {
+    ++rejects_few_lanes_;
+    return false;
+  }
+  LAMINAR_CHECK_GE(floor_key, high_water_key_);
+  bound_key_ = bk;
+  bound_rank_ = br;
+  safe_key_ = safe;
+
+  sim_->window_active_ = true;
+  if (workers_.empty()) {
+    next_lane_.store(1, std::memory_order_relaxed);
+    RunLanes();
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Release store pairs with the acq_rel claim in RunLanes: a straggler
+      // from the previous epoch that claims a lane here must observe all
+      // barrier writes to lane state made before this reset.
+      next_lane_.store(1, std::memory_order_release);
+      lanes_done_ = 0;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    RunLanes();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return lanes_done_ == lane_count_; });
+  }
+  sim_->window_active_ = false;
+  Barrier();
+  ++windows_;
+  return true;
+}
+
+void ShardScheduler::RunLanes() {
+  for (;;) {
+    uint32_t i = next_lane_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= sim_->lanes_.size()) {
+      break;
+    }
+    Simulator::Lane& lane = sim_->lanes_[i];
+    Simulator::tls_owner_ = sim_;
+    Simulator::tls_lane_ = &lane;
+    ExecuteLaneWindow(lane);
+    Simulator::tls_owner_ = nullptr;
+    Simulator::tls_lane_ = nullptr;
+    if (!workers_.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++lanes_done_ == lane_count_) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ShardScheduler::ExecuteLaneWindow(Lane& lane) {
+  for (;;) {
+    Simulator::PruneStaleTop(lane);
+    if (lane.heap_keys.empty()) {
+      break;
+    }
+    const uint64_t key = lane.heap_keys.front();
+    const Simulator::HeapMeta m = lane.heap_meta.front();
+    if (!Simulator::KeyRankLess(key, m.rank, bound_key_, bound_rank_)) {
+      break;
+    }
+    Simulator::HeapPopTop(lane);
+    Simulator::Slot& s = lane.slots[m.slot];
+    s.state = Simulator::SlotState::kExecuting;
+    std::function<void()> fn = std::move(s.fn);
+    lane.now = SimTime(Simulator::KeyTime(key));
+    --lane.live;
+    lane.exec_log.push_back(Simulator::ExecRecord{key, m.rank});
+    // Temporary scheduling context: resolved to a global ordinal at the
+    // barrier. The parent index always refers to an earlier entry in this
+    // lane's own log, so the barrier merge can resolve children in order.
+    lane.ctx_hi = Simulator::kTempRankBit | (lane.exec_log.size() - 1);
+    lane.ctx_k = 0;
+    lane.ctx_j = 0;
+    lane.ctx_a = 0;
+    lane.ctx_event_rank = m.rank;
+    lane.ctx_replay = false;
+    lane.current = m.slot;
+    fn();
+    lane.current = Simulator::kNoCurrent;
+    Simulator::Slot& after = lane.slots[m.slot];
+    if (after.state == Simulator::SlotState::kRearmed) {
+      after.fn = std::move(fn);
+      after.state = Simulator::SlotState::kPending;
+    } else {
+      Simulator::RetireSlot(lane, m.slot);
+    }
+  }
+}
+
+void ShardScheduler::Barrier() {
+  auto& lanes = sim_->lanes_;
+  const size_t n_lanes = lanes.size();
+  // Phase 1: k-way merge of the per-lane execution logs in resolved
+  // (key, rank) order, assigning each window event its global execution
+  // ordinal. Each log is sorted (lanes pop their heaps in order), and a
+  // temporary rank always resolves through an *earlier* entry of the same
+  // log, so heads can be resolved as they surface.
+  std::vector<size_t> pos(n_lanes, 0);
+  uint64_t merged = 0;
+  uint64_t last_key = 0;
+  for (size_t i = 1; i < n_lanes; ++i) {
+    ordinals_[i].resize(lanes[i].exec_log.size());
+  }
+  for (;;) {
+    int best = -1;
+    uint64_t bk = 0;
+    ShardRank br = 0;
+    for (size_t i = 1; i < n_lanes; ++i) {
+      if (pos[i] >= lanes[i].exec_log.size()) {
+        continue;
+      }
+      const Simulator::ExecRecord& rec = lanes[i].exec_log[pos[i]];
+      ShardRank r = Resolve(ordinals_[i], rec.rank);
+      if (best < 0 || Simulator::KeyRankLess(rec.key, r, bk, br)) {
+        best = static_cast<int>(i);
+        bk = rec.key;
+        br = r;
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    ordinals_[best][pos[best]] = ++sim_->executed_;
+    ++pos[static_cast<size_t>(best)];
+    last_key = bk;
+    ++merged;
+  }
+  window_events_ += merged;
+  LAMINAR_CHECK_GT(merged, 0u) << "window executed no events";
+  high_water_key_ = std::max(high_water_key_, last_key);
+  // The control clock advances to the last window event, exactly where a
+  // serial run's clock would stand after executing the same events.
+  Simulator::Lane& ctrl = lanes.front();
+  ctrl.now = std::max(ctrl.now, SimTime(Simulator::KeyTime(last_key)));
+
+  // Phase 2: resolve temporary ranks left in lane heaps (events scheduled
+  // during the window that did not come due). Resolution only rewrites
+  // rank_hi from (temp | parent index) to the parent's ordinal; both spaces
+  // preserve the relative order of every pair of entries — committed ranks
+  // predate the window and stay below every new ordinal, temps resolve in
+  // parent-execution order — so the heap needs no re-sift.
+  for (size_t i = 1; i < n_lanes; ++i) {
+    Lane& lane = lanes[i];
+    for (Simulator::HeapMeta& meta : lane.heap_meta) {
+      meta.rank = Resolve(ordinals_[i], meta.rank);
+    }
+  }
+
+  // Phase 3: merge the per-lane staged actions (each sorted after rank
+  // resolution) and prepend to the replay queue. Every staged key is below
+  // the window bound, and the bound is at most the old queue head, so the
+  // batch belongs strictly in front.
+  staged_scratch_.clear();
+  std::fill(pos.begin(), pos.end(), 0);
+  for (;;) {
+    int best = -1;
+    uint64_t bk = 0;
+    ShardRank br = 0;
+    for (size_t i = 1; i < n_lanes; ++i) {
+      if (pos[i] >= lanes[i].staged.size()) {
+        continue;
+      }
+      StagedAction& a = lanes[i].staged[pos[i]];
+      ShardRank r = Resolve(ordinals_[i], a.rank);
+      if (best < 0 || Simulator::KeyRankLess(a.key, r, bk, br)) {
+        best = static_cast<int>(i);
+        bk = a.key;
+        br = r;
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    StagedAction& a = lanes[static_cast<size_t>(best)].staged[pos[best]];
+    // Both rank datums resolve through the staging event's ordinal: the queue
+    // rank's hi (= staging event's rank hi, unchanged by the +a offset) and
+    // the bare replay_hi.
+    uint64_t rh = a.replay_hi;
+    if ((rh & Simulator::kTempRankBit) != 0) {
+      rh = ordinals_[static_cast<size_t>(best)][rh & ~Simulator::kTempRankBit];
+    }
+    staged_scratch_.push_back(StagedAction{a.key,
+                                           Resolve(ordinals_[best], a.rank), rh,
+                                           a.replay_lo_base, std::move(a.fn)});
+    ++pos[static_cast<size_t>(best)];
+  }
+  if (!staged_scratch_.empty()) {
+    queue_.insert(queue_.begin(),
+                  std::make_move_iterator(staged_scratch_.begin()),
+                  std::make_move_iterator(staged_scratch_.end()));
+    staged_scratch_.clear();
+  }
+  for (size_t i = 1; i < n_lanes; ++i) {
+    lanes[i].exec_log.clear();
+    lanes[i].staged.clear();
+  }
+}
+
+void ShardScheduler::StartWorkers(int count) {
+  if (count <= 0) {
+    return;
+  }
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ShardScheduler::StopWorkers() {
+  if (workers_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  workers_.clear();
+}
+
+void ShardScheduler::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) {
+        return;
+      }
+      seen = epoch_;
+    }
+    RunLanes();
+  }
+}
+
+}  // namespace laminar

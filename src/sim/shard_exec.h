@@ -1,0 +1,172 @@
+// Conservative-window parallel execution for the sharded simulator
+// (DESIGN.md §12).
+//
+// The ShardScheduler drives a Simulator whose event queue has been
+// partitioned into lanes (Simulator::ConfigureShards). It alternates between
+// two regimes:
+//
+//   Serial regime — pop the globally least (time, rank) item among the
+//   control-lane heap, every replica-lane heap, and the staged-action queue,
+//   and run it with full serial semantics. This is bit-equivalent to the
+//   unsharded engine by construction.
+//
+//   Window regime — when at least `min_parallel_lanes` replica lanes have
+//   events strictly below the window bound, execute each such lane's
+//   sub-bound events concurrently (one thread per lane, or inline on the
+//   coordinator when no workers are available). The bound is the least of:
+//   the control lane's next event ("fence"), the staged-action queue head,
+//   the window floor plus the lookahead horizon (the alpha of the cluster's
+//   alpha-beta network model), and the run's time cap. Replica-lane events
+//   may touch only replica-local state; every cross-component interaction —
+//   completion/progress/batch-done callbacks, trace emission, cross-lane
+//   schedules — is staged with the event's (time, rank) and replayed
+//   serially later, which is what keeps sharded runs byte-identical to
+//   serial.
+//
+// At the window barrier the per-lane execution logs are k-way merged in
+// (time, rank) order to assign global execution ordinals, temporary ranks
+// minted inside the window are resolved against those ordinals, and the
+// per-lane staged actions are merged (already sorted) and prepended to the
+// staged-action queue. A global high-water mark over executed event keys
+// turns any causality violation — a schedule or event landing below ground
+// already committed — into a loud check failure instead of a silent
+// divergence.
+#ifndef LAMINAR_SRC_SIM_SHARD_EXEC_H_
+#define LAMINAR_SRC_SIM_SHARD_EXEC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/trace/trace.h"
+
+namespace laminar {
+
+// A TraceSink that defers emissions from window-executed events to the
+// barrier. Each emission captures its already-evaluated arguments and is
+// staged with the emitting event's (time, rank), so replay interns names and
+// appends records in exactly the serial first-use order.
+class LaneStagingSink final : public TraceSink {
+ public:
+  LaneStagingSink(Simulator* sim, uint32_t lane_index);
+
+  void Span(TraceComponent component, const char* name, int32_t entity,
+            SimTime begin, SimTime end, int64_t arg, double value) override;
+  void Instant(TraceComponent component, const char* name, int32_t entity,
+               int64_t arg, double value) override;
+  void Counter(TraceComponent component, const char* name, int32_t entity,
+               double value) override;
+
+ private:
+  Simulator* sim_;
+  uint32_t lane_index_;
+};
+
+class ShardScheduler {
+ public:
+  ShardScheduler(Simulator* sim, const ShardOptions& options);
+  ~ShardScheduler();
+  ShardScheduler(const ShardScheduler&) = delete;
+  ShardScheduler& operator=(const ShardScheduler&) = delete;
+
+  // The sharded counterparts of the Simulator run loops. RunUntilTrue with
+  // an event budget (max_events != UINT64_MAX) stays serial so the budget
+  // cuts at exactly the same event as an unsharded run.
+  bool RunUntilTrue(const std::function<bool()>& predicate, uint64_t max_events);
+  bool SerialStepOnce();
+  void RunSerialUntil(SimTime deadline);
+
+  // Events with time strictly greater than the cap never execute inside a
+  // window.
+  void set_window_time_cap(double seconds);
+  void OnTraceChanged() {}  // staging sinks read sim_->trace_ at replay time
+
+  // Asserts that a cross-lane schedule staged from inside a window lands at
+  // or beyond the current window's safe horizon (floor + lookahead), i.e.
+  // provably outside anything any lane may execute this window.
+  void ValidateCrossShardSchedule(SimTime from, SimTime t) const;
+
+  uint64_t windows() const { return windows_; }
+  uint64_t window_events() const { return window_events_; }
+  uint64_t serial_steps() const { return serial_steps_; }
+  uint64_t actions_replayed() const { return actions_replayed_; }
+  // Window-rejection tallies (why a serial step ran instead): no replica
+  // work below the fence, horizon narrower than min_window_seconds, or
+  // fewer eligible lanes than min_parallel_lanes.
+  uint64_t rejects_no_floor() const { return rejects_no_floor_; }
+  uint64_t rejects_narrow() const { return rejects_narrow_; }
+  uint64_t rejects_few_lanes() const { return rejects_few_lanes_; }
+
+ private:
+  using Lane = Simulator::Lane;
+  using StagedAction = Simulator::StagedAction;
+
+  // Opens and runs one window if the bound admits enough parallel work;
+  // returns false to fall back to a serial step.
+  bool TryRunWindow();
+  // Pops sub-bound events off one replica lane (runs on a worker thread or
+  // inline on the coordinator; touches only that lane).
+  void ExecuteLaneWindow(Lane& lane);
+  // Merges execution logs, resolves temporary ranks, commits staged actions.
+  void Barrier();
+  // Replays the staged-action queue head with the staging event's context.
+  void ReplayQueueHead();
+  // Least pending (key, rank) over lanes and queue. Returns false when
+  // everything is drained. lane_out = -1 selects the queue head.
+  bool FindSerialMin(int* lane_out, uint64_t* key_out);
+
+  void StartWorkers(int count);
+  void StopWorkers();
+  void WorkerLoop();
+  void RunLanes();  // claim-and-execute loop shared by coordinator + workers
+
+  static ShardRank Resolve(const std::vector<uint64_t>& ordinals, ShardRank rank);
+
+  Simulator* sim_;
+  ShardOptions opts_;
+  uint64_t time_cap_key_;
+  uint64_t high_water_key_ = 0;  // max key ever committed to execution
+  // Window bound: events with (key, rank) strictly less execute this window.
+  uint64_t bound_key_ = 0;
+  ShardRank bound_rank_ = 0;
+  uint64_t safe_key_ = 0;  // floor + lookahead, for cross-shard validation
+
+  // Staged actions pending serial replay, globally sorted by (key, rank).
+  std::deque<StagedAction> queue_;
+
+  std::vector<std::unique_ptr<LaneStagingSink>> sinks_;
+  std::vector<std::vector<uint64_t>> ordinals_;  // per-lane barrier scratch
+  std::vector<StagedAction> staged_scratch_;
+
+  uint64_t windows_ = 0;
+  uint64_t window_events_ = 0;
+  uint64_t serial_steps_ = 0;
+  uint64_t actions_replayed_ = 0;
+  uint64_t rejects_no_floor_ = 0;
+  uint64_t rejects_narrow_ = 0;
+  uint64_t rejects_few_lanes_ = 0;
+
+  // Worker pool. Workers park on epoch_; each window bumps the epoch, and
+  // coordinator + workers race to claim lanes off next_lane_. All lane state
+  // handoff happens under mu_ (publish at epoch bump, collect at done wait).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  bool stopping_ = false;
+  std::atomic<uint32_t> next_lane_{1};
+  uint32_t lanes_done_ = 0;
+  uint32_t lane_count_ = 0;  // replica lanes per window (constant)
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_SIM_SHARD_EXEC_H_

@@ -5,93 +5,108 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/sim/shard_exec.h"
 
 namespace laminar {
-namespace {
+
+thread_local const Simulator* Simulator::tls_owner_ = nullptr;
+thread_local Simulator::Lane* Simulator::tls_lane_ = nullptr;
 
 // Non-negative IEEE-754 doubles order identically to their bit patterns read
 // as unsigned integers, so the heap can compare timestamps with integer
 // instructions. `+ 0.0` canonicalizes -0.0 (whose sign bit would otherwise
 // sort it last).
-uint64_t TimeKey(SimTime t) { return std::bit_cast<uint64_t>(t.seconds() + 0.0); }
-
-double KeyTime(uint64_t key) { return std::bit_cast<double>(key); }
-
-}  // namespace
-
-uint32_t Simulator::AllocSlot() {
-  if (!free_slots_.empty()) {
-    uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  slots_.emplace_back();
-  return static_cast<uint32_t>(slots_.size() - 1);
+uint64_t Simulator::TimeKey(SimTime t) {
+  return std::bit_cast<uint64_t>(t.seconds() + 0.0);
 }
 
-void Simulator::RetireSlot(uint32_t slot) {
-  Slot& s = slots_[slot];
+double Simulator::KeyTime(uint64_t key) { return std::bit_cast<double>(key); }
+
+Simulator::Simulator() : lanes_(1) { lanes_[0].index = 0; }
+
+Simulator::~Simulator() = default;
+
+uint32_t Simulator::AllocSlot(Lane& lane) {
+  if (!lane.free_slots.empty()) {
+    uint32_t slot = lane.free_slots.back();
+    lane.free_slots.pop_back();
+    return slot;
+  }
+  LAMINAR_CHECK_LT(lane.slots.size(), static_cast<size_t>(kSlotMask))
+      << "event slab exhausted on lane " << lane.index;
+  lane.slots.emplace_back();
+  return static_cast<uint32_t>(lane.slots.size() - 1);
+}
+
+void Simulator::RetireSlot(Lane& lane, uint32_t slot) {
+  Slot& s = lane.slots[slot];
   s.fn = nullptr;
   if (++s.generation == 0) {
     s.generation = 1;  // keep packed ids nonzero and unambiguous
   }
   s.state = SlotState::kFree;
-  free_slots_.push_back(slot);
+  lane.free_slots.push_back(slot);
 }
 
-void Simulator::HeapSiftUp(size_t i) {
-  const uint64_t k = heap_keys_[i];
-  const HeapMeta m = heap_meta_[i];
+void Simulator::HeapSiftUp(Lane& lane, size_t i) {
+  auto& heap_keys = lane.heap_keys;
+  auto& heap_meta = lane.heap_meta;
+  const uint64_t k = heap_keys[i];
+  const HeapMeta m = heap_meta[i];
   while (i > 0) {
     const size_t parent = (i - 1) >> 2;
-    const uint64_t pk = heap_keys_[parent];
-    if (!(k < pk || (k == pk && m.seq < heap_meta_[parent].seq))) {
+    const uint64_t pk = heap_keys[parent];
+    if (!KeyRankLess(k, m.rank, pk, heap_meta[parent].rank)) {
       break;
     }
-    heap_keys_[i] = pk;
-    heap_meta_[i] = heap_meta_[parent];
+    heap_keys[i] = pk;
+    heap_meta[i] = heap_meta[parent];
     i = parent;
   }
-  heap_keys_[i] = k;
-  heap_meta_[i] = m;
+  heap_keys[i] = k;
+  heap_meta[i] = m;
 }
 
-void Simulator::HeapSiftDown(size_t i) {
-  const uint64_t k = heap_keys_[i];
-  const HeapMeta m = heap_meta_[i];
-  const size_t n = heap_keys_.size();
+void Simulator::HeapSiftDown(Lane& lane, size_t i) {
+  auto& heap_keys = lane.heap_keys;
+  auto& heap_meta = lane.heap_meta;
+  const uint64_t k = heap_keys[i];
+  const HeapMeta m = heap_meta[i];
+  const size_t n = heap_keys.size();
   for (;;) {
     const size_t child = (i << 2) + 1;
     if (child >= n) {
       break;
     }
     size_t best = child;
-    uint64_t bk = heap_keys_[child];
+    uint64_t bk = heap_keys[child];
     const size_t end = child + 4 < n ? child + 4 : n;
     for (size_t c = child + 1; c < end; ++c) {
-      const uint64_t ck = heap_keys_[c];
-      if (ck < bk || (ck == bk && heap_meta_[c].seq < heap_meta_[best].seq)) {
+      const uint64_t ck = heap_keys[c];
+      if (KeyRankLess(ck, heap_meta[c].rank, bk, heap_meta[best].rank)) {
         best = c;
         bk = ck;
       }
     }
-    if (!(bk < k || (bk == k && heap_meta_[best].seq < m.seq))) {
+    if (!KeyRankLess(bk, heap_meta[best].rank, k, m.rank)) {
       break;
     }
-    heap_keys_[i] = bk;
-    heap_meta_[i] = heap_meta_[best];
+    heap_keys[i] = bk;
+    heap_meta[i] = heap_meta[best];
     i = best;
   }
-  heap_keys_[i] = k;
-  heap_meta_[i] = m;
+  heap_keys[i] = k;
+  heap_meta[i] = m;
 }
 
-void Simulator::HeapPopTop() {
-  const uint64_t bk = heap_keys_.back();
-  const HeapMeta bm = heap_meta_.back();
-  heap_keys_.pop_back();
-  heap_meta_.pop_back();
-  const size_t n = heap_keys_.size();
+void Simulator::HeapPopTop(Lane& lane) {
+  auto& heap_keys = lane.heap_keys;
+  auto& heap_meta = lane.heap_meta;
+  const uint64_t bk = heap_keys.back();
+  const HeapMeta bm = heap_meta.back();
+  heap_keys.pop_back();
+  heap_meta.pop_back();
+  const size_t n = heap_keys.size();
   if (n == 0) {
     return;
   }
@@ -105,75 +120,143 @@ void Simulator::HeapPopTop() {
       break;
     }
     size_t best = child;
-    uint64_t bk2 = heap_keys_[child];
+    uint64_t bk2 = heap_keys[child];
     const size_t end = child + 4 < n ? child + 4 : n;
     for (size_t c = child + 1; c < end; ++c) {
-      const uint64_t ck = heap_keys_[c];
-      if (ck < bk2 || (ck == bk2 && heap_meta_[c].seq < heap_meta_[best].seq)) {
+      const uint64_t ck = heap_keys[c];
+      if (KeyRankLess(ck, heap_meta[c].rank, bk2, heap_meta[best].rank)) {
         best = c;
         bk2 = ck;
       }
     }
-    heap_keys_[i] = bk2;
-    heap_meta_[i] = heap_meta_[best];
+    heap_keys[i] = bk2;
+    heap_meta[i] = heap_meta[best];
     i = best;
   }
-  heap_keys_[i] = bk;
-  heap_meta_[i] = bm;
-  HeapSiftUp(i);
+  heap_keys[i] = bk;
+  heap_meta[i] = bm;
+  HeapSiftUp(lane, i);
 }
 
-void Simulator::PushHeap(SimTime t, uint32_t slot, uint32_t generation) {
-  heap_keys_.push_back(TimeKey(t));
-  heap_meta_.push_back(HeapMeta{next_seq_++, slot, generation});
-  HeapSiftUp(heap_keys_.size() - 1);
+void Simulator::PushHeap(Lane& lane, SimTime t, uint32_t slot, uint32_t generation,
+                         ShardRank rank) {
+  lane.heap_keys.push_back(TimeKey(t));
+  lane.heap_meta.push_back(HeapMeta{rank, slot, generation});
+  HeapSiftUp(lane, lane.heap_keys.size() - 1);
+}
+
+EventId Simulator::ScheduleOnLane(uint32_t lane_idx, SimTime t,
+                                  std::function<void()> fn) {
+  Lane& ctx = CtxLane();
+  // The one causality check of the engine, shared by every schedule path:
+  // the key is computed against (or validated against) the scheduling
+  // context's own clock — the window lane's clock inside a window, the
+  // replayed action's generation time during a staged-effect replay — so no
+  // path can mint a timestamp below the floor its context was admitted
+  // under.
+  LAMINAR_CHECK(t >= ctx.now) << "scheduling into the past: " << t.seconds() << " < "
+                              << ctx.now.seconds();
+  LAMINAR_CHECK_LT(lane_idx, lanes_.size());
+  if (window_active_) {
+    if (Lane* wl = MutableTlsLane(); wl != nullptr && wl->index != lane_idx) {
+      // Cross-lane schedule from inside a window: must clear the lookahead
+      // horizon, and is staged for the barrier rather than touching the
+      // foreign lane's heap from a worker thread.
+      scheduler_->ValidateCrossShardSchedule(wl->now, t);
+      StageFromWindow(*wl, [this, lane_idx, t, fn = std::move(fn)]() mutable {
+        ScheduleOnLane(lane_idx, t, std::move(fn));
+      });
+      return kInvalidEventId;
+    }
+  }
+  Lane& target = lanes_[lane_idx];
+  uint32_t slot = AllocSlot(target);
+  Slot& s = target.slots[slot];
+  s.fn = std::move(fn);
+  s.state = SlotState::kPending;
+  PushHeap(target, t, slot, s.generation, NextActionRank(ctx));
+  ++target.live;
+  return Pack(lane_idx, slot, s.generation);
 }
 
 EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
-  LAMINAR_CHECK(t >= now_) << "scheduling into the past: " << t.seconds() << " < "
-                           << now_.seconds();
-  uint32_t slot = AllocSlot();
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  s.state = SlotState::kPending;
-  PushHeap(t, slot, s.generation);
-  ++live_;
-  return Pack(slot, s.generation);
+  uint32_t target = 0;
+  if (window_active_) {
+    if (Lane* wl = MutableTlsLane()) {
+      target = wl->index;
+    }
+  }
+  return ScheduleOnLane(target, t, std::move(fn));
 }
 
 EventId Simulator::ScheduleAfter(double delay, std::function<void()> fn) {
   LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
-  return ScheduleAt(now_ + delay, std::move(fn));
+  uint32_t target = 0;
+  if (window_active_) {
+    if (Lane* wl = MutableTlsLane()) {
+      target = wl->index;
+    }
+  }
+  return ScheduleOnLane(target, CtxLane().now + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAtOn(int shard, SimTime t, std::function<void()> fn) {
+  if (!sharded()) {
+    return ScheduleOnLane(0, t, std::move(fn));
+  }
+  LAMINAR_CHECK_GE(shard, 0);
+  LAMINAR_CHECK_LT(static_cast<size_t>(shard), lanes_.size());
+  return ScheduleOnLane(static_cast<uint32_t>(shard), t, std::move(fn));
+}
+
+EventId Simulator::ScheduleAfterOn(int shard, double delay, std::function<void()> fn) {
+  LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
+  return ScheduleAtOn(shard, CtxLane().now + delay, std::move(fn));
 }
 
 EventId Simulator::RearmCurrentAfter(double delay) {
-  LAMINAR_CHECK(current_ != kNoCurrent) << "RearmCurrentAfter outside an event callback";
+  Lane& ctx = CtxLane();
+  Lane& exec = window_active_ && MutableTlsLane() != nullptr
+                   ? *MutableTlsLane()
+                   : lanes_[serial_exec_lane_];
+  LAMINAR_CHECK(exec.current != kNoCurrent)
+      << "RearmCurrentAfter outside an event callback";
   LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
-  Slot& s = slots_[current_];
+  Slot& s = exec.slots[exec.current];
   LAMINAR_CHECK(s.state == SlotState::kExecuting) << "current event already re-armed";
   if (++s.generation == 0) {
     s.generation = 1;
   }
   s.state = SlotState::kRearmed;
-  PushHeap(now_ + delay, current_, s.generation);
-  ++live_;
-  return Pack(current_, s.generation);
+  PushHeap(exec, ctx.now + delay, exec.current, s.generation, NextActionRank(ctx));
+  ++exec.live;
+  return Pack(exec.index, exec.current, s.generation);
 }
 
 bool Simulator::Cancel(EventId id) {
-  uint32_t slot = SlotOf(id);
-  if (slot >= slots_.size()) {
+  uint32_t lane_idx = LaneOf(id);
+  if (lane_idx >= lanes_.size()) {
     return false;
   }
-  Slot& s = slots_[slot];
+  if (window_active_) {
+    if (Lane* wl = MutableTlsLane()) {
+      LAMINAR_CHECK_EQ(wl->index, lane_idx) << "cross-shard Cancel inside a window";
+    }
+  }
+  Lane& lane = lanes_[lane_idx];
+  uint32_t slot = SlotOf(id);
+  if (slot >= lane.slots.size()) {
+    return false;
+  }
+  Slot& s = lane.slots[slot];
   if (s.generation != GenerationOf(id)) {
     return false;
   }
   if (s.state == SlotState::kPending) {
-    RetireSlot(slot);
-    --live_;
-    ++tombstones_;
-    MaybeCompactHeap();
+    RetireSlot(lane, slot);
+    --lane.live;
+    ++lane.tombstones;
+    MaybeCompactHeap(lane);
     return true;
   }
   if (s.state == SlotState::kRearmed) {
@@ -183,99 +266,137 @@ bool Simulator::Cancel(EventId id) {
       s.generation = 1;
     }
     s.state = SlotState::kExecuting;
-    --live_;
-    ++tombstones_;
+    --lane.live;
+    ++lane.tombstones;
     return true;
   }
   return false;
 }
 
-void Simulator::PruneStaleTop() {
-  while (!heap_keys_.empty() && !Live(heap_meta_.front())) {
-    HeapPopTop();
-    --tombstones_;
+void Simulator::PruneStaleTop(Lane& lane) {
+  while (!lane.heap_keys.empty() && !Live(lane, lane.heap_meta.front())) {
+    HeapPopTop(lane);
+    --lane.tombstones;
   }
 }
 
-void Simulator::MaybeCompactHeap() {
-  if (tombstones_ < 64 || tombstones_ * 2 < heap_keys_.size()) {
+void Simulator::MaybeCompactHeap(Lane& lane) {
+  if (lane.tombstones < 64 || lane.tombstones * 2 < lane.heap_keys.size()) {
     return;
   }
+  auto& heap_keys = lane.heap_keys;
+  auto& heap_meta = lane.heap_meta;
   size_t out = 0;
-  for (size_t i = 0; i < heap_keys_.size(); ++i) {
-    if (Live(heap_meta_[i])) {
-      heap_keys_[out] = heap_keys_[i];
-      heap_meta_[out] = heap_meta_[i];
+  for (size_t i = 0; i < heap_keys.size(); ++i) {
+    if (Live(lane, heap_meta[i])) {
+      heap_keys[out] = heap_keys[i];
+      heap_meta[out] = heap_meta[i];
       ++out;
     }
   }
-  heap_keys_.resize(out);
-  heap_meta_.resize(out);
+  heap_keys.resize(out);
+  heap_meta.resize(out);
   // Floyd heap construction for the 4-ary layout.
   if (out > 1) {
     for (size_t i = (out - 2) / 4 + 1; i-- > 0;) {
-      HeapSiftDown(i);
+      HeapSiftDown(lane, i);
     }
   }
-  tombstones_ = 0;
+  lane.tombstones = 0;
 }
 
-bool Simulator::Step() {
-  while (!heap_keys_.empty()) {
-    const double t = KeyTime(heap_keys_.front());
-    const HeapMeta m = heap_meta_.front();
-    HeapPopTop();
-    if (!Live(m)) {
-      --tombstones_;
+bool Simulator::StepLane(Lane& lane) {
+  while (!lane.heap_keys.empty()) {
+    const double t = KeyTime(lane.heap_keys.front());
+    const HeapMeta m = lane.heap_meta.front();
+    HeapPopTop(lane);
+    if (!Live(lane, m)) {
+      --lane.tombstones;
       continue;
     }
-    Slot& s = slots_[m.slot];
+    Slot& s = lane.slots[m.slot];
     s.state = SlotState::kExecuting;
     // Run the closure from a local: the callback may schedule events that
     // grow the slab (invalidating `s`), cancel its own re-arm, or be the
     // closure's only owner.
     std::function<void()> fn = std::move(s.fn);
-    now_ = SimTime(t);
+    Lane& ctrl = lanes_.front();
+    ctrl.now = SimTime(t);
+    lane.now = SimTime(t);
     ++executed_;
-    --live_;
-    uint32_t prev_current = current_;
-    current_ = m.slot;
+    --lane.live;
+    // Serial scheduling context: this event's global ordinal, action counter
+    // reset. Deliberately not restored after fn() — top-level code that
+    // schedules between Step() calls continues this event's action stream,
+    // which keeps (rank_hi, rank_lo) strictly increasing in scheduling
+    // order exactly like the single sequence number it replaces.
+    ctrl.ctx_hi = executed_;
+    ctrl.ctx_k = 0;
+    ctrl.ctx_j = 0;
+    ctrl.ctx_replay = false;
+    uint32_t prev_current = lane.current;
+    uint32_t prev_exec_lane = serial_exec_lane_;
+    lane.current = m.slot;
+    serial_exec_lane_ = lane.index;
     fn();
-    current_ = prev_current;
-    Slot& after = slots_[m.slot];
+    serial_exec_lane_ = prev_exec_lane;
+    lane.current = prev_current;
+    Slot& after = lane.slots[m.slot];
     if (after.state == SlotState::kRearmed) {
       after.fn = std::move(fn);  // hand the closure back for the next firing
       after.state = SlotState::kPending;
     } else {
-      RetireSlot(m.slot);
+      RetireSlot(lane, m.slot);
     }
     return true;
   }
   return false;
 }
 
+bool Simulator::Step() {
+  if (scheduler_ != nullptr) {
+    return scheduler_->SerialStepOnce();
+  }
+  return StepLane(lanes_.front());
+}
+
 void Simulator::RunUntil(SimTime deadline) {
+  if (scheduler_ != nullptr) {
+    scheduler_->RunSerialUntil(deadline);
+    return;
+  }
+  Lane& lane = lanes_.front();
   for (;;) {
     // Skip tombstones to see the genuine next event time.
-    PruneStaleTop();
-    if (heap_keys_.empty() || SimTime(KeyTime(heap_keys_.front())) > deadline) {
+    PruneStaleTop(lane);
+    if (lane.heap_keys.empty() || SimTime(KeyTime(lane.heap_keys.front())) > deadline) {
       break;
     }
-    Step();
+    StepLane(lane);
   }
-  if (deadline > now_ && deadline.is_finite()) {
-    now_ = deadline;
+  if (deadline > lane.now && deadline.is_finite()) {
+    lane.now = deadline;
   }
 }
 
 void Simulator::RunUntilIdle(uint64_t max_events) {
+  if (scheduler_ != nullptr) {
+    // Unbudgeted drains go through the windowed loop; budgeted ones stay
+    // serial inside the scheduler so the cut lands on the exact event.
+    scheduler_->RunUntilTrue([] { return false; }, max_events);
+    return;
+  }
   uint64_t n = 0;
   while (n < max_events && Step()) {
     ++n;
   }
 }
 
-bool Simulator::RunUntilTrue(const std::function<bool()>& predicate, uint64_t max_events) {
+bool Simulator::RunUntilTrue(const std::function<bool()>& predicate,
+                             uint64_t max_events) {
+  if (scheduler_ != nullptr) {
+    return scheduler_->RunUntilTrue(predicate, max_events);
+  }
   if (predicate()) {
     return true;
   }
@@ -287,6 +408,91 @@ bool Simulator::RunUntilTrue(const std::function<bool()>& predicate, uint64_t ma
     }
   }
   return false;
+}
+
+void Simulator::ConfigureShards(const ShardOptions& options) {
+  LAMINAR_CHECK_GE(options.num_shards, 1);
+  LAMINAR_CHECK_LE(options.num_shards, 255);
+  LAMINAR_CHECK(scheduler_ == nullptr) << "shards already configured";
+  LAMINAR_CHECK_EQ(pending_events(), 0u)
+      << "ConfigureShards must run before any event is scheduled";
+  LAMINAR_CHECK_EQ(executed_, 0u);
+  lanes_ = std::vector<Lane>(static_cast<size_t>(options.num_shards) + 1);
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i].index = static_cast<uint32_t>(i);
+  }
+  scheduler_ = std::make_unique<ShardScheduler>(this, options);
+}
+
+void Simulator::set_window_time_cap(double seconds) {
+  LAMINAR_CHECK(scheduler_ != nullptr) << "set_window_time_cap requires shards";
+  scheduler_->set_window_time_cap(seconds);
+}
+
+void Simulator::set_trace(TraceSink* sink) {
+  trace_ = sink;
+  if (scheduler_ != nullptr) {
+    scheduler_->OnTraceChanged();
+  }
+}
+
+void Simulator::RunOrStage(std::function<void()> fn) {
+  if (window_active_) {
+    if (Lane* wl = MutableTlsLane()) {
+      StageFromWindow(*wl, std::move(fn));
+      return;
+    }
+  }
+  fn();
+}
+
+ShardRank Simulator::NextActionRank(Lane& ctx) {
+  if (ctx.ctx_replay) {
+    // Replayed staged-action body: actions sort at the staging program point,
+    // sub-ordered by j within the staging action's k slot.
+    LAMINAR_CHECK(ctx.ctx_j < kRankJMax) << "replay action sub-index overflow";
+    return MakeRank(ctx.ctx_hi,
+                    ctx.ctx_lo_base |
+                        (static_cast<uint64_t>(++ctx.ctx_j) << kRankJShift));
+  }
+  LAMINAR_CHECK(ctx.ctx_k < kRankKMax) << "per-event action counter overflow";
+  return MakeRank(ctx.ctx_hi, ctx.ctx_k++ << kRankKShift);
+}
+
+void Simulator::StageFromWindow(Lane& lane, std::function<void()> fn) {
+  // Queue rank = the staging event's own heap rank + a, which sorts the
+  // staged action immediately after the staging event and before every event
+  // that serially follows it (event ranks always carry a = 0 and any two
+  // event ranks differ by at least 1 << kRankJShift). The separate
+  // (replay_hi, replay_lo_base) pair seeds the replay context so schedules
+  // performed by the body mint ranks at the staging event's program point.
+  LAMINAR_CHECK(lane.ctx_a < kRankAMax) << "staged action counter overflow";
+  LAMINAR_CHECK(lane.ctx_k < kRankKMax) << "per-event action counter overflow";
+  lane.staged.push_back(StagedAction{
+      TimeKey(lane.now), lane.ctx_event_rank + (++lane.ctx_a), lane.ctx_hi,
+      lane.ctx_k++ << kRankKShift, std::move(fn)});
+}
+
+uint64_t Simulator::shard_windows() const {
+  return scheduler_ != nullptr ? scheduler_->windows() : 0;
+}
+uint64_t Simulator::shard_window_events() const {
+  return scheduler_ != nullptr ? scheduler_->window_events() : 0;
+}
+uint64_t Simulator::shard_serial_steps() const {
+  return scheduler_ != nullptr ? scheduler_->serial_steps() : 0;
+}
+uint64_t Simulator::shard_actions_replayed() const {
+  return scheduler_ != nullptr ? scheduler_->actions_replayed() : 0;
+}
+uint64_t Simulator::shard_rejects_no_floor() const {
+  return scheduler_ != nullptr ? scheduler_->rejects_no_floor() : 0;
+}
+uint64_t Simulator::shard_rejects_narrow() const {
+  return scheduler_ != nullptr ? scheduler_->rejects_narrow() : 0;
+}
+uint64_t Simulator::shard_rejects_few_lanes() const {
+  return scheduler_ != nullptr ? scheduler_->rejects_few_lanes() : 0;
 }
 
 PeriodicTask::PeriodicTask(Simulator* sim, double period, std::function<void()> fn)

@@ -3,20 +3,32 @@
 // The simulator owns a virtual clock and a priority queue of scheduled
 // callbacks. Events at equal timestamps execute in scheduling order, which —
 // combined with the deterministic Rng streams (common/rng.h) — makes every
-// run bit-reproducible. The engine is single-threaded by design: RL cluster
-// behaviour is modelled by the *timing* of events, not by real concurrency.
+// run bit-reproducible.
 //
-// Internals (DESIGN.md "Simulation engine internals"): event records live in
-// a slab pool indexed by a 32-bit slot with a 32-bit generation tag packed
-// into the EventId, so Cancel()/IsPending() are O(1) array probes with no
-// hashing. Cancellation is lazy — the heap entry stays behind as a tombstone
-// that Step() skips when popped, and the heap is compacted when tombstones
-// outnumber live entries.
+// Serial internals (DESIGN.md "Simulation engine internals"): event records
+// live in a slab pool indexed by a 24-bit slot with a 32-bit generation tag
+// packed into the EventId, so Cancel()/IsPending() are O(1) array probes with
+// no hashing. Cancellation is lazy — the heap entry stays behind as a
+// tombstone that Step() skips when popped, and the heap is compacted when
+// tombstones outnumber live entries.
+//
+// Sharded execution (DESIGN.md §12): ConfigureShards() partitions the event
+// queue into lanes — lane 0 holds control-plane ("fence") events, lanes 1..S
+// hold replica-affine events routed by ScheduleAtOn()/ScheduleAfterOn(). A
+// ShardScheduler (sim/shard_exec.h) then executes lane events in conservative
+// windows bounded by the next fence key, staging cross-shard effects for a
+// deterministic (time, rank) merge at window barriers. Event ordering is
+// governed by a hierarchical rank — (ordinal of the scheduling context,
+// intra-context action index) — that reproduces the serial scheduling-order
+// tiebreak bit-for-bit, so a sharded run emits byte-identical reports,
+// ledgers, and traces. Without ConfigureShards() the engine is exactly the
+// single-lane serial design described above.
 #ifndef LAMINAR_SRC_SIM_SIMULATOR_H_
 #define LAMINAR_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -24,25 +36,103 @@
 namespace laminar {
 
 class TraceSink;
+class ShardScheduler;
+class LaneStagingSink;
 
-// Packed (generation << 32) | pool slot. Generations start at 1, so a valid
-// id is never 0.
+// Packed (generation << 32) | (lane << 24) | pool slot. Generations start at
+// 1, so a valid id is never 0. Lane 0 is the control lane; serial simulators
+// only ever mint lane-0 ids, keeping the packing identical to the historical
+// (generation << 32) | slot layout.
 using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
+// Event-ordering rank: (rank_hi << 64) | rank_lo.
+//   rank_hi — global execution ordinal of the scheduling context (the event
+//             whose callback performed the schedule; the count of events
+//             executed so far for top-level code). During a shard window it
+//             temporarily carries kTempRankBit | lane-local execution index
+//             and is resolved to a final ordinal at the window barrier.
+//   rank_lo — three sub-fields, (k << 28) | (j << 12) | a:
+//             k — action counter of the scheduling context; every schedule
+//                 and every staged action (effect, trace emission) consumes
+//                 one k in program order.
+//             j — replay sub-index: actions performed while replaying a
+//                 staged action take j = 1, 2, ... under the staging k, so
+//                 they sort exactly at the staging point — after earlier
+//                 sibling actions, before later ones — as if run inline.
+//             a — staged-action queue index: a staged action's replay-queue
+//                 rank is its staging *event's own rank* plus a = 1, 2, ...,
+//                 placing the replay immediately after the staging event and
+//                 before every event that serially follows it. Event ranks
+//                 always carry a = 0, and distinct event ranks differ by at
+//                 least 1 << 12, so the offset can never collide.
+// Lexicographic (time, rank) comparisons reproduce the serial engine's
+// scheduling-order tiebreak exactly: rank values may differ between serial
+// and sharded runs, but every comparison agrees, so observable behaviour is
+// identical.
+using ShardRank = unsigned __int128;
+
+// Options for ConfigureShards().
+struct ShardOptions {
+  // Number of replica lanes; lanes 1..num_shards accept affine events via
+  // ScheduleAtOn()/ScheduleAfterOn(). Must be >= 1; 1 keeps the engine
+  // effectively serial but still exercises the window machinery.
+  int num_shards = 1;
+  // Worker threads for window execution. 0 = the coordinator executes lanes
+  // itself (no thread handoff — right for single-core hosts); -1 = derive
+  // from the process-wide ThreadBudget (common/thread_budget.h), which shares
+  // cores with the sweep runner's run-level parallelism.
+  int num_workers = -1;
+  // Cross-shard lookahead horizon (the alpha of the cluster's alpha-beta
+  // network model): a window-context schedule targeting another lane must
+  // land at least this far past the scheduling clock. Enforced by assert.
+  double lookahead_seconds = 0.0;
+  // Horizon-collapse threshold: when the gap between the earliest eligible
+  // lane event and the window bound is below this, fall back to serial
+  // stepping instead of opening a window.
+  double min_window_seconds = 0.0;
+  // Open a window only when at least this many lanes have eligible events;
+  // otherwise take the serial slab-heap path.
+  int min_parallel_lanes = 1;
+};
+
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime Now() const { return now_; }
+  // The current clock: the executing lane's clock inside a shard window, the
+  // serial/control clock (lane 0) otherwise.
+  SimTime Now() const {
+    if (window_active_) {
+      if (const Lane* lane = TlsLane()) {
+        return lane->now;
+      }
+    }
+    return lanes_.front().now;
+  }
 
   // Schedules `fn` to run at absolute time `t` (>= Now()). Returns an id that
-  // can be passed to Cancel() until the event fires.
+  // can be passed to Cancel() until the event fires. Targets the scheduling
+  // context's own lane inside a shard window, the control lane otherwise.
   EventId ScheduleAt(SimTime t, std::function<void()> fn);
-  // Schedules `fn` after `delay` seconds (>= 0).
+  // Schedules `fn` after `delay` seconds (>= 0). The key is always computed
+  // against the scheduling context's shard-local clock — never a stale global
+  // clock — so a cross-shard callback can never produce a timestamp below the
+  // window floor it was staged under.
   EventId ScheduleAfter(double delay, std::function<void()> fn);
+
+  // Shard-affine scheduling: `shard` 0 targets the control lane, 1..S a
+  // replica lane. Identical to ScheduleAt()/ScheduleAfter() when sharding is
+  // not configured (any shard value collapses to the single serial lane).
+  // Scheduling onto a foreign lane from inside a shard window stages the
+  // schedule for the window barrier and returns kInvalidEventId (the event
+  // cannot be cancelled before it materializes); such schedules must respect
+  // the lookahead horizon.
+  EventId ScheduleAtOn(int shard, SimTime t, std::function<void()> fn);
+  EventId ScheduleAfterOn(int shard, double delay, std::function<void()> fn);
 
   // Re-schedules the event whose callback is currently executing to fire
   // again after `delay` seconds, reusing its stored closure — no new
@@ -51,50 +141,128 @@ class Simulator {
   EventId RearmCurrentAfter(double delay);
 
   // Cancels a pending event. Returns true if the event was still pending.
+  // Inside a shard window only own-lane events may be cancelled.
   bool Cancel(EventId id);
   bool IsPending(EventId id) const {
-    uint32_t slot = SlotOf(id);
-    if (slot >= slots_.size()) {
+    uint32_t li = LaneOf(id);
+    if (li >= lanes_.size()) {
       return false;
     }
-    const Slot& s = slots_[slot];
+    const Lane& lane = lanes_[li];
+    uint32_t slot = SlotOf(id);
+    if (slot >= lane.slots.size()) {
+      return false;
+    }
+    const Slot& s = lane.slots[slot];
     return s.generation == GenerationOf(id) &&
            (s.state == SlotState::kPending || s.state == SlotState::kRearmed);
   }
 
   // Executes the next pending event, advancing the clock. Returns false if
-  // the queue is empty.
+  // the queue is empty. With shards configured this is a serial step over the
+  // union of lanes (plus any staged actions that come due first).
   bool Step();
 
   // Runs events until the clock would pass `deadline`; the clock finishes at
-  // exactly `deadline` (events at later times remain pending).
+  // exactly `deadline` (events at later times remain pending). Serial even
+  // with shards configured.
   void RunUntil(SimTime deadline);
 
   // Runs until no events remain or `max_events` have executed.
   void RunUntilIdle(uint64_t max_events = UINT64_MAX);
 
-  // Runs until `predicate()` returns true (checked after every event) or the
-  // queue drains. Returns true if the predicate was satisfied.
+  // Runs until `predicate()` returns true (checked after every serially
+  // executed event and after every window barrier) or the queue drains.
+  // Returns true if the predicate was satisfied. With shards configured the
+  // predicate must only change state in control-lane events or staged
+  // effects — true for the driver's iteration/deadline predicate.
   bool RunUntilTrue(const std::function<bool()>& predicate,
                     uint64_t max_events = UINT64_MAX);
 
-  size_t pending_events() const { return live_; }
+  // Partitions the queue into `options.num_shards` replica lanes plus the
+  // control lane and installs the window scheduler. Must be called before any
+  // event is scheduled. See ShardOptions.
+  void ConfigureShards(const ShardOptions& options);
+  bool sharded() const { return scheduler_ != nullptr; }
+  int num_shards() const { return static_cast<int>(lanes_.size()) - (sharded() ? 1 : 0); }
+  // Events with time strictly greater than `seconds` never execute inside a
+  // window — they take the serial path, so a run predicate that stops on a
+  // time cap stops at exactly the same event as a serial run.
+  void set_window_time_cap(double seconds);
+
+  // True while the calling thread is executing a replica-lane event inside a
+  // shard window (staging context).
+  bool InShardWindow() const { return window_active_ && TlsLane() != nullptr; }
+
+  // Runs `fn` immediately in a serial context; inside a shard window, stages
+  // it to run at the window barrier merge point instead, keyed by the staging
+  // event's (time, rank) so the replay order is exactly the serial inline
+  // order. Used to defer zero-latency cross-shard callbacks (completion,
+  // progress, batch-done) whose bodies touch global state.
+  void RunOrStage(std::function<void()> fn);
+
+  size_t pending_events() const {
+    size_t n = 0;
+    for (const Lane& lane : lanes_) {
+      n += lane.live;
+    }
+    return n;
+  }
   uint64_t executed_events() const { return executed_; }
 
   // Structured tracing (src/trace). Null when tracing is disabled — the
   // emission macros test this pointer and do nothing else, so instrumented
   // code costs one predictable branch per site in ordinary runs. The sink is
   // owned by the driver; the simulator only hands it to instrumented code.
-  TraceSink* trace() const { return trace_; }
-  void set_trace(TraceSink* sink) { trace_ = sink; }
+  // Inside a shard window the lane's staging sink is returned instead, which
+  // defers emissions to the window barrier in serial order.
+  TraceSink* trace() const {
+    if (trace_ == nullptr) {
+      return nullptr;  // disabled: macros skip, no staging either
+    }
+    if (window_active_) {
+      if (const Lane* lane = TlsLane()) {
+        return lane->staging_sink;
+      }
+    }
+    return trace_;
+  }
+  void set_trace(TraceSink* sink);
 
   // Introspection for tests and benches: slab slots ever allocated (bounded
   // by the peak number of simultaneously pending events, not by churn) and
-  // heap entries including tombstones awaiting compaction.
-  size_t event_pool_slots() const { return slots_.size(); }
-  size_t heap_entries() const { return heap_keys_.size(); }
+  // heap entries including tombstones awaiting compaction. Both sum over
+  // lanes.
+  size_t event_pool_slots() const {
+    size_t n = 0;
+    for (const Lane& lane : lanes_) {
+      n += lane.slots.size();
+    }
+    return n;
+  }
+  size_t heap_entries() const {
+    size_t n = 0;
+    for (const Lane& lane : lanes_) {
+      n += lane.heap_keys.size();
+    }
+    return n;
+  }
+
+  // Shard-execution counters (zero when unsharded): windows opened, events
+  // executed inside windows, serial fallback steps taken by the window loop,
+  // and staged actions (effects, traces, cross-lane schedules) replayed.
+  uint64_t shard_windows() const;
+  uint64_t shard_window_events() const;
+  uint64_t shard_serial_steps() const;
+  uint64_t shard_actions_replayed() const;
+  uint64_t shard_rejects_no_floor() const;
+  uint64_t shard_rejects_narrow() const;
+  uint64_t shard_rejects_few_lanes() const;
 
  private:
+  friend class ShardScheduler;
+  friend class LaneStagingSink;
+
   enum class SlotState : uint8_t {
     kFree,       // on the free list
     kPending,    // scheduled, heap entry live
@@ -108,59 +276,168 @@ class Simulator {
     SlotState state = SlotState::kFree;
   };
 
-  // The heap is stored as parallel arrays (struct-of-arrays): heap_keys_
+  // The heap is stored as parallel arrays (struct-of-arrays): heap_keys
   // holds just the timestamps the sift comparisons read — eight entries per
-  // cache line — while heap_meta_ carries the payload moved alongside.
+  // cache line — while heap_meta carries the payload moved alongside.
   // Timestamps are stored bit-cast to uint64: non-negative IEEE-754 doubles
   // order identically to their bit patterns, and integer compares let the
   // sift loops run on conditional moves instead of mispredicted branches.
   struct HeapMeta {
-    uint64_t seq;
+    ShardRank rank;
     uint32_t slot;
     uint32_t generation;
   };
 
+  // One executed window event: its heap key and (possibly temporary) rank,
+  // recorded in lane execution order for the barrier's ordinal merge.
+  struct ExecRecord {
+    uint64_t key;
+    ShardRank rank;
+  };
+
+  // A deferred action staged during window execution: an effect body, a
+  // trace emission, or a cross-lane schedule. Replayed serially in
+  // (key, rank) order once the window loop's clock reaches it. `rank` (the
+  // staging event's rank + a) orders the replay among events and other
+  // actions; (replay_hi, replay_lo_base) — the staging event's execution
+  // ordinal and the staging k — seed the replay context so actions the body
+  // performs mint ranks in the j sub-space of the staging point.
+  struct StagedAction {
+    uint64_t key;
+    ShardRank rank;
+    uint64_t replay_hi;
+    uint64_t replay_lo_base;
+    std::function<void()> fn;
+  };
+
+  // One event partition with its own clock, slab, heap, and scheduling
+  // context. Lane 0 is the control lane driven by the serial loop; lanes
+  // 1..S execute inside shard windows. During a window each lane is touched
+  // by exactly one thread.
+  struct Lane {
+    SimTime now = SimTime::Zero();
+    uint32_t index = 0;
+    uint32_t current = kNoCurrent;
+    // Scheduling context: rank_hi of the running context, the action counter
+    // k, the staged-action counter a plus the executing event's own rank
+    // (window execution only), and — in staged-action replay — the fixed
+    // rank_lo base plus the sub-index j.
+    uint64_t ctx_hi = 0;
+    uint64_t ctx_lo_base = 0;
+    uint64_t ctx_k = 0;
+    uint32_t ctx_j = 0;
+    uint32_t ctx_a = 0;
+    ShardRank ctx_event_rank = 0;
+    bool ctx_replay = false;
+    size_t live = 0;        // pending + rearmed events
+    size_t tombstones = 0;  // stale entries still in the heap
+    std::vector<uint64_t> heap_keys;
+    std::vector<HeapMeta> heap_meta;
+    std::vector<Slot> slots;
+    std::vector<uint32_t> free_slots;
+    // Window-execution state (ShardScheduler only).
+    std::vector<ExecRecord> exec_log;
+    std::vector<StagedAction> staged;
+    TraceSink* staging_sink = nullptr;  // owned by the ShardScheduler
+  };
+
   static constexpr uint32_t kNoCurrent = UINT32_MAX;
-  static uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id); }
-  static uint32_t GenerationOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
-  static EventId Pack(uint32_t slot, uint32_t generation) {
-    return (static_cast<uint64_t>(generation) << 32) | slot;
+  static constexpr int kLaneShift = 24;
+  static constexpr uint32_t kSlotMask = (1u << kLaneShift) - 1;
+  static constexpr uint64_t kTempRankBit = 1ull << 63;
+  // rank_lo sub-fields: (k << 28) | (j << 12) | a. k counts actions of the
+  // running context, j counts actions performed while replaying a staged
+  // action (they sort at the staging program point), a counts staged actions
+  // of one event (queue rank = the event's own rank + a, placing replay
+  // immediately after the event and before anything serially later).
+  static constexpr int kRankKShift = 28;
+  static constexpr int kRankJShift = 12;
+  static constexpr uint64_t kRankKMax = (1ull << 36) - 1;
+  static constexpr uint64_t kRankJMax = (1ull << 16) - 1;
+  static constexpr uint64_t kRankAMax = (1ull << 12) - 1;
+
+  static uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id) & kSlotMask; }
+  static uint32_t LaneOf(EventId id) {
+    return (static_cast<uint32_t>(id) >> kLaneShift) & 0xFF;
   }
+  static uint32_t GenerationOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+  static EventId Pack(uint32_t lane, uint32_t slot, uint32_t generation) {
+    return (static_cast<uint64_t>(generation) << 32) |
+           (static_cast<uint64_t>(lane) << kLaneShift) | slot;
+  }
+  static ShardRank MakeRank(uint64_t hi, uint64_t lo) {
+    return (static_cast<ShardRank>(hi) << 64) | lo;
+  }
+  static uint64_t RankHi(ShardRank r) { return static_cast<uint64_t>(r >> 64); }
+  static uint64_t RankLo(ShardRank r) { return static_cast<uint64_t>(r); }
+
+  // Window-thread context, set by the ShardScheduler around lane execution.
+  static thread_local const Simulator* tls_owner_;
+  static thread_local Lane* tls_lane_;
+
+  // The executing window lane when called from a window thread of this
+  // simulator, else null. The owner check keeps concurrent sweeps safe: a
+  // sweep thread may run one simulator's window while other simulators on
+  // the same thread stack are serial.
+  const Lane* TlsLane() const {
+    return (window_active_ && tls_owner_ == this) ? tls_lane_ : nullptr;
+  }
+  Lane* MutableTlsLane() {
+    return (window_active_ && tls_owner_ == this) ? tls_lane_ : nullptr;
+  }
+  // The lane governing the calling context: the window lane on a window
+  // thread, the control lane otherwise.
+  Lane& CtxLane() {
+    Lane* lane = MutableTlsLane();
+    return lane != nullptr ? *lane : lanes_.front();
+  }
+
+  static uint64_t TimeKey(SimTime t);
+  static double KeyTime(uint64_t key);
+  static bool KeyRankLess(uint64_t k1, ShardRank r1, uint64_t k2, ShardRank r2) {
+    return k1 < k2 || (k1 == k2 && r1 < r2);
+  }
+
+  // Consumes the next action rank of the current scheduling context.
+  ShardRank NextActionRank(Lane& ctx);
 
   // A heap entry is live iff its (slot, generation) still names a scheduled
   // event; anything else is a tombstone left behind by Cancel(). kRearmed
   // counts: its heap entry is the future firing, and compaction must keep it
   // even while the current callback is still on the stack.
-  bool Live(const HeapMeta& m) const {
-    const Slot& s = slots_[m.slot];
+  static bool Live(const Lane& lane, const HeapMeta& m) {
+    const Slot& s = lane.slots[m.slot];
     return s.generation == m.generation &&
            (s.state == SlotState::kPending || s.state == SlotState::kRearmed);
   }
 
-  uint32_t AllocSlot();
-  void RetireSlot(uint32_t slot);
-  void PushHeap(SimTime t, uint32_t slot, uint32_t generation);
-  // 4-ary min-heap primitives over heap_ (shallower than a binary heap, so
-  // pushes/pops touch fewer cache lines).
-  void HeapSiftUp(size_t i);
-  void HeapSiftDown(size_t i);
-  void HeapPopTop();
-  // Pops tombstones off the heap top so heap_.front() is a live event.
-  void PruneStaleTop();
+  EventId ScheduleOnLane(uint32_t lane_idx, SimTime t, std::function<void()> fn);
+  void StageFromWindow(Lane& lane, std::function<void()> fn);
+
+  static uint32_t AllocSlot(Lane& lane);
+  static void RetireSlot(Lane& lane, uint32_t slot);
+  static void PushHeap(Lane& lane, SimTime t, uint32_t slot, uint32_t generation,
+                       ShardRank rank);
+  // 4-ary min-heap primitives (shallower than a binary heap, so pushes/pops
+  // touch fewer cache lines).
+  static void HeapSiftUp(Lane& lane, size_t i);
+  static void HeapSiftDown(Lane& lane, size_t i);
+  static void HeapPopTop(Lane& lane);
+  // Pops tombstones off the heap top so heap front is a live event.
+  static void PruneStaleTop(Lane& lane);
   // Rebuilds the heap without tombstones once they dominate it.
-  void MaybeCompactHeap();
+  static void MaybeCompactHeap(Lane& lane);
+
+  // Executes lane's top event with serial semantics (global ordinal, effects
+  // inline). The caller must have pruned stale tops.
+  bool StepLane(Lane& lane);
 
   TraceSink* trace_ = nullptr;
-  SimTime now_ = SimTime::Zero();
-  uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;
-  size_t live_ = 0;        // pending + rearmed events
-  size_t tombstones_ = 0;  // stale entries still in the heap
-  uint32_t current_ = kNoCurrent;
-  std::vector<uint64_t> heap_keys_;
-  std::vector<HeapMeta> heap_meta_;
-  std::vector<Slot> slots_;
-  std::vector<uint32_t> free_slots_;
+  bool window_active_ = false;   // set only around window execution
+  uint32_t serial_exec_lane_ = 0;  // lane whose event a serial step is running
+  std::vector<Lane> lanes_;
+  std::unique_ptr<ShardScheduler> scheduler_;
 };
 
 // A repeating timer: runs `fn` every `period` seconds starting at

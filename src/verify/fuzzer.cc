@@ -22,9 +22,15 @@ struct BatchLayout {
   int clean = -1;
   int sync_twin = -1;
   int repack_off = -1;
+  int shard_twin = -1;
 };
 
-std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout) {
+// shard_twin_shards > 0 adds a twin of the primary with the shard count
+// flipped (serial primaries get a sharded twin and vice versa); the oracle
+// demands full fingerprint identity. ScenarioFingerprints passes 0 so the
+// committed golden file's batch layout is unchanged.
+std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout,
+                                       int shard_twin_shards) {
   std::vector<RlSystemConfig> batch;
   layout.primary = static_cast<int>(batch.size());
   batch.push_back(scn.config);
@@ -39,6 +45,12 @@ std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout)
   if (scn.diff_repack) {
     layout.repack_off = static_cast<int>(batch.size());
     batch.push_back(RepackOffTwin(scn.config));
+  }
+  if (shard_twin_shards > 0) {
+    layout.shard_twin = static_cast<int>(batch.size());
+    RlSystemConfig twin = scn.config;
+    twin.shards = twin.shards == 1 ? shard_twin_shards : 1;
+    batch.push_back(twin);
   }
   return batch;
 }
@@ -99,6 +111,21 @@ OracleReport JudgeScenario(const Scenario& scn, const EvalOptions& opts,
     }
   }
 
+  // Oracle: sharded execution is byte-identical to serial. Unlike the
+  // ledger diffs this demands the full fingerprint (reports, chaos
+  // counters, ledger, binary trace hash).
+  if (layout.shard_twin >= 0) {
+    ++out.checks_run;
+    if (RunFingerprint(reports[layout.primary]) !=
+        RunFingerprint(reports[layout.shard_twin])) {
+      out.failures.push_back(
+          {"shard-diff", "fingerprints differ between shards=" +
+                             std::to_string(batch[layout.primary].shards) +
+                             " and shards=" +
+                             std::to_string(batch[layout.shard_twin].shards)});
+    }
+  }
+
   // Oracle: random Algorithm-1 plans stay within bounds after application.
   CheckRandomRepackPlans(scn.seed, scn.plan_cases, out);
   return out;
@@ -121,7 +148,7 @@ std::vector<OracleReport> EvaluateScenarios(const std::vector<Scenario>& scenari
   offsets.reserve(scenarios.size());
   std::vector<RlSystemConfig> flat;
   for (size_t i = 0; i < scenarios.size(); ++i) {
-    batches.push_back(BuildBatch(scenarios[i], layouts[i]));
+    batches.push_back(BuildBatch(scenarios[i], layouts[i], opts.diff_shards));
     offsets.push_back(flat.size());
     flat.insert(flat.end(), batches[i].begin(), batches[i].end());
   }
@@ -153,7 +180,7 @@ std::vector<OracleReport> EvaluateScenarios(const std::vector<Scenario>& scenari
 std::vector<ConfigFingerprint> ScenarioFingerprints(const Scenario& scn,
                                                     unsigned sweep_threads) {
   BatchLayout layout;
-  std::vector<RlSystemConfig> batch = BuildBatch(scn, layout);
+  std::vector<RlSystemConfig> batch = BuildBatch(scn, layout, /*shard_twin_shards=*/0);
   SweepOptions sweep;
   sweep.num_threads = sweep_threads;
   std::vector<SystemReport> reports = RunExperiments(batch, sweep);

@@ -16,6 +16,10 @@ struct EvalOptions {
   // thread counts and requires byte-identical fingerprints.
   unsigned sweep_threads_a = 4;
   unsigned sweep_threads_b = 2;
+  // Shard count for the shard-differential twin: the primary reruns with
+  // its shard count flipped (1 <-> diff_shards) and the full fingerprint
+  // must match. 0 disables the twin.
+  int diff_shards = 4;
 };
 
 // Runs every oracle on one scenario:

@@ -211,6 +211,11 @@ std::string ScenarioToText(const Scenario& scn) {
   emit_double("rate_message_drop", cfg.chaos.message_drop_per_hour);
   out << "warmup=" << cfg.warmup_iterations << "\n";
   out << "measure=" << cfg.measure_iterations << "\n";
+  if (cfg.shards != 1) {
+    // Emitted only when sharded so pre-existing corpus files and their
+    // byte-exact round-trips are untouched.
+    out << "shards=" << cfg.shards << "\n";
+  }
   out << "config_seed=" << cfg.seed << "\n";
   out << "diff_sync=" << (scn.diff_sync ? 1 : 0) << "\n";
   out << "diff_repack=" << (scn.diff_repack ? 1 : 0) << "\n";
@@ -342,6 +347,8 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
       cfg.chaos.replica_slow_per_hour = num;
     } else if (key == "rate_message_drop") {
       cfg.chaos.message_drop_per_hour = num;
+    } else if (key == "shards") {
+      cfg.shards = static_cast<int>(num);
     } else if (key == "warmup") {
       cfg.warmup_iterations = static_cast<int>(num);
     } else if (key == "measure") {

@@ -1,0 +1,126 @@
+// Sharded-execution determinism stress: full-system runs must produce a
+// byte-identical fingerprint (report CSVs, chaos counters, push ledger, and
+// binary-trace hash) for every shard count and worker count, and repeated
+// sharded runs must be identical to each other. This is the end-to-end
+// oracle for the conservative-window executor in src/sim/shard_exec.*.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/driver_base.h"
+#include "src/core/run.h"
+#include "src/verify/oracles.h"
+#include "src/verify/scenario.h"
+
+namespace laminar {
+namespace {
+
+std::string FingerprintWithShards(RlSystemConfig cfg, int shards,
+                                  int workers) {
+  cfg.shards = shards;
+  cfg.shard_workers = workers;
+  SystemReport report = RunExperiment(cfg);
+  return RunFingerprint(report);
+}
+
+RlSystemConfig ArmedScenarioConfig(uint64_t seed) {
+  Scenario sc = GenerateScenario(seed);
+  RlSystemConfig cfg = sc.config;
+  cfg.ledger_enabled = true;
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+// Replica->lane affinity is per machine, so windows only open when the
+// rollout fleet spans several machines. Widen a generated scenario into a
+// multi-machine Laminar fleet (tp=1 on 8-GPU machines => 8 replicas per
+// machine, 4 machines => 4 populated lanes at shards=4).
+RlSystemConfig WideFleetConfig() {
+  RlSystemConfig cfg = ArmedScenarioConfig(7);
+  cfg.total_gpus = 40;
+  cfg.train_gpus = 8;
+  cfg.rollout_gpus = 32;
+  return cfg;
+}
+
+// Randomized scenarios (chaos, repack, partial rollouts, every system kind
+// reachable from the generator) x shards in {1,2,4,8}, inline coordinator.
+TEST(ShardDeterminismTest, ScenarioFingerprintsMatchSerialAcrossShardCounts) {
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    RlSystemConfig cfg = ArmedScenarioConfig(seed);
+    std::string serial = FingerprintWithShards(cfg, 1, 0);
+    for (int shards : {2, 4, 8}) {
+      EXPECT_EQ(serial, FingerprintWithShards(cfg, shards, /*workers=*/0))
+          << "seed " << seed << " shards " << shards << " inline";
+    }
+  }
+}
+
+// Worker threads must not change the merge order either.
+TEST(ShardDeterminismTest, WorkerPoolMatchesSerialFingerprint) {
+  for (uint64_t seed : {7u, 23u}) {
+    RlSystemConfig cfg = ArmedScenarioConfig(seed);
+    std::string serial = FingerprintWithShards(cfg, 1, 0);
+    EXPECT_EQ(serial, FingerprintWithShards(cfg, 4, /*workers=*/3))
+        << "seed " << seed;
+  }
+}
+
+// A fleet wide enough to actually open windows must still match serial —
+// this is the config where the parallel path really runs (see
+// FullSystemRunsActuallyOpenWindows).
+TEST(ShardDeterminismTest, WideFleetMatchesSerialAcrossShardsAndWorkers) {
+  RlSystemConfig cfg = WideFleetConfig();
+  std::string serial = FingerprintWithShards(cfg, 1, 0);
+  for (int shards : {2, 4}) {
+    EXPECT_EQ(serial, FingerprintWithShards(cfg, shards, /*workers=*/0))
+        << "shards " << shards << " inline";
+    EXPECT_EQ(serial, FingerprintWithShards(cfg, shards, /*workers=*/3))
+        << "shards " << shards << " threaded";
+  }
+}
+
+// Same sharded run twice: no hidden dependence on thread interleaving.
+TEST(ShardDeterminismTest, RepeatedShardedRunsAreIdentical) {
+  RlSystemConfig cfg = ArmedScenarioConfig(11);
+  for (int rep = 0; rep < 2; ++rep) {
+    EXPECT_EQ(FingerprintWithShards(cfg, 4, 3),
+              FingerprintWithShards(cfg, 4, 3))
+        << "rep " << rep;
+  }
+}
+
+// Guard against a vacuous suite: a sharded full-system run must actually
+// open windows and execute events inside them, not ride the serial
+// fallback the whole way.
+TEST(ShardDeterminismTest, FullSystemRunsActuallyOpenWindows) {
+  RlSystemConfig cfg = WideFleetConfig();
+  cfg.shards = 4;
+  cfg.shard_workers = 0;
+  std::unique_ptr<DriverBase> driver = MakeDriver(cfg);
+  driver->Run();
+  const Simulator& sim = driver->sim();
+  EXPECT_GT(sim.shard_windows(), 0u)
+      << "rejects: no_floor=" << sim.shard_rejects_no_floor()
+      << " narrow=" << sim.shard_rejects_narrow()
+      << " few_lanes=" << sim.shard_rejects_few_lanes()
+      << " serial_steps=" << sim.shard_serial_steps();
+  EXPECT_GT(sim.shard_window_events(), 0u);
+  EXPECT_GT(sim.shard_actions_replayed(), 0u);
+}
+
+// Compact-hash agreement mirrors the golden-file gate in
+// perf_regression_test: FNV-1a over the full fingerprint.
+TEST(ShardDeterminismTest, FingerprintHashesAgree) {
+  RlSystemConfig cfg = ArmedScenarioConfig(3);
+  cfg.shards = 1;
+  uint64_t serial = FingerprintHash(RunExperiment(cfg));
+  cfg.shards = 8;
+  cfg.shard_workers = 2;
+  EXPECT_EQ(serial, FingerprintHash(RunExperiment(cfg)));
+}
+
+}  // namespace
+}  // namespace laminar
