@@ -9,6 +9,12 @@
 // scripted kill is replaced by a seeded stochastic fault schedule (machine
 // failures, stalls, link flaps, fail-slow replicas, message drops) with the
 // invariant checker armed — the same timeline plotted under random chaos.
+//
+// --crash-restart replaces the machine kill with two scripted trainer
+// process crashes (DESIGN.md §13): each one serializes nothing new — the
+// trainer's state is rebuilt from its last LMSNAP1 checkpoint after a 45 s
+// restart — and the invariant checker audits the whole drill. Committed
+// reference output: bench/fig15_crash_restart.txt.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,14 +26,20 @@
 namespace laminar {
 namespace {
 
-void Run(long fault_seed) {
-  Banner("Figure 15: throughput timeline across a rollout machine failure");
+void Run(long fault_seed, bool crash_restart) {
+  Banner(crash_restart
+             ? "Figure 15 (crash-restart): trainer killed twice, restored from checkpoint"
+             : "Figure 15: throughput timeline across a rollout machine failure");
   RlSystemConfig cfg = ThroughputConfig(SystemKind::kLaminar, ModelScale::k32B, 128);
   cfg.warmup_iterations = 2;
   cfg.measure_iterations = 8;
   cfg.sample_period_seconds = 20.0;
 
   const double kFailureTime = 600.0;
+  const double kRestartDelay = 45.0;
+  if (crash_restart) {
+    cfg.invariants_enabled = true;
+  }
   if (fault_seed >= 0) {
     cfg.chaos_enabled = true;
     cfg.chaos_seed = static_cast<uint64_t>(fault_seed);
@@ -42,7 +54,16 @@ void Run(long fault_seed) {
   ArmTrace(cfg);
   auto driver = MakeDriver(cfg);
   auto* laminar = static_cast<LaminarSystem*>(driver.get());
-  if (fault_seed < 0) {
+  if (crash_restart) {
+    // Two process crashes: one mid-iteration, one after the trainer has
+    // already banked more checkpointed progress. Each discards the
+    // in-flight iteration and resumes from the last LMSNAP1 checkpoint
+    // after kRestartDelay.
+    laminar->ScheduleFault(
+        {kFailureTime, FaultKind::kCrashRestart, 0, kRestartDelay});
+    laminar->ScheduleFault(
+        {kFailureTime + 300.0, FaultKind::kCrashRestart, 0, kRestartDelay});
+  } else if (fault_seed < 0) {
     // Machine 0: two TP=4 replicas + relay.
     laminar->ScheduleFault({kFailureTime, FaultKind::kRolloutMachine, 0});
   }
@@ -65,7 +86,12 @@ void Run(long fault_seed) {
       }
     }
     std::string marker;
-    if (fault_seed < 0 && t >= kFailureTime && t < kFailureTime + 60.0) {
+    if (crash_restart) {
+      if ((t >= kFailureTime && t < kFailureTime + 60.0) ||
+          (t >= kFailureTime + 300.0 && t < kFailureTime + 360.0)) {
+        marker = "  <- trainer crashed";
+      }
+    } else if (fault_seed < 0 && t >= kFailureTime && t < kFailureTime + 60.0) {
       marker = "  <- machine killed";
     }
     table.AddRow({Table::Num(t, 0), Tps(p.value), Table::Pct(p.value / before),
@@ -94,6 +120,17 @@ void Run(long fault_seed) {
                 static_cast<long long>(rep.invariant_checks),
                 static_cast<long long>(rep.invariant_violations));
   }
+  if (crash_restart) {
+    std::printf("crash-restart drill: 2 trainer crashes at t=%.0f s and t=%.0f s, "
+                "%.0f s restart each;\n"
+                "iterations completed: %zu, trajectories dropped: %lld, "
+                "invariant checks: %lld, violations: %lld\n",
+                kFailureTime, kFailureTime + 300.0, kRestartDelay,
+                rep.iterations.size(),
+                static_cast<long long>(rep.trajectories_dropped),
+                static_cast<long long>(rep.invariant_checks),
+                static_cast<long long>(rep.invariant_violations));
+  }
   if (recovered_at > 0.0) {
     std::printf("generation recovered to >95%% of baseline %.0f s after the failure\n",
                 recovered_at - kFailureTime);
@@ -109,11 +146,14 @@ void Run(long fault_seed) {
 int main(int argc, char** argv) {
   laminar::InitBenchTracing(argc, argv);
   long fault_seed = -1;  // -1 = the paper's scripted machine kill
+  bool crash_restart = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       fault_seed = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--crash-restart") == 0) {
+      crash_restart = true;
     }
   }
-  laminar::Run(fault_seed);
+  laminar::Run(fault_seed, crash_restart);
   return 0;
 }

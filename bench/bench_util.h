@@ -56,6 +56,21 @@ void ArmTrace(RlSystemConfig& cfg);
 // Writes the report's trace (if any) to the next numbered output file.
 void MaybeWriteTrace(const SystemReport& report);
 
+// Warm-start snapshots --------------------------------------------------------
+// Every harness accepts `--snapshot-at <T>` (or =<T>): each experiment then
+// pauses at the shard-window barrier nearest T simulated seconds and captures
+// an LMSNAP1 state snapshot. A snapshot is an observation, never a
+// perturbation, so the printed tables are byte-identical with or without it.
+// `--snapshot-out <path>` writes each experiment's snapshot as a
+// "<base>.<NNN><ext>" warm-start file (submission order, like --trace-out).
+// `--restore-from <file>` re-arms every config with the file's barrier time
+// and verifies the re-reached state field-by-field against its blob —
+// deterministic replay to the barrier is the restore path (DESIGN.md §13).
+// All notices and mismatch reports go to stderr; stdout never moves.
+void ArmSnapshot(RlSystemConfig& cfg);
+void MaybeWriteSnapshot(const SystemReport& report);
+bool BenchSnapshotEnabled();
+
 // Prints a section header.
 void Banner(const std::string& title);
 

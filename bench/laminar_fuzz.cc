@@ -7,14 +7,30 @@
 //   laminar_fuzz --dump 18                        # print seed 18 as a .scenario
 //   laminar_fuzz --fingerprints tests/corpus      # regenerate fingerprints.golden
 //
+// Warm-start snapshots (DESIGN.md §13):
+//   laminar_fuzz --snapshot-at 30 --snapshot-out w.lmsnap --replay F.scenario
+//       runs F with a snapshot barrier at t=30 s and writes the captured
+//       state (plus the scenario text) as a warm-start file
+//   laminar_fuzz --restore-from w.lmsnap
+//       re-runs the embedded scenario to the same barrier — deterministic
+//       replay is the restore path — verifies the re-reached state
+//       field-by-field against the stored blob, then runs to completion
+//   --snapshot-at with --replay alone pins the diff-snapshot oracle's
+//       barrier to t instead of the seeded mid-point
+//
 // Exit status is the number of failing seeds/files (capped at 125).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/exp/sweep.h"
+#include "src/snapshot/snapshot.h"
 #include "src/verify/fuzzer.h"
 
 namespace laminar {
@@ -24,9 +40,14 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--base-seed S] [--corpus-dir DIR] [--no-shrink]\n"
                "       [--threads-a N] [--threads-b N] [--max-failures N] [--shards N]\n"
-               "       [--replay FILE...] [--dump SEED] [--fingerprints DIR]\n"
+               "       [--no-snapshot-diff] [--snapshot-at T] [--snapshot-out FILE]\n"
+               "       [--restore-from FILE] [--replay FILE...] [--dump SEED]\n"
+               "       [--fingerprints DIR]\n"
                "--shards sets the shard-differential twin's lane count (0 disables\n"
-               "the sharded-vs-serial byte-identity oracle; default 4).\n",
+               "the sharded-vs-serial byte-identity oracle; default 4).\n"
+               "--snapshot-at T with --replay pins the snapshot oracle's barrier to\n"
+               "T seconds; add --snapshot-out to also write a warm-start file, which\n"
+               "--restore-from replays and verifies byte-for-byte.\n",
                argv0);
   return 2;
 }
@@ -57,7 +78,8 @@ int PrintCorpusFingerprints(const std::string& dir) {
   return 0;
 }
 
-int ReplayFiles(const std::vector<std::string>& files, const EvalOptions& eval) {
+int ReplayFiles(const std::vector<std::string>& files, const EvalOptions& eval,
+                double snapshot_at) {
   int failing = 0;
   for (const std::string& path : files) {
     Scenario scn;
@@ -67,20 +89,110 @@ int ReplayFiles(const std::vector<std::string>& files, const EvalOptions& eval) 
       ++failing;
       continue;
     }
+    if (snapshot_at > 0.0) {
+      scn.config.snapshot_at_seconds = snapshot_at;
+    }
     OracleReport report = EvaluateScenario(scn, eval);
     std::printf("%s: %s\n", path.c_str(), report.ok() ? "ok" : "FAIL");
     if (!report.ok()) {
-      std::printf("%s", report.Summary().c_str());
+      // One line per failure naming the offending file and the oracle that
+      // caught it, so a multi-file replay greps straight to its scenario.
+      for (const OracleFailure& f : report.failures) {
+        std::printf("%s: oracle '%s': %s\n", path.c_str(), f.oracle.c_str(),
+                    f.detail.c_str());
+      }
       ++failing;
     }
   }
   return failing;
 }
 
+// --snapshot-at T --snapshot-out OUT --replay FILE: run FILE's primary config
+// with a snapshot barrier at T and persist the captured state plus the
+// scenario text as a warm-start file.
+int WriteWarmStart(const std::string& scenario_path, double t,
+                   const std::string& out_path) {
+  Scenario scn;
+  std::string error;
+  if (!LoadScenarioFile(scenario_path, &scn, &error)) {
+    std::fprintf(stderr, "%s: LOAD ERROR: %s\n", scenario_path.c_str(), error.c_str());
+    return 2;
+  }
+  RlSystemConfig cfg = scn.config;
+  cfg.snapshot_at_seconds = t;
+  SweepOptions solo;
+  solo.num_threads = 1;
+  SystemReport rep = std::move(RunExperiments({cfg}, solo)[0]);
+  if (rep.snapshot == nullptr || rep.snapshot->empty()) {
+    std::fprintf(stderr, "%s: no snapshot captured at t=%.6g s (run spans %.6g s)\n",
+                 scenario_path.c_str(), t, rep.simulated_seconds);
+    return 1;
+  }
+  SnapshotFile file;
+  file.scenario_text = ScenarioToText(scn);
+  file.snapshot_at = rep.snapshot_taken_at_seconds;
+  file.blob = *rep.snapshot;
+  std::string encoded = EncodeSnapshotFile(file);
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu-byte warm-start (state at t=%.6g s) -> %s\n",
+              scenario_path.c_str(), encoded.size(), file.snapshot_at,
+              out_path.c_str());
+  return 0;
+}
+
+// --restore-from FILE: decode a warm-start file, re-run its embedded scenario
+// to the recorded barrier (deterministic replay is the restore path —
+// DESIGN.md §13), verify the re-reached state field-by-field against the
+// stored blob, and continue the run to completion.
+int RestoreFrom(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream data;
+  data << in.rdbuf();
+  SnapshotFile file;
+  std::string error;
+  if (!DecodeSnapshotFile(data.str(), &file, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  Scenario scn;
+  if (!ScenarioFromText(file.scenario_text, &scn, &error)) {
+    std::fprintf(stderr, "%s: embedded scenario: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  RlSystemConfig cfg = scn.config;
+  cfg.snapshot_at_seconds = file.snapshot_at;
+  cfg.snapshot_verify = std::make_shared<const std::string>(file.blob);
+  SweepOptions solo;
+  solo.num_threads = 1;
+  SystemReport rep = std::move(RunExperiments({cfg}, solo)[0]);
+  bool bytes_equal = rep.snapshot != nullptr && *rep.snapshot == file.blob;
+  std::printf("%s: restored [%s] to t=%.6g s: %zu field mismatch(es), blob %s\n",
+              path.c_str(), ScenarioSummary(scn).c_str(), file.snapshot_at,
+              rep.snapshot_mismatches.size(),
+              bytes_equal ? "byte-identical" : "DIFFERS");
+  for (const std::string& m : rep.snapshot_mismatches) {
+    std::printf("%s:   %s\n", path.c_str(), m.c_str());
+  }
+  std::printf("run completed: %.6g simulated seconds\n", rep.simulated_seconds);
+  return bytes_equal && rep.snapshot_mismatches.empty() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   FuzzOptions opts;
   std::vector<std::string> replay;
   bool replaying = false;
+  double snapshot_at = 0.0;
+  std::string snapshot_out;
+  std::string restore_from;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -108,6 +220,14 @@ int Main(int argc, char** argv) {
       opts.max_failures = std::atoi(next("--max-failures"));
     } else if (arg == "--shards") {
       opts.eval.diff_shards = std::atoi(next("--shards"));
+    } else if (arg == "--no-snapshot-diff") {
+      opts.eval.diff_snapshot = false;
+    } else if (arg == "--snapshot-at") {
+      snapshot_at = std::atof(next("--snapshot-at"));
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next("--snapshot-out");
+    } else if (arg == "--restore-from") {
+      restore_from = next("--restore-from");
     } else if (arg == "--replay") {
       replaying = true;
     } else if (arg == "--fingerprints") {
@@ -122,8 +242,20 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (!restore_from.empty()) {
+    return RestoreFrom(restore_from);
+  }
+  if (!snapshot_out.empty()) {
+    if (replay.size() != 1 || snapshot_at <= 0.0) {
+      std::fprintf(stderr,
+                   "--snapshot-out needs --snapshot-at T and exactly one "
+                   "--replay FILE\n");
+      return 2;
+    }
+    return WriteWarmStart(replay[0], snapshot_at, snapshot_out);
+  }
   if (replaying) {
-    int failing = ReplayFiles(replay, opts.eval);
+    int failing = ReplayFiles(replay, opts.eval, snapshot_at);
     std::printf("replayed %zu file(s), %d failing\n", replay.size(), failing);
     return failing > 125 ? 125 : failing;
   }

@@ -86,7 +86,7 @@ class EntityTable {
     Slot& s = slots_[h.slot()];
     s.value = T{};
     s.live = false;
-    ++s.generation;
+    BumpGeneration(s);
     --live_;
     free_.push_back(h.slot());
     return out;
@@ -123,7 +123,7 @@ class EntityTable {
       if (s.live) {
         s.value = T{};
         s.live = false;
-        ++s.generation;
+        BumpGeneration(s);
         free_.push_back(slot);
       }
     }
@@ -135,12 +135,33 @@ class EntityTable {
     free_.reserve(n);
   }
 
+  // Test seam: pins a slot's generation so the 2^32 wrap is reachable
+  // without four billion Remove() calls. The slot must exist.
+  void SetSlotGenerationForTest(uint32_t slot, uint32_t generation) {
+    LAMINAR_CHECK_LT(slot, slots_.size());
+    slots_[slot].generation = generation;
+  }
+  uint32_t SlotGenerationForTest(uint32_t slot) const {
+    LAMINAR_CHECK_LT(slot, slots_.size());
+    return slots_[slot].generation;
+  }
+
  private:
   struct Slot {
     T value{};
     uint32_t generation = 1;
     bool live = false;
   };
+
+  // Generations live in 32 bits and wrap under sustained slot reuse. Skip 0
+  // on wrap: generation 0 on slot 0 would pack to the all-zero bit pattern,
+  // which EntityHandle reserves as "never valid" — a live entity there would
+  // be unreachable through its own handle.
+  static void BumpGeneration(Slot& s) {
+    if (++s.generation == 0) {
+      s.generation = 1;
+    }
+  }
 
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_;  // LIFO: most-recently-freed slot reused first

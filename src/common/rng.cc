@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
 
@@ -57,6 +58,17 @@ double Rng::Pareto(double x_min, double alpha) {
     u = std::numeric_limits<double>::min();
   }
   return x_min / std::pow(u, 1.0 / alpha);
+}
+
+void Rng::Snapshot(SnapshotTx& tx) {
+  uint64_t d = engine_.draws;
+  tx.U64("seed", &seed_);
+  tx.U64("draws", &d);
+  if (tx.adopting()) {
+    engine_.inner.seed(seed_);
+    engine_.inner.discard(static_cast<unsigned long long>(d));
+    engine_.draws = d;
+  }
 }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {

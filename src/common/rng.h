@@ -15,6 +15,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 // A seeded random stream with the distribution helpers the simulator needs.
 class Rng {
  public:
@@ -51,8 +53,33 @@ class Rng {
 
   uint64_t NextU64() { return engine_(); }
 
+  uint64_t seed() const { return seed_; }
+  // Raw engine invocations since construction/restore. Every distribution
+  // helper builds its std::* distribution fresh per call, so (seed, draws)
+  // is the COMPLETE stream state: re-seeding and discarding `draws` values
+  // reproduces the stream exactly.
+  uint64_t draws() const { return engine_.draws; }
+
+  // Snapshots the stream as (seed, draws); in adopt mode re-seeds the
+  // engine and fast-forwards it (src/snapshot/snapshot.h).
+  void Snapshot(SnapshotTx& tx);
+
  private:
-  std::mt19937_64 engine_;
+  // mt19937_64 with a draw counter; distributions see a normal URBG.
+  struct CountingEngine {
+    using result_type = std::mt19937_64::result_type;
+    explicit CountingEngine(uint64_t seed) : inner(seed) {}
+    static constexpr result_type min() { return std::mt19937_64::min(); }
+    static constexpr result_type max() { return std::mt19937_64::max(); }
+    result_type operator()() {
+      ++draws;
+      return inner();
+    }
+    std::mt19937_64 inner;
+    uint64_t draws = 0;
+  };
+
+  CountingEngine engine_;
   uint64_t seed_ = 0;
 };
 

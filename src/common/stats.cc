@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
 
@@ -96,6 +97,44 @@ std::vector<TimePoint> TimeSeries::Resample(double bucket_seconds) const {
     }
   }
   return out;
+}
+
+void SampleSet::Snapshot(SnapshotTx& tx) {
+  tx.F64Vec("samples", &samples_);
+  tx.Bool("sorted", &sorted_);
+}
+
+void TimeSeries::Snapshot(SnapshotTx& tx) {
+  // Packed as parallel (times, values) double vectors so the record count
+  // stays fixed regardless of series length.
+  std::vector<double> times(points_.size());
+  std::vector<double> values(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    times[i] = points_[i].time.seconds();
+    values[i] = points_[i].value;
+  }
+  tx.F64Vec("times", &times);
+  tx.F64Vec("values", &values);
+  if (tx.adopting() && times.size() == values.size()) {
+    points_.resize(times.size());
+    for (size_t i = 0; i < times.size(); ++i) {
+      points_[i] = {SimTime(times[i]), values[i]};
+    }
+  }
+}
+
+void StepIntegrator::Snapshot(SnapshotTx& tx) {
+  tx.F64("value", &value_);
+  tx.F64("integral", &integral_);
+  double start = start_.seconds();
+  double last = last_time_.seconds();
+  tx.F64("start", &start);
+  tx.F64("last_time", &last);
+  tx.Bool("started", &started_);
+  if (tx.adopting()) {
+    start_ = SimTime(start);
+    last_time_ = SimTime(last);
+  }
 }
 
 void StepIntegrator::Set(SimTime t, double value) {

@@ -10,6 +10,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 // Welford-style streaming statistics live in src/trace/metrics.h
 // (StreamingStat) as part of the metrics registry; this header keeps only the
 // sample- and time-series containers.
@@ -33,6 +35,11 @@ class SampleSet {
 
   const std::vector<double>& samples() const { return samples_; }
   void Clear() { samples_.clear(); sorted_ = true; }
+
+  // Serializes/verifies/adopts the raw sample vector and sort flag
+  // (src/snapshot/snapshot.h). The in-place EnsureSorted ordering is itself
+  // deterministic, so raw bytes are a stable witness.
+  void Snapshot(SnapshotTx& tx);
 
  private:
   void EnsureSorted() const;
@@ -60,6 +67,8 @@ class TimeSeries {
   // per bucket; empty buckets carry the previous bucket's value.
   std::vector<TimePoint> Resample(double bucket_seconds) const;
 
+  void Snapshot(SnapshotTx& tx);
+
  private:
   std::vector<TimePoint> points_;
 };
@@ -80,6 +89,8 @@ class StepIntegrator {
   // Set() time. Differences of this give exact windowed averages.
   double IntegralUntil(SimTime t) const;
   SimTime last_change() const { return last_time_; }
+
+  void Snapshot(SnapshotTx& tx);
 
  private:
   double value_ = 0.0;

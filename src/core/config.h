@@ -96,6 +96,17 @@ struct RlSystemConfig {
   // 0 = derive from the decode model's minimum step latency.
   double shard_lookahead_seconds = 0.0;
 
+  // Snapshot / restore (src/snapshot, DESIGN.md §13). When
+  // snapshot_at_seconds > 0 the driver pauses the run at the first event
+  // boundary at or past this time — a shard-window barrier when sharded, so
+  // serial and sharded runs capture the identical state — serializes every
+  // stateful component into an LMSNAP1 witness and attaches it to the
+  // report. snapshot_verify, when set, additionally verifies the live state
+  // field-by-field against the given blob at that same barrier and reports
+  // any mismatches (the fuzzer's restore/shard-invariance oracle).
+  double snapshot_at_seconds = 0.0;
+  std::shared_ptr<const std::string> snapshot_verify;
+
   // Metamorphic scaling knob: multiplies every hardware rate (GPU FLOPs, HBM,
   // NVLink/PCIe/RDMA bandwidths) by this factor and every fixed latency or
   // period by its inverse, producing a run that is exactly the baseline with
@@ -225,6 +236,14 @@ struct SystemReport {
 
   // Push ledger (null unless RlSystemConfig::ledger_enabled).
   std::shared_ptr<const RunLedger> ledger;
+
+  // Snapshot witness (null unless RlSystemConfig::snapshot_at_seconds > 0
+  // and the run reached it). `snapshot_taken_at_seconds` is the event
+  // boundary the capture landed on; `snapshot_mismatches` holds the verify
+  // diff against RlSystemConfig::snapshot_verify (empty = byte-identical).
+  std::shared_ptr<const std::string> snapshot;
+  double snapshot_taken_at_seconds = 0.0;
+  std::vector<std::string> snapshot_mismatches;
 };
 
 }  // namespace laminar

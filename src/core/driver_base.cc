@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/fault/invariants.h"
 #include "src/llm/model_spec.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -43,6 +45,7 @@ DriverBase::DriverBase(RlSystemConfig config)
     cfg_.sample_period_seconds *= inv;
     cfg_.max_sim_seconds *= inv;
     cfg_.shard_lookahead_seconds *= inv;
+    cfg_.snapshot_at_seconds *= inv;
   }
 
   if (cfg_.shards > 1) {
@@ -315,10 +318,36 @@ SystemReport DriverBase::Run() {
   Begin();
 
   int target = cfg_.warmup_iterations + cfg_.measure_iterations;
-  bool done = sim_.RunUntilTrue([&] {
+  auto stop = [&] {
     return static_cast<int>(trainer_->iterations().size()) >= target ||
            sim_.Now().seconds() > cfg_.max_sim_seconds;
-  });
+  };
+  bool done = true;
+  double snap_at = cfg_.snapshot_at_seconds;
+  if (snap_at > 0.0) {
+    // Pre-snapshot segment: stop after the first event at or past snap_at.
+    // When sharded, cap lookahead windows just below the snapshot time so no
+    // event at or beyond it ever executes inside a window — the run reaches
+    // the barrier on the identical event boundary the serial engine stops
+    // on, and the captured state is shard-count-invariant.
+    if (cfg_.shards > 1) {
+      sim_.set_window_time_cap(std::nextafter(snap_at, 0.0));
+    }
+    done = sim_.RunUntilTrue([&] { return stop() || sim_.Now().seconds() >= snap_at; });
+    if (cfg_.shards > 1) {
+      sim_.set_window_time_cap(cfg_.max_sim_seconds);
+    }
+    if (!stop()) {
+      snapshot_blob_ = TakeSnapshot();
+      snapshot_taken_at_ = sim_.Now().seconds();
+      if (cfg_.snapshot_verify != nullptr) {
+        snapshot_mismatches_ = VerifySnapshot(*cfg_.snapshot_verify);
+      }
+    }
+  }
+  if (done && !stop()) {
+    done = sim_.RunUntilTrue(stop);
+  }
   if (!done) {
     LAMINAR_LOG(kWarning) << cfg_.Label() << ": simulation drained before " << target
                           << " iterations (" << trainer_->iterations().size()
@@ -431,9 +460,89 @@ SystemReport DriverBase::AssembleReport(double wall_seconds) {
     ledger_.trajectories_discarded = trainer_->trajectories_discarded();
     rep.ledger = std::make_shared<RunLedger>(std::move(ledger_));
   }
+  if (!snapshot_blob_.empty()) {
+    rep.snapshot = std::make_shared<const std::string>(std::move(snapshot_blob_));
+    rep.snapshot_taken_at_seconds = snapshot_taken_at_;
+    rep.snapshot_mismatches = std::move(snapshot_mismatches_);
+  }
 
   Finalize(rep);
   return rep;
+}
+
+std::string DriverBase::TakeSnapshot() {
+  SnapshotWriter writer;
+  SnapshotTx tx(&writer);
+  SnapshotComponents(tx);
+  return writer.Finish();
+}
+
+std::vector<std::string> DriverBase::VerifySnapshot(const std::string& blob) {
+  SnapshotReader reader;
+  std::string error;
+  if (!reader.Parse(blob, &error)) {
+    return {"snapshot parse failed: " + error};
+  }
+  SnapshotTx tx(&reader, SnapshotMode::kVerify);
+  SnapshotComponents(tx);
+  return tx.mismatches();
+}
+
+void DriverBase::SnapshotComponents(SnapshotTx& tx) {
+  tx.Begin("driver");
+  sim_.Snapshot(tx);
+  tx.Begin("root_rng");
+  root_rng_.Snapshot(tx);
+  tx.End();
+  tx.Begin("score_rng");
+  score_rng_.Snapshot(tx);
+  tx.End();
+  prompts_->Snapshot(tx);
+  partial_pool_.Snapshot(tx);
+  buffer_->Snapshot(tx);
+  trainer_->Snapshot(tx);
+  tx.DigestU64("replicas", replica_ptrs_.size());
+  for (RolloutReplica* r : replica_ptrs_) {
+    r->SnapshotState(tx);
+  }
+  tx.Begin("driver_stats");
+  tx.Begin("traj_durations");
+  traj_durations_.Snapshot(tx);
+  tx.End();
+  tx.Begin("inherent_staleness_all");
+  inherent_staleness_all_.Snapshot(tx);
+  tx.End();
+  tx.Begin("rollout_wait_seconds");
+  rollout_wait_seconds_.Snapshot(tx);
+  tx.End();
+  tx.Begin("actor_stall_seconds");
+  actor_stall_seconds_.Snapshot(tx);
+  tx.End();
+  tx.Begin("gen_rate");
+  gen_rate_.Snapshot(tx);
+  tx.End();
+  tx.Begin("train_rate");
+  train_rate_.Snapshot(tx);
+  tx.End();
+  tx.Begin("buffer_depth");
+  buffer_depth_.Snapshot(tx);
+  tx.End();
+  tx.Begin("reward_series");
+  reward_series_.Snapshot(tx);
+  tx.End();
+  tx.Begin("train_reward_series");
+  train_reward_series_.Snapshot(tx);
+  tx.End();
+  tx.DigestU64("staleness_samples", staleness_samples_.size());
+  tx.DigestI64("last_gen_tokens", last_gen_tokens_);
+  tx.DigestF64("last_rate_sample", last_rate_sample_.seconds());
+  tx.DigestF64("prev_iteration_end", prev_iteration_end_.seconds());
+  tx.DigestU64("ledger_pushes", ledger_.pushes.size());
+  tx.DigestF64("generation_phase_seconds", generation_phase_seconds_);
+  tx.DigestF64("training_phase_seconds", training_phase_seconds_);
+  tx.DigestF64("other_phase_seconds", other_phase_seconds_);
+  tx.End();
+  tx.End();
 }
 
 }  // namespace laminar

@@ -24,6 +24,7 @@
 namespace laminar {
 
 class InvariantChecker;
+class SnapshotTx;
 
 class DriverBase {
  public:
@@ -34,6 +35,16 @@ class DriverBase {
 
   // Builds, runs and reports one experiment.
   SystemReport Run();
+
+  // Snapshot / restore (src/snapshot, DESIGN.md §13) ----------------------------
+  // Serializes every stateful component into one LMSNAP1 blob. Only valid at
+  // an event boundary (never from inside a shard window); Run() calls it at
+  // the cfg_.snapshot_at_seconds barrier.
+  std::string TakeSnapshot();
+  // Walks the identical traversal in verify mode against `blob`; returns the
+  // field-level mismatches (empty = the live state is byte-identical to the
+  // snapshot).
+  std::vector<std::string> VerifySnapshot(const std::string& blob);
 
   Simulator& sim() { return sim_; }
   Trainer& trainer() { return *trainer_; }
@@ -49,6 +60,11 @@ class DriverBase {
   virtual void Finalize(SystemReport& report) { (void)report; }
   // Called after every trainer iteration (before auto-continue logic).
   virtual void OnIteration(const IterationStats& stats) { (void)stats; }
+  // Field enumeration behind TakeSnapshot/VerifySnapshot. The base covers the
+  // simulator, RNG streams, data pools, trainer, replicas and the driver's
+  // own accumulators; subclasses override to append their subsystems (and
+  // must call the base first so traversal order is stable).
+  virtual void SnapshotComponents(SnapshotTx& tx);
 
   // Builders used by Setup() ---------------------------------------------------
   // Creates `num_replicas` rollout replicas of `tensor_parallel` GPUs each;
@@ -134,6 +150,10 @@ class DriverBase {
   SimTime last_rate_sample_;
   SimTime prev_iteration_end_;
   std::unique_ptr<PeriodicTask> rate_task_;
+  // Captured at the cfg_.snapshot_at_seconds barrier, attached to the report.
+  std::string snapshot_blob_;
+  double snapshot_taken_at_ = 0.0;
+  std::vector<std::string> snapshot_mismatches_;
 };
 
 }  // namespace laminar

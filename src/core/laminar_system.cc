@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/relay/broadcast_model.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
 
@@ -120,8 +121,21 @@ void LaminarSystem::Setup() {
     relays_->KillRelay(machine);
     RestartRelayAfter(machine, cfg_.chaos.relay_restart_seconds);
   });
-  injector_->set_on_trainer_fault(
-      [this] { trainer_->Kill(cfg_.chaos.trainer_recovery_seconds); });
+  injector_->set_on_trainer_fault([this] {
+    trainer_->Kill(cfg_.chaos.trainer_recovery_seconds);
+    // The recovered process checkpoints on boot.
+    trainer_checkpoint_ = trainer_->Checkpoint();
+  });
+  injector_->set_on_crash_restart([this](double restart_delay) {
+    // A scripted drill can fire before Begin() installed the first
+    // checkpoint; an empty blob would fail to parse, so fall back to
+    // checkpointing the pristine state on the spot.
+    if (trainer_checkpoint_.empty()) {
+      trainer_checkpoint_ = trainer_->Checkpoint();
+    }
+    trainer_->CrashRestart(trainer_checkpoint_, restart_delay);
+    trainer_checkpoint_ = trainer_->Checkpoint();
+  });
   injector_->set_on_machine_stall([this](int machine, double duration) {
     heartbeats_->Stall(machine, duration);
     manager_->OnMachineStall(machine, duration);
@@ -221,12 +235,34 @@ void LaminarSystem::ApplyPartialRollout(int version) {
 }
 
 void LaminarSystem::Begin() {
+  trainer_checkpoint_ = trainer_->Checkpoint();
   heartbeats_->Start();
   manager_->Start();
   trainer_->Start();
   if (invariant_sweep_ != nullptr) {
     invariant_sweep_->Start();
   }
+}
+
+void LaminarSystem::OnIteration(const IterationStats& stats) {
+  (void)stats;
+  trainer_checkpoint_ = trainer_->Checkpoint();
+}
+
+void LaminarSystem::SnapshotComponents(SnapshotTx& tx) {
+  DriverBase::SnapshotComponents(tx);
+  tx.Begin("laminar");
+  relays_->Snapshot(tx);
+  manager_->Snapshot(tx);
+  heartbeats_->Snapshot(tx);
+  injector_->Snapshot(tx);
+  tx.DigestU64("trainer_checkpoint_fnv",
+               SnapshotFnv1a(trainer_checkpoint_.data(), trainer_checkpoint_.size()));
+  if (invariants_ != nullptr) {
+    tx.DigestI64("invariant_checks", invariants_->checks_run());
+    tx.DigestI64("invariant_violations", invariants_->violation_count());
+  }
+  tx.End();
 }
 
 void LaminarSystem::Finalize(SystemReport& report) {

@@ -38,6 +38,10 @@ class LaminarSystem : public DriverBase {
   void Setup() override;
   void Begin() override;
   void Finalize(SystemReport& report) override;
+  void OnIteration(const IterationStats& stats) override;
+  // Appends the Laminar subsystems (relay tier, manager, heartbeats,
+  // injector, trainer checkpoint) to the base witness.
+  void SnapshotComponents(SnapshotTx& tx) override;
 
  private:
   // Appendix-C hybrid: mid-generation weight adoption on top of Laminar.
@@ -51,6 +55,10 @@ class LaminarSystem : public DriverBase {
   std::unique_ptr<InvariantChecker> invariants_;
   std::unique_ptr<PeriodicTask> invariant_sweep_;
   std::vector<FaultEvent> pending_faults_;
+  // The trainer's last durable checkpoint (LMSNAP1): taken at Begin(),
+  // refreshed after every completed iteration and after every trainer fault.
+  // kCrashRestart restores from exactly this blob.
+  std::string trainer_checkpoint_;
 };
 
 }  // namespace laminar

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/data/trajectory_digest.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
 namespace {
@@ -162,5 +164,20 @@ std::vector<TrajectoryRecord> ExperienceBuffer::Sample(size_t n, int actor_versi
 }
 
 const char* ExperienceBuffer::sampler_name() const { return sampler_->name(); }
+
+void ExperienceBuffer::Snapshot(SnapshotTx& tx) const {
+  tx.Begin("experience_buffer");
+  tx.DigestU64("size", buffer_.size());
+  tx.DigestI64("pushed", pushed_);
+  tx.DigestI64("sampled", sampled_);
+  tx.DigestI64("evicted", evicted_);
+  tx.DigestI64("tokens_pushed", tokens_pushed_);
+  uint64_t h = 1469598103934665603ull;
+  for (const TrajectoryRecord& rec : buffer_) {
+    h = TrajectoryRecordDigest(rec, h);
+  }
+  tx.DigestU64("contents_fnv", h);
+  tx.End();
+}
 
 }  // namespace laminar

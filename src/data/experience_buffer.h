@@ -16,6 +16,7 @@
 namespace laminar {
 
 class ExperienceBuffer;
+class SnapshotTx;
 
 // Strategy deciding which buffered trajectories the trainer consumes next.
 class SamplerPolicy {
@@ -67,6 +68,10 @@ class ExperienceBuffer {
   int64_t total_tokens_pushed() const { return tokens_pushed_; }
   const std::deque<TrajectoryRecord>& contents() const { return buffer_; }
   const char* sampler_name() const;
+
+  // Snapshot witness (src/snapshot, DESIGN.md §13): counters plus an
+  // order-sensitive digest over the buffered records.
+  void Snapshot(SnapshotTx& tx) const;
 
  private:
   void EvictIfNeeded();

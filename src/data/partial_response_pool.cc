@@ -1,5 +1,8 @@
 #include "src/data/partial_response_pool.h"
 
+#include "src/data/trajectory_digest.h"
+#include "src/snapshot/snapshot.h"
+
 namespace laminar {
 
 bool PartialResponsePool::SetTerminal(TrajId id) {
@@ -100,6 +103,38 @@ int64_t PartialResponsePool::total_context_tokens() const {
     total += entry.work.context_tokens;
   });
   return total;
+}
+
+void PartialResponsePool::Snapshot(SnapshotTx& tx) const {
+  tx.Begin("partial_pool");
+  tx.DigestU64("size", index_.size());
+  tx.DigestI64("updates", updates_);
+  tx.DigestI64("completed", completed_);
+  tx.DigestI64("dropped", dropped_);
+  tx.DigestI64("duplicate_completions", duplicate_completions_);
+  tx.DigestI64("stale_updates", stale_updates_);
+  tx.DigestI64("context_tokens", total_context_tokens());
+  uint64_t terminal_count = 0;
+  for (uint8_t b : terminal_) {
+    terminal_count += b;
+  }
+  tx.DigestU64("terminal_count", terminal_count);
+  tx.DigestU64("terminal_fnv", SnapshotFnv1a(terminal_.data(), terminal_.size()));
+  // The order witness: fold every live entry in index_ iteration order —
+  // the order TakeByReplica recovers work in. unordered_map layout is a
+  // pure function of the operation sequence, so two executions that agree
+  // here recover work identically.
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& [id, handle] : index_) {
+    const Entry* entry = table_.Get(handle);
+    h = SnapshotFoldI64(h, id);
+    if (entry != nullptr) {
+      h = SnapshotFoldI64(h, entry->owner_replica);
+      h = TrajectoryWorkDigest(entry->work, h);
+    }
+  }
+  tx.DigestU64("order_witness_fnv", h);
+  tx.End();
 }
 
 }  // namespace laminar

@@ -35,6 +35,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 class PartialResponsePool {
  public:
   // Records/overwrites the saved state for a trajectory. `owner_replica`
@@ -75,6 +77,12 @@ class PartialResponsePool {
   int64_t stale_updates() const { return stale_updates_; }
   // Total context tokens held (a proxy for the pool's memory footprint).
   int64_t total_context_tokens() const;
+
+  // Snapshot witness (src/snapshot, DESIGN.md §13): counters, the terminal
+  // bitmap, and an order-sensitive digest over the id index in iteration
+  // order — the same order TakeByReplica recovers work in, so a restored run
+  // whose digest matches recovers byte-identically.
+  void Snapshot(SnapshotTx& tx) const;
 
  private:
   struct Entry {

@@ -1,8 +1,20 @@
 #include "src/data/prompt_pool.h"
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
+
+void PromptPool::Snapshot(SnapshotTx& tx) {
+  tx.Begin("prompt_pool");
+  tx.I64("next_prompt_id", &next_prompt_id_);
+  tx.I64As("next_traj_id", &next_traj_id_);
+  rng_.Snapshot(tx);
+  tx.Begin("generator");
+  generator_.Snapshot(tx);
+  tx.End();
+  tx.End();
+}
 
 PromptPool::PromptPool(WorkloadGenerator generator, int group_size, Rng rng)
     : generator_(std::move(generator)), group_size_(group_size), rng_(rng) {

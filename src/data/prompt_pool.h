@@ -33,6 +33,9 @@ class PromptPool {
   int64_t trajectories_issued() const { return next_traj_id_; }
   const WorkloadGenerator& generator() const { return generator_; }
 
+  // Snapshot of the id counters and the sampling stream (src/snapshot).
+  void Snapshot(SnapshotTx& tx);
+
  private:
   WorkloadGenerator generator_;
   int group_size_;

@@ -89,6 +89,11 @@ std::vector<FaultEvent> FaultProcess::Generate(uint64_t seed) const {
     e.kind = FaultKind::kTrainerWorker;
     e.target = 0;
   });
+  emit("crash-restart", config_.crash_restart_per_hour, [&](Rng&, FaultEvent& e) {
+    e.kind = FaultKind::kCrashRestart;
+    e.target = 0;
+    e.duration_seconds = config_.crash_restart_recovery_seconds;
+  });
   if (replicas > 0) {
     emit("replica-slow", config_.replica_slow_per_hour, [&](Rng& rng, FaultEvent& e) {
       e.kind = FaultKind::kReplicaSlow;

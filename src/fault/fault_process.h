@@ -41,6 +41,7 @@ struct FaultProcessConfig {
   double link_flap_per_hour = 0.0;
   double replica_slow_per_hour = 0.0;
   double message_drop_per_hour = 0.0;
+  double crash_restart_per_hour = 0.0;
 
   // Transient fault durations, sampled log-uniformly from [lo, hi] seconds.
   double stall_duration_lo = 0.5;
@@ -57,6 +58,10 @@ struct FaultProcessConfig {
   // long a dead relay process / trainer worker takes to restart.
   double relay_restart_seconds = 30.0;
   double trainer_recovery_seconds = 45.0;
+  // kCrashRestart only: how long the crashed trainer process takes to come
+  // back up from its last checkpoint snapshot. Baked into the event's
+  // duration by Generate(), unlike the wiring-consumed knobs above.
+  double crash_restart_recovery_seconds = 60.0;
 };
 
 class FaultProcess {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -219,6 +220,37 @@ void HeartbeatMonitor::ObserveRate(int source, double rate) {
   }
   s.strikes = 0;
   absorb(rate);
+}
+
+void HeartbeatMonitor::Snapshot(SnapshotTx& tx) const {
+  auto fold_u64 = [](uint64_t h, uint64_t v) { return SnapshotFnv1a(&v, sizeof(v), h); };
+  tx.Begin("heartbeats");
+  tx.DigestU64("nodes", nodes_.size());
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& [id, node] : nodes_) {
+    h = fold_u64(h, static_cast<uint64_t>(id));
+    h = fold_u64(h, node.beating ? 1 : 0);
+    h = fold_u64(h, node.reported ? 1 : 0);
+    h = fold_u64(h, SnapshotF64Bits(node.last_beat.seconds()));
+    h = fold_u64(h, node.stall_heal != kInvalidEventId ? 1 : 0);
+  }
+  tx.DigestU64("nodes_fnv", h);
+  tx.DigestU64("rate_sources", rate_sources_.size());
+  uint64_t s = 1469598103934665603ull;
+  for (const auto& [id, src] : rate_sources_) {
+    s = fold_u64(s, static_cast<uint64_t>(id));
+    s = fold_u64(s, SnapshotF64Bits(src.mean));
+    s = fold_u64(s, SnapshotF64Bits(src.var));
+    s = fold_u64(s, static_cast<uint64_t>(src.observations));
+    s = fold_u64(s, static_cast<uint64_t>(src.strikes));
+    s = fold_u64(s, src.slow ? 1 : 0);
+    s = fold_u64(s, SnapshotF64Bits(src.last_phi));
+  }
+  tx.DigestU64("rate_sources_fnv", s);
+  tx.DigestI64("failures_reported", failures_reported_);
+  tx.DigestI64("slow_reported", slow_reported_);
+  tx.DigestI64("slow_recovered", slow_recovered_);
+  tx.End();
 }
 
 }  // namespace laminar

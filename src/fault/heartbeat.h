@@ -28,6 +28,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 struct SlownessConfig {
   // Report threshold on the phi score (-log10 of the healthy-tail
   // probability); 8 corresponds to roughly a 5.6-sigma deficit.
@@ -95,6 +97,10 @@ class HeartbeatMonitor {
   double BaselineRate(int source) const;
   int64_t slow_reported() const { return slow_reported_; }
   int64_t slow_recovered() const { return slow_recovered_; }
+
+  // Snapshot witness (src/snapshot, DESIGN.md §13): per-node beat state and
+  // the full phi-accrual learning state of every rate source.
+  void Snapshot(SnapshotTx& tx) const;
 
  private:
   struct Node {

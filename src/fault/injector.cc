@@ -1,6 +1,7 @@
 #include "src/fault/injector.h"
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -26,6 +27,8 @@ const char* FaultTraceName(FaultKind kind) {
       return "fault/replica-slow";
     case FaultKind::kMessageDrop:
       return "fault/message-drop";
+    case FaultKind::kCrashRestart:
+      return "fault/crash-restart";
   }
   return "fault/unknown";
 }
@@ -50,6 +53,8 @@ const char* FaultKindName(FaultKind kind) {
       return "replica-slow";
     case FaultKind::kMessageDrop:
       return "message-drop";
+    case FaultKind::kCrashRestart:
+      return "crash-restart";
   }
   return "?";
 }
@@ -82,6 +87,7 @@ void FaultInjector::Validate(const FaultEvent& event) const {
       break;
     case FaultKind::kMasterRelay:
     case FaultKind::kTrainerWorker:
+    case FaultKind::kCrashRestart:
       break;  // target ignored: the current master / the trainer
   }
 }
@@ -144,7 +150,21 @@ void FaultInjector::Fire(const FaultEvent& event) {
         on_message_drop_(event.target);
       }
       break;
+    case FaultKind::kCrashRestart:
+      if (on_crash_restart_) {
+        on_crash_restart_(event.duration_seconds);
+      }
+      break;
   }
+}
+
+void FaultInjector::Snapshot(SnapshotTx& tx) const {
+  tx.Begin("fault_injector");
+  tx.DigestI64("injected", injected_);
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    tx.DigestI64(FaultKindName(static_cast<FaultKind>(i)), counts_[i]);
+  }
+  tx.End();
 }
 
 }  // namespace laminar

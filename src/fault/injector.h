@@ -26,8 +26,10 @@ enum class FaultKind {
   kLinkFlap,        // transient: a relay-chain hop's link degrades/flaps
   kReplicaSlow,     // gray: replica throughput drops to `severity` (no crash)
   kMessageDrop,     // one chain-broadcast message to a relay is lost
+  kCrashRestart,    // trainer process state is destroyed and restored from
+                    // its last checkpoint snapshot after `duration_seconds`
 };
-inline constexpr int kNumFaultKinds = 8;
+inline constexpr int kNumFaultKinds = 9;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -63,6 +65,9 @@ class FaultInjector {
   void set_on_message_drop(std::function<void(int machine)> fn) {
     on_message_drop_ = std::move(fn);
   }
+  void set_on_crash_restart(std::function<void(double restart_delay)> fn) {
+    on_crash_restart_ = std::move(fn);
+  }
 
   // Arms target-range validation: machine-addressed kinds must name a machine
   // in [0, num_machines) and kReplicaSlow a replica in [0, num_replicas).
@@ -81,6 +86,11 @@ class FaultInjector {
   const std::array<int64_t, kNumFaultKinds>& counts() const { return counts_; }
   int64_t count(FaultKind kind) const { return counts_[static_cast<int>(kind)]; }
 
+  // Snapshot witness: injected count and the per-kind fire counters
+  // (src/snapshot). Unfired scheduled faults live in the simulator's event
+  // queue and are replay-anchored like every other closure.
+  void Snapshot(SnapshotTx& tx) const;
+
  private:
   void Validate(const FaultEvent& event) const;
   void Fire(const FaultEvent& event);
@@ -94,6 +104,7 @@ class FaultInjector {
   std::function<void(int, double)> on_link_flap_;
   std::function<void(int, double, double)> on_replica_slow_;
   std::function<void(int)> on_message_drop_;
+  std::function<void(double)> on_crash_restart_;
   int num_machines_ = 0;
   int num_replicas_ = 0;
   int64_t injected_ = 0;

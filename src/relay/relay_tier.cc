@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -357,6 +358,61 @@ void RelayTier::ReviveRelay(int relay) {
     EventId eid = sim_->ScheduleAt(at, [this, relay, v] { OnArrival(relay, v); });
     r.pending[v] = PendingArrival{eid, at};
   }
+}
+
+void RelayTier::Snapshot(SnapshotTx& tx) {
+  auto fold_u64 = [](uint64_t h, uint64_t v) { return SnapshotFnv1a(&v, sizeof(v), h); };
+  tx.Begin("relay_tier");
+  tx.DigestI64("master", master_);
+  tx.DigestI64("latest_published", latest_published_);
+  tx.DigestF64("master_ready_at", master_ready_at_.seconds());
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < relays_.size(); ++i) {
+    const Relay& r = relays_[i];
+    h = fold_u64(h, r.alive ? 1 : 0);
+    h = fold_u64(h, static_cast<uint64_t>(r.version));
+    h = fold_u64(h, r.pending.size());
+    for (const auto& [version, arrival] : r.pending) {
+      h = fold_u64(h, static_cast<uint64_t>(version));
+      h = fold_u64(h, SnapshotF64Bits(arrival.at.seconds()));
+    }
+    h = fold_u64(h, r.waiters.size());
+    for (const Waiter& w : r.waiters) {
+      h = fold_u64(h, static_cast<uint64_t>(w.min_version));
+      h = fold_u64(h, static_cast<uint64_t>(w.tensor_parallel));
+      h = fold_u64(h, SnapshotF64Bits(w.requested.seconds()));
+    }
+    h = fold_u64(h, SnapshotF64Bits(link_down_until_[i].seconds()));
+    h = fold_u64(h, static_cast<uint64_t>(drop_next_[i]));
+  }
+  tx.DigestU64("relays_fnv", h);
+  tx.DigestI64("consecutive_elections", consecutive_elections_);
+  tx.DigestF64("last_election", last_election_.seconds());
+  tx.DigestI64("publishes", publishes_);
+  tx.DigestI64("chain_rebuilds", chain_rebuilds_);
+  tx.DigestI64("master_elections", master_elections_);
+  tx.DigestI64("link_flaps", link_flaps_);
+  tx.DigestI64("messages_dropped", messages_dropped_);
+  tx.DigestI64("arrival_retries", arrival_retries_);
+  uint64_t b = 1469598103934665603ull;
+  for (const auto& [version, at] : broadcast_starts_) {
+    b = fold_u64(b, static_cast<uint64_t>(version));
+    b = fold_u64(b, SnapshotF64Bits(at.seconds()));
+  }
+  for (int version : broadcast_started_) {
+    b = fold_u64(b, static_cast<uint64_t>(version));
+  }
+  tx.DigestU64("broadcasts_fnv", b);
+  tx.Begin("pull_waits");
+  pull_waits_.Snapshot(tx);
+  tx.End();
+  tx.Begin("broadcast_times");
+  broadcast_times_.Snapshot(tx);
+  tx.End();
+  tx.Begin("actor_stalls");
+  actor_stalls_.Snapshot(tx);
+  tx.End();
+  tx.End();
 }
 
 }  // namespace laminar

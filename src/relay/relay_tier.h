@@ -22,6 +22,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 struct RelayTierConfig {
   int num_relays = 1;
   double weight_bytes = 0.0;
@@ -101,6 +103,12 @@ class RelayTier {
 
   // PCIe shard-load duration for a `tensor_parallel`-GPU replica.
   double PullLoadSeconds(int tensor_parallel) const;
+
+  // Snapshot witness (src/snapshot, DESIGN.md §13): chain topology, per-relay
+  // versions and pending/waiter digests, chaos horizons, and the pull/stall
+  // sample sets. Pending-arrival events are replay-anchored (their closures
+  // live in the simulator), so they contribute digests, not payloads.
+  void Snapshot(SnapshotTx& tx);
 
  private:
   struct Waiter {

@@ -1,5 +1,7 @@
 #include "src/repack/monitor.h"
 
+#include "src/snapshot/snapshot.h"
+
 namespace laminar {
 
 void IdlenessMonitor::Observe(std::vector<ReplicaSnapshot>& snapshots) {
@@ -24,6 +26,23 @@ void IdlenessMonitor::Forget(int replica_id) {
     prev_[idx].valid = false;
     --tracked_;
   }
+}
+
+void IdlenessMonitor::Snapshot(SnapshotTx& tx) const {
+  tx.Begin("idleness_monitor");
+  tx.DigestU64("tracked", tracked_);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < prev_.size(); ++i) {
+    if (!prev_[i].valid) {
+      continue;
+    }
+    uint64_t id = i;
+    h = SnapshotFnv1a(&id, sizeof(id), h);
+    uint64_t bits = SnapshotF64Bits(prev_[i].value);
+    h = SnapshotFnv1a(&bits, sizeof(bits), h);
+  }
+  tx.DigestU64("history_fnv", h);
+  tx.End();
 }
 
 }  // namespace laminar

@@ -14,6 +14,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 class IdlenessMonitor {
  public:
   // Fills each snapshot's kv_prev_frac from the stored history, then records
@@ -27,6 +29,10 @@ class IdlenessMonitor {
   void Forget(int replica_id);
 
   size_t tracked() const { return tracked_; }
+
+  // Snapshot witness (src/snapshot): the per-replica utilization history the
+  // ramp-down test reads on the next tick.
+  void Snapshot(SnapshotTx& tx) const;
 
  private:
   // Replica ids are small and dense, so the history lives in a flat table

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/data/trajectory_digest.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -648,6 +650,57 @@ void RolloutManager::Tick() {
   if (config_.repack_enabled) {
     TriggerRepack();
   }
+}
+
+void RolloutManager::Snapshot(SnapshotTx& tx) const {
+  tx.Begin("rollout_manager");
+  tx.Bool("running", const_cast<bool*>(&running_));
+  uint64_t h = 1469598103934665603ull;
+  uint64_t parked = 0;
+  for (const auto& [version, works] : pending_redirects_) {
+    h = SnapshotFoldI64(h, version);
+    for (const TrajectoryWork& w : works) {
+      h = TrajectoryWorkDigest(w, h);
+      ++parked;
+    }
+  }
+  tx.DigestU64("pending_redirects", parked);
+  tx.DigestU64("pending_redirects_fnv", h);
+  h = 1469598103934665603ull;
+  for (const RolloutReplica* r : starved_) {
+    h = SnapshotFoldI64(h, r->config().id);
+  }
+  tx.DigestU64("starved", starved_.size());
+  tx.DigestU64("starved_fnv", h);
+  h = 1469598103934665603ull;
+  for (size_t i = 0; i < quarantined_.size(); ++i) {
+    if (quarantined_[i]) {
+      h = SnapshotFoldU64(h, i);
+    }
+  }
+  tx.DigestU64("quarantined_fnv", h);
+  h = 1469598103934665603ull;
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    const RateProbe& p = probes_[i];
+    if (!p.valid) {
+      continue;
+    }
+    h = SnapshotFoldU64(h, i);
+    h = SnapshotFoldF64(h, p.at.seconds());
+    h = SnapshotFoldF64(h, p.sample.busy_seconds);
+    h = SnapshotFoldF64(h, p.sample.request_seconds);
+    h = SnapshotFoldF64(h, p.sample.ctx_request_seconds);
+    h = SnapshotFoldI64(h, p.sample.tokens);
+  }
+  tx.DigestU64("probes_fnv", h);
+  tx.DigestU64("redirect_retry_pending", redirect_retry_event_ != kInvalidEventId ? 1 : 0);
+  tx.DigestI64("redirect_retry_attempts", redirect_retry_attempts_);
+  monitor_.Snapshot(tx);
+  metrics_.Snapshot(tx, "manager_metrics");
+  tx.Begin("repack_overhead_seconds");
+  repack_overhead_seconds_->Snapshot(tx);
+  tx.End();
+  tx.End();
 }
 
 }  // namespace laminar

@@ -23,6 +23,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 struct RolloutManagerConfig {
   bool repack_enabled = true;
   // Use the static request-count threshold detector instead of the KVCache
@@ -131,6 +133,12 @@ class RolloutManager {
 
   RolloutManagerStats stats() const;
   const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Snapshot witness (src/snapshot, DESIGN.md §13): parked redirects,
+  // quarantine/starvation state, probe windows, the idleness-monitor history
+  // and the metrics registry. Replica state is witnessed by the driver, which
+  // owns the replicas.
+  void Snapshot(SnapshotTx& tx) const;
   int64_t inflight_trajectories() const;
   const RolloutManagerConfig& config() const { return config_; }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/data/trajectory_digest.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -610,6 +612,48 @@ void RolloutReplica::CheckBatchDone() {
       on_batch_done_(this);
     }
   }
+}
+
+void RolloutReplica::SnapshotState(SnapshotTx& tx) const {
+  tx.Begin("replica");
+  tx.DigestI64("id", config_.id);
+  tx.DigestU64("phase", static_cast<uint64_t>(phase_));
+  tx.DigestI64("weight_version", weight_version_);
+  tx.DigestU64("weight_update_epoch", static_cast<uint64_t>(weight_update_epoch_));
+  tx.DigestF64("speed_factor", speed_factor_);
+  tx.DigestF64("kv_used_tokens", kv_used_tokens_);
+  tx.DigestF64("pending_stall_seconds", pending_stall_seconds_);
+  tx.DigestU64("env_seq", env_seq_);
+  uint64_t h = 1469598103934665603ull;
+  for (const TrajectoryWork& w : running_) {
+    h = TrajectoryWorkDigest(w, h);
+  }
+  tx.DigestU64("running_fnv", h);
+  tx.DigestU64("running", running_.size());
+  h = 1469598103934665603ull;
+  for (const TrajectoryWork& w : waiting_) {
+    h = TrajectoryWorkDigest(w, h);
+  }
+  tx.DigestU64("waiting_fnv", h);
+  tx.DigestU64("waiting", waiting_.size());
+  h = 1469598103934665603ull;
+  for (EntityHandle handle : EnvHandlesInSeqOrder()) {
+    h = TrajectoryWorkDigest(env_waiting_.Get(handle)->work, h);
+  }
+  tx.DigestU64("env_waiting_fnv", h);
+  tx.DigestU64("env_waiting", env_waiting_.size());
+  tx.DigestU64("decode_busy_bits", SnapshotF64Bits(decode_busy_seconds_));
+  tx.DigestU64("decode_request_bits", SnapshotF64Bits(decode_request_seconds_));
+  tx.DigestU64("decode_ctx_request_bits", SnapshotF64Bits(decode_ctx_request_seconds_));
+  tx.DigestI64("decode_tokens", metrics_.decode_tokens);
+  tx.DigestI64("prefill_tokens", metrics_.prefill_tokens);
+  tx.DigestI64("completed_trajectories", metrics_.completed_trajectories);
+  tx.DigestI64("preemptions", metrics_.preemptions);
+  tx.DigestI64("migrations_in", metrics_.migrations_in);
+  tx.DigestI64("migrations_out", metrics_.migrations_out);
+  tx.DigestF64("weight_update_wait", metrics_.weight_update_wait_seconds);
+  tx.DigestI64("weight_updates", metrics_.weight_updates);
+  tx.End();
 }
 
 }  // namespace laminar

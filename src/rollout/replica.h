@@ -29,6 +29,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 enum class ReplicaPhase {
   kIdle,            // no work assigned
   kGenerating,      // actively decoding / waiting on env
@@ -200,6 +202,12 @@ class RolloutReplica {
     int64_t tokens = 0;
   };
   DecodeProbeSample ObservedDecodeProbe() const;
+
+  // Snapshot witness (src/snapshot, DESIGN.md §13): phase, weights, KV
+  // accounting, the three work queues (order-sensitive digests) and the
+  // committed metrics. Named SnapshotState because Snapshot() is taken by the
+  // repack-facing ReplicaSnapshot.
+  void SnapshotState(SnapshotTx& tx) const;
 
  private:
   void ScheduleAdvance();

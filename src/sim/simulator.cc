@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/sim/shard_exec.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
 
@@ -427,6 +428,30 @@ void Simulator::ConfigureShards(const ShardOptions& options) {
 void Simulator::set_window_time_cap(double seconds) {
   LAMINAR_CHECK(scheduler_ != nullptr) << "set_window_time_cap requires shards";
   scheduler_->set_window_time_cap(seconds);
+}
+
+void Simulator::Snapshot(SnapshotTx& tx) const {
+  tx.Begin("sim");
+  tx.DigestF64("now", lanes_.front().now.seconds());
+  tx.DigestU64("executed", executed_);
+  // Sorted multiset of live event time keys across all lanes: identical for
+  // serial and sharded runs stopped at the same barrier, regardless of the
+  // per-lane heap layout the keys happen to live in.
+  std::vector<uint64_t> keys;
+  size_t live = 0;
+  for (const Lane& lane : lanes_) {
+    live += lane.live;
+    for (size_t i = 0; i < lane.heap_meta.size(); ++i) {
+      if (Live(lane, lane.heap_meta[i])) {
+        keys.push_back(lane.heap_keys[i]);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  tx.DigestU64("live_events", static_cast<uint64_t>(live));
+  tx.DigestU64("live_key_fnv",
+               SnapshotFnv1a(keys.data(), keys.size() * sizeof(uint64_t)));
+  tx.End();
 }
 
 void Simulator::set_trace(TraceSink* sink) {

@@ -38,6 +38,7 @@ namespace laminar {
 class TraceSink;
 class ShardScheduler;
 class LaneStagingSink;
+class SnapshotTx;
 
 // Packed (generation << 32) | (lane << 24) | pool slot. Generations start at
 // 1, so a valid id is never 0. Lane 0 is the control lane; serial simulators
@@ -247,6 +248,15 @@ class Simulator {
     }
     return n;
   }
+
+  // Digest snapshot of the engine (src/snapshot, DESIGN.md §13): the clock,
+  // the executed-event count, and an order-independent hash over the live
+  // pending-event time multiset. Closures cannot be serialized, so the
+  // engine contributes a witness that restore-by-replay checks against; the
+  // digest deliberately excludes per-lane layout, slot generations, and
+  // ranks, which legitimately differ between serial and sharded runs at the
+  // same barrier.
+  void Snapshot(SnapshotTx& tx) const;
 
   // Shard-execution counters (zero when unsharded): windows opened, events
   // executed inside windows, serial fallback steps taken by the window loop,

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
 
@@ -156,6 +157,14 @@ std::string MetricsRegistry::DumpText() const {
     }
   }
   return out;
+}
+
+void MetricsRegistry::Snapshot(SnapshotTx& tx, const char* section) const {
+  tx.Begin(section);
+  tx.DigestU64("entries", entries_.size());
+  std::string text = DumpText();
+  tx.DigestU64("dump_fnv", SnapshotFnv1a(text.data(), text.size()));
+  tx.End();
 }
 
 }  // namespace laminar

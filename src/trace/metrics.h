@@ -19,6 +19,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 class MetricCounter {
  public:
   void Add(int64_t delta = 1) { value_ += delta; }
@@ -93,6 +95,11 @@ class MetricsRegistry {
   // One "name value" (or "name count=.. mean=..") line per metric, in
   // registration order.
   std::string DumpText() const;
+
+  // Snapshot witness (src/snapshot): metric count plus a digest of the full
+  // DumpText rendering. The text form already covers every instrument in
+  // registration order, so it doubles as a compact state fingerprint.
+  void Snapshot(SnapshotTx& tx, const char* section) const;
 
  private:
   const Entry* Find(const std::string& name) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -230,6 +231,145 @@ void Trainer::Kill(double recovery_seconds) {
   policy_->RestoreVersion(version_);
   sim_->ScheduleAfter(recovery_seconds, [this] {
     LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/recover", -1, version_);
+    dead_ = false;
+    last_completed_ = sim_->Now();
+    stream_idle_since_ = sim_->Now();
+    if (started_) {
+      TryBegin();
+    }
+  });
+}
+
+void Trainer::SnapshotPersistent(SnapshotTx& tx) {
+  tx.Begin("trainer_ckpt");
+  tx.I64As("version", &version_);
+  uint64_t n = iterations_.size();
+  tx.U64("iterations", &n);
+  if (tx.adopting()) {
+    iterations_.assign(n, IterationStats{});
+  }
+  for (IterationStats& it : iterations_) {
+    tx.Begin("iteration");
+    tx.I64As("version", &it.version);
+    double started = it.started.seconds();
+    double completed = it.completed.seconds();
+    tx.F64("started", &started);
+    tx.F64("completed", &completed);
+    tx.F64("data_wait_seconds", &it.data_wait_seconds);
+    tx.F64("train_seconds", &it.train_seconds);
+    tx.F64("publish_stall_seconds", &it.publish_stall_seconds);
+    tx.F64("tokens", &it.tokens);
+    tx.F64("mean_reward", &it.mean_reward);
+    tx.F64("mean_consume_staleness", &it.mean_consume_staleness);
+    tx.I64As("max_consume_staleness", &it.max_consume_staleness);
+    tx.F64("mixed_version_fraction", &it.mixed_version_fraction);
+    tx.F64("clip_fraction", &it.clip_fraction);
+    if (tx.adopting()) {
+      it.started = SimTime(started);
+      it.completed = SimTime(completed);
+    }
+    tx.End();
+  }
+  tx.Begin("consume_staleness");
+  consume_staleness_.Snapshot(tx);
+  tx.End();
+  tx.Begin("inherent_staleness");
+  inherent_staleness_.Snapshot(tx);
+  tx.End();
+  tx.End();
+}
+
+std::string Trainer::Checkpoint() {
+  SnapshotWriter writer;
+  SnapshotTx tx(&writer);
+  SnapshotPersistent(tx);
+  return writer.Finish();
+}
+
+void Trainer::Snapshot(SnapshotTx& tx) {
+  tx.Begin("trainer");
+  SnapshotPersistent(tx);
+  tx.I64("trajectories_discarded", &trajectories_discarded_);
+  tx.Bool("busy", &busy_);
+  tx.Bool("started", &started_);
+  tx.Bool("dead", &dead_);
+  double last_completed = last_completed_.seconds();
+  double stream_idle_since = stream_idle_since_.seconds();
+  tx.F64("last_completed", &last_completed);
+  tx.I64As("stream_mb_done", &stream_mb_done_);
+  tx.Bool("stream_mb_running", &stream_mb_running_);
+  tx.F64("stream_idle_since", &stream_idle_since);
+  if (tx.adopting()) {
+    last_completed_ = SimTime(last_completed);
+    stream_idle_since_ = SimTime(stream_idle_since);
+  }
+  // In-flight state that restore replays rather than re-seats.
+  tx.DigestU64("pending_event", pending_event_ != kInvalidEventId ? 1 : 0);
+  uint64_t h = 1469598103934665603ull;
+  auto fold_f64 = [&h](double v) {
+    uint64_t bits = SnapshotF64Bits(v);
+    h = SnapshotFnv1a(&bits, sizeof(bits), h);
+  };
+  fold_f64(stream_stats_.started.seconds());
+  fold_f64(stream_stats_.data_wait_seconds);
+  fold_f64(stream_stats_.train_seconds);
+  fold_f64(stream_stats_.tokens);
+  fold_f64(stream_stats_.mean_reward);
+  fold_f64(stream_stats_.mean_consume_staleness);
+  fold_f64(static_cast<double>(stream_stats_.max_consume_staleness));
+  fold_f64(stream_stats_.mixed_version_fraction);
+  fold_f64(stream_stats_.clip_fraction);
+  tx.DigestU64("stream_stats_fnv", h);
+  tx.DigestI64("policy_latest_version", policy_->latest_version());
+  h = 1469598103934665603ull;
+  for (double t : policy_->parameters()) {
+    fold_f64(t);
+  }
+  tx.DigestU64("policy_theta_fnv", h);
+  tx.End();
+}
+
+void Trainer::CrashRestart(const std::string& checkpoint, double recovery_seconds) {
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/crash", -1, version_);
+  // The process dies with whatever it had sampled but not yet published;
+  // the discard accounting is identical to Kill().
+  if (config_.mode == TrainerMode::kFullBatch) {
+    if (busy_) {
+      trajectories_discarded_ += config_.global_batch;
+    }
+  } else {
+    int sampled = stream_mb_done_ + (stream_mb_running_ ? 1 : 0);
+    trajectories_discarded_ +=
+        static_cast<int64_t>(sampled) * (config_.global_batch / config_.num_minibatches);
+  }
+  dead_ = true;
+  busy_ = false;
+  stream_mb_running_ = false;
+  stream_mb_done_ = 0;
+  stream_stats_ = IterationStats{};
+  if (pending_event_ != kInvalidEventId) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = kInvalidEventId;
+  }
+  // Wipe the in-memory training state outright, then adopt the checkpoint —
+  // the restart sees only what was durably serialized.
+  version_ = 0;
+  iterations_.clear();
+  consume_staleness_ = SampleSet();
+  inherent_staleness_ = SampleSet();
+  SnapshotReader reader;
+  std::string error;
+  LAMINAR_CHECK(reader.Parse(checkpoint, &error)) << "trainer checkpoint: " << error;
+  SnapshotTx tx(&reader, SnapshotMode::kAdopt);
+  SnapshotPersistent(tx);
+  LAMINAR_CHECK(tx.ok()) << "trainer checkpoint adopt: " << tx.mismatches().front();
+  // The policy's published history is durable (actor checkpoint files), so
+  // the restart never steps behind a version replicas may already serve.
+  version_ = std::max(version_, policy_->latest_version());
+  policy_->RestoreVersion(version_);
+  sim_->ScheduleAfter(recovery_seconds, [this] {
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/crash_recover", -1,
+                          version_);
     dead_ = false;
     last_completed_ = sim_->Now();
     stream_idle_since_ = sim_->Now();

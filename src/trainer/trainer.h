@@ -25,6 +25,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 enum class TrainerMode { kFullBatch, kStreaming };
 
 struct TrainerConfig {
@@ -77,6 +79,24 @@ class Trainer {
   // after `recovery_seconds` and resume consuming.
   void Kill(double recovery_seconds);
 
+  // Checkpointing / crash-restart chaos (DESIGN.md §13) --------------------------
+  // Serializes the trainer's persistent state (published version, completed
+  // iteration history, staleness samples) as an LMSNAP1 blob. The system
+  // refreshes this at Start() and after every completed iteration, so a
+  // checkpoint never lags the last publish.
+  std::string Checkpoint();
+  // kCrashRestart: the trainer process dies outright. In-flight sampled work
+  // is discarded with Kill()-identical accounting, every in-memory field is
+  // wiped, and the persistent state is re-adopted from `checkpoint`; the
+  // policy reloads the checkpointed version. Consumption resumes after
+  // `recovery_seconds`. Check-fails on a corrupt or mismatched checkpoint.
+  void CrashRestart(const std::string& checkpoint, double recovery_seconds);
+
+  // Snapshot witness: the persistent fields by value plus digests of the
+  // in-flight state (pending event, streaming accumulator, policy
+  // parameters).
+  void Snapshot(SnapshotTx& tx);
+
   int version() const { return version_; }
   // Trajectories sampled for iterations that a Kill() subsequently aborted.
   // Checkpoint recovery discards them without publishing a version.
@@ -88,6 +108,9 @@ class Trainer {
   const SampleSet& inherent_staleness() const { return inherent_staleness_; }
 
  private:
+  // The checkpoint traversal shared by Checkpoint() (write) and
+  // CrashRestart() (adopt); Snapshot() embeds it in the full witness.
+  void SnapshotPersistent(SnapshotTx& tx);
   void TryBegin();
   void BeginFullBatch();
   void TryBeginMinibatch();

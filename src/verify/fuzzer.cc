@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/common/rng.h"
 #include "src/exp/sweep.h"
 #include "src/verify/shrink.h"
 
@@ -55,9 +56,12 @@ std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout,
   return batch;
 }
 
-// Judge phase of EvaluateScenario: all oracles over already-computed run
-// reports. Pure — no simulations run here — so many scenarios' sweeps can be
-// batched through one RunExperiments() call and judged independently.
+// Judge phase of EvaluateScenario: oracles over already-computed run
+// reports. Almost pure — the snapshot differential is the one oracle that
+// runs simulations here, because its barrier time T is derived from the
+// primary's simulated span, which only exists after the sweep. Everything
+// else judges the batched reports, so many scenarios' sweeps can still share
+// one RunExperiments() call and be judged independently.
 OracleReport JudgeScenario(const Scenario& scn, const EvalOptions& opts,
                            const std::vector<RlSystemConfig>& batch,
                            const BatchLayout& layout,
@@ -123,6 +127,67 @@ OracleReport JudgeScenario(const Scenario& scn, const EvalOptions& opts,
                              std::to_string(batch[layout.primary].shards) +
                              " and shards=" +
                              std::to_string(batch[layout.shard_twin].shards)});
+    }
+  }
+
+  // Oracle: a mid-run snapshot is byte-stable, shard-invariant, and
+  // invisible. Run A replays the primary with a snapshot barrier at T; run B
+  // flips the shard count, re-reaches the same barrier, and verifies its own
+  // state field-by-field against A's blob (SnapshotTx kVerify). The blobs
+  // must be byte-identical, the verify pass must report zero mismatches, and
+  // both reruns must reproduce the primary's fingerprint exactly.
+  if (opts.diff_snapshot) {
+    const SystemReport& primary = reports[layout.primary];
+    double span = primary.simulated_seconds;
+    double t = scn.config.snapshot_at_seconds > 0.0
+                   ? scn.config.snapshot_at_seconds
+                   : Rng(scn.seed).Fork("snapshot").Uniform(0.25, 0.75) * span;
+    if (t > 0.0 && t < span) {
+      ++out.checks_run;
+      SweepOptions solo;
+      solo.num_threads = 1;
+      RlSystemConfig run_a = scn.config;
+      run_a.snapshot_at_seconds = t;
+      SystemReport rep_a = std::move(RunExperiments({run_a}, solo)[0]);
+      if (rep_a.snapshot == nullptr || rep_a.snapshot->empty()) {
+        out.failures.push_back(
+            {"snapshot-diff",
+             "no snapshot captured at t=" + std::to_string(t) + "s (span " +
+                 std::to_string(span) + "s)"});
+      } else {
+        RlSystemConfig run_b = run_a;
+        run_b.shards =
+            run_b.shards == 1 ? (opts.diff_shards > 0 ? opts.diff_shards : 4) : 1;
+        run_b.snapshot_verify = rep_a.snapshot;
+        SystemReport rep_b = std::move(RunExperiments({run_b}, solo)[0]);
+        if (rep_b.snapshot == nullptr || *rep_b.snapshot != *rep_a.snapshot) {
+          out.failures.push_back(
+              {"snapshot-diff", "LMSNAP1 blobs differ between shards=" +
+                                    std::to_string(run_a.shards) + " and shards=" +
+                                    std::to_string(run_b.shards) + " at t=" +
+                                    std::to_string(t) + "s"});
+        }
+        if (!rep_b.snapshot_mismatches.empty()) {
+          out.failures.push_back(
+              {"snapshot-diff",
+               "verify pass reported " +
+                   std::to_string(rep_b.snapshot_mismatches.size()) +
+                   " field mismatches; first: " + rep_b.snapshot_mismatches[0]});
+        }
+        std::string base = RunFingerprint(primary);
+        if (RunFingerprint(rep_a) != base) {
+          out.failures.push_back(
+              {"snapshot-diff",
+               "taking a snapshot perturbed the run: fingerprint differs from "
+               "the primary's"});
+        }
+        if (RunFingerprint(rep_b) != base) {
+          out.failures.push_back(
+              {"snapshot-diff",
+               "shard-flipped snapshot rerun's fingerprint differs from the "
+               "primary's"});
+        }
+      }
     }
   }
 

@@ -20,6 +20,13 @@ struct EvalOptions {
   // its shard count flipped (1 <-> diff_shards) and the full fingerprint
   // must match. 0 disables the twin.
   int diff_shards = 4;
+  // Snapshot oracle: rerun the primary with a snapshot barrier at a seeded
+  // mid-point T, then a shard-flipped rerun that re-reaches the same barrier
+  // and verifies field-by-field against the first blob. Both blobs must be
+  // byte-identical, the verify pass must report zero mismatches, and neither
+  // rerun's fingerprint may drift from the primary's (a snapshot is an
+  // observation, never a perturbation).
+  bool diff_snapshot = true;
 };
 
 // Runs every oracle on one scenario:
@@ -27,7 +34,9 @@ struct EvalOptions {
 //   2. the same batch swept with threads_b — fingerprints must match 1.
 //   3. per-run audit (invariants, drained runs, ledger integrity)
 //   4. sync/repack ledger equivalence against the clean reference run
-//   5. `plan_cases` random Algorithm-1 post-apply checks
+//   5. snapshot differential: mid-run LMSNAP1 capture is byte-stable across
+//      shard counts and invisible in the run fingerprint (diff_snapshot)
+//   6. `plan_cases` random Algorithm-1 post-apply checks
 OracleReport EvaluateScenario(const Scenario& scenario, const EvalOptions& options = {});
 
 // Batched form: evaluates many scenarios through two sweeps over the

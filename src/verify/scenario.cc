@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 
 namespace laminar {
@@ -46,6 +47,42 @@ const char* SamplerKey(SamplerKind sampler) {
       return "staleness_capped";
   }
   return "fifo";
+}
+
+// Every key the parser dispatches on. Anything outside this list warns and
+// is skipped (forward compatibility with corpus files written by newer
+// binaries). A key added to the dispatch chain but forgotten here would be
+// silently skipped — which the byte-exact round-trip test catches, since the
+// re-emitted default would no longer match the input.
+bool KnownScenarioKey(const std::string& key) {
+  static const char* const kKeys[] = {
+      "seed",           "scale",
+      "task",           "sampler",
+      "train_gpus",     "rollout_gpus",
+      "global_batch",   "group_size",
+      "num_minibatches", "max_concurrency",
+      "backlog_cap",    "staleness_cap",
+      "repack",         "repack_period",
+      "static_threshold", "static_threshold_requests",
+      "partial_rollout", "length_drift",
+      "chaos",          "chaos_seed",
+      "chaos_start",    "chaos_horizon",
+      "rate_machine_fail", "rate_relay_fail",
+      "rate_master_fail", "rate_trainer_fail",
+      "rate_machine_stall", "rate_link_flap",
+      "rate_replica_slow", "rate_message_drop",
+      "crash_restart_rate", "shards",
+      "snapshot_at",    "warmup",
+      "measure",        "config_seed",
+      "diff_sync",      "diff_repack",
+      "plan_cases",
+  };
+  for (const char* k : kKeys) {
+    if (key == k) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -122,6 +159,14 @@ Scenario GenerateScenario(uint64_t seed) {
                       cfg.chaos.replica_slow_per_hour + cfg.chaos.message_drop_per_hour;
   if (cfg.chaos_enabled && total_rate == 0.0) {
     cfg.chaos.machine_stall_per_hour = 30.0;  // chaos armed means chaos happens
+  }
+  // Crash-restart chaos is drawn from its own forked stream, appended after
+  // every pre-existing draw, so the scenarios older seeds generate are
+  // byte-identical to what they produced before this class existed.
+  Rng cr = Rng(seed).Fork("crash-restart");
+  if (cfg.chaos_enabled && cr.Bernoulli(0.35)) {
+    cfg.chaos.crash_restart_per_hour =
+        std::exp(cr.Uniform(std::log(2.0), std::log(30.0)));
   }
 
   cfg.warmup_iterations = 1;
@@ -209,12 +254,20 @@ std::string ScenarioToText(const Scenario& scn) {
   emit_double("rate_link_flap", cfg.chaos.link_flap_per_hour);
   emit_double("rate_replica_slow", cfg.chaos.replica_slow_per_hour);
   emit_double("rate_message_drop", cfg.chaos.message_drop_per_hour);
+  if (cfg.chaos.crash_restart_per_hour != 0.0) {
+    // Like shards= below: emitted only when armed, so pre-existing corpus
+    // files and their byte-exact round-trips are untouched.
+    emit_double("crash_restart_rate", cfg.chaos.crash_restart_per_hour);
+  }
   out << "warmup=" << cfg.warmup_iterations << "\n";
   out << "measure=" << cfg.measure_iterations << "\n";
   if (cfg.shards != 1) {
     // Emitted only when sharded so pre-existing corpus files and their
     // byte-exact round-trips are untouched.
     out << "shards=" << cfg.shards << "\n";
+  }
+  if (cfg.snapshot_at_seconds != 0.0) {
+    emit_double("snapshot_at", cfg.snapshot_at_seconds);
   }
   out << "config_seed=" << cfg.seed << "\n";
   out << "diff_sync=" << (scn.diff_sync ? 1 : 0) << "\n";
@@ -259,6 +312,11 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
   cfg.trace.enabled = true;
 
   for (const auto& [key, value] : kv) {
+    if (!KnownScenarioKey(key)) {
+      LAMINAR_LOG(kWarning) << "scenario: skipping unknown key '" << key << "="
+                            << value << "'";
+      continue;
+    }
     char* end = nullptr;
     double num = std::strtod(value.c_str(), &end);
     bool numeric = end != nullptr && *end == '\0' && !value.empty();
@@ -347,8 +405,12 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
       cfg.chaos.replica_slow_per_hour = num;
     } else if (key == "rate_message_drop") {
       cfg.chaos.message_drop_per_hour = num;
+    } else if (key == "crash_restart_rate") {
+      cfg.chaos.crash_restart_per_hour = num;
     } else if (key == "shards") {
       cfg.shards = static_cast<int>(num);
+    } else if (key == "snapshot_at") {
+      cfg.snapshot_at_seconds = num;
     } else if (key == "warmup") {
       cfg.warmup_iterations = static_cast<int>(num);
     } else if (key == "measure") {
@@ -362,7 +424,8 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
     } else if (key == "plan_cases") {
       scn.plan_cases = static_cast<int>(num);
     } else {
-      return fail("unknown key '" + key + "'");
+      // Unreachable unless KnownScenarioKey and this chain drift apart.
+      return fail("key '" + key + "' is known but unhandled");
     }
   }
   if (cfg.train_gpus <= 0 || cfg.rollout_gpus <= 0) {

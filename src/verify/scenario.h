@@ -45,9 +45,11 @@ RlSystemConfig SyncTwin(const RlSystemConfig& primary);
 RlSystemConfig RepackOffTwin(const RlSystemConfig& primary);
 
 // Text round-trip. ScenarioToText emits '#'-commented key=value lines;
-// ScenarioFromText accepts exactly that format (unknown keys are an error,
-// missing keys keep their defaults). Returns false with a message in *error
-// on malformed input.
+// ScenarioFromText accepts exactly that format (missing keys keep their
+// defaults). Unknown key=value lines warn and are skipped so corpus files
+// written by newer binaries still replay on older ones; structurally
+// malformed input (a non-comment line with no '=') is still an error.
+// Returns false with a message in *error on malformed input.
 std::string ScenarioToText(const Scenario& scenario);
 bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error);
 

@@ -46,6 +46,10 @@ class WorkloadGenerator {
 
   const WorkloadConfig& config() const { return config_; }
 
+  // Snapshot of the sampling stream — the generator's only mutable state
+  // (the distributions are parameter-only and draw through rng_).
+  void Snapshot(SnapshotTx& tx) { rng_.Snapshot(tx); }
+
  private:
   WorkloadConfig config_;
   Rng rng_;

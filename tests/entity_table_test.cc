@@ -124,6 +124,63 @@ TEST(EntityTableTest, ClearFreesEverythingAndInvalidatesHandles) {
   EXPECT_EQ(*table.Get(c), 3);
 }
 
+TEST(EntityTableTest, GenerationWrapSkipsZeroOnSlotZero) {
+  // Slot 0 at generation 0 would pack to the all-zero bit pattern, which is
+  // the reserved "never valid" handle. Pin the generation to the 2^32 edge
+  // and drive one more bump: the wrap must land on 1, not 0.
+  EntityTable<int> table;
+  EntityHandle h = table.Insert(7);
+  ASSERT_EQ(h.slot(), 0u);
+  table.SetSlotGenerationForTest(0, 0xFFFFFFFFu);
+  EntityHandle edge = EntityHandle::Pack(0, 0xFFFFFFFFu);
+  // A handle minted at the pinned generation still resolves...
+  ASSERT_NE(table.Get(edge), nullptr);
+  EXPECT_EQ(*table.Get(edge), 7);
+  // ...and Remove() wraps the generation past zero.
+  table.Remove(edge);
+  EXPECT_EQ(table.SlotGenerationForTest(0), 1u);
+  // The slot's next tenant gets a handle that is valid and distinguishable
+  // from both the pre-wrap tenant and the reserved zero handle.
+  EntityHandle fresh = table.Insert(8);
+  EXPECT_EQ(fresh.slot(), 0u);
+  EXPECT_EQ(fresh.generation(), 1u);
+  EXPECT_TRUE(fresh.valid());
+  EXPECT_EQ(table.Get(edge), nullptr);
+  ASSERT_NE(table.Get(fresh), nullptr);
+  EXPECT_EQ(*table.Get(fresh), 8);
+}
+
+TEST(EntityTableTest, GenerationWrapOnNonZeroSlotAlsoSkipsZero) {
+  // Nothing in a non-zero slot packs to the reserved handle, but skipping 0
+  // uniformly keeps "generation is never 0" a table-wide invariant (and the
+  // wrapped-to-1 handle distinct from a 2^32-generations-stale one).
+  EntityTable<int> table;
+  table.Insert(1);  // slot 0
+  EntityHandle h = table.Insert(2);
+  ASSERT_EQ(h.slot(), 1u);
+  table.SetSlotGenerationForTest(1, 0xFFFFFFFFu);
+  table.Remove(EntityHandle::Pack(1, 0xFFFFFFFFu));
+  EXPECT_EQ(table.SlotGenerationForTest(1), 1u);
+  // The original generation-1 handle from before the pin is indistinguishable
+  // from the post-wrap tenant by construction — a documented ABA horizon of
+  // exactly 2^32 - 1 generations, not a validity bug.
+  EntityHandle fresh = table.Insert(3);
+  EXPECT_EQ(fresh.generation(), 1u);
+  ASSERT_NE(table.Get(fresh), nullptr);
+  EXPECT_EQ(*table.Get(fresh), 3);
+}
+
+TEST(EntityTableTest, ClearWrapsGenerationLikeRemove) {
+  EntityTable<int> table;
+  table.Insert(5);
+  table.SetSlotGenerationForTest(0, 0xFFFFFFFFu);
+  table.Clear();
+  EXPECT_EQ(table.SlotGenerationForTest(0), 1u);
+  EntityHandle fresh = table.Insert(6);
+  EXPECT_TRUE(fresh.valid());
+  EXPECT_EQ(fresh.generation(), 1u);
+}
+
 TEST(EntityTableTest, MoveOnlyPayloadsMoveThroughRemove) {
   struct MoveOnly {
     std::unique_ptr<int> p;

@@ -50,9 +50,53 @@ TEST(FuzzTest, ScenarioTextRoundTrips) {
 TEST(FuzzTest, ScenarioParserRejectsGarbage) {
   Scenario scn;
   std::string error;
+  // Structurally malformed: a non-comment line with no '='.
   EXPECT_FALSE(ScenarioFromText("not a scenario", &scn, &error));
+  // A known numeric key with a non-numeric value is still an error.
+  Scenario seeded = GenerateScenario(3);
+  std::string bad = ScenarioToText(seeded) + "warmup=banana\n";
+  EXPECT_FALSE(ScenarioFromText(bad, &scn, &error));
+  // Missing required topology keys still fail, unknown key or not.
   EXPECT_FALSE(ScenarioFromText(
       "# laminar fuzz scenario v1\nno_such_key=1\n", &scn, &error));
+}
+
+TEST(FuzzTest, ScenarioParserSkipsUnknownKeysForwardCompatibly) {
+  // A corpus file written by a newer binary carries keys this one has never
+  // heard of — numeric or not. They warn and are skipped; everything the
+  // parser does understand round-trips untouched.
+  Scenario seeded = GenerateScenario(5);
+  std::string text = ScenarioToText(seeded);
+  std::string futuristic =
+      text + "keys_from_the_future=1\nfuture_mode=adaptive-quorum\n";
+  Scenario parsed;
+  std::string error;
+  ASSERT_TRUE(ScenarioFromText(futuristic, &parsed, &error)) << error;
+  EXPECT_EQ(ScenarioToText(parsed), text);
+}
+
+TEST(FuzzTest, SnapshotAndCrashRestartKeysRoundTrip) {
+  // Both keys are emitted only when armed, so files that never used them are
+  // byte-identical to their pre-snapshot-era form...
+  Scenario plain = GenerateScenario(2);
+  plain.config.chaos.crash_restart_per_hour = 0.0;
+  plain.config.snapshot_at_seconds = 0.0;
+  std::string text = ScenarioToText(plain);
+  EXPECT_EQ(text.find("crash_restart_rate="), std::string::npos);
+  EXPECT_EQ(text.find("snapshot_at="), std::string::npos);
+  // ...and when armed, both survive a text round-trip exactly.
+  Scenario armed = plain;
+  armed.config.chaos.crash_restart_per_hour = 12.5;
+  armed.config.snapshot_at_seconds = 77.25;
+  std::string armed_text = ScenarioToText(armed);
+  EXPECT_NE(armed_text.find("crash_restart_rate="), std::string::npos);
+  EXPECT_NE(armed_text.find("snapshot_at="), std::string::npos);
+  Scenario parsed;
+  std::string error;
+  ASSERT_TRUE(ScenarioFromText(armed_text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.config.chaos.crash_restart_per_hour, 12.5);
+  EXPECT_EQ(parsed.config.snapshot_at_seconds, 77.25);
+  EXPECT_EQ(ScenarioToText(parsed), armed_text);
 }
 
 TEST(FuzzTest, PostApplyCheckFlagsChainedMoves) {
