@@ -16,6 +16,7 @@
 #include "src/trace/trace.h"
 #include "src/trainer/trainer.h"
 #include "src/workload/generator.h"
+#include "src/workload/serving_traffic.h"
 
 namespace laminar {
 
@@ -58,6 +59,12 @@ struct RlSystemConfig {
 
   // Workload knobs.
   bool length_drift = false;
+
+  // Online serving tier (Laminar system only, DESIGN.md §14): diurnal
+  // request arrivals with per-request SLO deadlines, admitted into the
+  // rollout replicas ahead of training work. Default off — a disabled tier
+  // is byte-invisible in every report, trace and fingerprint.
+  ServingTrafficConfig serving;
 
   // Chaos engine (Laminar system only). When enabled, a seeded FaultProcess
   // generates a Poisson fault schedule over the run and the injector fires it
@@ -223,6 +230,26 @@ struct SystemReport {
   int64_t trajectories_dropped = 0;
   int64_t invariant_checks = 0;
   int64_t invariant_violations = 0;
+
+  // Online serving tier (populated only when RlSystemConfig::serving.enabled;
+  // with the tier off none of these reach the report CSV or fingerprint).
+  bool serving_enabled = false;
+  int64_t serving_requests = 0;        // arrivals delivered to the manager
+  int64_t serving_admitted = 0;        // placed onto a replica (first time)
+  int64_t serving_rejected = 0;        // SLO infeasible at admission
+  int64_t serving_completed = 0;
+  int64_t serving_timed_out = 0;       // expired while queued
+  int64_t serving_failed = 0;          // lost to a machine failure
+  int64_t serving_deadline_hits = 0;   // completions within deadline
+  int64_t serving_deadline_misses = 0; // completions past deadline
+  int64_t serving_preemptions = 0;     // rollout works evicted for serving
+  int64_t serving_inflight_at_end = 0; // queued + resident when the run ended
+  double serving_latency_mean_seconds = 0.0;
+  double serving_latency_p50_seconds = 0.0;
+  double serving_latency_p99_seconds = 0.0;
+  // deadline_hits / (completed + timed_out + failed); 0 when no request
+  // reached a terminal state.
+  double serving_slo_attainment = 0.0;
 
   // Bookkeeping.
   std::vector<IterationStats> iterations;

@@ -195,6 +195,9 @@ void DriverBase::WireCompletion() {
     // serial replay at the barrier; the InShardWindow guard keeps the serial
     // path free of the capture copy and the std::function allocation.
     r->set_on_progress([this](const TrajectoryWork& work, int replica_id) {
+      if (IsServingId(work.record.id)) {
+        return;  // serving work is never checkpointed into the pool
+      }
       if (sim_.InShardWindow()) {
         // Snapshot: the replica keeps mutating `work` after this event, and
         // the replay must see the state the serial callback would have seen.
@@ -218,6 +221,16 @@ void DriverBase::WireCompletion() {
 }
 
 void DriverBase::OnTrajectoryComplete(TrajectoryRecord record) {
+  // Serving requests never touch the training data path: no pool entry, no
+  // score-RNG draw, no buffer push. Route them to the manager's SLO
+  // bookkeeping before any training side effect. (The pool gate below would
+  // also resize its dense terminal bitmap to the 2^40 serving-id range.)
+  if (IsServingId(record.id)) {
+    if (serving_complete_fn_) {
+      serving_complete_fn_(std::move(record));
+    }
+    return;
+  }
   // Exactly-once gate: a duplicate completion (a stale clone racing its
   // migrated twin) must be suppressed before ANY side effect — scoring
   // consumes the shared score RNG stream, so even a scored-then-discarded

@@ -132,6 +132,12 @@ class DriverBase {
   // audited; completions stream buffer pushes to it. Not owned.
   InvariantChecker* invariant_checker_ = nullptr;
 
+  // Online serving completion route (DESIGN.md §14). Serving ids (the
+  // kServingIdBase range) are intercepted at the top of OnTrajectoryComplete
+  // — before the exactly-once pool gate, scoring, the ledger and the buffer —
+  // and handed here instead. Unset when the serving tier is off.
+  std::function<void(TrajectoryRecord)> serving_complete_fn_;
+
  private:
   void SampleRates();
   void OnTrajectoryComplete(TrajectoryRecord record);

@@ -44,9 +44,32 @@ void LaminarSystem::Setup() {
   mgr_cfg.replica_init_seconds *= TimeScale();
   mgr_cfg.redirect_backoff_base_seconds *= TimeScale();
   mgr_cfg.redirect_backoff_cap_seconds *= TimeScale();
+  if (cfg_.serving.enabled) {
+    LAMINAR_CHECK_LT(cfg_.serving.dedicated_replicas, num_replicas);
+    mgr_cfg.serving_enabled = true;
+    mgr_cfg.serving_dedicated_replicas = cfg_.serving.dedicated_replicas;
+    mgr_cfg.serving_retry_period_seconds *= TimeScale();
+  }
   manager_ = std::make_unique<RolloutManager>(&sim_, mgr_cfg, replica_ptrs_, relays_.get(),
                                               prompts_.get(), &partial_pool_);
   manager_->set_backlog_fn([this] { return static_cast<int64_t>(buffer_->size()); });
+  if (cfg_.serving.enabled) {
+    // hardware_speed dilation: the arrival rate is a rate (scales up); the
+    // diurnal period, SLO terms and start offset are times (scale down).
+    ServingTrafficConfig sc = cfg_.serving;
+    sc.base_rate_per_sec *= cfg_.hardware_speed;
+    sc.diurnal_period_seconds *= TimeScale();
+    sc.start_seconds *= TimeScale();
+    sc.slo_base_seconds *= TimeScale();
+    sc.slo_per_token_seconds *= TimeScale();
+    serving_traffic_ =
+        std::make_unique<ServingTrafficGenerator>(sc, root_rng_.Fork("serving"));
+    // Completions arrive through the driver's serving intercept (already
+    // staged for serial replay under sharding by the on_complete wrapper).
+    serving_complete_fn_ = [this](TrajectoryRecord record) {
+      manager_->OnServingComplete(record);
+    };
+  }
   for (RolloutReplica* r : replica_ptrs_) {
     // Fires from a replica event; the manager touches relays, the prompt
     // pool and global stats, so under sharded execution it is staged for
@@ -183,6 +206,22 @@ void LaminarSystem::Setup() {
     for (RolloutReplica* r : replica_ptrs_) {
       invariants_->AddReplica(r);
     }
+    if (cfg_.serving.enabled) {
+      invariants_->set_serving_fn([this] {
+        ServingStats ss = manager_->serving_stats();
+        ServingCounts c;
+        c.requests = ss.requests;
+        c.rejected = ss.rejected;
+        c.queued = ss.queued_now;
+        c.resident = ss.resident_now;
+        c.completed = ss.completed;
+        c.timed_out = ss.timed_out;
+        c.failed = ss.failed;
+        c.deadline_hits = ss.deadline_hits;
+        c.deadline_misses = ss.deadline_misses;
+        return c;
+      });
+    }
     // DriverBase::Run calls Setup before WireCompletion, so arming the
     // pointer here routes every buffer push through the checker.
     invariant_checker_ = invariants_.get();
@@ -242,6 +281,22 @@ void LaminarSystem::Begin() {
   if (invariant_sweep_ != nullptr) {
     invariant_sweep_->Start();
   }
+  if (serving_traffic_ != nullptr) {
+    PumpServing();
+  }
+}
+
+void LaminarSystem::PumpServing() {
+  ServingRequest req = serving_traffic_->Next();
+  if (req.arrival_seconds > cfg_.max_sim_seconds) {
+    return;  // past the horizon; the pump stays quiet for the rest of the run
+  }
+  // Arrivals land on the control lane: admission touches the whole fleet, so
+  // it must never run inside a shard window.
+  sim_.ScheduleAt(SimTime(req.arrival_seconds), [this, req] {
+    manager_->OnServingArrival(req);
+    PumpServing();
+  });
 }
 
 void LaminarSystem::OnIteration(const IterationStats& stats) {
@@ -258,6 +313,11 @@ void LaminarSystem::SnapshotComponents(SnapshotTx& tx) {
   injector_->Snapshot(tx);
   tx.DigestU64("trainer_checkpoint_fnv",
                SnapshotFnv1a(trainer_checkpoint_.data(), trainer_checkpoint_.size()));
+  if (serving_traffic_ != nullptr) {
+    tx.Begin("serving_traffic");
+    serving_traffic_->Snapshot(tx);
+    tx.End();
+  }
   if (invariants_ != nullptr) {
     tx.DigestI64("invariant_checks", invariants_->checks_run());
     tx.DigestI64("invariant_violations", invariants_->violation_count());
@@ -293,6 +353,30 @@ void LaminarSystem::Finalize(SystemReport& report) {
     invariants_->CheckFinal();
     report.invariant_checks = invariants_->checks_run();
     report.invariant_violations = invariants_->violation_count();
+  }
+  if (cfg_.serving.enabled) {
+    report.serving_enabled = true;
+    ServingStats ss = manager_->serving_stats();
+    report.serving_requests = ss.requests;
+    report.serving_admitted = ss.admitted;
+    report.serving_rejected = ss.rejected;
+    report.serving_completed = ss.completed;
+    report.serving_timed_out = ss.timed_out;
+    report.serving_failed = ss.failed;
+    report.serving_deadline_hits = ss.deadline_hits;
+    report.serving_deadline_misses = ss.deadline_misses;
+    report.serving_preemptions = ss.rollout_preempted;
+    report.serving_inflight_at_end = ss.queued_now + ss.resident_now;
+    if (!ss.latency_seconds.empty()) {
+      report.serving_latency_mean_seconds = ss.latency_seconds.mean();
+      report.serving_latency_p50_seconds = ss.latency_seconds.Quantile(0.50);
+      report.serving_latency_p99_seconds = ss.latency_seconds.Quantile(0.99);
+    }
+    int64_t terminal = ss.completed + ss.timed_out + ss.failed;
+    if (terminal > 0) {
+      report.serving_slo_attainment =
+          static_cast<double>(ss.deadline_hits) / static_cast<double>(terminal);
+    }
   }
 }
 

@@ -47,9 +47,15 @@ class LaminarSystem : public DriverBase {
   // Appendix-C hybrid: mid-generation weight adoption on top of Laminar.
   void ApplyPartialRollout(int version);
   void RestartRelayAfter(int machine, double delay_seconds);
+  // Online serving tier (DESIGN.md §14): schedules the next generated
+  // arrival on the control lane; each arrival re-arms the pump.
+  void PumpServing();
 
   std::unique_ptr<RelayTier> relays_;
   std::unique_ptr<RolloutManager> manager_;
+  // Null unless cfg_.serving.enabled; seeded from root_rng_.Fork("serving"),
+  // so arming it never perturbs the existing RNG streams.
+  std::unique_ptr<ServingTrafficGenerator> serving_traffic_;
   std::unique_ptr<HeartbeatMonitor> heartbeats_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<InvariantChecker> invariants_;

@@ -65,6 +65,24 @@ std::string ReportSummaryCsv(const SystemReport& report) {
   row("final_eval_reward", report.final_eval_reward);
   row("simulated_seconds", report.simulated_seconds);
   row("simulated_events", static_cast<double>(report.simulated_events));
+  if (report.serving_enabled) {
+    // Gated on the tier being armed so serving-off summaries (and every
+    // fingerprint derived from them) stay byte-identical to history.
+    row("serving_requests", static_cast<double>(report.serving_requests));
+    row("serving_admitted", static_cast<double>(report.serving_admitted));
+    row("serving_rejected", static_cast<double>(report.serving_rejected));
+    row("serving_completed", static_cast<double>(report.serving_completed));
+    row("serving_timed_out", static_cast<double>(report.serving_timed_out));
+    row("serving_failed", static_cast<double>(report.serving_failed));
+    row("serving_deadline_hits", static_cast<double>(report.serving_deadline_hits));
+    row("serving_deadline_misses", static_cast<double>(report.serving_deadline_misses));
+    row("serving_preemptions", static_cast<double>(report.serving_preemptions));
+    row("serving_inflight_at_end", static_cast<double>(report.serving_inflight_at_end));
+    row("serving_latency_mean_seconds", report.serving_latency_mean_seconds);
+    row("serving_latency_p50_seconds", report.serving_latency_p50_seconds);
+    row("serving_latency_p99_seconds", report.serving_latency_p99_seconds);
+    row("serving_slo_attainment", report.serving_slo_attainment);
+  }
   return out;
 }
 

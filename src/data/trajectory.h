@@ -19,6 +19,14 @@ namespace laminar {
 using TrajId = int64_t;
 constexpr TrajId kInvalidTrajId = -1;
 
+// Online serving requests (DESIGN.md §14) ride the replica engine as
+// TrajectoryWork but never enter the training data path (prompt ledger,
+// PartialResponsePool, experience buffer — all of which index dense rollout
+// ids). They live in their own id range so every layer can tell the two
+// apart with one comparison.
+constexpr TrajId kServingIdBase = TrajId{1} << 40;
+inline constexpr bool IsServingId(TrajId id) { return id >= kServingIdBase; }
+
 struct TrajectoryRecord {
   TrajId id = kInvalidTrajId;
   int64_t prompt_id = -1;

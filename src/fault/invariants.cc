@@ -79,6 +79,35 @@ void InvariantChecker::CheckSweep() {
       Report(oss.str());
     }
   }
+  if (serving_fn_) {
+    // Admitted-request conservation: every arrival is in exactly one of the
+    // six states. (The KV check above doubles as the serving/rollout
+    // no-double-count audit — resident serving tokens are charged to the
+    // same per-replica accounting rollout work uses.)
+    ServingCounts c = serving_fn_();
+    int64_t accounted = c.rejected + c.queued + c.resident + c.completed +
+                        c.timed_out + c.failed;
+    if (c.requests != accounted) {
+      std::ostringstream oss;
+      oss << "serving request leak: requests=" << c.requests
+          << " != rejected=" << c.rejected << " + queued=" << c.queued
+          << " + resident=" << c.resident << " + completed=" << c.completed
+          << " + timed_out=" << c.timed_out << " + failed=" << c.failed;
+      Report(oss.str());
+    }
+    if (c.deadline_hits + c.deadline_misses != c.completed) {
+      std::ostringstream oss;
+      oss << "serving deadline bookkeeping broken: hits=" << c.deadline_hits
+          << " + misses=" << c.deadline_misses << " != completed=" << c.completed;
+      Report(oss.str());
+    }
+    if (c.queued < 0 || c.resident < 0) {
+      std::ostringstream oss;
+      oss << "negative serving queue depth: queued=" << c.queued
+          << " resident=" << c.resident;
+      Report(oss.str());
+    }
+  }
 }
 
 void InvariantChecker::CheckFinal() {

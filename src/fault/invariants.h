@@ -45,6 +45,21 @@ struct InvariantCheckerConfig {
   size_t max_recorded_violations = 64;
 };
 
+// Serving-tier counters sampled for the admission-conservation audit
+// (DESIGN.md §14). Populated by a driver-provided callback so the checker
+// stays decoupled from the rollout manager.
+struct ServingCounts {
+  int64_t requests = 0;
+  int64_t rejected = 0;
+  int64_t queued = 0;
+  int64_t resident = 0;
+  int64_t completed = 0;
+  int64_t timed_out = 0;
+  int64_t failed = 0;
+  int64_t deadline_hits = 0;
+  int64_t deadline_misses = 0;
+};
+
 class InvariantChecker {
  public:
   InvariantChecker(Simulator* sim, InvariantCheckerConfig config);
@@ -56,6 +71,13 @@ class InvariantChecker {
   void set_inflight_fn(std::function<int64_t()> fn) { inflight_fn_ = std::move(fn); }
   void set_pool(const PartialResponsePool* pool) { pool_ = pool; }
   void AddReplica(const RolloutReplica* replica) { replicas_.push_back(replica); }
+  // Arms the serving-tier audit: every sweep additionally checks admitted-
+  // request conservation (each request in exactly one terminal-or-queued
+  // state) and deadline-bookkeeping sanity (hits + misses == completions).
+  // Unset (the default, serving off) adds no checks.
+  void set_serving_fn(std::function<ServingCounts()> fn) {
+    serving_fn_ = std::move(fn);
+  }
 
   // Observations -------------------------------------------------------------
   void ObserveBufferPush(const TrajectoryRecord& record);
@@ -81,6 +103,7 @@ class InvariantChecker {
   InvariantCheckerConfig config_;
   std::function<int64_t()> issued_fn_;
   std::function<int64_t()> inflight_fn_;
+  std::function<ServingCounts()> serving_fn_;
   const PartialResponsePool* pool_ = nullptr;
   std::vector<const RolloutReplica*> replicas_;
 

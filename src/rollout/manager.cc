@@ -64,6 +64,35 @@ RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
   ctr_trajectories_dropped_ = metrics_.Counter("manager/trajectories_dropped");
   ctr_machine_stalls_ = metrics_.Counter("manager/machine_stalls");
   repack_overhead_seconds_ = metrics_.Samples("manager/repack_overhead_seconds");
+  ctr_serving_requests_ = metrics_.Counter("manager/serving_requests");
+  ctr_serving_admitted_ = metrics_.Counter("manager/serving_admitted");
+  ctr_serving_rejected_ = metrics_.Counter("manager/serving_rejected");
+  ctr_serving_completed_ = metrics_.Counter("manager/serving_completed");
+  ctr_serving_timed_out_ = metrics_.Counter("manager/serving_timed_out");
+  ctr_serving_failed_ = metrics_.Counter("manager/serving_failed");
+  ctr_serving_deadline_hits_ = metrics_.Counter("manager/serving_deadline_hits");
+  ctr_serving_deadline_misses_ = metrics_.Counter("manager/serving_deadline_misses");
+  ctr_serving_rollout_preempted_ = metrics_.Counter("manager/serving_rollout_preempted");
+  serving_latency_seconds_ = metrics_.Samples("manager/serving_latency_seconds");
+}
+
+ServingStats RolloutManager::serving_stats() const {
+  ServingStats s;
+  s.requests = ctr_serving_requests_->value();
+  s.admitted = ctr_serving_admitted_->value();
+  s.rejected = ctr_serving_rejected_->value();
+  s.completed = ctr_serving_completed_->value();
+  s.timed_out = ctr_serving_timed_out_->value();
+  s.failed = ctr_serving_failed_->value();
+  s.deadline_hits = ctr_serving_deadline_hits_->value();
+  s.deadline_misses = ctr_serving_deadline_misses_->value();
+  s.rollout_preempted = ctr_serving_rollout_preempted_->value();
+  s.queued_now = static_cast<int64_t>(serving_backlog_.size());
+  for (const RolloutReplica* r : replicas_) {
+    s.resident_now += r->num_serving();
+  }
+  s.latency_seconds = *serving_latency_seconds_;
+  return s;
 }
 
 RolloutManagerStats RolloutManager::stats() const {
@@ -121,12 +150,20 @@ void RolloutManager::Start() {
   tick_ = std::make_unique<PeriodicTask>(sim_, config_.repack_period_seconds,
                                          [this] { Tick(); });
   tick_->Start();
+  if (config_.serving_enabled) {
+    serving_tick_ = std::make_unique<PeriodicTask>(
+        sim_, config_.serving_retry_period_seconds, [this] { ServingSweep(); });
+    serving_tick_->Start();
+  }
 }
 
 void RolloutManager::Stop() {
   running_ = false;
   if (tick_) {
     tick_->Stop();
+  }
+  if (serving_tick_) {
+    serving_tick_->Stop();
   }
   if (redirect_retry_event_ != kInvalidEventId) {
     sim_->Cancel(redirect_retry_event_);
@@ -137,7 +174,9 @@ void RolloutManager::Stop() {
 int64_t RolloutManager::inflight_trajectories() const {
   int64_t n = 0;
   for (const RolloutReplica* r : replicas_) {
-    n += r->num_reqs();
+    // Serving requests never come from the prompt pool; the exactly-once
+    // prompt accounting counts rollout work only.
+    n += r->num_reqs() - r->num_serving();
   }
   for (const auto& [version, works] : pending_redirects_) {
     n += static_cast<int64_t>(works.size());
@@ -159,6 +198,9 @@ bool RolloutManager::BacklogAllowsAssignment() const {
 void RolloutManager::AssignFreshBatch(RolloutReplica* replica) {
   if (!running_ || replica->phase() == ReplicaPhase::kDead) {
     return;
+  }
+  if (ServesOnly(replica)) {
+    return;  // statically partitioned serving replicas never take prompts
   }
   if (!BacklogAllowsAssignment()) {
     starved_.push_back(replica);
@@ -190,6 +232,15 @@ void RolloutManager::AssignFreshBatch(RolloutReplica* replica) {
 
 void RolloutManager::StartWeightUpdate(RolloutReplica* replica) {
   if (replica->phase() == ReplicaPhase::kDead) {
+    return;
+  }
+  if (ServesOnly(replica)) {
+    return;  // dedicated serving replicas keep their boot weights
+  }
+  if (replica->phase() == ReplicaPhase::kGenerating) {
+    // Serving work stays resident through drains, so a repack source may
+    // still be decoding here; the update waits for its batch boundary.
+    // Unreachable with the serving tier off (sources drain to idle).
     return;
   }
   int current = replica->weight_version();
@@ -247,8 +298,8 @@ std::vector<ReplicaSnapshot> RolloutManager::CollectSnapshots() {
   snaps.reserve(replicas_.size());
   for (RolloutReplica* r : replicas_) {
     ReplicaSnapshot s = r->Snapshot();
-    if (IsQuarantined(r->config().id)) {
-      s.eligible = false;  // a fail-slow replica must never absorb more load
+    if (IsQuarantined(r->config().id) || ServesOnly(r)) {
+      s.eligible = false;  // fail-slow or serving-dedicated: absorbs no load
     }
     snaps.push_back(s);
   }
@@ -347,7 +398,8 @@ void RolloutManager::RedirectWork(std::vector<TrajectoryWork> works, int weight_
   std::vector<RolloutReplica*> hosts;
   for (RolloutReplica* r : replicas_) {
     if (r->phase() != ReplicaPhase::kDead && r->phase() != ReplicaPhase::kUpdatingWeights &&
-        r->weight_version() == weight_version && !IsQuarantined(r->config().id)) {
+        r->weight_version() == weight_version && !IsQuarantined(r->config().id) &&
+        !ServesOnly(r)) {
       hosts.push_back(r);
     }
   }
@@ -450,6 +502,22 @@ void RolloutManager::OnMachineFailure(int machine) {
     monitor_.Forget(casualties[i]->config().id);
     ClearQuarantined(casualties[i]->config().id);  // crash supersedes fail-slow
   }
+  if (config_.serving_enabled && !casualties.empty()) {
+    // Serving requests have no pooled checkpoint; everything resident on the
+    // dead machine (running or queued) is lost and its ticket goes terminal.
+    for (ServingTicket& t : serving_tickets_) {
+      if (t.state != ServingTicketState::kRunning) {
+        continue;
+      }
+      for (const RolloutReplica* r : casualties) {
+        if (t.replica == r->config().id) {
+          t.state = ServingTicketState::kFailed;
+          ctr_serving_failed_->Add();
+          break;
+        }
+      }
+    }
+  }
   for (size_t i = 0; i < casualties.size(); ++i) {
     RolloutReplica* r = casualties[i];
     int id = r->config().id;
@@ -465,6 +533,9 @@ void RolloutManager::OnMachineFailure(int machine) {
     // Queued work that never streamed a checkpoint anywhere died with the
     // machine; mark it terminal-dropped so the prompt ledger stays exact.
     for (const TrajectoryWork& w : never_admitted[i]) {
+      if (IsServingId(w.record.id)) {
+        continue;  // no prompt ledger entry; the ticket sweep above counted it
+      }
       if (std::binary_search(recovered_ids.begin(), recovered_ids.end(),
                              w.record.id)) {
         continue;  // a pooled checkpoint survives and will be redirected
@@ -652,6 +723,155 @@ void RolloutManager::Tick() {
   }
 }
 
+RolloutManager::ServingTicket& RolloutManager::TicketFor(TrajId id) {
+  LAMINAR_CHECK(IsServingId(id));
+  size_t idx = static_cast<size_t>(id - kServingIdBase);
+  LAMINAR_CHECK(idx < serving_tickets_.size());
+  return serving_tickets_[idx];
+}
+
+void RolloutManager::OnServingArrival(const ServingRequest& request) {
+  ctr_serving_requests_->Add();
+  size_t idx = static_cast<size_t>(request.seq);
+  if (idx >= serving_tickets_.size()) {
+    serving_tickets_.resize(idx + 1);
+  }
+  ServingTicket& t = serving_tickets_[idx];
+  t.arrival = sim_->Now();
+  t.deadline_seconds = request.deadline_seconds;
+  t.replica = -1;
+  t.state = ServingTicketState::kQueued;
+
+  TrajectoryWork w;
+  w.record.id = kServingIdBase + request.seq;
+  w.record.created = sim_->Now();
+  TrajectorySpec spec;
+  spec.prompt_tokens = request.prompt_tokens;
+  spec.AppendSegment({request.decode_tokens, 0.0, 0});
+  w.record.spec = std::move(spec);
+  w.InitContext();
+  TryPlaceServing(std::move(w));
+}
+
+bool RolloutManager::TryPlaceServing(TrajectoryWork work) {
+  if (!running_) {
+    serving_backlog_.push_back(std::move(work));
+    return false;
+  }
+  // Admission host: the healthy replica with the most free KVCache. With a
+  // static partition (serving_dedicated_replicas > 0) only the dedicated
+  // replicas qualify; colocated mode considers the whole fleet.
+  RolloutReplica* best = nullptr;
+  double best_free = -1.0;
+  for (RolloutReplica* r : replicas_) {
+    if (r->phase() == ReplicaPhase::kDead || r->phase() == ReplicaPhase::kUpdatingWeights ||
+        r->phase() == ReplicaPhase::kPaused || IsQuarantined(r->config().id)) {
+      continue;
+    }
+    if (config_.serving_dedicated_replicas > 0 && !ServesOnly(r)) {
+      continue;
+    }
+    double free = r->kv_capacity_tokens() - r->kv_used_tokens();
+    if (free > best_free) {
+      best_free = free;
+      best = r;
+    }
+  }
+  if (best == nullptr) {
+    serving_backlog_.push_back(std::move(work));
+    return false;
+  }
+  ServingTicket& t = TicketFor(work.record.id);
+  // SLO feasibility: prefill plus a decode estimate at the post-admission
+  // batch shape. An infeasible request is rejected up front (load shedding)
+  // rather than admitted to miss — the paper-standard admission-control move.
+  int64_t decode_tokens = work.record.spec.total_decode_tokens();
+  double step = best->decode_model().StepLatency(
+      best->num_reqs() + 1,
+      static_cast<double>(work.context_tokens) + 0.5 * static_cast<double>(decode_tokens));
+  double est = best->decode_model().PrefillLatency(static_cast<double>(work.context_tokens)) +
+               static_cast<double>(decode_tokens) * step;
+  if (sim_->Now().seconds() + est > t.deadline_seconds) {
+    t.state = ServingTicketState::kRejected;
+    ctr_serving_rejected_->Add();
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_reject",
+                          best->config().id, work.record.id);
+    return true;
+  }
+  // Serving preempts decode: when the best host lacks KV headroom, evict
+  // in-flight rollout sequences (newest first) and park them exactly as the
+  // machine-loss path does — pool checkpoint re-homed to the manager, then
+  // version-bucketed for redirect.
+  double needed = static_cast<double>(work.context_tokens) +
+                  static_cast<double>(decode_tokens);
+  if (best_free < needed) {
+    std::vector<TrajectoryWork> evicted = best->PreemptRolloutForServing(needed);
+    if (!evicted.empty()) {
+      ctr_serving_rollout_preempted_->Add(static_cast<int64_t>(evicted.size()));
+      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_preempt",
+                            best->config().id, static_cast<int64_t>(evicted.size()));
+      for (TrajectoryWork& ew : evicted) {
+        if (partial_pool_->Contains(ew.record.id)) {
+          partial_pool_->Update(ew, kManagerOwner);
+        }
+        int v = ew.record.weight_versions.empty() ? best->weight_version()
+                                                  : ew.record.weight_versions.back();
+        WorksForVersion(pending_redirects_, v).push_back(std::move(ew));
+      }
+      ScheduleRedirectRetry();
+    }
+  }
+  t.state = ServingTicketState::kRunning;
+  t.replica = best->config().id;
+  ctr_serving_admitted_->Add();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_admit",
+                        best->config().id, work.record.id);
+  std::vector<TrajectoryWork> one;
+  one.push_back(std::move(work));
+  best->AssignServingWork(std::move(one));
+  return true;
+}
+
+void RolloutManager::ServingSweep() {
+  if (!running_ || serving_backlog_.empty()) {
+    return;
+  }
+  double now = sim_->Now().seconds();
+  size_t n = serving_backlog_.size();
+  for (size_t i = 0; i < n; ++i) {
+    TrajectoryWork w = std::move(serving_backlog_.front());
+    serving_backlog_.pop_front();
+    ServingTicket& t = TicketFor(w.record.id);
+    if (now > t.deadline_seconds) {
+      t.state = ServingTicketState::kTimedOut;
+      ctr_serving_timed_out_->Add();
+      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_timeout",
+                            -1, w.record.id);
+      continue;
+    }
+    TryPlaceServing(std::move(w));  // re-queues at the back on failure
+  }
+}
+
+void RolloutManager::OnServingComplete(const TrajectoryRecord& record) {
+  ServingTicket& t = TicketFor(record.id);
+  LAMINAR_CHECK(t.state == ServingTicketState::kRunning);
+  t.state = ServingTicketState::kCompleted;
+  ctr_serving_completed_->Add();
+  SimTime now = sim_->Now();
+  double latency = now.seconds() - t.arrival.seconds();
+  serving_latency_seconds_->Add(latency);
+  bool hit = now.seconds() <= t.deadline_seconds;
+  if (hit) {
+    ctr_serving_deadline_hits_->Add();
+  } else {
+    ctr_serving_deadline_misses_->Add();
+  }
+  LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kManager,
+                        hit ? "manager/serving_hit" : "manager/serving_miss",
+                        t.replica, t.arrival, now, record.id, latency);
+}
+
 void RolloutManager::Snapshot(SnapshotTx& tx) const {
   tx.Begin("rollout_manager");
   tx.Bool("running", const_cast<bool*>(&running_));
@@ -695,6 +915,28 @@ void RolloutManager::Snapshot(SnapshotTx& tx) const {
   tx.DigestU64("probes_fnv", h);
   tx.DigestU64("redirect_retry_pending", redirect_retry_event_ != kInvalidEventId ? 1 : 0);
   tx.DigestI64("redirect_retry_attempts", redirect_retry_attempts_);
+  if (config_.serving_enabled) {
+    // Gated on the config flag so serving-off blobs keep the historical
+    // section layout byte-for-byte.
+    h = 1469598103934665603ull;
+    for (const ServingTicket& t : serving_tickets_) {
+      h = SnapshotFoldF64(h, t.arrival.seconds());
+      h = SnapshotFoldF64(h, t.deadline_seconds);
+      h = SnapshotFoldI64(h, t.replica);
+      h = SnapshotFoldU64(h, static_cast<uint64_t>(t.state));
+    }
+    tx.DigestU64("serving_tickets", serving_tickets_.size());
+    tx.DigestU64("serving_tickets_fnv", h);
+    h = 1469598103934665603ull;
+    for (const TrajectoryWork& w : serving_backlog_) {
+      h = TrajectoryWorkDigest(w, h);
+    }
+    tx.DigestU64("serving_backlog", serving_backlog_.size());
+    tx.DigestU64("serving_backlog_fnv", h);
+    tx.Begin("serving_latency_seconds");
+    serving_latency_seconds_->Snapshot(tx);
+    tx.End();
+  }
   monitor_.Snapshot(tx);
   metrics_.Snapshot(tx, "manager_metrics");
   tx.Begin("repack_overhead_seconds");

@@ -6,6 +6,7 @@
 #ifndef LAMINAR_SRC_ROLLOUT_MANAGER_H_
 #define LAMINAR_SRC_ROLLOUT_MANAGER_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -20,6 +21,7 @@
 #include "src/rollout/replica.h"
 #include "src/sim/simulator.h"
 #include "src/trace/metrics.h"
+#include "src/workload/serving_traffic.h"
 
 namespace laminar {
 
@@ -51,6 +53,15 @@ struct RolloutManagerConfig {
   // this many prompt groups, so its decode rate stays observable and recovery
   // can be detected without trusting the sick replica with real load.
   int probe_groups = 1;
+  // Online serving tier (DESIGN.md §14). With serving_dedicated_replicas == 0
+  // serving is admitted onto any healthy replica (colocated, the Laminar
+  // policy); N > 0 statically partitions the fleet — replicas [0, N) serve
+  // exclusively and never take prompts or weight updates.
+  bool serving_enabled = false;
+  int serving_dedicated_replicas = 0;
+  // Backlogged serving requests retry placement (and expire past their
+  // deadline) on this cadence.
+  double serving_retry_period_seconds = 0.5;
 };
 
 // Point-in-time snapshot of the manager's metrics registry (stats() builds
@@ -70,6 +81,24 @@ struct RolloutManagerStats {
   int64_t trajectories_dropped = 0;    // never-checkpointed work lost to a crash
   int64_t machine_stalls = 0;
   SampleSet repack_overhead_seconds;  // per-plan migration stall estimate
+};
+
+// Serving-tier counters and queue depths (serving_stats()). Every request is
+// in exactly one of: rejected, queued_now, resident_now, completed,
+// timed_out, failed — the conservation invariant the checker audits.
+struct ServingStats {
+  int64_t requests = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t completed = 0;
+  int64_t timed_out = 0;
+  int64_t failed = 0;
+  int64_t deadline_hits = 0;
+  int64_t deadline_misses = 0;
+  int64_t rollout_preempted = 0;  // rollout works evicted for serving KV
+  int64_t queued_now = 0;         // backlog awaiting placement
+  int64_t resident_now = 0;       // placed on replicas, not yet finished
+  SampleSet latency_seconds;      // arrival -> completion, completions only
 };
 
 class RolloutManager {
@@ -111,6 +140,17 @@ class RolloutManager {
   // outlives the heartbeat miss threshold and is escalated to a failure.
   void OnMachineStall(int machine, double duration_seconds);
 
+  // Online serving (DESIGN.md §14) ---------------------------------------------
+  // A serving request arrived: place it on the least-loaded eligible replica
+  // with SLO-feasibility admission control, preempting rollout decode when
+  // the KVCache is short. Infeasible requests are rejected immediately; when
+  // no host is eligible the request queues and retries on the serving sweep.
+  void OnServingArrival(const ServingRequest& request);
+  // A serving request finished decoding (routed here by the driver's
+  // completion intercept — serving ids never touch the training data path).
+  void OnServingComplete(const TrajectoryRecord& record);
+  ServingStats serving_stats() const;
+
   // A relay process restarted (crash + revival while its machine stayed up).
   // Any replica on that machine stuck mid-weight-update lost its pull waiter
   // when the relay died; abort the orphaned update and re-issue the pull
@@ -148,8 +188,36 @@ class RolloutManager {
   // identical, but entries live in one flat allocation.
   using VersionWorks = std::vector<std::pair<int, std::vector<TrajectoryWork>>>;
 
+  // Per-request serving bookkeeping, indexed by (id - kServingIdBase).
+  enum class ServingTicketState : uint8_t {
+    kQueued,
+    kRunning,
+    kCompleted,
+    kTimedOut,
+    kFailed,
+    kRejected,
+  };
+  struct ServingTicket {
+    SimTime arrival;
+    double deadline_seconds = 0.0;
+    int replica = -1;  // last placement (-1 while never placed)
+    ServingTicketState state = ServingTicketState::kQueued;
+  };
+
   void AssignFreshBatch(RolloutReplica* replica);
   void StartWeightUpdate(RolloutReplica* replica);
+  // True for replicas statically dedicated to serving (never rollout hosts).
+  bool ServesOnly(const RolloutReplica* replica) const {
+    return config_.serving_enabled && config_.serving_dedicated_replicas > 0 &&
+           replica->config().id < config_.serving_dedicated_replicas;
+  }
+  ServingTicket& TicketFor(TrajId id);
+  // Returns false when the request stayed queued (no eligible host); terminal
+  // outcomes (admitted, rejected) return true.
+  bool TryPlaceServing(TrajectoryWork work);
+  // Periodic backlog pass: expire queued requests past their deadline, retry
+  // placement for the rest.
+  void ServingSweep();
   bool BacklogAllowsAssignment() const;
   void RedirectWork(std::vector<TrajectoryWork> works, int weight_version);
   void FlushPendingRedirects();
@@ -208,6 +276,20 @@ class RolloutManager {
   MetricCounter* ctr_trajectories_dropped_;
   MetricCounter* ctr_machine_stalls_;
   SampleSet* repack_overhead_seconds_;
+  // Serving tier state (empty/zero when the tier is off).
+  std::vector<ServingTicket> serving_tickets_;
+  std::deque<TrajectoryWork> serving_backlog_;
+  std::unique_ptr<PeriodicTask> serving_tick_;
+  MetricCounter* ctr_serving_requests_;
+  MetricCounter* ctr_serving_admitted_;
+  MetricCounter* ctr_serving_rejected_;
+  MetricCounter* ctr_serving_completed_;
+  MetricCounter* ctr_serving_timed_out_;
+  MetricCounter* ctr_serving_failed_;
+  MetricCounter* ctr_serving_deadline_hits_;
+  MetricCounter* ctr_serving_deadline_misses_;
+  MetricCounter* ctr_serving_rollout_preempted_;
+  SampleSet* serving_latency_seconds_;
   bool running_ = false;
 };
 

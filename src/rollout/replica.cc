@@ -85,14 +85,77 @@ void RolloutReplica::AssignWork(std::vector<TrajectoryWork> works, bool kv_trans
   }
 }
 
+void RolloutReplica::AssignServingWork(std::vector<TrajectoryWork> works) {
+  LAMINAR_CHECK(phase_ != ReplicaPhase::kDead) << "serving work on a dead replica";
+  SyncProgress();
+  // Reverse push_front keeps the caller's order at the head of the queue,
+  // ahead of every queued rollout sequence (TryAdmit is front-only).
+  for (size_t i = works.size(); i > 0; --i) {
+    TrajectoryWork& w = works[i - 1];
+    LAMINAR_CHECK(IsServingId(w.record.id));
+    LAMINAR_CHECK(!w.finished());
+    w.kv_resident = false;  // prefill on admission
+    ++num_serving_;
+    ++serving_assigned_total_;
+    waiting_.push_front(std::move(w));
+  }
+  if (phase_ == ReplicaPhase::kIdle && busy()) {
+    phase_ = ReplicaPhase::kGenerating;
+  }
+  if (phase_ == ReplicaPhase::kGenerating) {
+    TryAdmit();
+    ScheduleAdvance();
+  }
+}
+
+std::vector<TrajectoryWork> RolloutReplica::PreemptRolloutForServing(double needed_tokens) {
+  std::vector<TrajectoryWork> evicted;
+  if (phase_ == ReplicaPhase::kDead) {
+    return evicted;
+  }
+  SyncProgress();
+  size_t scan = running_.size();
+  while (scan > 0 && kv_capacity_tokens_ - kv_used_tokens_ < needed_tokens) {
+    --scan;
+    if (IsServingId(running_[scan].record.id)) {
+      continue;  // serving never evicts serving
+    }
+    TrajectoryWork victim = std::move(running_[scan]);
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(scan));
+    kv_used_tokens_ -= static_cast<double>(victim.context_tokens);
+    victim.kv_resident = false;
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/serving_preempt",
+                          config_.id, victim.record.id);
+    ++metrics_.preemptions;
+    evicted.push_back(std::move(victim));
+  }
+  if (phase_ == ReplicaPhase::kGenerating) {
+    ScheduleAdvance();
+  }
+  TouchMetrics();
+  return evicted;
+}
+
 std::vector<TrajectoryWork> RolloutReplica::ExtractAllWork() {
   SyncProgress();
   std::vector<TrajectoryWork> out;
-  for (TrajectoryWork& w : running_) {
+  // Serving requests are latency-bound and pinned to their host: they stay
+  // resident (running and queued) while every rollout sequence drains. With
+  // the tier off this loop is the historical drain-everything path.
+  size_t keep = 0;
+  for (size_t i = 0; i < running_.size(); ++i) {
+    TrajectoryWork& w = running_[i];
+    if (IsServingId(w.record.id)) {
+      if (keep != i) {
+        running_[keep] = std::move(w);
+      }
+      ++keep;
+      continue;
+    }
     kv_used_tokens_ -= static_cast<double>(w.context_tokens);
     out.push_back(std::move(w));
   }
-  running_.clear();
+  running_.resize(keep);
   // Env-waiting work: the sandbox call outlives the hosting replica (results
   // flow through the manager), so we resolve the interaction here: feedback
   // is appended to the context and the trajectory resumes at its next
@@ -117,15 +180,29 @@ std::vector<TrajectoryWork> RolloutReplica::ExtractAllWork() {
       out.push_back(std::move(w));
     }
   }
+  std::deque<TrajectoryWork> kept_waiting;
   for (TrajectoryWork& w : waiting_) {
-    out.push_back(std::move(w));
+    if (IsServingId(w.record.id)) {
+      kept_waiting.push_back(std::move(w));
+    } else {
+      out.push_back(std::move(w));
+    }
   }
-  waiting_.clear();
+  waiting_ = std::move(kept_waiting);
   metrics_.migrations_out += static_cast<int64_t>(out.size());
-  kv_used_tokens_ = 0.0;
-  pending_stall_seconds_ = 0.0;
+  if (num_serving_ == 0) {
+    // Everything drained: exact integer-token subtraction above already left
+    // zero, but restate it so accumulated prefill debt is also discarded.
+    kv_used_tokens_ = 0.0;
+    pending_stall_seconds_ = 0.0;
+  }
   if (phase_ == ReplicaPhase::kGenerating) {
-    phase_ = ReplicaPhase::kIdle;
+    if (busy()) {
+      TryAdmit();
+      ScheduleAdvance();
+    } else {
+      phase_ = ReplicaPhase::kIdle;
+    }
   }
   TouchMetrics();
   return out;
@@ -257,6 +334,7 @@ std::vector<TrajectoryWork> RolloutReplica::Kill() {
   running_.clear();
   waiting_.clear();
   env_waiting_.Clear();
+  num_serving_ = 0;  // resident serving requests die with the machine
   kv_used_tokens_ = 0.0;
   pending_stall_seconds_ = 0.0;
   phase_ = ReplicaPhase::kDead;
@@ -447,12 +525,23 @@ void RolloutReplica::ScheduleAdvance() {
 void RolloutReplica::PreemptForHeadroom() {
   // Keep enough free cache for every running sequence to take a burst of
   // steps; evicting the most recently admitted sequence frees its context
-  // (it will re-prefill once space reappears).
+  // (it will re-prefill once space reappears). Serving requests are skipped
+  // while any rollout sequence remains — the tier's KV priority.
   while (!running_.empty() &&
          kv_capacity_tokens_ - kv_used_tokens_ <
              static_cast<double>(running_.size() * config_.kv_preempt_headroom_steps)) {
-    TrajectoryWork victim = std::move(running_.back());
-    running_.pop_back();
+    size_t victim_idx = running_.size() - 1;
+    if (num_serving_ > 0) {
+      size_t i = running_.size();
+      while (i > 0 && IsServingId(running_[i - 1].record.id)) {
+        --i;
+      }
+      if (i > 0) {
+        victim_idx = i - 1;
+      }
+    }
+    TrajectoryWork victim = std::move(running_[victim_idx]);
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(victim_idx));
     kv_used_tokens_ -= static_cast<double>(victim.context_tokens);
     victim.kv_resident = false;
     LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/preempt", config_.id,
@@ -594,6 +683,9 @@ void RolloutReplica::CompleteTrajectory(TrajectoryWork work) {
   if (work.kv_resident) {
     kv_used_tokens_ -= static_cast<double>(work.context_tokens);
   }
+  if (IsServingId(work.record.id)) {
+    --num_serving_;
+  }
   work.record.finished = sim_->Now();
   ++metrics_.completed_trajectories;
   LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kReplica, "replica/traj_complete",
@@ -653,6 +745,12 @@ void RolloutReplica::SnapshotState(SnapshotTx& tx) const {
   tx.DigestI64("migrations_out", metrics_.migrations_out);
   tx.DigestF64("weight_update_wait", metrics_.weight_update_wait_seconds);
   tx.DigestI64("weight_updates", metrics_.weight_updates);
+  // Serving fields only appear once the tier has touched this replica, so
+  // serving-off blobs keep their historical field layout byte-for-byte.
+  if (serving_assigned_total_ > 0) {
+    tx.DigestI64("serving_active", num_serving_);
+    tx.DigestI64("serving_assigned_total", serving_assigned_total_);
+  }
   tx.End();
 }
 

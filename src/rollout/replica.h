@@ -105,6 +105,20 @@ class RolloutReplica {
   // lost its cache (failure redirect, preemption elsewhere) re-prefills.
   void AssignWork(std::vector<TrajectoryWork> works, bool kv_transferred = false);
 
+  // Online serving admission (DESIGN.md §14): queues serving requests (ids in
+  // the kServingIdBase range, single decode segment) at the *front* of the
+  // waiting queue, ahead of every queued rollout sequence. Serving work never
+  // leaves via ExtractAllWork and is never chosen as a headroom-preemption
+  // victim while rollout work remains.
+  void AssignServingWork(std::vector<TrajectoryWork> works);
+
+  // Evicts rollout sequences from the decode batch (most recent first,
+  // skipping serving work) until at least `needed_tokens` of KVCache is free
+  // or no rollout sequence remains. Evicted work loses residency (it will
+  // re-prefill wherever it lands) and is returned for the manager to park in
+  // the partial-response pool — the same recovery path machine loss uses.
+  std::vector<TrajectoryWork> PreemptRolloutForServing(double needed_tokens);
+
   // Removes and returns every in-flight trajectory (running, env-waiting and
   // queued), e.g. when this replica is chosen as a repack source. KV
   // residency flags are preserved so the caller can decide transfer vs
@@ -162,6 +176,8 @@ class RolloutReplica {
   int num_reqs() const {
     return static_cast<int>(running_.size() + waiting_.size() + env_waiting_.size());
   }
+  // Resident serving requests (subset of num_reqs; 0 when the tier is off).
+  int num_serving() const { return num_serving_; }
   double kv_used_tokens() const { return kv_used_tokens_; }
   double kv_capacity_tokens() const { return kv_capacity_tokens_; }
   double kv_used_frac() const { return kv_used_tokens_ / kv_capacity_tokens_; }
@@ -259,6 +275,11 @@ class RolloutReplica {
   std::deque<TrajectoryWork> waiting_;
   EntityTable<EnvEntry> env_waiting_;
   uint64_t env_seq_ = 0;
+  // Serving requests currently resident (running_ + waiting_) and the
+  // lifetime assignment count (gates the snapshot fields so serving-off blobs
+  // keep their historical layout).
+  int num_serving_ = 0;
+  int64_t serving_assigned_total_ = 0;
   // Reused by Advance() for the segment-boundary partition (no steady-state
   // allocation in the hot loop).
   std::vector<TrajectoryWork> boundary_scratch_;

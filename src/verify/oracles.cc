@@ -92,6 +92,29 @@ void AuditRun(const RlSystemConfig& cfg, const SystemReport& rep, const char* ru
       rep.invariant_checks == 0) {
     add("invariant checker armed but ran zero checks");
   }
+  if (rep.serving_enabled) {
+    // Admitted-request conservation at end of run: every arrival is rejected,
+    // terminal, or still in flight — and deadline bookkeeping covers exactly
+    // the completions.
+    int64_t accounted = rep.serving_rejected + rep.serving_completed +
+                        rep.serving_timed_out + rep.serving_failed +
+                        rep.serving_inflight_at_end;
+    if (rep.serving_requests != accounted) {
+      add("serving request leak: " + std::to_string(rep.serving_requests) +
+          " arrivals vs " + std::to_string(accounted) + " accounted");
+    }
+    if (rep.serving_deadline_hits + rep.serving_deadline_misses !=
+        rep.serving_completed) {
+      add("serving deadline bookkeeping: hits " +
+          std::to_string(rep.serving_deadline_hits) + " + misses " +
+          std::to_string(rep.serving_deadline_misses) + " != completed " +
+          std::to_string(rep.serving_completed));
+    }
+    if (rep.serving_admitted < rep.serving_completed) {
+      add("serving completed " + std::to_string(rep.serving_completed) +
+          " exceeds admitted " + std::to_string(rep.serving_admitted));
+    }
+  }
   if (rep.ledger != nullptr) {
     const RunLedger& led = *rep.ledger;
     // The trainer consumes whole global batches: one per completed iteration,

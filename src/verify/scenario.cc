@@ -75,7 +75,10 @@ bool KnownScenarioKey(const std::string& key) {
       "snapshot_at",    "warmup",
       "measure",        "config_seed",
       "diff_sync",      "diff_repack",
-      "plan_cases",
+      "plan_cases",     "serving",
+      "serving_rate",   "serving_amplitude",
+      "serving_period", "serving_slo_base",
+      "serving_slo_per_token", "serving_dedicated",
   };
   for (const char* k : kKeys) {
     if (key == k) {
@@ -168,6 +171,20 @@ Scenario GenerateScenario(uint64_t seed) {
     cfg.chaos.crash_restart_per_hour =
         std::exp(cr.Uniform(std::log(2.0), std::log(30.0)));
   }
+  // The serving-tier axis likewise draws from its own forked stream, so
+  // pre-existing seeds keep generating byte-identical scenarios.
+  Rng sv = Rng(seed).Fork("serving");
+  if (sv.Bernoulli(0.30)) {
+    cfg.serving.enabled = true;
+    cfg.serving.base_rate_per_sec = sv.Uniform(0.5, 3.0);
+    cfg.serving.diurnal_amplitude = sv.Uniform(0.2, 0.8);
+    cfg.serving.diurnal_period_seconds = sv.Uniform(120.0, 900.0);
+    cfg.serving.slo_base_seconds = sv.Uniform(20.0, 90.0);
+    cfg.serving.slo_per_token_seconds = sv.Uniform(0.02, 0.1);
+    if (sv.Bernoulli(0.25)) {
+      cfg.serving.dedicated_replicas = 1;  // static-partition admission path
+    }
+  }
 
   cfg.warmup_iterations = 1;
   cfg.measure_iterations = static_cast<int>(r.UniformInt(1, 2));
@@ -190,6 +207,10 @@ RlSystemConfig CleanConfig(const RlSystemConfig& primary) {
   RlSystemConfig cfg = primary;
   cfg.chaos_enabled = false;
   cfg.length_drift = false;
+  // Twins run the tier off: serving perturbs scheduling but never the
+  // trajectory specs the differential oracles compare, and the sync twin's
+  // driver has no admission path at all.
+  cfg.serving = ServingTrafficConfig{};
   cfg.trace.enabled = false;  // the determinism oracle runs on the primary
   cfg.ledger_enabled = true;
   cfg.invariants_enabled = true;
@@ -268,6 +289,17 @@ std::string ScenarioToText(const Scenario& scn) {
   }
   if (cfg.snapshot_at_seconds != 0.0) {
     emit_double("snapshot_at", cfg.snapshot_at_seconds);
+  }
+  if (cfg.serving.enabled) {
+    // Armed-only, like shards= and crash_restart_rate=: serving-off corpus
+    // files round-trip byte-identically to what older binaries wrote.
+    out << "serving=1\n";
+    emit_double("serving_rate", cfg.serving.base_rate_per_sec);
+    emit_double("serving_amplitude", cfg.serving.diurnal_amplitude);
+    emit_double("serving_period", cfg.serving.diurnal_period_seconds);
+    emit_double("serving_slo_base", cfg.serving.slo_base_seconds);
+    emit_double("serving_slo_per_token", cfg.serving.slo_per_token_seconds);
+    out << "serving_dedicated=" << cfg.serving.dedicated_replicas << "\n";
   }
   out << "config_seed=" << cfg.seed << "\n";
   out << "diff_sync=" << (scn.diff_sync ? 1 : 0) << "\n";
@@ -411,6 +443,20 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
       cfg.shards = static_cast<int>(num);
     } else if (key == "snapshot_at") {
       cfg.snapshot_at_seconds = num;
+    } else if (key == "serving") {
+      cfg.serving.enabled = num != 0.0;
+    } else if (key == "serving_rate") {
+      cfg.serving.base_rate_per_sec = num;
+    } else if (key == "serving_amplitude") {
+      cfg.serving.diurnal_amplitude = num;
+    } else if (key == "serving_period") {
+      cfg.serving.diurnal_period_seconds = num;
+    } else if (key == "serving_slo_base") {
+      cfg.serving.slo_base_seconds = num;
+    } else if (key == "serving_slo_per_token") {
+      cfg.serving.slo_per_token_seconds = num;
+    } else if (key == "serving_dedicated") {
+      cfg.serving.dedicated_replicas = static_cast<int>(num);
     } else if (key == "warmup") {
       cfg.warmup_iterations = static_cast<int>(num);
     } else if (key == "measure") {
@@ -457,6 +503,9 @@ std::string ScenarioSummary(const Scenario& scn) {
   }
   if (cfg.chaos_enabled) {
     out << " chaos";
+  }
+  if (cfg.serving.enabled) {
+    out << " serving";
   }
   if (scn.diff_sync) {
     out << " +sync-diff";

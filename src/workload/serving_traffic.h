@@ -1,0 +1,99 @@
+// Online serving traffic: seeded diurnal request arrivals with per-request
+// SLO deadlines (DESIGN.md §14).
+//
+// Arrivals follow a non-homogeneous Poisson process whose rate is modulated
+// sinusoidally around a base rate — the classic diurnal load curve of a
+// user-facing inference service. Requests draw prompt and decode lengths
+// from clamped log-normal LengthDistributions and carry a deadline of
+// arrival + slo_base + decode_tokens * slo_per_token, i.e. a time-to-first-
+// token allowance plus a per-token decode budget.
+//
+// The generator is pure pull: Next() advances an internal clock by thinning
+// (Lewis–Shedler) against the peak rate, so the sequence for a given seed is
+// byte-identical regardless of how the caller schedules the arrivals.
+#ifndef LAMINAR_SRC_WORKLOAD_SERVING_TRAFFIC_H_
+#define LAMINAR_SRC_WORKLOAD_SERVING_TRAFFIC_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/workload/length_model.h"
+
+namespace laminar {
+
+struct ServingTrafficConfig {
+  bool enabled = false;
+
+  // Arrival process: rate(t) = base * (1 + amplitude * sin(2*pi*t/period +
+  // phase)), requests per second. Amplitude must lie in [0, 1).
+  double base_rate_per_sec = 1.0;
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_seconds = 600.0;
+  double phase_radians = 0.0;
+  // Arrivals begin at start_seconds (the fleet warms up first).
+  double start_seconds = 0.0;
+
+  // Per-request length draws (clamped log-normals, see length_model.h).
+  double prompt_median_tokens = 512.0;
+  double prompt_sigma = 0.6;
+  int64_t prompt_min_tokens = 16;
+  int64_t prompt_max_tokens = 4096;
+  double decode_median_tokens = 128.0;
+  double decode_sigma = 0.8;
+  int64_t decode_min_tokens = 8;
+  int64_t decode_max_tokens = 2048;
+
+  // SLO: deadline = arrival + slo_base + decode_tokens * slo_per_token.
+  double slo_base_seconds = 30.0;
+  double slo_per_token_seconds = 0.05;
+
+  // Fleet policy knob consumed by the RolloutManager, carried here so one
+  // struct configures the whole tier: 0 = colocated (serving is admitted
+  // onto any rollout replica, preempting rollout decode when KV is short);
+  // N > 0 = static partition (replicas [0, N) serve exclusively and the
+  // rollout engine never touches them).
+  int dedicated_replicas = 0;
+};
+
+struct ServingRequest {
+  int64_t seq = 0;  // dense per-generator sequence number, from 0
+  double arrival_seconds = 0.0;
+  int64_t prompt_tokens = 0;
+  int64_t decode_tokens = 0;
+  double deadline_seconds = 0.0;
+};
+
+class ServingTrafficGenerator {
+ public:
+  ServingTrafficGenerator(ServingTrafficConfig config, Rng rng);
+
+  // Next arrival in time order. Each call consumes a deterministic number of
+  // rng draws; the sequence depends only on (config, seed).
+  ServingRequest Next();
+
+  // Instantaneous arrival rate at absolute time t (requests/second).
+  double RateAt(double t) const;
+  // Thinning envelope: base * (1 + amplitude).
+  double PeakRate() const;
+  // Analytic integral of RateAt over [t0, t1] — the expected arrival count,
+  // used by the property tests to cross-check empirical counts.
+  double ExpectedArrivals(double t0, double t1) const;
+
+  const ServingTrafficConfig& config() const { return config_; }
+
+  // Snapshot witness: the rng stream, the thinning clock, and the sequence
+  // counter — the generator's only mutable state.
+  void Snapshot(SnapshotTx& tx);
+
+ private:
+  ServingTrafficConfig config_;
+  Rng rng_;
+  LengthDistribution prompt_lengths_;
+  LengthDistribution decode_lengths_;
+  double clock_seconds_ = 0.0;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace laminar
+
+#endif  // LAMINAR_SRC_WORKLOAD_SERVING_TRAFFIC_H_

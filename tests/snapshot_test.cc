@@ -296,6 +296,45 @@ TEST(SystemSnapshotTest, VerifyAgainstForeignBlobNamesDriftedFields) {
   EXPECT_FALSE(c.snapshot_mismatches.empty());
 }
 
+TEST(SystemSnapshotTest, ServingTierStateSnapshotsShardInvariantly) {
+  // With the online serving tier armed (DESIGN.md §14) the blob additionally
+  // captures the traffic generator's rng/clock, the manager's ticket table,
+  // backlog, and latency histogram — and stays byte-identical across shard
+  // counts, with a verify-mode restore reporting zero mismatches.
+  RlSystemConfig base = SnapConfig();
+  base.serving.enabled = true;
+  base.serving.base_rate_per_sec = 2.0;
+  base.serving.diurnal_amplitude = 0.6;
+  base.serving.diurnal_period_seconds = 300.0;
+  SystemReport probe = RunExperiment(base);
+  ASSERT_GT(probe.serving_requests, 0);
+  RlSystemConfig serial = base;
+  serial.snapshot_at_seconds = 0.5 * probe.simulated_seconds;
+  SystemReport a = RunExperiment(serial);
+  ASSERT_NE(a.snapshot, nullptr);
+  // The serving sections are actually present in the witness.
+  EXPECT_NE(a.snapshot->find("serving_traffic"), std::string::npos);
+  EXPECT_NE(a.snapshot->find("serving_latency_seconds"), std::string::npos);
+
+  RlSystemConfig sharded = serial;
+  sharded.shards = 4;
+  sharded.snapshot_verify = a.snapshot;
+  SystemReport b = RunExperiment(sharded);
+  ASSERT_NE(b.snapshot, nullptr);
+  EXPECT_EQ(*a.snapshot, *b.snapshot);
+  EXPECT_TRUE(b.snapshot_mismatches.empty())
+      << b.snapshot_mismatches.size() << " mismatches; first: "
+      << b.snapshot_mismatches.front();
+
+  // And with the tier off, no serving section leaks into the blob.
+  EXPECT_EQ(probe.snapshot, nullptr);
+  RlSystemConfig off = SnapConfig();
+  off.snapshot_at_seconds = serial.snapshot_at_seconds;
+  SystemReport c = RunExperiment(off);
+  ASSERT_NE(c.snapshot, nullptr);
+  EXPECT_EQ(c.snapshot->find("serving_traffic"), std::string::npos);
+}
+
 TEST(CrashRestartTest, ScriptedDrillRecoversAndPassesInvariants) {
   RlSystemConfig cfg = SnapConfig();
   SystemReport probe = RunExperiment(cfg);
