@@ -27,6 +27,17 @@ class Histogram {
   // Renders an ASCII bar chart, one row per non-empty bucket.
   std::string ToAscii(size_t max_width = 50) const;
 
+  // Snapshot adoption (src/snapshot): restores the bucket counts of an
+  // already-constructed histogram; the shape (lo/hi/num_buckets) comes from
+  // construction and must match.
+  void AdoptCounts(std::vector<size_t> counts, size_t underflow, size_t overflow,
+                   size_t total) {
+    counts_ = std::move(counts);
+    underflow_ = underflow;
+    overflow_ = overflow;
+    total_ = total;
+  }
+
  private:
   double lo_;
   double hi_;

@@ -40,6 +40,13 @@ class SampleSet {
   // (src/snapshot/snapshot.h). The in-place EnsureSorted ordering is itself
   // deterministic, so raw bytes are a stable witness.
   void Snapshot(SnapshotTx& tx);
+  // Packed-codec path (metrics registry): the raw flag alongside samples(),
+  // and wholesale replacement with the serialized order + sort flag.
+  bool raw_sorted() const { return sorted_; }
+  void AdoptRaw(std::vector<double> samples, bool sorted) {
+    samples_ = std::move(samples);
+    sorted_ = sorted;
+  }
 
  private:
   void EnsureSorted() const;

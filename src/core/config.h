@@ -22,6 +22,14 @@ namespace laminar {
 
 enum class SamplerKind { kFifo, kFreshness, kStalenessCapped };
 
+// Recovery strategy for a run handed a warm-start blob (restore_from).
+// kDirect boots straight off the blob: adopt every component, re-mint the
+// event heap, resume — O(1) of the prefix. kReplay is the legacy
+// replay-anchored path kept as a differential oracle: re-execute the prefix
+// from t=0 and verify the re-reached barrier state field-by-field against
+// the blob before continuing.
+enum class RestoreMode { kDirect, kReplay };
+
 struct RlSystemConfig {
   SystemKind system = SystemKind::kLaminar;
   ModelScale scale = ModelScale::k7B;
@@ -113,6 +121,22 @@ struct RlSystemConfig {
   // any mismatches (the fuzzer's restore/shard-invariance oracle).
   double snapshot_at_seconds = 0.0;
   std::shared_ptr<const std::string> snapshot_verify;
+  // Direct-boot restore: when set, Run() builds the system, adopts every
+  // component's state from this LMSNAP1 blob, re-mints the pending event heap
+  // through the continuation registry and resumes — without replaying the
+  // pre-barrier prefix. The restored run must be byte-identical (fingerprint,
+  // trace, ledger, re-snapshot blob) to a run that replayed from t=0. The
+  // blob must carry a complete event heap (heap_complete; the Laminar driver
+  // guarantees it) and, if tracing is on, full-capture mode.
+  std::shared_ptr<const std::string> restore_from;
+  // How the run recovers from restore_from. kDirect (the default) adopts the
+  // blob and resumes in O(1) of the prefix. kReplay keeps the legacy
+  // replay-anchored path alive as a differential oracle: cold-start, replay
+  // the prefix from t=0 to the blob's barrier, verify the re-reached state
+  // field-by-field against the blob (mismatches land in the report), then
+  // continue. Both modes must land on byte-identical fingerprints and
+  // barrier blobs; the fuzzer's snapshot-diff oracle holds them to that.
+  RestoreMode restore_mode = RestoreMode::kDirect;
 
   // Metamorphic scaling knob: multiplies every hardware rate (GPU FLOPs, HBM,
   // NVLink/PCIe/RDMA bandwidths) by this factor and every fixed latency or
@@ -271,6 +295,13 @@ struct SystemReport {
   std::shared_ptr<const std::string> snapshot;
   double snapshot_taken_at_seconds = 0.0;
   std::vector<std::string> snapshot_mismatches;
+
+  // Direct-boot restore diagnostics (RlSystemConfig::restore_from). The
+  // adoption wall-clock (parse + adopt + re-mint, excluding the post-boot
+  // simulation) and the re-snapshot taken at the boot barrier — which must be
+  // byte-identical to the blob the run booted from.
+  double restore_wall_seconds = 0.0;
+  bool restored = false;
 };
 
 }  // namespace laminar

@@ -9,14 +9,55 @@
 #include "src/fault/invariants.h"
 #include "src/llm/model_spec.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
 
 namespace laminar {
+
+namespace {
+constexpr int32_t kDriverComp = ContinuationComponentId(kContFamilyDriver);
+
+// The barrier time a blob was captured at: the first "now" field in the
+// stream is driver/sim/now (SnapshotComponents always begins with the
+// simulator section). Used by replay-anchored recovery to know where to
+// pause and verify.
+double SnapshotBarrierSeconds(const std::string& blob) {
+  SnapshotReader reader;
+  std::string error;
+  LAMINAR_CHECK(reader.Parse(blob, &error)) << "restore_from blob: " << error;
+  for (const SnapshotRecord& r : reader.records()) {
+    if (r.kind == SnapshotRecordKind::kF64 && r.name == "now") {
+      return SnapshotBitsF64(r.u64);
+    }
+  }
+  LAMINAR_CHECK(false) << "restore_from blob carries no sim clock";
+  return 0.0;
+}
+}  // namespace
+
+DriverBase::~DriverBase() { sim_.continuations().Unregister(kDriverComp); }
+
+void DriverBase::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  (void)p;
+  LAMINAR_CHECK_EQ(kind, kContRateTick);
+  rate_task_->Fire();
+}
+
+void DriverBase::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                     SimTime at) {
+  (void)p;
+  LAMINAR_CHECK_EQ(kind, kContRateTick);
+  LAMINAR_CHECK(rate_task_ != nullptr)
+      << "pending rate tick restored before Run() created the task";
+  rate_task_->RestorePending(at);
+}
 
 DriverBase::DriverBase(RlSystemConfig config)
     : cfg_(std::move(config)), placement_(cfg_.ResolvePlacement()),
       model_(ModelForScale(cfg_.scale)), root_rng_(cfg_.seed),
       score_rng_(root_rng_.Fork("score")) {
+  sim_.continuations().Register(kDriverComp, this);
   rollout_tp_ = RolloutTensorParallel(cfg_.system, cfg_.scale);
 
   if (cfg_.trace.enabled) {
@@ -324,11 +365,32 @@ SystemReport DriverBase::Run() {
   LAMINAR_CHECK(trainer_ != nullptr);
   WireCompletion();
   rate_task_ = std::make_unique<PeriodicTask>(&sim_, cfg_.sample_period_seconds,
+                                              kDriverComp, kContRateTick,
                                               [this] { SampleRates(); });
-  rate_task_->Start();
-  last_rate_sample_ = sim_.Now();
-  prev_iteration_end_ = sim_.Now();
-  Begin();
+  if (restoring()) {
+    // Direct boot: adopt every component's state from the blob, re-mint the
+    // pending event heap, and resume. Begin() never runs — the adopted
+    // running flags and re-minted periodic ticks carry the whole schedule.
+    auto restore_start = std::chrono::steady_clock::now();
+    AdoptSnapshot(*cfg_.restore_from);
+    restore_wall_seconds_ = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - restore_start)
+                                .count();
+    // Boot-barrier re-snapshot: no event has executed since adoption, so
+    // this blob must be byte-identical to the one the run booted from — the
+    // restore oracle's cheapest equivalence check. It is also what a later
+    // VerifySnapshot diff (cfg_.snapshot_verify) runs against.
+    snapshot_blob_ = TakeSnapshot();
+    snapshot_taken_at_ = sim_.Now().seconds();
+    if (cfg_.snapshot_verify != nullptr) {
+      snapshot_mismatches_ = VerifySnapshot(*cfg_.snapshot_verify);
+    }
+  } else {
+    rate_task_->Start();
+    last_rate_sample_ = sim_.Now();
+    prev_iteration_end_ = sim_.Now();
+    Begin();
+  }
 
   int target = cfg_.warmup_iterations + cfg_.measure_iterations;
   auto stop = [&] {
@@ -337,7 +399,14 @@ SystemReport DriverBase::Run() {
   };
   bool done = true;
   double snap_at = cfg_.snapshot_at_seconds;
-  if (snap_at > 0.0) {
+  std::shared_ptr<const std::string> verify_blob = cfg_.snapshot_verify;
+  if (replay_restoring()) {
+    // Replay-anchored recovery: the barrier time and the reference state both
+    // come from the warm-start blob itself.
+    snap_at = SnapshotBarrierSeconds(*cfg_.restore_from);
+    verify_blob = cfg_.restore_from;
+  }
+  if (snap_at > 0.0 && !restoring()) {
     // Pre-snapshot segment: stop after the first event at or past snap_at.
     // When sharded, cap lookahead windows just below the snapshot time so no
     // event at or beyond it ever executes inside a window — the run reaches
@@ -353,8 +422,16 @@ SystemReport DriverBase::Run() {
     if (!stop()) {
       snapshot_blob_ = TakeSnapshot();
       snapshot_taken_at_ = sim_.Now().seconds();
-      if (cfg_.snapshot_verify != nullptr) {
-        snapshot_mismatches_ = VerifySnapshot(*cfg_.snapshot_verify);
+      if (replay_restoring()) {
+        // Replay recovery "cost": everything from process start to the
+        // barrier — the prefix re-execution IS the restore, so this scales
+        // with barrier time where direct boot does not.
+        restore_wall_seconds_ = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - wall_start)
+                                    .count();
+      }
+      if (verify_blob != nullptr) {
+        snapshot_mismatches_ = VerifySnapshot(*verify_blob);
       }
     }
   }
@@ -478,9 +555,24 @@ SystemReport DriverBase::AssembleReport(double wall_seconds) {
     rep.snapshot_taken_at_seconds = snapshot_taken_at_;
     rep.snapshot_mismatches = std::move(snapshot_mismatches_);
   }
+  rep.restored = cfg_.restore_from != nullptr;
+  rep.restore_wall_seconds = restore_wall_seconds_;
 
   Finalize(rep);
   return rep;
+}
+
+void DriverBase::AdoptSnapshot(const std::string& blob) {
+  SnapshotReader reader;
+  std::string error;
+  LAMINAR_CHECK(reader.Parse(blob, &error)) << "restore_from blob: " << error;
+  SnapshotTx tx(&reader, SnapshotMode::kAdopt);
+  SnapshotComponents(tx);
+  LAMINAR_CHECK(tx.mismatches().empty())
+      << "direct-boot adoption walked a different field sequence than the "
+         "blob; first: "
+      << tx.mismatches().front();
+  sim_.RemintRestoredEvents();
 }
 
 std::string DriverBase::TakeSnapshot() {
@@ -546,14 +638,91 @@ void DriverBase::SnapshotComponents(SnapshotTx& tx) {
   tx.Begin("train_reward_series");
   train_reward_series_.Snapshot(tx);
   tx.End();
-  tx.DigestU64("staleness_samples", staleness_samples_.size());
-  tx.DigestI64("last_gen_tokens", last_gen_tokens_);
-  tx.DigestF64("last_rate_sample", last_rate_sample_.seconds());
-  tx.DigestF64("prev_iteration_end", prev_iteration_end_.seconds());
-  tx.DigestU64("ledger_pushes", ledger_.pushes.size());
-  tx.DigestF64("generation_phase_seconds", generation_phase_seconds_);
-  tx.DigestF64("training_phase_seconds", training_phase_seconds_);
-  tx.DigestF64("other_phase_seconds", other_phase_seconds_);
+  SnapshotPacked(
+      tx, "staleness_samples",
+      [this](ByteSink& s) {
+        s.U64(staleness_samples_.size());
+        for (const auto& [t, staleness] : staleness_samples_) {
+          s.F64(t);
+          s.I64(staleness);
+        }
+      },
+      [this](ByteSource& s) {
+        staleness_samples_.clear();
+        uint64_t n = s.U64();
+        staleness_samples_.reserve(static_cast<size_t>(n));
+        for (uint64_t i = 0; i < n; ++i) {
+          double t = s.F64();
+          int staleness = static_cast<int>(s.I64());
+          staleness_samples_.emplace_back(t, staleness);
+        }
+      });
+  tx.I64("last_gen_tokens", &last_gen_tokens_);
+  SnapshotPacked(
+      tx, "rate_clock",
+      [this](ByteSink& s) {
+        s.Time(last_rate_sample_);
+        s.Time(prev_iteration_end_);
+        s.F64(generation_phase_seconds_);
+        s.F64(training_phase_seconds_);
+        s.F64(other_phase_seconds_);
+      },
+      [this](ByteSource& s) {
+        last_rate_sample_ = s.Time();
+        prev_iteration_end_ = s.Time();
+        generation_phase_seconds_ = s.F64();
+        training_phase_seconds_ = s.F64();
+        other_phase_seconds_ = s.F64();
+      });
+  if (cfg_.ledger_enabled) {
+    SnapshotPacked(
+        tx, "ledger",
+        [this](ByteSink& s) {
+          s.U64(ledger_.pushes.size());
+          for (const LedgerEntry& e : ledger_.pushes) {
+            s.I64(e.id);
+            s.I64(e.prompt_id);
+            s.I32(e.group_index);
+            s.I64(e.total_tokens);
+            s.I32(e.num_segments);
+            s.I32(e.generation_version);
+          }
+        },
+        [this](ByteSource& s) {
+          ledger_.pushes.clear();
+          uint64_t n = s.U64();
+          ledger_.pushes.reserve(static_cast<size_t>(n));
+          for (uint64_t i = 0; i < n; ++i) {
+            LedgerEntry e;
+            e.id = s.I64();
+            e.prompt_id = s.I64();
+            e.group_index = s.I32();
+            e.total_tokens = s.I64();
+            e.num_segments = s.I32();
+            e.generation_version = s.I32();
+            ledger_.pushes.push_back(e);
+          }
+        });
+  }
+  if (trace_sink_ != nullptr) {
+    // The full binary trace rides in the blob so a direct boot reproduces the
+    // whole-run trace hash, not just the post-restore suffix. Ring mode would
+    // lose the eviction cursor across the round trip, so direct boot requires
+    // full capture; the witness/verify paths accept either.
+    if (tx.adopting()) {
+      LAMINAR_CHECK_EQ(cfg_.trace.ring_capacity, 0u)
+          << "direct-boot restore requires full-capture tracing";
+      // Decode straight out of the blob — the trace is the largest section,
+      // so skipping the intermediate string copy is a measurable share of
+      // restore wall-clock.
+      LAMINAR_CHECK(
+          TraceFromBinary(tx.BytesView("trace"), trace_sink_->mutable_buffer()))
+          << "malformed trace section in restore_from blob";
+    } else {
+      std::string trace_bytes = TraceToBinary(trace_sink_->buffer());
+      tx.Bytes("trace", &trace_bytes);
+    }
+  }
   tx.End();
   tx.End();
 }

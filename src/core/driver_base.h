@@ -26,14 +26,31 @@ namespace laminar {
 class InvariantChecker;
 class SnapshotTx;
 
-class DriverBase {
+class DriverBase : public ContinuationClient {
  public:
+  // Continuation kinds owned by the driver itself (kContFamilyDriver). The
+  // registry dispatches by virtual call, so a subclass registered under its
+  // own component id still receives these through its override and delegates
+  // back here — the 0xF000 base keeps driver kinds disjoint from any
+  // subclass's kind space.
+  enum Continuation : uint16_t {
+    kContRateTick = 0xF000,  // periodic throughput/buffer-depth sampling
+  };
+
   explicit DriverBase(RlSystemConfig config);
-  virtual ~DriverBase() = default;
+  ~DriverBase() override;
   DriverBase(const DriverBase&) = delete;
   DriverBase& operator=(const DriverBase&) = delete;
 
-  // Builds, runs and reports one experiment.
+  void RunContinuation(uint16_t kind, const ContinuationPayload& p) override;
+  void RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                           SimTime at) override;
+
+  // Builds, runs and reports one experiment. With cfg_.restore_from set the
+  // run direct-boots instead: Setup() wires a fresh system, AdoptSnapshot()
+  // seats every component's serialized state, the event heap is re-minted
+  // through the continuation registry, and the run resumes from the barrier
+  // without executing Begin() or replaying the prefix.
   SystemReport Run();
 
   // Snapshot / restore (src/snapshot, DESIGN.md §13) ----------------------------
@@ -97,6 +114,22 @@ class DriverBase {
   // multiply their hard-coded time constants by this.
   double TimeScale() const { return 1.0 / cfg_.hardware_speed; }
 
+  // True when this run direct-boots from cfg_.restore_from. Setup() methods
+  // must not schedule events (scripted faults, initial pumps) in that case:
+  // every pending event comes back from the blob's event_heap section.
+  bool restoring() const {
+    return cfg_.restore_from != nullptr &&
+           cfg_.restore_mode == RestoreMode::kDirect;
+  }
+  // True when this run recovers from cfg_.restore_from by replaying the
+  // prefix (RestoreMode::kReplay). The run cold-starts normally — Setup()
+  // schedules everything as usual — then pauses at the blob's barrier to
+  // verify the re-reached state against it.
+  bool replay_restoring() const {
+    return cfg_.restore_from != nullptr &&
+           cfg_.restore_mode == RestoreMode::kReplay;
+  }
+
   // Data/state ------------------------------------------------------------------
   RlSystemConfig cfg_;
   Placement placement_;
@@ -142,6 +175,11 @@ class DriverBase {
   void SampleRates();
   void OnTrajectoryComplete(TrajectoryRecord record);
   SystemReport AssembleReport(double wall_seconds);
+  // Direct-boot adoption: parses `blob`, walks SnapshotComponents in adopt
+  // mode so every component seats its serialized state, then re-mints the
+  // pending event heap through the continuation registry. CHECK-fails on a
+  // malformed blob or a non-reconstructible (closure) heap entry.
+  void AdoptSnapshot(const std::string& blob);
 
   RunLedger ledger_;  // populated only when cfg_.ledger_enabled
   TimeSeries gen_rate_;
@@ -160,6 +198,8 @@ class DriverBase {
   std::string snapshot_blob_;
   double snapshot_taken_at_ = 0.0;
   std::vector<std::string> snapshot_mismatches_;
+  // Direct-boot diagnostics: adoption wall-clock (parse + adopt + re-mint).
+  double restore_wall_seconds_ = 0.0;
 };
 
 }  // namespace laminar

@@ -3,11 +3,71 @@
 #include "src/common/logging.h"
 #include "src/relay/broadcast_model.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 
 namespace laminar {
 
+namespace {
+constexpr int32_t kSystemComp = ContinuationComponentId(kContFamilySystem);
+}  // namespace
+
+LaminarSystem::~LaminarSystem() { sim_.continuations().Unregister(kSystemComp); }
+
+void LaminarSystem::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  switch (kind) {
+    case kContActorPublish:
+      manager_->OnActorPublish(static_cast<int>(p.a));
+      return;
+    case kContHeartbeatRevive:
+      OnHeartbeatRevive(static_cast<int>(p.a));
+      return;
+    case kContRelayRestart:
+      OnRelayRestartFire(static_cast<int>(p.a));
+      return;
+    case kContSpeedRestore:
+      OnSpeedRestore(static_cast<int>(p.a));
+      return;
+    case kContServingArrival:
+      OnServingArrivalFire();
+      return;
+    case kContInvariantSweep:
+      invariant_sweep_->Fire();
+      return;
+    case kContRefreshPull:
+      OnRefreshPull(static_cast<int>(p.a), static_cast<int>(p.c));
+      return;
+  }
+  // Driver-owned kinds (disjoint 0xF000+ range) arrive through this override
+  // too, because the registry dispatches virtually on the shared object.
+  DriverBase::RunContinuation(kind, p);
+}
+
+void LaminarSystem::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                        SimTime at) {
+  switch (kind) {
+    case kContActorPublish:
+    case kContHeartbeatRevive:
+    case kContRelayRestart:
+    case kContSpeedRestore:
+    case kContServingArrival:
+      sim_.ScheduleContinuationAt(at, kSystemComp, kind, p);
+      return;
+    case kContInvariantSweep:
+      LAMINAR_CHECK(invariant_sweep_ != nullptr);
+      invariant_sweep_->RestorePending(at);
+      return;
+    case kContRefreshPull:
+      // Only ever fires synchronously through a relay pull ticket; it can
+      // never be parked on the event heap.
+      LAMINAR_CHECK(false) << "kContRefreshPull cannot be pending on the heap";
+      return;
+  }
+  DriverBase::RestoreContinuation(kind, p, at);
+}
+
 void LaminarSystem::Setup() {
   LAMINAR_CHECK(!placement_.colocated);
+  sim_.continuations().Register(kSystemComp, this);
   int num_replicas = placement_.rollout_gpus / rollout_tp_;
   BuildReplicas(num_replicas, rollout_tp_, /*machine_offset=*/0);
 
@@ -87,14 +147,14 @@ void LaminarSystem::Setup() {
   bc.message_bytes = relay_cfg.weight_bytes;
   bc.byte_time = 1.0 / relay_cfg.rdma_bandwidth;
   bc.startup_time = relay_cfg.rdma_startup;
-  double distribution_delay = relay_cfg.weight_bytes / relay_cfg.actor_push_bandwidth +
-                              relay_cfg.reshard_seconds +
-                              OptimalBroadcastTime(bc, relay_cfg.num_relays) +
-                              0.1 * TimeScale();
-  trainer_->set_publish_fn([this, distribution_delay](int version) {
+  distribution_delay_ = relay_cfg.weight_bytes / relay_cfg.actor_push_bandwidth +
+                        relay_cfg.reshard_seconds +
+                        OptimalBroadcastTime(bc, relay_cfg.num_relays) +
+                        0.1 * TimeScale();
+  trainer_->set_publish_fn([this](int version) {
     double stall = relays_->Publish(version);
-    sim_.ScheduleAfter(distribution_delay,
-                       [this, version] { manager_->OnActorPublish(version); });
+    sim_.ScheduleContinuationAfter(distribution_delay_, kSystemComp, kContActorPublish,
+                                   ContinuationPayload::Of(version));
     if (cfg_.laminar_partial_rollout) {
       ApplyPartialRollout(version);
     }
@@ -109,7 +169,8 @@ void LaminarSystem::Setup() {
         // hit one machine repeatedly).
         double replaced_in = manager_->config().machine_replacement_seconds +
                              manager_->config().replica_init_seconds;
-        sim_.ScheduleAfter(replaced_in, [this, machine] { heartbeats_->Revive(machine); });
+        sim_.ScheduleContinuationAfter(replaced_in, kSystemComp, kContHeartbeatRevive,
+                                       ContinuationPayload::Of(machine));
       });
   for (int m = 0; m < NumRolloutMachines(); ++m) {
     heartbeats_->Register(m);
@@ -171,29 +232,30 @@ void LaminarSystem::Setup() {
       return;
     }
     r->SetSpeedFactor(severity);
-    sim_.ScheduleAfter(duration, [r] {
-      if (r->phase() != ReplicaPhase::kDead) {
-        r->SetSpeedFactor(1.0);
-      }
-    });
+    sim_.ScheduleContinuationAfter(duration, kSystemComp, kContSpeedRestore,
+                                   ContinuationPayload::Of(replica_id));
   });
   injector_->set_on_message_drop(
       [this](int machine) { relays_->DropNextArrival(machine); });
 
-  if (cfg_.chaos_enabled) {
-    FaultProcessConfig pc = cfg_.chaos;
-    if (pc.horizon_seconds <= 0.0) {
-      pc.horizon_seconds = cfg_.max_sim_seconds;
+  // On a direct boot every unfired fault comes back through the blob's
+  // event_heap section; scheduling the script again would double-fire it.
+  if (!restoring()) {
+    if (cfg_.chaos_enabled) {
+      FaultProcessConfig pc = cfg_.chaos;
+      if (pc.horizon_seconds <= 0.0) {
+        pc.horizon_seconds = cfg_.max_sim_seconds;
+      }
+      if (pc.num_machines == 0) {
+        pc.num_machines = NumRolloutMachines();
+      }
+      if (pc.num_replicas == 0) {
+        pc.num_replicas = static_cast<int>(replica_ptrs_.size());
+      }
+      injector_->ScheduleAll(FaultProcess(pc).Generate(cfg_.chaos_seed));
     }
-    if (pc.num_machines == 0) {
-      pc.num_machines = NumRolloutMachines();
-    }
-    if (pc.num_replicas == 0) {
-      pc.num_replicas = static_cast<int>(replica_ptrs_.size());
-    }
-    injector_->ScheduleAll(FaultProcess(pc).Generate(cfg_.chaos_seed));
+    injector_->ScheduleAll(pending_faults_);
   }
-  injector_->ScheduleAll(pending_faults_);
   pending_faults_.clear();
 
   if (cfg_.invariants_enabled) {
@@ -226,7 +288,8 @@ void LaminarSystem::Setup() {
     // pointer here routes every buffer push through the checker.
     invariant_checker_ = invariants_.get();
     invariant_sweep_ = std::make_unique<PeriodicTask>(
-        &sim_, cfg_.invariant_sweep_period_seconds, [this] { invariants_->CheckSweep(); });
+        &sim_, cfg_.invariant_sweep_period_seconds, kSystemComp, kContInvariantSweep,
+        [this] { invariants_->CheckSweep(); });
   }
 }
 
@@ -239,19 +302,31 @@ void LaminarSystem::ScheduleFault(const FaultEvent& event) {
 }
 
 void LaminarSystem::RestartRelayAfter(int machine, double delay_seconds) {
-  sim_.ScheduleAfter(delay_seconds, [this, machine] {
-    // A machine failure may have claimed the relay meanwhile; the replacement
-    // machine brings its own relay, so leave revival to that path.
-    for (RolloutReplica* r : replica_ptrs_) {
-      if (r->config().machine == machine && r->phase() == ReplicaPhase::kDead) {
-        return;
-      }
+  sim_.ScheduleContinuationAfter(delay_seconds, kSystemComp, kContRelayRestart,
+                                 ContinuationPayload::Of(machine));
+}
+
+void LaminarSystem::OnRelayRestartFire(int machine) {
+  // A machine failure may have claimed the relay meanwhile; the replacement
+  // machine brings its own relay, so leave revival to that path.
+  for (RolloutReplica* r : replica_ptrs_) {
+    if (r->config().machine == machine && r->phase() == ReplicaPhase::kDead) {
+      return;
     }
-    relays_->ReviveRelay(machine);
-    // Replicas that were mid-pull when the relay died lost their waiters;
-    // re-issue those pulls against the revived relay.
-    manager_->OnRelayRestarted(machine);
-  });
+  }
+  relays_->ReviveRelay(machine);
+  // Replicas that were mid-pull when the relay died lost their waiters;
+  // re-issue those pulls against the revived relay.
+  manager_->OnRelayRestarted(machine);
+}
+
+void LaminarSystem::OnHeartbeatRevive(int machine) { heartbeats_->Revive(machine); }
+
+void LaminarSystem::OnSpeedRestore(int replica_id) {
+  RolloutReplica* r = replica_ptrs_[replica_id];
+  if (r->phase() != ReplicaPhase::kDead) {
+    r->SetSpeedFactor(1.0);
+  }
 }
 
 void LaminarSystem::ApplyPartialRollout(int version) {
@@ -264,12 +339,16 @@ void LaminarSystem::ApplyPartialRollout(int version) {
     }
     int machine = r->config().machine;
     int tp = r->decode_model().tensor_parallel();
-    relays_->PullLatest(machine, tp, r->weight_version(), [r](int got, double /*wait*/) {
-      if (r->phase() == ReplicaPhase::kGenerating && r->weight_version() < got) {
-        r->Pause();
-        r->Resume(got, /*recompute_kv=*/true);
-      }
-    });
+    relays_->PullLatest(machine, tp, r->weight_version(),
+                        PullTicket{kSystemComp, kContRefreshPull, r->config().id, 0});
+  }
+}
+
+void LaminarSystem::OnRefreshPull(int replica_id, int got) {
+  RolloutReplica* r = replica_ptrs_[replica_id];
+  if (r->phase() == ReplicaPhase::kGenerating && r->weight_version() < got) {
+    r->Pause();
+    r->Resume(got, /*recompute_kv=*/true);
   }
 }
 
@@ -291,12 +370,21 @@ void LaminarSystem::PumpServing() {
   if (req.arrival_seconds > cfg_.max_sim_seconds) {
     return;  // past the horizon; the pump stays quiet for the rest of the run
   }
-  // Arrivals land on the control lane: admission touches the whole fleet, so
-  // it must never run inside a shard window.
-  sim_.ScheduleAt(SimTime(req.arrival_seconds), [this, req] {
-    manager_->OnServingArrival(req);
-    PumpServing();
-  });
+  // The request itself is parked on the driver (and serialized there); the
+  // heap event carries no payload beyond its kind. Arrivals land on the
+  // control lane: admission touches the whole fleet, so it must never run
+  // inside a shard window.
+  pending_serving_ = req;
+  serving_pending_ = true;
+  sim_.ScheduleContinuationAt(SimTime(req.arrival_seconds), kSystemComp,
+                              kContServingArrival);
+}
+
+void LaminarSystem::OnServingArrivalFire() {
+  LAMINAR_CHECK(serving_pending_);
+  serving_pending_ = false;
+  manager_->OnServingArrival(pending_serving_);
+  PumpServing();
 }
 
 void LaminarSystem::OnIteration(const IterationStats& stats) {
@@ -311,16 +399,32 @@ void LaminarSystem::SnapshotComponents(SnapshotTx& tx) {
   manager_->Snapshot(tx);
   heartbeats_->Snapshot(tx);
   injector_->Snapshot(tx);
-  tx.DigestU64("trainer_checkpoint_fnv",
-               SnapshotFnv1a(trainer_checkpoint_.data(), trainer_checkpoint_.size()));
+  // The full durable-checkpoint blob rides along: a direct boot must be able
+  // to service a later kCrashRestart fault without the original process.
+  tx.Bytes("trainer_checkpoint", &trainer_checkpoint_);
   if (serving_traffic_ != nullptr) {
     tx.Begin("serving_traffic");
     serving_traffic_->Snapshot(tx);
-    tx.End();
+    tx.Bool("serving_pending", &serving_pending_);
+    SnapshotPacked(
+        tx, "pending_serving",
+        [this](ByteSink& s) {
+          s.I64(pending_serving_.seq);
+          s.F64(pending_serving_.arrival_seconds);
+          s.I64(pending_serving_.prompt_tokens);
+          s.I64(pending_serving_.decode_tokens);
+          s.F64(pending_serving_.deadline_seconds);
+        },
+        [this](ByteSource& s) {
+          pending_serving_.seq = s.I64();
+          pending_serving_.arrival_seconds = s.F64();
+          pending_serving_.prompt_tokens = s.I64();
+          pending_serving_.decode_tokens = s.I64();
+          pending_serving_.deadline_seconds = s.F64();
+        });
   }
   if (invariants_ != nullptr) {
-    tx.DigestI64("invariant_checks", invariants_->checks_run());
-    tx.DigestI64("invariant_violations", invariants_->violation_count());
+    invariants_->Snapshot(tx);
   }
   tx.End();
 }

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/data/trajectory_digest.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 
 namespace laminar {
 namespace {
@@ -165,13 +166,27 @@ std::vector<TrajectoryRecord> ExperienceBuffer::Sample(size_t n, int actor_versi
 
 const char* ExperienceBuffer::sampler_name() const { return sampler_->name(); }
 
-void ExperienceBuffer::Snapshot(SnapshotTx& tx) const {
+void ExperienceBuffer::Snapshot(SnapshotTx& tx) {
   tx.Begin("experience_buffer");
-  tx.DigestU64("size", buffer_.size());
-  tx.DigestI64("pushed", pushed_);
-  tx.DigestI64("sampled", sampled_);
-  tx.DigestI64("evicted", evicted_);
-  tx.DigestI64("tokens_pushed", tokens_pushed_);
+  tx.I64("pushed", &pushed_);
+  tx.I64("sampled", &sampled_);
+  tx.I64("evicted", &evicted_);
+  tx.I64("tokens_pushed", &tokens_pushed_);
+  SnapshotPacked(
+      tx, "contents",
+      [this](ByteSink& s) {
+        s.U64(buffer_.size());
+        for (const TrajectoryRecord& rec : buffer_) {
+          PackRecord(s, rec);
+        }
+      },
+      [this](ByteSource& s) {
+        buffer_.clear();
+        for (uint64_t i = 0, n = s.U64(); i < n; ++i) {
+          buffer_.push_back(UnpackRecord(s));
+        }
+      });
+  // Cheap order-sensitive cross-check; read-and-skipped on adopt.
   uint64_t h = 1469598103934665603ull;
   for (const TrajectoryRecord& rec : buffer_) {
     h = TrajectoryRecordDigest(rec, h);

@@ -69,9 +69,10 @@ class ExperienceBuffer {
   const std::deque<TrajectoryRecord>& contents() const { return buffer_; }
   const char* sampler_name() const;
 
-  // Snapshot witness (src/snapshot, DESIGN.md §13): counters plus an
-  // order-sensitive digest over the buffered records.
-  void Snapshot(SnapshotTx& tx) const;
+  // Snapshot (src/snapshot, DESIGN.md §13): counters plus the full packed
+  // record contents in deque order, so a direct boot re-seats the buffer
+  // exactly (sampling order, eviction order and digests all depend on it).
+  void Snapshot(SnapshotTx& tx);
 
  private:
   void EvictIfNeeded();

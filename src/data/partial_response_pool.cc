@@ -1,7 +1,10 @@
 #include "src/data/partial_response_pool.h"
 
+#include <utility>
+
 #include "src/data/trajectory_digest.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 
 namespace laminar {
 
@@ -105,25 +108,62 @@ int64_t PartialResponsePool::total_context_tokens() const {
   return total;
 }
 
-void PartialResponsePool::Snapshot(SnapshotTx& tx) const {
+void PartialResponsePool::Snapshot(SnapshotTx& tx) {
   tx.Begin("partial_pool");
+  tx.I64("updates", &updates_);
+  tx.I64("completed", &completed_);
+  tx.I64("dropped", &dropped_);
+  tx.I64("duplicate_completions", &duplicate_completions_);
+  tx.I64("stale_updates", &stale_updates_);
+  SnapshotPacked(
+      tx, "terminal",
+      [this](ByteSink& s) {
+        s.U64(terminal_.size());
+        s.Raw(terminal_.data(), terminal_.size());
+      },
+      [this](ByteSource& s) {
+        terminal_.resize(static_cast<size_t>(s.U64()));
+        s.Raw(terminal_.data(), terminal_.size());
+      });
+  // Every live entry in index iteration order — the order TakeByReplica
+  // recovers work in — plus the index's bucket count. Together they pin the
+  // exact table layout (bucket runs are contiguous in iteration order), so
+  // adoption rebuilds a pool that recovers work identically to the run that
+  // wrote the blob. Slab handles are NOT serialized: they are reassigned on
+  // adopt and never influence behavior or bytes.
+  SnapshotPacked(
+      tx, "entries",
+      [this](ByteSink& s) {
+        s.U64(index_.bucket_count());
+        s.U64(index_.size());
+        for (const auto& [id, handle] : index_) {
+          const Entry* entry = table_.Get(handle);
+          LAMINAR_CHECK(entry != nullptr) << "dangling pool index entry " << id;
+          s.I64(id);
+          s.I32(entry->owner_replica);
+          PackWork(s, entry->work);
+        }
+      },
+      [this](ByteSource& s) {
+        table_.Clear();
+        size_t bucket_count = static_cast<size_t>(s.U64());
+        size_t n = static_cast<size_t>(s.U64());
+        table_.Reserve(n);
+        std::vector<std::pair<TrajId, EntityHandle>> order;
+        order.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          TrajId id = s.I64();
+          int owner = s.I32();
+          TrajectoryWork work = UnpackWork(s);
+          order.emplace_back(id, table_.Insert({std::move(work), owner}));
+        }
+        index_.RebuildFromOrder(bucket_count, order);
+      });
   tx.DigestU64("size", index_.size());
-  tx.DigestI64("updates", updates_);
-  tx.DigestI64("completed", completed_);
-  tx.DigestI64("dropped", dropped_);
-  tx.DigestI64("duplicate_completions", duplicate_completions_);
-  tx.DigestI64("stale_updates", stale_updates_);
   tx.DigestI64("context_tokens", total_context_tokens());
-  uint64_t terminal_count = 0;
-  for (uint8_t b : terminal_) {
-    terminal_count += b;
-  }
-  tx.DigestU64("terminal_count", terminal_count);
-  tx.DigestU64("terminal_fnv", SnapshotFnv1a(terminal_.data(), terminal_.size()));
-  // The order witness: fold every live entry in index_ iteration order —
-  // the order TakeByReplica recovers work in. unordered_map layout is a
-  // pure function of the operation sequence, so two executions that agree
-  // here recover work identically.
+  // The legacy order witness, unchanged from the transitional-map era: folds
+  // (id, owner, work digest) in iteration order so verify mode cheaply spots
+  // recovery-order drift between two executions.
   uint64_t h = 1469598103934665603ull;
   for (const auto& [id, handle] : index_) {
     const Entry* entry = table_.Get(handle);

@@ -16,21 +16,22 @@
 // generation-tagged slab (EntityTable) and the terminal tombstones in a
 // dense bitmap indexed by TrajId — trajectory ids are issued sequentially
 // from 0, so the bitmap is equivalent to the old hash set at a fraction of
-// the cost. The id index is an unordered_map from TrajId to slab handle that
-// performs exactly the insert/erase sequence the old TrajId->Entry map did.
-// TakeByReplica's recovery order — which feeds the manager's round-robin
-// redirect sharding and therefore the simulation's event sequence — is that
-// map's iteration order, a pure function of the operation sequence; keeping
-// the sequence identical keeps identical runs recovering work in identical
-// order, independent of the payload layout behind the handles.
+// the cost. The id index is a RecoveryOrderIndex from TrajId to slab handle
+// that performs exactly the insert/erase sequence the old TrajId->Entry map
+// did. TakeByReplica's recovery order — which feeds the manager's
+// round-robin redirect sharding and therefore the simulation's event
+// sequence — is that index's iteration order, a pure function of the
+// operation sequence with explicit, serialized layout rules; a direct-boot
+// restore reconstructs the exact layout and keeps recovering work in the
+// same order the uninterrupted run would have.
 #ifndef LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
 #define LAMINAR_SRC_DATA_PARTIAL_RESPONSE_POOL_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/entity_table.h"
+#include "src/data/recovery_order_index.h"
 #include "src/data/trajectory.h"
 
 namespace laminar {
@@ -78,11 +79,12 @@ class PartialResponsePool {
   // Total context tokens held (a proxy for the pool's memory footprint).
   int64_t total_context_tokens() const;
 
-  // Snapshot witness (src/snapshot, DESIGN.md §13): counters, the terminal
-  // bitmap, and an order-sensitive digest over the id index in iteration
-  // order — the same order TakeByReplica recovers work in, so a restored run
-  // whose digest matches recovers byte-identically.
-  void Snapshot(SnapshotTx& tx) const;
+  // Snapshot (src/snapshot, DESIGN.md §13): counters, the terminal bitmap,
+  // and every live entry — id, owner and full work payload — serialized in
+  // index iteration order alongside the index's bucket count, so a direct
+  // boot reconstructs the exact recovery order. The legacy order-witness
+  // digest rides along unchanged for cheap verify-mode drift detection.
+  void Snapshot(SnapshotTx& tx);
 
  private:
   struct Entry {
@@ -97,7 +99,7 @@ class PartialResponsePool {
   // Id -> slab handle. Doubles as the recovery-order witness: see the file
   // comment. Do not add or reorder structural operations (insert/erase) on
   // it without mirroring what the pre-slab TrajId->Entry map performed.
-  std::unordered_map<TrajId, EntityHandle> index_;
+  RecoveryOrderIndex index_;
   std::vector<uint8_t> terminal_;  // tombstone bitmap, indexed by TrajId
   int64_t updates_ = 0;
   int64_t completed_ = 0;

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -35,7 +36,10 @@ HeartbeatMonitor::HeartbeatMonitor(Simulator* sim, double period, int miss_thres
       on_failure_(std::move(on_failure)) {
   LAMINAR_CHECK_GT(period_, 0.0);
   LAMINAR_CHECK_GT(miss_threshold_, 0);
-  sweep_ = std::make_unique<PeriodicTask>(sim_, period_, [this] { Sweep(); });
+  sweep_ = std::make_unique<PeriodicTask>(
+      sim_, period_, ContinuationComponentId(kContFamilyHeartbeat), kContSweep,
+      [this] { Sweep(); });
+  sim_->continuations().Register(ContinuationComponentId(kContFamilyHeartbeat), this);
 }
 
 HeartbeatMonitor::~HeartbeatMonitor() {
@@ -44,6 +48,37 @@ HeartbeatMonitor::~HeartbeatMonitor() {
       sim_->Cancel(node.stall_heal);
     }
   }
+  sim_->continuations().Unregister(ContinuationComponentId(kContFamilyHeartbeat));
+}
+
+void HeartbeatMonitor::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  switch (kind) {
+    case kContStallHeal:
+      HealStall(static_cast<int>(p.a));
+      return;
+    case kContSweep:
+      sweep_->Fire();
+      return;
+  }
+  LAMINAR_CHECK(false) << "unknown heartbeat continuation kind " << kind;
+}
+
+void HeartbeatMonitor::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                           SimTime at) {
+  switch (kind) {
+    case kContStallHeal: {
+      auto it = nodes_.find(static_cast<int>(p.a));
+      LAMINAR_CHECK(it != nodes_.end()) << "pending stall heal for unknown node " << p.a;
+      it->second.stall_heal = sim_->ScheduleContinuationAt(
+          at, ContinuationComponentId(kContFamilyHeartbeat), kind, p);
+      return;
+    }
+    case kContSweep:
+      sweep_->RestorePending(at);
+      return;
+  }
+  LAMINAR_CHECK(false) << "heartbeat continuation kind " << kind
+                       << " cannot be pending on the heap";
 }
 
 void HeartbeatMonitor::Start() { sweep_->Start(); }
@@ -91,8 +126,9 @@ void HeartbeatMonitor::Stall(int node, double duration_seconds) {
   if (n.stall_heal != kInvalidEventId) {
     sim_->Cancel(n.stall_heal);
   }
-  n.stall_heal =
-      sim_->ScheduleAfter(duration_seconds, [this, node] { HealStall(node); });
+  n.stall_heal = sim_->ScheduleContinuationAfter(
+      duration_seconds, ContinuationComponentId(kContFamilyHeartbeat), kContStallHeal,
+      ContinuationPayload::Of(node));
 }
 
 void HeartbeatMonitor::HealStall(int node) {
@@ -222,34 +258,61 @@ void HeartbeatMonitor::ObserveRate(int source, double rate) {
   absorb(rate);
 }
 
-void HeartbeatMonitor::Snapshot(SnapshotTx& tx) const {
-  auto fold_u64 = [](uint64_t h, uint64_t v) { return SnapshotFnv1a(&v, sizeof(v), h); };
+void HeartbeatMonitor::Snapshot(SnapshotTx& tx) {
   tx.Begin("heartbeats");
-  tx.DigestU64("nodes", nodes_.size());
-  uint64_t h = 1469598103934665603ull;
-  for (const auto& [id, node] : nodes_) {
-    h = fold_u64(h, static_cast<uint64_t>(id));
-    h = fold_u64(h, node.beating ? 1 : 0);
-    h = fold_u64(h, node.reported ? 1 : 0);
-    h = fold_u64(h, SnapshotF64Bits(node.last_beat.seconds()));
-    h = fold_u64(h, node.stall_heal != kInvalidEventId ? 1 : 0);
-  }
-  tx.DigestU64("nodes_fnv", h);
-  tx.DigestU64("rate_sources", rate_sources_.size());
-  uint64_t s = 1469598103934665603ull;
-  for (const auto& [id, src] : rate_sources_) {
-    s = fold_u64(s, static_cast<uint64_t>(id));
-    s = fold_u64(s, SnapshotF64Bits(src.mean));
-    s = fold_u64(s, SnapshotF64Bits(src.var));
-    s = fold_u64(s, static_cast<uint64_t>(src.observations));
-    s = fold_u64(s, static_cast<uint64_t>(src.strikes));
-    s = fold_u64(s, src.slow ? 1 : 0);
-    s = fold_u64(s, SnapshotF64Bits(src.last_phi));
-  }
-  tx.DigestU64("rate_sources_fnv", s);
-  tx.DigestI64("failures_reported", failures_reported_);
-  tx.DigestI64("slow_reported", slow_reported_);
-  tx.DigestI64("slow_recovered", slow_recovered_);
+  SnapshotPacked(
+      tx, "nodes",
+      [this](ByteSink& s) {
+        s.U64(nodes_.size());
+        for (const auto& [id, node] : nodes_) {
+          s.I32(id);
+          s.Bool(node.beating);
+          s.Bool(node.reported);
+          s.Time(node.last_beat);
+        }
+      },
+      [this](ByteSource& s) {
+        nodes_.clear();
+        for (uint64_t i = 0, n = s.U64(); i < n; ++i) {
+          int id = s.I32();
+          Node& node = nodes_[id];
+          node.beating = s.Bool();
+          node.reported = s.Bool();
+          node.last_beat = s.Time();
+          // Pending heal events are re-seated by RestoreContinuation.
+          node.stall_heal = kInvalidEventId;
+        }
+      });
+  SnapshotPacked(
+      tx, "rate_sources",
+      [this](ByteSink& s) {
+        s.U64(rate_sources_.size());
+        for (const auto& [id, src] : rate_sources_) {
+          s.I32(id);
+          s.F64(src.mean);
+          s.F64(src.var);
+          s.I32(src.observations);
+          s.I32(src.strikes);
+          s.Bool(src.slow);
+          s.F64(src.last_phi);
+        }
+      },
+      [this](ByteSource& s) {
+        rate_sources_.clear();
+        for (uint64_t i = 0, n = s.U64(); i < n; ++i) {
+          int id = s.I32();
+          RateSource& src = rate_sources_[id];
+          src.mean = s.F64();
+          src.var = s.F64();
+          src.observations = s.I32();
+          src.strikes = s.I32();
+          src.slow = s.Bool();
+          src.last_phi = s.F64();
+        }
+      });
+  tx.I64As("failures_reported", &failures_reported_);
+  tx.I64As("slow_reported", &slow_reported_);
+  tx.I64As("slow_recovered", &slow_recovered_);
   tx.End();
 }
 

@@ -49,14 +49,24 @@ struct SlownessConfig {
   double recovery_ratio = 0.85;
 };
 
-class HeartbeatMonitor {
+class HeartbeatMonitor : public ContinuationClient {
  public:
+  // Continuation kinds for the monitor's pending events (DESIGN.md §13).
+  enum Continuation : uint16_t {
+    kContStallHeal = 0,  // transient stall ends: {a=node}
+    kContSweep = 1,      // periodic miss-detection sweep
+  };
+
   using FailureHandler = std::function<void(int node)>;
   using SlowHandler = std::function<void(int source)>;
 
   HeartbeatMonitor(Simulator* sim, double period, int miss_threshold,
                    FailureHandler on_failure);
-  ~HeartbeatMonitor();
+  ~HeartbeatMonitor() override;
+
+  void RunContinuation(uint16_t kind, const ContinuationPayload& p) override;
+  void RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                           SimTime at) override;
 
   // Registers a node and starts its beats.
   void Register(int node);
@@ -99,8 +109,10 @@ class HeartbeatMonitor {
   int64_t slow_recovered() const { return slow_recovered_; }
 
   // Snapshot witness (src/snapshot, DESIGN.md §13): per-node beat state and
-  // the full phi-accrual learning state of every rate source.
-  void Snapshot(SnapshotTx& tx) const;
+  // the full phi-accrual learning state of every rate source, fully
+  // adoptable. Pending stall-heal events are re-minted from the simulator's
+  // event_heap section.
+  void Snapshot(SnapshotTx& tx);
 
  private:
   struct Node {

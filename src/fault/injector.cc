@@ -94,7 +94,28 @@ void FaultInjector::Validate(const FaultEvent& event) const {
 
 void FaultInjector::Schedule(const FaultEvent& event) {
   Validate(event);
-  sim_->ScheduleAt(SimTime(event.at_seconds), [this, event] { Fire(event); });
+  sim_->ScheduleContinuationAt(
+      SimTime(event.at_seconds), ContinuationComponentId(kContFamilyInjector), kContFire,
+      ContinuationPayload::Of(static_cast<int64_t>(event.kind), event.target,
+                              ContinuationPayload::FromF64(event.duration_seconds),
+                              ContinuationPayload::FromF64(event.severity)));
+}
+
+void FaultInjector::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  LAMINAR_CHECK_EQ(kind, kContFire);
+  FaultEvent event;
+  event.at_seconds = sim_->Now().seconds();
+  event.kind = static_cast<FaultKind>(p.a);
+  event.target = static_cast<int>(p.b);
+  event.duration_seconds = ContinuationPayload::ToF64(p.c);
+  event.severity = ContinuationPayload::ToF64(p.d);
+  Fire(event);
+}
+
+void FaultInjector::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                        SimTime at) {
+  LAMINAR_CHECK_EQ(kind, kContFire);
+  sim_->ScheduleContinuationAt(at, ContinuationComponentId(kContFamilyInjector), kind, p);
 }
 
 void FaultInjector::ScheduleAll(const std::vector<FaultEvent>& events) {
@@ -158,11 +179,11 @@ void FaultInjector::Fire(const FaultEvent& event) {
   }
 }
 
-void FaultInjector::Snapshot(SnapshotTx& tx) const {
+void FaultInjector::Snapshot(SnapshotTx& tx) {
   tx.Begin("fault_injector");
-  tx.DigestI64("injected", injected_);
+  tx.I64As("injected", &injected_);
   for (int i = 0; i < kNumFaultKinds; ++i) {
-    tx.DigestI64(FaultKindName(static_cast<FaultKind>(i)), counts_[i]);
+    tx.I64As(FaultKindName(static_cast<FaultKind>(i)), &counts_[i]);
   }
   tx.End();
 }

@@ -43,9 +43,26 @@ struct FaultEvent {
   double severity = 1.0;
 };
 
-class FaultInjector {
+class FaultInjector : public ContinuationClient {
  public:
-  explicit FaultInjector(Simulator* sim) : sim_(sim) {}
+  // Continuation kind for a scheduled-but-unfired fault. The whole FaultEvent
+  // rides in the payload (kind, target, duration bits, severity bits; the
+  // fire time is the event's own timestamp), so pending faults serialize with
+  // the event heap and need no side table.
+  enum Continuation : uint16_t {
+    kContFire = 0,
+  };
+
+  explicit FaultInjector(Simulator* sim) : sim_(sim) {
+    sim_->continuations().Register(ContinuationComponentId(kContFamilyInjector), this);
+  }
+  ~FaultInjector() override {
+    sim_->continuations().Unregister(ContinuationComponentId(kContFamilyInjector));
+  }
+
+  void RunContinuation(uint16_t kind, const ContinuationPayload& p) override;
+  void RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                           SimTime at) override;
 
   void set_heartbeats(HeartbeatMonitor* monitor) { heartbeats_ = monitor; }
   void set_on_relay_fault(std::function<void(int machine)> fn) {
@@ -87,9 +104,9 @@ class FaultInjector {
   int64_t count(FaultKind kind) const { return counts_[static_cast<int>(kind)]; }
 
   // Snapshot witness: injected count and the per-kind fire counters
-  // (src/snapshot). Unfired scheduled faults live in the simulator's event
-  // queue and are replay-anchored like every other closure.
-  void Snapshot(SnapshotTx& tx) const;
+  // (src/snapshot), fully adoptable. Unfired scheduled faults live in the
+  // simulator's event heap as kContFire continuations and restore with it.
+  void Snapshot(SnapshotTx& tx);
 
  private:
   void Validate(const FaultEvent& event) const;

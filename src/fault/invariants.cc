@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -122,6 +124,37 @@ void InvariantChecker::CheckFinal() {
       Report(oss.str());
     }
   }
+}
+
+void InvariantChecker::Snapshot(SnapshotTx& tx) {
+  tx.Begin("invariants");
+  tx.I64As("pushes", &pushes_);
+  tx.I64As("checks_run", &checks_run_);
+  tx.I64As("violation_count", &violation_count_);
+  tx.I64As("faults_injected", &faults_injected_);
+  SnapshotPacked(
+      tx, "state",
+      [this](ByteSink& s) {
+        s.U64(pushed_.size());
+        for (uint8_t b : pushed_) {
+          s.U8(b);
+        }
+        s.U64(violations_.size());
+        for (const std::string& v : violations_) {
+          s.Str(v);
+        }
+      },
+      [this](ByteSource& s) {
+        pushed_.resize(static_cast<size_t>(s.U64()));
+        for (uint8_t& b : pushed_) {
+          b = s.U8();
+        }
+        violations_.resize(static_cast<size_t>(s.U64()));
+        for (std::string& v : violations_) {
+          v = s.Str();
+        }
+      });
+  tx.End();
 }
 
 bool ThroughputRecovered(const TimeSeries& series, SimTime fault_start,

@@ -32,6 +32,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 struct InvariantCheckerConfig {
   // Tolerance for the per-replica KV token conservation check. Token counts
   // are integer-valued doubles, so anything below 1 means "exact".
@@ -95,6 +97,11 @@ class InvariantChecker {
   int64_t buffer_pushes() const { return pushes_; }
   const std::vector<std::string>& violations() const { return violations_; }
   bool ok() const { return violation_count_ == 0; }
+
+  // Snapshot witness (src/snapshot, DESIGN.md §13): counters, the recorded
+  // violation strings and the duplicate-push bitmap, all fully adoptable so a
+  // direct boot keeps auditing from where the blob left off.
+  void Snapshot(SnapshotTx& tx);
 
  private:
   void Report(const std::string& what);

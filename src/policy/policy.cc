@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/common/logging.h"
+#include "src/snapshot/snapshot.h"
 
 namespace laminar {
 namespace {
@@ -242,6 +243,25 @@ UpdateStats Policy::UpdateMinibatch(const std::vector<TrajectoryRecord>& minibat
   }
   ++theta_epoch_;
   return stats;
+}
+
+void Policy::Snapshot(SnapshotTx& tx) {
+  tx.Begin("policy");
+  tx.F64Vec("theta", &theta_);
+  uint64_t versions = history_.size();
+  tx.U64("versions", &versions);
+  if (tx.adopting()) {
+    history_.assign(versions, {});
+  }
+  for (std::vector<double>& h : history_) {
+    tx.F64Vec("history", &h);
+  }
+  if (tx.adopting()) {
+    // The current-parameter memo is keyed on the epoch; bump it so stale
+    // pre-adoption entries can never satisfy a post-adoption query.
+    ++theta_epoch_;
+  }
+  tx.End();
 }
 
 double Policy::EvalExpectedReward() const {

@@ -29,6 +29,8 @@
 
 namespace laminar {
 
+class SnapshotTx;
+
 enum class RlAlgorithm {
   kGrpo,          // GRPO + Clip-Higher (verl, one-step, stream-gen, Laminar)
   kDecoupledPpo,  // AReaL's decoupled PPO (behaviour/proximal split)
@@ -97,6 +99,11 @@ class Policy {
 
   const PolicyConfig& config() const { return config_; }
   const std::vector<double>& parameters() const { return theta_; }
+
+  // Full-state snapshot (LMSNAP1 v2): live parameters plus the published
+  // version history. The memo tables are exact caches keyed on inputs, so
+  // they are rebuilt lazily after adoption rather than serialized.
+  void Snapshot(SnapshotTx& tx);
 
  private:
   std::vector<double> Features(double difficulty) const;

@@ -5,9 +5,15 @@
 
 #include "src/common/logging.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
+namespace {
+
+constexpr int32_t kRelayComp = ContinuationComponentId(kContFamilyRelayTier);
+
+}  // namespace
 
 RelayTier::RelayTier(Simulator* sim, RelayTierConfig config)
     : sim_(sim), config_(config), relays_(config.num_relays),
@@ -15,6 +21,65 @@ RelayTier::RelayTier(Simulator* sim, RelayTierConfig config)
       drop_next_(config.num_relays, 0) {
   LAMINAR_CHECK_GT(config_.num_relays, 0);
   LAMINAR_CHECK_GT(config_.weight_bytes, 0.0);
+  sim_->continuations().Register(kRelayComp, this);
+}
+
+RelayTier::~RelayTier() { sim_->continuations().Unregister(kRelayComp); }
+
+void RelayTier::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  switch (kind) {
+    case kContArrival:
+      OnArrival(static_cast<int>(p.a), static_cast<int>(p.b));
+      return;
+    case kContPullDone:
+      CompletePull(p.a);
+      return;
+  }
+  LAMINAR_CHECK(false) << "relay tier: unknown continuation kind " << kind;
+}
+
+void RelayTier::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                    SimTime at) {
+  EventId id = sim_->ScheduleContinuationAt(at, kRelayComp, kind, p);
+  if (kind == kContArrival) {
+    // Re-seat the pending-arrival bookkeeping the adopted map carries.
+    relays_[static_cast<int>(p.a)].pending[static_cast<int>(p.b)] =
+        PendingArrival{id, at};
+  }
+}
+
+void RelayTier::ScheduleArrival(int relay, int version, SimTime at) {
+  EventId eid = sim_->ScheduleContinuationAt(
+      at, kRelayComp, kContArrival, ContinuationPayload::Of(relay, version));
+  relays_[relay].pending[version] = PendingArrival{eid, at};
+}
+
+void RelayTier::StartPullLoad(int relay, int got, SimTime requested, PullTicket ticket,
+                              double load_seconds) {
+  int64_t seq = next_pull_seq_++;
+  pulls_[seq] = PendingPull{relay, got, requested, ticket};
+  sim_->ScheduleContinuationAfter(load_seconds, kRelayComp, kContPullDone,
+                                  ContinuationPayload::Of(seq));
+}
+
+void RelayTier::CompletePull(int64_t seq) {
+  auto it = pulls_.find(seq);
+  LAMINAR_CHECK(it != pulls_.end()) << "unknown pull seq " << seq;
+  PendingPull p = it->second;
+  pulls_.erase(it);
+  double wait = sim_->Now() - p.requested;
+  pull_waits_.Add(wait);
+  LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kRelay, "relay/pull_wait", p.relay,
+                        p.requested, sim_->Now(), p.got);
+  CompleteTicket(p.ticket, p.got, wait);
+}
+
+void RelayTier::CompleteTicket(const PullTicket& ticket, int version,
+                               double wait_seconds) {
+  sim_->continuations().Run(
+      ticket.comp, ticket.kind,
+      ContinuationPayload::Of(ticket.a, ticket.b, version,
+                              ContinuationPayload::FromF64(wait_seconds)));
 }
 
 int RelayTier::VersionAt(int relay) const {
@@ -54,10 +119,7 @@ double RelayTier::Publish(int version) {
   // The master relay "receives" once the push + reshard completes; the chain
   // broadcast then fans out from OnArrival (so failure-driven rescheduling
   // keeps the continuation).
-  int master = master_;
-  EventId eid = sim_->ScheduleAt(
-      master_ready, [this, master, version] { OnArrival(master, version); });
-  relays_[master].pending[version] = PendingArrival{eid, master_ready};
+  ScheduleArrival(master_, version, master_ready);
   broadcast_starts_[version] = sim_->Now();
   return stall;
 }
@@ -77,8 +139,7 @@ void RelayTier::StartBroadcast(int version, SimTime master_ready) {
     int relay = chain[pos];
     SimTime at = master_ready + ArrivalTime(params, pos, k);
     at = std::max(at, sim_->Now());
-    EventId eid = sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
-    relays_[relay].pending[version] = PendingArrival{eid, at};
+    ScheduleArrival(relay, version, at);
   }
 }
 
@@ -91,18 +152,14 @@ void RelayTier::OnArrival(int relay, int version) {
     ++messages_dropped_;
     ++arrival_retries_;
     LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kRelay, "relay/drop", relay, version);
-    SimTime at = sim_->Now() + config_.hop_timeout_guard;
-    EventId eid = sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
-    r.pending[version] = PendingArrival{eid, at};
+    ScheduleArrival(relay, version, sim_->Now() + config_.hop_timeout_guard);
     return;
   }
   if (r.alive && sim_->Now() < link_down_until_[relay]) {
     // Inbound link is flapping: the transfer stalls until the link heals and
     // the chain is rebuilt around the degraded hop.
     ++arrival_retries_;
-    SimTime at = link_down_until_[relay] + config_.rebuild_seconds;
-    EventId eid = sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
-    r.pending[version] = PendingArrival{eid, at};
+    ScheduleArrival(relay, version, link_down_until_[relay] + config_.rebuild_seconds);
     return;
   }
   r.pending.erase(version);
@@ -147,26 +204,17 @@ void RelayTier::OnArrival(int relay, int version) {
   }
   r.waiters = std::move(still_waiting);
   for (Waiter& w : ready) {
-    double load = PullLoadSeconds(w.tensor_parallel);
-    int got = r.version;
-    SimTime requested = w.requested;
-    auto done = std::move(w.done);
-    sim_->ScheduleAfter(load, [this, relay, got, requested, done = std::move(done)] {
-      double wait = sim_->Now() - requested;
-      pull_waits_.Add(wait);
-      LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kRelay, "relay/pull_wait", relay,
-                            requested, sim_->Now(), got);
-      done(got, wait);
-    });
+    StartPullLoad(relay, r.version, w.requested, w.ticket,
+                  PullLoadSeconds(w.tensor_parallel));
   }
 }
 
 void RelayTier::PullLatest(int relay, int tensor_parallel, int current_version,
-                           std::function<void(int version, double wait_seconds)> done) {
+                           PullTicket ticket) {
   LAMINAR_CHECK_GE(relay, 0);
   LAMINAR_CHECK_LT(relay, static_cast<int>(relays_.size()));
   if (latest_published_ <= current_version) {
-    done(current_version, 0.0);
+    CompleteTicket(ticket, current_version, 0.0);
     return;
   }
   Relay& r = relays_[relay];
@@ -174,21 +222,12 @@ void RelayTier::PullLatest(int relay, int tensor_parallel, int current_version,
     // The common case (paper §4.2 step 3): the local relay already caches a
     // newer version, so the rollout loads it over PCIe immediately — it
     // never waits for an in-flight resharding/broadcast to complete.
-    double load = PullLoadSeconds(tensor_parallel);
-    int got = r.version;
-    SimTime requested = sim_->Now();
-    sim_->ScheduleAfter(load, [this, relay, got, requested, done = std::move(done)] {
-      double wait = sim_->Now() - requested;
-      pull_waits_.Add(wait);
-      LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kRelay, "relay/pull_wait", relay,
-                            requested, sim_->Now(), got);
-      done(got, wait);
-    });
+    StartPullLoad(relay, r.version, sim_->Now(), ticket,
+                  PullLoadSeconds(tensor_parallel));
     return;
   }
   // Nothing newer is resident yet: wait for the first arrival that is.
-  r.waiters.push_back(
-      Waiter{current_version + 1, tensor_parallel, sim_->Now(), std::move(done)});
+  r.waiters.push_back(Waiter{current_version + 1, tensor_parallel, sim_->Now(), ticket});
 }
 
 void RelayTier::KillRelay(int relay) {
@@ -235,13 +274,9 @@ void RelayTier::KillRelay(int relay) {
     // to the newly elected master once notified.
     if (latest_published_ >= 0 && relays_[best].version < latest_published_ &&
         relays_[best].pending.count(latest_published_) == 0) {
-      int version = latest_published_;
       double resend = config_.weight_bytes / config_.actor_push_bandwidth +
                       config_.reshard_seconds;
-      SimTime at = master_ready_at_ + resend;
-      EventId eid =
-          sim_->ScheduleAt(at, [this, best, version] { OnArrival(best, version); });
-      relays_[best].pending[version] = PendingArrival{eid, at};
+      ScheduleArrival(best, latest_published_, master_ready_at_ + resend);
     }
   }
   // The scheduler rebuilds the chain around the failure; in-flight chunk
@@ -257,12 +292,10 @@ void RelayTier::KillRelay(int relay) {
         continue;
       }
       sim_->Cancel(arrival.event);
-      int target_relay = i;
-      int v = version;
       SimTime at = std::max(arrival.at + extra, sim_->Now());
       arrival.at = at;
-      arrival.event =
-          sim_->ScheduleAt(at, [this, target_relay, v] { OnArrival(target_relay, v); });
+      arrival.event = sim_->ScheduleContinuationAt(
+          at, kRelayComp, kContArrival, ContinuationPayload::Of(i, version));
     }
   }
 }
@@ -302,10 +335,10 @@ void RelayTier::FlapLink(int relay, double duration_seconds) {
       continue;
     }
     sim_->Cancel(arrival.event);
-    int v = version;
     SimTime at = std::max(arrival.at, link_down_until_[relay] + config_.rebuild_seconds);
     arrival.at = at;
-    arrival.event = sim_->ScheduleAt(at, [this, relay, v] { OnArrival(relay, v); });
+    arrival.event = sim_->ScheduleContinuationAt(
+        at, kRelayComp, kContArrival, ContinuationPayload::Of(relay, version));
   }
 }
 
@@ -341,10 +374,7 @@ void RelayTier::ReviveRelay(int relay) {
       if (r.pending.count(version) == 0) {
         double resend = config_.weight_bytes / config_.actor_push_bandwidth +
                         config_.reshard_seconds;
-        SimTime at = std::max(master_ready_at_, sim_->Now()) + resend;
-        EventId eid =
-            sim_->ScheduleAt(at, [this, relay, version] { OnArrival(relay, version); });
-        r.pending[version] = PendingArrival{eid, at};
+        ScheduleArrival(relay, version, std::max(master_ready_at_, sim_->Now()) + resend);
       }
     }
     return;
@@ -352,57 +382,144 @@ void RelayTier::ReviveRelay(int relay) {
   // Sync the newest weights from the master over one RDMA hop.
   const Relay& m = relays_[master_];
   if (m.version >= 0) {
-    int v = m.version;
     double hop = config_.weight_bytes / config_.rdma_bandwidth + config_.rdma_startup;
-    SimTime at = sim_->Now() + hop;
-    EventId eid = sim_->ScheduleAt(at, [this, relay, v] { OnArrival(relay, v); });
-    r.pending[v] = PendingArrival{eid, at};
+    ScheduleArrival(relay, m.version, sim_->Now() + hop);
   }
 }
 
 void RelayTier::Snapshot(SnapshotTx& tx) {
-  auto fold_u64 = [](uint64_t h, uint64_t v) { return SnapshotFnv1a(&v, sizeof(v), h); };
   tx.Begin("relay_tier");
-  tx.DigestI64("master", master_);
-  tx.DigestI64("latest_published", latest_published_);
-  tx.DigestF64("master_ready_at", master_ready_at_.seconds());
-  uint64_t h = 1469598103934665603ull;
-  for (size_t i = 0; i < relays_.size(); ++i) {
-    const Relay& r = relays_[i];
-    h = fold_u64(h, r.alive ? 1 : 0);
-    h = fold_u64(h, static_cast<uint64_t>(r.version));
-    h = fold_u64(h, r.pending.size());
-    for (const auto& [version, arrival] : r.pending) {
-      h = fold_u64(h, static_cast<uint64_t>(version));
-      h = fold_u64(h, SnapshotF64Bits(arrival.at.seconds()));
-    }
-    h = fold_u64(h, r.waiters.size());
-    for (const Waiter& w : r.waiters) {
-      h = fold_u64(h, static_cast<uint64_t>(w.min_version));
-      h = fold_u64(h, static_cast<uint64_t>(w.tensor_parallel));
-      h = fold_u64(h, SnapshotF64Bits(w.requested.seconds()));
-    }
-    h = fold_u64(h, SnapshotF64Bits(link_down_until_[i].seconds()));
-    h = fold_u64(h, static_cast<uint64_t>(drop_next_[i]));
+  tx.I64As("master", &master_);
+  tx.I64As("latest_published", &latest_published_);
+  double master_ready_at = master_ready_at_.seconds();
+  tx.F64("master_ready_at", &master_ready_at);
+  SnapshotPacked(
+      tx, "relays",
+      [this](ByteSink& s) {
+        for (size_t i = 0; i < relays_.size(); ++i) {
+          const Relay& r = relays_[i];
+          s.Bool(r.alive);
+          s.I32(r.version);
+          s.U64(r.pending.size());
+          for (const auto& [version, arrival] : r.pending) {
+            s.I32(version);
+            s.Time(arrival.at);
+          }
+          s.U64(r.waiters.size());
+          for (const Waiter& w : r.waiters) {
+            s.I32(w.min_version);
+            s.I32(w.tensor_parallel);
+            s.Time(w.requested);
+            s.I32(w.ticket.comp);
+            s.U32(w.ticket.kind);
+            s.I64(w.ticket.a);
+            s.I64(w.ticket.b);
+          }
+          s.Time(link_down_until_[i]);
+          s.I32(drop_next_[i]);
+        }
+      },
+      [this](ByteSource& s) {
+        for (size_t i = 0; i < relays_.size(); ++i) {
+          Relay& r = relays_[i];
+          r.alive = s.Bool();
+          r.version = s.I32();
+          r.pending.clear();
+          uint64_t pending = s.U64();
+          for (uint64_t j = 0; j < pending; ++j) {
+            int version = s.I32();
+            // Event ids re-seat when RestoreContinuation re-mints the heap.
+            r.pending[version] = PendingArrival{kInvalidEventId, s.Time()};
+          }
+          r.waiters.clear();
+          uint64_t waiters = s.U64();
+          for (uint64_t j = 0; j < waiters; ++j) {
+            Waiter w;
+            w.min_version = s.I32();
+            w.tensor_parallel = s.I32();
+            w.requested = s.Time();
+            w.ticket.comp = s.I32();
+            w.ticket.kind = static_cast<uint16_t>(s.U32());
+            w.ticket.a = s.I64();
+            w.ticket.b = s.I64();
+            r.waiters.push_back(w);
+          }
+          link_down_until_[i] = s.Time();
+          drop_next_[i] = s.I32();
+        }
+      });
+  tx.I64As("consecutive_elections", &consecutive_elections_);
+  double last_election = last_election_.seconds();
+  tx.F64("last_election", &last_election);
+  tx.I64("publishes", &publishes_);
+  tx.I64("chain_rebuilds", &chain_rebuilds_);
+  tx.I64("master_elections", &master_elections_);
+  tx.I64("link_flaps", &link_flaps_);
+  tx.I64("messages_dropped", &messages_dropped_);
+  tx.I64("arrival_retries", &arrival_retries_);
+  SnapshotPacked(
+      tx, "broadcasts",
+      [this](ByteSink& s) {
+        s.U64(broadcast_starts_.size());
+        for (const auto& [version, at] : broadcast_starts_) {
+          s.I32(version);
+          s.Time(at);
+        }
+        s.U64(broadcast_started_.size());
+        for (int version : broadcast_started_) {
+          s.I32(version);
+        }
+      },
+      [this](ByteSource& s) {
+        broadcast_starts_.clear();
+        uint64_t starts = s.U64();
+        for (uint64_t j = 0; j < starts; ++j) {
+          int version = s.I32();
+          broadcast_starts_[version] = s.Time();
+        }
+        broadcast_started_.clear();
+        uint64_t started = s.U64();
+        for (uint64_t j = 0; j < started; ++j) {
+          broadcast_started_.insert(s.I32());
+        }
+      });
+  SnapshotPacked(
+      tx, "pulls",
+      [this](ByteSink& s) {
+        s.I64(next_pull_seq_);
+        s.U64(pulls_.size());
+        for (const auto& [seq, p] : pulls_) {
+          s.I64(seq);
+          s.I32(p.relay);
+          s.I32(p.got);
+          s.Time(p.requested);
+          s.I32(p.ticket.comp);
+          s.U32(p.ticket.kind);
+          s.I64(p.ticket.a);
+          s.I64(p.ticket.b);
+        }
+      },
+      [this](ByteSource& s) {
+        next_pull_seq_ = s.I64();
+        pulls_.clear();
+        uint64_t n = s.U64();
+        for (uint64_t j = 0; j < n; ++j) {
+          int64_t seq = s.I64();
+          PendingPull p;
+          p.relay = s.I32();
+          p.got = s.I32();
+          p.requested = s.Time();
+          p.ticket.comp = s.I32();
+          p.ticket.kind = static_cast<uint16_t>(s.U32());
+          p.ticket.a = s.I64();
+          p.ticket.b = s.I64();
+          pulls_[seq] = p;
+        }
+      });
+  if (tx.adopting()) {
+    master_ready_at_ = SimTime(master_ready_at);
+    last_election_ = SimTime(last_election);
   }
-  tx.DigestU64("relays_fnv", h);
-  tx.DigestI64("consecutive_elections", consecutive_elections_);
-  tx.DigestF64("last_election", last_election_.seconds());
-  tx.DigestI64("publishes", publishes_);
-  tx.DigestI64("chain_rebuilds", chain_rebuilds_);
-  tx.DigestI64("master_elections", master_elections_);
-  tx.DigestI64("link_flaps", link_flaps_);
-  tx.DigestI64("messages_dropped", messages_dropped_);
-  tx.DigestI64("arrival_retries", arrival_retries_);
-  uint64_t b = 1469598103934665603ull;
-  for (const auto& [version, at] : broadcast_starts_) {
-    b = fold_u64(b, static_cast<uint64_t>(version));
-    b = fold_u64(b, SnapshotF64Bits(at.seconds()));
-  }
-  for (int version : broadcast_started_) {
-    b = fold_u64(b, static_cast<uint64_t>(version));
-  }
-  tx.DigestU64("broadcasts_fnv", b);
   tx.Begin("pull_waits");
   pull_waits_.Snapshot(tx);
   tx.End();

@@ -51,9 +51,35 @@ struct RelayTierConfig {
   double election_stability_window_seconds = 60.0;
 };
 
-class RelayTier {
+// A reconstructible pull completion (DESIGN.md §13): instead of a captured
+// closure, the requester names the continuation to invoke when the pull
+// finishes. The relay tier fires it as
+//
+//   registry.Run(comp, kind, {a, b, version, bit_cast(wait_seconds)})
+//
+// so the requester's own (a, b) context rides along and the whole in-flight
+// pull serializes into the snapshot.
+struct PullTicket {
+  int32_t comp = -1;
+  uint16_t kind = 0;
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+class RelayTier : public ContinuationClient {
  public:
+  // Continuation kinds for the tier's own pending events.
+  enum Continuation : uint16_t {
+    kContArrival = 0,   // chain message arrives: {a=relay, b=version}
+    kContPullDone = 1,  // PCIe shard load finished: {a=pull seq}
+  };
+
   RelayTier(Simulator* sim, RelayTierConfig config);
+  ~RelayTier() override;
+
+  void RunContinuation(uint16_t kind, const ContinuationPayload& p) override;
+  void RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                           SimTime at) override;
 
   // Trainer-side: publishes weight version `version`. Returns the actor's
   // stall duration (time to hand the weights to the master relay). Broadcast
@@ -63,12 +89,13 @@ class RelayTier {
   // Rollout-side: requests the newest published version via the local relay
   // `relay`. When the version is resident (immediately, or once the chain
   // broadcast delivers it), the weights are loaded over PCIe by the
-  // replica's `tensor_parallel` GPUs in parallel, and `done(version,
-  // wait_seconds)` fires, where wait_seconds spans request -> load complete
-  // (the paper's Figure 14 "rollout waiting time"). If nothing newer than
-  // `current_version` exists, `done(current_version, 0)` fires immediately.
+  // replica's `tensor_parallel` GPUs in parallel, and `ticket` fires with
+  // (version, wait_seconds), where wait_seconds spans request -> load
+  // complete (the paper's Figure 14 "rollout waiting time"). If nothing
+  // newer than `current_version` exists, the ticket fires synchronously
+  // with (current_version, 0).
   void PullLatest(int relay, int tensor_parallel, int current_version,
-                  std::function<void(int version, double wait_seconds)> done);
+                  PullTicket ticket);
 
   // Fault injection / recovery.
   void KillRelay(int relay);
@@ -105,9 +132,9 @@ class RelayTier {
   double PullLoadSeconds(int tensor_parallel) const;
 
   // Snapshot witness (src/snapshot, DESIGN.md §13): chain topology, per-relay
-  // versions and pending/waiter digests, chaos horizons, and the pull/stall
-  // sample sets. Pending-arrival events are replay-anchored (their closures
-  // live in the simulator), so they contribute digests, not payloads.
+  // versions, waiters (as tickets), in-flight pull loads, chaos horizons, and
+  // the pull/stall sample sets — all fully adoptable, so a direct-boot
+  // restore re-seats the tier without replay.
   void Snapshot(SnapshotTx& tx);
 
  private:
@@ -115,7 +142,7 @@ class RelayTier {
     int min_version = 0;
     int tensor_parallel = 1;
     SimTime requested;
-    std::function<void(int, double)> done;
+    PullTicket ticket;
   };
   struct PendingArrival {
     EventId event = kInvalidEventId;
@@ -129,11 +156,26 @@ class RelayTier {
     std::vector<Waiter> waiters;
   };
 
+  // An in-flight PCIe shard load; the pending event carries only the seq.
+  struct PendingPull {
+    int relay = 0;
+    int got = 0;
+    SimTime requested;
+    PullTicket ticket;
+  };
+
   void OnArrival(int relay, int version);
   void StartBroadcast(int version, SimTime master_ready);
   void RebuildChain(double extra_delay);
   std::vector<int> AliveChain() const;
   double NextElectionDelay();
+  // Schedules a chain arrival and records it in the relay's pending map.
+  void ScheduleArrival(int relay, int version, SimTime at);
+  // Starts the PCIe load for a satisfied pull and parks it in pulls_.
+  void StartPullLoad(int relay, int got, SimTime requested, PullTicket ticket,
+                     double load_seconds);
+  void CompletePull(int64_t seq);
+  void CompleteTicket(const PullTicket& ticket, int version, double wait_seconds);
 
   Simulator* sim_;
   RelayTierConfig config_;
@@ -162,6 +204,9 @@ class RelayTier {
   std::map<int, SimTime> broadcast_starts_;
   // Versions whose chain broadcast has been initiated.
   std::set<int> broadcast_started_;
+  // In-flight PCIe shard loads, keyed by a serialized sequence number.
+  std::map<int64_t, PendingPull> pulls_;
+  int64_t next_pull_seq_ = 0;
 };
 
 }  // namespace laminar

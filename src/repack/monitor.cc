@@ -1,6 +1,7 @@
 #include "src/repack/monitor.h"
 
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 
 namespace laminar {
 
@@ -28,20 +29,28 @@ void IdlenessMonitor::Forget(int replica_id) {
   }
 }
 
-void IdlenessMonitor::Snapshot(SnapshotTx& tx) const {
+void IdlenessMonitor::Snapshot(SnapshotTx& tx) {
   tx.Begin("idleness_monitor");
-  tx.DigestU64("tracked", tracked_);
-  uint64_t h = 1469598103934665603ull;
-  for (size_t i = 0; i < prev_.size(); ++i) {
-    if (!prev_[i].valid) {
-      continue;
-    }
-    uint64_t id = i;
-    h = SnapshotFnv1a(&id, sizeof(id), h);
-    uint64_t bits = SnapshotF64Bits(prev_[i].value);
-    h = SnapshotFnv1a(&bits, sizeof(bits), h);
-  }
-  tx.DigestU64("history_fnv", h);
+  SnapshotPacked(
+      tx, "history",
+      [this](ByteSink& s) {
+        s.U64(prev_.size());
+        for (const Slot& slot : prev_) {
+          s.Bool(slot.valid);
+          s.F64(slot.value);
+        }
+      },
+      [this](ByteSource& s) {
+        prev_.assign(static_cast<size_t>(s.U64()), Slot{});
+        tracked_ = 0;
+        for (Slot& slot : prev_) {
+          slot.valid = s.Bool();
+          slot.value = s.F64();
+          if (slot.valid) {
+            ++tracked_;
+          }
+        }
+      });
   tx.End();
 }
 

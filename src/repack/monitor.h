@@ -32,7 +32,7 @@ class IdlenessMonitor {
 
   // Snapshot witness (src/snapshot): the per-replica utilization history the
   // ramp-down test reads on the next tick.
-  void Snapshot(SnapshotTx& tx) const;
+  void Snapshot(SnapshotTx& tx);
 
  private:
   // Replica ids are small and dense, so the history lives in a flat table

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/data/trajectory_digest.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -15,6 +16,8 @@ namespace {
 // no replica matches it, so a machine death can never resurrect a stale
 // pooled copy of work the manager already holds.
 constexpr int kManagerOwner = -1;
+
+constexpr int32_t kManagerComp = ContinuationComponentId(kContFamilyManager);
 
 // Returns the work list for `version` in a flat version->works vector kept
 // sorted ascending, inserting an empty slot if absent. Matches std::map's
@@ -74,6 +77,67 @@ RolloutManager::RolloutManager(Simulator* sim, RolloutManagerConfig config,
   ctr_serving_deadline_misses_ = metrics_.Counter("manager/serving_deadline_misses");
   ctr_serving_rollout_preempted_ = metrics_.Counter("manager/serving_rollout_preempted");
   serving_latency_seconds_ = metrics_.Samples("manager/serving_latency_seconds");
+  // The periodic tasks exist from construction (Start() only arms them) so a
+  // direct-boot restore can re-seat a pending tick before Start() runs.
+  tick_ = std::make_unique<PeriodicTask>(sim_, config_.repack_period_seconds,
+                                         kManagerComp, kContTick, [this] { Tick(); });
+  if (config_.serving_enabled) {
+    serving_tick_ = std::make_unique<PeriodicTask>(
+        sim_, config_.serving_retry_period_seconds, kManagerComp, kContServingTick,
+        [this] { ServingSweep(); });
+  }
+  sim_->continuations().Register(kManagerComp, this);
+}
+
+RolloutManager::~RolloutManager() { sim_->continuations().Unregister(kManagerComp); }
+
+void RolloutManager::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  switch (kind) {
+    case kContPullComplete:
+      OnPullComplete(static_cast<int>(p.a), p.b, static_cast<int>(p.c),
+                     ContinuationPayload::ToF64(p.d));
+      return;
+    case kContRedirectRetry:
+      OnRedirectRetryFire();
+      return;
+    case kContMachineReplaced:
+      OnMachineReplaced(p.a);
+      return;
+    case kContStallThaw:
+      OnStallThaw(p.a);
+      return;
+    case kContTick:
+      tick_->Fire();
+      return;
+    case kContServingTick:
+      LAMINAR_CHECK(serving_tick_ != nullptr);
+      serving_tick_->Fire();
+      return;
+  }
+  LAMINAR_CHECK(false) << "unknown manager continuation kind " << kind;
+}
+
+void RolloutManager::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                         SimTime at) {
+  switch (kind) {
+    case kContRedirectRetry:
+      redirect_retry_event_ =
+          sim_->ScheduleContinuationAt(at, kManagerComp, kind, p);
+      return;
+    case kContMachineReplaced:
+    case kContStallThaw:
+      sim_->ScheduleContinuationAt(at, kManagerComp, kind, p);
+      return;
+    case kContTick:
+      tick_->RestorePending(at);
+      return;
+    case kContServingTick:
+      LAMINAR_CHECK(serving_tick_ != nullptr);
+      serving_tick_->RestorePending(at);
+      return;
+  }
+  LAMINAR_CHECK(false) << "manager continuation kind " << kind
+                       << " cannot be pending on the heap";
 }
 
 ServingStats RolloutManager::serving_stats() const {
@@ -147,12 +211,8 @@ void RolloutManager::Start() {
   for (RolloutReplica* r : replicas_) {
     AssignFreshBatch(r);
   }
-  tick_ = std::make_unique<PeriodicTask>(sim_, config_.repack_period_seconds,
-                                         [this] { Tick(); });
   tick_->Start();
-  if (config_.serving_enabled) {
-    serving_tick_ = std::make_unique<PeriodicTask>(
-        sim_, config_.serving_retry_period_seconds, [this] { ServingSweep(); });
+  if (serving_tick_) {
     serving_tick_->Start();
   }
 }
@@ -253,16 +313,22 @@ void RolloutManager::StartWeightUpdate(RolloutReplica* replica) {
   int machine = replica->config().machine;
   int tp = replica->decode_model().tensor_parallel();
   relays_->PullLatest(machine, tp, current,
-                      [this, replica, epoch](int version, double wait_seconds) {
-                        // The epoch guard rejects completions whose update was
-                        // aborted (relay restart) or superseded (replica died
-                        // and revived while the waiter sat on a dead relay).
-                        if (!replica->EndWeightUpdate(epoch, version, wait_seconds)) {
-                          return;
-                        }
-                        monitor_.Forget(replica->config().id);
-                        AssignFreshBatch(replica);
-                      });
+                      PullTicket{kManagerComp, kContPullComplete,
+                                 replica->config().id, epoch});
+}
+
+void RolloutManager::OnPullComplete(int replica_id, int64_t epoch, int version,
+                                    double wait_seconds) {
+  RolloutReplica* replica = FindReplica(replica_id);
+  LAMINAR_CHECK(replica != nullptr);
+  // The epoch guard rejects completions whose update was aborted (relay
+  // restart) or superseded (replica died and revived while the waiter sat on
+  // a dead relay).
+  if (!replica->EndWeightUpdate(epoch, version, wait_seconds)) {
+    return;
+  }
+  monitor_.Forget(replica_id);
+  AssignFreshBatch(replica);
 }
 
 void RolloutManager::OnBatchDone(RolloutReplica* replica) {
@@ -447,16 +513,19 @@ void RolloutManager::ScheduleRedirectRetry() {
       config_.redirect_backoff_base_seconds * std::pow(2.0, redirect_retry_attempts_),
       config_.redirect_backoff_cap_seconds);
   ++redirect_retry_attempts_;
-  redirect_retry_event_ = sim_->ScheduleAfter(delay, [this] {
-    redirect_retry_event_ = kInvalidEventId;
-    ctr_redirect_retries_->Add();
-    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/redirect_retry", -1,
-                          redirect_retry_attempts_);
-    FlushPendingRedirects();
-    if (!pending_redirects_.empty()) {
-      ScheduleRedirectRetry();
-    }
-  });
+  redirect_retry_event_ =
+      sim_->ScheduleContinuationAfter(delay, kManagerComp, kContRedirectRetry);
+}
+
+void RolloutManager::OnRedirectRetryFire() {
+  redirect_retry_event_ = kInvalidEventId;
+  ctr_redirect_retries_->Add();
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/redirect_retry", -1,
+                        redirect_retry_attempts_);
+  FlushPendingRedirects();
+  if (!pending_redirects_.empty()) {
+    ScheduleRedirectRetry();
+  }
 }
 
 void RolloutManager::RedirectByVersion(std::vector<TrajectoryWork> works,
@@ -550,38 +619,59 @@ void RolloutManager::OnMachineFailure(int machine) {
       RedirectWork(std::move(recovered), r->weight_version());
     }
   }
-  // Replacement machine: allocate, re-init engine + relay, pull weights.
+  // Replacement machine: allocate, re-init engine + relay, pull weights. The
+  // pending event carries only a job seq; the job body serializes with the
+  // snapshot.
   double delay = config_.machine_replacement_seconds + config_.replica_init_seconds;
-  sim_->ScheduleAfter(delay, [this, machine, casualties] {
-    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/machine_replaced",
-                          machine);
-    relays_->ReviveRelay(machine);
-    for (RolloutReplica* r : casualties) {
-      r->Revive();
-    }
-    // Interrupted work whose policy version no longer runs anywhere is
-    // adopted by the fresh replicas, which load that specific checkpointed
-    // version (paper §3.3) so the trajectories stay single-version.
-    size_t next = 0;
-    if (!pending_redirects_.empty()) {
-      VersionWorks pending = std::move(pending_redirects_);
-      pending_redirects_.clear();
-      for (auto& [version, works] : pending) {
-        if (next < casualties.size()) {
-          RolloutReplica* host = casualties[next++];
-          host->LoadCheckpointVersion(version);
-          ctr_trajectories_redirected_->Add(static_cast<int64_t>(works.size()));
-          host->AssignWork(std::move(works), /*kv_transferred=*/false);
-        } else {
-          WorksForVersion(pending_redirects_, version) = std::move(works);
-        }
+  int64_t seq = next_replacement_seq_++;
+  ReplacementJob& job = replacement_jobs_[seq];
+  job.machine = machine;
+  job.casualties.reserve(casualties.size());
+  for (const RolloutReplica* r : casualties) {
+    job.casualties.push_back(r->config().id);
+  }
+  sim_->ScheduleContinuationAfter(delay, kManagerComp, kContMachineReplaced,
+                                  ContinuationPayload::Of(seq));
+}
+
+void RolloutManager::OnMachineReplaced(int64_t seq) {
+  auto it = replacement_jobs_.find(seq);
+  LAMINAR_CHECK(it != replacement_jobs_.end());
+  ReplacementJob job = std::move(it->second);
+  replacement_jobs_.erase(it);
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/machine_replaced",
+                        job.machine);
+  relays_->ReviveRelay(job.machine);
+  std::vector<RolloutReplica*> casualties;
+  casualties.reserve(job.casualties.size());
+  for (int id : job.casualties) {
+    RolloutReplica* r = FindReplica(id);
+    LAMINAR_CHECK(r != nullptr);
+    casualties.push_back(r);
+    r->Revive();
+  }
+  // Interrupted work whose policy version no longer runs anywhere is
+  // adopted by the fresh replicas, which load that specific checkpointed
+  // version (paper §3.3) so the trajectories stay single-version.
+  size_t next = 0;
+  if (!pending_redirects_.empty()) {
+    VersionWorks pending = std::move(pending_redirects_);
+    pending_redirects_.clear();
+    for (auto& [version, works] : pending) {
+      if (next < casualties.size()) {
+        RolloutReplica* host = casualties[next++];
+        host->LoadCheckpointVersion(version);
+        ctr_trajectories_redirected_->Add(static_cast<int64_t>(works.size()));
+        host->AssignWork(std::move(works), /*kv_transferred=*/false);
+      } else {
+        WorksForVersion(pending_redirects_, version) = std::move(works);
       }
     }
-    for (size_t i = next; i < casualties.size(); ++i) {
-      StartWeightUpdate(casualties[i]);
-    }
-    FlushPendingRedirects();
-  });
+  }
+  for (size_t i = next; i < casualties.size(); ++i) {
+    StartWeightUpdate(casualties[i]);
+  }
+  FlushPendingRedirects();
 }
 
 void RolloutManager::OnReplicaSlow(int replica_id) {
@@ -638,18 +728,27 @@ void RolloutManager::OnMachineStall(int machine, double duration_seconds) {
   if (paused.empty()) {
     return;
   }
-  sim_->ScheduleAfter(duration_seconds, [this, paused] {
-    for (int id : paused) {
-      RolloutReplica* r = FindReplica(id);
-      if (r == nullptr || r->phase() != ReplicaPhase::kPaused) {
-        continue;  // the stall escalated to a crash (or the replica moved on)
-      }
-      r->Resume();
-      if (running_ && r->phase() == ReplicaPhase::kIdle) {
-        StartWeightUpdate(r);
-      }
+  int64_t seq = next_thaw_seq_++;
+  thaw_jobs_[seq] = std::move(paused);
+  sim_->ScheduleContinuationAfter(duration_seconds, kManagerComp, kContStallThaw,
+                                  ContinuationPayload::Of(seq));
+}
+
+void RolloutManager::OnStallThaw(int64_t seq) {
+  auto it = thaw_jobs_.find(seq);
+  LAMINAR_CHECK(it != thaw_jobs_.end());
+  std::vector<int> paused = std::move(it->second);
+  thaw_jobs_.erase(it);
+  for (int id : paused) {
+    RolloutReplica* r = FindReplica(id);
+    if (r == nullptr || r->phase() != ReplicaPhase::kPaused) {
+      continue;  // the stall escalated to a crash (or the replica moved on)
     }
-  });
+    r->Resume();
+    if (running_ && r->phase() == ReplicaPhase::kIdle) {
+      StartWeightUpdate(r);
+    }
+  }
 }
 
 void RolloutManager::OnRelayRestarted(int machine) {
@@ -750,13 +849,33 @@ void RolloutManager::OnServingArrival(const ServingRequest& request) {
   spec.AppendSegment({request.decode_tokens, 0.0, 0});
   w.record.spec = std::move(spec);
   w.InitContext();
-  TryPlaceServing(std::move(w));
+  TryPlaceServing(std::move(w), /*admission=*/true);
 }
 
-bool RolloutManager::TryPlaceServing(TrajectoryWork work) {
+// The one serving-expiry boundary (ISSUE 9 satellite): a request is late iff
+// its deadline is STRICTLY LESS than the clock. A deadline exactly equal to
+// the sweep timestamp is not expiry — the request stays placeable, so its
+// terminal class never depends on whether a host happens to be eligible at
+// that instant.
+bool RolloutManager::ServingDeadlinePassed(double deadline_seconds) const {
+  return deadline_seconds < sim_->Now().seconds();
+}
+
+bool RolloutManager::TryPlaceServing(TrajectoryWork work, bool admission) {
   if (!running_) {
     serving_backlog_.push_back(std::move(work));
     return false;
+  }
+  if (!admission && ServingDeadlinePassed(TicketFor(work.record.id).deadline_seconds)) {
+    // Applied before every placement retry, ahead of the host scan: an
+    // expired queued request times out — it is never re-routed through the
+    // admission gate where host availability would decide its terminal class.
+    ServingTicket& t = TicketFor(work.record.id);
+    t.state = ServingTicketState::kTimedOut;
+    ctr_serving_timed_out_->Add();
+    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_timeout",
+                          -1, work.record.id);
+    return true;
   }
   // Admission host: the healthy replica with the most free KVCache. With a
   // static partition (serving_dedicated_replicas > 0) only the dedicated
@@ -782,21 +901,27 @@ bool RolloutManager::TryPlaceServing(TrajectoryWork work) {
     return false;
   }
   ServingTicket& t = TicketFor(work.record.id);
+  int64_t decode_tokens = work.record.spec.total_decode_tokens();
   // SLO feasibility: prefill plus a decode estimate at the post-admission
   // batch shape. An infeasible request is rejected up front (load shedding)
   // rather than admitted to miss — the paper-standard admission-control move.
-  int64_t decode_tokens = work.record.spec.total_decode_tokens();
-  double step = best->decode_model().StepLatency(
-      best->num_reqs() + 1,
-      static_cast<double>(work.context_tokens) + 0.5 * static_cast<double>(decode_tokens));
-  double est = best->decode_model().PrefillLatency(static_cast<double>(work.context_tokens)) +
-               static_cast<double>(decode_tokens) * step;
-  if (sim_->Now().seconds() + est > t.deadline_seconds) {
-    t.state = ServingTicketState::kRejected;
-    ctr_serving_rejected_->Add();
-    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_reject",
-                          best->config().id, work.record.id);
-    return true;
+  // Admission-time only: once a request is queued, rejection would make its
+  // terminal class depend on which sweep finds a host (a request whose
+  // deadline equals the sweep timestamp always fails this estimate), so
+  // retries either place or run out the clock above.
+  if (admission) {
+    double step = best->decode_model().StepLatency(
+        best->num_reqs() + 1,
+        static_cast<double>(work.context_tokens) + 0.5 * static_cast<double>(decode_tokens));
+    double est = best->decode_model().PrefillLatency(static_cast<double>(work.context_tokens)) +
+                 static_cast<double>(decode_tokens) * step;
+    if (sim_->Now().seconds() + est > t.deadline_seconds) {
+      t.state = ServingTicketState::kRejected;
+      ctr_serving_rejected_->Add();
+      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_reject",
+                            best->config().id, work.record.id);
+      return true;
+    }
   }
   // Serving preempts decode: when the best host lacks KV headroom, evict
   // in-flight rollout sequences (newest first) and park them exactly as the
@@ -836,20 +961,13 @@ void RolloutManager::ServingSweep() {
   if (!running_ || serving_backlog_.empty()) {
     return;
   }
-  double now = sim_->Now().seconds();
   size_t n = serving_backlog_.size();
   for (size_t i = 0; i < n; ++i) {
     TrajectoryWork w = std::move(serving_backlog_.front());
     serving_backlog_.pop_front();
-    ServingTicket& t = TicketFor(w.record.id);
-    if (now > t.deadline_seconds) {
-      t.state = ServingTicketState::kTimedOut;
-      ctr_serving_timed_out_->Add();
-      LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kManager, "manager/serving_timeout",
-                            -1, w.record.id);
-      continue;
-    }
-    TryPlaceServing(std::move(w));  // re-queues at the back on failure
+    // Expiry (deadline strictly before now) is classified inside the retry
+    // itself, so the sweep and the placement path share one boundary.
+    TryPlaceServing(std::move(w), /*admission=*/false);  // re-queues at the back on failure
   }
 }
 
@@ -861,7 +979,7 @@ void RolloutManager::OnServingComplete(const TrajectoryRecord& record) {
   SimTime now = sim_->Now();
   double latency = now.seconds() - t.arrival.seconds();
   serving_latency_seconds_->Add(latency);
-  bool hit = now.seconds() <= t.deadline_seconds;
+  bool hit = !ServingDeadlinePassed(t.deadline_seconds);
   if (hit) {
     ctr_serving_deadline_hits_->Add();
   } else {
@@ -872,76 +990,185 @@ void RolloutManager::OnServingComplete(const TrajectoryRecord& record) {
                         t.replica, t.arrival, now, record.id, latency);
 }
 
-void RolloutManager::Snapshot(SnapshotTx& tx) const {
+void RolloutManager::Snapshot(SnapshotTx& tx) {
   tx.Begin("rollout_manager");
-  tx.Bool("running", const_cast<bool*>(&running_));
-  uint64_t h = 1469598103934665603ull;
-  uint64_t parked = 0;
-  for (const auto& [version, works] : pending_redirects_) {
-    h = SnapshotFoldI64(h, version);
-    for (const TrajectoryWork& w : works) {
-      h = TrajectoryWorkDigest(w, h);
-      ++parked;
-    }
+  tx.Bool("running", &running_);
+  SnapshotPacked(
+      tx, "pending_redirects",
+      [this](ByteSink& s) {
+        s.U64(pending_redirects_.size());
+        for (const auto& [version, works] : pending_redirects_) {
+          s.I32(version);
+          s.U64(works.size());
+          for (const TrajectoryWork& w : works) {
+            PackWork(s, w);
+          }
+        }
+      },
+      [this](ByteSource& s) {
+        pending_redirects_.clear();
+        uint64_t nv = s.U64();
+        for (uint64_t i = 0; i < nv; ++i) {
+          int version = s.I32();
+          uint64_t nw = s.U64();
+          std::vector<TrajectoryWork>& works =
+              WorksForVersion(pending_redirects_, version);
+          works.reserve(static_cast<size_t>(nw));
+          for (uint64_t j = 0; j < nw; ++j) {
+            works.push_back(UnpackWork(s));
+          }
+        }
+      });
+  SnapshotPacked(
+      tx, "starved",
+      [this](ByteSink& s) {
+        s.U64(starved_.size());
+        for (const RolloutReplica* r : starved_) {
+          s.I32(r->config().id);
+        }
+      },
+      [this](ByteSource& s) {
+        starved_.clear();
+        uint64_t n = s.U64();
+        for (uint64_t i = 0; i < n; ++i) {
+          RolloutReplica* r = FindReplica(s.I32());
+          LAMINAR_CHECK(r != nullptr);
+          starved_.push_back(r);
+        }
+      });
+  SnapshotPacked(
+      tx, "quarantined",
+      [this](ByteSink& s) {
+        s.U64(quarantined_.size());
+        for (uint8_t q : quarantined_) {
+          s.U8(q);
+        }
+      },
+      [this](ByteSource& s) {
+        quarantined_.assign(static_cast<size_t>(s.U64()), 0);
+        for (uint8_t& q : quarantined_) {
+          q = s.U8();
+        }
+      });
+  SnapshotPacked(
+      tx, "probes",
+      [this](ByteSink& s) {
+        s.U64(probes_.size());
+        for (const RateProbe& p : probes_) {
+          s.Bool(p.valid);
+          s.Time(p.at);
+          s.F64(p.sample.busy_seconds);
+          s.F64(p.sample.request_seconds);
+          s.F64(p.sample.ctx_request_seconds);
+          s.I64(p.sample.tokens);
+        }
+      },
+      [this](ByteSource& s) {
+        probes_.assign(static_cast<size_t>(s.U64()), RateProbe{});
+        for (RateProbe& p : probes_) {
+          p.valid = s.Bool();
+          p.at = s.Time();
+          p.sample.busy_seconds = s.F64();
+          p.sample.request_seconds = s.F64();
+          p.sample.ctx_request_seconds = s.F64();
+          p.sample.tokens = s.I64();
+        }
+      });
+  tx.I64As("redirect_retry_attempts", &redirect_retry_attempts_);
+  SnapshotPacked(
+      tx, "pending_jobs",
+      [this](ByteSink& s) {
+        s.I64(next_replacement_seq_);
+        s.U64(replacement_jobs_.size());
+        for (const auto& [seq, job] : replacement_jobs_) {
+          s.I64(seq);
+          s.I32(job.machine);
+          s.U64(job.casualties.size());
+          for (int id : job.casualties) {
+            s.I32(id);
+          }
+        }
+        s.I64(next_thaw_seq_);
+        s.U64(thaw_jobs_.size());
+        for (const auto& [seq, paused] : thaw_jobs_) {
+          s.I64(seq);
+          s.U64(paused.size());
+          for (int id : paused) {
+            s.I32(id);
+          }
+        }
+      },
+      [this](ByteSource& s) {
+        next_replacement_seq_ = s.I64();
+        replacement_jobs_.clear();
+        uint64_t nr = s.U64();
+        for (uint64_t i = 0; i < nr; ++i) {
+          int64_t seq = s.I64();
+          ReplacementJob& job = replacement_jobs_[seq];
+          job.machine = s.I32();
+          job.casualties.assign(static_cast<size_t>(s.U64()), 0);
+          for (int& id : job.casualties) {
+            id = s.I32();
+          }
+        }
+        next_thaw_seq_ = s.I64();
+        thaw_jobs_.clear();
+        uint64_t nt = s.U64();
+        for (uint64_t i = 0; i < nt; ++i) {
+          int64_t seq = s.I64();
+          std::vector<int>& paused = thaw_jobs_[seq];
+          paused.assign(static_cast<size_t>(s.U64()), 0);
+          for (int& id : paused) {
+            id = s.I32();
+          }
+        }
+      });
+  if (tx.adopting()) {
+    // The pending retry event (if any) is re-seated from the event heap by
+    // RestoreContinuation; only the attempt counter travels here.
+    redirect_retry_event_ = kInvalidEventId;
   }
-  tx.DigestU64("pending_redirects", parked);
-  tx.DigestU64("pending_redirects_fnv", h);
-  h = 1469598103934665603ull;
-  for (const RolloutReplica* r : starved_) {
-    h = SnapshotFoldI64(h, r->config().id);
-  }
-  tx.DigestU64("starved", starved_.size());
-  tx.DigestU64("starved_fnv", h);
-  h = 1469598103934665603ull;
-  for (size_t i = 0; i < quarantined_.size(); ++i) {
-    if (quarantined_[i]) {
-      h = SnapshotFoldU64(h, i);
-    }
-  }
-  tx.DigestU64("quarantined_fnv", h);
-  h = 1469598103934665603ull;
-  for (size_t i = 0; i < probes_.size(); ++i) {
-    const RateProbe& p = probes_[i];
-    if (!p.valid) {
-      continue;
-    }
-    h = SnapshotFoldU64(h, i);
-    h = SnapshotFoldF64(h, p.at.seconds());
-    h = SnapshotFoldF64(h, p.sample.busy_seconds);
-    h = SnapshotFoldF64(h, p.sample.request_seconds);
-    h = SnapshotFoldF64(h, p.sample.ctx_request_seconds);
-    h = SnapshotFoldI64(h, p.sample.tokens);
-  }
-  tx.DigestU64("probes_fnv", h);
-  tx.DigestU64("redirect_retry_pending", redirect_retry_event_ != kInvalidEventId ? 1 : 0);
-  tx.DigestI64("redirect_retry_attempts", redirect_retry_attempts_);
   if (config_.serving_enabled) {
     // Gated on the config flag so serving-off blobs keep the historical
     // section layout byte-for-byte.
-    h = 1469598103934665603ull;
-    for (const ServingTicket& t : serving_tickets_) {
-      h = SnapshotFoldF64(h, t.arrival.seconds());
-      h = SnapshotFoldF64(h, t.deadline_seconds);
-      h = SnapshotFoldI64(h, t.replica);
-      h = SnapshotFoldU64(h, static_cast<uint64_t>(t.state));
-    }
-    tx.DigestU64("serving_tickets", serving_tickets_.size());
-    tx.DigestU64("serving_tickets_fnv", h);
-    h = 1469598103934665603ull;
-    for (const TrajectoryWork& w : serving_backlog_) {
-      h = TrajectoryWorkDigest(w, h);
-    }
-    tx.DigestU64("serving_backlog", serving_backlog_.size());
-    tx.DigestU64("serving_backlog_fnv", h);
-    tx.Begin("serving_latency_seconds");
-    serving_latency_seconds_->Snapshot(tx);
-    tx.End();
+    SnapshotPacked(
+        tx, "serving_tickets",
+        [this](ByteSink& s) {
+          s.U64(serving_tickets_.size());
+          for (const ServingTicket& t : serving_tickets_) {
+            s.Time(t.arrival);
+            s.F64(t.deadline_seconds);
+            s.I32(t.replica);
+            s.U8(static_cast<uint8_t>(t.state));
+          }
+        },
+        [this](ByteSource& s) {
+          serving_tickets_.assign(static_cast<size_t>(s.U64()), ServingTicket{});
+          for (ServingTicket& t : serving_tickets_) {
+            t.arrival = s.Time();
+            t.deadline_seconds = s.F64();
+            t.replica = s.I32();
+            t.state = static_cast<ServingTicketState>(s.U8());
+          }
+        });
+    SnapshotPacked(
+        tx, "serving_backlog",
+        [this](ByteSink& s) {
+          s.U64(serving_backlog_.size());
+          for (const TrajectoryWork& w : serving_backlog_) {
+            PackWork(s, w);
+          }
+        },
+        [this](ByteSource& s) {
+          serving_backlog_.clear();
+          uint64_t n = s.U64();
+          for (uint64_t i = 0; i < n; ++i) {
+            serving_backlog_.push_back(UnpackWork(s));
+          }
+        });
   }
   monitor_.Snapshot(tx);
   metrics_.Snapshot(tx, "manager_metrics");
-  tx.Begin("repack_overhead_seconds");
-  repack_overhead_seconds_->Snapshot(tx);
-  tx.End();
   tx.End();
 }
 

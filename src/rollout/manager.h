@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -101,11 +102,29 @@ struct ServingStats {
   SampleSet latency_seconds;      // arrival -> completion, completions only
 };
 
-class RolloutManager {
+class RolloutManager : public ContinuationClient {
  public:
+  // Continuation kinds for the manager's pending events (DESIGN.md §13).
+  enum Continuation : uint16_t {
+    // Relay pull finished: {a=replica id, b=epoch, c=version, d=wait bits}.
+    // Fired synchronously through the registry by the relay tier; never
+    // parked on the event heap.
+    kContPullComplete = 0,
+    kContRedirectRetry = 1,    // backoff retry for parked redirects
+    kContMachineReplaced = 2,  // {a=seq into replacement_jobs_}
+    kContStallThaw = 3,        // {a=seq into thaw_jobs_}
+    kContTick = 4,             // periodic monitoring tick
+    kContServingTick = 5,      // periodic serving sweep
+  };
+
   RolloutManager(Simulator* sim, RolloutManagerConfig config,
                  std::vector<RolloutReplica*> replicas, RelayTier* relays,
                  PromptPool* prompts, PartialResponsePool* partial_pool);
+  ~RolloutManager() override;
+
+  void RunContinuation(uint16_t kind, const ContinuationPayload& p) override;
+  void RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                           SimTime at) override;
 
   // Starts generation: assigns the first prompt batch everywhere and begins
   // the periodic monitoring tick. The driver must have wired each replica's
@@ -175,10 +194,11 @@ class RolloutManager {
   const MetricsRegistry& metrics() const { return metrics_; }
 
   // Snapshot witness (src/snapshot, DESIGN.md §13): parked redirects,
-  // quarantine/starvation state, probe windows, the idleness-monitor history
-  // and the metrics registry. Replica state is witnessed by the driver, which
-  // owns the replicas.
-  void Snapshot(SnapshotTx& tx) const;
+  // quarantine/starvation state, probe windows, serving tickets and backlog,
+  // in-flight replacement/thaw jobs, the idleness-monitor history and the
+  // metrics registry — all fully adoptable for direct boot. Replica state is
+  // witnessed by the driver, which owns the replicas.
+  void Snapshot(SnapshotTx& tx);
   int64_t inflight_trajectories() const;
   const RolloutManagerConfig& config() const { return config_; }
 
@@ -204,19 +224,38 @@ class RolloutManager {
     ServingTicketState state = ServingTicketState::kQueued;
   };
 
+  // A machine-replacement job in flight: the pending event carries only a
+  // sequence number; the job body (which machine, which replicas to revive)
+  // lives here so it serializes with the snapshot.
+  struct ReplacementJob {
+    int machine = 0;
+    std::vector<int> casualties;  // replica ids to revive
+  };
+
   void AssignFreshBatch(RolloutReplica* replica);
   void StartWeightUpdate(RolloutReplica* replica);
+  // Continuation bodies.
+  void OnPullComplete(int replica_id, int64_t epoch, int version,
+                      double wait_seconds);
+  void OnRedirectRetryFire();
+  void OnMachineReplaced(int64_t seq);
+  void OnStallThaw(int64_t seq);
   // True for replicas statically dedicated to serving (never rollout hosts).
   bool ServesOnly(const RolloutReplica* replica) const {
     return config_.serving_enabled && config_.serving_dedicated_replicas > 0 &&
            replica->config().id < config_.serving_dedicated_replicas;
   }
   ServingTicket& TicketFor(TrajId id);
+  // The pinned serving-expiry boundary: late iff deadline < now. Equality is
+  // not expiry (used by retries, timeouts, and deadline-hit bookkeeping).
+  bool ServingDeadlinePassed(double deadline_seconds) const;
   // Returns false when the request stayed queued (no eligible host); terminal
-  // outcomes (admitted, rejected) return true.
-  bool TryPlaceServing(TrajectoryWork work);
-  // Periodic backlog pass: expire queued requests past their deadline, retry
-  // placement for the rest.
+  // outcomes return true. `admission` distinguishes the arrival path (SLO
+  // feasibility may load-shed) from backlog retries (expire via the pinned
+  // boundary, otherwise place or re-queue — never reject).
+  bool TryPlaceServing(TrajectoryWork work, bool admission);
+  // Periodic backlog pass: retry placement for every queued request (expiry
+  // is classified inside the retry, against the pinned boundary).
   void ServingSweep();
   bool BacklogAllowsAssignment() const;
   void RedirectWork(std::vector<TrajectoryWork> works, int weight_version);
@@ -260,6 +299,12 @@ class RolloutManager {
   std::vector<RateProbe> probes_;
   EventId redirect_retry_event_ = kInvalidEventId;
   int redirect_retry_attempts_ = 0;
+  // In-flight machine replacements and stall thaws, keyed by serialized
+  // sequence numbers (the pending events carry only the seq).
+  std::map<int64_t, ReplacementJob> replacement_jobs_;
+  int64_t next_replacement_seq_ = 0;
+  std::map<int64_t, std::vector<int>> thaw_jobs_;
+  int64_t next_thaw_seq_ = 0;
   // All decision counters live in the registry; hot paths go through cached
   // instrument pointers (stable for the registry's lifetime).
   MetricsRegistry metrics_;

@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "src/common/logging.h"
-#include "src/data/trajectory_digest.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/trace/trace.h"
 
 namespace laminar {
@@ -32,7 +32,53 @@ RolloutReplica::RolloutReplica(Simulator* sim, ReplicaConfig config, DecodeModel
       kv_capacity_tokens_(kv_capacity_tokens) {
   LAMINAR_CHECK_GT(kv_capacity_tokens_, 0.0);
   LAMINAR_CHECK_GT(config_.max_concurrency, 0);
+  sim_->continuations().Register(
+      ContinuationComponentId(kContFamilyReplica, config_.id), this);
   TouchMetrics();
+}
+
+RolloutReplica::~RolloutReplica() {
+  sim_->continuations().Unregister(
+      ContinuationComponentId(kContFamilyReplica, config_.id));
+}
+
+void RolloutReplica::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  switch (kind) {
+    case kContAdvance:
+      Advance(p.a);
+      return;
+    case kContEnvRejoin:
+      RejoinFromEnv(FindEnvBySeq(static_cast<uint64_t>(p.a)));
+      return;
+  }
+  LAMINAR_CHECK(false) << "unknown replica continuation kind " << kind;
+}
+
+void RolloutReplica::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                         SimTime at) {
+  int32_t comp = ContinuationComponentId(kContFamilyReplica, config_.id);
+  switch (kind) {
+    case kContAdvance:
+      // The advance metadata (start/steps/latency) was adopted by
+      // SnapshotState; only the event itself needs re-seating.
+      LAMINAR_CHECK_EQ(p.a, advance_steps_);
+      advance_event_ = sim_->ScheduleContinuationAtOn(config_.shard, at, comp, kind, p);
+      return;
+    case kContEnvRejoin: {
+      // The payload carries the env seq — the stable key into env_waiting_
+      // (slab handles are NOT stable across a restore: adoption re-inserts
+      // the entries). Re-scheduling the identical payload keeps the re-minted
+      // heap byte-equal to the blob's event_heap section.
+      EnvEntry* entry =
+          env_waiting_.Get(FindEnvBySeq(static_cast<uint64_t>(p.a)));
+      LAMINAR_CHECK(entry != nullptr)
+          << "pending env rejoin for unknown seq " << p.a;
+      entry->event = sim_->ScheduleContinuationAtOn(config_.shard, at, comp, kind, p);
+      return;
+    }
+  }
+  LAMINAR_CHECK(false) << "replica continuation kind " << kind
+                       << " cannot be pending on the heap";
 }
 
 void RolloutReplica::TouchMetrics() {
@@ -393,6 +439,23 @@ std::vector<EntityHandle> RolloutReplica::EnvHandlesInSeqOrder() const {
   return handles;
 }
 
+EntityHandle RolloutReplica::FindEnvBySeq(uint64_t seq) const {
+  // Linear scan over trajectories currently out on env calls. Rejoins fire
+  // once per sandbox round-trip — orders of magnitude rarer than decode
+  // steps — so the stable-key lookup costs nothing measurable, and the
+  // payload stays reconstructible (DESIGN.md §13).
+  EntityHandle found;
+  bool hit = false;
+  env_waiting_.ForEach([&](EntityHandle h, const EnvEntry& e) {
+    if (e.seq == seq) {
+      found = h;
+      hit = true;
+    }
+  });
+  LAMINAR_CHECK(hit) << "env rejoin for unknown seq " << seq;
+  return found;
+}
+
 int64_t RolloutReplica::ObservedDecodeTokens() const {
   return ObservedDecodeProbe().tokens;
 }
@@ -518,8 +581,9 @@ void RolloutReplica::ScheduleAdvance() {
   advance_stall_ = pending_stall_seconds_;
   pending_stall_seconds_ = 0.0;
   TouchMetrics();
-  advance_event_ = sim_->ScheduleAfterOn(config_.shard, duration,
-                                         [this, steps] { Advance(steps); });
+  advance_event_ = sim_->ScheduleContinuationAfterOn(
+      config_.shard, duration, ContinuationComponentId(kContFamilyReplica, config_.id),
+      kContAdvance, ContinuationPayload::Of(steps));
 }
 
 void RolloutReplica::PreemptForHeadroom() {
@@ -637,8 +701,13 @@ void RolloutReplica::FinishSegment(TrajectoryWork work) {
     entry.seq = ++env_seq_;
     EntityHandle handle = env_waiting_.Insert(std::move(entry));
     EnvEntry* stored = env_waiting_.Get(handle);
-    stored->event = sim_->ScheduleAtOn(config_.shard, stored->at,
-                                       [this, handle] { RejoinFromEnv(handle); });
+    // The event payload names the entry by seq, not by slab handle: the seq
+    // is stable across snapshot adoption (handles are a memory-layout
+    // artifact), so the descriptor serializes and re-mints byte-exactly.
+    stored->event = sim_->ScheduleContinuationAtOn(
+        config_.shard, stored->at,
+        ContinuationComponentId(kContFamilyReplica, config_.id), kContEnvRejoin,
+        ContinuationPayload::Of(static_cast<int64_t>(stored->seq)));
     return;
   }
   work.segment_index += 1;
@@ -706,51 +775,109 @@ void RolloutReplica::CheckBatchDone() {
   }
 }
 
-void RolloutReplica::SnapshotState(SnapshotTx& tx) const {
+void RolloutReplica::SnapshotState(SnapshotTx& tx) {
   tx.Begin("replica");
   tx.DigestI64("id", config_.id);
-  tx.DigestU64("phase", static_cast<uint64_t>(phase_));
-  tx.DigestI64("weight_version", weight_version_);
-  tx.DigestU64("weight_update_epoch", static_cast<uint64_t>(weight_update_epoch_));
-  tx.DigestF64("speed_factor", speed_factor_);
-  tx.DigestF64("kv_used_tokens", kv_used_tokens_);
-  tx.DigestF64("pending_stall_seconds", pending_stall_seconds_);
-  tx.DigestU64("env_seq", env_seq_);
-  uint64_t h = 1469598103934665603ull;
-  for (const TrajectoryWork& w : running_) {
-    h = TrajectoryWorkDigest(w, h);
-  }
-  tx.DigestU64("running_fnv", h);
-  tx.DigestU64("running", running_.size());
-  h = 1469598103934665603ull;
-  for (const TrajectoryWork& w : waiting_) {
-    h = TrajectoryWorkDigest(w, h);
-  }
-  tx.DigestU64("waiting_fnv", h);
-  tx.DigestU64("waiting", waiting_.size());
-  h = 1469598103934665603ull;
-  for (EntityHandle handle : EnvHandlesInSeqOrder()) {
-    h = TrajectoryWorkDigest(env_waiting_.Get(handle)->work, h);
-  }
-  tx.DigestU64("env_waiting_fnv", h);
-  tx.DigestU64("env_waiting", env_waiting_.size());
-  tx.DigestU64("decode_busy_bits", SnapshotF64Bits(decode_busy_seconds_));
-  tx.DigestU64("decode_request_bits", SnapshotF64Bits(decode_request_seconds_));
-  tx.DigestU64("decode_ctx_request_bits", SnapshotF64Bits(decode_ctx_request_seconds_));
-  tx.DigestI64("decode_tokens", metrics_.decode_tokens);
-  tx.DigestI64("prefill_tokens", metrics_.prefill_tokens);
-  tx.DigestI64("completed_trajectories", metrics_.completed_trajectories);
-  tx.DigestI64("preemptions", metrics_.preemptions);
-  tx.DigestI64("migrations_in", metrics_.migrations_in);
-  tx.DigestI64("migrations_out", metrics_.migrations_out);
-  tx.DigestF64("weight_update_wait", metrics_.weight_update_wait_seconds);
-  tx.DigestI64("weight_updates", metrics_.weight_updates);
-  // Serving fields only appear once the tier has touched this replica, so
-  // serving-off blobs keep their historical field layout byte-for-byte.
-  if (serving_assigned_total_ > 0) {
-    tx.DigestI64("serving_active", num_serving_);
-    tx.DigestI64("serving_assigned_total", serving_assigned_total_);
-  }
+  tx.U64As("phase", &phase_);
+  tx.U64As("pre_update_phase", &pre_update_phase_);
+  tx.I64As("weight_version", &weight_version_);
+  tx.I64As("weight_update_epoch", &weight_update_epoch_);
+  tx.F64("speed_factor", &speed_factor_);
+  tx.F64("kv_used_tokens", &kv_used_tokens_);
+  tx.F64("pending_stall_seconds", &pending_stall_seconds_);
+  tx.U64As("env_seq", &env_seq_);
+  // The three work queues in behavior-defining order: running and waiting in
+  // container order, env-waiting in admission (seq) order. Adoption rebuilds
+  // the env slab; pending rejoin events re-resolve their handles through
+  // RestoreContinuation.
+  SnapshotPacked(
+      tx, "queues",
+      [this](ByteSink& s) {
+        s.U64(running_.size());
+        for (const TrajectoryWork& w : running_) {
+          PackWork(s, w);
+        }
+        s.U64(waiting_.size());
+        for (const TrajectoryWork& w : waiting_) {
+          PackWork(s, w);
+        }
+        s.U64(env_waiting_.size());
+        for (EntityHandle h : EnvHandlesInSeqOrder()) {
+          const EnvEntry* e = env_waiting_.Get(h);
+          PackWork(s, e->work);
+          s.Time(e->at);
+          s.U64(e->seq);
+        }
+      },
+      [this](ByteSource& s) {
+        running_.clear();
+        uint64_t num_running = s.U64();
+        running_.reserve(static_cast<size_t>(num_running));
+        for (uint64_t i = 0; i < num_running; ++i) {
+          running_.push_back(UnpackWork(s));
+        }
+        waiting_.clear();
+        for (uint64_t i = 0, n = s.U64(); i < n; ++i) {
+          waiting_.push_back(UnpackWork(s));
+        }
+        env_waiting_.Clear();
+        uint64_t num_env = s.U64();
+        env_waiting_.Reserve(static_cast<size_t>(num_env));
+        for (uint64_t i = 0; i < num_env; ++i) {
+          EnvEntry e;
+          e.work = UnpackWork(s);
+          e.at = s.Time();
+          e.seq = s.U64();
+          env_waiting_.Insert(std::move(e));
+        }
+      });
+  // In-flight advance metadata for partial-progress crediting; the event
+  // itself is re-minted from the event_heap section.
+  SnapshotPacked(
+      tx, "advance",
+      [this](ByteSink& s) {
+        s.Time(advance_start_);
+        s.I64(advance_steps_);
+        s.F64(advance_step_latency_);
+        s.F64(advance_stall_);
+        s.F64(advance_avg_ctx_);
+        s.Time(weight_update_begin_);
+        s.Time(trace_busy_since_);
+        s.Bool(trace_was_busy_);
+      },
+      [this](ByteSource& s) {
+        advance_start_ = s.Time();
+        advance_steps_ = s.I64();
+        advance_step_latency_ = s.F64();
+        advance_stall_ = s.F64();
+        advance_avg_ctx_ = s.F64();
+        weight_update_begin_ = s.Time();
+        trace_busy_since_ = s.Time();
+        trace_was_busy_ = s.Bool();
+        advance_event_ = kInvalidEventId;  // re-seated by RestoreContinuation
+      });
+  tx.F64("decode_busy_seconds", &decode_busy_seconds_);
+  tx.F64("decode_request_seconds", &decode_request_seconds_);
+  tx.F64("decode_ctx_request_seconds", &decode_ctx_request_seconds_);
+  tx.Begin("kv_integrator");
+  metrics_.kv_used_tokens.Snapshot(tx);
+  tx.End();
+  tx.Begin("batch_integrator");
+  metrics_.batch_size.Snapshot(tx);
+  tx.End();
+  tx.Begin("busy_integrator");
+  metrics_.busy.Snapshot(tx);
+  tx.End();
+  tx.I64As("decode_tokens", &metrics_.decode_tokens);
+  tx.I64As("prefill_tokens", &metrics_.prefill_tokens);
+  tx.I64As("completed_trajectories", &metrics_.completed_trajectories);
+  tx.I64As("preemptions", &metrics_.preemptions);
+  tx.I64As("migrations_in", &metrics_.migrations_in);
+  tx.I64As("migrations_out", &metrics_.migrations_out);
+  tx.F64("weight_update_wait", &metrics_.weight_update_wait_seconds);
+  tx.I64As("weight_updates", &metrics_.weight_updates);
+  tx.I64As("serving_active", &num_serving_);
+  tx.I64As("serving_assigned_total", &serving_assigned_total_);
   tx.End();
 }
 

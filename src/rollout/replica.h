@@ -82,8 +82,15 @@ struct ReplicaMetrics {
   int weight_updates = 0;
 };
 
-class RolloutReplica {
+class RolloutReplica : public ContinuationClient {
  public:
+  // Continuation kinds for the replica's pending events (DESIGN.md §13).
+  // Component id is (kContFamilyReplica, replica id).
+  enum Continuation : uint16_t {
+    kContAdvance = 0,    // decode advance completes: {a=steps}
+    kContEnvRejoin = 1,  // env call returns: {a=env seq}
+  };
+
   // Fired when one trajectory finishes generation.
   using CompletionCallback = std::function<void(TrajectoryRecord record)>;
   // Fired when the replica drains all assigned work.
@@ -93,6 +100,11 @@ class RolloutReplica {
 
   RolloutReplica(Simulator* sim, ReplicaConfig config, DecodeModel decode,
                  double kv_capacity_tokens);
+  ~RolloutReplica() override;
+
+  void RunContinuation(uint16_t kind, const ContinuationPayload& p) override;
+  void RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                           SimTime at) override;
 
   void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
   void set_on_batch_done(BatchDoneCallback cb) { on_batch_done_ = std::move(cb); }
@@ -220,10 +232,13 @@ class RolloutReplica {
   DecodeProbeSample ObservedDecodeProbe() const;
 
   // Snapshot witness (src/snapshot, DESIGN.md §13): phase, weights, KV
-  // accounting, the three work queues (order-sensitive digests) and the
-  // committed metrics. Named SnapshotState because Snapshot() is taken by the
-  // repack-facing ReplicaSnapshot.
-  void SnapshotState(SnapshotTx& tx) const;
+  // accounting, the three work queues (fully serialized in behavior-defining
+  // order) and the committed metrics — all adoptable, so a direct boot
+  // re-seats the decode batch exactly. Pending advance/rejoin events are
+  // re-minted from the simulator's event_heap section, not from here. Named
+  // SnapshotState because Snapshot() is taken by the repack-facing
+  // ReplicaSnapshot.
+  void SnapshotState(SnapshotTx& tx);
 
  private:
   void ScheduleAdvance();
@@ -257,10 +272,11 @@ class RolloutReplica {
   double speed_factor_ = 1.0;
 
   // One trajectory blocked on a sandbox/env call. Entries live in a
-  // generation-tagged slab; the pending rejoin event captures the slab
-  // handle, making the rejoin O(1) instead of a linear id search. `seq`
-  // records admission order for the rare drain paths (ExtractAllWork, Kill)
-  // whose processing order must match the old insertion-ordered list.
+  // generation-tagged slab; the pending rejoin event names its entry by
+  // `seq` — the stable admission-order key that survives snapshot adoption
+  // (slab handles are a memory-layout artifact and do not). `seq` also
+  // orders the rare drain paths (ExtractAllWork, Kill) whose processing
+  // order must match the old insertion-ordered list.
   struct EnvEntry {
     TrajectoryWork work;
     EventId event = kInvalidEventId;
@@ -270,6 +286,8 @@ class RolloutReplica {
 
   // Live env entries sorted by seq — the old insertion order.
   std::vector<EntityHandle> EnvHandlesInSeqOrder() const;
+  // Resolves a rejoin payload's seq to the live slab handle (CHECKs on miss).
+  EntityHandle FindEnvBySeq(uint64_t seq) const;
 
   std::vector<TrajectoryWork> running_;
   std::deque<TrajectoryWork> waiting_;

@@ -360,7 +360,11 @@ void ShardScheduler::ExecuteLaneWindow(Lane& lane) {
     Simulator::HeapPopTop(lane);
     Simulator::Slot& s = lane.slots[m.slot];
     s.state = Simulator::SlotState::kExecuting;
-    std::function<void()> fn = std::move(s.fn);
+    const ContinuationDesc desc = s.desc;
+    std::function<void()> fn;
+    if (desc.comp < 0) {
+      fn = std::move(s.fn);
+    }
     lane.now = SimTime(Simulator::KeyTime(key));
     --lane.live;
     lane.exec_log.push_back(Simulator::ExecRecord{key, m.rank});
@@ -374,11 +378,17 @@ void ShardScheduler::ExecuteLaneWindow(Lane& lane) {
     lane.ctx_event_rank = m.rank;
     lane.ctx_replay = false;
     lane.current = m.slot;
-    fn();
+    if (desc.comp >= 0) {
+      sim_->registry_.Run(desc.comp, desc.kind, desc.payload);
+    } else {
+      fn();
+    }
     lane.current = Simulator::kNoCurrent;
     Simulator::Slot& after = lane.slots[m.slot];
     if (after.state == Simulator::SlotState::kRearmed) {
-      after.fn = std::move(fn);
+      if (desc.comp < 0) {
+        after.fn = std::move(fn);
+      }
       after.state = Simulator::SlotState::kPending;
     } else {
       Simulator::RetireSlot(lane, m.slot);

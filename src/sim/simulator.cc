@@ -42,6 +42,7 @@ uint32_t Simulator::AllocSlot(Lane& lane) {
 void Simulator::RetireSlot(Lane& lane, uint32_t slot) {
   Slot& s = lane.slots[slot];
   s.fn = nullptr;
+  s.desc = ContinuationDesc{};
   if (++s.generation == 0) {
     s.generation = 1;  // keep packed ids nonzero and unambiguous
   }
@@ -180,6 +181,30 @@ EventId Simulator::ScheduleOnLane(uint32_t lane_idx, SimTime t,
   return Pack(lane_idx, slot, s.generation);
 }
 
+EventId Simulator::ScheduleDescOnLane(uint32_t lane_idx, SimTime t,
+                                      const ContinuationDesc& desc) {
+  Lane& ctx = CtxLane();
+  LAMINAR_CHECK(t >= ctx.now) << "scheduling into the past: " << t.seconds() << " < "
+                              << ctx.now.seconds();
+  LAMINAR_CHECK_LT(lane_idx, lanes_.size());
+  if (window_active_) {
+    if (Lane* wl = MutableTlsLane(); wl != nullptr && wl->index != lane_idx) {
+      scheduler_->ValidateCrossShardSchedule(wl->now, t);
+      StageFromWindow(*wl,
+                      [this, lane_idx, t, desc] { ScheduleDescOnLane(lane_idx, t, desc); });
+      return kInvalidEventId;
+    }
+  }
+  Lane& target = lanes_[lane_idx];
+  uint32_t slot = AllocSlot(target);
+  Slot& s = target.slots[slot];
+  s.desc = desc;
+  s.state = SlotState::kPending;
+  PushHeap(target, t, slot, s.generation, NextActionRank(ctx));
+  ++target.live;
+  return Pack(lane_idx, slot, s.generation);
+}
+
 EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   uint32_t target = 0;
   if (window_active_) {
@@ -213,6 +238,44 @@ EventId Simulator::ScheduleAtOn(int shard, SimTime t, std::function<void()> fn) 
 EventId Simulator::ScheduleAfterOn(int shard, double delay, std::function<void()> fn) {
   LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
   return ScheduleAtOn(shard, CtxLane().now + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleContinuationAt(SimTime t, int32_t comp, uint16_t kind,
+                                          const ContinuationPayload& payload) {
+  LAMINAR_CHECK_GE(comp, 0);
+  uint32_t target = 0;
+  if (window_active_) {
+    if (Lane* wl = MutableTlsLane()) {
+      target = wl->index;
+    }
+  }
+  return ScheduleDescOnLane(target, t, ContinuationDesc{comp, kind, payload});
+}
+
+EventId Simulator::ScheduleContinuationAfter(double delay, int32_t comp, uint16_t kind,
+                                             const ContinuationPayload& payload) {
+  LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
+  return ScheduleContinuationAt(CtxLane().now + delay, comp, kind, payload);
+}
+
+EventId Simulator::ScheduleContinuationAtOn(int shard, SimTime t, int32_t comp,
+                                            uint16_t kind,
+                                            const ContinuationPayload& payload) {
+  LAMINAR_CHECK_GE(comp, 0);
+  if (!sharded()) {
+    return ScheduleDescOnLane(0, t, ContinuationDesc{comp, kind, payload});
+  }
+  LAMINAR_CHECK_GE(shard, 0);
+  LAMINAR_CHECK_LT(static_cast<size_t>(shard), lanes_.size());
+  return ScheduleDescOnLane(static_cast<uint32_t>(shard), t,
+                            ContinuationDesc{comp, kind, payload});
+}
+
+EventId Simulator::ScheduleContinuationAfterOn(int shard, double delay, int32_t comp,
+                                               uint16_t kind,
+                                               const ContinuationPayload& payload) {
+  LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
+  return ScheduleContinuationAtOn(shard, CtxLane().now + delay, comp, kind, payload);
 }
 
 EventId Simulator::RearmCurrentAfter(double delay) {
@@ -317,10 +380,15 @@ bool Simulator::StepLane(Lane& lane) {
     }
     Slot& s = lane.slots[m.slot];
     s.state = SlotState::kExecuting;
-    // Run the closure from a local: the callback may schedule events that
-    // grow the slab (invalidating `s`), cancel its own re-arm, or be the
-    // closure's only owner.
-    std::function<void()> fn = std::move(s.fn);
+    // Run the body from locals: the callback may schedule events that grow
+    // the slab (invalidating `s`), cancel its own re-arm, or be the
+    // closure's only owner. Descriptor events copy 40 bytes of POD instead
+    // of moving a closure.
+    const ContinuationDesc desc = s.desc;
+    std::function<void()> fn;
+    if (desc.comp < 0) {
+      fn = std::move(s.fn);
+    }
     Lane& ctrl = lanes_.front();
     ctrl.now = SimTime(t);
     lane.now = SimTime(t);
@@ -339,12 +407,18 @@ bool Simulator::StepLane(Lane& lane) {
     uint32_t prev_exec_lane = serial_exec_lane_;
     lane.current = m.slot;
     serial_exec_lane_ = lane.index;
-    fn();
+    if (desc.comp >= 0) {
+      registry_.Run(desc.comp, desc.kind, desc.payload);
+    } else {
+      fn();
+    }
     serial_exec_lane_ = prev_exec_lane;
     lane.current = prev_current;
     Slot& after = lane.slots[m.slot];
     if (after.state == SlotState::kRearmed) {
-      after.fn = std::move(fn);  // hand the closure back for the next firing
+      if (desc.comp < 0) {
+        after.fn = std::move(fn);  // hand the closure back for the next firing
+      }
       after.state = SlotState::kPending;
     } else {
       RetireSlot(lane, m.slot);
@@ -430,28 +504,132 @@ void Simulator::set_window_time_cap(double seconds) {
   scheduler_->set_window_time_cap(seconds);
 }
 
-void Simulator::Snapshot(SnapshotTx& tx) const {
+namespace {
+
+// One canonical event_heap entry: 48 little-endian bytes. Ranks and lane
+// layout are excluded on purpose — both differ between serial and sharded
+// runs at the same barrier while the canonical order does not.
+void PackHeapEntry(std::string& out, uint64_t key, const ContinuationDesc& d) {
+  auto put_le = [&out](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  put_le(key, 8);
+  put_le(static_cast<uint32_t>(d.comp), 4);
+  put_le(d.kind, 2);
+  put_le(0, 2);
+  put_le(static_cast<uint64_t>(d.payload.a), 8);
+  put_le(static_cast<uint64_t>(d.payload.b), 8);
+  put_le(static_cast<uint64_t>(d.payload.c), 8);
+  put_le(static_cast<uint64_t>(d.payload.d), 8);
+}
+
+constexpr size_t kHeapEntryBytes = 48;
+
+uint64_t ReadLe(const std::string& s, size_t pos, int bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(s[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Simulator::Snapshot(SnapshotTx& tx) {
   tx.Begin("sim");
-  tx.DigestF64("now", lanes_.front().now.seconds());
-  tx.DigestU64("executed", executed_);
-  // Sorted multiset of live event time keys across all lanes: identical for
-  // serial and sharded runs stopped at the same barrier, regardless of the
-  // per-lane heap layout the keys happen to live in.
-  std::vector<uint64_t> keys;
+  double now_s = lanes_.front().now.seconds();
+  uint64_t executed = executed_;
+  tx.F64("now", &now_s);
+  tx.U64("executed", &executed);
+  if (tx.adopting()) {
+    LAMINAR_CHECK_EQ(pending_events(), 0u)
+        << "direct-boot adopt into a simulator that already scheduled events";
+    executed_ = executed;
+    for (Lane& lane : lanes_) {
+      lane.now = SimTime(now_s);
+    }
+  }
+  // Live entries across all lanes in canonical (time key, rank) order. The
+  // sorted order is identical for serial and sharded runs stopped at the
+  // same barrier even though the rank values themselves differ.
+  struct Entry {
+    uint64_t key;
+    ShardRank rank;
+    ContinuationDesc desc;
+  };
+  std::vector<Entry> entries;
   size_t live = 0;
+  bool complete = true;
   for (const Lane& lane : lanes_) {
     live += lane.live;
     for (size_t i = 0; i < lane.heap_meta.size(); ++i) {
-      if (Live(lane, lane.heap_meta[i])) {
-        keys.push_back(lane.heap_keys[i]);
+      const HeapMeta& m = lane.heap_meta[i];
+      if (!Live(lane, m)) {
+        continue;
+      }
+      const Slot& s = lane.slots[m.slot];
+      entries.push_back(Entry{lane.heap_keys[i], m.rank, s.desc});
+      if (s.desc.comp < 0) {
+        complete = false;
       }
     }
   }
-  std::sort(keys.begin(), keys.end());
-  tx.DigestU64("live_events", static_cast<uint64_t>(live));
-  tx.DigestU64("live_key_fnv",
-               SnapshotFnv1a(keys.data(), keys.size() * sizeof(uint64_t)));
+  LAMINAR_CHECK_EQ(entries.size(), live);
+  std::sort(entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
+    return KeyRankLess(x.key, x.rank, y.key, y.rank);
+  });
+  uint64_t live_u = static_cast<uint64_t>(live);
+  tx.U64("live_events", &live_u);
+  bool complete_b = complete;
+  tx.Bool("heap_complete", &complete_b);
+  std::string packed;
+  packed.reserve(entries.size() * kHeapEntryBytes);
+  for (const Entry& e : entries) {
+    PackHeapEntry(packed, e.key, e.desc);
+  }
+  tx.Bytes("event_heap", &packed);
+  if (tx.adopting()) {
+    LAMINAR_CHECK_EQ(packed.size(), live_u * kHeapEntryBytes)
+        << "event_heap section size disagrees with live_events";
+    restored_.clear();
+    restored_.reserve(live_u);
+    for (size_t pos = 0; pos < packed.size(); pos += kHeapEntryBytes) {
+      RestoredEvent ev;
+      ev.key = ReadLe(packed, pos, 8);
+      ev.desc.comp = static_cast<int32_t>(static_cast<uint32_t>(ReadLe(packed, pos + 8, 4)));
+      ev.desc.kind = static_cast<uint16_t>(ReadLe(packed, pos + 12, 2));
+      ev.desc.payload.a = static_cast<int64_t>(ReadLe(packed, pos + 16, 8));
+      ev.desc.payload.b = static_cast<int64_t>(ReadLe(packed, pos + 24, 8));
+      ev.desc.payload.c = static_cast<int64_t>(ReadLe(packed, pos + 32, 8));
+      ev.desc.payload.d = static_cast<int64_t>(ReadLe(packed, pos + 40, 8));
+      restored_.push_back(ev);
+    }
+  }
   tx.End();
+}
+
+void Simulator::RemintRestoredEvents() {
+  // Canonical-order re-mint: ranks are minted from the restored top-level
+  // context (ctx_hi = executed count, k increasing), so every pairwise
+  // (key, rank) comparison — among restored events, and between restored
+  // and future events — agrees with what a replay-anchored restore leaves
+  // in the heap. See DESIGN.md §13 for the argument.
+  Lane& ctrl = lanes_.front();
+  ctrl.ctx_hi = executed_;
+  ctrl.ctx_k = 0;
+  ctrl.ctx_j = 0;
+  ctrl.ctx_replay = false;
+  std::vector<RestoredEvent> entries = std::move(restored_);
+  restored_.clear();
+  for (const RestoredEvent& e : entries) {
+    LAMINAR_CHECK_GE(e.desc.comp, 0)
+        << "snapshot contains a non-reconstructible (closure) event; "
+           "direct-boot restore requires continuation descriptors";
+    registry_.Require(e.desc.comp)
+        .RestoreContinuation(e.desc.kind, e.desc.payload, SimTime(KeyTime(e.key)));
+  }
 }
 
 void Simulator::set_trace(TraceSink* sink) {
@@ -525,6 +703,13 @@ PeriodicTask::PeriodicTask(Simulator* sim, double period, std::function<void()> 
   LAMINAR_CHECK_GT(period_, 0.0);
 }
 
+PeriodicTask::PeriodicTask(Simulator* sim, double period, int32_t comp, uint16_t kind,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), comp_(comp), kind_(kind), fn_(std::move(fn)) {
+  LAMINAR_CHECK_GT(period_, 0.0);
+  LAMINAR_CHECK_GE(comp_, 0);
+}
+
 PeriodicTask::~PeriodicTask() { Stop(); }
 
 void PeriodicTask::Start() {
@@ -532,7 +717,18 @@ void PeriodicTask::Start() {
     return;
   }
   running_ = true;
-  pending_ = sim_->ScheduleAfter(period_, [this] { Tick(); });
+  pending_ = comp_ >= 0
+                 ? sim_->ScheduleContinuationAfter(period_, comp_, kind_)
+                 : sim_->ScheduleAfter(period_, [this] { Tick(); });
+}
+
+void PeriodicTask::RestorePending(SimTime at) {
+  LAMINAR_CHECK_GE(comp_, 0) << "RestorePending on a closure-based PeriodicTask";
+  if (pending_ != kInvalidEventId) {
+    sim_->Cancel(pending_);
+  }
+  running_ = true;
+  pending_ = sim_->ScheduleContinuationAt(at, comp_, kind_);
 }
 
 void PeriodicTask::Stop() {

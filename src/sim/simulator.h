@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/sim/continuation.h"
 
 namespace laminar {
 
@@ -134,6 +135,27 @@ class Simulator {
   // the lookahead horizon.
   EventId ScheduleAtOn(int shard, SimTime t, std::function<void()> fn);
   EventId ScheduleAfterOn(int shard, double delay, std::function<void()> fn);
+
+  // Data-only scheduling (DESIGN.md §13): instead of a closure the event
+  // stores a (component, kind, payload) descriptor dispatched through the
+  // continuation registry when it fires. Descriptor events serialize into
+  // the snapshot's event_heap section, which is what makes direct-boot
+  // restore possible; persistent scheduling paths must use these overloads.
+  EventId ScheduleContinuationAt(SimTime t, int32_t comp, uint16_t kind,
+                                 const ContinuationPayload& payload = {});
+  EventId ScheduleContinuationAfter(double delay, int32_t comp, uint16_t kind,
+                                    const ContinuationPayload& payload = {});
+  EventId ScheduleContinuationAtOn(int shard, SimTime t, int32_t comp,
+                                   uint16_t kind,
+                                   const ContinuationPayload& payload = {});
+  EventId ScheduleContinuationAfterOn(int shard, double delay, int32_t comp,
+                                      uint16_t kind,
+                                      const ContinuationPayload& payload = {});
+
+  // Components register their continuation dispatch here (at construction /
+  // Setup, before any descriptor event fires or is restored).
+  ContinuationRegistry& continuations() { return registry_; }
+  const ContinuationRegistry& continuations() const { return registry_; }
 
   // Re-schedules the event whose callback is currently executing to fire
   // again after `delay` seconds, reusing its stored closure — no new
@@ -249,14 +271,25 @@ class Simulator {
     return n;
   }
 
-  // Digest snapshot of the engine (src/snapshot, DESIGN.md §13): the clock,
-  // the executed-event count, and an order-independent hash over the live
-  // pending-event time multiset. Closures cannot be serialized, so the
-  // engine contributes a witness that restore-by-replay checks against; the
-  // digest deliberately excludes per-lane layout, slot generations, and
-  // ranks, which legitimately differ between serial and sharded runs at the
-  // same barrier.
-  void Snapshot(SnapshotTx& tx) const;
+  // Engine snapshot (src/snapshot, DESIGN.md §13): the clock, the
+  // executed-event count, and the live event heap serialized in canonical
+  // (time, rank) order as (time_key, component, kind, payload) entries.
+  // Rank values, per-lane layout, and slot generations are deliberately
+  // excluded — they legitimately differ between serial and sharded runs at
+  // the same barrier, while the canonical entry list is byte-identical. In
+  // adopt mode the clock and executed count are seated on every lane and
+  // the entries are stashed; the driver calls RemintRestoredEvents() after
+  // the full component adoption walk so RestoreContinuation implementations
+  // see fully-adopted component state.
+  void Snapshot(SnapshotTx& tx);
+
+  // Re-schedules every stashed snapshot entry through the continuation
+  // registry, minting ranks in canonical order from the restored top-level
+  // context — which reproduces exactly the (key, rank) comparisons a
+  // replay-anchored restore would have left in the heap. CHECK-fails if the
+  // blob contained a non-reconstructible (closure) event.
+  void RemintRestoredEvents();
+  size_t restored_events_pending() const { return restored_.size(); }
 
   // Shard-execution counters (zero when unsharded): windows opened, events
   // executed inside windows, serial fallback steps taken by the window loop,
@@ -282,8 +315,15 @@ class Simulator {
 
   struct Slot {
     std::function<void()> fn;
+    ContinuationDesc desc;  // comp >= 0: data-only event, fn unused
     uint32_t generation = 1;
     SlotState state = SlotState::kFree;
+  };
+
+  // One live heap entry read back from a snapshot, awaiting re-mint.
+  struct RestoredEvent {
+    uint64_t key = 0;
+    ContinuationDesc desc;
   };
 
   // The heap is stored as parallel arrays (struct-of-arrays): heap_keys
@@ -422,6 +462,8 @@ class Simulator {
   }
 
   EventId ScheduleOnLane(uint32_t lane_idx, SimTime t, std::function<void()> fn);
+  EventId ScheduleDescOnLane(uint32_t lane_idx, SimTime t,
+                             const ContinuationDesc& desc);
   void StageFromWindow(Lane& lane, std::function<void()> fn);
 
   static uint32_t AllocSlot(Lane& lane);
@@ -448,6 +490,8 @@ class Simulator {
   uint32_t serial_exec_lane_ = 0;  // lane whose event a serial step is running
   std::vector<Lane> lanes_;
   std::unique_ptr<ShardScheduler> scheduler_;
+  ContinuationRegistry registry_;
+  std::vector<RestoredEvent> restored_;  // adopt-mode stash, see Snapshot()
 };
 
 // A repeating timer: runs `fn` every `period` seconds starting at
@@ -458,6 +502,12 @@ class Simulator {
 class PeriodicTask {
  public:
   PeriodicTask(Simulator* sim, double period, std::function<void()> fn);
+  // Reconstructible variant: the tick event carries (comp, kind) and the
+  // owning component's RunContinuation must route that kind to Fire(). Such
+  // tasks serialize their pending tick into the event_heap section and
+  // support RestorePending() on direct boot.
+  PeriodicTask(Simulator* sim, double period, int32_t comp, uint16_t kind,
+               std::function<void()> fn);
   ~PeriodicTask();
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
@@ -467,11 +517,20 @@ class PeriodicTask {
   bool running() const { return running_; }
   void set_period(double period) { period_ = period; }
 
+  // Continuation entry point: the owner's RunContinuation calls this when
+  // the task's tick kind fires.
+  void Fire() { Tick(); }
+  // Direct-boot restore of a pending tick read from the event heap:
+  // re-schedules it at `at` and marks the task running.
+  void RestorePending(SimTime at);
+
  private:
   void Tick();
 
   Simulator* sim_;
   double period_;
+  int32_t comp_ = -1;
+  uint16_t kind_ = 0;
   std::function<void()> fn_;
   EventId pending_ = kInvalidEventId;
   bool running_ = false;

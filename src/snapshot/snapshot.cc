@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/common/logging.h"
+
 namespace laminar {
 namespace {
 
@@ -58,13 +60,52 @@ struct Cursor {
     at += 8;
     return v;
   }
-  std::string Raw(size_t k) {
-    if (!Need(k)) return std::string();
-    std::string s(reinterpret_cast<const char*>(p + at), k);
+  std::string_view Raw(size_t k) {
+    if (!Need(k)) return std::string_view();
+    std::string_view s(reinterpret_cast<const char*>(p + at), k);
     at += k;
     return s;
   }
 };
+
+// v2 checksum: FNV-1a split across 8 positional lanes (byte j feeds lane
+// j%8), folded in lane order. The eight multiply chains are independent, so
+// they pipeline where plain FNV-1a serializes on multiply latency — ~4x
+// faster over the multi-megabyte blobs direct-boot restore must validate.
+// Byte-order-stable and positional: permuting stripes changes the value.
+uint64_t SnapshotFnv1a8(const void* data, size_t n) {
+  constexpr uint64_t kSeed = 1469598103934665603ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t lane[8] = {kSeed, kSeed, kSeed, kSeed, kSeed, kSeed, kSeed, kSeed};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    lane[0] = (lane[0] ^ p[i + 0]) * kPrime;
+    lane[1] = (lane[1] ^ p[i + 1]) * kPrime;
+    lane[2] = (lane[2] ^ p[i + 2]) * kPrime;
+    lane[3] = (lane[3] ^ p[i + 3]) * kPrime;
+    lane[4] = (lane[4] ^ p[i + 4]) * kPrime;
+    lane[5] = (lane[5] ^ p[i + 5]) * kPrime;
+    lane[6] = (lane[6] ^ p[i + 6]) * kPrime;
+    lane[7] = (lane[7] ^ p[i + 7]) * kPrime;
+  }
+  for (size_t j = 0; i < n; ++i, ++j) {
+    lane[j] = (lane[j] ^ p[i]) * kPrime;
+  }
+  uint64_t h = kSeed;
+  for (uint64_t l : lane) {
+    for (int b = 0; b < 8; ++b) {
+      h = (h ^ ((l >> (8 * b)) & 0xff)) * kPrime;
+    }
+  }
+  return h;
+}
+
+// The trailing-checksum algorithm is keyed by the header version so v1
+// blobs (plain FNV-1a) keep parsing forever.
+uint64_t SnapshotChecksum(const void* data, size_t n, uint32_t version) {
+  return version >= 2 ? SnapshotFnv1a8(data, n) : SnapshotFnv1a(data, n);
+}
 
 const char* KindName(SnapshotRecordKind kind) {
   switch (kind) {
@@ -79,27 +120,6 @@ const char* KindName(SnapshotRecordKind kind) {
   return "?";
 }
 
-std::string FormatValue(const SnapshotRecord& rec) {
-  char buf[64];
-  switch (rec.kind) {
-    case SnapshotRecordKind::kU64:
-      std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(rec.u64));
-      return buf;
-    case SnapshotRecordKind::kI64:
-      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(static_cast<int64_t>(rec.u64)));
-      return buf;
-    case SnapshotRecordKind::kF64:
-      std::snprintf(buf, sizeof(buf), "%.17g", SnapshotBitsF64(rec.u64));
-      return buf;
-    case SnapshotRecordKind::kBytes:
-      std::snprintf(buf, sizeof(buf), "<%zu bytes fnv=%016llx>", rec.bytes.size(),
-                    static_cast<unsigned long long>(SnapshotFnv1a(rec.bytes.data(), rec.bytes.size())));
-      return buf;
-    default:
-      return "";
-  }
-}
-
 }  // namespace
 
 uint64_t SnapshotFnv1a(const void* data, size_t n, uint64_t seed) {
@@ -112,9 +132,9 @@ uint64_t SnapshotFnv1a(const void* data, size_t n, uint64_t seed) {
   return h;
 }
 
-SnapshotWriter::SnapshotWriter() {
+SnapshotWriter::SnapshotWriter(uint32_t version) : version_(version) {
   out_.append(kSnapshotMagic, sizeof(kSnapshotMagic));
-  AppendU32(out_, kSnapshotVersion);
+  AppendU32(out_, version);
 }
 
 void SnapshotWriter::Record(SnapshotRecordKind kind, const std::string& name) {
@@ -153,7 +173,7 @@ void SnapshotWriter::Bytes(const std::string& name, const std::string& v) {
 std::string SnapshotWriter::Finish() {
   if (!finished_) {
     AppendU8(out_, static_cast<uint8_t>(SnapshotRecordKind::kEndOfStream));
-    AppendU64(out_, SnapshotFnv1a(out_.data(), out_.size()));
+    AppendU64(out_, SnapshotChecksum(out_.data(), out_.size(), version_));
     finished_ = true;
   }
   return out_;
@@ -171,19 +191,21 @@ bool SnapshotReader::Parse(const std::string& data, std::string* error) {
   if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     return fail("bad snapshot magic");
   }
-  uint64_t want = 0;
-  std::memcpy(&want, data.data() + data.size() - 8, 8);
+  // The version must be read before the checksum can be verified: the
+  // checksum algorithm is version-keyed (v1 plain FNV-1a, v2 8-lane).
+  Cursor cur{reinterpret_cast<const unsigned char*>(data.data()), data.size() - 8};
+  cur.at = sizeof(kSnapshotMagic);
+  uint32_t version = cur.U32();
+  if (version < kSnapshotMinVersion || version > kSnapshotVersion) {
+    return fail("unsupported snapshot version");
+  }
+  version_ = version;
   uint64_t have_bits = 0;  // stored little-endian; reassemble explicitly
   for (int i = 0; i < 8; ++i) {
     have_bits |= static_cast<uint64_t>(static_cast<unsigned char>(data[data.size() - 8 + i])) << (8 * i);
   }
-  uint64_t computed = SnapshotFnv1a(data.data(), data.size() - 8);
+  uint64_t computed = SnapshotChecksum(data.data(), data.size() - 8, version);
   if (have_bits != computed) return fail("snapshot checksum mismatch");
-
-  Cursor cur{reinterpret_cast<const unsigned char*>(data.data()), data.size() - 8};
-  cur.at = sizeof(kSnapshotMagic);
-  uint32_t version = cur.U32();
-  if (version != kSnapshotVersion) return fail("unsupported snapshot version");
   while (true) {
     uint8_t kind = cur.U8();
     if (cur.fail) return fail("snapshot record truncated");
@@ -251,7 +273,7 @@ const SnapshotRecord* SnapshotTx::Expect(SnapshotRecordKind kind, const std::str
   }
   if (rec->kind != kind || rec->name != name) {
     Mismatch(Scope(name) + ": expected " + std::string(KindName(kind)) + " '" + name +
-             "', snapshot has " + KindName(rec->kind) + " '" + rec->name + "'");
+             "', snapshot has " + KindName(rec->kind) + " '" + std::string(rec->name) + "'");
     return nullptr;
   }
   return rec;
@@ -334,7 +356,7 @@ void SnapshotTx::Bytes(const std::string& name, std::string* v) {
   const SnapshotRecord* rec = Expect(SnapshotRecordKind::kBytes, name);
   if (rec == nullptr) return;
   if (adopting()) {
-    *v = rec->bytes;
+    v->assign(rec->bytes.data(), rec->bytes.size());
   } else if (rec->bytes != *v) {
     char buf[128];
     std::snprintf(buf, sizeof(buf), "live=<%zu bytes fnv=%016llx> snapshot=<%zu bytes fnv=%016llx>",
@@ -343,6 +365,12 @@ void SnapshotTx::Bytes(const std::string& name, std::string* v) {
                   static_cast<unsigned long long>(SnapshotFnv1a(rec->bytes.data(), rec->bytes.size())));
     Mismatch(Scope(name) + ": " + buf);
   }
+}
+
+std::string_view SnapshotTx::BytesView(const std::string& name) {
+  LAMINAR_CHECK(adopting()) << "BytesView is adopt-only; use Bytes() to write or verify";
+  const SnapshotRecord* rec = Expect(SnapshotRecordKind::kBytes, name);
+  return rec == nullptr ? std::string_view() : rec->bytes;
 }
 
 void SnapshotTx::F64Vec(const std::string& name, std::vector<double>* v) {

@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/snapshot/snapshot.h"
+#include "src/snapshot/snapshot_codec.h"
 
 namespace laminar {
 
@@ -159,11 +160,107 @@ std::string MetricsRegistry::DumpText() const {
   return out;
 }
 
-void MetricsRegistry::Snapshot(SnapshotTx& tx, const char* section) const {
+void MetricsRegistry::Snapshot(SnapshotTx& tx, const char* section) {
   tx.Begin(section);
-  tx.DigestU64("entries", entries_.size());
-  std::string text = DumpText();
-  tx.DigestU64("dump_fnv", SnapshotFnv1a(text.data(), text.size()));
+  SnapshotPacked(
+      tx, "instruments",
+      [this](ByteSink& s) {
+        s.U64(entries_.size());
+        for (const Entry& e : entries_) {
+          s.Str(e.name);
+          s.U8(static_cast<uint8_t>(e.type));
+          switch (e.type) {
+            case MetricType::kCounter:
+              s.I64(counters_[e.index].value());
+              break;
+            case MetricType::kGauge:
+              s.F64(gauges_[e.index].value());
+              break;
+            case MetricType::kStreaming: {
+              StreamingStat::State st = streams_[e.index].state();
+              s.U64(st.count);
+              s.F64(st.mean);
+              s.F64(st.m2);
+              s.F64(st.sum);
+              s.F64(st.min);
+              s.F64(st.max);
+              break;
+            }
+            case MetricType::kSamples: {
+              const SampleSet& ss = samples_[e.index];
+              s.U64(ss.count());
+              for (double x : ss.samples()) {
+                s.F64(x);
+              }
+              s.Bool(ss.raw_sorted());
+              break;
+            }
+            case MetricType::kHistogram: {
+              const Histogram& h = histograms_[e.index];
+              s.U64(h.buckets().size());
+              for (size_t c : h.buckets()) {
+                s.U64(c);
+              }
+              s.U64(h.underflow());
+              s.U64(h.overflow());
+              s.U64(h.total_count());
+              break;
+            }
+          }
+        }
+      },
+      [this](ByteSource& s) {
+        uint64_t n = s.U64();
+        LAMINAR_CHECK_EQ(n, entries_.size())
+            << "metrics registry shape drifted across restore";
+        for (const Entry& e : entries_) {
+          std::string name = s.Str();
+          MetricType type = static_cast<MetricType>(s.U8());
+          LAMINAR_CHECK(name == e.name && type == e.type)
+              << "metrics registry entry mismatch: blob has " << name
+              << ", live registry has " << e.name;
+          switch (e.type) {
+            case MetricType::kCounter:
+              counters_[e.index].AdoptValue(s.I64());
+              break;
+            case MetricType::kGauge:
+              gauges_[e.index].Set(s.F64());
+              break;
+            case MetricType::kStreaming: {
+              StreamingStat::State st;
+              st.count = s.U64();
+              st.mean = s.F64();
+              st.m2 = s.F64();
+              st.sum = s.F64();
+              st.min = s.F64();
+              st.max = s.F64();
+              streams_[e.index].AdoptState(st);
+              break;
+            }
+            case MetricType::kSamples: {
+              std::vector<double> xs(static_cast<size_t>(s.U64()));
+              for (double& x : xs) {
+                x = s.F64();
+              }
+              bool sorted = s.Bool();
+              samples_[e.index].AdoptRaw(std::move(xs), sorted);
+              break;
+            }
+            case MetricType::kHistogram: {
+              std::vector<size_t> counts(static_cast<size_t>(s.U64()));
+              for (size_t& c : counts) {
+                c = static_cast<size_t>(s.U64());
+              }
+              size_t under = static_cast<size_t>(s.U64());
+              size_t over = static_cast<size_t>(s.U64());
+              size_t total = static_cast<size_t>(s.U64());
+              LAMINAR_CHECK_EQ(counts.size(), histograms_[e.index].buckets().size());
+              histograms_[e.index].AdoptCounts(std::move(counts), under, over, total);
+              break;
+            }
+          }
+        }
+      });
   tx.End();
 }
 

@@ -25,6 +25,9 @@ class MetricCounter {
  public:
   void Add(int64_t delta = 1) { value_ += delta; }
   int64_t value() const { return value_; }
+  // Snapshot adoption only (src/snapshot): counters never rewind in normal
+  // operation.
+  void AdoptValue(int64_t v) { value_ = v; }
 
  private:
   int64_t value_ = 0;
@@ -52,6 +55,29 @@ class StreamingStat {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double sum() const { return sum_; }
+
+  // Raw accumulator state, exposed for exact snapshot round-trips
+  // (src/snapshot): the Welford recurrence is order-sensitive, so adoption
+  // must restore the accumulators bit-for-bit rather than replay samples.
+  struct State {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State state() const {
+    return State{count_, mean_, m2_, sum_, min_, max_};
+  }
+  void AdoptState(const State& s) {
+    count_ = static_cast<size_t>(s.count);
+    mean_ = s.mean;
+    m2_ = s.m2;
+    sum_ = s.sum;
+    min_ = s.min;
+    max_ = s.max;
+  }
 
  private:
   size_t count_ = 0;
@@ -96,10 +122,11 @@ class MetricsRegistry {
   // registration order.
   std::string DumpText() const;
 
-  // Snapshot witness (src/snapshot): metric count plus a digest of the full
-  // DumpText rendering. The text form already covers every instrument in
-  // registration order, so it doubles as a compact state fingerprint.
-  void Snapshot(SnapshotTx& tx, const char* section) const;
+  // Snapshot witness (src/snapshot, DESIGN.md §13): every instrument's full
+  // state, packed in registration order, so adoption restores the registry
+  // exactly. Instruments are registered by component constructors, which run
+  // before any restore; adoption checks names and types against the blob.
+  void Snapshot(SnapshotTx& tx, const char* section);
 
  private:
   const Entry* Find(const std::string& name) const;

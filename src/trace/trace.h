@@ -74,6 +74,9 @@ class TraceBuffer {
   // binary reader so a deserialized ring trace reports its original drop
   // count.
   void NoteDropped(uint64_t n) { emitted_ += n; }
+  // Pre-sizes event storage when the caller knows the count up front (the
+  // binary reader), avoiding realloc-copy growth on multi-100k-event traces.
+  void Reserve(size_t n) { events_.reserve(events_.size() + n); }
 
   // Events in emission order; in ring mode the evicted prefix is absent.
   std::vector<TraceEvent> InOrder() const;
@@ -128,6 +131,10 @@ class TraceSink {
 
   const TraceBuffer& buffer() const { return *buffer_; }
   std::shared_ptr<const TraceBuffer> shared_buffer() const { return buffer_; }
+  // Direct-boot adoption target: the driver deserializes the snapshot's
+  // trace section straight into the live buffer so post-restore emissions
+  // append to the restored prefix with the same interned-name ids.
+  TraceBuffer* mutable_buffer() { return buffer_.get(); }
 
  protected:
   // Bufferless base for forwarding/staging sinks.

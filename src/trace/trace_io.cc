@@ -26,40 +26,52 @@ void PutF64(std::string& out, double v) {
   PutU64(out, bits);
 }
 
+// Unaligned little-endian loads; the byte-swap branch keeps the wire format
+// identical on big-endian hosts.
+uint32_t LoadLe32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
+}
+
+uint64_t LoadLe64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
+double LoadLeF64(const char* p) {
+  uint64_t bits = LoadLe64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
 struct Cursor {
-  const std::string* bytes;
+  std::string_view bytes;
   size_t pos = 0;
 
   bool U32(uint32_t* v) {
-    if (pos + 4 > bytes->size()) {
+    if (pos + 4 > bytes.size()) {
       return false;
     }
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<uint32_t>(static_cast<unsigned char>((*bytes)[pos + i])) << (8 * i);
-    }
+    *v = LoadLe32(bytes.data() + pos);
     pos += 4;
     return true;
   }
 
   bool U64(uint64_t* v) {
-    if (pos + 8 > bytes->size()) {
+    if (pos + 8 > bytes.size()) {
       return false;
     }
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<uint64_t>(static_cast<unsigned char>((*bytes)[pos + i])) << (8 * i);
-    }
+    *v = LoadLe64(bytes.data() + pos);
     pos += 8;
-    return true;
-  }
-
-  bool F64(double* v) {
-    uint64_t bits;
-    if (!U64(&bits)) {
-      return false;
-    }
-    std::memcpy(v, &bits, sizeof(*v));
     return true;
   }
 };
@@ -175,12 +187,12 @@ std::string TraceToBinary(const TraceBuffer& buffer) {
   return out;
 }
 
-bool TraceFromBinary(const std::string& bytes, TraceBuffer* out) {
+bool TraceFromBinary(std::string_view bytes, TraceBuffer* out) {
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return false;
   }
-  Cursor cur{&bytes, sizeof(kMagic)};
+  Cursor cur{bytes, sizeof(kMagic)};
   *out = TraceBuffer();
   uint64_t num_names = 0;
   if (!cur.U64(&num_names)) {
@@ -191,7 +203,7 @@ bool TraceFromBinary(const std::string& bytes, TraceBuffer* out) {
     if (!cur.U32(&len) || cur.pos + len > bytes.size()) {
       return false;
     }
-    out->InternName(bytes.substr(cur.pos, len).c_str());
+    out->InternName(std::string(bytes.substr(cur.pos, len)).c_str());
     cur.pos += len;
   }
   uint64_t num_events = 0;
@@ -200,20 +212,27 @@ bool TraceFromBinary(const std::string& bytes, TraceBuffer* out) {
     return false;
   }
   out->NoteDropped(dropped);
+  // Fixed 42-byte wire records: one up-front bounds check covers the whole
+  // event array, then each field is a direct unaligned load (the trace
+  // section dominates direct-boot adopt time, so the per-field byte loops
+  // and bounds checks were measurable).
+  constexpr size_t kEventWireBytes = 8 + 8 + 8 + 8 + 4 + 4 + 1 + 1;
+  if (num_events > (bytes.size() - cur.pos) / kEventWireBytes) {
+    return false;
+  }
+  out->Reserve(static_cast<size_t>(num_events));
   for (uint64_t i = 0; i < num_events; ++i) {
+    const char* p = bytes.data() + cur.pos;
     TraceEvent e;
-    uint64_t arg = 0;
-    uint32_t entity = 0;
-    if (!cur.F64(&e.time) || !cur.F64(&e.duration) || !cur.U64(&arg) ||
-        !cur.F64(&e.value) || !cur.U32(&e.name) || !cur.U32(&entity) ||
-        cur.pos + 2 > bytes.size()) {
-      return false;
-    }
-    e.arg = static_cast<int64_t>(arg);
-    e.entity = static_cast<int32_t>(entity);
-    e.component = static_cast<TraceComponent>(bytes[cur.pos]);
-    e.kind = static_cast<TraceEventKind>(bytes[cur.pos + 1]);
-    cur.pos += 2;
+    e.time = LoadLeF64(p);
+    e.duration = LoadLeF64(p + 8);
+    e.arg = static_cast<int64_t>(LoadLe64(p + 16));
+    e.value = LoadLeF64(p + 24);
+    e.name = LoadLe32(p + 32);
+    e.entity = static_cast<int32_t>(LoadLe32(p + 36));
+    e.component = static_cast<TraceComponent>(static_cast<unsigned char>(p[40]));
+    e.kind = static_cast<TraceEventKind>(static_cast<unsigned char>(p[41]));
+    cur.pos += kEventWireBytes;
     if (e.name >= num_names || static_cast<int>(e.component) >= kNumTraceComponents ||
         static_cast<int>(e.kind) > 2) {
       return false;

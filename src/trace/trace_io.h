@@ -5,6 +5,7 @@
 #define LAMINAR_SRC_TRACE_TRACE_IO_H_
 
 #include <string>
+#include <string_view>
 
 #include "src/trace/trace.h"
 
@@ -20,8 +21,9 @@ std::string TraceToChromeJson(const TraceBuffer& buffer);
 std::string TraceToBinary(const TraceBuffer& buffer);
 
 // Parses TraceToBinary() output. Returns false on malformed input; `out` is
-// left in an unspecified state on failure.
-bool TraceFromBinary(const std::string& bytes, TraceBuffer* out);
+// left in an unspecified state on failure. Takes a view so callers can decode
+// straight out of a larger buffer (e.g. a snapshot record) without copying.
+bool TraceFromBinary(std::string_view bytes, TraceBuffer* out);
 
 // Writes Chrome JSON when `path` ends in ".json", the binary format
 // otherwise. Returns false if the file cannot be written.

@@ -7,6 +7,35 @@
 #include "src/trace/trace.h"
 
 namespace laminar {
+namespace {
+
+constexpr int32_t kTrainerComp = ContinuationComponentId(kContFamilyTrainer);
+
+// Shared field traversal for IterationStats (iteration history entries, the
+// streaming accumulator, and the in-flight pending stats all serialize
+// identically).
+void SnapshotStats(SnapshotTx& tx, IterationStats& it) {
+  tx.I64As("version", &it.version);
+  double started = it.started.seconds();
+  double completed = it.completed.seconds();
+  tx.F64("started", &started);
+  tx.F64("completed", &completed);
+  tx.F64("data_wait_seconds", &it.data_wait_seconds);
+  tx.F64("train_seconds", &it.train_seconds);
+  tx.F64("publish_stall_seconds", &it.publish_stall_seconds);
+  tx.F64("tokens", &it.tokens);
+  tx.F64("mean_reward", &it.mean_reward);
+  tx.F64("mean_consume_staleness", &it.mean_consume_staleness);
+  tx.I64As("max_consume_staleness", &it.max_consume_staleness);
+  tx.F64("mixed_version_fraction", &it.mixed_version_fraction);
+  tx.F64("clip_fraction", &it.clip_fraction);
+  if (tx.adopting()) {
+    it.started = SimTime(started);
+    it.completed = SimTime(completed);
+  }
+}
+
+}  // namespace
 
 Trainer::Trainer(Simulator* sim, TrainerConfig config, TrainCostModel cost,
                  ExperienceBuffer* buffer, Policy* policy)
@@ -14,6 +43,39 @@ Trainer::Trainer(Simulator* sim, TrainerConfig config, TrainCostModel cost,
   LAMINAR_CHECK_GT(config_.global_batch, 0);
   LAMINAR_CHECK_GT(config_.num_minibatches, 0);
   LAMINAR_CHECK_EQ(config_.global_batch % config_.num_minibatches, 0);
+  sim_->continuations().Register(kTrainerComp, this);
+}
+
+Trainer::~Trainer() { sim_->continuations().Unregister(kTrainerComp); }
+
+void Trainer::RunContinuation(uint16_t kind, const ContinuationPayload& p) {
+  (void)p;
+  switch (kind) {
+    case kContTrainDone:
+      OnTrainDone();
+      return;
+    case kContMinibatchDone:
+      OnMinibatchDone();
+      return;
+    case kContPublishDone:
+      OnPublishDone();
+      return;
+    case kContRecover:
+      OnRecover(/*crash=*/false);
+      return;
+    case kContCrashRecover:
+      OnRecover(/*crash=*/true);
+      return;
+  }
+  LAMINAR_CHECK(false) << "trainer: unknown continuation kind " << kind;
+}
+
+void Trainer::RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                                  SimTime at) {
+  EventId id = sim_->ScheduleContinuationAt(at, kTrainerComp, kind, p);
+  if (kind == kContTrainDone || kind == kContMinibatchDone || kind == kContPublishDone) {
+    pending_event_ = id;
+  }
 }
 
 void Trainer::Start() {
@@ -103,10 +165,16 @@ void Trainer::BeginFullBatch() {
   stats.clip_fraction = clip_sum / config_.num_minibatches;
 
   stats.train_seconds = cost_.IterationTime(stats.tokens, config_.num_minibatches);
-  pending_event_ = sim_->ScheduleAfter(stats.train_seconds, [this, stats]() mutable {
-    pending_event_ = kInvalidEventId;
-    FinishIteration(std::move(stats));
-  });
+  pending_stats_ = std::move(stats);
+  pending_event_ =
+      sim_->ScheduleContinuationAfter(pending_stats_.train_seconds, kTrainerComp, kContTrainDone);
+}
+
+void Trainer::OnTrainDone() {
+  pending_event_ = kInvalidEventId;
+  IterationStats stats = std::move(pending_stats_);
+  pending_stats_ = IterationStats{};
+  FinishIteration(std::move(stats));
 }
 
 void Trainer::TryBeginMinibatch() {
@@ -152,18 +220,20 @@ void Trainer::TryBeginMinibatch() {
   double duration = cost_.MinibatchTime(mb_stats.tokens) +
                     cost_.ExperiencePrepTime(mb_stats.tokens);
   stream_stats_.train_seconds += duration;
-  pending_event_ = sim_->ScheduleAfter(duration, [this] {
-    pending_event_ = kInvalidEventId;
-    stream_mb_running_ = false;
-    ++stream_mb_done_;
-    stream_idle_since_ = sim_->Now();
-    if (stream_mb_done_ >= config_.num_minibatches) {
-      stream_mb_done_ = 0;
-      FinishIteration(stream_stats_);
-    } else {
-      TryBeginMinibatch();
-    }
-  });
+  pending_event_ = sim_->ScheduleContinuationAfter(duration, kTrainerComp, kContMinibatchDone);
+}
+
+void Trainer::OnMinibatchDone() {
+  pending_event_ = kInvalidEventId;
+  stream_mb_running_ = false;
+  ++stream_mb_done_;
+  stream_idle_since_ = sim_->Now();
+  if (stream_mb_done_ >= config_.num_minibatches) {
+    stream_mb_done_ = 0;
+    FinishIteration(stream_stats_);
+  } else {
+    TryBeginMinibatch();
+  }
 }
 
 void Trainer::FinishIteration(IterationStats stats) {
@@ -175,35 +245,40 @@ void Trainer::FinishIteration(IterationStats stats) {
   stats.publish_stall_seconds = publish_fn_ ? publish_fn_(version_) : 0.0;
 
   double stall = stats.publish_stall_seconds;
-  pending_event_ = sim_->ScheduleAfter(stall, [this, stats]() mutable {
-    pending_event_ = kInvalidEventId;
-    stats.completed = sim_->Now();
-    last_completed_ = sim_->Now();
-    stream_idle_since_ = sim_->Now();
-    busy_ = false;
-    // The iteration's phase spans are emitted retroactively now that every
-    // boundary is known; TraceQuery sorts by begin time, so emission at the
-    // end of the iteration is equivalent to live emission.
-    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/wait_data", -1,
-                          stats.started - stats.data_wait_seconds, stats.started,
-                          stats.version);
-    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/train", -1,
-                          stats.started, stats.started + stats.train_seconds,
-                          stats.version);
-    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/publish_stall", -1,
-                          stats.completed - stats.publish_stall_seconds, stats.completed,
-                          stats.version);
-    LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/iteration", -1,
-                          stats.started - stats.data_wait_seconds, stats.completed,
-                          stats.version, stats.tokens);
-    iterations_.push_back(stats);
-    if (on_iteration_) {
-      on_iteration_(stats);
-    }
-    if (config_.auto_continue && !dead_) {
-      TryBegin();
-    }
-  });
+  pending_stats_ = std::move(stats);
+  pending_event_ = sim_->ScheduleContinuationAfter(stall, kTrainerComp, kContPublishDone);
+}
+
+void Trainer::OnPublishDone() {
+  pending_event_ = kInvalidEventId;
+  IterationStats stats = std::move(pending_stats_);
+  pending_stats_ = IterationStats{};
+  stats.completed = sim_->Now();
+  last_completed_ = sim_->Now();
+  stream_idle_since_ = sim_->Now();
+  busy_ = false;
+  // The iteration's phase spans are emitted retroactively now that every
+  // boundary is known; TraceQuery sorts by begin time, so emission at the
+  // end of the iteration is equivalent to live emission.
+  LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/wait_data", -1,
+                        stats.started - stats.data_wait_seconds, stats.started,
+                        stats.version);
+  LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/train", -1,
+                        stats.started, stats.started + stats.train_seconds,
+                        stats.version);
+  LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/publish_stall", -1,
+                        stats.completed - stats.publish_stall_seconds, stats.completed,
+                        stats.version);
+  LAMINAR_TRACE_SPAN_AT(sim_, TraceComponent::kTrainer, "trainer/iteration", -1,
+                        stats.started - stats.data_wait_seconds, stats.completed,
+                        stats.version, stats.tokens);
+  iterations_.push_back(stats);
+  if (on_iteration_) {
+    on_iteration_(stats);
+  }
+  if (config_.auto_continue && !dead_) {
+    TryBegin();
+  }
 }
 
 void Trainer::Kill(double recovery_seconds) {
@@ -225,19 +300,23 @@ void Trainer::Kill(double recovery_seconds) {
     sim_->Cancel(pending_event_);
     pending_event_ = kInvalidEventId;
   }
+  pending_stats_ = IterationStats{};
   // Standard checkpoint recovery: the actor reloads the latest published
   // version, discarding any unpublished mini-batch updates, then resumes
   // sampling from the experience buffer.
   policy_->RestoreVersion(version_);
-  sim_->ScheduleAfter(recovery_seconds, [this] {
-    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/recover", -1, version_);
-    dead_ = false;
-    last_completed_ = sim_->Now();
-    stream_idle_since_ = sim_->Now();
-    if (started_) {
-      TryBegin();
-    }
-  });
+  sim_->ScheduleContinuationAfter(recovery_seconds, kTrainerComp, kContRecover);
+}
+
+void Trainer::OnRecover(bool crash) {
+  LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer,
+                        crash ? "trainer/crash_recover" : "trainer/recover", -1, version_);
+  dead_ = false;
+  last_completed_ = sim_->Now();
+  stream_idle_since_ = sim_->Now();
+  if (started_) {
+    TryBegin();
+  }
 }
 
 void Trainer::SnapshotPersistent(SnapshotTx& tx) {
@@ -250,24 +329,7 @@ void Trainer::SnapshotPersistent(SnapshotTx& tx) {
   }
   for (IterationStats& it : iterations_) {
     tx.Begin("iteration");
-    tx.I64As("version", &it.version);
-    double started = it.started.seconds();
-    double completed = it.completed.seconds();
-    tx.F64("started", &started);
-    tx.F64("completed", &completed);
-    tx.F64("data_wait_seconds", &it.data_wait_seconds);
-    tx.F64("train_seconds", &it.train_seconds);
-    tx.F64("publish_stall_seconds", &it.publish_stall_seconds);
-    tx.F64("tokens", &it.tokens);
-    tx.F64("mean_reward", &it.mean_reward);
-    tx.F64("mean_consume_staleness", &it.mean_consume_staleness);
-    tx.I64As("max_consume_staleness", &it.max_consume_staleness);
-    tx.F64("mixed_version_fraction", &it.mixed_version_fraction);
-    tx.F64("clip_fraction", &it.clip_fraction);
-    if (tx.adopting()) {
-      it.started = SimTime(started);
-      it.completed = SimTime(completed);
-    }
+    SnapshotStats(tx, it);
     tx.End();
   }
   tx.Begin("consume_staleness");
@@ -302,30 +364,18 @@ void Trainer::Snapshot(SnapshotTx& tx) {
   if (tx.adopting()) {
     last_completed_ = SimTime(last_completed);
     stream_idle_since_ = SimTime(stream_idle_since);
+    // Pending events re-seat through RestoreContinuation (event_heap section),
+    // which runs after component adoption.
+    pending_event_ = kInvalidEventId;
   }
-  // In-flight state that restore replays rather than re-seats.
-  tx.DigestU64("pending_event", pending_event_ != kInvalidEventId ? 1 : 0);
-  uint64_t h = 1469598103934665603ull;
-  auto fold_f64 = [&h](double v) {
-    uint64_t bits = SnapshotF64Bits(v);
-    h = SnapshotFnv1a(&bits, sizeof(bits), h);
-  };
-  fold_f64(stream_stats_.started.seconds());
-  fold_f64(stream_stats_.data_wait_seconds);
-  fold_f64(stream_stats_.train_seconds);
-  fold_f64(stream_stats_.tokens);
-  fold_f64(stream_stats_.mean_reward);
-  fold_f64(stream_stats_.mean_consume_staleness);
-  fold_f64(static_cast<double>(stream_stats_.max_consume_staleness));
-  fold_f64(stream_stats_.mixed_version_fraction);
-  fold_f64(stream_stats_.clip_fraction);
-  tx.DigestU64("stream_stats_fnv", h);
-  tx.DigestI64("policy_latest_version", policy_->latest_version());
-  h = 1469598103934665603ull;
-  for (double t : policy_->parameters()) {
-    fold_f64(t);
-  }
-  tx.DigestU64("policy_theta_fnv", h);
+  // In-flight state: fully serialized so a direct boot re-seats it (v2).
+  tx.Begin("pending_stats");
+  SnapshotStats(tx, pending_stats_);
+  tx.End();
+  tx.Begin("stream_stats");
+  SnapshotStats(tx, stream_stats_);
+  tx.End();
+  policy_->Snapshot(tx);
   tx.End();
 }
 
@@ -347,6 +397,7 @@ void Trainer::CrashRestart(const std::string& checkpoint, double recovery_second
   stream_mb_running_ = false;
   stream_mb_done_ = 0;
   stream_stats_ = IterationStats{};
+  pending_stats_ = IterationStats{};
   if (pending_event_ != kInvalidEventId) {
     sim_->Cancel(pending_event_);
     pending_event_ = kInvalidEventId;
@@ -367,16 +418,7 @@ void Trainer::CrashRestart(const std::string& checkpoint, double recovery_second
   // the restart never steps behind a version replicas may already serve.
   version_ = std::max(version_, policy_->latest_version());
   policy_->RestoreVersion(version_);
-  sim_->ScheduleAfter(recovery_seconds, [this] {
-    LAMINAR_TRACE_INSTANT(sim_, TraceComponent::kTrainer, "trainer/crash_recover", -1,
-                          version_);
-    dead_ = false;
-    last_completed_ = sim_->Now();
-    stream_idle_since_ = sim_->Now();
-    if (started_) {
-      TryBegin();
-    }
-  });
+  sim_->ScheduleContinuationAfter(recovery_seconds, kTrainerComp, kContCrashRecover);
 }
 
 }  // namespace laminar

@@ -54,10 +54,26 @@ struct IterationStats {
   double clip_fraction = 0.0;
 };
 
-class Trainer {
+class Trainer : public ContinuationClient {
  public:
+  // Continuation kinds for the trainer's pending events (DESIGN.md §13).
+  // Stats-bearing events park their IterationStats in the serialized
+  // `pending_stats_` side member; the payload itself is empty.
+  enum Continuation : uint16_t {
+    kContTrainDone = 0,      // full-batch compute finished
+    kContMinibatchDone = 1,  // streaming mini-batch finished
+    kContPublishDone = 2,    // publish stall elapsed; iteration completes
+    kContRecover = 3,        // Kill() checkpoint recovery elapsed
+    kContCrashRecover = 4,   // CrashRestart() recovery elapsed
+  };
+
   Trainer(Simulator* sim, TrainerConfig config, TrainCostModel cost,
           ExperienceBuffer* buffer, Policy* policy);
+  ~Trainer() override;
+
+  void RunContinuation(uint16_t kind, const ContinuationPayload& p) override;
+  void RestoreContinuation(uint16_t kind, const ContinuationPayload& p,
+                           SimTime at) override;
 
   // Returns the actor stall (seconds) for distributing version `v`.
   void set_publish_fn(std::function<double(int version)> fn) { publish_fn_ = std::move(fn); }
@@ -111,6 +127,11 @@ class Trainer {
   // The checkpoint traversal shared by Checkpoint() (write) and
   // CrashRestart() (adopt); Snapshot() embeds it in the full witness.
   void SnapshotPersistent(SnapshotTx& tx);
+  // Continuation bodies (former scheduling lambdas).
+  void OnTrainDone();
+  void OnMinibatchDone();
+  void OnPublishDone();
+  void OnRecover(bool crash);
   void TryBegin();
   void BeginFullBatch();
   void TryBeginMinibatch();
@@ -142,6 +163,10 @@ class Trainer {
   SimTime stream_idle_since_ = SimTime::Zero();
 
   EventId pending_event_ = kInvalidEventId;
+  // Stats carried by the in-flight kContTrainDone / kContPublishDone event
+  // (full-batch mode). Serialized so a direct-boot restore can re-mint the
+  // event with nothing but its (kind, time).
+  IterationStats pending_stats_;
   std::vector<IterationStats> iterations_;
   SampleSet consume_staleness_;
   SampleSet inherent_staleness_;

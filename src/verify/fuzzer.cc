@@ -142,6 +142,15 @@ OracleReport JudgeScenario(const Scenario& scn, const EvalOptions& opts,
     double t = scn.config.snapshot_at_seconds > 0.0
                    ? scn.config.snapshot_at_seconds
                    : Rng(scn.seed).Fork("snapshot").Uniform(0.25, 0.75) * span;
+    if (scn.config.snapshot_at_seconds > 0.0 && t >= span) {
+      // A pinned barrier that misses the run would silently skip every
+      // snapshot/restore check below — a corpus regression would "pass"
+      // while testing nothing. Fail loudly instead.
+      out.failures.push_back(
+          {"snapshot-diff", "scenario pins snapshot_at=" + std::to_string(t) +
+                                "s beyond the simulated span (" +
+                                std::to_string(span) + "s)"});
+    }
     if (t > 0.0 && t < span) {
       ++out.checks_run;
       SweepOptions solo;
@@ -186,6 +195,45 @@ OracleReport JudgeScenario(const Scenario& scn, const EvalOptions& opts,
               {"snapshot-diff",
                "shard-flipped snapshot rerun's fingerprint differs from the "
                "primary's"});
+        }
+
+        // Restore oracle (always on): boot a third run from A's blob and
+        // demand it be indistinguishable from never having stopped — the
+        // barrier re-snapshot byte-equals the blob it booted from and the
+        // finished run reproduces the primary's fingerprint. The scenario's
+        // restore_mode axis picks the recovery leg: direct boot (default,
+        // adopt + re-mint in O(1) of the prefix) or the legacy
+        // replay-anchored path, so the two recovery modes are differential
+        // oracles for each other.
+        ++out.checks_run;
+        const char* mode = scn.config.restore_mode == RestoreMode::kReplay
+                               ? "replay-anchored"
+                               : "direct-boot";
+        RlSystemConfig run_c = scn.config;
+        run_c.restore_from = rep_a.snapshot;
+        SystemReport rep_c = std::move(RunExperiments({run_c}, solo)[0]);
+        if (!rep_c.restored) {
+          out.failures.push_back(
+              {"restore-diff", std::string(mode) + " rerun did not restore"});
+        }
+        if (rep_c.snapshot == nullptr || *rep_c.snapshot != *rep_a.snapshot) {
+          out.failures.push_back(
+              {"restore-diff", std::string(mode) +
+                                   " barrier re-snapshot is not byte-identical "
+                                   "to the blob it recovered from"});
+        }
+        if (!rep_c.snapshot_mismatches.empty()) {
+          out.failures.push_back(
+              {"restore-diff",
+               std::string(mode) + " verify reported " +
+                   std::to_string(rep_c.snapshot_mismatches.size()) +
+                   " field mismatches; first: " + rep_c.snapshot_mismatches[0]});
+        }
+        if (RunFingerprint(rep_c) != base) {
+          out.failures.push_back(
+              {"restore-diff", std::string(mode) +
+                                   " rerun's fingerprint differs from the "
+                                   "primary's — recovery was not invisible"});
         }
       }
     }

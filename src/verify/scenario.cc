@@ -79,6 +79,7 @@ bool KnownScenarioKey(const std::string& key) {
       "serving_rate",   "serving_amplitude",
       "serving_period", "serving_slo_base",
       "serving_slo_per_token", "serving_dedicated",
+      "restore_mode",
   };
   for (const char* k : kKeys) {
     if (key == k) {
@@ -290,6 +291,12 @@ std::string ScenarioToText(const Scenario& scn) {
   if (cfg.snapshot_at_seconds != 0.0) {
     emit_double("snapshot_at", cfg.snapshot_at_seconds);
   }
+  if (cfg.restore_mode != RestoreMode::kDirect) {
+    // Armed-only, like shards=: pre-existing corpus files round-trip
+    // byte-identically. The axis pins which recovery leg the fuzzer's
+    // snapshot-diff oracle drives through restore_from.
+    out << "restore_mode=replay\n";
+  }
   if (cfg.serving.enabled) {
     // Armed-only, like shards= and crash_restart_rate=: serving-off corpus
     // files round-trip byte-identically to what older binaries wrote.
@@ -382,6 +389,14 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
         cfg.sampler = SamplerKind::kStalenessCapped;
       } else {
         return fail("bad sampler '" + value + "'");
+      }
+    } else if (key == "restore_mode") {
+      if (value == "direct") {
+        cfg.restore_mode = RestoreMode::kDirect;
+      } else if (value == "replay") {
+        cfg.restore_mode = RestoreMode::kReplay;
+      } else {
+        return fail("bad restore_mode '" + value + "'");
       }
     } else if (!need_num()) {
       return fail("key '" + key + "': non-numeric value '" + value + "'");
@@ -480,6 +495,12 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
   if (cfg.global_batch <= 0 || cfg.group_size <= 0 ||
       cfg.global_batch % cfg.group_size != 0) {
     return fail("global_batch must be a positive multiple of group_size");
+  }
+  if (cfg.num_minibatches <= 0 ||
+      cfg.global_batch % cfg.num_minibatches != 0) {
+    // The trainer CHECKs this at construction; reject here so a bad scenario
+    // file fails with a parse error instead of aborting the process.
+    return fail("global_batch must be a positive multiple of num_minibatches");
   }
   cfg.total_gpus = cfg.train_gpus + cfg.rollout_gpus;
   *out = scn;

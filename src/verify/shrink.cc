@@ -87,10 +87,13 @@ bool DropWarmup(Scenario& s) {
 
 bool HalveBatch(Scenario& s) {
   int groups = s.config.global_batch / s.config.group_size;
-  if (groups < 4) {
+  int halved = (groups / 2) * s.config.group_size;
+  // The trainer requires global_batch % num_minibatches == 0; a candidate
+  // that breaks it would CHECK-abort the whole shrink run, so refuse it.
+  if (groups < 4 || halved % s.config.num_minibatches != 0) {
     return false;
   }
-  s.config.global_batch = (groups / 2) * s.config.group_size;
+  s.config.global_batch = halved;
   return true;
 }
 
@@ -99,8 +102,12 @@ bool HalveGroupSize(Scenario& s) {
     return false;
   }
   int groups = s.config.global_batch / s.config.group_size;
+  int new_batch = groups * (s.config.group_size / 2);
+  if (new_batch % s.config.num_minibatches != 0) {
+    return false;  // would violate the trainer's mini-batch divisibility
+  }
   s.config.group_size /= 2;
-  s.config.global_batch = groups * s.config.group_size;
+  s.config.global_batch = new_batch;
   return true;
 }
 

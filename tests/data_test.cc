@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <random>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "src/data/experience_buffer.h"
 #include "src/data/partial_response_pool.h"
 #include "src/data/prompt_pool.h"
+#include "src/data/recovery_order_index.h"
 #include "src/data/trajectory.h"
 
 namespace laminar {
@@ -356,6 +362,143 @@ TEST(PartialResponsePoolTest, ContextTokenTotalsTrackTakesAndCompletions) {
   pool.MarkCompleted(3);
   EXPECT_EQ(pool.total_context_tokens(), 0);
   EXPECT_EQ(pool.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryOrderIndex: the pool's explicit order witness must reproduce the
+// iteration order of the std::unordered_map it retired, operation for
+// operation — committed corpus fingerprints depend on that order through
+// TakeByReplica's recovery sequence.
+
+void ExpectSameOrder(const RecoveryOrderIndex& idx,
+                     const std::unordered_map<TrajId, EntityHandle>& ref) {
+  ASSERT_EQ(idx.size(), ref.size());
+  ASSERT_EQ(idx.bucket_count(), ref.bucket_count());
+  auto it = idx.begin();
+  for (const auto& [id, handle] : ref) {
+    ASSERT_NE(it, idx.end());
+    EXPECT_EQ(it->first, id);
+    EXPECT_EQ(it->second, handle);
+    ++it;
+  }
+  EXPECT_EQ(it, idx.end());
+}
+
+TEST(RecoveryOrderIndexTest, MatchesUnorderedMapOperationForOperation) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int trial = 0; trial < 30; ++trial) {
+    RecoveryOrderIndex idx;
+    std::unordered_map<TrajId, EntityHandle> ref;
+    int ops = 1500;
+    for (int op = 0; op < ops; ++op) {
+      uint64_t choice = rng() % 100;
+      if (choice < 60) {
+        // Insert-or-overwrite through operator[], as Update() does.
+        TrajId id = static_cast<TrajId>(rng() % 2500);
+        EntityHandle h = EntityHandle::Pack(static_cast<uint32_t>(rng()), 1);
+        idx[id] = h;
+        ref[id] = h;
+      } else if (choice < 85) {
+        // find + erase, as MarkCompleted()/MarkDropped() do.
+        TrajId id = static_cast<TrajId>(rng() % 2500);
+        auto it = idx.find(id);
+        auto rit = ref.find(id);
+        ASSERT_EQ(it != idx.end(), rit != ref.end());
+        if (rit != ref.end()) {
+          EXPECT_EQ(it->second, rit->second);
+          idx.erase(it);
+          ref.erase(rit);
+        }
+      } else {
+        // Conditional erase-during-scan, as TakeByReplica() does. The scan
+        // itself asserts the orders agree at every node.
+        uint64_t mod = 1 + rng() % 5;
+        uint64_t who = rng() % mod;
+        auto it = idx.begin();
+        auto rit = ref.begin();
+        while (rit != ref.end()) {
+          ASSERT_NE(it, idx.end());
+          ASSERT_EQ(it->first, rit->first);
+          if (rit->second.slot() % mod == who) {
+            it = idx.erase(it);
+            rit = ref.erase(rit);
+          } else {
+            ++it;
+            ++rit;
+          }
+        }
+        EXPECT_EQ(it, idx.end());
+      }
+      if (op % 251 == 0) {
+        ExpectSameOrder(idx, ref);
+      }
+    }
+    ExpectSameOrder(idx, ref);
+  }
+}
+
+TEST(RecoveryOrderIndexTest, RebuildFromOrderContinuesIdentically) {
+  std::mt19937_64 rng(0xBADC0DE);
+  RecoveryOrderIndex idx;
+  std::unordered_map<TrajId, EntityHandle> ref;
+  auto step = [&](int n) {
+    for (int op = 0; op < n; ++op) {
+      uint64_t choice = rng() % 100;
+      TrajId id = static_cast<TrajId>(rng() % 800);
+      if (choice < 65) {
+        EntityHandle h = EntityHandle::Pack(static_cast<uint32_t>(rng()), 1);
+        idx[id] = h;
+        ref[id] = h;
+      } else {
+        auto it = idx.find(id);
+        auto rit = ref.find(id);
+        ASSERT_EQ(it != idx.end(), rit != ref.end());
+        if (rit != ref.end()) {
+          idx.erase(it);
+          ref.erase(rit);
+        }
+      }
+    }
+  };
+  step(700);
+  ExpectSameOrder(idx, ref);
+
+  // Serialize (bucket_count, iteration order), rebuild a fresh table from
+  // the witness, and keep going: the rebuilt table must make the same
+  // layout decisions as the original forever after.
+  std::vector<std::pair<TrajId, EntityHandle>> entries;
+  for (const auto& [id, handle] : idx) {
+    entries.emplace_back(id, handle);
+  }
+  RecoveryOrderIndex rebuilt;
+  rebuilt.RebuildFromOrder(idx.bucket_count(), entries);
+  ExpectSameOrder(rebuilt, ref);
+
+  RecoveryOrderIndex* live = &rebuilt;
+  for (int op = 0; op < 900; ++op) {
+    uint64_t choice = rng() % 100;
+    TrajId id = static_cast<TrajId>(rng() % 800);
+    if (choice < 65) {
+      EntityHandle h = EntityHandle::Pack(static_cast<uint32_t>(rng()), 1);
+      (*live)[id] = h;
+      ref[id] = h;
+    } else {
+      auto it = live->find(id);
+      auto rit = ref.find(id);
+      ASSERT_EQ(it != live->end(), rit != ref.end());
+      if (rit != ref.end()) {
+        live->erase(it);
+        ref.erase(rit);
+      }
+    }
+  }
+  ExpectSameOrder(rebuilt, ref);
+
+  // The empty pre-growth table round-trips too.
+  RecoveryOrderIndex empty_rebuilt;
+  empty_rebuilt.RebuildFromOrder(1, {});
+  EXPECT_EQ(empty_rebuilt.size(), 0u);
+  EXPECT_EQ(empty_rebuilt.bucket_count(), 1u);
 }
 
 }  // namespace

@@ -196,5 +196,100 @@ TEST_F(ManagerTest, InflightCountsEverything) {
   EXPECT_EQ(manager.inflight_trajectories(), kReplicas * 64);
 }
 
+// Serving deadline boundary (ISSUE 9 satellite): every request is in exactly
+// one of the six terminal/live classes, and the expiry boundary is pinned to
+// deadline STRICTLY LESS than the sweep timestamp.
+void ExpectServingConservation(const ServingStats& s) {
+  EXPECT_EQ(s.requests, s.rejected + s.queued_now + s.resident_now + s.completed +
+                            s.timed_out + s.failed)
+      << "serving conservation broken: requests=" << s.requests
+      << " rejected=" << s.rejected << " queued=" << s.queued_now
+      << " resident=" << s.resident_now << " completed=" << s.completed
+      << " timed_out=" << s.timed_out << " failed=" << s.failed;
+}
+
+// A request that survives admission (queued, not load-shed) must never later
+// be counted `rejected`: once queued its only terminal classes are completed,
+// timed_out or failed. Before the fix, a queued request retried at a sweep
+// whose timestamp exactly equals its deadline went back through the admission
+// feasibility gate (now + est > deadline, always true at the boundary) and
+// was terminally rejected iff a host happened to be eligible — the terminal
+// class depended on host availability at the sweep instant.
+TEST_F(ManagerTest, ServingDeadlineOnSweepBoundaryIsNotLoadShed) {
+  RolloutManagerConfig cfg;
+  cfg.serving_enabled = true;
+  cfg.serving_dedicated_replicas = 1;  // replica 0 is the only serving host
+  RolloutManager manager = MakeManager(cfg);
+  WireCompletions(&manager);
+  ptrs_[0]->set_on_complete([&manager, this](TrajectoryRecord rec) {
+    if (IsServingId(rec.id)) {
+      manager.OnServingComplete(rec);
+      return;
+    }
+    partial_pool_.Remove(rec.id);
+    buffer_.Push(std::move(rec));
+  });
+  manager.Start();
+  // Freeze machine 0 so the dedicated host is ineligible at arrival: the
+  // request must enter the retry backlog, i.e. it has survived admission.
+  manager.OnMachineStall(0, /*duration_seconds=*/0.7);
+  ServingRequest req;
+  req.seq = 0;
+  req.prompt_tokens = 64;
+  req.decode_tokens = 16;
+  req.deadline_seconds = 1.0;  // exactly the 2nd sweep (period 0.5, armed at 0)
+  manager.OnServingArrival(req);
+  EXPECT_EQ(manager.serving_stats().queued_now, 1);
+  ExpectServingConservation(manager.serving_stats());
+  // Thaw at 0.7; at the sweep at t == 1.0 == deadline the host is eligible
+  // again. deadline is NOT strictly less than the sweep timestamp, so the
+  // request must be placed (resident), not shed and not timed out.
+  sim_.RunUntil(SimTime(1.0));
+  ServingStats at_boundary = manager.serving_stats();
+  EXPECT_EQ(at_boundary.rejected, 0)
+      << "queued request was load-shed at the deadline==sweep boundary";
+  EXPECT_EQ(at_boundary.timed_out, 0);
+  ExpectServingConservation(at_boundary);
+  // The placed request runs to completion (a deadline miss, but conserved).
+  sim_.RunUntil(SimTime(30.0));
+  ServingStats done = manager.serving_stats();
+  EXPECT_EQ(done.rejected, 0);
+  EXPECT_EQ(done.timed_out, 0);
+  EXPECT_EQ(done.completed, 1);
+  EXPECT_EQ(done.deadline_misses, 1);
+  ExpectServingConservation(done);
+}
+
+// The other side of the pin: with no eligible host, a request whose deadline
+// exactly equals a sweep timestamp stays queued through that sweep (equality
+// is not expiry) and times out at the first sweep strictly past it.
+TEST_F(ManagerTest, ServingDeadlineExactlyAtSweepTimesOutOnlyStrictlyAfter) {
+  RolloutManagerConfig cfg;
+  cfg.serving_enabled = true;
+  cfg.serving_dedicated_replicas = 1;
+  RolloutManager manager = MakeManager(cfg);
+  WireCompletions(&manager);
+  manager.Start();
+  manager.OnMachineStall(0, /*duration_seconds=*/10.0);  // host never eligible
+  ServingRequest req;
+  req.seq = 0;
+  req.prompt_tokens = 64;
+  req.decode_tokens = 16;
+  req.deadline_seconds = 1.0;
+  manager.OnServingArrival(req);
+  sim_.RunUntil(SimTime(1.2));  // past the t == 1.0 == deadline sweep
+  ServingStats at_boundary = manager.serving_stats();
+  EXPECT_EQ(at_boundary.timed_out, 0) << "deadline == sweep timestamp is not expiry";
+  EXPECT_EQ(at_boundary.queued_now, 1);
+  EXPECT_EQ(at_boundary.rejected, 0);
+  ExpectServingConservation(at_boundary);
+  sim_.RunUntil(SimTime(1.6));  // the t == 1.5 sweep is strictly past the deadline
+  ServingStats expired = manager.serving_stats();
+  EXPECT_EQ(expired.timed_out, 1);
+  EXPECT_EQ(expired.queued_now, 0);
+  EXPECT_EQ(expired.rejected, 0);
+  ExpectServingConservation(expired);
+}
+
 }  // namespace
 }  // namespace laminar

@@ -80,6 +80,7 @@ TEST_P(MigrationConservationTest, TokensSurviveRepeatedMigration) {
   DecodeModel decode(Qwen25_7B(), MachineSpec{}, 1);
   ReplicaConfig rc;
   RolloutReplica a(&sim, rc, decode, decode.KvCapacityTokens());
+  rc.id = 1;  // distinct continuation-registry instance
   RolloutReplica b(&sim, rc, decode, decode.KvCapacityTokens());
 
   int64_t expected_decode = 0;

@@ -75,6 +75,34 @@ TEST(BroadcastModelTest, ArrivalTimesIncreaseAlongChain) {
   }
 }
 
+// PullLatest completions are delivered through the continuation registry
+// (PullTicket); this probe stands in for the rollout manager in tests.
+class PullProbe : public ContinuationClient {
+ public:
+  PullProbe(Simulator* sim, int32_t comp) : sim_(sim), comp_(comp) {
+    sim_->continuations().Register(comp_, this);
+  }
+  ~PullProbe() override { sim_->continuations().Unregister(comp_); }
+
+  PullTicket Ticket() const { return PullTicket{comp_, 0, 0, 0}; }
+
+  void RunContinuation(uint16_t /*kind*/, const ContinuationPayload& p) override {
+    ++calls;
+    got = static_cast<int>(p.c);
+    wait = ContinuationPayload::ToF64(p.d);
+  }
+  void RestoreContinuation(uint16_t /*kind*/, const ContinuationPayload& /*p*/,
+                           SimTime /*at*/) override {}
+
+  int calls = 0;
+  int got = -1;
+  double wait = -1.0;
+
+ private:
+  Simulator* sim_;
+  int32_t comp_;
+};
+
 class RelayTierTest : public ::testing::Test {
  protected:
   RelayTierConfig Config(int relays = 8) {
@@ -84,6 +112,7 @@ class RelayTierTest : public ::testing::Test {
     return c;
   }
   Simulator sim_;
+  PullProbe probe_{&sim_, ContinuationComponentId(kContFamilyManager, 77)};
 };
 
 TEST_F(RelayTierTest, PublishPropagatesToAllRelays) {
@@ -102,36 +131,27 @@ TEST_F(RelayTierTest, PullAfterArrivalOnlyPaysPcieLoad) {
   RelayTier tier(&sim_, Config());
   tier.Publish(1);
   sim_.RunUntilIdle();
-  double wait = -1.0;
-  int got = -1;
-  tier.PullLatest(5, /*tp=*/4, /*current=*/0, [&](int v, double w) {
-    got = v;
-    wait = w;
-  });
+  tier.PullLatest(5, /*tp=*/4, /*current=*/0, probe_.Ticket());
   sim_.RunUntilIdle();
-  EXPECT_EQ(got, 1);
-  EXPECT_NEAR(wait, tier.PullLoadSeconds(4), 1e-9);
+  EXPECT_EQ(probe_.got, 1);
+  EXPECT_NEAR(probe_.wait, tier.PullLoadSeconds(4), 1e-9);
 }
 
 TEST_F(RelayTierTest, PullBeforeArrivalWaitsForBroadcast) {
   RelayTier tier(&sim_, Config());
   tier.Publish(1);
-  double wait = -1.0;
-  tier.PullLatest(7, 4, 0, [&](int /*v*/, double w) { wait = w; });
+  tier.PullLatest(7, 4, 0, probe_.Ticket());
   sim_.RunUntilIdle();
   // Wait includes push + reshard + chain propagation + PCIe load.
-  EXPECT_GT(wait, tier.PullLoadSeconds(4));
+  EXPECT_GT(probe_.wait, tier.PullLoadSeconds(4));
 }
 
 TEST_F(RelayTierTest, NoNewerVersionIsNoOp) {
   RelayTier tier(&sim_, Config());
-  bool called = false;
-  tier.PullLatest(0, 4, /*current=*/0, [&](int v, double w) {
-    called = true;
-    EXPECT_EQ(v, 0);
-    EXPECT_DOUBLE_EQ(w, 0.0);
-  });
-  EXPECT_TRUE(called);  // immediate
+  tier.PullLatest(0, 4, /*current=*/0, probe_.Ticket());
+  EXPECT_EQ(probe_.calls, 1);  // immediate
+  EXPECT_EQ(probe_.got, 0);
+  EXPECT_DOUBLE_EQ(probe_.wait, 0.0);
 }
 
 TEST_F(RelayTierTest, KilledRelayDropsAndReviveResyncs) {
@@ -186,13 +206,12 @@ TEST_F(RelayTierTest, WaiterOnDeadRelayServedAfterRevive) {
   RelayTier tier(&sim_, Config());
   tier.KillRelay(4);
   tier.Publish(1);
-  int got = -1;
-  tier.PullLatest(4, 2, 0, [&](int v, double) { got = v; });
+  tier.PullLatest(4, 2, 0, probe_.Ticket());
   sim_.RunUntilIdle();
-  EXPECT_EQ(got, -1);  // relay dead: nothing delivered
+  EXPECT_EQ(probe_.got, -1);  // relay dead: nothing delivered
   tier.ReviveRelay(4);
   sim_.RunUntilIdle();
-  EXPECT_EQ(got, 1);
+  EXPECT_EQ(probe_.got, 1);
 }
 
 TEST_F(RelayTierTest, PullLoadScalesWithTensorParallel) {

@@ -29,9 +29,9 @@ class ReplicaTest : public ::testing::Test {
       : decode_(Qwen25_7B(), MachineSpec{}, 1),
         pool_(WorkloadGenerator(WorkloadConfig{}, Rng(7)), 16, Rng(9)) {}
 
-  RolloutReplica MakeReplica(int max_concurrency = 1024) {
+  RolloutReplica MakeReplica(int max_concurrency = 1024, int id = 0) {
     ReplicaConfig rc;
-    rc.id = 0;
+    rc.id = id;
     rc.max_concurrency = max_concurrency;
     return RolloutReplica(&sim_, rc, decode_, decode_.KvCapacityTokens());
   }
@@ -153,7 +153,7 @@ TEST_F(ReplicaTest, ExtractAllWorkEmptiesReplica) {
 
 TEST_F(ReplicaTest, MigratedWorkFinishesOnDestination) {
   RolloutReplica src = MakeReplica();
-  RolloutReplica dst = MakeReplica();
+  RolloutReplica dst = MakeReplica(1024, /*id=*/1);
   int completed = 0;
   src.set_on_complete([&](TrajectoryRecord) { ++completed; });
   dst.set_on_complete([&](TrajectoryRecord) { ++completed; });
