@@ -108,8 +108,17 @@ struct RlSystemConfig {
   // ThreadBudget, 0 = run lanes inline on the coordinator, N = exactly N.
   int shard_workers = -1;
   // Cross-shard lookahead horizon in (undilated) simulated seconds;
-  // 0 = derive from the decode model's minimum step latency.
+  // 0 = derive per lane from the decode-step times of the replicas mapped
+  // onto each lane, floored by the machine's alpha-beta control latency
+  // (DESIGN.md §12). An explicit value wins everywhere: one global bound,
+  // no topology derivation.
   double shard_lookahead_seconds = 0.0;
+  // Lane-riding control traffic (DESIGN.md §12): classified lane-local
+  // control events (relay pull completions, machine stall thaws) ride their
+  // machine's replica lane instead of fencing shard windows on lane 0.
+  // Results are byte-identical either way — the fuzzer's lane-control twin
+  // holds this false and demands an unmoved fingerprint.
+  bool shard_lane_control = true;
 
   // Snapshot / restore (src/snapshot, DESIGN.md §13). When
   // snapshot_at_seconds > 0 the driver pauses the run at the first event

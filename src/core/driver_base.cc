@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -98,16 +100,23 @@ DriverBase::DriverBase(RlSystemConfig config)
     // decode model's minimum step latency (every AssignWork lands at least
     // one prefill+step ahead); relay pulls, redirect backoffs and train
     // steps are orders of magnitude above it. Halving leaves slack, and the
-    // engine's high-water/cross-shard checks turn any miscalibration into a
-    // hard failure rather than silent divergence.
+    // engine's frontier/cross-shard checks turn any miscalibration into a
+    // hard failure rather than silent divergence. This global scalar is the
+    // boot-time horizon; once the fleet is built, Run() replaces it with
+    // topology-derived per-lane horizons (full minimum step latency of the
+    // replicas actually mapped onto each lane) unless an explicit
+    // shard_lookahead_seconds override pins the global bound.
     so.lookahead_seconds =
         cfg_.shard_lookahead_seconds > 0.0
             ? cfg_.shard_lookahead_seconds
             : 0.5 * DecodeModel(model_, machine_spec_, rollout_tp_)
                         .StepLatency(1, 0.0);
     so.min_parallel_lanes = 2;  // a one-lane window beats serial by nothing
+    so.lane_control = cfg_.shard_lane_control;
     sim_.ConfigureShards(so);
     sim_.set_window_time_cap(cfg_.max_sim_seconds);
+    lane_step_floor_.assign(cfg_.shards,
+                            std::numeric_limits<double>::infinity());
   }
 
   WorkloadConfig wl;
@@ -174,7 +183,12 @@ void DriverBase::BuildReplicas(int num_replicas, int tensor_parallel, int machin
     if (cfg_.shards > 1) {
       // Machine affinity: replicas sharing a machine land on one lane, so a
       // machine failure's replica sweep never spans lanes mid-window.
-      rc.shard = 1 + rc.machine % cfg_.shards;
+      rc.shard = sim_.AffinityShard(rc.machine);
+      // Track the minimum decode-step latency per lane for the
+      // topology-derived lookahead horizons Run() installs after Setup().
+      double step = decode.StepLatency(1, 0.0);
+      double& floor = lane_step_floor_[rc.shard - 1];
+      floor = std::min(floor, step);
     }
     rc.max_concurrency = cfg_.max_concurrency;
     rc.kv_transfer_bandwidth = machine_spec_.rdma_flow_bandwidth;
@@ -363,6 +377,36 @@ SystemReport DriverBase::Run() {
   Setup();
   LAMINAR_CHECK(!replica_ptrs_.empty());
   LAMINAR_CHECK(trainer_ != nullptr);
+  if (cfg_.shards > 1 && cfg_.shard_lookahead_seconds <= 0.0) {
+    // Topology-derived per-lane horizons (DESIGN.md §12): the earliest
+    // externally visible consequence of any replica-lane event is new work
+    // landing on another machine — a prefill (one full weight read, never
+    // faster than a minimum decode step) followed by the first decode step
+    // (a second weight read). Each lane's horizon is therefore twice the
+    // minimum decode-step latency of the replicas actually mapped onto it,
+    // floored by the alpha-beta control latency. Lanes that somehow hold no
+    // replica keep the boot-time global scalar's conservatism. An explicit
+    // shard_lookahead_seconds override skips this and keeps the pure global
+    // bound. LAMINAR_LOOKAHEAD_SCALE recalibrates the derived horizons for
+    // slack experiments — the engine's cross-shard and frontier checks turn
+    // an over-wide horizon into a hard failure, never silent divergence.
+    double fallback = 0.5 * DecodeModel(model_, machine_spec_, rollout_tp_)
+                                .StepLatency(1, 0.0);
+    double control_floor = machine_spec_.control_latency_floor();
+    double scale = 1.0;
+    if (const char* env = std::getenv("LAMINAR_LOOKAHEAD_SCALE")) {
+      scale = std::atof(env);
+      LAMINAR_CHECK_GT(scale, 0.0) << "LAMINAR_LOOKAHEAD_SCALE must be > 0";
+    }
+    std::vector<double> lanes(static_cast<size_t>(cfg_.shards), fallback);
+    for (int s = 0; s < cfg_.shards; ++s) {
+      if (std::isfinite(lane_step_floor_[s])) {
+        lanes[static_cast<size_t>(s)] =
+            std::max(control_floor, 2.0 * lane_step_floor_[s] * scale);
+      }
+    }
+    sim_.SetLaneLookahead(lanes);
+  }
   WireCompletion();
   rate_task_ = std::make_unique<PeriodicTask>(&sim_, cfg_.sample_period_seconds,
                                               kDriverComp, kContRateTick,

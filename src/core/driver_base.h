@@ -142,6 +142,10 @@ class DriverBase : public ContinuationClient {
   Rng root_rng_;
   Rng score_rng_;
   int rollout_tp_ = 1;
+  // Minimum decode-step latency seen per replica lane (entry i = lane i+1),
+  // accumulated by BuildReplicas when sharded; +inf for lanes with no
+  // replica. Feeds the topology-derived lookahead Run() installs.
+  std::vector<double> lane_step_floor_;
 
   std::unique_ptr<PromptPool> prompts_;
   PartialResponsePool partial_pool_;

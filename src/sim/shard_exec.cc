@@ -11,7 +11,7 @@
 namespace laminar {
 namespace {
 
-constexpr ShardRank kMaxRank = ~static_cast<ShardRank>(0);
+constexpr ShardRank kMaxRank = ShardRank{UINT64_MAX, UINT64_MAX};
 
 // Worker count resolution: explicit option wins, then the
 // LAMINAR_SHARD_WORKERS env override (used by the TSan job to force real
@@ -72,6 +72,14 @@ ShardScheduler::ShardScheduler(Simulator* sim, const ShardOptions& options)
       opts_(options),
       time_cap_key_(Simulator::TimeKey(SimTime::Max())) {
   lane_count_ = static_cast<uint32_t>(sim_->lanes_.size() - 1);
+  lookahead_.resize(lane_count_);
+  for (uint32_t i = 0; i < lane_count_; ++i) {
+    lookahead_[i] = i < opts_.lane_lookahead_seconds.size()
+                        ? opts_.lane_lookahead_seconds[i]
+                        : opts_.lookahead_seconds;
+  }
+  frontier_keys_.assign(sim_->lanes_.size(), 0);
+  merge_pos_.assign(sim_->lanes_.size(), 0);
   ordinals_.resize(sim_->lanes_.size());
   sinks_.reserve(lane_count_);
   for (uint32_t i = 1; i < sim_->lanes_.size(); ++i) {
@@ -92,12 +100,28 @@ void ShardScheduler::set_window_time_cap(double seconds) {
   time_cap_key_ = Simulator::TimeKey(SimTime(seconds));
 }
 
-void ShardScheduler::ValidateCrossShardSchedule(SimTime from, SimTime t) const {
-  LAMINAR_CHECK(t >= from + opts_.lookahead_seconds)
-      << "cross-shard schedule inside the lookahead horizon: " << t.seconds()
-      << " < " << from.seconds() << " + " << opts_.lookahead_seconds;
+void ShardScheduler::set_lane_lookahead(
+    const std::vector<double>& lane_seconds) {
+  LAMINAR_CHECK_EQ(lane_seconds.size(), lookahead_.size())
+      << "need one lookahead entry per replica lane";
+  LAMINAR_CHECK_EQ(stats_.windows, 0u)
+      << "lane lookahead must be installed before the first window";
+  for (double s : lane_seconds) {
+    LAMINAR_CHECK_GT(s, 0.0) << "lane lookahead must be positive";
+  }
+  lookahead_ = lane_seconds;
+}
+
+void ShardScheduler::ValidateCrossShardSchedule(uint32_t lane_index,
+                                                SimTime from, SimTime t) const {
+  LAMINAR_CHECK_GE(lane_index, 1u);
+  const double horizon = lookahead_[lane_index - 1];
+  LAMINAR_CHECK(t >= from + horizon)
+      << "cross-shard schedule inside lane " << lane_index
+      << "'s lookahead horizon: " << t.seconds() << " < " << from.seconds()
+      << " + " << horizon;
   LAMINAR_CHECK_GE(Simulator::TimeKey(t), safe_key_)
-      << "cross-shard schedule below the window safe horizon";
+      << "cross-shard schedule below the window bound";
 }
 
 ShardRank ShardScheduler::Resolve(const std::vector<uint64_t>& ordinals,
@@ -113,11 +137,11 @@ ShardRank ShardScheduler::Resolve(const std::vector<uint64_t>& ordinals,
 bool ShardScheduler::FindSerialMin(int* lane_out, uint64_t* key_out) {
   int best = -2;
   uint64_t bk = 0;
-  ShardRank br = 0;
+  ShardRank br{};
   if (!queue_.empty()) {
     best = -1;
-    bk = queue_.front().key;
-    br = queue_.front().rank;
+    bk = queue_.back().key;
+    br = queue_.back().rank;
   }
   for (size_t i = 0; i < sim_->lanes_.size(); ++i) {
     Simulator::Lane& lane = sim_->lanes_[i];
@@ -142,8 +166,8 @@ bool ShardScheduler::FindSerialMin(int* lane_out, uint64_t* key_out) {
 }
 
 void ShardScheduler::ReplayQueueHead() {
-  StagedAction item = std::move(queue_.front());
-  queue_.pop_front();
+  StagedAction item = std::move(queue_.back());
+  queue_.pop_back();
   Simulator::Lane& ctrl = sim_->lanes_.front();
   // The control clock regresses to the staging event's time for the replay:
   // schedules performed by the body compute keys against it (the satellite
@@ -160,7 +184,21 @@ void ShardScheduler::ReplayQueueHead() {
   ctrl.ctx_replay = true;
   item.fn();
   ctrl.ctx_replay = false;
-  ++actions_replayed_;
+  ++stats_.actions_replayed;
+}
+
+void ShardScheduler::CommitSerial(int lane, uint64_t key) {
+  const size_t li = static_cast<size_t>(lane);
+  LAMINAR_CHECK_GE(key, frontier_keys_[li])
+      << "event below lane " << lane << "'s committed execution frontier";
+  frontier_keys_[li] = key;
+  ++stats_.serial_steps;
+  if (lane > 0) {
+    const Simulator::Lane& l = sim_->lanes_[li];
+    if (l.slots[l.heap_meta.front().slot].lane_control) {
+      ++stats_.lane_control_events;
+    }
+  }
 }
 
 bool ShardScheduler::SerialStepOnce() {
@@ -173,10 +211,7 @@ bool ShardScheduler::SerialStepOnce() {
     ReplayQueueHead();
     return true;
   }
-  LAMINAR_CHECK_GE(key, high_water_key_)
-      << "event below the committed execution horizon";
-  high_water_key_ = key;
-  ++serial_steps_;
+  CommitSerial(lane, key);
   return sim_->StepLane(sim_->lanes_[static_cast<size_t>(lane)]);
 }
 
@@ -188,9 +223,7 @@ void ShardScheduler::RunSerialUntil(SimTime deadline) {
     if (lane < 0) {
       ReplayQueueHead();
     } else {
-      LAMINAR_CHECK_GE(key, high_water_key_);
-      high_water_key_ = key;
-      ++serial_steps_;
+      CommitSerial(lane, key);
       sim_->StepLane(sim_->lanes_[static_cast<size_t>(lane)]);
     }
   }
@@ -235,15 +268,17 @@ bool ShardScheduler::RunUntilTrue(const std::function<bool()>& predicate,
 
 bool ShardScheduler::TryRunWindow() {
   auto& lanes = sim_->lanes_;
-  // Bound candidates beyond the lanes themselves: the time cap (admits any
+  // Bound candidates beyond the lookahead horizons: the time cap (admits any
   // rank at the cap key, excludes everything past it), the staged-action
   // queue head, and the control lane's fence event.
   uint64_t bk = time_cap_key_;
   ShardRank br = kMaxRank;
+  BoundSource source = BoundSource::kCap;
   if (!queue_.empty() &&
-      Simulator::KeyRankLess(queue_.front().key, queue_.front().rank, bk, br)) {
-    bk = queue_.front().key;
-    br = queue_.front().rank;
+      Simulator::KeyRankLess(queue_.back().key, queue_.back().rank, bk, br)) {
+    bk = queue_.back().key;
+    br = queue_.back().rank;
+    source = BoundSource::kQueue;
   }
   Simulator::Lane& ctrl = lanes.front();
   Simulator::PruneStaleTop(ctrl);
@@ -252,53 +287,80 @@ bool ShardScheduler::TryRunWindow() {
                              bk, br)) {
     bk = ctrl.heap_keys.front();
     br = ctrl.heap_meta.front().rank;
+    source = BoundSource::kFence;
   }
-  // Window floor: earliest replica-lane event below the bound so far.
-  uint64_t floor_key = std::numeric_limits<uint64_t>::max();
+  // Per-lane lookahead horizons: nothing a lane-i event does can influence
+  // another lane before head_i + lookahead_i, so each lane head — including
+  // a lane-anchored control event the window will halt at — contributes that
+  // horizon as a bound candidate. The horizon is exclusive (zero rank): an
+  // event exactly at it never executes in the same window as the effects
+  // staged toward it, which keeps the bound safe even when a cross-lane
+  // delay equals the lookahead exactly.
   for (size_t i = 1; i < lanes.size(); ++i) {
     Simulator::Lane& lane = lanes[i];
     Simulator::PruneStaleTop(lane);
-    if (!lane.heap_keys.empty() &&
-        Simulator::KeyRankLess(lane.heap_keys.front(), lane.heap_meta.front().rank,
-                               bk, br)) {
-      floor_key = std::min(floor_key, lane.heap_keys.front());
+    if (lane.heap_keys.empty()) {
+      continue;
+    }
+    const double head_s = Simulator::KeyTime(lane.heap_keys.front());
+    const uint64_t horizon =
+        Simulator::TimeKey(SimTime(head_s + lookahead_[i - 1]));
+    if (horizon < bk) {
+      bk = horizon;
+      br = ShardRank{};
+      source = lane.slots[lane.heap_meta.front().slot].lane_control
+                   ? BoundSource::kLaneControl
+                   : BoundSource::kLookahead;
     }
   }
-  if (floor_key == std::numeric_limits<uint64_t>::max()) {
-    ++rejects_no_floor_;
-    return false;  // no replica-lane work below the fence
-  }
-  const double floor_s = Simulator::KeyTime(floor_key);
-  // Conservative lookahead: nothing staged by a window event can influence
-  // any lane at or before floor + lookahead, so that is the widest horizon
-  // the window may execute under.
-  const uint64_t safe = Simulator::TimeKey(SimTime(floor_s + opts_.lookahead_seconds));
-  if (safe < bk) {
-    bk = safe;
-    br = kMaxRank;
-  }
-  // Horizon collapse / insufficient parallelism: fall back to serial.
-  if (Simulator::KeyTime(bk) - floor_s < opts_.min_window_seconds) {
-    ++rejects_narrow_;
-    return false;
-  }
+  // Window floor and eligibility: runnable replica-lane heads strictly below
+  // the bound. Lane-anchored control events are not runnable — they halt
+  // their lane immediately — so they count toward neither.
+  uint64_t floor_key = std::numeric_limits<uint64_t>::max();
   int eligible = 0;
   for (size_t i = 1; i < lanes.size(); ++i) {
     Simulator::Lane& lane = lanes[i];
-    if (!lane.heap_keys.empty() &&
-        Simulator::KeyRankLess(lane.heap_keys.front(), lane.heap_meta.front().rank,
-                               bk, br)) {
+    if (lane.heap_keys.empty()) {
+      continue;
+    }
+    const Simulator::HeapMeta& m = lane.heap_meta.front();
+    if (lane.slots[m.slot].lane_control) {
+      continue;
+    }
+    if (Simulator::KeyRankLess(lane.heap_keys.front(), m.rank, bk, br)) {
       ++eligible;
+      floor_key = std::min(floor_key, lane.heap_keys.front());
     }
   }
-  if (eligible == 0 || eligible < opts_.min_parallel_lanes) {
-    ++rejects_few_lanes_;
+  const bool fence_bound = source == BoundSource::kFence;
+  if (floor_key == std::numeric_limits<uint64_t>::max()) {
+    ++stats_.rejects_no_floor;
+    stats_.fence_stall_rejects += fence_bound;
+    return false;  // no runnable replica-lane work below the fence
+  }
+  // Horizon collapse / insufficient parallelism: fall back to serial.
+  if (Simulator::KeyTime(bk) - Simulator::KeyTime(floor_key) <
+      opts_.min_window_seconds) {
+    ++stats_.rejects_narrow;
+    stats_.fence_stall_rejects += fence_bound;
     return false;
   }
-  LAMINAR_CHECK_GE(floor_key, high_water_key_);
+  if (eligible < opts_.min_parallel_lanes) {
+    ++stats_.rejects_few_lanes;
+    stats_.fence_stall_rejects += fence_bound;
+    return false;
+  }
   bound_key_ = bk;
   bound_rank_ = br;
-  safe_key_ = safe;
+  safe_key_ = bk;
+  switch (source) {
+    case BoundSource::kCap: ++stats_.bound_cap; break;
+    case BoundSource::kQueue: ++stats_.bound_queue; break;
+    case BoundSource::kFence: ++stats_.bound_fence; break;
+    case BoundSource::kLookahead: ++stats_.bound_lookahead; break;
+    case BoundSource::kLaneControl: ++stats_.bound_lane_control; break;
+  }
+  stats_.eligible_lane_sum += static_cast<uint64_t>(eligible);
 
   sim_->window_active_ = true;
   if (workers_.empty()) {
@@ -321,7 +383,7 @@ bool ShardScheduler::TryRunWindow() {
   }
   sim_->window_active_ = false;
   Barrier();
-  ++windows_;
+  ++stats_.windows;
   return true;
 }
 
@@ -347,6 +409,7 @@ void ShardScheduler::RunLanes() {
 }
 
 void ShardScheduler::ExecuteLaneWindow(Lane& lane) {
+  uint64_t frontier = frontier_keys_[lane.index];
   for (;;) {
     Simulator::PruneStaleTop(lane);
     if (lane.heap_keys.empty()) {
@@ -357,6 +420,15 @@ void ShardScheduler::ExecuteLaneWindow(Lane& lane) {
     if (!Simulator::KeyRankLess(key, m.rank, bound_key_, bound_rank_)) {
       break;
     }
+    if (lane.slots[m.slot].lane_control) {
+      // Lane-anchored control event: never runs inside a window. Halt here;
+      // the serial loop executes it with full serial semantics in global
+      // (time, rank) order.
+      break;
+    }
+    LAMINAR_CHECK_GE(key, frontier)
+        << "window event below lane " << lane.index << "'s execution frontier";
+    frontier = key;
     Simulator::HeapPopTop(lane);
     Simulator::Slot& s = lane.slots[m.slot];
     s.state = Simulator::SlotState::kExecuting;
@@ -394,6 +466,7 @@ void ShardScheduler::ExecuteLaneWindow(Lane& lane) {
       Simulator::RetireSlot(lane, m.slot);
     }
   }
+  frontier_keys_[lane.index] = frontier;
 }
 
 void ShardScheduler::Barrier() {
@@ -404,7 +477,8 @@ void ShardScheduler::Barrier() {
   // ordinal. Each log is sorted (lanes pop their heaps in order), and a
   // temporary rank always resolves through an *earlier* entry of the same
   // log, so heads can be resolved as they surface.
-  std::vector<size_t> pos(n_lanes, 0);
+  std::vector<size_t>& pos = merge_pos_;
+  std::fill(pos.begin(), pos.end(), 0);
   uint64_t merged = 0;
   uint64_t last_key = 0;
   for (size_t i = 1; i < n_lanes; ++i) {
@@ -413,7 +487,7 @@ void ShardScheduler::Barrier() {
   for (;;) {
     int best = -1;
     uint64_t bk = 0;
-    ShardRank br = 0;
+    ShardRank br{};
     for (size_t i = 1; i < n_lanes; ++i) {
       if (pos[i] >= lanes[i].exec_log.size()) {
         continue;
@@ -434,9 +508,8 @@ void ShardScheduler::Barrier() {
     last_key = bk;
     ++merged;
   }
-  window_events_ += merged;
+  stats_.window_events += merged;
   LAMINAR_CHECK_GT(merged, 0u) << "window executed no events";
-  high_water_key_ = std::max(high_water_key_, last_key);
   // The control clock advances to the last window event, exactly where a
   // serial run's clock would stand after executing the same events.
   Simulator::Lane& ctrl = lanes.front();
@@ -458,13 +531,14 @@ void ShardScheduler::Barrier() {
   // Phase 3: merge the per-lane staged actions (each sorted after rank
   // resolution) and prepend to the replay queue. Every staged key is below
   // the window bound, and the bound is at most the old queue head, so the
-  // batch belongs strictly in front.
+  // batch belongs strictly in front — with the queue stored in reverse, the
+  // merged batch is appended back-to-front.
   staged_scratch_.clear();
   std::fill(pos.begin(), pos.end(), 0);
   for (;;) {
     int best = -1;
     uint64_t bk = 0;
-    ShardRank br = 0;
+    ShardRank br{};
     for (size_t i = 1; i < n_lanes; ++i) {
       if (pos[i] >= lanes[i].staged.size()) {
         continue;
@@ -494,9 +568,11 @@ void ShardScheduler::Barrier() {
     ++pos[static_cast<size_t>(best)];
   }
   if (!staged_scratch_.empty()) {
-    queue_.insert(queue_.begin(),
-                  std::make_move_iterator(staged_scratch_.begin()),
-                  std::make_move_iterator(staged_scratch_.end()));
+    queue_.reserve(queue_.size() + staged_scratch_.size());
+    for (auto it = staged_scratch_.rbegin(); it != staged_scratch_.rend();
+         ++it) {
+      queue_.push_back(std::move(*it));
+    }
     staged_scratch_.clear();
   }
   for (size_t i = 1; i < n_lanes; ++i) {

@@ -15,29 +15,40 @@
 //   sub-bound events concurrently (one thread per lane, or inline on the
 //   coordinator when no workers are available). The bound is the least of:
 //   the control lane's next event ("fence"), the staged-action queue head,
-//   the window floor plus the lookahead horizon (the alpha of the cluster's
-//   alpha-beta network model), and the run's time cap. Replica-lane events
-//   may touch only replica-local state; every cross-component interaction —
-//   completion/progress/batch-done callbacks, trace emission, cross-lane
-//   schedules — is staged with the event's (time, rank) and replayed
-//   serially later, which is what keeps sharded runs byte-identical to
-//   serial.
+//   each lane's head plus that lane's topology-derived lookahead horizon
+//   (ShardOptions::lane_lookahead_seconds — the fastest decode step or
+//   alpha-beta link latency of the machines mapped onto the lane), and the
+//   run's time cap. Replica-lane events may touch only replica-local state;
+//   every cross-component interaction — completion/progress/batch-done
+//   callbacks, trace emission, cross-lane schedules — is staged with the
+//   event's (time, rank) and replayed serially later, which is what keeps
+//   sharded runs byte-identical to serial.
+//
+//   Lane-riding control traffic — control events whose effects are provably
+//   lane-local (Simulator::ScheduleLaneControlAt) sit in their affine lane's
+//   heap instead of fencing every window on lane 0. The window executor
+//   halts a lane when such an event surfaces (it never executes inside a
+//   window); the serial loop later runs it in global (time, rank) order with
+//   full serial semantics. For the bound it contributes the same
+//   head + lane-lookahead horizon as any other head: nothing the window
+//   executes can be influenced by it before that horizon.
 //
 // At the window barrier the per-lane execution logs are k-way merged in
 // (time, rank) order to assign global execution ordinals, temporary ranks
 // minted inside the window are resolved against those ordinals, and the
 // per-lane staged actions are merged (already sorted) and prepended to the
-// staged-action queue. A global high-water mark over executed event keys
-// turns any causality violation — a schedule or event landing below ground
-// already committed — into a loud check failure instead of a silent
-// divergence.
+// staged-action queue. Per-lane execution frontiers (the max key each lane
+// ever committed) turn any causality violation — a schedule or event landing
+// below ground a lane already committed — into a loud check failure instead
+// of a silent divergence. The frontiers are per-lane rather than global
+// because lane-riding control events legitimately execute serially below
+// the keys other lanes have already reached inside windows.
 #ifndef LAMINAR_SRC_SIM_SHARD_EXEC_H_
 #define LAMINAR_SRC_SIM_SHARD_EXEC_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -88,31 +99,50 @@ class ShardScheduler {
   void set_window_time_cap(double seconds);
   void OnTraceChanged() {}  // staging sinks read sim_->trace_ at replay time
 
-  // Asserts that a cross-lane schedule staged from inside a window lands at
-  // or beyond the current window's safe horizon (floor + lookahead), i.e.
-  // provably outside anything any lane may execute this window.
-  void ValidateCrossShardSchedule(SimTime from, SimTime t) const;
+  // Asserts that a cross-lane schedule staged from inside a window on
+  // `lane_index` lands at or beyond the window bound and clears that lane's
+  // lookahead horizon, i.e. provably outside anything any lane may execute
+  // this window.
+  void ValidateCrossShardSchedule(uint32_t lane_index, SimTime from,
+                                  SimTime t) const;
 
-  uint64_t windows() const { return windows_; }
-  uint64_t window_events() const { return window_events_; }
-  uint64_t serial_steps() const { return serial_steps_; }
-  uint64_t actions_replayed() const { return actions_replayed_; }
+  uint64_t windows() const { return stats_.windows; }
+  uint64_t window_events() const { return stats_.window_events; }
+  uint64_t serial_steps() const { return stats_.serial_steps; }
+  uint64_t actions_replayed() const { return stats_.actions_replayed; }
   // Window-rejection tallies (why a serial step ran instead): no replica
   // work below the fence, horizon narrower than min_window_seconds, or
   // fewer eligible lanes than min_parallel_lanes.
-  uint64_t rejects_no_floor() const { return rejects_no_floor_; }
-  uint64_t rejects_narrow() const { return rejects_narrow_; }
-  uint64_t rejects_few_lanes() const { return rejects_few_lanes_; }
+  uint64_t rejects_no_floor() const { return stats_.rejects_no_floor; }
+  uint64_t rejects_narrow() const { return stats_.rejects_narrow; }
+  uint64_t rejects_few_lanes() const { return stats_.rejects_few_lanes; }
+  // The full deterministic window-quality profile (DESIGN.md §12).
+  const ShardWindowStats& stats() const { return stats_; }
+
+  // Replaces the per-lane lookahead horizons (one entry per replica lane).
+  // Used by drivers to install topology-derived horizons once the fleet is
+  // built; must happen before the first window opens.
+  void set_lane_lookahead(const std::vector<double>& lane_seconds);
 
  private:
   using Lane = Simulator::Lane;
   using StagedAction = Simulator::StagedAction;
 
+  // Which candidate set a window bound (or bound a rejected window attempt).
+  enum class BoundSource : uint8_t {
+    kCap,
+    kQueue,
+    kFence,
+    kLookahead,
+    kLaneControl,
+  };
+
   // Opens and runs one window if the bound admits enough parallel work;
   // returns false to fall back to a serial step.
   bool TryRunWindow();
   // Pops sub-bound events off one replica lane (runs on a worker thread or
-  // inline on the coordinator; touches only that lane).
+  // inline on the coordinator; touches only that lane). Halts the lane when
+  // a lane-anchored control event surfaces.
   void ExecuteLaneWindow(Lane& lane);
   // Merges execution logs, resolves temporary ranks, commits staged actions.
   void Barrier();
@@ -121,6 +151,9 @@ class ShardScheduler {
   // Least pending (key, rank) over lanes and queue. Returns false when
   // everything is drained. lane_out = -1 selects the queue head.
   bool FindSerialMin(int* lane_out, uint64_t* key_out);
+  // Serial-step bookkeeping shared by SerialStepOnce and RunSerialUntil:
+  // per-lane frontier check/advance plus the lane-control tally.
+  void CommitSerial(int lane, uint64_t key);
 
   void StartWorkers(int count);
   void StopWorkers();
@@ -132,26 +165,31 @@ class ShardScheduler {
   Simulator* sim_;
   ShardOptions opts_;
   uint64_t time_cap_key_;
-  uint64_t high_water_key_ = 0;  // max key ever committed to execution
+  // Per-lane lookahead horizons, one entry per replica lane (index 0 is
+  // lane 1). Resolved from ShardOptions::lane_lookahead_seconds with
+  // lookahead_seconds as the fallback for missing entries.
+  std::vector<double> lookahead_;
+  // Per-lane execution frontiers: the max key each lane ever committed
+  // (serially or inside a window). Indexed by lane (entry 0 = control lane).
+  std::vector<uint64_t> frontier_keys_;
   // Window bound: events with (key, rank) strictly less execute this window.
   uint64_t bound_key_ = 0;
-  ShardRank bound_rank_ = 0;
-  uint64_t safe_key_ = 0;  // floor + lookahead, for cross-shard validation
+  ShardRank bound_rank_{};
+  uint64_t safe_key_ = 0;  // == bound_key_, for cross-shard validation
 
-  // Staged actions pending serial replay, globally sorted by (key, rank).
-  std::deque<StagedAction> queue_;
+  // Staged actions pending serial replay, globally sorted by (key, rank) in
+  // REVERSE order — back() is the head. A barrier prepends its batch (every
+  // staged key is below the bound, and the bound is at most the old head) by
+  // appending in descending order, so both prepend and pop are O(1) amortized
+  // with no deque block churn.
+  std::vector<StagedAction> queue_;
 
   std::vector<std::unique_ptr<LaneStagingSink>> sinks_;
   std::vector<std::vector<uint64_t>> ordinals_;  // per-lane barrier scratch
   std::vector<StagedAction> staged_scratch_;
+  std::vector<size_t> merge_pos_;  // barrier k-way merge cursor, preallocated
 
-  uint64_t windows_ = 0;
-  uint64_t window_events_ = 0;
-  uint64_t serial_steps_ = 0;
-  uint64_t actions_replayed_ = 0;
-  uint64_t rejects_no_floor_ = 0;
-  uint64_t rejects_narrow_ = 0;
-  uint64_t rejects_few_lanes_ = 0;
+  ShardWindowStats stats_;
 
   // Worker pool. Workers park on epoch_; each window bumps the epoch, and
   // coordinator + workers race to claim lanes off next_lane_. All lane state

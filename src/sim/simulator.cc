@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/sim/shard_exec.h"
 #include "src/snapshot/snapshot.h"
+#include "src/trace/metrics.h"
 
 namespace laminar {
 
@@ -41,8 +42,11 @@ uint32_t Simulator::AllocSlot(Lane& lane) {
 
 void Simulator::RetireSlot(Lane& lane, uint32_t slot) {
   Slot& s = lane.slots[slot];
-  s.fn = nullptr;
-  s.desc = ContinuationDesc{};
+  if (s.fn) {
+    s.fn = nullptr;  // skip the std::function reset churn for descriptor events
+  }
+  s.desc.comp = -1;
+  s.lane_control = false;
   if (++s.generation == 0) {
     s.generation = 1;  // keep packed ids nonzero and unambiguous
   }
@@ -164,7 +168,7 @@ EventId Simulator::ScheduleOnLane(uint32_t lane_idx, SimTime t,
       // Cross-lane schedule from inside a window: must clear the lookahead
       // horizon, and is staged for the barrier rather than touching the
       // foreign lane's heap from a worker thread.
-      scheduler_->ValidateCrossShardSchedule(wl->now, t);
+      scheduler_->ValidateCrossShardSchedule(wl->index, wl->now, t);
       StageFromWindow(*wl, [this, lane_idx, t, fn = std::move(fn)]() mutable {
         ScheduleOnLane(lane_idx, t, std::move(fn));
       });
@@ -182,16 +186,18 @@ EventId Simulator::ScheduleOnLane(uint32_t lane_idx, SimTime t,
 }
 
 EventId Simulator::ScheduleDescOnLane(uint32_t lane_idx, SimTime t,
-                                      const ContinuationDesc& desc) {
+                                      const ContinuationDesc& desc,
+                                      bool lane_control) {
   Lane& ctx = CtxLane();
   LAMINAR_CHECK(t >= ctx.now) << "scheduling into the past: " << t.seconds() << " < "
                               << ctx.now.seconds();
   LAMINAR_CHECK_LT(lane_idx, lanes_.size());
   if (window_active_) {
     if (Lane* wl = MutableTlsLane(); wl != nullptr && wl->index != lane_idx) {
-      scheduler_->ValidateCrossShardSchedule(wl->now, t);
-      StageFromWindow(*wl,
-                      [this, lane_idx, t, desc] { ScheduleDescOnLane(lane_idx, t, desc); });
+      scheduler_->ValidateCrossShardSchedule(wl->index, wl->now, t);
+      StageFromWindow(*wl, [this, lane_idx, t, desc, lane_control] {
+        ScheduleDescOnLane(lane_idx, t, desc, lane_control);
+      });
       return kInvalidEventId;
     }
   }
@@ -200,6 +206,7 @@ EventId Simulator::ScheduleDescOnLane(uint32_t lane_idx, SimTime t,
   Slot& s = target.slots[slot];
   s.desc = desc;
   s.state = SlotState::kPending;
+  s.lane_control = lane_control;
   PushHeap(target, t, slot, s.generation, NextActionRank(ctx));
   ++target.live;
   return Pack(lane_idx, slot, s.generation);
@@ -276,6 +283,28 @@ EventId Simulator::ScheduleContinuationAfterOn(int shard, double delay, int32_t 
                                                const ContinuationPayload& payload) {
   LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
   return ScheduleContinuationAtOn(shard, CtxLane().now + delay, comp, kind, payload);
+}
+
+EventId Simulator::ScheduleLaneControlAt(int shard, SimTime t, int32_t comp,
+                                         uint16_t kind,
+                                         const ContinuationPayload& payload) {
+  LAMINAR_CHECK_GE(comp, 0);
+  if (!lane_control_enabled_ || shard <= 0 ||
+      static_cast<size_t>(shard) >= lanes_.size()) {
+    // Classification off (or the target is not a replica lane): the event
+    // fences on the control lane exactly as before.
+    return ScheduleContinuationAtOn(0, t, comp, kind, payload);
+  }
+  return ScheduleDescOnLane(static_cast<uint32_t>(shard), t,
+                            ContinuationDesc{comp, kind, payload},
+                            /*lane_control=*/true);
+}
+
+EventId Simulator::ScheduleLaneControlAfter(int shard, double delay, int32_t comp,
+                                            uint16_t kind,
+                                            const ContinuationPayload& payload) {
+  LAMINAR_CHECK(delay >= 0.0) << "negative delay " << delay;
+  return ScheduleLaneControlAt(shard, CtxLane().now + delay, comp, kind, payload);
 }
 
 EventId Simulator::RearmCurrentAfter(double delay) {
@@ -492,16 +521,26 @@ void Simulator::ConfigureShards(const ShardOptions& options) {
   LAMINAR_CHECK_EQ(pending_events(), 0u)
       << "ConfigureShards must run before any event is scheduled";
   LAMINAR_CHECK_EQ(executed_, 0u);
+  LAMINAR_CHECK(options.lane_lookahead_seconds.empty() ||
+                options.lane_lookahead_seconds.size() ==
+                    static_cast<size_t>(options.num_shards))
+      << "lane_lookahead_seconds must be empty or one entry per shard";
   lanes_ = std::vector<Lane>(static_cast<size_t>(options.num_shards) + 1);
   for (size_t i = 0; i < lanes_.size(); ++i) {
     lanes_[i].index = static_cast<uint32_t>(i);
   }
+  lane_control_enabled_ = options.lane_control;
   scheduler_ = std::make_unique<ShardScheduler>(this, options);
 }
 
 void Simulator::set_window_time_cap(double seconds) {
   LAMINAR_CHECK(scheduler_ != nullptr) << "set_window_time_cap requires shards";
   scheduler_->set_window_time_cap(seconds);
+}
+
+void Simulator::SetLaneLookahead(const std::vector<double>& lane_seconds) {
+  LAMINAR_CHECK(scheduler_ != nullptr) << "SetLaneLookahead requires shards";
+  scheduler_->set_lane_lookahead(lane_seconds);
 }
 
 namespace {
@@ -696,6 +735,38 @@ uint64_t Simulator::shard_rejects_narrow() const {
 }
 uint64_t Simulator::shard_rejects_few_lanes() const {
   return scheduler_ != nullptr ? scheduler_->rejects_few_lanes() : 0;
+}
+
+ShardWindowStats Simulator::window_stats() const {
+  return scheduler_ != nullptr ? scheduler_->stats() : ShardWindowStats{};
+}
+
+void Simulator::ExportWindowStats(MetricsRegistry& registry) const {
+  const ShardWindowStats s = window_stats();
+  auto set = [&registry](const char* name, double v) {
+    registry.Gauge(name)->Set(v);
+  };
+  set("sim/window/windows", static_cast<double>(s.windows));
+  set("sim/window/events", static_cast<double>(s.window_events));
+  set("sim/window/serial_steps", static_cast<double>(s.serial_steps));
+  set("sim/window/actions_replayed", static_cast<double>(s.actions_replayed));
+  set("sim/window/rejects_no_floor", static_cast<double>(s.rejects_no_floor));
+  set("sim/window/rejects_narrow", static_cast<double>(s.rejects_narrow));
+  set("sim/window/rejects_few_lanes", static_cast<double>(s.rejects_few_lanes));
+  set("sim/window/bound_fence", static_cast<double>(s.bound_fence));
+  set("sim/window/bound_queue", static_cast<double>(s.bound_queue));
+  set("sim/window/bound_cap", static_cast<double>(s.bound_cap));
+  set("sim/window/bound_lookahead", static_cast<double>(s.bound_lookahead));
+  set("sim/window/bound_lane_control",
+      static_cast<double>(s.bound_lane_control));
+  set("sim/window/fence_stall_rejects",
+      static_cast<double>(s.fence_stall_rejects));
+  set("sim/window/lane_control_events",
+      static_cast<double>(s.lane_control_events));
+  set("sim/window/mean_events_per_window", s.mean_events_per_window());
+  set("sim/window/mean_eligible_lanes", s.mean_eligible_lanes());
+  set("sim/window/serial_fraction", s.serial_fraction());
+  set("sim/window/fence_stall_share", s.fence_stall_share());
 }
 
 PeriodicTask::PeriodicTask(Simulator* sim, double period, std::function<void()> fn)

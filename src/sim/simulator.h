@@ -72,7 +72,28 @@ constexpr EventId kInvalidEventId = 0;
 // scheduling-order tiebreak exactly: rank values may differ between serial
 // and sharded runs, but every comparison agrees, so observable behaviour is
 // identical.
-using ShardRank = unsigned __int128;
+//
+// Stored as an explicit (hi, lo) pair rather than unsigned __int128: the
+// pair packs heap metadata to 24 bytes (16-byte __int128 alignment forced
+// 32) and compares with two 64-bit instructions instead of a 128-bit
+// carry chain.
+struct ShardRank {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend constexpr bool operator<(const ShardRank& x, const ShardRank& y) {
+    return x.hi < y.hi || (x.hi == y.hi && x.lo < y.lo);
+  }
+  friend constexpr bool operator==(const ShardRank& x, const ShardRank& y) {
+    return x.hi == y.hi && x.lo == y.lo;
+  }
+  // Staged-action queue offset: event ranks always carry a zero `a`
+  // sub-field, so adding the small staged-action index never carries out of
+  // rank_lo.
+  friend constexpr ShardRank operator+(const ShardRank& x, uint64_t a) {
+    return ShardRank{x.hi, x.lo + a};
+  }
+};
 
 // Options for ConfigureShards().
 struct ShardOptions {
@@ -89,6 +110,25 @@ struct ShardOptions {
   // network model): a window-context schedule targeting another lane must
   // land at least this far past the scheduling clock. Enforced by assert.
   double lookahead_seconds = 0.0;
+  // Topology-derived per-lane lookahead (DESIGN.md §12): entry i is the
+  // horizon for replica lane i+1, derived from the decode-step times and
+  // link alpha-beta latencies of the machines mapped onto that lane. When
+  // non-empty it must have num_shards entries and replaces
+  // lookahead_seconds in the window-bound computation (each lane's head
+  // contributes head + lane_lookahead[i] as a bound candidate);
+  // lookahead_seconds remains the validation floor for lanes past the
+  // vector's end.
+  std::vector<double> lane_lookahead_seconds;
+  // Lane-riding control traffic (DESIGN.md §12): when true, control events
+  // classified as lane-local (relay pull completions, machine stall thaws)
+  // scheduled via ScheduleLaneControlAfter() ride their affine replica lane
+  // instead of fencing every window on lane 0. They never execute inside a
+  // window — the window executor halts the lane at them and they run with
+  // full serial semantics at the next serial step — so results stay
+  // byte-identical; only window width changes. false routes every such
+  // event to the control lane (PR 6 behaviour, the fuzzer's differential
+  // twin).
+  bool lane_control = true;
   // Horizon-collapse threshold: when the gap between the earliest eligible
   // lane event and the window bound is below this, fall back to serial
   // stepping instead of opening a window.
@@ -97,6 +137,74 @@ struct ShardOptions {
   // otherwise take the serial slab-heap path.
   int min_parallel_lanes = 1;
 };
+
+// Deterministic window-quality counters (DESIGN.md §12). Everything here is
+// a function of the window-formation decisions alone — worker count and
+// thread scheduling never enter — so the struct is byte-identical across
+// worker counts at a fixed shard count, and all-zero for an unsharded run.
+// Deliberately excluded from reports, traces, and snapshots: the values
+// legitimately differ between serial and sharded runs of the same scenario,
+// so folding them into any fingerprinted surface would break the
+// byte-identity gates. Export is opt-in (Simulator::ExportWindowStats,
+// bench --window-stats).
+struct ShardWindowStats {
+  uint64_t windows = 0;         // windows opened
+  uint64_t window_events = 0;   // events executed inside windows
+  uint64_t serial_steps = 0;    // serial fallback steps
+  uint64_t actions_replayed = 0;
+  // Why a window did not open.
+  uint64_t rejects_no_floor = 0;
+  uint64_t rejects_narrow = 0;
+  uint64_t rejects_few_lanes = 0;
+  // Which candidate set the bound of each opened window.
+  uint64_t bound_fence = 0;       // control-lane head (fence stall)
+  uint64_t bound_queue = 0;       // staged-action queue head
+  uint64_t bound_cap = 0;         // run time cap
+  uint64_t bound_lookahead = 0;   // some lane's head + its lookahead
+  uint64_t bound_lane_control = 0;  // a lane-anchored control event's horizon
+  // Rejects where the control-lane fence (not the lookahead horizon) was
+  // the binding candidate: the fence-stall attribution for windows that
+  // never opened.
+  uint64_t fence_stall_rejects = 0;
+  // Sum of eligible lanes over opened windows (occupancy numerator).
+  uint64_t eligible_lane_sum = 0;
+  // Classified control events that rode a replica lane off the fence.
+  uint64_t lane_control_events = 0;
+
+  double mean_events_per_window() const {
+    return windows == 0 ? 0.0
+                        : static_cast<double>(window_events) /
+                              static_cast<double>(windows);
+  }
+  double mean_eligible_lanes() const {
+    return windows == 0 ? 0.0
+                        : static_cast<double>(eligible_lane_sum) /
+                              static_cast<double>(windows);
+  }
+  // Fraction of executed events that took the serial path. 1.0 when nothing
+  // ever ran in a window — in particular for any unsharded (shards=1) run.
+  double serial_fraction() const {
+    uint64_t total = serial_steps + window_events;
+    return total == 0 ? 1.0
+                      : static_cast<double>(serial_steps) /
+                            static_cast<double>(total);
+  }
+  // Share of window-formation attempts (opened or rejected) where the
+  // control-lane fence was the binding candidate: opened windows whose bound
+  // was the fence, plus rejects the fence caused. Counting only opened
+  // windows would under-attribute — the fence hurts most where it keeps a
+  // window from opening at all.
+  double fence_stall_share() const {
+    uint64_t attempts =
+        windows + rejects_no_floor + rejects_narrow + rejects_few_lanes;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(bound_fence + fence_stall_rejects) /
+                     static_cast<double>(attempts);
+  }
+};
+
+class MetricsRegistry;
 
 class Simulator {
  public:
@@ -151,6 +259,31 @@ class Simulator {
   EventId ScheduleContinuationAfterOn(int shard, double delay, int32_t comp,
                                       uint16_t kind,
                                       const ContinuationPayload& payload = {});
+
+  // Lane-riding control traffic (DESIGN.md §12): schedules a control event
+  // whose effects are provably local to one replica lane (plus
+  // control-plane state no window event ever reads) onto that lane instead
+  // of the fence. The event never executes inside a window — the window
+  // executor halts its lane at it and the serial loop runs it with full
+  // serial semantics in global (time, rank) order — so behaviour is
+  // byte-identical to fencing it; windows just stop paying for it. Falls
+  // back to the control lane when sharding is off, lane control is
+  // disabled, or `shard` is out of range.
+  EventId ScheduleLaneControlAfter(int shard, double delay, int32_t comp,
+                                   uint16_t kind,
+                                   const ContinuationPayload& payload = {});
+  EventId ScheduleLaneControlAt(int shard, SimTime t, int32_t comp,
+                                uint16_t kind,
+                                const ContinuationPayload& payload = {});
+
+  // The canonical machine -> lane affinity map shared by the driver (replica
+  // placement) and the control-traffic classifiers (relay pulls, stall
+  // thaws): machine m rides lane 1 + m % num_shards. 0 (the control lane)
+  // when sharding is not configured.
+  int AffinityShard(int machine) const {
+    int shards = num_shards();
+    return shards > 0 && sharded() ? 1 + machine % shards : 0;
+  }
 
   // Components register their continuation dispatch here (at construction /
   // Setup, before any descriptor event fires or is restored).
@@ -212,6 +345,12 @@ class Simulator {
   // window — they take the serial path, so a run predicate that stops on a
   // time cap stops at exactly the same event as a serial run.
   void set_window_time_cap(double seconds);
+  // Installs topology-derived per-lane lookahead horizons after the fleet is
+  // built (ConfigureShards runs before replicas exist, so lane->machine
+  // composition is unknown then). `lane_seconds` must hold one entry per
+  // replica lane. No-op requirement: must be called before the first window
+  // opens. CHECK-fails when unsharded.
+  void SetLaneLookahead(const std::vector<double>& lane_seconds);
 
   // True while the calling thread is executing a replica-lane event inside a
   // shard window (staging context).
@@ -302,6 +441,16 @@ class Simulator {
   uint64_t shard_rejects_narrow() const;
   uint64_t shard_rejects_few_lanes() const;
 
+  // Window-quality profile (DESIGN.md §12): the full deterministic counter
+  // set, all-zero when unsharded (serial_fraction() then reads 1.0 by
+  // convention). Never enters reports, traces, or snapshots — see
+  // ShardWindowStats.
+  ShardWindowStats window_stats() const;
+  // Opt-in export into a caller-owned registry (gauges under
+  // "sim/window/..."). The caller must not snapshot that registry into an
+  // LMSNAP1 blob: the values differ between serial and sharded runs.
+  void ExportWindowStats(MetricsRegistry& registry) const;
+
  private:
   friend class ShardScheduler;
   friend class LaneStagingSink;
@@ -318,6 +467,10 @@ class Simulator {
     ContinuationDesc desc;  // comp >= 0: data-only event, fn unused
     uint32_t generation = 1;
     SlotState state = SlotState::kFree;
+    // Lane-anchored control event (ScheduleLaneControlAt): rides a replica
+    // lane but never executes inside a window — the window executor halts
+    // the lane at it and the serial loop runs it in global order.
+    bool lane_control = false;
   };
 
   // One live heap entry read back from a snapshot, awaiting re-mint.
@@ -332,11 +485,13 @@ class Simulator {
   // Timestamps are stored bit-cast to uint64: non-negative IEEE-754 doubles
   // order identically to their bit patterns, and integer compares let the
   // sift loops run on conditional moves instead of mispredicted branches.
+  // 24 bytes: the (hi, lo) rank pair plus slot and generation.
   struct HeapMeta {
     ShardRank rank;
     uint32_t slot;
     uint32_t generation;
   };
+  static_assert(sizeof(HeapMeta) == 24, "heap metadata should stay 3 words");
 
   // One executed window event: its heap key and (possibly temporary) rank,
   // recorded in lane execution order for the barrier's ordinal merge.
@@ -377,7 +532,7 @@ class Simulator {
     uint64_t ctx_k = 0;
     uint32_t ctx_j = 0;
     uint32_t ctx_a = 0;
-    ShardRank ctx_event_rank = 0;
+    ShardRank ctx_event_rank;
     bool ctx_replay = false;
     size_t live = 0;        // pending + rearmed events
     size_t tombstones = 0;  // stale entries still in the heap
@@ -415,11 +570,9 @@ class Simulator {
     return (static_cast<uint64_t>(generation) << 32) |
            (static_cast<uint64_t>(lane) << kLaneShift) | slot;
   }
-  static ShardRank MakeRank(uint64_t hi, uint64_t lo) {
-    return (static_cast<ShardRank>(hi) << 64) | lo;
-  }
-  static uint64_t RankHi(ShardRank r) { return static_cast<uint64_t>(r >> 64); }
-  static uint64_t RankLo(ShardRank r) { return static_cast<uint64_t>(r); }
+  static ShardRank MakeRank(uint64_t hi, uint64_t lo) { return ShardRank{hi, lo}; }
+  static uint64_t RankHi(ShardRank r) { return r.hi; }
+  static uint64_t RankLo(ShardRank r) { return r.lo; }
 
   // Window-thread context, set by the ShardScheduler around lane execution.
   static thread_local const Simulator* tls_owner_;
@@ -463,7 +616,8 @@ class Simulator {
 
   EventId ScheduleOnLane(uint32_t lane_idx, SimTime t, std::function<void()> fn);
   EventId ScheduleDescOnLane(uint32_t lane_idx, SimTime t,
-                             const ContinuationDesc& desc);
+                             const ContinuationDesc& desc,
+                             bool lane_control = false);
   void StageFromWindow(Lane& lane, std::function<void()> fn);
 
   static uint32_t AllocSlot(Lane& lane);
@@ -487,6 +641,7 @@ class Simulator {
   TraceSink* trace_ = nullptr;
   uint64_t executed_ = 0;
   bool window_active_ = false;   // set only around window execution
+  bool lane_control_enabled_ = false;  // ShardOptions::lane_control && sharded
   uint32_t serial_exec_lane_ = 0;  // lane whose event a serial step is running
   std::vector<Lane> lanes_;
   std::unique_ptr<ShardScheduler> scheduler_;

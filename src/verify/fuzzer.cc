@@ -24,14 +24,18 @@ struct BatchLayout {
   int sync_twin = -1;
   int repack_off = -1;
   int shard_twin = -1;
+  int lane_control_off = -1;
 };
 
 // shard_twin_shards > 0 adds a twin of the primary with the shard count
-// flipped (serial primaries get a sharded twin and vice versa); the oracle
-// demands full fingerprint identity. ScenarioFingerprints passes 0 so the
-// committed golden file's batch layout is unchanged.
+// flipped (serial primaries get a sharded twin and vice versa);
+// lane_twin_shards > 0 adds a sharded twin with control-event lane
+// classification forced off. Both oracles demand full fingerprint identity.
+// ScenarioFingerprints passes 0 for both so the committed golden file's
+// batch layout is unchanged.
 std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout,
-                                       int shard_twin_shards) {
+                                       int shard_twin_shards,
+                                       int lane_twin_shards) {
   std::vector<RlSystemConfig> batch;
   layout.primary = static_cast<int>(batch.size());
   batch.push_back(scn.config);
@@ -51,6 +55,15 @@ std::vector<RlSystemConfig> BuildBatch(const Scenario& scn, BatchLayout& layout,
     layout.shard_twin = static_cast<int>(batch.size());
     RlSystemConfig twin = scn.config;
     twin.shards = twin.shards == 1 ? shard_twin_shards : 1;
+    batch.push_back(twin);
+  }
+  if (lane_twin_shards > 0) {
+    layout.lane_control_off = static_cast<int>(batch.size());
+    RlSystemConfig twin = scn.config;
+    if (twin.shards == 1) {
+      twin.shards = lane_twin_shards;
+    }
+    twin.shard_lane_control = false;
     batch.push_back(twin);
   }
   return batch;
@@ -127,6 +140,30 @@ OracleReport JudgeScenario(const Scenario& scn, const EvalOptions& opts,
                              std::to_string(batch[layout.primary].shards) +
                              " and shards=" +
                              std::to_string(batch[layout.shard_twin].shards)});
+    }
+  }
+
+  // Oracle: riding classified control events on their affine lanes is a
+  // scheduling-layout change, never a behavioural one. The twin reruns the
+  // primary sharded with lane classification forced off (everything fences
+  // on lane 0, the PR-6 discipline) and the full fingerprint must match.
+  if (layout.lane_control_off >= 0) {
+    ++out.checks_run;
+    const RlSystemConfig& twin = batch[layout.lane_control_off];
+    // Compare against the run with the same shard count when one exists, so
+    // a mismatch isolates lane classification rather than sharding itself;
+    // the shard-diff oracle already ties that run to the primary.
+    int anchor = layout.primary;
+    if (layout.shard_twin >= 0 &&
+        batch[layout.shard_twin].shards == twin.shards) {
+      anchor = layout.shard_twin;
+    }
+    if (RunFingerprint(reports[anchor]) !=
+        RunFingerprint(reports[layout.lane_control_off])) {
+      out.failures.push_back(
+          {"lane-control-diff",
+           "fingerprints differ with control-event lane classification "
+           "forced off at shards=" + std::to_string(twin.shards)});
     }
   }
 
@@ -261,7 +298,10 @@ std::vector<OracleReport> EvaluateScenarios(const std::vector<Scenario>& scenari
   offsets.reserve(scenarios.size());
   std::vector<RlSystemConfig> flat;
   for (size_t i = 0; i < scenarios.size(); ++i) {
-    batches.push_back(BuildBatch(scenarios[i], layouts[i], opts.diff_shards));
+    int lane_twin_shards =
+        opts.diff_lane_control ? (opts.diff_shards > 0 ? opts.diff_shards : 4) : 0;
+    batches.push_back(
+        BuildBatch(scenarios[i], layouts[i], opts.diff_shards, lane_twin_shards));
     offsets.push_back(flat.size());
     flat.insert(flat.end(), batches[i].begin(), batches[i].end());
   }
@@ -293,7 +333,8 @@ std::vector<OracleReport> EvaluateScenarios(const std::vector<Scenario>& scenari
 std::vector<ConfigFingerprint> ScenarioFingerprints(const Scenario& scn,
                                                     unsigned sweep_threads) {
   BatchLayout layout;
-  std::vector<RlSystemConfig> batch = BuildBatch(scn, layout, /*shard_twin_shards=*/0);
+  std::vector<RlSystemConfig> batch = BuildBatch(scn, layout, /*shard_twin_shards=*/0,
+                                                 /*lane_twin_shards=*/0);
   SweepOptions sweep;
   sweep.num_threads = sweep_threads;
   std::vector<SystemReport> reports = RunExperiments(batch, sweep);

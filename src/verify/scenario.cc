@@ -72,6 +72,7 @@ bool KnownScenarioKey(const std::string& key) {
       "rate_machine_stall", "rate_link_flap",
       "rate_replica_slow", "rate_message_drop",
       "crash_restart_rate", "shards",
+      "shard_lane_control",
       "snapshot_at",    "warmup",
       "measure",        "config_seed",
       "diff_sync",      "diff_repack",
@@ -288,6 +289,12 @@ std::string ScenarioToText(const Scenario& scn) {
     // byte-exact round-trips are untouched.
     out << "shards=" << cfg.shards << "\n";
   }
+  if (!cfg.shard_lane_control) {
+    // Armed-only, like shards=: emitted only when lane-riding control is
+    // explicitly disabled, so pre-existing corpus files round-trip
+    // byte-identically.
+    out << "shard_lane_control=0\n";
+  }
   if (cfg.snapshot_at_seconds != 0.0) {
     emit_double("snapshot_at", cfg.snapshot_at_seconds);
   }
@@ -456,6 +463,8 @@ bool ScenarioFromText(const std::string& text, Scenario* out, std::string* error
       cfg.chaos.crash_restart_per_hour = num;
     } else if (key == "shards") {
       cfg.shards = static_cast<int>(num);
+    } else if (key == "shard_lane_control") {
+      cfg.shard_lane_control = num != 0.0;
     } else if (key == "snapshot_at") {
       cfg.snapshot_at_seconds = num;
     } else if (key == "serving") {

@@ -1,0 +1,131 @@
+// Window-quality profiler (ShardWindowStats, DESIGN.md §12): the counters
+// are a function of window-formation decisions alone, so they must be
+// byte-identical across worker counts; an unsharded run must report a pure
+// serial profile; topology-derived per-lane lookahead must open strictly
+// wider windows than the legacy global bound on a multi-machine fleet; and
+// the pinned repack corpus scenario must actually ride control traffic on
+// replica lanes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/cluster/hardware.h"
+#include "src/cluster/placement.h"
+#include "src/core/driver_base.h"
+#include "src/core/run.h"
+#include "src/llm/decode_model.h"
+#include "src/llm/model_spec.h"
+#include "src/sim/simulator.h"
+#include "src/verify/fuzzer.h"
+#include "src/verify/scenario.h"
+
+namespace laminar {
+namespace {
+
+// Same widening as shard_determinism_test: tp=1 on 8-GPU machines => 8
+// replicas per machine, 4 machines => 4 populated lanes at shards=4.
+RlSystemConfig WideFleetConfig() {
+  Scenario sc = GenerateScenario(7);
+  RlSystemConfig cfg = sc.config;
+  cfg.ledger_enabled = true;
+  cfg.trace.enabled = true;
+  cfg.total_gpus = 40;
+  cfg.train_gpus = 8;
+  cfg.rollout_gpus = 32;
+  return cfg;
+}
+
+ShardWindowStats RunForStats(RlSystemConfig cfg) {
+  std::unique_ptr<DriverBase> driver = MakeDriver(cfg);
+  driver->Run();
+  return driver->sim().window_stats();
+}
+
+// The pre-topology bound: half the decode model's minimum step latency,
+// applied globally to every lane (mirrors bench_full_system
+// --global-lookahead).
+double LegacyGlobalLookahead(const RlSystemConfig& cfg) {
+  MachineSpec spec;
+  return 0.5 * DecodeModel(ModelForScale(cfg.scale), spec,
+                           RolloutTensorParallel(cfg.system, cfg.scale))
+                   .StepLatency(1, 0.0);
+}
+
+TEST(WindowStatsTest, ByteIdenticalAcrossWorkerCounts) {
+  RlSystemConfig cfg = WideFleetConfig();
+  cfg.shards = 4;
+  cfg.shard_workers = 0;  // inline coordinator
+  ShardWindowStats inline_ws = RunForStats(cfg);
+  cfg.shard_workers = 3;
+  ShardWindowStats pooled_ws = RunForStats(cfg);
+
+  EXPECT_GT(inline_ws.windows, 0u) << "fleet never opened a window";
+  EXPECT_EQ(inline_ws.windows, pooled_ws.windows);
+  EXPECT_EQ(inline_ws.window_events, pooled_ws.window_events);
+  EXPECT_EQ(inline_ws.serial_steps, pooled_ws.serial_steps);
+  EXPECT_EQ(inline_ws.actions_replayed, pooled_ws.actions_replayed);
+  EXPECT_EQ(inline_ws.rejects_no_floor, pooled_ws.rejects_no_floor);
+  EXPECT_EQ(inline_ws.rejects_narrow, pooled_ws.rejects_narrow);
+  EXPECT_EQ(inline_ws.rejects_few_lanes, pooled_ws.rejects_few_lanes);
+  EXPECT_EQ(inline_ws.bound_fence, pooled_ws.bound_fence);
+  EXPECT_EQ(inline_ws.bound_queue, pooled_ws.bound_queue);
+  EXPECT_EQ(inline_ws.bound_cap, pooled_ws.bound_cap);
+  EXPECT_EQ(inline_ws.bound_lookahead, pooled_ws.bound_lookahead);
+  EXPECT_EQ(inline_ws.bound_lane_control, pooled_ws.bound_lane_control);
+  EXPECT_EQ(inline_ws.fence_stall_rejects, pooled_ws.fence_stall_rejects);
+  EXPECT_EQ(inline_ws.eligible_lane_sum, pooled_ws.eligible_lane_sum);
+  EXPECT_EQ(inline_ws.lane_control_events, pooled_ws.lane_control_events);
+}
+
+TEST(WindowStatsTest, UnshardedRunIsPureSerial) {
+  RlSystemConfig cfg = WideFleetConfig();
+  cfg.shards = 1;
+  ShardWindowStats ws = RunForStats(cfg);
+  EXPECT_EQ(ws.windows, 0u);
+  EXPECT_EQ(ws.window_events, 0u);
+  EXPECT_EQ(ws.lane_control_events, 0u);
+  EXPECT_DOUBLE_EQ(ws.serial_fraction(), 1.0);
+}
+
+TEST(WindowStatsTest, TopologyLookaheadWidensWindowsOverGlobalBound) {
+  RlSystemConfig cfg = WideFleetConfig();
+  cfg.shards = 4;
+
+  // Default: per-lane horizons derived from the lanes' own decode-step
+  // floors and the alpha-beta control latency (driver_base.cc Run()).
+  ShardWindowStats topo = RunForStats(cfg);
+
+  // A/B lever: an explicit shard_lookahead_seconds pins every lane to one
+  // global scalar, reinstating the pre-topology bound.
+  cfg.shard_lookahead_seconds = LegacyGlobalLookahead(cfg);
+  ShardWindowStats global = RunForStats(cfg);
+
+  ASSERT_GT(topo.windows, 0u);
+  ASSERT_GT(global.windows, 0u);
+  // Same workload, same events — wider horizons mean the same window-regime
+  // work packs into fewer, larger windows.
+  EXPECT_GT(topo.mean_events_per_window(), global.mean_events_per_window());
+}
+
+TEST(WindowStatsTest, PinnedRepackScenarioRidesControlTrafficOnLanes) {
+  // The committed corpus scenario that exists to exercise lane-riding
+  // control: stall chaos drains machines, repack issues
+  // StartWeightUpdate(src), and the async pull completions (plus thaw and
+  // relay-arrival traffic) ride the affine replica lanes. If classification
+  // regressed to fencing everything on lane 0, this count drops to zero.
+  Scenario scn;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(
+      std::string(LAMINAR_FUZZ_CORPUS_DIR) + "/repack_lane_pull.scenario",
+      &scn, &error))
+      << error;
+  ASSERT_EQ(scn.config.shards, 4) << "scenario must arm sharded execution";
+  ShardWindowStats ws = RunForStats(scn.config);
+  EXPECT_GT(ws.windows, 0u);
+  EXPECT_GT(ws.lane_control_events, 0u);
+}
+
+}  // namespace
+}  // namespace laminar
